@@ -1,0 +1,141 @@
+// Ablations over the design choices DESIGN.md calls out:
+//
+//  1. Vector chaining on/off (dependent ops wait for full completion).
+//  2. L2 bank count (1 / 4 / 16 / 32) under a strided-heavy workload.
+//  3. Lane-core load-decoupling depth (4 / 8 / 24) under lane threads.
+//  4. The memory-bus width behind the L2.
+//
+// Each ablation quantifies how much of the headline result rests on the
+// corresponding mechanism.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+#include "workloads/all_workloads.hpp"
+
+namespace {
+
+using namespace vlt;
+using machine::MachineConfig;
+using workloads::Variant;
+
+std::map<std::string, Cycle>& cycles_by_key() { return bench::results(); }
+
+void record(benchmark::State& state, const std::string& key,
+            const MachineConfig& cfg, const workloads::Workload& w,
+            Variant v) {
+  machine::RunResult r;
+  for (auto _ : state) r = machine::Simulator(cfg).run(w, v);
+  if (!r.verified) {
+    state.SkipWithError(r.verify_error.c_str());
+    return;
+  }
+  state.counters["cycles"] = static_cast<double>(r.cycles);
+  cycles_by_key()[key] = r.cycles;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // 1. chaining on/off for the vector-thread apps (base machine).
+  for (const std::string& app : vlt::workloads::vector_thread_apps())
+    for (bool chain : {true, false}) {
+      std::string key = "chain/" + app + (chain ? "/on" : "/off");
+      benchmark::RegisterBenchmark(
+          key.c_str(),
+          [app, chain, key](benchmark::State& s) {
+            MachineConfig cfg = MachineConfig::base();
+            cfg.vu.chaining = chain;
+            auto w = vlt::workloads::make_workload(app);
+            record(s, key, cfg, *w, Variant::base());
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+
+  // 2. L2 banks under trfd (strided row loads) and mxm (streaming).
+  for (const std::string& app : {std::string("trfd"), std::string("mxm")})
+    for (unsigned banks : {1u, 4u, 16u, 32u}) {
+      std::string key = "banks/" + app + "/" + std::to_string(banks);
+      benchmark::RegisterBenchmark(
+          key.c_str(),
+          [app, banks, key](benchmark::State& s) {
+            MachineConfig cfg = MachineConfig::base();
+            cfg.l2.banks = banks;
+            auto w = vlt::workloads::make_workload(app);
+            record(s, key, cfg, *w, Variant::base());
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+
+  // 3. lane-core load-queue depth under lane threads (ocean).
+  for (unsigned depth : {4u, 8u, 24u}) {
+    std::string key = "laneq/ocean/" + std::to_string(depth);
+    benchmark::RegisterBenchmark(
+        key.c_str(),
+        [depth, key](benchmark::State& s) {
+          MachineConfig cfg = MachineConfig::v4_cmt();
+          cfg.lane_core.max_outstanding = depth;
+          vlt::workloads::OceanWorkload ocean(64, 4);
+          record(s, key, cfg, ocean, Variant::lane_threads(8));
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+
+  // 4. memory-bus width behind the L2 (cycles per 64B line) under mxm.
+  for (unsigned cpl : {1u, 2u, 4u, 8u}) {
+    std::string key = "membus/mxm/" + std::to_string(cpl);
+    benchmark::RegisterBenchmark(
+        key.c_str(),
+        [cpl, key](benchmark::State& s) {
+          MachineConfig cfg = MachineConfig::base();
+          cfg.mem_cycles_per_line = cpl;
+          auto w = vlt::workloads::make_workload("mxm");
+          record(s, key, cfg, *w, Variant::base());
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+  }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  auto& r = cycles_by_key();
+  std::printf("\n=== Ablation 1: vector chaining (slowdown when disabled) "
+              "===\n");
+  for (const std::string& app : vlt::workloads::vector_thread_apps())
+    std::printf("%-10s chaining-off/on cycle ratio: %.2f\n", app.c_str(),
+                bench::speedup(r["chain/" + app + "/off"],
+                               r["chain/" + app + "/on"]));
+
+  std::printf("\n=== Ablation 2: L2 bank count (speedup vs 1 bank) ===\n");
+  for (const std::string& app : {std::string("trfd"), std::string("mxm")}) {
+    std::printf("%-10s", app.c_str());
+    for (unsigned banks : {1u, 4u, 16u, 32u})
+      std::printf("  %u banks: %.2f", banks,
+                  bench::speedup(r["banks/" + app + "/1"],
+                                 r["banks/" + app + "/" +
+                                   std::to_string(banks)]));
+    std::printf("\n");
+  }
+
+  std::printf("\n=== Ablation 3: lane load-decoupling depth (ocean, 8 lane "
+              "threads; speedup vs depth 4) ===\n");
+  for (unsigned depth : {4u, 8u, 24u})
+    std::printf("depth %2u: %.2f\n", depth,
+                bench::speedup(r["laneq/ocean/4"],
+                               r["laneq/ocean/" + std::to_string(depth)]));
+
+  std::printf("\n=== Ablation 4: memory-bus occupancy per line (mxm; "
+              "slowdown vs 1 cycle/line) ===\n");
+  for (unsigned cpl : {1u, 2u, 4u, 8u})
+    std::printf("%u cycles/line: %.2f\n", cpl,
+                bench::speedup(r["membus/mxm/" + std::to_string(cpl)],
+                               r["membus/mxm/1"]));
+  return 0;
+}

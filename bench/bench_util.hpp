@@ -1,0 +1,57 @@
+// Shared helpers for the paper-reproduction benches. Each bench binary
+// regenerates one table or figure: it runs the required simulations inside
+// google-benchmark (one iteration per configuration — these are whole-
+// program simulations, not microbenchmarks) and prints the paper-style
+// rows at the end.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "machine/simulator.hpp"
+#include "workloads/workload.hpp"
+
+namespace vlt::bench {
+
+/// Cycle counts collected by the registered benchmarks, keyed by
+/// "workload/config/variant", consumed by the final report printer.
+inline std::map<std::string, Cycle>& results() {
+  static std::map<std::string, Cycle> r;
+  return r;
+}
+
+inline std::string key(const std::string& workload, const std::string& config,
+                       const std::string& variant) {
+  return workload + "/" + config + "/" + variant;
+}
+
+/// Runs one simulation, records its cycle count, and reports it as the
+/// benchmark's "cycles" counter. Aborts if verification fails — a bench
+/// must never report numbers from a functionally wrong run.
+inline void run_and_record(benchmark::State& state,
+                           const machine::MachineConfig& config,
+                           const workloads::Workload& workload,
+                           const workloads::Variant& variant) {
+  machine::RunResult result;
+  for (auto _ : state) {
+    result = machine::Simulator(config).run(workload, variant);
+  }
+  if (!result.verified) {
+    state.SkipWithError(("verification failed: " + result.verify_error).c_str());
+    return;
+  }
+  state.counters["cycles"] = static_cast<double>(result.cycles);
+  results()[key(workload.name(), config.name, variant.to_string())] =
+      result.cycles;
+}
+
+inline double speedup(Cycle baseline, Cycle current) {
+  return current == 0 ? 0.0
+                      : static_cast<double>(baseline) /
+                            static_cast<double>(current);
+}
+
+}  // namespace vlt::bench

@@ -1,0 +1,69 @@
+// Reproduces Figure 5: the scalar-unit design space for vector threads.
+// Speedup over the base vector processor for every SU organization:
+// multiplexed (SMT), replicated (CMP), heterogeneous (-h), and hybrid
+// (CMT). The paper's findings: V2-SMT ~ V2-CMP; V4-SMT trails because a
+// single 4-way SU cannot feed 4 threads; V4-CMT matches V4-CMP at a
+// fraction of the area; V4-CMP-h trails all other 4-thread points.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vlt;
+using bench::results;
+using machine::MachineConfig;
+using workloads::Variant;
+
+struct Point {
+  const char* config;
+  unsigned threads;
+};
+const Point kPoints[] = {{"base", 1},     {"V2-SMT", 2}, {"V2-CMP", 2},
+                         {"V4-SMT", 4},   {"V4-CMT", 4}, {"V4-CMP", 4},
+                         {"V4-CMP-h", 4}};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const std::string& app : vlt::workloads::vector_thread_apps())
+    for (const Point& pt : kPoints) {
+      std::string cfg = pt.config;
+      unsigned n = pt.threads;
+      benchmark::RegisterBenchmark(
+          ("fig5/" + app + "/" + cfg).c_str(),
+          [app, cfg, n](benchmark::State& s) {
+            auto w = vlt::workloads::make_workload(app);
+            Variant v = n == 1 ? Variant::base() : Variant::vector_threads(n);
+            bench::run_and_record(s, MachineConfig::by_name(cfg), *w, v);
+          })
+          ->Unit(benchmark::kMillisecond)
+          ->Iterations(1);
+    }
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Figure 5: VLT speedup over base, per SU organization "
+              "===\n%-10s", "app");
+  for (std::size_t i = 1; i < std::size(kPoints); ++i)
+    std::printf(" %9s", kPoints[i].config);
+  std::printf("\n");
+  for (const std::string& app : vlt::workloads::vector_thread_apps()) {
+    vlt::Cycle base = results()[bench::key(app, "base", "base")];
+    std::printf("%-10s", app.c_str());
+    for (std::size_t i = 1; i < std::size(kPoints); ++i) {
+      std::string variant =
+          "vlt-" + std::to_string(kPoints[i].threads) + "vt";
+      vlt::Cycle c = results()[bench::key(app, kPoints[i].config, variant)];
+      std::printf(" %9.2f", bench::speedup(base, c));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nPaper shape: V2-SMT ~ V2-CMP; V4-SMT < V4-CMT ~ V4-CMP; "
+              "V4-CMP-h trails the other\n4-thread configurations.\n");
+  return 0;
+}

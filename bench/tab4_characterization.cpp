@@ -1,0 +1,74 @@
+// Reproduces Table 4: characteristics of the applications studied, as
+// measured on the base vector processor — % vectorization (in operations),
+// average vector length, the most common vector lengths, and the fraction
+// of execution time VLT could accelerate ("% Opportunity").
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace vlt;
+using machine::MachineConfig;
+using machine::RunResult;
+using workloads::Variant;
+
+std::map<std::string, RunResult>& full_results() {
+  static std::map<std::string, RunResult> r;
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (const std::string& app : vlt::workloads::workload_names())
+    benchmark::RegisterBenchmark(
+        ("tab4/" + app).c_str(),
+        [app](benchmark::State& s) {
+          auto w = vlt::workloads::make_workload(app);
+          RunResult res;
+          for (auto _ : s)
+            res = machine::Simulator(MachineConfig::base())
+                      .run(*w, Variant::base());
+          if (!res.verified) {
+            s.SkipWithError(res.verify_error.c_str());
+            return;
+          }
+          s.counters["cycles"] = static_cast<double>(res.cycles);
+          full_results()[app] = res;
+        })
+        ->Unit(benchmark::kMillisecond)
+        ->Iterations(1);
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::printf("\n=== Table 4: application characteristics on the base "
+              "machine ===\n%-10s %8s %8s %-16s %8s\n", "app", "%Vect",
+              "AvgVL", "Common VLs", "%Opp");
+  for (const std::string& app : vlt::workloads::workload_names()) {
+    const RunResult& r = full_results()[app];
+    std::string common;
+    for (std::uint64_t vl : r.vl_hist.top_keys(3)) {
+      if (!common.empty()) common += ", ";
+      common += std::to_string(vl);
+    }
+    if (common.empty()) common = "-";
+    bool vlt_app = r.opportunity_cycles > 0;
+    std::printf("%-10s %7.1f%% %8.1f %-16s %7s\n", app.c_str(),
+                r.pct_vectorization(), r.avg_vl(), common.c_str(),
+                vlt_app ? (std::to_string(static_cast<int>(
+                               r.pct_opportunity() + 0.5)))
+                              .c_str()
+                        : "-");
+  }
+  std::printf("\nPaper values: mxm 96/64; sage 94/63.8; mpenc 76/11.2 "
+              "(8,16,64) 78%%; trfd 73/22.7 (4,20,30,35) 99%%;\nmultprec "
+              "71/25.2 (23,24,64) 81%%; bt 46/7.0 (5,10,12) 70%%; radix "
+              "6/62.3 90%%; ocean -/96%%; barnes -/98%%.\n");
+  return 0;
+}

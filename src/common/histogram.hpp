@@ -1,0 +1,59 @@
+// Integer-keyed histogram used for vector-length characterization (Table 4).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace vlt {
+
+class Histogram {
+ public:
+  void add(std::uint64_t key, std::uint64_t weight = 1) {
+    counts_[key] += weight;
+    total_weight_ += weight;
+    weighted_sum_ += key * weight;
+  }
+
+  std::uint64_t total_weight() const { return total_weight_; }
+
+  double mean() const {
+    return total_weight_ == 0
+               ? 0.0
+               : static_cast<double>(weighted_sum_) /
+                     static_cast<double>(total_weight_);
+  }
+
+  /// Keys sorted by descending weight (ties: ascending key); at most `n`.
+  std::vector<std::uint64_t> top_keys(std::size_t n) const {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> items(counts_.begin(),
+                                                               counts_.end());
+    std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    std::vector<std::uint64_t> keys;
+    for (std::size_t i = 0; i < items.size() && i < n; ++i)
+      keys.push_back(items[i].first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  const std::map<std::uint64_t, std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+  void clear() {
+    counts_.clear();
+    total_weight_ = 0;
+    weighted_sum_ = 0;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_weight_ = 0;
+  std::uint64_t weighted_sum_ = 0;
+};
+
+}  // namespace vlt

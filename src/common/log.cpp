@@ -1,0 +1,10 @@
+#include "common/log.hpp"
+
+namespace vlt {
+
+void fatal(const char* file, int line, const std::string& msg) {
+  std::fprintf(stderr, "vltsim fatal: %s:%d: %s\n", file, line, msg.c_str());
+  std::abort();
+}
+
+}  // namespace vlt

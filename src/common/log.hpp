@@ -1,0 +1,19 @@
+// Lightweight assertion and diagnostics helpers.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace vlt {
+
+[[noreturn]] void fatal(const char* file, int line, const std::string& msg);
+
+/// Simulator invariant check: always on (simulation bugs silently corrupt
+/// results, so these are not compiled out in release builds).
+#define VLT_CHECK(cond, msg)                                      \
+  do {                                                            \
+    if (!(cond)) ::vlt::fatal(__FILE__, __LINE__, (msg));         \
+  } while (0)
+
+}  // namespace vlt

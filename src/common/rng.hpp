@@ -1,0 +1,38 @@
+// Deterministic xorshift RNG. Workload data and layouts must be identical
+// across runs and machine configurations, so we never use std::random_device
+// or unseeded engines.
+#pragma once
+
+#include <cstdint>
+
+namespace vlt {
+
+class Xorshift64 {
+ public:
+  explicit Xorshift64(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+      : state_(seed ? seed : 1) {}
+
+  std::uint64_t next() {
+    std::uint64_t x = state_;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    state_ = x;
+    return x;
+  }
+
+  /// Uniform in [0, bound).
+  std::uint64_t next_below(std::uint64_t bound) {
+    return bound ? next() % bound : 0;
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace vlt

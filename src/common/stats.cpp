@@ -1,0 +1,22 @@
+#include "common/stats.hpp"
+
+#include <sstream>
+
+namespace vlt {
+
+std::uint64_t StatSet::get(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void StatSet::merge(const StatSet& other) {
+  for (const auto& [k, v] : other.counters_) counters_[k] += v;
+}
+
+std::string StatSet::to_string() const {
+  std::ostringstream os;
+  for (const auto& [k, v] : counters_) os << k << " = " << v << "\n";
+  return os.str();
+}
+
+}  // namespace vlt

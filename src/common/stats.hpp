@@ -1,0 +1,26 @@
+// Named-counter set used by pipeline components for bookkeeping that tests
+// and the characterization bench (Table 4) introspect.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace vlt {
+
+class StatSet {
+ public:
+  void inc(const std::string& name, std::uint64_t v = 1) { counters_[name] += v; }
+  std::uint64_t get(const std::string& name) const;
+  void merge(const StatSet& other);
+  void clear() { counters_.clear(); }
+  const std::map<std::string, std::uint64_t>& counters() const {
+    return counters_;
+  }
+  std::string to_string() const;
+
+ private:
+  std::map<std::string, std::uint64_t> counters_;
+};
+
+}  // namespace vlt

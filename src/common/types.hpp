@@ -1,0 +1,41 @@
+// Fundamental type aliases shared by every vltsim module.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+
+namespace vlt {
+
+/// Simulated clock cycle. The whole machine runs off a single clock domain,
+/// as in the Cray X1 model the paper simulates.
+using Cycle = std::uint64_t;
+
+/// Byte address in the simulated 64-bit flat address space.
+using Addr = std::uint64_t;
+
+/// Architectural or physical register index.
+using RegIdx = std::uint8_t;
+
+/// Hardware thread (context) identifier.
+using ThreadId = std::uint32_t;
+
+/// Raw 64-bit register value. Scalar registers hold either an int64 or a
+/// double; vector elements are 64-bit as in the Cray X1 ISA.
+using Bits = std::uint64_t;
+
+inline constexpr Cycle kNeverReady = ~Cycle{0};
+
+/// Maximum hardware vector length of the base machine (Cray X1: 64
+/// elements per vector register).
+inline constexpr unsigned kMaxVectorLength = 64;
+
+/// Number of architectural vector registers (Cray X1: 32).
+inline constexpr unsigned kNumVectorRegs = 32;
+
+/// Number of architectural scalar registers (A+S files collapsed into one).
+inline constexpr unsigned kNumScalarRegs = 64;
+
+/// Cache line size used throughout the memory hierarchy.
+inline constexpr unsigned kLineBytes = 64;
+
+}  // namespace vlt

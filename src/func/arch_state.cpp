@@ -1,0 +1,13 @@
+#include "func/arch_state.hpp"
+
+namespace vlt::func {
+
+void ArchState::reset() {
+  sregs_.fill(0);
+  for (auto& v : vregs_) v.fill(0);
+  mask_.reset();
+  vl_ = 0;
+  pc_ = 0;
+}
+
+}  // namespace vlt::func

@@ -1,0 +1,79 @@
+// Architectural register state of one hardware context.
+#pragma once
+
+#include <array>
+#include <bitset>
+#include <cstring>
+
+#include "common/types.hpp"
+
+namespace vlt::func {
+
+class ArchState {
+ public:
+  ArchState() { reset(); }
+
+  void reset();
+
+  // --- scalar registers ---
+  std::uint64_t sreg(RegIdx r) const { return sregs_[r]; }
+  void set_sreg(RegIdx r, std::uint64_t v) { sregs_[r] = v; }
+
+  std::int64_t sreg_i(RegIdx r) const {
+    return static_cast<std::int64_t>(sregs_[r]);
+  }
+  void set_sreg_i(RegIdx r, std::int64_t v) {
+    sregs_[r] = static_cast<std::uint64_t>(v);
+  }
+
+  double sreg_f(RegIdx r) const {
+    double v;
+    std::memcpy(&v, &sregs_[r], sizeof(v));
+    return v;
+  }
+  void set_sreg_f(RegIdx r, double v) {
+    std::memcpy(&sregs_[r], &v, sizeof(v));
+  }
+
+  // --- vector registers ---
+  std::uint64_t velem(RegIdx r, unsigned i) const { return vregs_[r][i]; }
+  void set_velem(RegIdx r, unsigned i, std::uint64_t v) { vregs_[r][i] = v; }
+
+  std::int64_t velem_i(RegIdx r, unsigned i) const {
+    return static_cast<std::int64_t>(vregs_[r][i]);
+  }
+  void set_velem_i(RegIdx r, unsigned i, std::int64_t v) {
+    vregs_[r][i] = static_cast<std::uint64_t>(v);
+  }
+
+  double velem_f(RegIdx r, unsigned i) const {
+    double v;
+    std::memcpy(&v, &vregs_[r][i], sizeof(v));
+    return v;
+  }
+  void set_velem_f(RegIdx r, unsigned i, double v) {
+    std::memcpy(&vregs_[r][i], &v, sizeof(v));
+  }
+
+  // --- vector length and mask ---
+  unsigned vl() const { return vl_; }
+  void set_vl(unsigned vl) { vl_ = vl; }
+
+  bool mask(unsigned i) const { return mask_[i]; }
+  void set_mask(unsigned i, bool v) { mask_[i] = v; }
+  const std::bitset<kMaxVectorLength>& mask_bits() const { return mask_; }
+
+  // --- program counter (instruction-slot index) ---
+  std::uint64_t pc() const { return pc_; }
+  void set_pc(std::uint64_t pc) { pc_ = pc; }
+
+ private:
+  std::array<std::uint64_t, kNumScalarRegs> sregs_;
+  std::array<std::array<std::uint64_t, kMaxVectorLength>, kNumVectorRegs>
+      vregs_;
+  std::bitset<kMaxVectorLength> mask_;
+  unsigned vl_ = 0;
+  std::uint64_t pc_ = 0;
+};
+
+}  // namespace vlt::func

@@ -1,0 +1,492 @@
+#include "func/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/log.hpp"
+
+namespace vlt::func {
+
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+double as_f64(std::uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+ExecResult Executor::execute(const Instruction& inst, ArchState& st,
+                             const ExecContext& ctx,
+                             std::vector<Addr>& addr_out) {
+  addr_out.clear();
+  ExecResult res;
+  res.next_pc = st.pc() + 1;
+
+  auto s_i = [&](RegIdx r) { return st.sreg_i(r); };
+  auto s_u = [&](RegIdx r) { return st.sreg(r); };
+  auto s_f = [&](RegIdx r) { return st.sreg_f(r); };
+
+  // Second vector-arithmetic operand: vector element or scalar (.vs form).
+  auto src2_u = [&](const Instruction& in, unsigned i) -> std::uint64_t {
+    return in.src2_scalar() ? st.sreg(in.rs2) : st.velem(in.rs2, i);
+  };
+  auto src2_i = [&](const Instruction& in, unsigned i) -> std::int64_t {
+    return static_cast<std::int64_t>(src2_u(in, i));
+  };
+  auto src2_f = [&](const Instruction& in, unsigned i) -> double {
+    return as_f64(src2_u(in, i));
+  };
+
+  // Element-wise vector op with mask support.
+  const unsigned vl = st.vl();
+  auto for_each_elem = [&](auto&& body) {
+    for (unsigned i = 0; i < vl; ++i) {
+      if (inst.masked() && !st.mask(i)) continue;
+      body(i);
+    }
+    res.elems = vl;
+  };
+
+  switch (inst.op) {
+    case Opcode::kNop:
+      break;
+    case Opcode::kHalt:
+      res.halted = true;
+      break;
+    case Opcode::kLi:
+      st.set_sreg_i(inst.rd, static_cast<std::int64_t>(inst.imm));
+      break;
+    case Opcode::kLiHi:
+      st.set_sreg(inst.rd, st.sreg(inst.rd) |
+                               (static_cast<std::uint64_t>(
+                                    static_cast<std::uint32_t>(inst.imm))
+                                << 32));
+      break;
+    case Opcode::kMov:
+      st.set_sreg(inst.rd, s_u(inst.rs1));
+      break;
+    case Opcode::kAdd:
+      st.set_sreg_i(inst.rd, s_i(inst.rs1) + s_i(inst.rs2));
+      break;
+    case Opcode::kAddi:
+      st.set_sreg_i(inst.rd, s_i(inst.rs1) + inst.imm);
+      break;
+    case Opcode::kSub:
+      st.set_sreg_i(inst.rd, s_i(inst.rs1) - s_i(inst.rs2));
+      break;
+    case Opcode::kMul:
+      st.set_sreg_i(inst.rd, s_i(inst.rs1) * s_i(inst.rs2));
+      break;
+    case Opcode::kDiv:
+      st.set_sreg_i(inst.rd,
+                    s_i(inst.rs2) == 0 ? 0 : s_i(inst.rs1) / s_i(inst.rs2));
+      break;
+    case Opcode::kRem:
+      st.set_sreg_i(inst.rd,
+                    s_i(inst.rs2) == 0 ? 0 : s_i(inst.rs1) % s_i(inst.rs2));
+      break;
+    case Opcode::kAnd:
+      st.set_sreg(inst.rd, s_u(inst.rs1) & s_u(inst.rs2));
+      break;
+    case Opcode::kAndi:
+      st.set_sreg(inst.rd, s_u(inst.rs1) &
+                               static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(inst.imm)));
+      break;
+    case Opcode::kOr:
+      st.set_sreg(inst.rd, s_u(inst.rs1) | s_u(inst.rs2));
+      break;
+    case Opcode::kOri:
+      st.set_sreg(inst.rd, s_u(inst.rs1) |
+                               static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(inst.imm)));
+      break;
+    case Opcode::kXor:
+      st.set_sreg(inst.rd, s_u(inst.rs1) ^ s_u(inst.rs2));
+      break;
+    case Opcode::kXori:
+      st.set_sreg(inst.rd, s_u(inst.rs1) ^
+                               static_cast<std::uint64_t>(
+                                   static_cast<std::int64_t>(inst.imm)));
+      break;
+    case Opcode::kSll:
+      st.set_sreg(inst.rd, s_u(inst.rs1) << (s_u(inst.rs2) & 63));
+      break;
+    case Opcode::kSlli:
+      st.set_sreg(inst.rd, s_u(inst.rs1) << (inst.imm & 63));
+      break;
+    case Opcode::kSrl:
+      st.set_sreg(inst.rd, s_u(inst.rs1) >> (s_u(inst.rs2) & 63));
+      break;
+    case Opcode::kSrli:
+      st.set_sreg(inst.rd, s_u(inst.rs1) >> (inst.imm & 63));
+      break;
+    case Opcode::kSra:
+      st.set_sreg_i(inst.rd, s_i(inst.rs1) >> (s_u(inst.rs2) & 63));
+      break;
+    case Opcode::kSlt:
+      st.set_sreg_i(inst.rd, s_i(inst.rs1) < s_i(inst.rs2) ? 1 : 0);
+      break;
+    case Opcode::kSlti:
+      st.set_sreg_i(inst.rd, s_i(inst.rs1) < inst.imm ? 1 : 0);
+      break;
+    case Opcode::kSeq:
+      st.set_sreg_i(inst.rd, s_i(inst.rs1) == s_i(inst.rs2) ? 1 : 0);
+      break;
+
+    case Opcode::kFadd:
+      st.set_sreg_f(inst.rd, s_f(inst.rs1) + s_f(inst.rs2));
+      break;
+    case Opcode::kFsub:
+      st.set_sreg_f(inst.rd, s_f(inst.rs1) - s_f(inst.rs2));
+      break;
+    case Opcode::kFmul:
+      st.set_sreg_f(inst.rd, s_f(inst.rs1) * s_f(inst.rs2));
+      break;
+    case Opcode::kFdiv:
+      st.set_sreg_f(inst.rd, s_f(inst.rs1) / s_f(inst.rs2));
+      break;
+    case Opcode::kFsqrt:
+      st.set_sreg_f(inst.rd, std::sqrt(s_f(inst.rs1)));
+      break;
+    case Opcode::kFabs:
+      st.set_sreg_f(inst.rd, std::fabs(s_f(inst.rs1)));
+      break;
+    case Opcode::kFneg:
+      st.set_sreg_f(inst.rd, -s_f(inst.rs1));
+      break;
+    case Opcode::kFmin:
+      st.set_sreg_f(inst.rd, std::min(s_f(inst.rs1), s_f(inst.rs2)));
+      break;
+    case Opcode::kFmax:
+      st.set_sreg_f(inst.rd, std::max(s_f(inst.rs1), s_f(inst.rs2)));
+      break;
+    case Opcode::kFcvtIF:
+      st.set_sreg_f(inst.rd, static_cast<double>(s_i(inst.rs1)));
+      break;
+    case Opcode::kFcvtFI:
+      st.set_sreg_i(inst.rd, static_cast<std::int64_t>(s_f(inst.rs1)));
+      break;
+    case Opcode::kFlt:
+      st.set_sreg_i(inst.rd, s_f(inst.rs1) < s_f(inst.rs2) ? 1 : 0);
+      break;
+    case Opcode::kFle:
+      st.set_sreg_i(inst.rd, s_f(inst.rs1) <= s_f(inst.rs2) ? 1 : 0);
+      break;
+
+    case Opcode::kLoad: {
+      Addr a = static_cast<Addr>(s_i(inst.rs1) + inst.imm);
+      addr_out.push_back(a);
+      st.set_sreg(inst.rd, mem_->read64(a));
+      break;
+    }
+    case Opcode::kStore: {
+      Addr a = static_cast<Addr>(s_i(inst.rs1) + inst.imm);
+      addr_out.push_back(a);
+      mem_->write64(a, s_u(inst.rs2));
+      break;
+    }
+
+    case Opcode::kBeq:
+      res.branch_taken = s_i(inst.rs1) == s_i(inst.rs2);
+      break;
+    case Opcode::kBne:
+      res.branch_taken = s_i(inst.rs1) != s_i(inst.rs2);
+      break;
+    case Opcode::kBlt:
+      res.branch_taken = s_i(inst.rs1) < s_i(inst.rs2);
+      break;
+    case Opcode::kBge:
+      res.branch_taken = s_i(inst.rs1) >= s_i(inst.rs2);
+      break;
+    case Opcode::kJump:
+      res.branch_taken = true;
+      break;
+    case Opcode::kJal:
+      st.set_sreg(inst.rd, st.pc() + 1);
+      res.branch_taken = true;
+      break;
+    case Opcode::kJr:
+      res.branch_taken = true;
+      res.next_pc = s_u(inst.rs1);
+      break;
+
+    case Opcode::kTid:
+      st.set_sreg(inst.rd, ctx.tid);
+      break;
+    case Opcode::kNthreads:
+      st.set_sreg(inst.rd, ctx.nthreads);
+      break;
+    case Opcode::kBarrier:
+      res.is_barrier = true;
+      break;
+    case Opcode::kMembar:
+      break;  // ordering is a timing property; no functional effect
+    case Opcode::kSetvl: {
+      std::int64_t req = s_i(inst.rs1);
+      unsigned new_vl =
+          req <= 0 ? 0
+                   : std::min<std::uint64_t>(static_cast<std::uint64_t>(req),
+                                             ctx.max_vl);
+      st.set_vl(new_vl);
+      st.set_sreg(inst.rd, new_vl);
+      break;
+    }
+    case Opcode::kSetvlMax:
+      st.set_vl(ctx.max_vl);
+      st.set_sreg(inst.rd, ctx.max_vl);
+      break;
+
+    // --- vector integer ---
+    case Opcode::kVadd:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_i(inst.rd, i, st.velem_i(inst.rs1, i) + src2_i(inst, i));
+      });
+      break;
+    case Opcode::kVsub:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_i(inst.rd, i, st.velem_i(inst.rs1, i) - src2_i(inst, i));
+      });
+      break;
+    case Opcode::kVmul:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_i(inst.rd, i, st.velem_i(inst.rs1, i) * src2_i(inst, i));
+      });
+      break;
+    case Opcode::kVand:
+      for_each_elem([&](unsigned i) {
+        st.set_velem(inst.rd, i, st.velem(inst.rs1, i) & src2_u(inst, i));
+      });
+      break;
+    case Opcode::kVor:
+      for_each_elem([&](unsigned i) {
+        st.set_velem(inst.rd, i, st.velem(inst.rs1, i) | src2_u(inst, i));
+      });
+      break;
+    case Opcode::kVxor:
+      for_each_elem([&](unsigned i) {
+        st.set_velem(inst.rd, i, st.velem(inst.rs1, i) ^ src2_u(inst, i));
+      });
+      break;
+    case Opcode::kVsll:
+      for_each_elem([&](unsigned i) {
+        st.set_velem(inst.rd, i, st.velem(inst.rs1, i)
+                                     << (src2_u(inst, i) & 63));
+      });
+      break;
+    case Opcode::kVsrl:
+      for_each_elem([&](unsigned i) {
+        st.set_velem(inst.rd, i, st.velem(inst.rs1, i) >> (src2_u(inst, i) & 63));
+      });
+      break;
+    case Opcode::kVmin:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_i(inst.rd, i,
+                       std::min(st.velem_i(inst.rs1, i), src2_i(inst, i)));
+      });
+      break;
+    case Opcode::kVmax:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_i(inst.rd, i,
+                       std::max(st.velem_i(inst.rs1, i), src2_i(inst, i)));
+      });
+      break;
+    case Opcode::kVabsdiff:
+      for_each_elem([&](unsigned i) {
+        std::int64_t d = st.velem_i(inst.rs1, i) - src2_i(inst, i);
+        st.set_velem_i(inst.rd, i, d < 0 ? -d : d);
+      });
+      break;
+
+    // --- vector floating point ---
+    case Opcode::kVfadd:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_f(inst.rd, i, st.velem_f(inst.rs1, i) + src2_f(inst, i));
+      });
+      break;
+    case Opcode::kVfsub:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_f(inst.rd, i, st.velem_f(inst.rs1, i) - src2_f(inst, i));
+      });
+      break;
+    case Opcode::kVfmul:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_f(inst.rd, i, st.velem_f(inst.rs1, i) * src2_f(inst, i));
+      });
+      break;
+    case Opcode::kVfdiv:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_f(inst.rd, i, st.velem_f(inst.rs1, i) / src2_f(inst, i));
+      });
+      break;
+    case Opcode::kVfma:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_f(inst.rd, i,
+                       st.velem_f(inst.rd, i) +
+                           st.velem_f(inst.rs1, i) * src2_f(inst, i));
+      });
+      break;
+    case Opcode::kVfsqrt:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_f(inst.rd, i, std::sqrt(st.velem_f(inst.rs1, i)));
+      });
+      break;
+    case Opcode::kVfmin:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_f(inst.rd, i,
+                       std::min(st.velem_f(inst.rs1, i), src2_f(inst, i)));
+      });
+      break;
+    case Opcode::kVfmax:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_f(inst.rd, i,
+                       std::max(st.velem_f(inst.rs1, i), src2_f(inst, i)));
+      });
+      break;
+    case Opcode::kVfabs:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_f(inst.rd, i, std::fabs(st.velem_f(inst.rs1, i)));
+      });
+      break;
+    case Opcode::kVfneg:
+      for_each_elem([&](unsigned i) {
+        st.set_velem_f(inst.rd, i, -st.velem_f(inst.rs1, i));
+      });
+      break;
+
+    // --- compares and merge ---
+    case Opcode::kVcmplt:
+      for (unsigned i = 0; i < vl; ++i)
+        st.set_mask(i, st.velem_i(inst.rs1, i) < src2_i(inst, i));
+      res.elems = vl;
+      break;
+    case Opcode::kVcmpeq:
+      for (unsigned i = 0; i < vl; ++i)
+        st.set_mask(i, st.velem_i(inst.rs1, i) == src2_i(inst, i));
+      res.elems = vl;
+      break;
+    case Opcode::kVfcmplt:
+      for (unsigned i = 0; i < vl; ++i)
+        st.set_mask(i, st.velem_f(inst.rs1, i) < src2_f(inst, i));
+      res.elems = vl;
+      break;
+    case Opcode::kVmerge:
+      for (unsigned i = 0; i < vl; ++i)
+        st.set_velem(inst.rd, i,
+                     st.mask(i) ? st.velem(inst.rs1, i) : src2_u(inst, i));
+      res.elems = vl;
+      break;
+
+    // --- misc ---
+    case Opcode::kVmov:
+      for_each_elem([&](unsigned i) {
+        st.set_velem(inst.rd, i, st.velem(inst.rs1, i));
+      });
+      break;
+    case Opcode::kVbcast:
+      for_each_elem([&](unsigned i) { st.set_velem(inst.rd, i, s_u(inst.rs1)); });
+      break;
+    case Opcode::kViota:
+      for_each_elem([&](unsigned i) { st.set_velem(inst.rd, i, i); });
+      break;
+
+    // --- reductions ---
+    case Opcode::kVredsum: {
+      std::int64_t acc = 0;
+      for (unsigned i = 0; i < vl; ++i) acc += st.velem_i(inst.rs1, i);
+      st.set_sreg_i(inst.rd, acc);
+      res.elems = vl;
+      break;
+    }
+    case Opcode::kVfredsum: {
+      double acc = 0.0;
+      for (unsigned i = 0; i < vl; ++i) acc += st.velem_f(inst.rs1, i);
+      st.set_sreg_f(inst.rd, acc);
+      res.elems = vl;
+      break;
+    }
+    case Opcode::kVredmin: {
+      std::int64_t acc = std::numeric_limits<std::int64_t>::max();
+      for (unsigned i = 0; i < vl; ++i)
+        acc = std::min(acc, st.velem_i(inst.rs1, i));
+      st.set_sreg_i(inst.rd, acc);
+      res.elems = vl;
+      break;
+    }
+    case Opcode::kVredmax: {
+      std::int64_t acc = std::numeric_limits<std::int64_t>::min();
+      for (unsigned i = 0; i < vl; ++i)
+        acc = std::max(acc, st.velem_i(inst.rs1, i));
+      st.set_sreg_i(inst.rd, acc);
+      res.elems = vl;
+      break;
+    }
+
+    // --- vector memory ---
+    case Opcode::kVload:
+      for (unsigned i = 0; i < vl; ++i) {
+        if (inst.masked() && !st.mask(i)) continue;
+        Addr a = static_cast<Addr>(s_i(inst.rs1) + inst.imm) + 8 * i;
+        addr_out.push_back(a);
+        st.set_velem(inst.rd, i, mem_->read64(a));
+      }
+      res.elems = vl;
+      break;
+    case Opcode::kVstore:
+      for (unsigned i = 0; i < vl; ++i) {
+        if (inst.masked() && !st.mask(i)) continue;
+        Addr a = static_cast<Addr>(s_i(inst.rs1) + inst.imm) + 8 * i;
+        addr_out.push_back(a);
+        mem_->write64(a, st.velem(inst.rd, i));
+      }
+      res.elems = vl;
+      break;
+    case Opcode::kVloads:
+      for (unsigned i = 0; i < vl; ++i) {
+        Addr a = static_cast<Addr>(s_i(inst.rs1) + s_i(inst.rs2) * i);
+        addr_out.push_back(a);
+        st.set_velem(inst.rd, i, mem_->read64(a));
+      }
+      res.elems = vl;
+      break;
+    case Opcode::kVstores:
+      for (unsigned i = 0; i < vl; ++i) {
+        Addr a = static_cast<Addr>(s_i(inst.rs1) + s_i(inst.rs2) * i);
+        addr_out.push_back(a);
+        mem_->write64(a, st.velem(inst.rd, i));
+      }
+      res.elems = vl;
+      break;
+    case Opcode::kVgather:
+      for (unsigned i = 0; i < vl; ++i) {
+        Addr a = static_cast<Addr>(s_i(inst.rs1) + st.velem_i(inst.rs2, i));
+        addr_out.push_back(a);
+        st.set_velem(inst.rd, i, mem_->read64(a));
+      }
+      res.elems = vl;
+      break;
+    case Opcode::kVscatter:
+      for (unsigned i = 0; i < vl; ++i) {
+        Addr a = static_cast<Addr>(s_i(inst.rs1) + st.velem_i(inst.rs2, i));
+        addr_out.push_back(a);
+        mem_->write64(a, st.velem(inst.rd, i));
+      }
+      res.elems = vl;
+      break;
+
+    case Opcode::kNumOpcodes:
+      VLT_CHECK(false, "invalid opcode");
+  }
+
+  if (res.branch_taken && inst.op != Opcode::kJr)
+    res.next_pc = st.pc() + 1 + inst.imm;
+  return res;
+}
+
+}  // namespace vlt::func

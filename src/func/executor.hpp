@@ -1,0 +1,46 @@
+// Instruction semantics. The timing pipelines call execute() exactly once
+// per instruction, in program order per context ("execute at dispatch");
+// the returned effective addresses feed the memory-timing models.
+#pragma once
+
+#include <vector>
+
+#include "func/arch_state.hpp"
+#include "func/memory.hpp"
+#include "isa/opcode.hpp"
+
+namespace vlt::func {
+
+/// Per-context execution environment: thread identity and the hardware
+/// maximum vector length of the lane partition the context owns.
+struct ExecContext {
+  ThreadId tid = 0;
+  unsigned nthreads = 1;
+  unsigned max_vl = kMaxVectorLength;
+};
+
+struct ExecResult {
+  std::uint64_t next_pc = 0;
+  bool branch_taken = false;
+  bool halted = false;
+  bool is_barrier = false;
+  /// Number of vector elements processed (VL at execution; 0 for scalars).
+  unsigned elems = 0;
+};
+
+class Executor {
+ public:
+  explicit Executor(FuncMemory& mem) : mem_(&mem) {}
+
+  /// Executes `inst` at `state.pc()`, updating registers and memory.
+  /// Effective addresses of memory operations (one per element for vector
+  /// memory ops) are appended to `addr_out`, which is cleared first.
+  /// Does NOT advance state.pc(); the caller owns control flow.
+  ExecResult execute(const isa::Instruction& inst, ArchState& state,
+                     const ExecContext& ctx, std::vector<Addr>& addr_out);
+
+ private:
+  FuncMemory* mem_;
+};
+
+}  // namespace vlt::func

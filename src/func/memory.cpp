@@ -1,0 +1,56 @@
+#include "func/memory.hpp"
+
+namespace vlt::func {
+
+FuncMemory::Page& FuncMemory::page_for(Addr addr) {
+  Addr key = addr / kPageBytes;
+  auto& slot = pages_[key];
+  if (!slot) {
+    slot = std::make_unique<Page>();
+    slot->fill(0);
+  }
+  return *slot;
+}
+
+const FuncMemory::Page* FuncMemory::find_page(Addr addr) const {
+  auto it = pages_.find(addr / kPageBytes);
+  return it == pages_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t FuncMemory::read64(Addr addr) const {
+  VLT_CHECK((addr & 7) == 0, "unaligned 64-bit read");
+  const Page* p = find_page(addr);
+  return p ? (*p)[(addr % kPageBytes) / 8] : 0;
+}
+
+void FuncMemory::write64(Addr addr, std::uint64_t value) {
+  VLT_CHECK((addr & 7) == 0, "unaligned 64-bit write");
+  page_for(addr)[(addr % kPageBytes) / 8] = value;
+}
+
+void FuncMemory::write_block_f64(Addr addr, std::span<const double> values) {
+  for (std::size_t i = 0; i < values.size(); ++i)
+    write_f64(addr + 8 * i, values[i]);
+}
+
+void FuncMemory::write_block_i64(Addr addr,
+                                 std::span<const std::int64_t> values) {
+  for (std::size_t i = 0; i < values.size(); ++i)
+    write_i64(addr + 8 * i, values[i]);
+}
+
+std::vector<double> FuncMemory::read_block_f64(Addr addr,
+                                               std::size_t count) const {
+  std::vector<double> out(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = read_f64(addr + 8 * i);
+  return out;
+}
+
+std::vector<std::int64_t> FuncMemory::read_block_i64(Addr addr,
+                                                     std::size_t count) const {
+  std::vector<std::int64_t> out(count);
+  for (std::size_t i = 0; i < count; ++i) out[i] = read_i64(addr + 8 * i);
+  return out;
+}
+
+}  // namespace vlt::func

@@ -1,0 +1,78 @@
+// Sparse functional memory: the architectural contents of the simulated
+// 64-bit flat address space, shared by all hardware contexts of a machine.
+#pragma once
+
+#include <array>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/types.hpp"
+
+namespace vlt::func {
+
+class FuncMemory {
+ public:
+  static constexpr Addr kPageBytes = 4096;
+
+  std::uint64_t read64(Addr addr) const;
+  void write64(Addr addr, std::uint64_t value);
+
+  double read_f64(Addr addr) const {
+    std::uint64_t bits = read64(addr);
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  void write_f64(Addr addr, double value) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &value, sizeof(bits));
+    write64(addr, bits);
+  }
+
+  std::int64_t read_i64(Addr addr) const {
+    return static_cast<std::int64_t>(read64(addr));
+  }
+  void write_i64(Addr addr, std::int64_t value) {
+    write64(addr, static_cast<std::uint64_t>(value));
+  }
+
+  /// Bulk helpers for workload setup and golden verification.
+  void write_block_f64(Addr addr, std::span<const double> values);
+  void write_block_i64(Addr addr, std::span<const std::int64_t> values);
+  std::vector<double> read_block_f64(Addr addr, std::size_t count) const;
+  std::vector<std::int64_t> read_block_i64(Addr addr, std::size_t count) const;
+
+  std::size_t allocated_pages() const { return pages_.size(); }
+
+ private:
+  using Page = std::array<std::uint64_t, kPageBytes / 8>;
+
+  Page& page_for(Addr addr);
+  const Page* find_page(Addr addr) const;
+
+  std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+};
+
+/// Simple bump allocator over the simulated address space, used by
+/// workloads to lay out their data segments deterministically.
+class AddressAllocator {
+ public:
+  explicit AddressAllocator(Addr base = 0x1000) : next_(base) {}
+
+  /// Returns an 64-byte (cache-line) aligned block of `count` 8-byte words.
+  Addr alloc_words(std::size_t count) {
+    Addr a = next_;
+    next_ += count * 8;
+    next_ = (next_ + kLineBytes - 1) & ~Addr{kLineBytes - 1};
+    return a;
+  }
+
+ private:
+  Addr next_;
+};
+
+}  // namespace vlt::func

@@ -1,0 +1,71 @@
+#include "isa/disasm.hpp"
+
+#include <sstream>
+
+namespace vlt::isa {
+
+namespace {
+
+void append_reg(std::ostringstream& os, bool vector_file, RegIdx r) {
+  os << (vector_file ? 'v' : 's') << static_cast<unsigned>(r);
+}
+
+}  // namespace
+
+std::string disassemble(const Instruction& inst) {
+  const OpInfo& info = op_info(inst.op);
+  std::ostringstream os;
+  os << info.name;
+  if (is_vector(inst.op) && inst.src2_scalar()) os << ".vs";
+
+  const bool vec = is_vector(inst.op);
+  bool first = true;
+  auto sep = [&] {
+    os << (first ? " " : ", ");
+    first = false;
+  };
+
+  RegIdx sdst, vdst;
+  if (vector_dst_reg(inst, vdst)) {
+    sep();
+    append_reg(os, true, vdst);
+  } else if (scalar_dst_reg(inst, sdst)) {
+    sep();
+    append_reg(os, false, sdst);
+  } else if (vec && is_store(inst.op)) {
+    sep();
+    append_reg(os, true, inst.rd);  // store data
+  }
+
+  if (info.traits & kTraitReadsRs1) {
+    sep();
+    // rs1 of vector memory ops and vbcast is a scalar base/operand.
+    bool rs1_vector = vec && info.kind != OpKind::kVecMem &&
+                      inst.op != Opcode::kVbcast;
+    append_reg(os, rs1_vector, inst.rs1);
+  }
+  if (info.traits & kTraitReadsRs2) {
+    sep();
+    bool rs2_vector = vec && !inst.src2_scalar() &&
+                      inst.op != Opcode::kVloads && inst.op != Opcode::kVstores;
+    if (inst.op == Opcode::kVgather || inst.op == Opcode::kVscatter)
+      rs2_vector = true;
+    append_reg(os, rs2_vector, inst.rs2);
+  }
+  if (inst.imm != 0 || inst.op == Opcode::kLi || inst.op == Opcode::kLiHi ||
+      is_branch(inst.op)) {
+    sep();
+    os << inst.imm;
+  }
+  if (inst.masked()) os << " (masked)";
+  return os.str();
+}
+
+std::string disassemble(const Program& prog) {
+  std::ostringstream os;
+  for (std::size_t pc = 0; pc < prog.size(); ++pc)
+    os << pc << ":\t" << disassemble(prog.code()[pc]) << "\n";
+  return os.str();
+}
+
+}  // namespace vlt::isa

@@ -1,0 +1,17 @@
+// Disassembler for debugging and test diagnostics.
+#pragma once
+
+#include <string>
+
+#include "isa/opcode.hpp"
+#include "isa/program.hpp"
+
+namespace vlt::isa {
+
+/// One-line rendering, e.g. "vadd.vs v3, v1, s7 (masked)".
+std::string disassemble(const Instruction& inst);
+
+/// Whole-program listing with pc prefixes.
+std::string disassemble(const Program& prog);
+
+}  // namespace vlt::isa

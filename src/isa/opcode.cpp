@@ -1,0 +1,230 @@
+#include "isa/opcode.hpp"
+
+#include "common/log.hpp"
+
+namespace vlt::isa {
+
+namespace {
+
+constexpr std::uint8_t kR1 = kTraitReadsRs1;
+constexpr std::uint8_t kR2 = kTraitReadsRs2;
+constexpr std::uint8_t kWD = kTraitWritesRd;
+constexpr std::uint8_t kLD = kTraitIsLoad;
+constexpr std::uint8_t kST = kTraitIsStore;
+constexpr std::uint8_t kRD = kTraitReadsRdAsSrc;
+constexpr std::uint8_t kWM = kTraitWritesMask;
+constexpr std::uint8_t kRM = kTraitReadsMask;
+
+using K = OpKind;
+using F = FuClass;
+
+const OpInfo kTable[kNumOpcodes] = {
+    /* kNop      */ {"nop", F::kNone, 1, K::kScalarAlu, 0},
+    /* kHalt     */ {"halt", F::kNone, 1, K::kSystem, 0},
+    /* kLi       */ {"li", F::kSIntAlu, 1, K::kScalarAlu, kWD},
+    /* kLiHi     */ {"lihi", F::kSIntAlu, 1, K::kScalarAlu, kWD | kRD},
+    /* kMov      */ {"mov", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kWD},
+    /* kAdd      */ {"add", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kAddi     */ {"addi", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kWD},
+    /* kSub      */ {"sub", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kMul      */ {"mul", F::kSIntAlu, 4, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kDiv      */ {"div", F::kSIntAlu, 12, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kRem      */ {"rem", F::kSIntAlu, 12, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kAnd      */ {"and", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kAndi     */ {"andi", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kWD},
+    /* kOr       */ {"or", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kOri      */ {"ori", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kWD},
+    /* kXor      */ {"xor", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kXori     */ {"xori", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kWD},
+    /* kSll      */ {"sll", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kSlli     */ {"slli", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kWD},
+    /* kSrl      */ {"srl", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kSrli     */ {"srli", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kWD},
+    /* kSra      */ {"sra", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kSlt      */ {"slt", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kSlti     */ {"slti", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kWD},
+    /* kSeq      */ {"seq", F::kSIntAlu, 1, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kFadd     */ {"fadd", F::kSFpu, 4, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kFsub     */ {"fsub", F::kSFpu, 4, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kFmul     */ {"fmul", F::kSFpu, 4, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kFdiv     */ {"fdiv", F::kSFpu, 16, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kFsqrt    */ {"fsqrt", F::kSFpu, 20, K::kScalarAlu, kR1 | kWD},
+    /* kFabs     */ {"fabs", F::kSFpu, 2, K::kScalarAlu, kR1 | kWD},
+    /* kFneg     */ {"fneg", F::kSFpu, 2, K::kScalarAlu, kR1 | kWD},
+    /* kFmin     */ {"fmin", F::kSFpu, 2, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kFmax     */ {"fmax", F::kSFpu, 2, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kFcvtIF   */ {"fcvt.i.f", F::kSFpu, 3, K::kScalarAlu, kR1 | kWD},
+    /* kFcvtFI   */ {"fcvt.f.i", F::kSFpu, 3, K::kScalarAlu, kR1 | kWD},
+    /* kFlt      */ {"flt", F::kSFpu, 2, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kFle      */ {"fle", F::kSFpu, 2, K::kScalarAlu, kR1 | kR2 | kWD},
+    /* kLoad     */ {"load", F::kSMem, 1, K::kScalarMem, kR1 | kWD | kLD},
+    /* kStore    */ {"store", F::kSMem, 1, K::kScalarMem, kR1 | kR2 | kST},
+    /* kBeq      */ {"beq", F::kBranch, 1, K::kBranch, kR1 | kR2},
+    /* kBne      */ {"bne", F::kBranch, 1, K::kBranch, kR1 | kR2},
+    /* kBlt      */ {"blt", F::kBranch, 1, K::kBranch, kR1 | kR2},
+    /* kBge      */ {"bge", F::kBranch, 1, K::kBranch, kR1 | kR2},
+    /* kJump     */ {"jump", F::kBranch, 1, K::kBranch, 0},
+    /* kJal      */ {"jal", F::kBranch, 1, K::kBranch, kWD},
+    /* kJr       */ {"jr", F::kBranch, 1, K::kBranch, kR1},
+    /* kTid      */ {"tid", F::kSIntAlu, 1, K::kSystem, kWD},
+    /* kNthreads */ {"nthreads", F::kSIntAlu, 1, K::kSystem, kWD},
+    /* kBarrier  */ {"barrier", F::kNone, 1, K::kSystem, 0},
+    /* kMembar   */ {"membar", F::kNone, 1, K::kSystem, 0},
+    /* kSetvl    */ {"setvl", F::kSIntAlu, 1, K::kSystem, kR1 | kWD},
+    /* kSetvlMax */ {"setvlmax", F::kSIntAlu, 1, K::kSystem, kWD},
+    /* kVadd     */ {"vadd", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVsub     */ {"vsub", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVmul     */ {"vmul", F::kVAlu1, 4, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVand     */ {"vand", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVor      */ {"vor", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVxor     */ {"vxor", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVsll     */ {"vsll", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVsrl     */ {"vsrl", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVmin     */ {"vmin", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVmax     */ {"vmax", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVabsdiff */ {"vabsdiff", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVfadd    */ {"vfadd", F::kVAlu0, 4, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVfsub    */ {"vfsub", F::kVAlu0, 4, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVfmul    */ {"vfmul", F::kVAlu1, 4, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVfdiv    */ {"vfdiv", F::kVAlu2, 8, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVfma     */ {"vfma", F::kVAlu1, 4, K::kVecArith, kR1 | kR2 | kWD | kRD},
+    /* kVfsqrt   */ {"vfsqrt", F::kVAlu2, 12, K::kVecArith, kR1 | kWD},
+    /* kVfmin    */ {"vfmin", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVfmax    */ {"vfmax", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWD},
+    /* kVfabs    */ {"vfabs", F::kVAlu0, 2, K::kVecArith, kR1 | kWD},
+    /* kVfneg    */ {"vfneg", F::kVAlu0, 2, K::kVecArith, kR1 | kWD},
+    /* kVcmplt   */ {"vcmplt", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWM},
+    /* kVcmpeq   */ {"vcmpeq", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWM},
+    /* kVfcmplt  */ {"vfcmplt", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWM},
+    /* kVmerge   */ {"vmerge", F::kVAlu0, 2, K::kVecArith, kR1 | kR2 | kWD | kRM},
+    /* kVmov     */ {"vmov", F::kVAlu0, 2, K::kVecArith, kR1 | kWD},
+    /* kVbcast   */ {"vbcast", F::kVAlu0, 2, K::kVecArith, kWD},
+    /* kViota    */ {"viota", F::kVAlu0, 2, K::kVecArith, kWD},
+    /* kVredsum  */ {"vredsum", F::kVAlu2, 6, K::kVecRed, kR1 | kWD},
+    /* kVfredsum */ {"vfredsum", F::kVAlu2, 8, K::kVecRed, kR1 | kWD},
+    /* kVredmin  */ {"vredmin", F::kVAlu2, 6, K::kVecRed, kR1 | kWD},
+    /* kVredmax  */ {"vredmax", F::kVAlu2, 6, K::kVecRed, kR1 | kWD},
+    /* kVload    */ {"vload", F::kVMem, 1, K::kVecMem, kR1 | kWD | kLD},
+    /* kVstore   */ {"vstore", F::kVMem, 1, K::kVecMem, kR1 | kST | kRD},
+    /* kVloads   */ {"vloads", F::kVMem, 1, K::kVecMem, kR1 | kR2 | kWD | kLD},
+    /* kVstores  */ {"vstores", F::kVMem, 1, K::kVecMem, kR1 | kR2 | kST | kRD},
+    /* kVgather  */ {"vgather", F::kVMem, 1, K::kVecMem, kR1 | kR2 | kWD | kLD},
+    /* kVscatter */ {"vscatter", F::kVMem, 1, K::kVecMem, kR1 | kR2 | kST | kRD},
+};
+
+}  // namespace
+
+const OpInfo& op_info(Opcode op) {
+  auto idx = static_cast<std::size_t>(op);
+  VLT_CHECK(idx < kNumOpcodes, "invalid opcode");
+  return kTable[idx];
+}
+
+RegList scalar_src_regs(const Instruction& inst) {
+  const OpInfo& info = op_info(inst.op);
+  RegList out;
+  if (!is_vector(inst.op)) {
+    if (info.traits & kTraitReadsRs1) out.push(inst.rs1);
+    if (info.traits & kTraitReadsRs2) out.push(inst.rs2);
+    if (info.traits & kTraitReadsRdAsSrc) out.push(inst.rd);  // kLiHi
+    return out;
+  }
+  // Vector instructions read scalar registers in three places: memory base
+  // addresses, strides, and .vs-form operands / broadcasts.
+  switch (inst.op) {
+    case Opcode::kVload:
+    case Opcode::kVstore:
+      out.push(inst.rs1);
+      break;
+    case Opcode::kVloads:
+    case Opcode::kVstores:
+      out.push(inst.rs1);
+      out.push(inst.rs2);
+      break;
+    case Opcode::kVgather:
+    case Opcode::kVscatter:
+      out.push(inst.rs1);  // base is scalar, offsets (rs2) are a vector
+      break;
+    case Opcode::kVbcast:
+      out.push(inst.rs1);
+      break;
+    default:
+      if (inst.src2_scalar() && (info.traits & kTraitReadsRs2))
+        out.push(inst.rs2);
+      break;
+  }
+  return out;
+}
+
+bool scalar_dst_reg(const Instruction& inst, RegIdx& out) {
+  const OpInfo& info = op_info(inst.op);
+  if (!(info.traits & kTraitWritesRd)) return false;
+  if (!is_vector(inst.op)) {
+    out = inst.rd;
+    return true;
+  }
+  if (info.kind == OpKind::kVecRed) {  // reductions write a scalar register
+    out = inst.rd;
+    return true;
+  }
+  return false;
+}
+
+RegList vector_src_regs(const Instruction& inst) {
+  RegList out;
+  if (!is_vector(inst.op)) return out;
+  const OpInfo& info = op_info(inst.op);
+  switch (inst.op) {
+    case Opcode::kVload:
+    case Opcode::kVloads:
+      break;  // only scalar sources
+    case Opcode::kVstore:
+    case Opcode::kVstores:
+      out.push(inst.rd);  // store data
+      break;
+    case Opcode::kVgather:
+      out.push(inst.rs2);  // offsets
+      break;
+    case Opcode::kVscatter:
+      out.push(inst.rs2);  // offsets
+      out.push(inst.rd);   // store data
+      break;
+    case Opcode::kVbcast:
+    case Opcode::kViota:
+      break;
+    default:
+      if (info.traits & kTraitReadsRs1) out.push(inst.rs1);
+      if ((info.traits & kTraitReadsRs2) && !inst.src2_scalar())
+        out.push(inst.rs2);
+      if (info.traits & kTraitReadsRdAsSrc) out.push(inst.rd);  // vfma
+      break;
+  }
+  // A masked partial write reads the old destination contents.
+  RegIdx vd;
+  if (inst.masked() && vector_dst_reg(inst, vd)) {
+    bool already = false;
+    for (unsigned i = 0; i < out.n; ++i) already |= (out.r[i] == vd);
+    if (!already) out.push(vd);
+  }
+  return out;
+}
+
+bool vector_dst_reg(const Instruction& inst, RegIdx& out) {
+  if (!is_vector(inst.op)) return false;
+  const OpInfo& info = op_info(inst.op);
+  if (info.kind == OpKind::kVecRed) return false;
+  if (!(info.traits & kTraitWritesRd)) return false;
+  if (is_store(inst.op)) return false;
+  out = inst.rd;
+  return true;
+}
+
+bool reads_mask(const Instruction& inst) {
+  return inst.masked() || (op_info(inst.op).traits & kTraitReadsMask) != 0;
+}
+
+bool writes_mask(const Instruction& inst) {
+  return (op_info(inst.op).traits & kTraitWritesMask) != 0;
+}
+
+}  // namespace vlt::isa

@@ -1,0 +1,184 @@
+// The vltsim instruction set: a compact Cray X1-inspired ISA.
+//
+// Scalar registers are 64-bit and hold either an int64 or a double (the
+// opcode decides the interpretation, collapsing the X1's A/S files into
+// one). Vector registers hold up to kMaxVectorLength 64-bit elements; the
+// active length is the architectural VL register, set by SETVL and clamped
+// to the hardware maximum of the current lane partition (64 / #threads
+// under VLT, per §3.2 of the paper).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace vlt::isa {
+
+enum class Opcode : std::uint8_t {
+  // --- scalar integer ---
+  kNop,
+  kHalt,
+  kLi,     // rd <- sext(imm)
+  kLiHi,   // rd <- rd | (imm << 32)   (pair with kLi for 64-bit constants)
+  kMov,    // rd <- rs1
+  kAdd, kAddi, kSub, kMul, kDiv, kRem,
+  kAnd, kAndi, kOr, kOri, kXor, kXori,
+  kSll, kSlli, kSrl, kSrli, kSra,
+  kSlt, kSlti, kSeq,
+  // --- scalar floating point (double) ---
+  kFadd, kFsub, kFmul, kFdiv, kFsqrt, kFabs, kFneg, kFmin, kFmax,
+  kFcvtIF,  // rd <- double(int64(rs1))
+  kFcvtFI,  // rd <- int64(trunc(double(rs1)))
+  kFlt, kFle,  // rd <- fp compare as 0/1
+  // --- scalar memory ---
+  kLoad,   // rd <- mem64[rs1 + imm]
+  kStore,  // mem64[rs1 + imm] <- rs2
+  // --- control flow (imm is a signed instruction-slot offset from pc+1) ---
+  kBeq, kBne, kBlt, kBge,
+  kJump,
+  kJal,    // rd <- pc + 1; pc <- pc + 1 + imm
+  kJr,     // pc <- rs1
+  // --- system / threading ---
+  kTid,       // rd <- hardware thread index within the current phase
+  kNthreads,  // rd <- number of threads in the current phase
+  kBarrier,   // rendezvous of all threads in the phase
+  kMembar,    // orders vector and scalar memory accesses
+  kSetvl,     // vl <- min(rs1, MAXVL); rd <- vl
+  kSetvlMax,  // vl <- MAXVL; rd <- vl
+  // --- vector integer arithmetic (FU class VALU0 except mul) ---
+  kVadd, kVsub, kVmul,
+  kVand, kVor, kVxor, kVsll, kVsrl,
+  kVmin, kVmax,
+  kVabsdiff,  // vd[i] <- |v1[i] - v2[i]|   (motion-estimation SAD support)
+  // --- vector floating point ---
+  kVfadd, kVfsub, kVfmul, kVfdiv, kVfma,  // vfma: vd += v1 * v2
+  kVfsqrt, kVfmin, kVfmax, kVfabs, kVfneg,
+  // --- vector compares (write the mask register) and merge ---
+  kVcmplt, kVcmpeq, kVfcmplt,
+  kVmerge,  // vd[i] <- mask[i] ? v1[i] : v2[i]
+  // --- vector misc ---
+  kVmov,    // vd <- v1
+  kVbcast,  // vd[i] <- s[rs1]
+  kViota,   // vd[i] <- i
+  // --- vector reductions (scalar destination) ---
+  kVredsum, kVfredsum, kVredmin, kVredmax,
+  // --- vector memory ---
+  // Unit stride:    addr_i = s[rs1] + imm + 8*i
+  // Strided:        addr_i = s[rs1] + s[rs2]*i        (stride in bytes)
+  // Gather/scatter: addr_i = s[rs1] + v[rs2][i]       (byte offsets)
+  // For all vector stores the data source is v[rd].
+  kVload, kVstore, kVloads, kVstores, kVgather, kVscatter,
+
+  kNumOpcodes,
+};
+
+inline constexpr std::size_t kNumOpcodes =
+    static_cast<std::size_t>(Opcode::kNumOpcodes);
+
+/// Functional-unit classes. The vector unit has three arithmetic datapaths
+/// per lane (paper §2): VALU0 add/logical/compare/merge, VALU1 multiply/FMA,
+/// VALU2 divide/sqrt/reductions — an intentionally imbalanced mix, as §7.1
+/// of the paper observes for real machines.
+enum class FuClass : std::uint8_t {
+  kNone,      // nop/halt/control handled by the front end
+  kSIntAlu,   // scalar integer
+  kSFpu,      // scalar floating point
+  kSMem,      // scalar load/store port
+  kBranch,    // branch resolution
+  kVAlu0,     // vector add/logical/compare/merge
+  kVAlu1,     // vector multiply / FMA
+  kVAlu2,     // vector divide / sqrt / reductions
+  kVMem,      // vector load/store port
+};
+
+enum class OpKind : std::uint8_t {
+  kScalarAlu,
+  kScalarMem,
+  kBranch,
+  kSystem,
+  kVecArith,
+  kVecRed,
+  kVecMem,
+};
+
+/// Trait bits for OpInfo::traits.
+inline constexpr std::uint8_t kTraitReadsRs1 = 1u << 0;
+inline constexpr std::uint8_t kTraitReadsRs2 = 1u << 1;
+inline constexpr std::uint8_t kTraitWritesRd = 1u << 2;
+inline constexpr std::uint8_t kTraitIsLoad = 1u << 3;
+inline constexpr std::uint8_t kTraitIsStore = 1u << 4;
+inline constexpr std::uint8_t kTraitReadsRdAsSrc = 1u << 5;  // fma, vector stores
+inline constexpr std::uint8_t kTraitWritesMask = 1u << 6;
+inline constexpr std::uint8_t kTraitReadsMask = 1u << 7;     // vmerge
+
+struct OpInfo {
+  const char* name;
+  FuClass fu;
+  std::uint8_t latency;  // scalar execute latency / vector pipeline depth
+  OpKind kind;
+  std::uint8_t traits;
+};
+
+const OpInfo& op_info(Opcode op);
+
+inline bool is_vector(Opcode op) {
+  OpKind k = op_info(op).kind;
+  return k == OpKind::kVecArith || k == OpKind::kVecRed ||
+         k == OpKind::kVecMem;
+}
+inline bool is_branch(Opcode op) { return op_info(op).kind == OpKind::kBranch; }
+inline bool is_mem(Opcode op) {
+  return (op_info(op).traits & (kTraitIsLoad | kTraitIsStore)) != 0;
+}
+inline bool is_load(Opcode op) {
+  return (op_info(op).traits & kTraitIsLoad) != 0;
+}
+inline bool is_store(Opcode op) {
+  return (op_info(op).traits & kTraitIsStore) != 0;
+}
+
+/// Instruction flag bits.
+inline constexpr std::uint8_t kFlagSrc2Scalar = 1u << 0;  // .vs operand form
+inline constexpr std::uint8_t kFlagMasked = 1u << 1;      // write under mask
+
+/// One decoded instruction. PCs index instruction slots; for I-cache
+/// modeling a slot occupies 8 bytes at text_base + 8*pc.
+struct Instruction {
+  Opcode op = Opcode::kNop;
+  RegIdx rd = 0;
+  RegIdx rs1 = 0;
+  RegIdx rs2 = 0;
+  std::int32_t imm = 0;
+  std::uint8_t flags = 0;
+
+  bool src2_scalar() const { return (flags & kFlagSrc2Scalar) != 0; }
+  bool masked() const { return (flags & kFlagMasked) != 0; }
+};
+
+/// Up-to-3-entry register list used for dependence analysis.
+struct RegList {
+  std::array<RegIdx, 3> r{};
+  std::uint8_t n = 0;
+  void push(RegIdx idx) { r[n++] = idx; }
+};
+
+/// Scalar registers read by `inst` (includes scalar bases/strides of vector
+/// memory ops and scalar operands of .vs-form vector ops).
+RegList scalar_src_regs(const Instruction& inst);
+
+/// Returns true and sets `out` if `inst` writes a scalar register
+/// (scalar ops, SETVL, vector reductions).
+bool scalar_dst_reg(const Instruction& inst, RegIdx& out);
+
+/// Vector registers read by `inst` (includes rd for FMA, vector stores and
+/// masked partial writes).
+RegList vector_src_regs(const Instruction& inst);
+
+/// Returns true and sets `out` if `inst` writes a vector register.
+bool vector_dst_reg(const Instruction& inst, RegIdx& out);
+
+bool reads_mask(const Instruction& inst);
+bool writes_mask(const Instruction& inst);
+
+}  // namespace vlt::isa

@@ -1,0 +1,77 @@
+#include "isa/program.hpp"
+
+#include <cstring>
+
+namespace vlt::isa {
+
+Label ProgramBuilder::label() {
+  label_pos_.push_back(-1);
+  return Label(label_pos_.size() - 1);
+}
+
+void ProgramBuilder::bind(Label l) {
+  VLT_CHECK(l.valid_, "binding a default-constructed label");
+  VLT_CHECK(label_pos_[l.id_] < 0, "label bound twice");
+  label_pos_[l.id_] = static_cast<std::int64_t>(code_.size());
+}
+
+void ProgramBuilder::emit(Instruction inst) {
+  VLT_CHECK(!built_, "emit after build()");
+  code_.push_back(inst);
+}
+
+void ProgramBuilder::li(RegIdx rd, std::int64_t imm) {
+  auto lo = static_cast<std::int32_t>(imm);
+  emit({Opcode::kLi, rd, 0, 0, lo, 0});
+  // kLi sign-extends; patch the upper half when it is not already implied.
+  if (static_cast<std::int64_t>(lo) != imm) {
+    if (lo < 0) {
+      // Clear the ones the sign extension smeared into the upper half
+      // before ORing the real bits in.
+      emit({Opcode::kSlli, rd, rd, 0, 32, 0});
+      emit({Opcode::kSrli, rd, rd, 0, 32, 0});
+    }
+    auto hi = static_cast<std::int32_t>(static_cast<std::uint64_t>(imm) >> 32);
+    emit({Opcode::kLiHi, rd, 0, 0, hi, 0});
+  }
+}
+
+void ProgramBuilder::li_f64(RegIdx rd, double value) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  auto lo = static_cast<std::int32_t>(bits & 0xFFFFFFFFu);
+  emit({Opcode::kLi, rd, 0, 0, lo, 0});
+  std::uint64_t lo_ext = static_cast<std::uint64_t>(static_cast<std::int64_t>(lo));
+  if (lo_ext != bits) {
+    // kLiHi ORs the upper half in. When kLi sign-extended ones into the
+    // upper half, clear them first via an explicit mask.
+    if (lo < 0) {
+      emit({Opcode::kSlli, rd, rd, 0, 32, 0});
+      emit({Opcode::kSrli, rd, rd, 0, 32, 0});
+    }
+    auto hi = static_cast<std::int32_t>(bits >> 32);
+    emit({Opcode::kLiHi, rd, 0, 0, hi, 0});
+  }
+}
+
+void ProgramBuilder::emit_branch(Opcode op, RegIdx a, RegIdx b, Label l,
+                                 RegIdx rd) {
+  VLT_CHECK(l.valid_, "branch to default-constructed label");
+  fixups_.push_back({code_.size(), l.id_});
+  emit({op, rd, a, b, 0, 0});
+}
+
+Program ProgramBuilder::build() {
+  VLT_CHECK(!built_, "build() called twice");
+  built_ = true;
+  for (const Fixup& f : fixups_) {
+    std::int64_t target = label_pos_[f.label_id];
+    VLT_CHECK(target >= 0, "unbound label in " + name_);
+    // Taken branch: pc <- pc + 1 + imm.
+    code_[f.inst_index].imm = static_cast<std::int32_t>(
+        target - static_cast<std::int64_t>(f.inst_index) - 1);
+  }
+  return Program(std::move(name_), std::move(code_), text_base_);
+}
+
+}  // namespace vlt::isa

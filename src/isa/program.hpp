@@ -1,0 +1,206 @@
+// Program container and the embedded assembler (ProgramBuilder).
+//
+// Workloads are written directly against ProgramBuilder — the moral
+// equivalent of the compiler-generated Cray X1 assembly the paper's
+// simulator executes. PCs index instruction slots; each slot occupies
+// 8 bytes of the text segment for I-cache modeling.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "isa/opcode.hpp"
+
+namespace vlt::isa {
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::string name, std::vector<Instruction> code, Addr text_base)
+      : name_(std::move(name)), code_(std::move(code)), text_base_(text_base) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Instruction>& code() const { return code_; }
+  std::size_t size() const { return code_.size(); }
+  bool empty() const { return code_.empty(); }
+
+  const Instruction& at(std::uint64_t pc) const {
+    VLT_CHECK(pc < code_.size(), "pc out of range in " + name_);
+    return code_[pc];
+  }
+
+  /// Byte address of an instruction slot (for I-cache modeling).
+  Addr inst_addr(std::uint64_t pc) const { return text_base_ + 8 * pc; }
+
+ private:
+  std::string name_;
+  std::vector<Instruction> code_;
+  Addr text_base_ = 0x10000000;
+};
+
+/// Forward-referencable branch target.
+class Label {
+ public:
+  Label() = default;
+
+ private:
+  friend class ProgramBuilder;
+  explicit Label(std::size_t id) : id_(id), valid_(true) {}
+  std::size_t id_ = 0;
+  bool valid_ = false;
+};
+
+/// Tiny assembler with labels and 64-bit constant synthesis.
+///
+///   ProgramBuilder b("kernel");
+///   auto loop = b.label();
+///   b.li(r_i, 0);
+///   b.bind(loop);
+///   ...
+///   b.addi(r_i, r_i, 1);
+///   b.blt(r_i, r_n, loop);
+///   b.halt();
+///   Program p = b.build();
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name, Addr text_base = 0x10000000)
+      : name_(std::move(name)), text_base_(text_base) {}
+
+  // --- labels ---
+  Label label();
+  void bind(Label l);
+
+  // --- raw emission ---
+  void emit(Instruction inst);
+  std::size_t pc() const { return code_.size(); }
+
+  // --- scalar integer ---
+  void nop() { emit({Opcode::kNop, 0, 0, 0, 0, 0}); }
+  void halt() { emit({Opcode::kHalt, 0, 0, 0, 0, 0}); }
+  void li(RegIdx rd, std::int64_t imm);    // synthesizes kLi [+ kLiHi]
+  void li_f64(RegIdx rd, double value);    // bit pattern of a double
+  void mov(RegIdx rd, RegIdx rs1) { emit({Opcode::kMov, rd, rs1, 0, 0, 0}); }
+  void add(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kAdd, rd, a, b, 0, 0}); }
+  void addi(RegIdx rd, RegIdx a, std::int32_t i) { emit({Opcode::kAddi, rd, a, 0, i, 0}); }
+  void sub(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kSub, rd, a, b, 0, 0}); }
+  void mul(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kMul, rd, a, b, 0, 0}); }
+  void div(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kDiv, rd, a, b, 0, 0}); }
+  void rem(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kRem, rd, a, b, 0, 0}); }
+  void and_(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kAnd, rd, a, b, 0, 0}); }
+  void andi(RegIdx rd, RegIdx a, std::int32_t i) { emit({Opcode::kAndi, rd, a, 0, i, 0}); }
+  void or_(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kOr, rd, a, b, 0, 0}); }
+  void ori(RegIdx rd, RegIdx a, std::int32_t i) { emit({Opcode::kOri, rd, a, 0, i, 0}); }
+  void xor_(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kXor, rd, a, b, 0, 0}); }
+  void xori(RegIdx rd, RegIdx a, std::int32_t i) { emit({Opcode::kXori, rd, a, 0, i, 0}); }
+  void sll(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kSll, rd, a, b, 0, 0}); }
+  void slli(RegIdx rd, RegIdx a, std::int32_t i) { emit({Opcode::kSlli, rd, a, 0, i, 0}); }
+  void srl(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kSrl, rd, a, b, 0, 0}); }
+  void srli(RegIdx rd, RegIdx a, std::int32_t i) { emit({Opcode::kSrli, rd, a, 0, i, 0}); }
+  void sra(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kSra, rd, a, b, 0, 0}); }
+  void slt(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kSlt, rd, a, b, 0, 0}); }
+  void slti(RegIdx rd, RegIdx a, std::int32_t i) { emit({Opcode::kSlti, rd, a, 0, i, 0}); }
+  void seq(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kSeq, rd, a, b, 0, 0}); }
+
+  // --- scalar floating point ---
+  void fadd(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kFadd, rd, a, b, 0, 0}); }
+  void fsub(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kFsub, rd, a, b, 0, 0}); }
+  void fmul(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kFmul, rd, a, b, 0, 0}); }
+  void fdiv(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kFdiv, rd, a, b, 0, 0}); }
+  void fsqrt(RegIdx rd, RegIdx a) { emit({Opcode::kFsqrt, rd, a, 0, 0, 0}); }
+  void fabs_(RegIdx rd, RegIdx a) { emit({Opcode::kFabs, rd, a, 0, 0, 0}); }
+  void fneg(RegIdx rd, RegIdx a) { emit({Opcode::kFneg, rd, a, 0, 0, 0}); }
+  void fmin(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kFmin, rd, a, b, 0, 0}); }
+  void fmax(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kFmax, rd, a, b, 0, 0}); }
+  void fcvt_i_f(RegIdx rd, RegIdx a) { emit({Opcode::kFcvtIF, rd, a, 0, 0, 0}); }
+  void fcvt_f_i(RegIdx rd, RegIdx a) { emit({Opcode::kFcvtFI, rd, a, 0, 0, 0}); }
+  void flt(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kFlt, rd, a, b, 0, 0}); }
+  void fle(RegIdx rd, RegIdx a, RegIdx b) { emit({Opcode::kFle, rd, a, b, 0, 0}); }
+
+  // --- scalar memory ---
+  void load(RegIdx rd, RegIdx base, std::int32_t off = 0) { emit({Opcode::kLoad, rd, base, 0, off, 0}); }
+  void store(RegIdx base, RegIdx val, std::int32_t off = 0) { emit({Opcode::kStore, 0, base, val, off, 0}); }
+
+  // --- control flow ---
+  void beq(RegIdx a, RegIdx b, Label l) { emit_branch(Opcode::kBeq, a, b, l); }
+  void bne(RegIdx a, RegIdx b, Label l) { emit_branch(Opcode::kBne, a, b, l); }
+  void blt(RegIdx a, RegIdx b, Label l) { emit_branch(Opcode::kBlt, a, b, l); }
+  void bge(RegIdx a, RegIdx b, Label l) { emit_branch(Opcode::kBge, a, b, l); }
+  void jump(Label l) { emit_branch(Opcode::kJump, 0, 0, l); }
+  void jal(RegIdx rd, Label l) { emit_branch(Opcode::kJal, 0, 0, l, rd); }
+  void jr(RegIdx rs1) { emit({Opcode::kJr, 0, rs1, 0, 0, 0}); }
+
+  // --- system / threading ---
+  void tid(RegIdx rd) { emit({Opcode::kTid, rd, 0, 0, 0, 0}); }
+  void nthreads(RegIdx rd) { emit({Opcode::kNthreads, rd, 0, 0, 0, 0}); }
+  void barrier() { emit({Opcode::kBarrier, 0, 0, 0, 0, 0}); }
+  void membar() { emit({Opcode::kMembar, 0, 0, 0, 0, 0}); }
+  void setvl(RegIdx rd, RegIdx rs1) { emit({Opcode::kSetvl, rd, rs1, 0, 0, 0}); }
+  void setvlmax(RegIdx rd) { emit({Opcode::kSetvlMax, rd, 0, 0, 0, 0}); }
+
+  // --- vector arithmetic; `vs` variants take a scalar rs2 operand ---
+  void vadd(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVadd, vd, v1, v2, 0, fl}); }
+  void vsub(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVsub, vd, v1, v2, 0, fl}); }
+  void vmul(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVmul, vd, v1, v2, 0, fl}); }
+  void vand(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVand, vd, v1, v2, 0, fl}); }
+  void vor(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVor, vd, v1, v2, 0, fl}); }
+  void vxor(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVxor, vd, v1, v2, 0, fl}); }
+  void vsll(RegIdx vd, RegIdx v1, RegIdx s2) { emit({Opcode::kVsll, vd, v1, s2, 0, kFlagSrc2Scalar}); }
+  void vsrl(RegIdx vd, RegIdx v1, RegIdx s2) { emit({Opcode::kVsrl, vd, v1, s2, 0, kFlagSrc2Scalar}); }
+  void vmin(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVmin, vd, v1, v2, 0, fl}); }
+  void vmax(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVmax, vd, v1, v2, 0, fl}); }
+  void vabsdiff(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVabsdiff, vd, v1, v2, 0, fl}); }
+  void vfadd(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVfadd, vd, v1, v2, 0, fl}); }
+  void vfsub(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVfsub, vd, v1, v2, 0, fl}); }
+  void vfmul(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVfmul, vd, v1, v2, 0, fl}); }
+  void vfdiv(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVfdiv, vd, v1, v2, 0, fl}); }
+  void vfma(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVfma, vd, v1, v2, 0, fl}); }
+  void vfsqrt(RegIdx vd, RegIdx v1) { emit({Opcode::kVfsqrt, vd, v1, 0, 0, 0}); }
+  void vfmin(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVfmin, vd, v1, v2, 0, fl}); }
+  void vfmax(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVfmax, vd, v1, v2, 0, fl}); }
+  void vfabs(RegIdx vd, RegIdx v1) { emit({Opcode::kVfabs, vd, v1, 0, 0, 0}); }
+  void vfneg(RegIdx vd, RegIdx v1) { emit({Opcode::kVfneg, vd, v1, 0, 0, 0}); }
+  void vcmplt(RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVcmplt, 0, v1, v2, 0, fl}); }
+  void vcmpeq(RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVcmpeq, 0, v1, v2, 0, fl}); }
+  void vfcmplt(RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVfcmplt, 0, v1, v2, 0, fl}); }
+  void vmerge(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVmerge, vd, v1, v2, 0, fl}); }
+  void vmov(RegIdx vd, RegIdx v1) { emit({Opcode::kVmov, vd, v1, 0, 0, 0}); }
+  void vbcast(RegIdx vd, RegIdx s1) { emit({Opcode::kVbcast, vd, s1, 0, 0, 0}); }
+  void viota(RegIdx vd) { emit({Opcode::kViota, vd, 0, 0, 0, 0}); }
+
+  // --- vector reductions (scalar destination) ---
+  void vredsum(RegIdx sd, RegIdx v1) { emit({Opcode::kVredsum, sd, v1, 0, 0, 0}); }
+  void vfredsum(RegIdx sd, RegIdx v1) { emit({Opcode::kVfredsum, sd, v1, 0, 0, 0}); }
+  void vredmin(RegIdx sd, RegIdx v1) { emit({Opcode::kVredmin, sd, v1, 0, 0, 0}); }
+  void vredmax(RegIdx sd, RegIdx v1) { emit({Opcode::kVredmax, sd, v1, 0, 0, 0}); }
+
+  // --- vector memory ---
+  void vload(RegIdx vd, RegIdx base, std::int32_t off = 0, std::uint8_t fl = 0) { emit({Opcode::kVload, vd, base, 0, off, fl}); }
+  void vstore(RegIdx vdata, RegIdx base, std::int32_t off = 0, std::uint8_t fl = 0) { emit({Opcode::kVstore, vdata, base, 0, off, fl}); }
+  void vloads(RegIdx vd, RegIdx base, RegIdx stride) { emit({Opcode::kVloads, vd, base, stride, 0, 0}); }
+  void vstores(RegIdx vdata, RegIdx base, RegIdx stride) { emit({Opcode::kVstores, vdata, base, stride, 0, 0}); }
+  void vgather(RegIdx vd, RegIdx base, RegIdx voff) { emit({Opcode::kVgather, vd, base, voff, 0, 0}); }
+  void vscatter(RegIdx vdata, RegIdx base, RegIdx voff) { emit({Opcode::kVscatter, vdata, base, voff, 0, 0}); }
+
+  /// Resolve all labels and produce the program. The builder may not be
+  /// reused afterwards.
+  Program build();
+
+ private:
+  void emit_branch(Opcode op, RegIdx a, RegIdx b, Label l, RegIdx rd = 0);
+
+  struct Fixup {
+    std::size_t inst_index;
+    std::size_t label_id;
+  };
+
+  std::string name_;
+  Addr text_base_;
+  std::vector<Instruction> code_;
+  std::vector<std::int64_t> label_pos_;  // -1 until bound
+  std::vector<Fixup> fixups_;
+  bool built_ = false;
+};
+
+}  // namespace vlt::isa

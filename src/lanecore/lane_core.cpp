@@ -1,0 +1,183 @@
+#include "lanecore/lane_core.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+#include "isa/disasm.hpp"
+
+namespace vlt::lanecore {
+
+using isa::Instruction;
+using isa::Opcode;
+
+LaneCore::LaneCore(const LaneCoreParams& p, func::FuncMemory& memory,
+                   mem::L2Cache& l2, vltctl::BarrierController& barrier)
+    : params_(p),
+      executor_(memory),
+      l2_(&l2),
+      barrier_(&barrier),
+      icache_(p.icache_size, p.icache_ways) {}
+
+void LaneCore::start(const isa::Program& program, ThreadId tid,
+                     unsigned nthreads, Cycle now) {
+  active_ = true;
+  done_ = false;
+  prog_ = &program;
+  arch_.reset();
+  ectx_ = func::ExecContext{tid, nthreads, /*max_vl=*/0};
+  pc_ = 0;
+  stall_until_ = now;
+  cur_line_ = ~Addr{0};
+  reg_ready_.fill(0);
+  outstanding_.clear();
+  store_queue_.clear();
+  waiting_barrier_ = false;
+  icache_.invalidate_all();  // cold lane I-cache at phase start
+}
+
+bool LaneCore::scoreboard_ready(const Instruction& inst, Cycle now) const {
+  isa::RegList srcs = isa::scalar_src_regs(inst);
+  for (unsigned i = 0; i < srcs.n; ++i)
+    if (reg_ready_[srcs.r[i]] > now) return false;
+  RegIdx rd;
+  if (isa::scalar_dst_reg(inst, rd) && reg_ready_[rd] > now)
+    return false;  // WAW: classic scoreboard stall
+  return true;
+}
+
+bool LaneCore::issue_one(Cycle now) {
+  const Instruction& inst = prog_->at(pc_);
+  VLT_CHECK(!isa::is_vector(inst.op),
+            "vector instruction reached a lane scalar core");
+
+  // Prune completed memory operations from the decoupling queues.
+  while (!outstanding_.empty() && outstanding_.front() <= now)
+    outstanding_.pop_front();
+  while (!store_queue_.empty() && store_queue_.front() <= now)
+    store_queue_.pop_front();
+
+  if (waiting_barrier_) {
+    Cycle rel = barrier_->release_time(barrier_gen_);
+    if (rel == kNeverReady || rel > now) return false;
+    waiting_barrier_ = false;
+    ++committed_;
+    ++pc_;
+    return true;
+  }
+
+  if (inst.op == Opcode::kBarrier || inst.op == Opcode::kMembar) {
+    if (!outstanding_.empty() || !store_queue_.empty())
+      return false;  // drain memory first
+    if (inst.op == Opcode::kMembar) {
+      ++committed_;
+      ++pc_;
+      return true;
+    }
+    barrier_gen_ = barrier_->arrive(now);
+    waiting_barrier_ = true;
+    stats_.inc("barriers");
+    return false;
+  }
+
+  if (!scoreboard_ready(inst, now)) {
+    stats_.inc("stall_scoreboard");
+    return false;
+  }
+
+  const isa::OpInfo& info = isa::op_info(inst.op);
+  const bool mem_op = isa::is_mem(inst.op);
+  const bool store_op = mem_op && isa::is_store(inst.op);
+  if (mem_op) {
+    if (mem_used_ >= params_.mem_ports) {
+      stats_.inc("stall_mem_port");
+      return false;
+    }
+    if (store_op) {
+      if (store_queue_.size() >= params_.store_queue) {
+        stats_.inc("stall_store_queue");
+        return false;
+      }
+    } else if (outstanding_.size() >= params_.max_outstanding) {
+      stats_.inc("stall_load_queue");
+      return false;
+    }
+  } else if (info.fu != isa::FuClass::kNone) {
+    if (arith_used_ >= params_.arith_units) {
+      stats_.inc("stall_arith");
+      return false;
+    }
+  }
+
+  // I-cache, line granularity; misses are forwarded through the SU.
+  Addr iaddr = prog_->inst_addr(pc_);
+  Addr line = iaddr / kLineBytes;
+  if (line != cur_line_) {
+    cur_line_ = line;
+    if (!icache_.access(iaddr, false).hit) {
+      stats_.inc("lane_imisses");
+      stall_until_ =
+          l2_->access(iaddr, false, now + 1) + params_.imiss_forward_latency;
+      return false;
+    }
+  }
+
+  arch_.set_pc(pc_);
+  func::ExecResult res = executor_.execute(inst, arch_, ectx_, addr_scratch_);
+  ++committed_;
+  static const bool trace = std::getenv("VLT_LANE_TRACE") != nullptr;
+  if (trace && ectx_.tid == 1 && committed_ > 2000 && committed_ < 2100)
+    std::fprintf(stderr, "[lane%u] t=%llu pc=%llu %s\n", ectx_.tid,
+                 (unsigned long long)now, (unsigned long long)pc_,
+                 isa::disassemble(inst).c_str());
+
+  if (mem_op) {
+    ++mem_used_;
+    Addr a = addr_scratch_.at(0);
+    Cycle done = l2_->access(a, store_op, now + 1) + 1;
+    if (store_op) {
+      store_queue_.push_back(done);
+    } else {
+      outstanding_.push_back(done);
+      RegIdx rd;
+      if (isa::scalar_dst_reg(inst, rd)) reg_ready_[rd] = done;
+    }
+  } else {
+    if (info.fu != isa::FuClass::kNone) ++arith_used_;
+    RegIdx rd;
+    if (isa::scalar_dst_reg(inst, rd)) reg_ready_[rd] = now + info.latency;
+  }
+
+  if (res.halted) {
+    done_ = true;
+    pc_ = res.next_pc;
+    return true;
+  }
+  if (res.branch_taken) {
+    stall_until_ = now + 1 + params_.taken_branch_penalty;
+    pc_ = res.next_pc;
+    return true;
+  }
+  pc_ = res.next_pc;
+  return true;
+}
+
+void LaneCore::tick(Cycle now) {
+  if (!active_ || done_) return;
+  if (now < stall_until_) return;
+
+  if (now != cur_cycle_) {
+    cur_cycle_ = now;
+    issued_this_cycle_ = 0;
+    arith_used_ = 0;
+    mem_used_ = 0;
+  }
+  while (issued_this_cycle_ < params_.width) {
+    if (!issue_one(now)) break;
+    ++issued_this_cycle_;
+    if (done_ || now < stall_until_) break;
+  }
+}
+
+}  // namespace vlt::lanecore

@@ -1,0 +1,91 @@
+// Scalar-thread execution on a vector lane (paper §5).
+//
+// For parallel-but-not-vectorizable code, VLT re-engineers each lane into
+// a 2-way in-order processor: a small 4 KB instruction cache plus
+// sequencing logic, reusing the lane's 3 arithmetic datapaths and 2 memory
+// ports. There is no per-lane data cache — the lane accesses the L2
+// directly, tolerating its latency with the existing access-decoupling
+// queues (loads are non-blocking; the scoreboard stalls only on use).
+// Lane I-cache misses are forwarded to the scalar unit for service, which
+// we model as an L2 access plus a forwarding constant. Exceptions remain
+// precise by interrupting the SU (not modeled in timing).
+#pragma once
+
+#include <deque>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "func/executor.hpp"
+#include "isa/program.hpp"
+#include "mem/cache.hpp"
+#include "mem/l2_cache.hpp"
+#include "vltctl/barrier.hpp"
+
+namespace vlt::lanecore {
+
+struct LaneCoreParams {
+  unsigned width = 2;             // in-order dual issue (paper §5)
+  unsigned arith_units = 3;       // the lane's arithmetic datapaths
+  unsigned mem_ports = 2;         // the lane's memory ports
+  unsigned max_outstanding = 24;  // load decoupling queue (vector-port sized)
+  unsigned store_queue = 32;      // store buffer entries (fire and forget)
+  std::size_t icache_size = 4 * 1024;  // 4 KB direct-mapped (paper §5)
+  unsigned icache_ways = 1;
+  unsigned imiss_forward_latency = 4;  // lane -> SU forwarding overhead
+  unsigned taken_branch_penalty = 2;   // in-order front-end bubble
+};
+
+class LaneCore {
+ public:
+  LaneCore(const LaneCoreParams& p, func::FuncMemory& memory,
+           mem::L2Cache& l2, vltctl::BarrierController& barrier);
+
+  void start(const isa::Program& program, ThreadId tid, unsigned nthreads,
+             Cycle now);
+  void tick(Cycle now);
+  bool done() const { return done_; }
+  bool active() const { return active_; }
+
+  const func::ArchState& arch_state() const { return arch_; }
+  std::uint64_t committed() const { return committed_; }
+  const StatSet& stats() const { return stats_; }
+
+ private:
+  bool issue_one(Cycle now);
+  bool scoreboard_ready(const isa::Instruction& inst, Cycle now) const;
+
+  LaneCoreParams params_;
+  func::Executor executor_;
+  mem::L2Cache* l2_;
+  vltctl::BarrierController* barrier_;
+  mem::Cache icache_;
+
+  bool active_ = false;
+  bool done_ = false;
+  const isa::Program* prog_ = nullptr;
+  func::ArchState arch_;
+  func::ExecContext ectx_;
+
+  std::uint64_t pc_ = 0;
+  Cycle stall_until_ = 0;         // front-end stall (I-miss, taken branch)
+  Addr cur_line_ = ~Addr{0};
+  std::array<Cycle, kNumScalarRegs> reg_ready_{};
+  std::deque<Cycle> outstanding_;   // completion times of in-flight loads
+  std::deque<Cycle> store_queue_;   // completion times of buffered stores
+
+  // Per-cycle issue bookkeeping.
+  Cycle cur_cycle_ = ~Cycle{0};
+  unsigned issued_this_cycle_ = 0;
+  unsigned arith_used_ = 0;
+  unsigned mem_used_ = 0;
+
+  // Barrier state.
+  bool waiting_barrier_ = false;
+  std::uint64_t barrier_gen_ = 0;
+
+  std::uint64_t committed_ = 0;
+  StatSet stats_;
+  std::vector<Addr> addr_scratch_;
+};
+
+}  // namespace vlt::lanecore

@@ -1,0 +1,78 @@
+#include "machine/area_model.hpp"
+
+#include <cstdio>
+
+#include "common/log.hpp"
+
+namespace vlt::machine {
+
+double AreaModel::scalar_unit_area(unsigned width,
+                                   unsigned smt_contexts) const {
+  double base;
+  switch (width) {
+    case 2: base = areas_.su_2way; break;
+    case 4: base = areas_.su_4way; break;
+    default:
+      VLT_CHECK(false, "area model covers 2-way and 4-way scalar units");
+      return 0;
+  }
+  switch (smt_contexts) {
+    case 1: return base;
+    case 2: return base * (1.0 + areas_.smt2_penalty);
+    case 4: return base * (1.0 + areas_.smt4_penalty);
+    default:
+      VLT_CHECK(false, "area model covers 1/2/4 SMT contexts");
+      return 0;
+  }
+}
+
+double AreaModel::config_area(const MachineConfig& config) const {
+  double a = 0.0;
+  for (const auto& su : config.sus)
+    a += scalar_unit_area(su.width, su.smt_contexts);
+  if (config.has_vector_unit) {
+    a += areas_.vcl_2way;
+    a += areas_.lane * config.vu.lanes;
+  }
+  a += areas_.l2_4mb;
+  return a;
+}
+
+double AreaModel::base_area() const {
+  return config_area(MachineConfig::base());
+}
+
+double AreaModel::pct_increase(const MachineConfig& config) const {
+  return (config_area(config) / base_area() - 1.0) * 100.0;
+}
+
+std::string AreaModel::table1() const {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "%-36s %8s\n"
+                "%-36s %8.1f\n%-36s %8.1f\n%-36s %8.1f\n%-36s %8.1f\n"
+                "%-36s %8.1f\n%-36s %8.1f\n",
+                "Component", "mm^2",
+                "2-way scalar unit + L1 caches", areas_.su_2way,
+                "4-way scalar unit + L1 caches", areas_.su_4way,
+                "2-way VCL", areas_.vcl_2way,
+                "Vector lane", areas_.lane,
+                "L2 cache (4MB)", areas_.l2_4mb,
+                "Base vector processor", base_area());
+  return buf;
+}
+
+std::string AreaModel::table2() const {
+  std::string out = "Configuration    % Area Increase\n";
+  for (const char* name :
+       {"V2-SMT", "V4-SMT", "V2-CMP", "V2-CMP-h", "V4-CMP", "V4-CMP-h",
+        "V4-CMT"}) {
+    char buf[80];
+    std::snprintf(buf, sizeof(buf), "%-16s %14.1f%%\n", name,
+                  pct_increase(MachineConfig::by_name(name)));
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace vlt::machine

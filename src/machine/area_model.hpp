@@ -1,0 +1,53 @@
+// First-order area model (paper §4.2, Tables 1 and 2).
+//
+// Component areas are derived from Alpha die photos scaled to 0.10 µm
+// CMOS; multithreading a scalar core costs 6% (2 contexts) or 10%
+// (4 contexts) of its area, following the paper's assumptions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/machine_config.hpp"
+
+namespace vlt::machine {
+
+struct ComponentAreas {
+  double su_2way = 5.7;    // 2-way scalar unit + L1 caches (mm^2)
+  double su_4way = 20.9;   // 4-way scalar unit + L1 caches
+  double vcl_2way = 2.1;   // 2-way vector control logic
+  double lane = 6.1;       // one vector lane
+  double l2_4mb = 98.4;    // 4-MByte L2 cache
+  double smt2_penalty = 0.06;
+  double smt4_penalty = 0.10;
+};
+
+class AreaModel {
+ public:
+  explicit AreaModel(ComponentAreas areas = {}) : areas_(areas) {}
+
+  /// Area of one scalar unit with the given issue width and SMT depth.
+  double scalar_unit_area(unsigned width, unsigned smt_contexts) const;
+
+  /// Total die area of a machine configuration.
+  double config_area(const MachineConfig& config) const;
+
+  /// Area of the Table 3 base vector processor (4-way SU, 8 lanes): 170.2.
+  double base_area() const;
+
+  /// Table 2: percent area increase of `config` over the base design.
+  double pct_increase(const MachineConfig& config) const;
+
+  const ComponentAreas& components() const { return areas_; }
+
+  /// Renders Table 1 (component areas) as text.
+  std::string table1() const;
+
+  /// Renders Table 2 (area increase for the standard VLT configs) as text.
+  std::string table2() const;
+
+ private:
+  ComponentAreas areas_;
+};
+
+}  // namespace vlt::machine

@@ -1,0 +1,112 @@
+#include "machine/machine_config.hpp"
+
+#include "common/log.hpp"
+
+namespace vlt::machine {
+
+std::pair<unsigned, unsigned> MachineConfig::thread_slot(unsigned k) const {
+  VLT_CHECK(k < total_smt_slots(), "more threads than hardware contexts");
+  unsigned nsus = static_cast<unsigned>(sus.size());
+  unsigned su = k % nsus;
+  unsigned ctx = k / nsus;
+  VLT_CHECK(ctx < sus[su].smt_contexts,
+            "thread mapping exceeded SMT slots (heterogeneous SMT depth)");
+  return {su, ctx};
+}
+
+MachineConfig MachineConfig::base(unsigned lanes) {
+  MachineConfig c;
+  c.name = lanes == 8 ? "base" : "base-" + std::to_string(lanes) + "lane";
+  c.sus = {su::SuParams{}};  // one 4-way SU
+  c.vu.lanes = lanes;
+  c.max_vector_threads = 1;
+  return c;
+}
+
+MachineConfig MachineConfig::v2_smt() {
+  MachineConfig c = base();
+  c.name = "V2-SMT";
+  c.sus[0].smt_contexts = 2;
+  c.max_vector_threads = 2;
+  return c;
+}
+
+MachineConfig MachineConfig::v4_smt() {
+  MachineConfig c = base();
+  c.name = "V4-SMT";
+  c.sus[0].smt_contexts = 4;
+  c.max_vector_threads = 4;
+  return c;
+}
+
+MachineConfig MachineConfig::v2_cmp() {
+  MachineConfig c = base();
+  c.name = "V2-CMP";
+  c.sus = {su::SuParams{}, su::SuParams{}};
+  c.max_vector_threads = 2;
+  return c;
+}
+
+MachineConfig MachineConfig::v2_cmp_h() {
+  MachineConfig c = base();
+  c.name = "V2-CMP-h";
+  c.sus = {su::SuParams{}, su::SuParams::two_way()};
+  c.max_vector_threads = 2;
+  return c;
+}
+
+MachineConfig MachineConfig::v4_cmp() {
+  MachineConfig c = base();
+  c.name = "V4-CMP";
+  c.sus = {su::SuParams{}, su::SuParams{}, su::SuParams{}, su::SuParams{}};
+  c.max_vector_threads = 4;
+  return c;
+}
+
+MachineConfig MachineConfig::v4_cmp_h() {
+  MachineConfig c = base();
+  c.name = "V4-CMP-h";
+  c.sus = {su::SuParams{}, su::SuParams::two_way(), su::SuParams::two_way(),
+           su::SuParams::two_way()};
+  c.max_vector_threads = 4;
+  return c;
+}
+
+MachineConfig MachineConfig::v4_cmt() {
+  MachineConfig c = base();
+  c.name = "V4-CMT";
+  su::SuParams smt2;
+  smt2.smt_contexts = 2;
+  c.sus = {smt2, smt2};
+  c.max_vector_threads = 4;
+  return c;
+}
+
+MachineConfig MachineConfig::cmt() {
+  MachineConfig c = v4_cmt();
+  c.name = "CMT";
+  c.has_vector_unit = false;
+  c.max_vector_threads = 0;
+  return c;
+}
+
+MachineConfig MachineConfig::by_name(const std::string& name) {
+  if (name == "base") return base();
+  if (name == "V2-SMT") return v2_smt();
+  if (name == "V4-SMT") return v4_smt();
+  if (name == "V2-CMP") return v2_cmp();
+  if (name == "V2-CMP-h") return v2_cmp_h();
+  if (name == "V4-CMP") return v4_cmp();
+  if (name == "V4-CMP-h") return v4_cmp_h();
+  if (name == "V4-CMT") return v4_cmt();
+  if (name == "CMT") return cmt();
+  VLT_CHECK(false, "unknown machine configuration: " + name);
+  return base();
+}
+
+std::vector<std::string> MachineConfig::preset_names() {
+  return {"base",     "V2-SMT",   "V4-SMT", "V2-CMP", "V2-CMP-h",
+          "V4-CMP",   "V4-CMP-h", "V4-CMT", "CMT"};
+}
+
+}  // namespace vlt::machine

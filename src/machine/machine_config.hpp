@@ -1,0 +1,65 @@
+// Machine configurations: the base vector processor of Table 3 and the
+// VLT design points of Table 2 / Figures 5-6.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lanecore/lane_core.hpp"
+#include "mem/l2_cache.hpp"
+#include "mem/main_memory.hpp"
+#include "su/scalar_core.hpp"
+#include "vu/vector_unit.hpp"
+
+namespace vlt::machine {
+
+struct MachineConfig {
+  std::string name;
+  std::vector<su::SuParams> sus;  // one entry per scalar unit
+  bool has_vector_unit = true;
+  vu::VuParams vu;
+  mem::L2Params l2;
+  lanecore::LaneCoreParams lane_core;
+  unsigned barrier_latency = 40;       // memory-based barrier cost
+  unsigned phase_switch_overhead = 600;  // thread API + vreg save/restore
+  unsigned max_vector_threads = 1;
+  /// Memory-bus occupancy per 64-byte line. The X1-class machines the
+  /// paper models stream one line per cycle into the L2.
+  unsigned mem_cycles_per_line = 1;
+
+  /// Derived main-memory parameters: an uncontended L2 miss completes
+  /// miss_latency cycles after it starts (Table 3: 100).
+  mem::MainMemoryParams memory_params() const {
+    mem::MainMemoryParams p;
+    p.latency = l2.miss_latency - l2.hit_latency;
+    p.cycles_per_line = mem_cycles_per_line;
+    return p;
+  }
+
+  unsigned total_smt_slots() const {
+    unsigned n = 0;
+    for (const auto& s : sus) n += s.smt_contexts;
+    return n;
+  }
+
+  /// (su index, smt context) for hardware thread `k`, interleaving across
+  /// scalar units first so SMT slots fill last — thread 0 always lands on
+  /// SU0 and V4-CMT maps two threads onto each of its two SUs.
+  std::pair<unsigned, unsigned> thread_slot(unsigned k) const;
+
+  // --- presets (paper notation, §4.2) ---
+  static MachineConfig base(unsigned lanes = 8);  // Table 3
+  static MachineConfig v2_smt();
+  static MachineConfig v4_smt();
+  static MachineConfig v2_cmp();
+  static MachineConfig v2_cmp_h();
+  static MachineConfig v4_cmp();
+  static MachineConfig v4_cmp_h();
+  static MachineConfig v4_cmt();
+  static MachineConfig cmt();  // V4-CMT without the vector unit (§5)
+
+  static MachineConfig by_name(const std::string& name);
+  static std::vector<std::string> preset_names();
+};
+
+}  // namespace vlt::machine

@@ -1,0 +1,40 @@
+// Phase-structured parallel programs.
+//
+// The paper applies VLT selectively to low-DLP regions (§3.3): a program
+// alternates between serial/high-DLP phases that run as a single thread on
+// all lanes, and parallel regions that run as 2-4 vector threads or 8
+// scalar threads. Thread switches happen at boundaries of large parallel
+// regions where vector registers hold no live values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace vlt::machine {
+
+enum class PhaseMode {
+  kSerial,         // one thread, all lanes (base vector execution)
+  kVectorThreads,  // K vector threads, lanes/K lanes each (VLT §4)
+  kLaneThreads,    // scalar threads on the vector lanes (VLT §5)
+  kSuThreads,      // scalar threads on the scalar units (CMP/CMT baseline)
+};
+
+struct Phase {
+  std::string label;
+  PhaseMode mode = PhaseMode::kSerial;
+  /// Counts toward Table 4's "% Opportunity" when true: the phase could be
+  /// accelerated by VLT multithreading.
+  bool vlt_opportunity = false;
+  std::vector<isa::Program> programs;  // one per thread
+
+  unsigned nthreads() const { return static_cast<unsigned>(programs.size()); }
+};
+
+struct ParallelProgram {
+  std::string name;
+  std::vector<Phase> phases;
+};
+
+}  // namespace vlt::machine

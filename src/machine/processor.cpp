@@ -1,0 +1,148 @@
+#include "machine/processor.hpp"
+
+#include "common/log.hpp"
+
+namespace vlt::machine {
+
+namespace {
+constexpr Cycle kPhaseCycleLimit = 2'000'000'000ull;
+}
+
+Processor::Processor(const MachineConfig& config)
+    : config_(config),
+      main_memory_(config.memory_params()),
+      l2_(config.l2, main_memory_) {
+  if (config_.has_vector_unit)
+    vu_ = std::make_unique<vu::VectorUnit>(config_.vu, l2_);
+  for (const su::SuParams& p : config_.sus)
+    sus_.push_back(std::make_unique<su::ScalarCore>(p, memory_, l2_, barrier_,
+                                                    vu_.get()));
+  if (config_.has_vector_unit) {
+    for (unsigned i = 0; i < config_.vu.lanes; ++i)
+      lanes_.push_back(std::make_unique<lanecore::LaneCore>(
+          config_.lane_core, memory_, l2_, barrier_));
+  }
+}
+
+void Processor::start_phase_contexts(const Phase& phase) {
+  const unsigned k = phase.nthreads();
+  VLT_CHECK(k >= 1, "phase without threads");
+  for (auto& su : sus_) su->clear_contexts();
+
+  switch (phase.mode) {
+    case PhaseMode::kSerial: {
+      VLT_CHECK(k == 1, "serial phase must have exactly one program");
+      if (vu_) vu_->configure_contexts(1, now_);
+      barrier_.begin_phase(1, config_.barrier_latency);
+      su::ThreadAssignment work;
+      work.program = &phase.programs[0];
+      work.tid = 0;
+      work.nthreads = 1;
+      work.max_vl = vu_ ? vu_->max_vl_per_ctx() : 0;
+      work.vctx = 0;
+      sus_[0]->start_context(0, work, now_);
+      break;
+    }
+    case PhaseMode::kVectorThreads: {
+      VLT_CHECK(vu_ != nullptr, "vector threads need a vector unit");
+      VLT_CHECK(k >= 1 && k <= config_.max_vector_threads,
+                "thread count exceeds the machine's VLT support");
+      vu_->configure_contexts(k, now_);
+      barrier_.begin_phase(k, config_.barrier_latency);
+      for (unsigned t = 0; t < k; ++t) {
+        auto [su, ctx] = config_.thread_slot(t);
+        su::ThreadAssignment work;
+        work.program = &phase.programs[t];
+        work.tid = t;
+        work.nthreads = k;
+        work.max_vl = vu_->max_vl_per_ctx();
+        work.vctx = t;
+        sus_[su]->start_context(ctx, work, now_);
+      }
+      break;
+    }
+    case PhaseMode::kSuThreads: {
+      VLT_CHECK(k <= config_.total_smt_slots(),
+                "more threads than scalar-unit contexts");
+      if (vu_) vu_->configure_contexts(1, now_);
+      barrier_.begin_phase(k, config_.barrier_latency);
+      for (unsigned t = 0; t < k; ++t) {
+        auto [su, ctx] = config_.thread_slot(t);
+        su::ThreadAssignment work;
+        work.program = &phase.programs[t];
+        work.tid = t;
+        work.nthreads = k;
+        work.max_vl = vu_ ? vu_->max_vl_per_ctx() : 0;
+        work.vctx = 0;
+        sus_[su]->start_context(ctx, work, now_);
+      }
+      break;
+    }
+    case PhaseMode::kLaneThreads: {
+      VLT_CHECK(vu_ != nullptr, "lane threads need vector lanes");
+      VLT_CHECK(k <= lanes_.size(), "more threads than lanes");
+      VLT_CHECK(vu_->ctx_quiesced(0, now_), "vector unit busy at phase start");
+      barrier_.begin_phase(k, config_.barrier_latency);
+      for (unsigned t = 0; t < k; ++t)
+        lanes_[t]->start(phase.programs[t], t, k, now_);
+      break;
+    }
+  }
+}
+
+bool Processor::phase_complete(const Phase& phase) const {
+  if (phase.mode == PhaseMode::kLaneThreads) {
+    for (unsigned t = 0; t < phase.nthreads(); ++t)
+      if (!lanes_[t]->done()) return false;
+    return true;
+  }
+  for (const auto& su : sus_)
+    if (!su->all_done()) return false;
+  if (vu_) {
+    for (unsigned c = 0; c < vu_->num_contexts(); ++c)
+      if (!vu_->ctx_quiesced(c, now_)) return false;
+  }
+  return true;
+}
+
+Cycle Processor::run_phase(const Phase& phase) {
+  start_phase_contexts(phase);
+  const Cycle start = now_;
+  const bool lane_mode = phase.mode == PhaseMode::kLaneThreads;
+  std::uint64_t lane_committed_before = 0;
+  if (lane_mode)
+    for (const auto& lc : lanes_) lane_committed_before += lc->committed();
+
+  while (!phase_complete(phase)) {
+    VLT_CHECK(now_ - start < kPhaseCycleLimit,
+              "phase exceeded the cycle limit (deadlock?) in " + phase.label);
+    if (lane_mode) {
+      for (unsigned t = 0; t < phase.nthreads(); ++t) lanes_[t]->tick(now_);
+    } else {
+      if (vu_) vu_->tick(now_);
+      for (auto& su : sus_) su->tick(now_);
+    }
+    ++now_;
+  }
+
+  if (lane_mode) {
+    std::uint64_t after = 0;
+    for (const auto& lc : lanes_) after += lc->committed();
+    lane_committed_ += after - lane_committed_before;
+  }
+  return now_ - start;
+}
+
+std::uint64_t Processor::committed_scalar() const {
+  std::uint64_t n = lane_committed_;
+  for (const auto& su : sus_) n += su->committed_scalar();
+  return n;
+}
+
+std::uint64_t Processor::committed_vector() const {
+  std::uint64_t n = 0;
+  for (const auto& su : sus_) n += su->committed_vector();
+  return n;
+}
+
+}  // namespace vlt::machine

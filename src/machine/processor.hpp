@@ -1,0 +1,61 @@
+// Top-level machine: scalar units, vector unit, lane cores, and the
+// memory system, driven phase by phase.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "func/memory.hpp"
+#include "lanecore/lane_core.hpp"
+#include "machine/machine_config.hpp"
+#include "machine/phase.hpp"
+#include "mem/l2_cache.hpp"
+#include "mem/main_memory.hpp"
+#include "su/scalar_core.hpp"
+#include "vltctl/barrier.hpp"
+#include "vu/vector_unit.hpp"
+
+namespace vlt::machine {
+
+class Processor {
+ public:
+  explicit Processor(const MachineConfig& config);
+
+  /// Runs one phase to completion (all threads halted, vector unit
+  /// quiesced). The clock is monotonic across phases so cache and branch
+  /// predictor state carries over. Returns the cycle count of the phase.
+  Cycle run_phase(const Phase& phase);
+
+  /// Advances the clock without work (thread-switch overhead).
+  void charge_overhead(Cycle cycles) { now_ += cycles; }
+
+  Cycle now() const { return now_; }
+  func::FuncMemory& memory() { return memory_; }
+  const MachineConfig& config() const { return config_; }
+  const vu::VectorUnit* vector_unit() const { return vu_.get(); }
+
+  std::uint64_t committed_scalar() const;
+  std::uint64_t committed_vector() const;
+  const mem::L2Cache& l2() const { return l2_; }
+  const su::ScalarCore& su(unsigned i) const { return *sus_[i]; }
+  unsigned num_sus() const { return static_cast<unsigned>(sus_.size()); }
+  const lanecore::LaneCore& lane(unsigned i) const { return *lanes_[i]; }
+  unsigned num_lanes() const { return static_cast<unsigned>(lanes_.size()); }
+
+ private:
+  void start_phase_contexts(const Phase& phase);
+  bool phase_complete(const Phase& phase) const;
+
+  MachineConfig config_;
+  func::FuncMemory memory_;
+  mem::MainMemory main_memory_;
+  mem::L2Cache l2_;
+  vltctl::BarrierController barrier_;
+  std::unique_ptr<vu::VectorUnit> vu_;
+  std::vector<std::unique_ptr<su::ScalarCore>> sus_;
+  std::vector<std::unique_ptr<lanecore::LaneCore>> lanes_;
+  Cycle now_ = 0;
+  std::uint64_t lane_committed_ = 0;
+};
+
+}  // namespace vlt::machine

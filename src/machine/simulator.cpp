@@ -1,0 +1,60 @@
+#include "machine/simulator.hpp"
+
+#include "common/log.hpp"
+#include "machine/processor.hpp"
+
+namespace vlt::machine {
+
+RunResult Simulator::run(const workloads::Workload& workload,
+                         const workloads::Variant& variant) const {
+  VLT_CHECK(workload.supports(variant.kind),
+            workload.name() + " does not support variant " +
+                variant.to_string());
+
+  Processor proc(config_);
+  workload.init_memory(proc.memory());
+  ParallelProgram prog = workload.build(variant);
+
+  RunResult res;
+  res.workload = workload.name();
+  res.config = config_.name;
+  res.variant = variant.to_string();
+
+  unsigned prev_threads = 1;
+  for (const Phase& phase : prog.phases) {
+    // Thread-management overhead at region boundaries (paper §3.3: saving
+    // and restoring vector registers, thread API costs).
+    if (phase.nthreads() != prev_threads)
+      proc.charge_overhead(config_.phase_switch_overhead);
+    prev_threads = phase.nthreads();
+
+    Cycle took = proc.run_phase(phase);
+    res.phase_cycles.push_back({phase.label, took});
+    if (phase.vlt_opportunity) res.opportunity_cycles += took;
+  }
+  res.cycles = proc.now();  // includes thread-switch overhead
+
+  res.scalar_insts = proc.committed_scalar();
+  res.vector_insts = proc.committed_vector();
+  if (const vu::VectorUnit* vu = proc.vector_unit()) {
+    res.element_ops = vu->element_ops();
+    res.util = vu->utilization();
+    res.vl_hist = vu->vl_histogram();
+  }
+
+  std::optional<std::string> err = workload.verify(proc.memory());
+  res.verified = !err.has_value();
+  if (err) res.verify_error = *err;
+  return res;
+}
+
+Cycle run_cycles(const MachineConfig& config,
+                 const workloads::Workload& workload,
+                 const workloads::Variant& variant) {
+  RunResult r = Simulator(config).run(workload, variant);
+  VLT_CHECK(r.verified, workload.name() + " failed verification on " +
+                            config.name + ": " + r.verify_error);
+  return r.cycles;
+}
+
+}  // namespace vlt::machine

@@ -1,0 +1,68 @@
+// Simulation driver: runs a workload variant on a machine configuration
+// and collects the measurements behind every table and figure.
+#pragma once
+
+#include <string>
+
+#include "common/histogram.hpp"
+#include "machine/machine_config.hpp"
+#include "workloads/workload.hpp"
+
+namespace vlt::machine {
+
+struct PhaseTiming {
+  std::string label;
+  Cycle cycles = 0;
+};
+
+struct RunResult {
+  std::string workload;
+  std::string config;
+  std::string variant;
+  Cycle cycles = 0;
+  std::vector<PhaseTiming> phase_cycles;
+  Cycle opportunity_cycles = 0;  // spent in VLT-able phases
+  std::uint64_t scalar_insts = 0;
+  std::uint64_t vector_insts = 0;
+  std::uint64_t element_ops = 0;
+  vu::DatapathUtilization util;
+  Histogram vl_hist;
+  bool verified = false;
+  std::string verify_error;
+
+  /// Table 4 "% Vect": vector element operations over all operations.
+  double pct_vectorization() const {
+    std::uint64_t total = element_ops + scalar_insts;
+    return total == 0 ? 0.0
+                      : 100.0 * static_cast<double>(element_ops) /
+                            static_cast<double>(total);
+  }
+  /// Table 4 "Avg VL".
+  double avg_vl() const { return vl_hist.mean(); }
+  /// Table 4 "% Opportunity".
+  double pct_opportunity() const {
+    return cycles == 0 ? 0.0
+                       : 100.0 * static_cast<double>(opportunity_cycles) /
+                             static_cast<double>(cycles);
+  }
+};
+
+class Simulator {
+ public:
+  explicit Simulator(MachineConfig config) : config_(std::move(config)) {}
+
+  /// Builds a fresh (cold) machine, runs every phase of the workload
+  /// variant, verifies the memory image, and returns the measurements.
+  RunResult run(const workloads::Workload& workload,
+                const workloads::Variant& variant) const;
+
+ private:
+  MachineConfig config_;
+};
+
+/// Convenience for benches: cycles of `workload` under (config, variant).
+Cycle run_cycles(const MachineConfig& config,
+                 const workloads::Workload& workload,
+                 const workloads::Variant& variant);
+
+}  // namespace vlt::machine

@@ -1,0 +1,73 @@
+#include "mem/cache.hpp"
+
+#include "common/log.hpp"
+
+namespace vlt::mem {
+
+Cache::Cache(std::size_t size_bytes, unsigned ways, unsigned line_bytes)
+    : line_bytes_(line_bytes), ways_(ways) {
+  VLT_CHECK(ways >= 1, "cache needs at least one way");
+  std::size_t num_lines = size_bytes / line_bytes;
+  VLT_CHECK(num_lines >= ways, "cache smaller than one set");
+  num_sets_ = static_cast<unsigned>(num_lines / ways);
+  lines_.resize(static_cast<std::size_t>(num_sets_) * ways_);
+}
+
+Cache::Result Cache::access(Addr addr, bool is_write) {
+  Result res;
+  std::size_t set = set_index(addr);
+  Addr tag = tag_of(addr);
+  Line* base = &lines_[set * ways_];
+  ++use_clock_;
+
+  Line* victim = &base[0];
+  for (unsigned w = 0; w < ways_; ++w) {
+    Line& line = base[w];
+    if (line.valid && line.tag == tag) {
+      line.last_use = use_clock_;
+      line.dirty |= is_write;
+      ++hits_;
+      res.hit = true;
+      return res;
+    }
+    if (!line.valid) {
+      victim = &line;
+    } else if (victim->valid && line.last_use < victim->last_use) {
+      victim = &line;
+    }
+  }
+
+  ++misses_;
+  if (victim->valid && victim->dirty) {
+    res.writeback = true;
+    res.victim_addr = line_addr(victim->tag, set);
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->dirty = is_write;
+  victim->last_use = use_clock_;
+  return res;
+}
+
+bool Cache::probe(Addr addr) const {
+  std::size_t set = set_index(addr);
+  Addr tag = tag_of(addr);
+  const Line* base = &lines_[set * ways_];
+  for (unsigned w = 0; w < ways_; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+void Cache::invalidate(Addr addr) {
+  std::size_t set = set_index(addr);
+  Addr tag = tag_of(addr);
+  Line* base = &lines_[set * ways_];
+  for (unsigned w = 0; w < ways_; ++w)
+    if (base[w].valid && base[w].tag == tag) base[w].valid = false;
+}
+
+void Cache::invalidate_all() {
+  for (Line& l : lines_) l.valid = false;
+}
+
+}  // namespace vlt::mem

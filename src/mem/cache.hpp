@@ -1,0 +1,64 @@
+// Generic set-associative tag array with LRU replacement. This is a pure
+// timing structure: data contents live in func::FuncMemory.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vlt::mem {
+
+class Cache {
+ public:
+  struct Result {
+    bool hit = false;
+    bool writeback = false;  // a dirty victim was evicted
+    Addr victim_addr = 0;    // line address of the victim
+  };
+
+  /// `size_bytes` and `ways` must describe at least one set.
+  Cache(std::size_t size_bytes, unsigned ways,
+        unsigned line_bytes = kLineBytes);
+
+  /// Looks up `addr`, allocating the line on a miss (write-allocate).
+  Result access(Addr addr, bool is_write);
+
+  /// Tag check without any state change.
+  bool probe(Addr addr) const;
+
+  /// Drops a line if present (used for explicit invalidations in tests).
+  void invalidate(Addr addr);
+  void invalidate_all();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  unsigned num_sets() const { return num_sets_; }
+  unsigned ways() const { return ways_; }
+
+ private:
+  struct Line {
+    Addr tag = 0;
+    std::uint64_t last_use = 0;
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  std::size_t set_index(Addr addr) const {
+    return (addr / line_bytes_) % num_sets_;
+  }
+  Addr tag_of(Addr addr) const { return addr / line_bytes_ / num_sets_; }
+  Addr line_addr(Addr tag, std::size_t set) const {
+    return (tag * num_sets_ + set) * line_bytes_;
+  }
+
+  unsigned line_bytes_;
+  unsigned ways_;
+  unsigned num_sets_;
+  std::vector<Line> lines_;  // num_sets_ * ways_, set-major
+  std::uint64_t use_clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace vlt::mem

@@ -1,0 +1,57 @@
+#include "mem/l2_cache.hpp"
+
+#include <algorithm>
+
+namespace vlt::mem {
+
+L2Cache::L2Cache(const L2Params& p, MainMemory& memory)
+    : params_(p),
+      tags_(p.size_bytes, p.ways),
+      memory_(&memory),
+      bank_free_(p.banks, 0) {}
+
+Cycle L2Cache::access(Addr addr, bool is_write, Cycle now) {
+  Addr line = addr / kLineBytes;
+  std::size_t bank = line % bank_free_.size();
+
+  Cycle start = now > bank_free_[bank] ? now : bank_free_[bank];
+  bank_free_[bank] = start + params_.bank_occupancy;
+
+  if (++accesses_since_prune_ >= 65536) prune_pending(now);
+
+  // Merge with an outstanding fill of the same line. The merged request
+  // still traverses the bank pipe, so it can never beat the hit latency.
+  auto it = pending_fills_.find(line);
+  if (it != pending_fills_.end()) {
+    if (it->second > start) {
+      tags_.access(addr, is_write);  // keep LRU/dirty state coherent
+      return std::max(it->second, start + params_.hit_latency);
+    }
+    pending_fills_.erase(it);
+  }
+
+  Cache::Result r = tags_.access(addr, is_write);
+  if (r.hit) return start + params_.hit_latency;
+
+  // Miss: fetch the line from main memory; a dirty victim writeback uses
+  // the memory bus as well (request_line models the occupancy). The machine
+  // config sets the memory latency to miss_latency - hit_latency, so an
+  // uncontended miss completes at start + miss_latency (Table 3: 100).
+  if (r.writeback) (void)memory_->request_line(start);
+  Cycle fill = memory_->request_line(start);
+  Cycle done = fill + params_.hit_latency;
+  pending_fills_[line] = done;
+  return done;
+}
+
+void L2Cache::prune_pending(Cycle now) {
+  accesses_since_prune_ = 0;
+  for (auto it = pending_fills_.begin(); it != pending_fills_.end();) {
+    if (it->second <= now)
+      it = pending_fills_.erase(it);
+    else
+      ++it;
+  }
+}
+
+}  // namespace vlt::mem

@@ -1,0 +1,54 @@
+// Multi-banked L2 cache (Table 3: 4 MB, 4-way, 16 banks, 10-cycle hit,
+// 100-cycle miss). Banks are interleaved by line address; each bank accepts
+// one access per `bank_occupancy` cycles, so strided and indexed vector
+// streams see realistic conflicts. Outstanding misses to the same line are
+// merged (MSHR behaviour).
+#pragma once
+
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "mem/cache.hpp"
+#include "mem/main_memory.hpp"
+
+namespace vlt::mem {
+
+struct L2Params {
+  std::size_t size_bytes = 4 * 1024 * 1024;
+  unsigned ways = 4;
+  unsigned banks = 16;
+  unsigned hit_latency = 10;
+  unsigned miss_latency = 100;  // total latency of a miss (Table 3)
+  unsigned bank_occupancy = 1;  // cycles a bank is busy per access
+};
+
+class L2Cache {
+ public:
+  L2Cache(const L2Params& p, MainMemory& memory);
+
+  /// Performs one line-granularity access; returns the cycle the data is
+  /// available (loads) or accepted (stores).
+  Cycle access(Addr addr, bool is_write, Cycle now);
+
+  /// Earliest cycle the bank owning `addr` could accept a new access; used
+  /// by the vector LSU to throttle address generation.
+  Cycle bank_free(Addr addr) const {
+    return bank_free_[(addr / kLineBytes) % bank_free_.size()];
+  }
+
+  std::uint64_t hits() const { return tags_.hits(); }
+  std::uint64_t misses() const { return tags_.misses(); }
+  std::uint64_t accesses() const { return tags_.hits() + tags_.misses(); }
+
+ private:
+  void prune_pending(Cycle now);
+
+  L2Params params_;
+  Cache tags_;
+  MainMemory* memory_;
+  std::vector<Cycle> bank_free_;
+  std::unordered_map<Addr, Cycle> pending_fills_;  // line index -> fill time
+  std::uint64_t accesses_since_prune_ = 0;
+};
+
+}  // namespace vlt::mem

@@ -1,0 +1,35 @@
+// Main-memory channel: fixed access latency plus a shared line-transfer
+// bus that bounds sustainable bandwidth (one line per `cycles_per_line`).
+#pragma once
+
+#include "common/types.hpp"
+
+namespace vlt::mem {
+
+struct MainMemoryParams {
+  unsigned latency = 90;         // cycles from request to line available
+  unsigned cycles_per_line = 4;  // bus occupancy per 64-byte line
+};
+
+class MainMemory {
+ public:
+  explicit MainMemory(const MainMemoryParams& p) : params_(p) {}
+
+  /// Schedules a line fetch no earlier than `earliest`; returns the cycle
+  /// the line is available.
+  Cycle request_line(Cycle earliest) {
+    Cycle start = earliest > bus_free_ ? earliest : bus_free_;
+    bus_free_ = start + params_.cycles_per_line;
+    ++requests_;
+    return start + params_.latency;
+  }
+
+  std::uint64_t requests() const { return requests_; }
+
+ private:
+  MainMemoryParams params_;
+  Cycle bus_free_ = 0;
+  std::uint64_t requests_ = 0;
+};
+
+}  // namespace vlt::mem

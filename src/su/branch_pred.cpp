@@ -1,0 +1,20 @@
+#include "su/branch_pred.hpp"
+
+namespace vlt::su {
+
+BranchPredictor::BranchPredictor(unsigned index_bits)
+    : table_(std::size_t{1} << index_bits, 2),  // weakly taken
+      mask_((std::uint64_t{1} << index_bits) - 1) {}
+
+bool BranchPredictor::predict(Addr pc) const {
+  return table_[index(pc)] >= 2;
+}
+
+void BranchPredictor::update(Addr pc, bool taken) {
+  std::uint8_t& ctr = table_[index(pc)];
+  if (taken && ctr < 3) ++ctr;
+  if (!taken && ctr > 0) --ctr;
+  history_ = ((history_ << 1) | (taken ? 1 : 0)) & mask_;
+}
+
+}  // namespace vlt::su

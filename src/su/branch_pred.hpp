@@ -1,0 +1,45 @@
+// Gshare direction predictor with 2-bit saturating counters. Targets are
+// assumed BTB/RAS-predicted (the standard simplification for this class of
+// simulator); only conditional-direction mispredictions charge a redirect.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vlt::su {
+
+class BranchPredictor {
+ public:
+  explicit BranchPredictor(unsigned index_bits = 12);
+
+  bool predict(Addr pc) const;
+  void update(Addr pc, bool taken);
+
+  std::uint64_t lookups() const { return lookups_; }
+  std::uint64_t mispredictions() const { return mispredicts_; }
+
+  /// Convenience: predict, update, and report correctness in one step
+  /// (the functional outcome is known at fetch in this simulator).
+  bool predict_and_update(Addr pc, bool taken) {
+    ++lookups_;
+    bool correct = predict(pc) == taken;
+    if (!correct) ++mispredicts_;
+    update(pc, taken);
+    return correct;
+  }
+
+ private:
+  std::size_t index(Addr pc) const {
+    return (pc ^ history_) & mask_;
+  }
+
+  std::vector<std::uint8_t> table_;  // 2-bit counters
+  std::uint64_t mask_;
+  std::uint64_t history_ = 0;
+  std::uint64_t lookups_ = 0;
+  std::uint64_t mispredicts_ = 0;
+};
+
+}  // namespace vlt::su

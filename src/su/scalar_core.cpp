@@ -1,0 +1,414 @@
+#include "su/scalar_core.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace vlt::su {
+
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+/// Sentinel for "a mispredicted branch sits in the fetch queue but has no
+/// ROB seq yet"; dispatch replaces it with the real sequence number.
+constexpr std::uint64_t kPendingRedirect = ~std::uint64_t{0};
+}  // namespace
+
+ScalarCore::ScalarCore(const SuParams& p, func::FuncMemory& memory,
+                       mem::L2Cache& l2, vltctl::BarrierController& barrier,
+                       vu::VectorUnit* vu)
+    : params_(p),
+      executor_(memory),
+      l2_(&l2),
+      barrier_(&barrier),
+      vu_(vu),
+      l1i_(p.l1_size, p.l1_ways),
+      l1d_(p.l1_size, p.l1_ways),
+      bpred_(p.bpred_bits),
+      ctxs_(p.smt_contexts) {}
+
+void ScalarCore::start_context(unsigned ctx, const ThreadAssignment& work,
+                               Cycle now) {
+  VLT_CHECK(ctx < ctxs_.size(), "SMT context out of range");
+  VLT_CHECK(work.program != nullptr && !work.program->empty(),
+            "context started without a program");
+  CtxState& c = ctxs_[ctx];
+  c = CtxState{};
+  c.active = true;
+  c.work = work;
+  c.ectx = func::ExecContext{work.tid, work.nthreads, work.max_vl};
+  c.fetch_stall_until = now;
+}
+
+void ScalarCore::clear_contexts() {
+  for (CtxState& c : ctxs_) {
+    VLT_CHECK(!c.active || c.done, "clearing a context that is still running");
+    c = CtxState{};
+  }
+}
+
+bool ScalarCore::context_done(unsigned ctx) const {
+  const CtxState& c = ctxs_[ctx];
+  return !c.active || c.done;
+}
+
+bool ScalarCore::all_done() const {
+  for (unsigned i = 0; i < ctxs_.size(); ++i)
+    if (!context_done(i)) return false;
+  return true;
+}
+
+ScalarCore::RobEntry* ScalarCore::find_entry(CtxState& c, std::uint64_t seq) {
+  if (seq < c.head_seq || seq >= c.next_seq) return nullptr;
+  return &c.rob[seq - c.head_seq];
+}
+
+const ScalarCore::RobEntry* ScalarCore::find_entry(const CtxState& c,
+                                                   std::uint64_t seq) const {
+  if (seq < c.head_seq || seq >= c.next_seq) return nullptr;
+  return &c.rob[seq - c.head_seq];
+}
+
+bool ScalarCore::operand_ready(const CtxState& c, std::uint64_t seq,
+                               Cycle now) const {
+  if (seq < c.head_seq) return true;  // producer already committed
+  const RobEntry* e = find_entry(c, seq);
+  VLT_CHECK(e != nullptr, "dangling producer link");
+  return e->complete_at <= now;
+}
+
+void ScalarCore::tick(Cycle now) {
+  do_commit(now);
+  do_issue(now);
+  do_dispatch(now);
+  do_fetch(now);
+  rr_ = (rr_ + 1) % std::max<unsigned>(1, params_.smt_contexts);
+}
+
+// ---------------------------------------------------------------- fetch ---
+
+void ScalarCore::do_fetch(Cycle now) {
+  unsigned budget = params_.width;
+  const unsigned n = static_cast<unsigned>(ctxs_.size());
+  for (unsigned k = 0; k < n && budget > 0; ++k) {
+    CtxState& c = ctxs_[(rr_ + k) % n];
+    if (!c.active || c.done || c.fetch_halted || c.fetch_after_barrier)
+      continue;
+    if (c.redirect_seq != 0) continue;  // unresolved misprediction
+    if (now < c.fetch_stall_until) continue;
+    fetch_context(c, budget, now);
+  }
+}
+
+void ScalarCore::fetch_context(CtxState& c, unsigned budget, Cycle now) {
+  const isa::Program& prog = *c.work.program;
+  while (budget > 0 && c.fq.size() < params_.fetch_queue) {
+    VLT_CHECK(c.fetch_pc < prog.size(),
+              "fetch ran past the end of " + prog.name());
+
+    // I-cache, line granularity. A miss stalls fetch until the fill.
+    Addr iaddr = prog.inst_addr(c.fetch_pc);
+    Addr line = iaddr / kLineBytes;
+    if (line != c.cur_fetch_line) {
+      c.cur_fetch_line = line;
+      if (!l1i_.access(iaddr, false).hit) {
+        c.fetch_stall_until = l2_->access(iaddr, false, now + 1);
+        stats_.inc("l1i_misses");
+        return;
+      }
+    }
+
+    const Instruction& inst = prog.at(c.fetch_pc);
+    c.arch.set_pc(c.fetch_pc);
+    func::ExecResult res = executor_.execute(inst, c.arch, c.ectx,
+                                             addr_scratch_);
+
+    FetchedInst fi;
+    fi.inst = inst;
+    fi.pc = c.fetch_pc;
+    fi.addrs = addr_scratch_;
+    fi.vl = res.elems;
+
+    // Direction prediction for conditional branches; unconditional jumps
+    // are assumed BTB/RAS-predicted.
+    bool conditional = inst.op == Opcode::kBeq || inst.op == Opcode::kBne ||
+                       inst.op == Opcode::kBlt || inst.op == Opcode::kBge;
+    if (conditional)
+      fi.mispredicted = !bpred_.predict_and_update(iaddr, res.branch_taken);
+
+    c.fq.push_back(std::move(fi));
+    --budget;
+    c.fetch_pc = res.next_pc;
+
+    if (res.halted) {
+      c.fetch_halted = true;
+      return;
+    }
+    if (res.is_barrier) {
+      // Memory consistency of the execute-at-fetch model: no instruction
+      // beyond a barrier may execute before the barrier releases.
+      c.fetch_after_barrier = true;
+      return;
+    }
+    if (fi.mispredicted) {
+      c.redirect_seq = kPendingRedirect;
+      return;
+    }
+    if (res.branch_taken) return;  // taken branches end the fetch group
+  }
+}
+
+// ------------------------------------------------------------- dispatch ---
+
+void ScalarCore::do_dispatch(Cycle now) {
+  (void)now;
+  unsigned budget = params_.width;
+  const unsigned n = static_cast<unsigned>(ctxs_.size());
+  const unsigned rob_cap = std::max(4u, params_.rob_size / std::max(1u, n));
+  for (unsigned k = 0; k < n && budget > 0; ++k) {
+    CtxState& c = ctxs_[(rr_ + k) % n];
+    if (!c.active || c.done) continue;
+    while (budget > 0 && !c.fq.empty() && c.rob.size() < rob_cap) {
+      FetchedInst& fi = c.fq.front();
+      RobEntry e;
+      e.inst = fi.inst;
+      e.pc = fi.pc;
+      e.seq = c.next_seq;
+      e.vl = fi.vl;
+      e.mispredicted = fi.mispredicted;
+
+      const Instruction& inst = fi.inst;
+      e.is_vector = isa::is_vector(inst.op);
+      e.is_load = !e.is_vector && isa::is_load(inst.op);
+      e.is_store = !e.is_vector && isa::is_store(inst.op);
+      e.is_barrier = inst.op == Opcode::kBarrier;
+      e.is_membar = inst.op == Opcode::kMembar;
+      e.is_halt = inst.op == Opcode::kHalt;
+      if (!fi.addrs.empty()) e.mem_addr = fi.addrs[0];
+      if (e.is_vector) {
+        e.state = RobEntry::St::kVecWait;
+        e.vaddrs = std::move(fi.addrs);
+      }
+
+      // Rename: link scalar source registers to in-flight producers.
+      isa::RegList srcs = isa::scalar_src_regs(inst);
+      for (unsigned i = 0; i < srcs.n; ++i) {
+        std::uint64_t p = c.rename[srcs.r[i]];
+        if (p >= c.head_seq && p != 0) e.src_seq[e.nsrc++] = p;
+      }
+      // Memory dependence: a load waits on the youngest older store to the
+      // same address (store-to-load forwarding through the store buffer).
+      if (e.is_load) {
+        for (auto it = c.rob.rbegin(); it != c.rob.rend(); ++it) {
+          if (it->is_store && it->mem_addr == e.mem_addr) {
+            e.store_dep_seq = it->seq;
+            break;
+          }
+        }
+      }
+      RegIdx rd;
+      if (isa::scalar_dst_reg(inst, rd)) {
+        c.rename[rd] = e.seq;
+        if (e.is_vector) e.vec_scalar_dst = true;
+      }
+
+      if (e.mispredicted) c.redirect_seq = e.seq;
+
+      c.rob.push_back(std::move(e));
+      ++c.next_seq;
+      c.fq.pop_front();
+      --budget;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- issue ---
+
+void ScalarCore::do_issue(Cycle now) {
+  unsigned arith_avail = params_.arith_units;
+  unsigned mem_avail = params_.mem_ports;
+  unsigned budget = params_.width;
+  unsigned vec_handoff = params_.vec_handoff_rate;
+
+  const unsigned n = static_cast<unsigned>(ctxs_.size());
+  for (unsigned k = 0; k < n; ++k) {
+    CtxState& c = ctxs_[(rr_ + k) % n];
+    if (!c.active) continue;
+    for (RobEntry& e : c.rob) {
+      if (budget == 0) return;
+
+      if (e.state == RobEntry::St::kVecWait) {
+        if (vec_handoff == 0) continue;
+        bool ready = true;
+        for (unsigned i = 0; i < e.nsrc; ++i)
+          ready &= operand_ready(c, e.src_seq[i], now);
+        if (!ready) continue;
+        VLT_CHECK(vu_ != nullptr,
+                  "vector instruction on a machine without a vector unit");
+        vu::VecDispatch d;
+        d.inst = e.inst;
+        d.vl = e.vl;
+        d.addrs = std::move(e.vaddrs);
+        d.vctx = c.work.vctx;
+        d.scalar_done = e.vec_scalar_dst ? &e.complete_at : nullptr;
+        if (vu_->try_dispatch(std::move(d), now)) {
+          e.state = RobEntry::St::kVecFlight;
+          if (!e.vec_scalar_dst) e.complete_at = now + 1;
+          --vec_handoff;
+          --budget;
+        } else {
+          e.vaddrs = std::move(d.addrs);  // VIQ full; retry next cycle
+        }
+        continue;
+      }
+
+      if (e.state != RobEntry::St::kWaiting) continue;
+
+      // Barriers and membars resolve only at the head of the ROB, when all
+      // older work (including vector stores) has drained.
+      if (e.is_barrier) {
+        if (e.seq != c.head_seq) continue;
+        while (!store_buffer_.empty() && store_buffer_.front() <= now)
+          store_buffer_.pop_front();
+        if (!store_buffer_.empty()) continue;  // stores must be visible
+        if (!e.barrier_arrived) {
+          e.barrier_gen = barrier_->arrive(now);
+          e.barrier_arrived = true;
+        }
+        Cycle rel = barrier_->release_time(e.barrier_gen);
+        if (rel == kNeverReady) continue;
+        e.state = RobEntry::St::kIssued;
+        e.complete_at = std::max(rel, now);
+        continue;  // does not consume an execution slot
+      }
+      if (e.is_membar) {
+        if (e.seq != c.head_seq) continue;
+        if (vu_ != nullptr && !vu_->ctx_quiesced(c.work.vctx, now)) continue;
+        while (!store_buffer_.empty() && store_buffer_.front() <= now)
+          store_buffer_.pop_front();
+        if (!store_buffer_.empty()) continue;  // drain buffered stores
+        e.state = RobEntry::St::kIssued;
+        e.complete_at = now + 1;
+        continue;
+      }
+
+      bool ready = true;
+      for (unsigned i = 0; i < e.nsrc; ++i)
+        ready &= operand_ready(c, e.src_seq[i], now);
+      if (ready && e.store_dep_seq != 0)
+        ready &= operand_ready(c, e.store_dep_seq, now);
+      if (!ready) continue;
+
+      const isa::OpInfo& info = isa::op_info(e.inst.op);
+      bool needs_mem = e.is_load || e.is_store;
+      if (needs_mem) {
+        if (mem_avail == 0) continue;
+      } else if (info.fu != isa::FuClass::kNone) {
+        if (arith_avail == 0) continue;
+      }
+
+      if (e.is_load) {
+        --mem_avail;
+        mem::Cache::Result r = l1d_.access(e.mem_addr, false);
+        if (r.hit) {
+          e.complete_at = now + 1 + params_.l1_data_latency;
+        } else {
+          stats_.inc("l1d_misses");
+          if (r.writeback) (void)l2_->access(r.victim_addr, true, now + 1);
+          e.complete_at = l2_->access(e.mem_addr, false, now + 1) +
+                          params_.l1_data_latency;
+          // Next-line prefetch: without it, streaming scalar loops pay the
+          // full memory latency once per line, which no real SU of this
+          // class would.
+          if (params_.l1_prefetch) {
+            Addr next = (e.mem_addr / kLineBytes + 1) * kLineBytes;
+            if (!l1d_.probe(next)) {
+              mem::Cache::Result pr = l1d_.access(next, false);
+              if (pr.writeback)
+                (void)l2_->access(pr.victim_addr, true, now + 1);
+              (void)l2_->access(next, false, now + 1);
+              stats_.inc("l1d_prefetches");
+            }
+          }
+        }
+      } else if (e.is_store) {
+        // Finite store buffer: a full buffer of outstanding store misses
+        // stalls further stores (scattered writes throttle here).
+        while (!store_buffer_.empty() && store_buffer_.front() <= now)
+          store_buffer_.pop_front();
+        if (store_buffer_.size() >= params_.store_buffer) continue;
+        --mem_avail;
+        mem::Cache::Result r = l1d_.access(e.mem_addr, true);
+        Cycle drained = now + 2;
+        if (!r.hit) {
+          stats_.inc("l1d_misses");
+          if (r.writeback) (void)l2_->access(r.victim_addr, true, now + 1);
+          drained = l2_->access(e.mem_addr, false, now + 1);  // line fill
+        }
+        store_buffer_.push_back(drained);
+        e.complete_at = now + 1;  // retires through the store buffer
+      } else {
+        if (info.fu != isa::FuClass::kNone) --arith_avail;
+        e.complete_at = now + info.latency;
+      }
+      e.state = RobEntry::St::kIssued;
+      --budget;
+
+      // A resolved misprediction restarts fetch after the redirect penalty.
+      if (e.mispredicted) {
+        c.fetch_stall_until =
+            std::max(c.fetch_stall_until,
+                     e.complete_at + params_.redirect_penalty);
+        c.redirect_seq = 0;
+        stats_.inc("redirects");
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------- commit ---
+
+void ScalarCore::do_commit(Cycle now) {
+  unsigned budget = params_.width;
+  const unsigned n = static_cast<unsigned>(ctxs_.size());
+  for (unsigned k = 0; k < n && budget > 0; ++k) {
+    CtxState& c = ctxs_[(rr_ + k) % n];
+    if (!c.active || c.done) continue;
+    while (budget > 0 && !c.rob.empty()) {
+      RobEntry& e = c.rob.front();
+      bool committable = false;
+      switch (e.state) {
+        case RobEntry::St::kDone:
+          committable = true;
+          break;
+        case RobEntry::St::kIssued:
+          committable = e.complete_at <= now;
+          break;
+        case RobEntry::St::kVecFlight:
+          committable = e.complete_at <= now;
+          break;
+        default:
+          break;
+      }
+      if (!committable) break;
+
+      if (e.is_vector)
+        ++committed_vector_;
+      else
+        ++committed_scalar_;
+      if (e.is_barrier) {
+        c.fetch_after_barrier = false;
+        stats_.inc("barriers");
+      }
+      if (e.is_halt) c.done = true;
+
+      c.rob.pop_front();
+      ++c.head_seq;
+      --budget;
+      if (c.done) break;
+    }
+  }
+}
+
+}  // namespace vlt::su

@@ -1,0 +1,191 @@
+// Out-of-order superscalar scalar unit (SU) with optional SMT.
+//
+// Matches the paper's Table 3 SU: wide fetch/issue/retire, register
+// renaming, a unified 64-entry instruction window / ROB, 4 arithmetic
+// units, 2 memory ports, and 16 KB 2-way L1 caches. The SU fetches both
+// scalar and vector instructions; vector instructions occupy a ROB slot
+// for precise exceptions and are handed to the vector unit once their
+// scalar operands are ready (paper §2). A 2-way SU halves the window and
+// functional units but keeps the caches (paper §6).
+//
+// Timing methodology: instructions are functionally executed in program
+// order at fetch (there is no wrong-path fetch), and out-of-order timing
+// is modeled with producer links, functional-unit occupancy, and in-order
+// commit. A direction misprediction blocks fetch until the branch resolves
+// plus a redirect penalty.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "func/executor.hpp"
+#include "isa/program.hpp"
+#include "mem/cache.hpp"
+#include "mem/l2_cache.hpp"
+#include "su/branch_pred.hpp"
+#include "vltctl/barrier.hpp"
+#include "vu/vector_unit.hpp"
+
+namespace vlt::su {
+
+struct SuParams {
+  unsigned width = 4;        // fetch/dispatch/issue/commit width
+  unsigned rob_size = 64;    // instruction window and ROB (Table 3)
+  unsigned arith_units = 4;  // shared int/fp datapaths (Table 3)
+  unsigned mem_ports = 2;    // L1 data ports (Table 3)
+  unsigned smt_contexts = 1;
+  unsigned fetch_queue = 16;        // per context
+  std::size_t l1_size = 16 * 1024;  // each of L1I / L1D (Table 3)
+  unsigned l1_ways = 2;
+  unsigned l1_data_latency = 2;
+  unsigned redirect_penalty = 3;  // front-end refill after branch resolve
+  unsigned bpred_bits = 12;
+  bool l1_prefetch = false;  // the Alpha-class SUs of the era lack one
+  unsigned store_buffer = 16;  // outstanding store misses before stalling
+  unsigned vec_handoff_rate = 2;  // vector insts accepted by the VCL/cycle
+
+  /// The paper's 2-way SU: identical caches, half the resources (§6).
+  static SuParams two_way() {
+    SuParams p;
+    p.width = 2;
+    p.rob_size = 32;
+    p.arith_units = 2;
+    p.mem_ports = 1;
+    return p;
+  }
+};
+
+/// Work a hardware context runs: a program plus its thread identity.
+struct ThreadAssignment {
+  const isa::Program* program = nullptr;
+  ThreadId tid = 0;
+  unsigned nthreads = 1;
+  unsigned max_vl = kMaxVectorLength;
+  unsigned vctx = 0;  // vector-unit partition this thread drives
+};
+
+class ScalarCore {
+ public:
+  ScalarCore(const SuParams& p, func::FuncMemory& memory, mem::L2Cache& l2,
+             vltctl::BarrierController& barrier, vu::VectorUnit* vu);
+
+  /// Binds `work` to SMT context `ctx` and resets its pipeline state.
+  void start_context(unsigned ctx, const ThreadAssignment& work, Cycle now);
+
+  /// Releases all contexts (between phases).
+  void clear_contexts();
+
+  void tick(Cycle now);
+
+  bool context_done(unsigned ctx) const;
+  bool all_done() const;
+  unsigned num_contexts() const { return static_cast<unsigned>(ctxs_.size()); }
+  bool context_active(unsigned ctx) const { return ctxs_[ctx].active; }
+
+  const func::ArchState& arch_state(unsigned ctx) const {
+    return ctxs_[ctx].arch;
+  }
+
+  // --- statistics ---
+  std::uint64_t committed_scalar() const { return committed_scalar_; }
+  std::uint64_t committed_vector() const { return committed_vector_; }
+  const BranchPredictor& predictor() const { return bpred_; }
+  const mem::Cache& l1d() const { return l1d_; }
+  const mem::Cache& l1i() const { return l1i_; }
+  const StatSet& stats() const { return stats_; }
+
+ private:
+  struct RobEntry {
+    isa::Instruction inst;
+    std::uint64_t pc = 0;
+    std::uint64_t seq = 0;
+    // Producer seq numbers within the same context (scalar registers),
+    // plus an optional older-store memory dependence.
+    std::array<std::uint64_t, 3> src_seq{};
+    unsigned nsrc = 0;
+    std::uint64_t store_dep_seq = 0;
+    Cycle complete_at = kNeverReady;
+    enum class St : std::uint8_t {
+      kWaiting,     // in window, not yet issued
+      kIssued,      // executing; completes at complete_at
+      kDone,        // result available
+      kVecWait,     // vector op waiting for scalar operands / VIQ space
+      kVecFlight,   // handed to the vector unit
+    } state = St::kWaiting;
+    bool is_load = false;
+    bool is_store = false;
+    bool is_barrier = false;
+    bool is_membar = false;
+    bool is_halt = false;
+    bool is_vector = false;
+    bool vec_scalar_dst = false;  // reduction: VU fills complete_at
+    bool mispredicted = false;
+    Addr mem_addr = 0;
+    std::vector<Addr> vaddrs;
+    unsigned vl = 0;
+    bool barrier_arrived = false;
+    std::uint64_t barrier_gen = 0;
+  };
+
+  struct FetchedInst {
+    isa::Instruction inst;
+    std::uint64_t pc = 0;
+    std::vector<Addr> addrs;
+    unsigned vl = 0;  // VL captured at functional execution
+    bool mispredicted = false;
+  };
+
+  struct CtxState {
+    bool active = false;
+    bool done = false;
+    ThreadAssignment work;
+    func::ArchState arch;
+    func::ExecContext ectx;
+
+    std::deque<FetchedInst> fq;
+    std::uint64_t fetch_pc = 0;
+    bool fetch_halted = false;     // stop after HALT/BARRIER fetched
+    bool fetch_after_barrier = false;
+    Cycle fetch_stall_until = 0;   // I-miss or branch redirect
+    std::uint64_t redirect_seq = 0;  // unresolved mispredicted branch
+    Addr cur_fetch_line = ~Addr{0};
+
+    std::deque<RobEntry> rob;
+    std::uint64_t next_seq = 1;
+    std::uint64_t head_seq = 1;
+    std::array<std::uint64_t, kNumScalarRegs> rename{};  // reg -> seq
+  };
+
+  void do_fetch(Cycle now);
+  void do_dispatch(Cycle now);
+  void do_issue(Cycle now);
+  void do_commit(Cycle now);
+
+  void fetch_context(CtxState& c, unsigned budget, Cycle now);
+  bool operand_ready(const CtxState& c, std::uint64_t seq, Cycle now) const;
+  RobEntry* find_entry(CtxState& c, std::uint64_t seq);
+  const RobEntry* find_entry(const CtxState& c, std::uint64_t seq) const;
+
+  SuParams params_;
+  func::Executor executor_;
+  mem::L2Cache* l2_;
+  vltctl::BarrierController* barrier_;
+  vu::VectorUnit* vu_;
+
+  mem::Cache l1i_;
+  mem::Cache l1d_;
+  BranchPredictor bpred_;
+  std::vector<CtxState> ctxs_;
+  unsigned rr_ = 0;  // SMT round-robin rotation
+
+  std::uint64_t committed_scalar_ = 0;
+  std::uint64_t committed_vector_ = 0;
+  StatSet stats_;
+  std::vector<Addr> addr_scratch_;
+  std::deque<Cycle> store_buffer_;  // completion times of in-flight stores
+};
+
+}  // namespace vlt::su

@@ -1,0 +1,50 @@
+#include "vltctl/barrier.hpp"
+
+#include "common/log.hpp"
+
+namespace vlt::vltctl {
+
+void BarrierController::begin_phase(unsigned nthreads,
+                                    unsigned release_latency) {
+  for (const Gen& g : gens_)
+    VLT_CHECK(g.arrivals == 0 || g.arrivals == nthreads_,
+              "phase ended with a half-full barrier generation");
+  base_gen_ += gens_.size();
+  gens_.clear();
+  nthreads_ = nthreads;
+  release_latency_ = release_latency;
+}
+
+std::uint64_t BarrierController::arrive(Cycle now) {
+  // Find the first generation this caller has not filled yet: arrivals are
+  // one-per-thread-per-generation, so the first non-released generation
+  // with capacity is the right one.
+  for (std::size_t i = 0; i < gens_.size(); ++i) {
+    Gen& g = gens_[i];
+    if (g.arrivals < nthreads_) {
+      ++g.arrivals;
+      if (now > g.last_arrival) g.last_arrival = now;
+      if (g.arrivals == nthreads_) g.release = g.last_arrival + release_latency_;
+      return base_gen_ + i;
+    }
+  }
+  gens_.push_back(Gen{1, now, nthreads_ == 1 ? now + release_latency_
+                                             : kNeverReady});
+  return base_gen_ + gens_.size() - 1;
+}
+
+Cycle BarrierController::release_time(std::uint64_t generation) const {
+  VLT_CHECK(generation >= base_gen_, "barrier generation from an old phase");
+  std::size_t idx = generation - base_gen_;
+  VLT_CHECK(idx < gens_.size(), "unknown barrier generation");
+  return gens_[idx].release;
+}
+
+std::uint64_t BarrierController::generations_completed() const {
+  std::uint64_t n = 0;
+  for (const Gen& g : gens_)
+    if (g.arrivals == nthreads_) ++n;
+  return n;
+}
+
+}  // namespace vlt::vltctl

@@ -1,0 +1,46 @@
+// Generation-counted barrier used by SPMD phases (radix, ocean, …).
+//
+// A core "arrives" when its barrier instruction reaches the head of the
+// reorder buffer / scoreboard (all older work complete) and learns the
+// release cycle once every thread of the phase has arrived. The release
+// charge models the cost of the memory-based barrier the paper's thread
+// library would use.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vlt::vltctl {
+
+class BarrierController {
+ public:
+  /// Starts a new phase with `nthreads` participants; `release_latency`
+  /// is charged from the last arrival to the release.
+  void begin_phase(unsigned nthreads, unsigned release_latency);
+
+  /// Registers an arrival at cycle `now`; returns the generation index the
+  /// caller should poll with release_time().
+  std::uint64_t arrive(Cycle now);
+
+  /// Release cycle of `generation`, or kNeverReady while threads are still
+  /// missing.
+  Cycle release_time(std::uint64_t generation) const;
+
+  std::uint64_t generations_completed() const;
+
+ private:
+  struct Gen {
+    unsigned arrivals = 0;
+    Cycle last_arrival = 0;
+    Cycle release = kNeverReady;
+  };
+
+  unsigned nthreads_ = 1;
+  unsigned release_latency_ = 0;
+  std::uint64_t base_gen_ = 0;  // generations retired in earlier phases
+  std::vector<Gen> gens_;
+};
+
+}  // namespace vlt::vltctl

@@ -1,0 +1,35 @@
+#include "vltctl/partition.hpp"
+
+#include "common/log.hpp"
+
+namespace vlt::vltctl {
+
+LanePartition make_partition(unsigned lanes, unsigned nthreads) {
+  VLT_CHECK(nthreads >= 1 && lanes >= 1, "empty partition");
+  VLT_CHECK(lanes % nthreads == 0,
+            "thread count must divide the lane count evenly");
+  LanePartition p;
+  p.nthreads = nthreads;
+  p.lanes_per_thread = lanes / nthreads;
+  // The per-lane register file stores kMaxVectorLength / lanes elements of
+  // each architectural register; a thread owning lanes_per_thread lanes can
+  // hold vectors of that many elements per register without new storage.
+  p.max_vl_per_thread = kMaxVectorLength / nthreads;
+  return p;
+}
+
+std::vector<LanePartition> supported_partitions(unsigned lanes) {
+  std::vector<LanePartition> out;
+  for (unsigned n = 1; n <= lanes; ++n)
+    if (lanes % n == 0) out.push_back(make_partition(lanes, n));
+  return out;
+}
+
+std::vector<unsigned> lane_elements(unsigned lane, unsigned lanes,
+                                    unsigned vl) {
+  std::vector<unsigned> out;
+  for (unsigned e = lane; e < vl; e += lanes) out.push_back(e);
+  return out;
+}
+
+}  // namespace vlt::vltctl

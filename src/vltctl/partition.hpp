@@ -1,0 +1,31 @@
+// Lane-partitioning policy (paper §3.1): the number of lanes assigned to
+// each thread matches its data-level parallelism — 2 threads x 4 lanes,
+// 4 threads x 2 lanes, or 8 scalar threads x 1 lane on the 8-lane machine.
+#pragma once
+
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vlt::vltctl {
+
+struct LanePartition {
+  unsigned nthreads = 1;
+  unsigned lanes_per_thread = 8;
+  unsigned max_vl_per_thread = kMaxVectorLength;
+};
+
+/// Valid partition for `nthreads` vector threads over `lanes` lanes.
+/// Requires nthreads to divide the lane count evenly (paper §3.1).
+LanePartition make_partition(unsigned lanes, unsigned nthreads);
+
+/// All partitionings supported by an n-lane machine (1..n threads).
+std::vector<LanePartition> supported_partitions(unsigned lanes);
+
+/// First element of each vector register held by `lane` under a
+/// round-robin element distribution (paper §2); used by tests to check
+/// the register-file reuse argument of §3.2.
+std::vector<unsigned> lane_elements(unsigned lane, unsigned lanes,
+                                    unsigned vl);
+
+}  // namespace vlt::vltctl

@@ -1,0 +1,236 @@
+#include "vu/vector_unit.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace vlt::vu {
+
+using isa::FuClass;
+using isa::Instruction;
+using isa::Opcode;
+
+namespace {
+
+unsigned chime(unsigned vl, unsigned lanes) {
+  return vl == 0 ? 1 : (vl + lanes - 1) / lanes;
+}
+
+}  // namespace
+
+VectorUnit::VectorUnit(const VuParams& p, mem::L2Cache& l2)
+    : params_(p), l2_(&l2) {
+  VLT_CHECK(params_.lanes >= 1, "vector unit needs at least one lane");
+  configure_contexts(1, 0);
+}
+
+void VectorUnit::configure_contexts(unsigned num_contexts, Cycle now) {
+  VLT_CHECK(num_contexts >= 1 && params_.lanes % num_contexts == 0,
+            "lanes must divide evenly across vector threads");
+  for (unsigned i = 0; i < ctxs_.size(); ++i)
+    VLT_CHECK(ctx_quiesced(i, now),
+              "reconfiguring the vector unit while busy");
+  active_contexts_ = num_contexts;
+  ctxs_.assign(num_contexts, Ctx{});
+  auto ready = std::make_shared<OpTiming>(OpTiming{0, 0, false});
+  for (Ctx& c : ctxs_) {
+    c.vreg.assign(kNumVectorRegs, ready);
+    c.mask = ready;
+    c.fu_free.assign(params_.arith_fus + params_.mem_ports, now);
+    c.outstanding_until = now;
+  }
+  rr_ctx_ = 0;
+}
+
+bool VectorUnit::try_dispatch(VecDispatch&& d, Cycle now) {
+  VLT_CHECK(d.vctx < ctxs_.size(), "vector context out of range");
+  Ctx& c = ctxs_[d.vctx];
+  unsigned viq_cap = std::max(1u, params_.viq_size / active_contexts_);
+  if (c.viq.size() >= viq_cap) return false;
+  if (c.outstanding_until < now) c.outstanding_until = now;
+  c.viq.push_back(std::move(d));
+  return true;
+}
+
+void VectorUnit::rename_into_window(Ctx& c) {
+  unsigned win_cap = std::max(1u, params_.window_size / active_contexts_);
+  unsigned moved = 0;
+  while (!c.viq.empty() && c.window.size() < win_cap &&
+         moved < params_.issue_width) {
+    WinEntry e;
+    e.op = std::move(c.viq.front());
+    c.viq.pop_front();
+    ++moved;
+
+    const Instruction& inst = e.op.inst;
+    isa::RegList vsrc = isa::vector_src_regs(inst);
+    for (unsigned i = 0; i < vsrc.n; ++i) e.srcs[e.nsrc++] = c.vreg[vsrc.r[i]];
+    if (isa::reads_mask(inst)) e.srcs[e.nsrc++] = c.mask;
+
+    RegIdx vd;
+    if (isa::vector_dst_reg(inst, vd)) {
+      e.out = std::make_shared<OpTiming>();
+      c.vreg[vd] = e.out;
+    } else if (isa::writes_mask(inst)) {
+      e.out = std::make_shared<OpTiming>();
+      c.mask = e.out;
+    }
+    c.window.push_back(std::move(e));
+  }
+}
+
+bool VectorUnit::entry_ready(const WinEntry& e, Cycle now) const {
+  for (unsigned i = 0; i < e.nsrc; ++i) {
+    const OpTiming& t = *e.srcs[i];
+    Cycle gate = t.from_mem ? t.complete : t.chain_ready;
+    if (gate > now) return false;
+  }
+  return true;
+}
+
+Cycle VectorUnit::memory_op_completion(const VecDispatch& op, Cycle start,
+                                       unsigned lanes_assigned,
+                                       bool is_store) {
+  // Unit-stride accesses coalesce into line-granularity requests; strided
+  // and indexed accesses are element-granular and feel bank conflicts.
+  const bool unit_stride =
+      op.inst.op == Opcode::kVload || op.inst.op == Opcode::kVstore;
+  Cycle latest = start;
+  if (unit_stride) {
+    Addr prev_line = ~Addr{0};
+    unsigned line_idx = 0;
+    for (Addr a : op.addrs) {
+      Addr line = a / kLineBytes;
+      if (line == prev_line) continue;
+      prev_line = line;
+      Cycle t = l2_->access(a, is_store, start + line_idx);
+      ++line_idx;
+      latest = std::max(latest, t);
+    }
+  } else {
+    for (std::size_t i = 0; i < op.addrs.size(); ++i) {
+      Cycle t = l2_->access(op.addrs[i], is_store,
+                            start + i / std::max(1u, lanes_assigned));
+      latest = std::max(latest, t);
+    }
+  }
+  return latest + 2;  // lane return path
+}
+
+bool VectorUnit::try_issue(Ctx& c, WinEntry& e, Cycle now,
+                           unsigned lanes_assigned) {
+  const Instruction& inst = e.op.inst;
+  const isa::OpInfo& info = isa::op_info(inst.op);
+
+  unsigned fu;
+  switch (info.fu) {
+    case FuClass::kVAlu0: fu = 0; break;
+    case FuClass::kVAlu1: fu = 1; break;
+    case FuClass::kVAlu2: fu = 2; break;
+    case FuClass::kVMem: {
+      // Pick the earlier-free of the two vLSU ports.
+      unsigned p0 = params_.arith_fus;
+      fu = p0;
+      for (unsigned p = p0; p < p0 + params_.mem_ports; ++p)
+        if (c.fu_free[p] < c.fu_free[fu]) fu = p;
+      break;
+    }
+    default:
+      VLT_CHECK(false, "non-vector opcode in vector window");
+      return false;
+  }
+  if (c.fu_free[fu] > now) return false;
+  if (!entry_ready(e, now)) return false;
+
+  const Cycle start = now;
+  const unsigned dur = chime(e.op.vl, lanes_assigned);
+  c.fu_free[fu] = start + dur;
+
+  Cycle complete;
+  bool from_mem = false;
+  if (info.fu == FuClass::kVMem) {
+    bool st = isa::is_store(inst.op);
+    complete = memory_op_completion(e.op, start, lanes_assigned, st);
+    from_mem = !st;
+  } else {
+    complete = start + info.latency + dur - 1;
+  }
+
+  if (e.out) {
+    e.out->chain_ready =
+        params_.chaining ? start + info.latency : complete;
+    e.out->complete = complete;
+    e.out->from_mem = from_mem;
+  }
+  if (e.op.scalar_done)
+    *e.op.scalar_done = complete + params_.scalar_xfer_latency;
+
+  c.outstanding_until = std::max(c.outstanding_until, complete);
+
+  // Figure 4 accounting: arithmetic datapaths only.
+  if (fu < params_.arith_fus) {
+    util_.busy += e.op.vl;
+    util_.partly_idle +=
+        static_cast<std::uint64_t>(dur) * lanes_assigned - e.op.vl;
+  }
+  vl_hist_.add(e.op.vl);
+  elem_ops_ += e.op.vl;
+  ++insts_issued_;
+  // Debug issue trace, enabled with VLT_TRACE=1 in the environment.
+  static const bool trace = std::getenv("VLT_TRACE") != nullptr;
+  if (trace && insts_issued_ < 200)
+    std::fprintf(stderr,
+                 "[vu] t=%llu issue %s vl=%u fu=%u dur=%u complete=%llu\n",
+                 static_cast<unsigned long long>(now),
+                 isa::op_info(inst.op).name, e.op.vl, fu, dur,
+                 static_cast<unsigned long long>(complete));
+  return true;
+}
+
+void VectorUnit::tick(Cycle now) {
+  for (Ctx& c : ctxs_) rename_into_window(c);
+
+  // Each thread partition keeps the full per-stream issue rate: the lane
+  // groups have independent control paths, and the multiplexed VCL's
+  // renaming/window slices are statically partitioned. This reproduces the
+  // paper's finding (§3.2) that a multiplexed VCL performs as fast as a
+  // replicated one.
+  const unsigned n = active_contexts_;
+  for (unsigned k = 0; k < n; ++k) {
+    Ctx& c = ctxs_[(rr_ctx_ + k) % n];
+    unsigned budget = params_.issue_width;
+    // Out-of-order issue from the window (renaming removed WAW/WAR).
+    for (auto it = c.window.begin(); it != c.window.end() && budget > 0;) {
+      if (try_issue(c, *it, now, params_.lanes / n)) {
+        --budget;
+        it = c.window.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  rr_ctx_ = n ? (rr_ctx_ + 1) % n : 0;
+
+  // Figure 4 stall/idle accounting for arithmetic datapaths.
+  const unsigned lanes_assigned = params_.lanes / n;
+  for (Ctx& c : ctxs_) {
+    bool work_waiting = !c.viq.empty() || !c.window.empty();
+    for (unsigned f = 0; f < params_.arith_fus; ++f) {
+      if (c.fu_free[f] > now) continue;  // busy: accounted at issue
+      if (work_waiting)
+        util_.stalled += lanes_assigned;
+      else
+        util_.all_idle += lanes_assigned;
+    }
+  }
+}
+
+bool VectorUnit::ctx_quiesced(unsigned vctx, Cycle now) const {
+  if (vctx >= ctxs_.size()) return true;
+  const Ctx& c = ctxs_[vctx];
+  return c.viq.empty() && c.window.empty() && c.outstanding_until <= now;
+}
+
+}  // namespace vlt::vu

@@ -1,0 +1,145 @@
+// Vector unit: vector control logic (VCL) plus the lane datapaths.
+//
+// The VCL implements out-of-order issue of vector instructions (paper §2,
+// citing Espasa's out-of-order vector architectures): a vector instruction
+// queue (VIQ), register renaming, a vector instruction window, and 2-way
+// issue onto the vector functional units. Execution follows the chime
+// model: an instruction occupies its functional unit for
+// ceil(VL / lanes_assigned) cycles; arithmetic chaining lets a dependent
+// start `latency` cycles after its producer starts.
+//
+// Under VLT the unit is partitioned into `num_contexts` thread partitions
+// (paper §3.2): each vector-thread context owns lanes/num_contexts lanes,
+// a VIQ/window slice, and its own per-lane functional units, while the
+// multiplexed VCL shares instruction issue bandwidth round-robin — the
+// "multiplexed VCL with statically partitioned resources" the paper found
+// to perform as well as a replicated one at negligible area cost.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "common/histogram.hpp"
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+#include "mem/l2_cache.hpp"
+
+namespace vlt::vu {
+
+struct VuParams {
+  unsigned lanes = 8;
+  unsigned issue_width = 2;   // VCL instruction issue rate (Table 3)
+  unsigned viq_size = 32;     // vector instruction queue (Table 3)
+  unsigned window_size = 32;  // vector instruction window (Table 3)
+  unsigned arith_fus = 3;     // arithmetic datapaths per lane (Table 3)
+  unsigned mem_ports = 2;     // memory ports per lane (Table 3)
+  unsigned scalar_xfer_latency = 3;  // vector->scalar result forwarding
+  bool chaining = true;  // dependent vector ops start after `latency` cycles
+                         // instead of waiting for full completion (ablation)
+};
+
+/// A vector instruction handed over by a scalar unit. Scalar operands are
+/// guaranteed ready; element addresses were produced by the functional
+/// executor at fetch.
+struct VecDispatch {
+  isa::Instruction inst;
+  unsigned vl = 0;
+  std::vector<Addr> addrs;       // one per (unmasked) element for memory ops
+  unsigned vctx = 0;             // vector-thread partition
+  Cycle* scalar_done = nullptr;  // completion cell for reductions (SU ROB)
+};
+
+/// Arithmetic-datapath utilization accounting for Figure 4. All counts are
+/// lane-cycles summed over the arithmetic datapaths of all lanes.
+struct DatapathUtilization {
+  std::uint64_t busy = 0;         // element operations executed
+  std::uint64_t partly_idle = 0;  // slots wasted because VL < a full chime
+  std::uint64_t stalled = 0;      // FU idle while work waits (deps/issue bw)
+  std::uint64_t all_idle = 0;     // no vector instruction in flight at all
+
+  DatapathUtilization operator-(const DatapathUtilization& o) const {
+    return {busy - o.busy, partly_idle - o.partly_idle, stalled - o.stalled,
+            all_idle - o.all_idle};
+  }
+  std::uint64_t total() const {
+    return busy + partly_idle + stalled + all_idle;
+  }
+};
+
+class VectorUnit {
+ public:
+  VectorUnit(const VuParams& p, mem::L2Cache& l2);
+
+  /// Reconfigures the lane partitioning (phase change). All contexts must
+  /// be quiesced.
+  void configure_contexts(unsigned num_contexts, Cycle now);
+
+  /// Accepts a vector instruction into vctx's VIQ slice; false when full.
+  bool try_dispatch(VecDispatch&& d, Cycle now);
+
+  /// Advances the VCL by one cycle: VIQ -> window renaming and issue.
+  void tick(Cycle now);
+
+  /// True when the context has no instruction in flight at or after `now`.
+  bool ctx_quiesced(unsigned vctx, Cycle now) const;
+
+  unsigned lanes() const { return params_.lanes; }
+  unsigned lanes_per_ctx() const { return params_.lanes / active_contexts_; }
+  unsigned max_vl_per_ctx() const {
+    return kMaxVectorLength / active_contexts_;
+  }
+  unsigned num_contexts() const { return active_contexts_; }
+
+  // --- statistics ---
+  const DatapathUtilization& utilization() const { return util_; }
+  const Histogram& vl_histogram() const { return vl_hist_; }
+  std::uint64_t instructions_issued() const { return insts_issued_; }
+  std::uint64_t element_ops() const { return elem_ops_; }
+
+ private:
+  /// Timing of one renamed vector result. Filled in at issue; consumers
+  /// renamed against it wait until the values become concrete.
+  struct OpTiming {
+    Cycle chain_ready = kNeverReady;  // earliest a chained consumer starts
+    Cycle complete = kNeverReady;     // full result availability
+    bool from_mem = false;            // loads disable chaining
+  };
+  using TimingRef = std::shared_ptr<OpTiming>;
+
+  struct WinEntry {
+    VecDispatch op;
+    std::array<TimingRef, 4> srcs{};  // vector/mask producers (snapshot)
+    unsigned nsrc = 0;
+    TimingRef out;  // destination record (vector reg or mask), may be null
+  };
+
+  struct Ctx {
+    std::deque<VecDispatch> viq;
+    std::deque<WinEntry> window;
+    std::vector<TimingRef> vreg;  // rename table, kNumVectorRegs entries
+    TimingRef mask;
+    std::vector<Cycle> fu_free;  // arith_fus entries, then mem_ports
+    Cycle outstanding_until = 0;
+  };
+
+  void rename_into_window(Ctx& c);
+  bool entry_ready(const WinEntry& e, Cycle now) const;
+  bool try_issue(Ctx& c, WinEntry& e, Cycle now, unsigned lanes_assigned);
+  Cycle memory_op_completion(const VecDispatch& op, Cycle start,
+                             unsigned lanes_assigned, bool is_store);
+
+  VuParams params_;
+  mem::L2Cache* l2_;
+  std::vector<Ctx> ctxs_;
+  unsigned active_contexts_ = 1;
+
+  DatapathUtilization util_;
+  Histogram vl_hist_;
+  std::uint64_t insts_issued_ = 0;
+  std::uint64_t elem_ops_ = 0;
+  unsigned rr_ctx_ = 0;
+};
+
+}  // namespace vlt::vu

@@ -1,0 +1,12 @@
+// Convenience umbrella header for the nine applications of Table 4.
+#pragma once
+
+#include "workloads/barnes.hpp"
+#include "workloads/bt.hpp"
+#include "workloads/mpenc.hpp"
+#include "workloads/multprec.hpp"
+#include "workloads/mxm.hpp"
+#include "workloads/ocean.hpp"
+#include "workloads/radix.hpp"
+#include "workloads/sage.hpp"
+#include "workloads/trfd.hpp"

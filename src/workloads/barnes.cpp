@@ -1,0 +1,296 @@
+#include "workloads/barnes.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "workloads/kernel_util.hpp"
+
+namespace vlt::workloads {
+
+using isa::ProgramBuilder;
+
+namespace {
+constexpr double kTheta2 = 1.0;    // opening criterion: size^2 >= theta^2*d^2
+constexpr double kEps = 0.03125;   // softening, exact in binary
+}
+
+int BarnesWorkload::insert(int node, double x, double y, double cx, double cy,
+                           double half, int body) {
+  VLT_CHECK(half > 1e-12, "barnes: tree recursion too deep (duplicate body?)");
+  bool has_children =
+      tree_[node].child[0] >= 0 || tree_[node].child[1] >= 0 ||
+      tree_[node].child[2] >= 0 || tree_[node].child[3] >= 0;
+  if (!has_children && tree_[node].body < 0) {
+    tree_[node].body = body;
+    return node;
+  }
+  if (!has_children && tree_[node].body >= 0) {
+    // Subdivide: push the resident body one level down first.
+    int old = tree_[node].body;
+    tree_[node].body = -1;
+    insert_child(node, pos_x_[old], pos_y_[old], cx, cy, half, old);
+  }
+  insert_child(node, x, y, cx, cy, half, body);
+  return node;
+}
+
+void BarnesWorkload::insert_child(int node, double x, double y, double cx,
+                                  double cy, double half, int body) {
+  int q = (x >= cx ? 1 : 0) + (y >= cy ? 2 : 0);
+  double qx = cx + (x >= cx ? half / 2 : -half / 2);
+  double qy = cy + (y >= cy ? half / 2 : -half / 2);
+  if (tree_[node].child[q] < 0) {
+    Node child;
+    child.size2 = half * half;  // child region side = half
+    tree_.push_back(child);
+    tree_[node].child[q] = static_cast<int>(tree_.size()) - 1;
+  }
+  insert(tree_[node].child[q], x, y, qx, qy, half / 2, body);
+}
+
+void BarnesWorkload::aggregate(int node) {
+  Node& n = tree_[node];
+  if (n.body >= 0) {
+    n.mass = mass_[n.body];
+    n.cx = pos_x_[n.body];
+    n.cy = pos_y_[n.body];
+    return;
+  }
+  double m = 0, sx = 0, sy = 0;
+  for (int q = 0; q < 4; ++q) {
+    int c = n.child[q];
+    if (c < 0) continue;
+    aggregate(c);
+    m += tree_[c].mass;
+    sx += tree_[c].mass * tree_[c].cx;
+    sy += tree_[c].mass * tree_[c].cy;
+  }
+  n.mass = m;
+  n.cx = m > 0 ? sx / m : 0;
+  n.cy = m > 0 ? sy / m : 0;
+}
+
+BarnesWorkload::BarnesWorkload(unsigned bodies) : nb_(bodies) {
+  Xorshift64 rng(0xBA24E5ull);
+  pos_x_.resize(nb_);
+  pos_y_.resize(nb_);
+  mass_.resize(nb_);
+  for (unsigned i = 0; i < nb_; ++i) {
+    pos_x_[i] = rng.next_double();
+    pos_y_[i] = rng.next_double();
+    mass_[i] = 1.0 + static_cast<double>(i % 4) * 0.25;
+  }
+
+  tree_.push_back(Node{});
+  tree_[0].size2 = 1.0;  // root region side = 1
+  for (unsigned i = 0; i < nb_; ++i)
+    insert(0, pos_x_[i], pos_y_[i], 0.5, 0.5, 0.5, static_cast<int>(i));
+  aggregate(0);
+
+  func::AddressAllocator alloc;
+  nodes_ = alloc.alloc_words(tree_.size() * kNodeWords);
+  bx_ = alloc.alloc_words(nb_);
+  by_ = alloc.alloc_words(nb_);
+  fx_ = alloc.alloc_words(nb_);
+  fy_ = alloc.alloc_words(nb_);
+  stacks_ = alloc.alloc_words(std::size_t{kMaxThreads} * kStackSlots);
+
+  // Golden: mirror the kernel's explicit-stack walk and FP order exactly.
+  golden_fx_.assign(nb_, 0.0);
+  golden_fy_.assign(nb_, 0.0);
+  std::vector<int> stack;
+  for (unsigned b = 0; b < nb_; ++b) {
+    double fx = 0, fy = 0;
+    stack.clear();
+    stack.push_back(0);
+    while (!stack.empty()) {
+      int idx = stack.back();
+      stack.pop_back();
+      const Node& n = tree_[idx];
+      double dx = n.cx - pos_x_[b];
+      double dy = n.cy - pos_y_[b];
+      double d2 = dx * dx + dy * dy;
+      d2 = d2 + kEps;
+      bool leaf = n.child[0] < 0 && n.child[1] < 0 && n.child[2] < 0 &&
+                  n.child[3] < 0;
+      bool accept = leaf || n.size2 < kTheta2 * d2;
+      if (accept) {
+        double den = d2 * std::sqrt(d2);
+        double f = n.mass / den;
+        fx = fx + f * dx;
+        fy = fy + f * dy;
+      } else {
+        for (int q = 0; q < 4; ++q)  // pushed 0..3, popped 3..0
+          if (n.child[q] >= 0) stack.push_back(n.child[q]);
+      }
+    }
+    golden_fx_[b] = fx;
+    golden_fy_[b] = fy;
+  }
+}
+
+void BarnesWorkload::init_memory(func::FuncMemory& mem) const {
+  for (std::size_t i = 0; i < tree_.size(); ++i) {
+    Addr base = nodes_ + i * kNodeWords * 8;
+    mem.write_f64(base, tree_[i].mass);
+    mem.write_f64(base + 8, tree_[i].cx);
+    mem.write_f64(base + 16, tree_[i].cy);
+    mem.write_f64(base + 24, tree_[i].size2);
+    for (int q = 0; q < 4; ++q)
+      mem.write_i64(base + 32 + 8 * q,
+                    tree_[i].child[q] < 0 ? 0 : tree_[i].child[q] + 1);
+  }
+  for (unsigned b = 0; b < nb_; ++b) {
+    mem.write_f64(bx_ + 8 * b, pos_x_[b]);
+    mem.write_f64(by_ + 8 * b, pos_y_[b]);
+  }
+}
+
+isa::Program BarnesWorkload::walk_program(unsigned tid,
+                                          unsigned nthreads) const {
+  ProgramBuilder b("barnes-t" + std::to_string(tid));
+  constexpr RegIdx bi = 1, nb = 2, step = 3, sp = 4, idx = 5, scr = 6,
+                   stB = 16, ndP = 17, p = 18, bx = 33, by = 34, fx = 35,
+                   fy = 36, m = 37, cxv = 38, cyv = 39, s2v = 40, dx = 41,
+                   dy = 42, d2 = 43, t = 44, t2 = 45, c0 = 20, c1 = 21,
+                   c2 = 22, c3 = 23, theta2 = 48, eps = 49, cc = 24;
+
+  b.li_f64(theta2, kTheta2);
+  b.li_f64(eps, kEps);
+  b.li(stB, static_cast<std::int64_t>(stacks_ + 8 * kStackSlots * tid));
+  b.li(bi, tid);
+  b.li(nb, nb_);
+  b.li(step, nthreads);
+  auto body_top = b.label();
+  auto body_done = b.label();
+  b.bind(body_top);
+  b.bge(bi, nb, body_done);
+
+  b.slli(scr, bi, 3);
+  b.li(p, static_cast<std::int64_t>(bx_));
+  b.add(p, p, scr);
+  b.load(bx, p);
+  b.li(p, static_cast<std::int64_t>(by_));
+  b.add(p, p, scr);
+  b.load(by, p);
+  b.xor_(fx, fx, fx);
+  b.xor_(fy, fy, fy);
+  // push root (index 0)
+  b.store(stB, rZ);
+  b.li(sp, 8);
+
+  auto walk_top = b.label();
+  auto walk_done = b.label();
+  auto accumulate = b.label();
+  auto next_node = b.label();
+  b.bind(walk_top);
+  b.beq(sp, rZ, walk_done);
+  b.addi(sp, sp, -8);
+  b.add(p, stB, sp);
+  b.load(idx, p);
+  b.slli(ndP, idx, 6);  // 8 words per node
+  b.li(scr, static_cast<std::int64_t>(nodes_));
+  b.add(ndP, ndP, scr);
+  b.load(m, ndP, 0);
+  b.load(cxv, ndP, 8);
+  b.load(cyv, ndP, 16);
+  b.load(s2v, ndP, 24);
+  b.fsub(dx, cxv, bx);
+  b.fsub(dy, cyv, by);
+  b.fmul(t, dx, dx);
+  b.fmul(t2, dy, dy);
+  b.fadd(d2, t, t2);
+  b.fadd(d2, d2, eps);
+  b.load(c0, ndP, 32);
+  b.load(c1, ndP, 40);
+  b.load(c2, ndP, 48);
+  b.load(c3, ndP, 56);
+  b.or_(scr, c0, c1);
+  b.or_(scr, scr, c2);
+  b.or_(scr, scr, c3);
+  b.beq(scr, rZ, accumulate);  // leaf
+  b.fmul(t, theta2, d2);
+  b.flt(scr, s2v, t);
+  b.bne(scr, rZ, accumulate);  // far enough away: use the aggregate
+  // open the node: push children (popped in reverse order)
+  for (RegIdx c : {c0, c1, c2, c3}) {
+    auto skip = b.label();
+    b.beq(c, rZ, skip);
+    b.addi(cc, c, -1);
+    b.add(p, stB, sp);
+    b.store(p, cc);
+    b.addi(sp, sp, 8);
+    b.bind(skip);
+  }
+  b.jump(walk_top);
+
+  b.bind(accumulate);
+  b.fsqrt(t, d2);
+  b.fmul(t, d2, t);   // d2^(3/2)
+  b.fdiv(t, m, t);    // f = m / d2^(3/2)
+  b.fmul(t2, t, dx);
+  b.fadd(fx, fx, t2);
+  b.fmul(t2, t, dy);
+  b.fadd(fy, fy, t2);
+  b.jump(walk_top);
+  b.bind(next_node);  // (unused label kept for structure)
+
+  b.bind(walk_done);
+  b.slli(scr, bi, 3);
+  b.li(p, static_cast<std::int64_t>(fx_));
+  b.add(p, p, scr);
+  b.store(p, fx);
+  b.li(p, static_cast<std::int64_t>(fy_));
+  b.add(p, p, scr);
+  b.store(p, fy);
+  b.add(bi, bi, step);
+  b.jump(body_top);
+  b.bind(body_done);
+  b.halt();
+  return b.build();
+}
+
+machine::ParallelProgram BarnesWorkload::build(const Variant& variant) const {
+  unsigned nthreads =
+      variant.kind == Variant::Kind::kBase ? 1 : variant.nthreads;
+  VLT_CHECK(supports(variant.kind), "unsupported barnes variant");
+
+  machine::ParallelProgram prog;
+  prog.name = name();
+  machine::Phase walk;
+  walk.label = "force-walk";
+  walk.vlt_opportunity = true;
+  switch (variant.kind) {
+    case Variant::Kind::kBase:
+      walk.mode = machine::PhaseMode::kSerial;
+      break;
+    case Variant::Kind::kLaneThreads:
+      walk.mode = machine::PhaseMode::kLaneThreads;
+      break;
+    case Variant::Kind::kSuThreads:
+      walk.mode = machine::PhaseMode::kSuThreads;
+      break;
+    default:
+      VLT_CHECK(false, "unreachable");
+  }
+  for (unsigned t = 0; t < nthreads; ++t)
+    walk.programs.push_back(walk_program(t, nthreads));
+  prog.phases.push_back(std::move(walk));
+  return prog;
+}
+
+std::optional<std::string> BarnesWorkload::verify(
+    const func::FuncMemory& mem) const {
+  auto fx = mem.read_block_f64(fx_, nb_);
+  auto fy = mem.read_block_f64(fy_, nb_);
+  for (unsigned b = 0; b < nb_; ++b) {
+    if (fx[b] != golden_fx_[b])
+      return "barnes: fx[" + std::to_string(b) + "] mismatch";
+    if (fy[b] != golden_fy_[b])
+      return "barnes: fy[" + std::to_string(b) + "] mismatch";
+  }
+  return std::nullopt;
+}
+
+}  // namespace vlt::workloads

@@ -1,0 +1,60 @@
+// barnes: Barnes-Hut galaxy simulation stand-in (SPLASH-2; Table 4: not
+// vectorizable, 98% VLT opportunity).
+//
+// A host-built quadtree over random 2-D bodies; the simulated kernel runs
+// the force-calculation tree walk (the dominant phase of barnes) with an
+// explicit stack, dependent pointer chasing, and a long FP chain
+// (sqrt/divide) per visited node. Top-of-tree nodes are revisited by
+// every body, so the scalar unit's L1 keeps them close while lane cores
+// pay the L2 latency on every access — together with the in-order stall
+// on each chain, this is why barnes gains nothing from 8 lane threads
+// versus the 2-core SMT CMP (paper §7.2, Figure 6).
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace vlt::workloads {
+
+class BarnesWorkload : public Workload {
+ public:
+  explicit BarnesWorkload(unsigned bodies = 256);
+
+  std::string name() const override { return "barnes"; }
+  void init_memory(func::FuncMemory& mem) const override;
+  machine::ParallelProgram build(const Variant& variant) const override;
+  std::optional<std::string> verify(
+      const func::FuncMemory& mem) const override;
+  bool supports(Variant::Kind kind) const override {
+    return kind == Variant::Kind::kBase ||
+           kind == Variant::Kind::kLaneThreads ||
+           kind == Variant::Kind::kSuThreads;
+  }
+
+ private:
+  static constexpr unsigned kNodeWords = 8;  // mass cx cy size2 c0..c3
+  static constexpr unsigned kStackSlots = 192;
+  static constexpr unsigned kMaxThreads = 8;
+
+  struct Node {
+    double mass = 0, cx = 0, cy = 0, size2 = 0;
+    int child[4] = {-1, -1, -1, -1};
+    int body = -1;
+  };
+
+  isa::Program walk_program(unsigned tid, unsigned nthreads) const;
+  int insert(int node, double x, double y, double cx, double cy, double half,
+             int body);
+  void insert_child(int node, double x, double y, double cx, double cy,
+                    double half, int body);
+  void aggregate(int node);
+
+  unsigned nb_;
+  Addr nodes_, bx_, by_, fx_, fy_, stacks_;
+  std::vector<Node> tree_;
+  std::vector<double> pos_x_, pos_y_, mass_;
+  std::vector<double> golden_fx_, golden_fy_;
+};
+
+}  // namespace vlt::workloads

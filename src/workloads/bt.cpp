@@ -1,0 +1,355 @@
+#include "workloads/bt.hpp"
+
+#include <cmath>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "workloads/kernel_util.hpp"
+
+namespace vlt::workloads {
+
+using isa::ProgramBuilder;
+
+BtWorkload::BtWorkload(unsigned lines, unsigned sweeps)
+    : lines_(lines), sweeps_(sweeps) {
+  func::AddressAllocator alloc;
+  const std::size_t cells = std::size_t{lines_} * kCells;
+  amat_ = alloc.alloc_words(cells * kB * kB);
+  rhs_ = alloc.alloc_words(cells * kB);
+  x_ = alloc.alloc_words(cells * kB);
+  seed_ = alloc.alloc_words(cells);
+  inv_ = alloc.alloc_words(cells);
+  smooth_ = alloc.alloc_words(cells * kB);
+  res_ = alloc.alloc_words(cells);
+
+  Xorshift64 rng(0xB70ull);
+  a_data_.resize(cells * kB * kB);
+  rhs_data_.resize(cells * kB);
+  x0_data_.resize(cells * kB);
+  for (auto& v : a_data_)
+    v = 0.5 + static_cast<double>(1 + rng.next_below(8)) * 0.125;
+  for (auto& v : rhs_data_)
+    v = (static_cast<double>(rng.next_below(9)) - 4.0) * 0.25;
+  for (auto& v : x0_data_)
+    v = (static_cast<double>(rng.next_below(7)) - 3.0) * 0.125;
+
+  // --- golden model (exact mirror of the kernels' FP evaluation order) ---
+  golden_seed_.resize(cells);
+  golden_x_ = x0_data_;
+  golden_smooth_.assign(cells * kB, 0.0);
+  golden_res_.assign(cells, 0.0);
+  std::vector<double> inv_g(cells, 0.0);
+
+  for (std::size_t c = 0; c < cells; ++c) {
+    const double* A = &a_data_[c * kB * kB];  // column-major: A[j*5+r]
+    double sum = 0.0;
+    for (unsigned j = 0; j < kB; ++j) sum += A[j * kB + j];
+    if (sum < 0.0) sum = -sum;
+    double seed = sum + 1.0;
+    for (int r = 0; r < 3; ++r) seed = seed * 0.5 + 1.0;
+    golden_seed_[c] = seed;
+  }
+  for (unsigned s = 0; s < sweeps_; ++s) {
+    for (unsigned ln = 0; ln < lines_; ++ln) {
+      for (unsigned cl = 0; cl < kCells; ++cl) {
+        std::size_t c = std::size_t{ln} * kCells + cl;
+        const double* A = &a_data_[c * kB * kB];
+        double p = std::fabs(A[0]);
+        for (unsigned j = 1; j < kB; ++j) {
+          double t = std::fabs(A[j * kB + j]);
+          if (p < t) p = t;
+        }
+        double inv = 1.0 / (p + golden_seed_[c]);
+        inv_g[c] = inv;
+        double acc[kB];
+        for (unsigned r = 0; r < kB; ++r) acc[r] = rhs_data_[c * kB + r];
+        for (unsigned j = 0; j < kB; ++j) {
+          double xj = -golden_x_[c * kB + j];
+          for (unsigned r = 0; r < kB; ++r) acc[r] += A[j * kB + r] * xj;
+        }
+        for (unsigned r = 0; r < kB; ++r)
+          golden_x_[c * kB + r] = acc[r] * inv;
+      }
+      for (unsigned pr = 0; pr < kCells / 2; ++pr) {
+        std::size_t base = (std::size_t{ln} * kCells + 2 * pr) * kB;
+        for (unsigned k = 0; k < 2 * kB; ++k)
+          golden_smooth_[base + k] = golden_x_[base + k] * 0.5;
+      }
+      for (unsigned cl = 0; cl < kCells; ++cl) {
+        std::size_t c = std::size_t{ln} * kCells + cl;
+        golden_res_[c] = inv_g[c] * inv_g[c];
+      }
+    }
+  }
+}
+
+void BtWorkload::init_memory(func::FuncMemory& mem) const {
+  mem.write_block_f64(amat_, a_data_);
+  mem.write_block_f64(rhs_, rhs_data_);
+  mem.write_block_f64(x_, x0_data_);
+}
+
+// Serial scalar setup: per-cell seed from the block diagonal (branchy
+// abs, then a short dependent FP chain). No vector work at all.
+isa::Program BtWorkload::setup_program() const {
+  ProgramBuilder b("bt-setup");
+  constexpr RegIdx c = 1, cEnd = 2, j = 3, jEnd = 4, scr = 5, aP = 16,
+                   sum = 33, t = 34, seedP = 17, one = 48, half = 49;
+  b.li_f64(one, 1.0);
+  b.li_f64(half, 0.5);
+  b.li(c, 0);
+  b.li(cEnd, static_cast<std::int64_t>(lines_) * kCells);
+  b.li(seedP, static_cast<std::int64_t>(seed_));
+  auto top = b.label();
+  auto done = b.label();
+  b.bind(top);
+  b.bge(c, cEnd, done);
+  b.li(scr, kB * kB * 8);
+  b.mul(aP, c, scr);
+  b.li(scr, static_cast<std::int64_t>(amat_));
+  b.add(aP, aP, scr);
+  // sum of the diagonal A[j*5+j]
+  b.li(j, 0);
+  b.li(jEnd, kB);
+  b.xor_(sum, sum, sum);  // 0.0 bits
+  auto diag_top = b.label();
+  b.bind(diag_top);
+  b.li(scr, (kB + 1) * 8);
+  b.mul(t, j, scr);
+  b.add(t, t, aP);
+  b.load(t, t);
+  b.fadd(sum, sum, t);
+  b.addi(j, j, 1);
+  b.blt(j, jEnd, diag_top);
+  // branchy absolute value
+  b.xor_(t, t, t);
+  b.flt(scr, sum, t);  // sum < 0.0 ?
+  auto nonneg = b.label();
+  b.beq(scr, rZ, nonneg);
+  b.fneg(sum, sum);
+  b.bind(nonneg);
+  b.fadd(sum, sum, one);
+  for (int r = 0; r < 3; ++r) {
+    b.fmul(sum, sum, half);
+    b.fadd(sum, sum, one);
+  }
+  b.store(seedP, sum);
+  b.addi(seedP, seedP, 8);
+  b.addi(c, c, 1);
+  b.jump(top);
+  b.bind(done);
+  b.halt();
+  return b.build();
+}
+
+// Per-thread sweeps over this thread's lines.
+isa::Program BtWorkload::sweep_program(unsigned tid, unsigned nthreads) const {
+  ProgramBuilder b("bt-sweep-t" + std::to_string(tid));
+  auto range = chunk_of(lines_, tid, nthreads);
+  constexpr RegIdx sw = 1, ln = 2, cl = 3, j = 4, scr = 5, n = 6, vl = 7,
+                   lnEnd = 8, cellIdx = 9, aP = 16, rhsP = 17, xP = 18,
+                   invP = 19, smP = 20, resP = 21, colP = 22, p = 33, t = 34,
+                   inv = 35, xj = 36, one = 48, half = 49;
+
+  b.li_f64(one, 1.0);
+  b.li_f64(half, 0.5);
+  b.li(sw, sweeps_);
+  auto sweep_top = b.label();
+  b.bind(sweep_top);
+  b.li(ln, range.begin);
+  b.li(lnEnd, range.end);
+  auto line_top = b.label();
+  auto line_done = b.label();
+  b.bind(line_top);
+  b.bge(ln, lnEnd, line_done);
+
+  // Per-line base pointers; cells advance them incrementally.
+  b.li(scr, kCells);
+  b.mul(cellIdx, ln, scr);  // first cell index of the line
+  b.li(scr, kB * kB * 8);
+  b.mul(aP, cellIdx, scr);
+  b.li(scr, static_cast<std::int64_t>(amat_));
+  b.add(aP, aP, scr);
+  b.li(scr, kB * 8);
+  b.mul(rhsP, cellIdx, scr);
+  b.li(scr, static_cast<std::int64_t>(rhs_));
+  b.add(rhsP, rhsP, scr);
+  b.li(scr, kB * 8);
+  b.mul(xP, cellIdx, scr);
+  b.li(scr, static_cast<std::int64_t>(x_));
+  b.add(xP, xP, scr);
+  b.slli(invP, cellIdx, 3);
+  b.li(scr, static_cast<std::int64_t>(inv_));
+  b.add(invP, invP, scr);
+  constexpr RegIdx seedP = 10, diagP = 12;
+  b.slli(seedP, cellIdx, 3);
+  b.li(scr, static_cast<std::int64_t>(seed_));
+  b.add(seedP, seedP, scr);
+
+  b.li(cl, 0);
+  auto cell_top = b.label();
+  auto cell_done = b.label();
+  b.bind(cell_top);
+  b.li(scr, kCells);
+  b.bge(cl, scr, cell_done);
+
+  // pivot = max |A[j][j]| (branchy scalar glue, incremental diag pointer)
+  b.load(p, aP);
+  b.fabs_(p, p);
+  b.addi(diagP, aP, (kB + 1) * 8);
+  b.li(j, 1);
+  {
+    auto piv_top = b.label();
+    auto piv_done = b.label();
+    b.bind(piv_top);
+    b.li(scr, kB);
+    b.bge(j, scr, piv_done);
+    b.load(t, diagP);
+    b.fabs_(t, t);
+    b.flt(scr, p, t);
+    auto keep = b.label();
+    b.beq(scr, rZ, keep);
+    b.mov(p, t);
+    b.bind(keep);
+    b.addi(diagP, diagP, (kB + 1) * 8);
+    b.addi(j, j, 1);
+    b.jump(piv_top);
+    b.bind(piv_done);
+  }
+  // inv = 1.0 / (p + seed[cell])
+  b.load(t, seedP);
+  b.fadd(p, p, t);
+  b.fdiv(inv, one, p);
+  b.store(invP, inv);
+
+  // VL-5 block matvec: x = (rhs - A x) * inv
+  b.li(n, kB);
+  b.setvl(vl, n);
+  b.vload(2, rhsP);  // acc
+  b.li(j, 0);
+  b.mov(colP, aP);
+  {
+    auto mv_top = b.label();
+    b.bind(mv_top);
+    b.slli(scr, j, 3);
+    b.add(scr, scr, xP);
+    b.load(xj, scr);
+    b.fneg(xj, xj);
+    b.vload(1, colP);  // column j of A
+    b.vfma(2, 1, xj, isa::kFlagSrc2Scalar);
+    b.addi(colP, colP, kB * 8);
+    b.addi(j, j, 1);
+    b.li(scr, kB);
+    b.blt(j, scr, mv_top);
+  }
+  b.vfmul(2, 2, inv, isa::kFlagSrc2Scalar);
+  b.vstore(2, xP);
+
+  b.addi(aP, aP, kB * kB * 8);
+  b.addi(rhsP, rhsP, kB * 8);
+  b.addi(xP, xP, kB * 8);
+  b.addi(invP, invP, 8);
+  b.addi(seedP, seedP, 8);
+  b.addi(cl, cl, 1);
+  b.jump(cell_top);
+  b.bind(cell_done);
+
+  // VL-10 pairwise smoothing over the line's x values.
+  b.li(scr, kCells * kB * 8);
+  b.mul(xP, ln, scr);
+  b.mul(smP, ln, scr);
+  b.li(scr, static_cast<std::int64_t>(x_));
+  b.add(xP, xP, scr);
+  b.li(scr, static_cast<std::int64_t>(smooth_));
+  b.add(smP, smP, scr);
+  b.li(j, 0);
+  {
+    auto pair_top = b.label();
+    b.bind(pair_top);
+    b.li(n, 2 * kB);
+    b.setvl(vl, n);
+    b.vload(1, xP);
+    b.vfmul(1, 1, half, isa::kFlagSrc2Scalar);
+    b.vstore(1, smP);
+    b.addi(xP, xP, 2 * kB * 8);
+    b.addi(smP, smP, 2 * kB * 8);
+    b.addi(j, j, 1);
+    b.li(scr, kCells / 2);
+    b.blt(j, scr, pair_top);
+  }
+
+  // VL-12 diagonal residual: res[line][:] = inv[line][:]^2.
+  b.li(scr, kCells * 8);
+  b.mul(invP, ln, scr);
+  b.mul(resP, ln, scr);
+  b.li(scr, static_cast<std::int64_t>(inv_));
+  b.add(invP, invP, scr);
+  b.li(scr, static_cast<std::int64_t>(res_));
+  b.add(resP, resP, scr);
+  b.li(n, kCells);
+  b.setvl(vl, n);
+  b.vload(1, invP);
+  b.vfmul(2, 1, 1);
+  b.vstore(2, resP);
+
+  // Vector stores to x must be visible to the next sweep's scalar loads
+  // (compiler-inserted scalar/vector ordering barrier, paper §2).
+  b.membar();
+
+  b.addi(ln, ln, 1);
+  b.jump(line_top);
+  b.bind(line_done);
+  b.addi(sw, sw, -1);
+  b.bne(sw, 0, sweep_top);
+  b.halt();
+  return b.build();
+}
+
+machine::ParallelProgram BtWorkload::build(const Variant& variant) const {
+  unsigned nthreads =
+      variant.kind == Variant::Kind::kBase ? 1 : variant.nthreads;
+  VLT_CHECK(supports(variant.kind), "unsupported bt variant");
+
+  machine::ParallelProgram prog;
+  prog.name = name();
+
+  machine::Phase setup;
+  setup.label = "setup";
+  setup.mode = machine::PhaseMode::kSerial;
+  setup.vlt_opportunity = false;
+  setup.programs.push_back(setup_program());
+  prog.phases.push_back(std::move(setup));
+
+  machine::Phase sweeps;
+  sweeps.label = "line-sweeps";
+  sweeps.mode = nthreads == 1 ? machine::PhaseMode::kSerial
+                              : machine::PhaseMode::kVectorThreads;
+  sweeps.vlt_opportunity = true;
+  for (unsigned t = 0; t < nthreads; ++t)
+    sweeps.programs.push_back(sweep_program(t, nthreads));
+  prog.phases.push_back(std::move(sweeps));
+  return prog;
+}
+
+std::optional<std::string> BtWorkload::verify(
+    const func::FuncMemory& mem) const {
+  auto seed = mem.read_block_f64(seed_, golden_seed_.size());
+  for (std::size_t k = 0; k < golden_seed_.size(); ++k)
+    if (seed[k] != golden_seed_[k])
+      return "bt: seed[" + std::to_string(k) + "] mismatch";
+  auto x = mem.read_block_f64(x_, golden_x_.size());
+  for (std::size_t k = 0; k < golden_x_.size(); ++k)
+    if (x[k] != golden_x_[k])
+      return "bt: x[" + std::to_string(k) + "] mismatch";
+  auto sm = mem.read_block_f64(smooth_, golden_smooth_.size());
+  for (std::size_t k = 0; k < golden_smooth_.size(); ++k)
+    if (sm[k] != golden_smooth_[k])
+      return "bt: smooth[" + std::to_string(k) + "] mismatch";
+  auto res = mem.read_block_f64(res_, golden_res_.size());
+  for (std::size_t k = 0; k < golden_res_.size(); ++k)
+    if (res[k] != golden_res_[k])
+      return "bt: res[" + std::to_string(k) + "] mismatch";
+  return std::nullopt;
+}
+
+}  // namespace vlt::workloads

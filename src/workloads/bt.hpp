@@ -1,0 +1,46 @@
+// bt: NAS block-tridiagonal stand-in (Table 4: 46% vectorized, avg VL 7.0,
+// common VLs 5/10/12, 70% VLT opportunity).
+//
+// A grid of lines, each a chain of cells carrying a 5x5 block matrix and a
+// 5-vector. Per sweep, every cell runs scalar pivot/scale glue (abs-max
+// over the block diagonal, a reciprocal) followed by a VL-5 block
+// matrix-vector update; cell pairs get a VL-10 smoothing pass and every
+// line a VL-12 diagonal-residual op. A scalar serial setup phase computes
+// per-cell seeds first (the ~30% VLT cannot touch). VLT decomposition:
+// lines split across threads.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace vlt::workloads {
+
+class BtWorkload : public Workload {
+ public:
+  BtWorkload(unsigned lines = 16, unsigned sweeps = 2);
+
+  std::string name() const override { return "bt"; }
+  void init_memory(func::FuncMemory& mem) const override;
+  machine::ParallelProgram build(const Variant& variant) const override;
+  std::optional<std::string> verify(
+      const func::FuncMemory& mem) const override;
+  bool supports(Variant::Kind kind) const override {
+    return kind == Variant::Kind::kBase ||
+           kind == Variant::Kind::kVectorThreads;
+  }
+
+ private:
+  static constexpr unsigned kCells = 12;  // cells per line (-> VL 12)
+  static constexpr unsigned kB = 5;       // block dimension (-> VL 5)
+
+  isa::Program setup_program() const;
+  isa::Program sweep_program(unsigned tid, unsigned nthreads) const;
+
+  unsigned lines_, sweeps_;
+  Addr amat_, rhs_, x_, seed_, inv_, smooth_, res_;
+  std::vector<double> a_data_, rhs_data_, x0_data_;
+  std::vector<double> golden_x_, golden_seed_, golden_smooth_, golden_res_;
+};
+
+}  // namespace vlt::workloads

@@ -1,0 +1,80 @@
+// Shared conventions for workload kernels.
+//
+// Register allocation convention used by all workloads (scalar file):
+//   s0        always zero by convention (workloads must not write it)
+//   s1..s15   loop counters / induction variables
+//   s16..s31  addresses and strides
+//   s32..s47  scalar temporaries / accumulators
+//   s48..s63  thread-private parameters (tid, nthreads, chunk bounds)
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "isa/program.hpp"
+
+namespace vlt::workloads {
+
+// Named registers (see convention above).
+inline constexpr RegIdx rZ = 0;  // conventional zero
+
+/// Emits a strip-mined vector loop:
+///
+///   for (n = total; n > 0; n -= vl) { vl = setvl(n); body(); bump bases; }
+///
+/// `counter` holds the remaining element count (clobbered), `vl_reg`
+/// receives the active VL each iteration, and each register in `bases`
+/// advances by 8*vl bytes per iteration. The body must not clobber
+/// `counter`, `vl_reg`, or `scratch`.
+template <typename Body>
+void strip_mine(isa::ProgramBuilder& b, RegIdx counter, RegIdx vl_reg,
+                RegIdx scratch, std::initializer_list<RegIdx> bases,
+                Body&& body) {
+  auto loop = b.label();
+  auto done = b.label();
+  b.bind(loop);
+  b.beq(counter, rZ, done);
+  b.setvl(vl_reg, counter);
+  body();
+  b.sub(counter, counter, vl_reg);
+  b.slli(scratch, vl_reg, 3);  // vl * 8 bytes
+  for (RegIdx base : bases) b.add(base, base, scratch);
+  b.jump(loop);
+  b.bind(done);
+}
+
+/// Emits a plain counted scalar loop: body() runs `count` times; `idx`
+/// counts 0..count-1; `limit` holds the bound (both clobbered).
+template <typename Body>
+void counted_loop(isa::ProgramBuilder& b, RegIdx idx, RegIdx limit,
+                  std::int64_t count, Body&& body) {
+  b.li(idx, 0);
+  b.li(limit, count);
+  auto loop = b.label();
+  auto done = b.label();
+  b.bind(loop);
+  b.bge(idx, limit, done);
+  body();
+  b.addi(idx, idx, 1);
+  b.jump(loop);
+  b.bind(done);
+}
+
+/// Computes this thread's [begin, end) slice of `total` items split as
+/// evenly as possible across threads (host-side mirror of the kernels'
+/// own chunking).
+struct ChunkRange {
+  std::int64_t begin;
+  std::int64_t end;
+};
+inline ChunkRange chunk_of(std::int64_t total, unsigned tid,
+                           unsigned nthreads) {
+  std::int64_t per = total / nthreads;
+  std::int64_t extra = total % nthreads;
+  std::int64_t begin = per * tid + std::min<std::int64_t>(tid, extra);
+  std::int64_t len = per + (tid < static_cast<unsigned>(extra) ? 1 : 0);
+  return {begin, begin + len};
+}
+
+}  // namespace vlt::workloads

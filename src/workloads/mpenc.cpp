@@ -1,0 +1,354 @@
+#include "workloads/mpenc.hpp"
+
+#include <limits>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "workloads/kernel_util.hpp"
+
+namespace vlt::workloads {
+
+using isa::ProgramBuilder;
+
+MpencWorkload::MpencWorkload(unsigned macroblocks, unsigned full_cands,
+                             unsigned half_cands)
+    : mbs_(macroblocks), full_cands_(full_cands), half_cands_(half_cands) {
+  const unsigned cands = full_cands_ + half_cands_;
+  func::AddressAllocator alloc;
+  cur_ = alloc.alloc_words(std::size_t{mbs_} * kMbWords);
+  ref_ = alloc.alloc_words(std::size_t{mbs_} * cands * kMbWords);
+  dct_ = alloc.alloc_words(std::size_t{mbs_} * kMbWords);
+  bitbuf_ = alloc.alloc_words(std::size_t{mbs_} * kMbWords);
+  sad_out_ = alloc.alloc_words(2 * mbs_);  // full-SAD best, then half best
+  cand_out_ = alloc.alloc_words(2 * mbs_);
+  rle_out_ = alloc.alloc_words(mbs_);
+
+  Xorshift64 rng(0xEC0DEull);
+  cur_px_.resize(std::size_t{mbs_} * kMbWords);
+  ref_px_.resize(std::size_t{mbs_} * cands * kMbWords);
+  for (auto& p : cur_px_) p = static_cast<std::int64_t>(rng.next_below(256));
+  for (auto& p : ref_px_) p = static_cast<std::int64_t>(rng.next_below(256));
+
+  // --- golden model ---
+  golden_sad_.assign(2 * mbs_, 0);
+  golden_cand_.assign(2 * mbs_, 0);
+  golden_dct_.resize(std::size_t{mbs_} * kMbWords);
+  golden_rle_.assign(mbs_, 0);
+  for (unsigned mb = 0; mb < mbs_; ++mb) {
+    const std::int64_t* cur = &cur_px_[mb * kMbWords];
+    // Full 16x16 SAD over the first full_cands_ candidates.
+    std::int64_t best = std::numeric_limits<std::int64_t>::max(), bc = 0;
+    for (unsigned c = 0; c < full_cands_; ++c) {
+      const std::int64_t* ref = &ref_px_[(mb * cands + c) * kMbWords];
+      std::int64_t sad = 0;
+      for (unsigned k = 0; k < 256; ++k) sad += std::abs(cur[k] - ref[k]);
+      if (sad < best) {
+        best = sad;
+        bc = c;
+      }
+    }
+    golden_sad_[mb] = best;
+    golden_cand_[mb] = bc;
+    // 8x8 top-left sub-block SAD over the remaining candidates.
+    best = std::numeric_limits<std::int64_t>::max();
+    bc = 0;
+    for (unsigned c = full_cands_; c < cands; ++c) {
+      const std::int64_t* ref = &ref_px_[(mb * cands + c) * kMbWords];
+      std::int64_t sad = 0;
+      for (unsigned r = 0; r < 8; ++r)
+        for (unsigned j = 0; j < 8; ++j)
+          sad += std::abs(cur[16 * r + j] - ref[16 * r + j]);
+      if (sad < best) {
+        best = sad;
+        bc = c;
+      }
+    }
+    golden_sad_[mbs_ + mb] = best;
+    golden_cand_[mbs_ + mb] = bc;
+    // Butterfly transform: per row, halves a/b -> (a+b, a-b).
+    for (unsigned r = 0; r < 16; ++r)
+      for (unsigned j = 0; j < 8; ++j) {
+        std::int64_t a = cur[16 * r + j], b = cur[16 * r + 8 + j];
+        golden_dct_[mb * kMbWords + 16 * r + j] = a + b;
+        golden_dct_[mb * kMbWords + 16 * r + 8 + j] = a - b;
+      }
+    // Entropy stand-in: transitions between adjacent words in the copied
+    // bitstream prefix.
+    std::int64_t transitions = 0;
+    for (unsigned k = 1; k < kRleWords; ++k)
+      if (golden_dct_[mb * kMbWords + k] != golden_dct_[mb * kMbWords + k - 1])
+        ++transitions;
+    golden_rle_[mb] = transitions;
+  }
+}
+
+void MpencWorkload::init_memory(func::FuncMemory& mem) const {
+  mem.write_block_i64(cur_, cur_px_);
+  mem.write_block_i64(ref_, ref_px_);
+}
+
+// Worker: motion estimation + transform + copy for this thread's MBs.
+isa::Program MpencWorkload::worker_program(unsigned tid,
+                                           unsigned nthreads) const {
+  ProgramBuilder b("mpenc-w" + std::to_string(tid));
+  const unsigned cands = full_cands_ + half_cands_;
+  constexpr RegIdx mb = 1, cand = 2, row = 3, vl = 4, n = 5, scr = 6,
+                   curP = 16, refP = 17, dctP = 18, bitP = 19,
+                   rowCur = 20, rowRef = 21, outP = 22, acc = 33, t = 34,
+                   best = 35, bestC = 36, big = 37, mbLim = 8, step = 9;
+
+  b.li(mb, tid);
+  b.li(mbLim, mbs_);
+  b.li(step, nthreads);
+  auto mb_top = b.label();
+  auto mb_done = b.label();
+  b.bind(mb_top);
+  b.bge(mb, mbLim, mb_done);
+
+  // Pointers for this macroblock (computed addressing, as the compiler
+  // would emit for strided frame buffers).
+  b.li(scr, kMbWords * 8);
+  b.mul(curP, mb, scr);
+  b.li(t, static_cast<std::int64_t>(cur_));
+  b.add(curP, curP, t);
+  b.li(scr, cands * kMbWords * 8);
+  b.mul(refP, mb, scr);
+  b.li(t, static_cast<std::int64_t>(ref_));
+  b.add(refP, refP, t);
+  b.li(scr, kMbWords * 8);
+  b.mul(dctP, mb, scr);
+  b.li(t, static_cast<std::int64_t>(dct_));
+  b.add(dctP, dctP, t);
+  b.mul(bitP, mb, scr);
+  b.li(t, static_cast<std::int64_t>(bitbuf_));
+  b.add(bitP, bitP, t);
+
+  // ---- full 16x16 SAD over candidates [0, full_cands_) ----
+  b.li(best, std::numeric_limits<std::int32_t>::max());
+  b.li(bestC, 0);
+  b.li(cand, 0);
+  {
+    auto cand_top = b.label();
+    auto cand_done = b.label();
+    b.bind(cand_top);
+    b.li(big, full_cands_);
+    b.bge(cand, big, cand_done);
+    b.li(n, 16);
+    b.setvl(vl, n);  // VL 16
+    b.li(acc, 0);
+    b.mov(rowCur, curP);
+    b.mov(rowRef, refP);
+    b.li(row, 0);
+    auto row_top = b.label();
+    b.bind(row_top);
+    b.vload(1, rowCur);
+    b.vload(2, rowRef);
+    b.vabsdiff(3, 1, 2);
+    b.vredsum(t, 3);
+    b.add(acc, acc, t);
+    b.addi(rowCur, rowCur, 16 * 8);
+    b.addi(rowRef, rowRef, 16 * 8);
+    b.addi(row, row, 1);
+    b.li(scr, 16);
+    b.blt(row, scr, row_top);
+    // best-candidate selection (data-dependent branch)
+    auto not_better = b.label();
+    b.bge(acc, best, not_better);
+    b.mov(best, acc);
+    b.mov(bestC, cand);
+    b.bind(not_better);
+    b.addi(refP, refP, kMbWords * 8);
+    b.addi(cand, cand, 1);
+    b.jump(cand_top);
+    b.bind(cand_done);
+  }
+  b.slli(scr, mb, 3);
+  b.li(t, static_cast<std::int64_t>(sad_out_));
+  b.add(t, t, scr);
+  b.store(t, best);
+  b.li(t, static_cast<std::int64_t>(cand_out_));
+  b.add(t, t, scr);
+  b.store(t, bestC);
+
+  // ---- 8x8 sub-block SAD over candidates [full_cands_, cands) ----
+  b.li(best, std::numeric_limits<std::int32_t>::max());
+  b.li(bestC, 0);
+  b.li(cand, full_cands_);
+  {
+    auto cand_top = b.label();
+    auto cand_done = b.label();
+    b.bind(cand_top);
+    b.li(big, cands);
+    b.bge(cand, big, cand_done);
+    b.li(n, 8);
+    b.setvl(vl, n);  // VL 8
+    b.li(acc, 0);
+    b.mov(rowCur, curP);
+    b.mov(rowRef, refP);
+    b.li(row, 0);
+    auto row_top = b.label();
+    b.bind(row_top);
+    b.vload(1, rowCur);
+    b.vload(2, rowRef);
+    b.vabsdiff(3, 1, 2);
+    b.vredsum(t, 3);
+    b.add(acc, acc, t);
+    b.addi(rowCur, rowCur, 16 * 8);
+    b.addi(rowRef, rowRef, 16 * 8);
+    b.addi(row, row, 1);
+    b.li(scr, 8);
+    b.blt(row, scr, row_top);
+    auto not_better = b.label();
+    b.bge(acc, best, not_better);
+    b.mov(best, acc);
+    b.mov(bestC, cand);
+    b.bind(not_better);
+    b.addi(refP, refP, kMbWords * 8);
+    b.addi(cand, cand, 1);
+    b.jump(cand_top);
+    b.bind(cand_done);
+  }
+  b.slli(scr, mb, 3);
+  b.li(t, static_cast<std::int64_t>(sad_out_ + 8 * mbs_));
+  b.add(t, t, scr);
+  b.store(t, best);
+  b.li(t, static_cast<std::int64_t>(cand_out_ + 8 * mbs_));
+  b.add(t, t, scr);
+  b.store(t, bestC);
+
+  // ---- butterfly transform (VL 8 halves per 16-pixel row) ----
+  b.li(n, 8);
+  b.setvl(vl, n);
+  b.mov(rowCur, curP);
+  b.mov(outP, dctP);
+  b.li(row, 0);
+  {
+    auto row_top = b.label();
+    b.bind(row_top);
+    b.vload(1, rowCur);       // a = row[0..8)
+    b.vload(2, rowCur, 64);   // b = row[8..16)
+    b.vadd(3, 1, 2);
+    b.vsub(1, 1, 2);
+    b.vstore(3, outP);
+    b.vstore(1, outP, 64);
+    b.addi(rowCur, rowCur, 16 * 8);
+    b.addi(outP, outP, 16 * 8);
+    b.addi(row, row, 1);
+    b.li(scr, 16);
+    b.blt(row, scr, row_top);
+  }
+
+  // ---- bitstream copy (VL 64 strips; clamped under VLT partitions) ----
+  b.membar();  // transform stores must be visible to the copy loads
+  b.li(n, kMbWords);
+  b.mov(rowCur, dctP);
+  b.mov(outP, bitP);
+  strip_mine(b, n, vl, scr, {rowCur, outP}, [&] {
+    b.vload(1, rowCur);
+    b.vstore(1, outP);
+  });
+
+  b.add(mb, mb, step);
+  b.jump(mb_top);
+  b.bind(mb_done);
+  b.halt();
+  return b.build();
+}
+
+// Serial entropy coding: count value transitions in each MB's bitstream
+// prefix (scalar, branchy, non-vectorizable).
+isa::Program MpencWorkload::entropy_program() const {
+  ProgramBuilder b("mpenc-entropy");
+  constexpr RegIdx mb = 1, k = 2, cnt = 3, prev = 33, cur = 34, p = 16,
+                   o = 17, lim = 4, scr = 5;
+  b.li(mb, 0);
+  auto mb_top = b.label();
+  auto mb_done = b.label();
+  b.bind(mb_top);
+  b.li(lim, mbs_);
+  b.bge(mb, lim, mb_done);
+  b.li(scr, kMbWords * 8);
+  b.mul(p, mb, scr);
+  b.li(scr, static_cast<std::int64_t>(bitbuf_));
+  b.add(p, p, scr);
+  b.li(cnt, 0);
+  b.load(prev, p);
+  b.li(k, 1);
+  auto w_top = b.label();
+  auto w_done = b.label();
+  b.bind(w_top);
+  b.li(lim, kRleWords);
+  b.bge(k, lim, w_done);
+  b.addi(p, p, 8);
+  b.load(cur, p);
+  auto same = b.label();
+  b.beq(cur, prev, same);
+  b.addi(cnt, cnt, 1);
+  b.bind(same);
+  b.mov(prev, cur);
+  b.addi(k, k, 1);
+  b.jump(w_top);
+  b.bind(w_done);
+  b.slli(scr, mb, 3);
+  b.li(o, static_cast<std::int64_t>(rle_out_));
+  b.add(o, o, scr);
+  b.store(o, cnt);
+  b.addi(mb, mb, 1);
+  b.jump(mb_top);
+  b.bind(mb_done);
+  b.halt();
+  return b.build();
+}
+
+machine::ParallelProgram MpencWorkload::build(const Variant& variant) const {
+  unsigned nthreads =
+      variant.kind == Variant::Kind::kBase ? 1 : variant.nthreads;
+  VLT_CHECK(supports(variant.kind), "unsupported mpenc variant");
+
+  machine::ParallelProgram prog;
+  prog.name = name();
+
+  machine::Phase encode;
+  encode.label = "motion+transform+copy";
+  encode.mode = nthreads == 1 ? machine::PhaseMode::kSerial
+                              : machine::PhaseMode::kVectorThreads;
+  encode.vlt_opportunity = true;
+  for (unsigned t = 0; t < nthreads; ++t)
+    encode.programs.push_back(worker_program(t, nthreads));
+  prog.phases.push_back(std::move(encode));
+
+  machine::Phase entropy;
+  entropy.label = "entropy";
+  entropy.mode = machine::PhaseMode::kSerial;
+  entropy.vlt_opportunity = false;
+  entropy.programs.push_back(entropy_program());
+  prog.phases.push_back(std::move(entropy));
+  return prog;
+}
+
+std::optional<std::string> MpencWorkload::verify(
+    const func::FuncMemory& mem) const {
+  auto sad = mem.read_block_i64(sad_out_, 2 * mbs_);
+  auto cand = mem.read_block_i64(cand_out_, 2 * mbs_);
+  for (unsigned i = 0; i < 2 * mbs_; ++i) {
+    if (sad[i] != golden_sad_[i])
+      return "mpenc: sad[" + std::to_string(i) + "] mismatch";
+    if (cand[i] != golden_cand_[i])
+      return "mpenc: cand[" + std::to_string(i) + "] mismatch";
+  }
+  auto dct = mem.read_block_i64(dct_, golden_dct_.size());
+  for (std::size_t i = 0; i < golden_dct_.size(); ++i)
+    if (dct[i] != golden_dct_[i])
+      return "mpenc: dct[" + std::to_string(i) + "] mismatch";
+  auto bits = mem.read_block_i64(bitbuf_, golden_dct_.size());
+  for (std::size_t i = 0; i < golden_dct_.size(); ++i)
+    if (bits[i] != golden_dct_[i])
+      return "mpenc: bitbuf[" + std::to_string(i) + "] mismatch";
+  auto rle = mem.read_block_i64(rle_out_, mbs_);
+  for (unsigned i = 0; i < mbs_; ++i)
+    if (rle[i] != golden_rle_[i])
+      return "mpenc: rle[" + std::to_string(i) + "] mismatch";
+  return std::nullopt;
+}
+
+}  // namespace vlt::workloads

@@ -1,0 +1,47 @@
+// mpenc: video-encoding stand-in (Table 4: 76% vectorized, avg VL 11.2,
+// common VLs 8/16/64, 78% VLT opportunity).
+//
+// Per macroblock: motion-estimation SAD against full 16x16 candidates
+// (VL 16) and 8x8 sub-block candidates (VL 8), a butterfly transform over
+// row halves (VL 8), and a frame-buffer copy (VL 64); followed by a serial
+// scalar entropy-coding pass (run-length transition counting), which is
+// the non-vectorizable ~22% the paper cannot accelerate with VLT.
+// VLT decomposition: macroblocks round-robin across 2-4 vector threads.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace vlt::workloads {
+
+class MpencWorkload : public Workload {
+ public:
+  MpencWorkload(unsigned macroblocks = 16, unsigned full_cands = 4,
+                unsigned half_cands = 8);
+
+  std::string name() const override { return "mpenc"; }
+  void init_memory(func::FuncMemory& mem) const override;
+  machine::ParallelProgram build(const Variant& variant) const override;
+  std::optional<std::string> verify(
+      const func::FuncMemory& mem) const override;
+  bool supports(Variant::Kind kind) const override {
+    return kind == Variant::Kind::kBase ||
+           kind == Variant::Kind::kVectorThreads;
+  }
+
+ private:
+  static constexpr unsigned kMbWords = 256;  // 16x16 pixels
+  static constexpr unsigned kRleWords = 224;  // entropy-coded words per MB
+
+  isa::Program worker_program(unsigned tid, unsigned nthreads) const;
+  isa::Program entropy_program() const;
+
+  unsigned mbs_, full_cands_, half_cands_;
+  Addr cur_, ref_, dct_, bitbuf_, sad_out_, cand_out_, rle_out_;
+  std::vector<std::int64_t> cur_px_, ref_px_;
+  std::vector<std::int64_t> golden_sad_, golden_cand_, golden_dct_,
+      golden_rle_;
+};
+
+}  // namespace vlt::workloads

@@ -1,0 +1,242 @@
+#include "workloads/multprec.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "workloads/kernel_util.hpp"
+
+namespace vlt::workloads {
+
+using isa::ProgramBuilder;
+
+namespace {
+constexpr std::int64_t kMask32 = (std::int64_t{1} << 32) - 1;
+}
+
+MultprecWorkload::MultprecWorkload(unsigned bignums) : count_(bignums) {
+  func::AddressAllocator alloc;
+  a_ = alloc.alloc_words(std::size_t{count_} * kLimbs);
+  b_ = alloc.alloc_words(std::size_t{count_} * kLimbs);
+  out_ = alloc.alloc_words(std::size_t{count_} * kLimbs);
+  norm_out_ = alloc.alloc_words(std::size_t{count_} * kLimbs);
+  checksum_out_ = alloc.alloc_words(1);
+
+  Xorshift64 rng(0x3A11Bull);
+  a_limbs_.resize(std::size_t{count_} * kLimbs);
+  b_limbs_.resize(std::size_t{count_} * kLimbs);
+  for (auto& v : a_limbs_) v = static_cast<std::int64_t>(rng.next() & kMask32);
+  for (auto& v : b_limbs_) v = static_cast<std::int64_t>(rng.next() & kMask32);
+
+  // Golden model mirroring the kernel's limb-combine rounds exactly.
+  golden_out_.resize(a_limbs_.size());
+  golden_norm_.resize(a_limbs_.size());
+  for (unsigned i = 0; i < count_; ++i) {
+    const std::int64_t* a = &a_limbs_[i * kLimbs];
+    const std::int64_t* b = &b_limbs_[i * kLimbs];
+    std::int64_t s[kLimbs];
+    for (unsigned l = 0; l < kLimbs; ++l) {
+      std::int64_t acc = a[l] + b[l];
+      acc += a[l] * 3;
+      acc += b[l] * 5;
+      acc += a[l] ^ b[l];
+      acc += std::max(a[l], b[l]);
+      acc += std::min(a[l], b[l]);
+      acc += a[l] & b[l];
+      acc += a[l] << 1;
+      acc += a[l] > b[l] ? a[l] - b[l] : b[l] - a[l];
+      acc += a[l] | b[l];
+      acc += a[l] >> 1;  // limbs are non-negative
+      s[l] = acc;
+    }
+    for (unsigned l = 0; l < kLimbs - 1; ++l) s[l] += a[l + 1];  // VL-23 round
+    // Serial carry propagation, base 2^32.
+    std::int64_t carry = 0;
+    for (unsigned l = 0; l < kLimbs; ++l) {
+      std::int64_t w = s[l] + carry;
+      carry = w >> 32;
+      golden_out_[i * kLimbs + l] = w & kMask32;
+    }
+  }
+  golden_checksum_ = 0;
+  for (std::size_t k = 0; k < golden_out_.size(); ++k) {
+    std::int64_t v = golden_out_[k];
+    golden_norm_[k] = v + (v >> 16);
+    golden_checksum_ += golden_norm_[k] ^ static_cast<std::int64_t>(k);
+  }
+}
+
+void MultprecWorkload::init_memory(func::FuncMemory& mem) const {
+  mem.write_block_i64(a_, a_limbs_);
+  mem.write_block_i64(b_, b_limbs_);
+}
+
+isa::Program MultprecWorkload::worker_program(unsigned tid,
+                                              unsigned nthreads) const {
+  ProgramBuilder b("multprec-w" + std::to_string(tid));
+  auto range = chunk_of(count_, tid, nthreads);
+  constexpr RegIdx i = 1, iEnd = 2, n = 3, vl = 4, l = 5, lim = 6, aP = 16,
+                   bP = 17, oP = 18, c3 = 48, c5 = 49, c1 = 50, carry = 33,
+                   w = 34, mask = 51, scr = 7;
+
+  b.li(c3, 3);
+  b.li(c5, 5);
+  b.li(c1, 1);
+  b.li(mask, kMask32);
+  b.li(i, range.begin);
+  b.li(iEnd, range.end);
+  b.li(aP, static_cast<std::int64_t>(a_ + 8 * kLimbs * range.begin));
+  b.li(bP, static_cast<std::int64_t>(b_ + 8 * kLimbs * range.begin));
+  b.li(oP, static_cast<std::int64_t>(out_ + 8 * kLimbs * range.begin));
+  auto top = b.label();
+  auto done = b.label();
+  b.bind(top);
+  b.bge(i, iEnd, done);
+
+  // Vectorized limb-combine rounds (VL 24 on the base machine; the strip
+  // loop clamps to the partition MAXVL under VLT).
+  constexpr RegIdx aT = 20, bT = 21, oT = 22;
+  b.mov(aT, aP);
+  b.mov(bT, bP);
+  b.mov(oT, oP);
+  b.li(n, kLimbs);
+  strip_mine(b, n, vl, scr, {aT, bT, oT}, [&] {
+    b.vload(1, aT);
+    b.vload(2, bT);
+    b.vadd(3, 1, 2);
+    b.vmul(4, 1, c3, isa::kFlagSrc2Scalar);
+    b.vadd(3, 3, 4);
+    b.vmul(4, 2, c5, isa::kFlagSrc2Scalar);
+    b.vadd(3, 3, 4);
+    b.vxor(4, 1, 2);
+    b.vadd(3, 3, 4);
+    b.vmax(4, 1, 2);
+    b.vadd(3, 3, 4);
+    b.vmin(4, 1, 2);
+    b.vadd(3, 3, 4);
+    b.vand(4, 1, 2);
+    b.vadd(3, 3, 4);
+    b.vsll(4, 1, c1);
+    b.vadd(3, 3, 4);
+    b.vabsdiff(4, 1, 2);
+    b.vadd(3, 3, 4);
+    b.vor(4, 1, 2);
+    b.vadd(3, 3, 4);
+    b.vsrl(4, 1, c1);
+    b.vadd(3, 3, 4);
+    b.vstore(3, oT);
+  });
+  b.membar();  // vector-vector ordering before re-reading s (paper §2)
+  // Shifted VL-23 round: s[0..22] += a[1..23].
+  b.mov(aT, aP);
+  b.mov(oT, oP);
+  b.li(n, kLimbs - 1);
+  strip_mine(b, n, vl, scr, {aT, oT}, [&] {
+    b.vload(3, oT);
+    b.vload(5, aT, 8);
+    b.vadd(3, 3, 5);
+    b.vstore(3, oT);
+  });
+  b.membar();  // the scalar carry pass reads the vector stores below
+
+  // Serial base-2^32 carry propagation (the non-vectorizable recurrence).
+  b.li(carry, 0);
+  b.li(l, 0);
+  b.li(lim, kLimbs);
+  auto carry_top = b.label();
+  b.bind(carry_top);
+  b.slli(scr, l, 3);
+  b.add(scr, scr, oP);
+  b.load(w, scr);
+  b.add(w, w, carry);
+  b.srli(carry, w, 32);  // limbs are non-negative, so logical shift works
+  b.and_(w, w, mask);
+  b.store(scr, w);
+  b.addi(l, l, 1);
+  b.blt(l, lim, carry_top);
+
+  b.addi(aP, aP, kLimbs * 8);
+  b.addi(bP, bP, kLimbs * 8);
+  b.addi(oP, oP, kLimbs * 8);
+  b.addi(i, i, 1);
+  b.jump(top);
+  b.bind(done);
+  b.halt();
+  return b.build();
+}
+
+isa::Program MultprecWorkload::normalize_program() const {
+  ProgramBuilder b("multprec-normalize");
+  constexpr RegIdx n = 1, vl = 2, scr = 3, inP = 16, outP = 17, sh = 48;
+  b.li(sh, 16);
+  b.li(inP, static_cast<std::int64_t>(out_));
+  b.li(outP, static_cast<std::int64_t>(norm_out_));
+  b.li(n, static_cast<std::int64_t>(count_) * kLimbs);
+  strip_mine(b, n, vl, scr, {inP, outP}, [&] {
+    b.vload(1, inP);
+    b.vsrl(2, 1, sh);
+    b.vadd(3, 1, 2);
+    b.vstore(3, outP);
+  });
+  // Serial scalar checksum over the normalized limbs (the audit pass the
+  // reference code runs single-threaded).
+  b.membar();
+  constexpr RegIdx ck = 33, w = 34, idx = 4, lim = 5;
+  b.li(outP, static_cast<std::int64_t>(norm_out_));
+  b.li(ck, 0);
+  b.li(idx, 0);
+  b.li(lim, static_cast<std::int64_t>(count_) * kLimbs);
+  auto top = b.label();
+  b.bind(top);
+  b.load(w, outP);
+  b.xor_(w, w, idx);
+  b.add(ck, ck, w);
+  b.addi(outP, outP, 8);
+  b.addi(idx, idx, 1);
+  b.blt(idx, lim, top);
+  b.li(w, static_cast<std::int64_t>(checksum_out_));
+  b.store(w, ck);
+  b.halt();
+  return b.build();
+}
+
+machine::ParallelProgram MultprecWorkload::build(const Variant& variant) const {
+  unsigned nthreads =
+      variant.kind == Variant::Kind::kBase ? 1 : variant.nthreads;
+  VLT_CHECK(supports(variant.kind), "unsupported multprec variant");
+
+  machine::ParallelProgram prog;
+  prog.name = name();
+
+  machine::Phase combine;
+  combine.label = "limb-rounds+carry";
+  combine.mode = nthreads == 1 ? machine::PhaseMode::kSerial
+                               : machine::PhaseMode::kVectorThreads;
+  combine.vlt_opportunity = true;
+  for (unsigned t = 0; t < nthreads; ++t)
+    combine.programs.push_back(worker_program(t, nthreads));
+  prog.phases.push_back(std::move(combine));
+
+  machine::Phase norm;
+  norm.label = "normalize";
+  norm.mode = machine::PhaseMode::kSerial;
+  norm.vlt_opportunity = false;
+  norm.programs.push_back(normalize_program());
+  prog.phases.push_back(std::move(norm));
+  return prog;
+}
+
+std::optional<std::string> MultprecWorkload::verify(
+    const func::FuncMemory& mem) const {
+  auto out = mem.read_block_i64(out_, golden_out_.size());
+  for (std::size_t k = 0; k < golden_out_.size(); ++k)
+    if (out[k] != golden_out_[k])
+      return "multprec: out[" + std::to_string(k) + "] mismatch";
+  auto norm = mem.read_block_i64(norm_out_, golden_norm_.size());
+  for (std::size_t k = 0; k < golden_norm_.size(); ++k)
+    if (norm[k] != golden_norm_[k])
+      return "multprec: norm[" + std::to_string(k) + "] mismatch";
+  if (mem.read_i64(checksum_out_) != golden_checksum_)
+    return "multprec: checksum mismatch";
+  return std::nullopt;
+}
+
+}  // namespace vlt::workloads

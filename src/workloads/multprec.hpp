@@ -1,0 +1,47 @@
+// multprec: multiprecision array arithmetic (Table 4: 71% vectorized,
+// avg VL 25.2, common VLs 23/24/64, 81% VLT opportunity).
+//
+// A batch of base-2^32 bignums of 24 limbs. The parallel phase runs
+// several vectorized limb-wise rounds per bignum (VL 24, plus a VL 23
+// shifted round) followed by a serial scalar carry-propagation pass over
+// the limbs — the classic non-vectorizable recurrence that holds the
+// vectorization ratio at ~71%. A final serial normalization phase sweeps
+// the flattened limb array at full vector length (VL 64).
+// VLT decomposition: bignums split across threads.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace vlt::workloads {
+
+class MultprecWorkload : public Workload {
+ public:
+  explicit MultprecWorkload(unsigned bignums = 64);
+
+  std::string name() const override { return "multprec"; }
+  void init_memory(func::FuncMemory& mem) const override;
+  machine::ParallelProgram build(const Variant& variant) const override;
+  std::optional<std::string> verify(
+      const func::FuncMemory& mem) const override;
+  bool supports(Variant::Kind kind) const override {
+    return kind == Variant::Kind::kBase ||
+           kind == Variant::Kind::kVectorThreads;
+  }
+
+ private:
+  static constexpr unsigned kLimbs = 24;
+  static constexpr std::int64_t kBase = std::int64_t{1} << 32;
+
+  isa::Program worker_program(unsigned tid, unsigned nthreads) const;
+  isa::Program normalize_program() const;
+
+  unsigned count_;
+  Addr a_, b_, out_, norm_out_, checksum_out_;
+  std::vector<std::int64_t> a_limbs_, b_limbs_;
+  std::vector<std::int64_t> golden_out_, golden_norm_;
+  std::int64_t golden_checksum_ = 0;
+};
+
+}  // namespace vlt::workloads

@@ -1,0 +1,93 @@
+#include "workloads/mxm.hpp"
+
+#include "common/log.hpp"
+#include "workloads/kernel_util.hpp"
+
+namespace vlt::workloads {
+
+using isa::ProgramBuilder;
+
+MxmWorkload::MxmWorkload(unsigned m, unsigned k) : m_(m), k_(k) {
+  func::AddressAllocator alloc;
+  a_addr_ = alloc.alloc_words(std::size_t{m_} * k_);
+  b_addr_ = alloc.alloc_words(std::size_t{k_} * kN);
+  c_addr_ = alloc.alloc_words(std::size_t{m_} * kN);
+
+  a_.resize(std::size_t{m_} * k_);
+  b_.resize(std::size_t{k_} * kN);
+  for (unsigned i = 0; i < m_; ++i)
+    for (unsigned j = 0; j < k_; ++j)
+      a_[i * k_ + j] = static_cast<double>((i * 7 + j * 3) % 11) - 5.0;
+  for (unsigned i = 0; i < k_; ++i)
+    for (unsigned j = 0; j < kN; ++j)
+      b_[i * kN + j] = static_cast<double>((i * 5 + j) % 13) - 6.0;
+
+  // Golden result, accumulated in the same (k-ascending) order as the
+  // kernel so the comparison is bit-exact.
+  golden_c_.assign(std::size_t{m_} * kN, 0.0);
+  for (unsigned i = 0; i < m_; ++i)
+    for (unsigned p = 0; p < k_; ++p)
+      for (unsigned j = 0; j < kN; ++j)
+        golden_c_[i * kN + j] += a_[i * k_ + p] * b_[p * kN + j];
+}
+
+void MxmWorkload::init_memory(func::FuncMemory& mem) const {
+  mem.write_block_f64(a_addr_, a_);
+  mem.write_block_f64(b_addr_, b_);
+}
+
+machine::ParallelProgram MxmWorkload::build(const Variant& variant) const {
+  VLT_CHECK(variant.kind == Variant::Kind::kBase,
+            "mxm runs only as the base single-thread variant");
+
+  ProgramBuilder b("mxm");
+  // s1 = i, s2 = p, s16 = &A[i][p], s17 = &B[p][:], s18 = &C[i][:],
+  // s33 = k bound, s32 = A element.
+  constexpr RegIdx i = 1, p = 2, vl = 3, aP = 16, bP = 17, cP = 18,
+                   aRow = 19, kB = 33, av = 32;
+  b.setvlmax(vl);
+  b.li(aRow, static_cast<std::int64_t>(a_addr_));
+  b.li(cP, static_cast<std::int64_t>(c_addr_));
+  b.li(kB, k_);
+  counted_loop(b, i, 40, m_, [&] {
+    b.vbcast(2, rZ);  // v2 = C-row accumulator, zeroed
+    b.mov(aP, aRow);
+    b.li(bP, static_cast<std::int64_t>(b_addr_));
+    b.li(p, 0);
+    auto loop = b.label();
+    b.bind(loop);
+    b.load(av, aP);
+    b.vload(1, bP);          // v1 = B[p][:]
+    b.vfma(2, 1, av, isa::kFlagSrc2Scalar);
+    b.addi(aP, aP, 8);
+    b.addi(bP, bP, kN * 8);
+    b.addi(p, p, 1);
+    b.blt(p, kB, loop);
+    b.vstore(2, cP);
+    b.addi(cP, cP, kN * 8);
+    b.addi(aRow, aRow, static_cast<std::int32_t>(k_ * 8));
+  });
+  b.halt();
+
+  machine::ParallelProgram prog;
+  prog.name = name();
+  machine::Phase phase;
+  phase.label = "matmul";
+  phase.mode = machine::PhaseMode::kSerial;
+  phase.vlt_opportunity = false;  // long vectors: no VLT upside (Table 4)
+  phase.programs.push_back(b.build());
+  prog.phases.push_back(std::move(phase));
+  return prog;
+}
+
+std::optional<std::string> MxmWorkload::verify(
+    const func::FuncMemory& mem) const {
+  std::vector<double> got = mem.read_block_f64(c_addr_, golden_c_.size());
+  for (std::size_t i = 0; i < golden_c_.size(); ++i)
+    if (got[i] != golden_c_[i])
+      return "mxm: C[" + std::to_string(i) + "] = " + std::to_string(got[i]) +
+             ", expected " + std::to_string(golden_c_[i]);
+  return std::nullopt;
+}
+
+}  // namespace vlt::workloads

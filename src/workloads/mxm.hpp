@@ -1,0 +1,35 @@
+// mxm: dense matrix multiply (Table 4: 96% vectorized, VL 64 throughout).
+//
+// C[m][64] = A[m][k] * B[k][64]; the inner loop over columns of C is
+// vectorized at full hardware vector length, so mxm scales almost linearly
+// with lanes (Figure 1) and offers no VLT opportunity.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace vlt::workloads {
+
+class MxmWorkload : public Workload {
+ public:
+  explicit MxmWorkload(unsigned m = 48, unsigned k = 48);
+
+  std::string name() const override { return "mxm"; }
+  void init_memory(func::FuncMemory& mem) const override;
+  machine::ParallelProgram build(const Variant& variant) const override;
+  std::optional<std::string> verify(
+      const func::FuncMemory& mem) const override;
+  bool supports(Variant::Kind kind) const override {
+    return kind == Variant::Kind::kBase;
+  }
+
+ private:
+  static constexpr unsigned kN = 64;  // C width = hardware max VL
+  unsigned m_;
+  unsigned k_;
+  Addr a_addr_, b_addr_, c_addr_;
+  std::vector<double> a_, b_, golden_c_;
+};
+
+}  // namespace vlt::workloads

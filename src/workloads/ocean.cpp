@@ -1,0 +1,265 @@
+#include "workloads/ocean.hpp"
+
+#include "common/log.hpp"
+#include "workloads/kernel_util.hpp"
+
+namespace vlt::workloads {
+
+using isa::ProgramBuilder;
+
+namespace {
+constexpr double kOmega = 1.25;
+constexpr double kEighth = 0.125;
+}
+
+OceanWorkload::OceanWorkload(unsigned grid, unsigned sweeps)
+    : g_(grid), sweeps_(sweeps) {
+  VLT_CHECK(g_ >= 6 && (g_ - 2) % 2 == 0, "grid must leave an even interior");
+  func::AddressAllocator alloc;
+  // Rows are padded by one cache line so concurrent threads do not march
+  // over identical L2 bank sequences (standard HPC array padding).
+  stride_ = g_ + 8;
+  grid_ = alloc.alloc_words(std::size_t{g_} * stride_);    // buffer A
+  grid_b_ = alloc.alloc_words(std::size_t{g_} * stride_);  // buffer B
+
+  init_.resize(std::size_t{g_} * g_);
+  for (unsigned i = 0; i < g_; ++i)
+    for (unsigned j = 0; j < g_; ++j)
+      init_[i * g_ + j] = static_cast<double>((i * 31 + j * 17) % 23) * 0.125;
+
+  // Golden: two-buffer 9-point Jacobi relaxation, FP order matching the
+  // kernel exactly (pairwise neighbor sums, then omega correction).
+  std::vector<double> in = init_, out = init_;
+  for (unsigned s = 0; s < sweeps_; ++s) {
+    for (unsigned i = 1; i + 1 < g_; ++i)
+      for (unsigned j = 1; j + 1 < g_; ++j) {
+        auto at = [&](unsigned r, unsigned c) { return in[r * g_ + c]; };
+        double s1 = at(i, j - 1) + at(i, j + 1);
+        double s2 = at(i - 1, j) + at(i + 1, j);
+        double s3 = at(i - 1, j - 1) + at(i - 1, j + 1);
+        double s4 = at(i + 1, j - 1) + at(i + 1, j + 1);
+        double t1 = s1 + s2;
+        double u1 = s3 + s4;
+        double sum = t1 + u1;
+        double avg = sum * kEighth;
+        double x = at(i, j);
+        double diff = avg - x;
+        out[i * g_ + j] = x + diff * kOmega;
+      }
+    std::swap(in, out);
+  }
+  golden_ = in;
+}
+
+void OceanWorkload::init_memory(func::FuncMemory& mem) const {
+  for (unsigned i = 0; i < g_; ++i)
+    for (unsigned j = 0; j < g_; ++j) {
+      mem.write_f64(grid_ + 8 * (std::size_t{i} * stride_ + j),
+                    init_[i * g_ + j]);
+      mem.write_f64(grid_b_ + 8 * (std::size_t{i} * stride_ + j),
+                    init_[i * g_ + j]);
+    }
+}
+
+// Row-partitioned SPMD Jacobi; barrier + buffer swap per sweep.
+//
+// The point loop is software-pipelined two stages deep: while one point
+// pair's neighbor loads and pairwise sums fill the memory ports, the
+// previous pair's dependent FP tail (avg, omega correction) executes —
+// the schedule a Cray compiler would produce for an in-order 2-wide core,
+// and the reason lane threads can exploit the lanes' memory ports
+// (paper §5).
+isa::Program OceanWorkload::worker_program(unsigned tid,
+                                           unsigned nthreads) const {
+  ProgramBuilder b("ocean-t" + std::to_string(tid));
+  auto range = chunk_of(g_ - 2, tid, nthreads);
+  const std::int64_t row0 = 1 + range.begin;
+  const std::int64_t row_end = 1 + range.end;
+  const std::int32_t rb = static_cast<std::int32_t>(stride_ * 8);
+  const unsigned pairs = (g_ - 2) / 2;
+  VLT_CHECK(pairs % 2 == 1, "software-pipelined loop needs an odd pair count");
+
+  constexpr RegIdx sw = 1, i = 3, k = 4, kEnd = 5, scr = 6, iEnd = 7,
+                   inB = 20, outB = 21, tmp = 22, pIn = 18, pOut = 19,
+                   a1 = 26, a2 = 27, a3 = 28, a4 = 29, b1 = 30, b2 = 31,
+                   b3 = 32, b4 = 33, t1 = 44, t2 = 45, t3 = 46, t4 = 47,
+                   eighth = 48, omega = 49, c1 = 50, c2 = 51, c3 = 52,
+                   c4 = 53, c5 = 54, c6 = 55, c7 = 56, c8 = 57;
+  // Two banks of live state: {sum1, sum2, x1, x2} per in-flight pair.
+  constexpr RegIdx bank[2][4] = {{34, 35, 36, 37}, {38, 39, 40, 41}};
+
+  // The pair computation is split into schedulable pieces; the main loop
+  // weaves the previous pair's dependent FP tail into the next pair's
+  // load shadows (modulo scheduling by hand).
+  auto s1_loads1 = [&](int bk) {  // axis neighbors + center values
+    b.load(a1, pIn, -8);
+    b.load(a2, pIn, 8);
+    b.load(a3, pIn, -rb);
+    b.load(a4, pIn, rb);
+    b.load(b1, pIn, 0);
+    b.load(b2, pIn, 16);
+    b.load(b3, pIn, -rb + 8);
+    b.load(b4, pIn, rb + 8);
+    b.load(bank[bk][2], pIn, 0);
+    b.load(bank[bk][3], pIn, 8);
+  };
+  auto s1_loads2a = [&] {  // diagonal neighbors, separate temp set
+    b.load(c1, pIn, -rb - 8);
+    b.load(c2, pIn, -rb + 8);
+    b.load(c3, pIn, rb - 8);
+    b.load(c4, pIn, rb + 8);
+  };
+  auto s1_loads2b = [&] {
+    b.load(c5, pIn, -rb);
+    b.load(c6, pIn, -rb + 16);
+    b.load(c7, pIn, rb);
+    b.load(c8, pIn, rb + 16);
+    b.addi(pIn, pIn, 16);
+  };
+  auto s1_sums1 = [&] {  // reduce the axis batch
+    b.fadd(t1, a1, a2);
+    b.fadd(t2, b1, b2);
+    b.fadd(t3, a3, a4);
+    b.fadd(t4, b3, b4);
+  };
+  auto s1_sums2 = [&](int bk) {  // reduce diagonals, merge into {sum1, sum2}
+    b.fadd(c1, c1, c2);
+    b.fadd(c5, c5, c6);
+    b.fadd(c3, c3, c4);
+    b.fadd(c7, c7, c8);
+    b.fadd(t1, t1, t3);
+    b.fadd(t2, t2, t4);
+    b.fadd(c1, c1, c3);
+    b.fadd(c5, c5, c7);
+    b.fadd(bank[bk][0], t1, c1);
+    b.fadd(bank[bk][1], t2, c5);
+  };
+  auto s2_avg = [&](int bk) {
+    b.fmul(bank[bk][0], bank[bk][0], eighth);
+    b.fmul(bank[bk][1], bank[bk][1], eighth);
+  };
+  auto s2_sub = [&](int bk) {
+    b.fsub(bank[bk][0], bank[bk][0], bank[bk][2]);
+    b.fsub(bank[bk][1], bank[bk][1], bank[bk][3]);
+  };
+  auto s2_omega = [&](int bk) {
+    b.fmul(bank[bk][0], bank[bk][0], omega);
+    b.fmul(bank[bk][1], bank[bk][1], omega);
+  };
+  auto s2_store = [&](int bk) {
+    b.fadd(bank[bk][0], bank[bk][2], bank[bk][0]);
+    b.fadd(bank[bk][1], bank[bk][3], bank[bk][1]);
+    b.store(pOut, bank[bk][0], 0);
+    b.store(pOut, bank[bk][1], 8);
+    b.addi(pOut, pOut, 16);
+  };
+  // One software-pipelined body: stage 1 of pair in `ld`, the dependent
+  // tail of pair `tl` threaded between its load groups so each FP result
+  // matures during someone else's issue slots.
+  auto body = [&](int ld, int tl) {
+    s1_loads1(ld);
+    s2_avg(tl);
+    s1_loads2a();
+    s2_sub(tl);
+    s1_loads2b();
+    s2_omega(tl);
+    s1_sums1();
+    s2_store(tl);
+    s1_sums2(ld);
+  };
+
+  b.li_f64(eighth, kEighth);
+  b.li_f64(omega, kOmega);
+  b.li(inB, static_cast<std::int64_t>(grid_));
+  b.li(outB, static_cast<std::int64_t>(grid_b_));
+  b.li(sw, sweeps_);
+  auto sweep_top = b.label();
+  b.bind(sweep_top);
+
+  b.li(i, row0);
+  b.li(iEnd, row_end);
+  auto row_top = b.label();
+  auto row_done = b.label();
+  b.bind(row_top);
+  b.bge(i, iEnd, row_done);
+  b.li(scr, rb);
+  b.mul(pIn, i, scr);
+  b.addi(pIn, pIn, 8);
+  b.add(pOut, pIn, outB);
+  b.add(pIn, pIn, inB);
+  // Prologue: pair 0 fully in flight.
+  s1_loads1(0);
+  s1_loads2a();
+  s1_loads2b();
+  s1_sums1();
+  s1_sums2(0);
+  b.li(k, 0);
+  b.li(kEnd, (pairs - 1) / 2);
+  auto pair_top = b.label();
+  b.bind(pair_top);
+  body(1, 0);
+  body(0, 1);
+  b.addi(k, k, 1);
+  b.blt(k, kEnd, pair_top);
+  // Epilogue: drain the last pair's tail.
+  s2_avg(0);
+  s2_sub(0);
+  s2_omega(0);
+  s2_store(0);
+  b.addi(i, i, 1);
+  b.jump(row_top);
+  b.bind(row_done);
+
+  b.barrier();  // all writes land before anyone reads the new buffer
+  b.mov(tmp, inB);
+  b.mov(inB, outB);
+  b.mov(outB, tmp);
+  b.addi(sw, sw, -1);
+  b.bne(sw, 0, sweep_top);
+  b.halt();
+  return b.build();
+}
+
+machine::ParallelProgram OceanWorkload::build(const Variant& variant) const {
+  unsigned nthreads =
+      variant.kind == Variant::Kind::kBase ? 1 : variant.nthreads;
+  VLT_CHECK(supports(variant.kind), "unsupported ocean variant");
+
+  machine::ParallelProgram prog;
+  prog.name = name();
+  machine::Phase relax;
+  relax.label = "jacobi-9pt";
+  relax.vlt_opportunity = true;
+  switch (variant.kind) {
+    case Variant::Kind::kBase:
+      relax.mode = machine::PhaseMode::kSerial;
+      break;
+    case Variant::Kind::kLaneThreads:
+      relax.mode = machine::PhaseMode::kLaneThreads;
+      break;
+    case Variant::Kind::kSuThreads:
+      relax.mode = machine::PhaseMode::kSuThreads;
+      break;
+    default:
+      VLT_CHECK(false, "unreachable");
+  }
+  for (unsigned t = 0; t < nthreads; ++t)
+    relax.programs.push_back(worker_program(t, nthreads));
+  prog.phases.push_back(std::move(relax));
+  return prog;
+}
+
+std::optional<std::string> OceanWorkload::verify(
+    const func::FuncMemory& mem) const {
+  // Even sweep count: the final state is back in buffer A.
+  Addr result = (sweeps_ % 2 == 0) ? grid_ : grid_b_;
+  for (unsigned i = 0; i < g_; ++i)
+    for (unsigned j = 0; j < g_; ++j) {
+      double got = mem.read_f64(result + 8 * (std::size_t{i} * stride_ + j));
+      if (got != golden_[i * g_ + j])
+        return "ocean: grid[" + std::to_string(i * g_ + j) + "] mismatch";
+    }
+  return std::nullopt;
+}
+
+}  // namespace vlt::workloads

@@ -1,0 +1,42 @@
+// ocean: eddy-current grid relaxation (SPLASH-2; Table 4: not
+// vectorizable, 96% VLT opportunity).
+//
+// Two-buffer 9-point Jacobi relaxation on a square grid larger than the
+// scalar unit's L1 cache; rows are partitioned across threads and a
+// barrier separates sweeps. Nine loads per point with a shallow FP tree
+// make the kernel memory-port bound — exactly the code that favours 8
+// simple lane cores with 16 memory ports over 2 wide cores with 4
+// (paper §5, Figure 6).
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace vlt::workloads {
+
+class OceanWorkload : public Workload {
+ public:
+  OceanWorkload(unsigned grid = 96, unsigned sweeps = 4);
+
+  std::string name() const override { return "ocean"; }
+  void init_memory(func::FuncMemory& mem) const override;
+  machine::ParallelProgram build(const Variant& variant) const override;
+  std::optional<std::string> verify(
+      const func::FuncMemory& mem) const override;
+  bool supports(Variant::Kind kind) const override {
+    return kind == Variant::Kind::kBase ||
+           kind == Variant::Kind::kLaneThreads ||
+           kind == Variant::Kind::kSuThreads;
+  }
+
+ private:
+  isa::Program worker_program(unsigned tid, unsigned nthreads) const;
+
+  unsigned g_, sweeps_;
+  unsigned stride_ = 0;  // padded row stride in words
+  Addr grid_, grid_b_;
+  std::vector<double> init_, golden_;
+};
+
+}  // namespace vlt::workloads

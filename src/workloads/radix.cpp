@@ -1,0 +1,374 @@
+#include "workloads/radix.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "workloads/kernel_util.hpp"
+
+namespace vlt::workloads {
+
+using isa::ProgramBuilder;
+
+RadixWorkload::RadixWorkload(unsigned keys) : n_(keys) {
+  func::AddressAllocator alloc;
+  raw_ = alloc.alloc_words(n_);
+  buf_a_ = alloc.alloc_words(n_);
+  buf_b_ = alloc.alloc_words(n_);
+  hist_ = alloc.alloc_words(std::size_t{kMaxThreads} * 4 * kRadix);
+  offs_ = alloc.alloc_words(std::size_t{kMaxThreads} * kRadix);
+  sums_ = alloc.alloc_words(kRadix);
+  base_ = alloc.alloc_words(kRadix);
+
+  Xorshift64 rng(0x4Ad1Full);
+  raw_keys_.resize(n_);
+  for (auto& k : raw_keys_)
+    k = static_cast<std::int64_t>(rng.next() & 0x3FFFFF);  // 22-bit raw
+
+  golden_sorted_.resize(n_);
+  for (unsigned i = 0; i < n_; ++i)
+    golden_sorted_[i] = raw_keys_[i] & 0xFFFF;  // init pass masks to 16 bits
+  std::stable_sort(golden_sorted_.begin(), golden_sorted_.end());
+}
+
+void RadixWorkload::init_memory(func::FuncMemory& mem) const {
+  mem.write_block_i64(raw_, raw_keys_);
+}
+
+// Vectorized preparation: keys = raw & 0xFFFF at full vector length. This
+// is radix's ~6% vector content (Table 4 lists avg VL 62.3 from exactly
+// this kind of long-vector prologue). The CMT baseline has no vector unit,
+// so the kSuThreads variant gets the scalar version the Cray compiler
+// would emit for a scalar-only target.
+isa::Program RadixWorkload::init_program(bool vectorized) const {
+  ProgramBuilder b("radix-init");
+  constexpr RegIdx n = 1, vl = 2, scr = 3, inP = 16, outP = 17, mask = 48;
+  b.li(mask, 0xFFFF);
+  b.li(inP, static_cast<std::int64_t>(raw_));
+  b.li(outP, static_cast<std::int64_t>(buf_a_));
+  if (vectorized) {
+    b.li(n, n_);
+    strip_mine(b, n, vl, scr, {inP, outP}, [&] {
+      b.vload(1, inP);
+      b.vand(2, 1, mask, isa::kFlagSrc2Scalar);
+      b.vstore(2, outP);
+    });
+  } else {
+    b.li(n, n_);
+    auto top = b.label();
+    b.bind(top);
+    b.load(scr, inP);
+    b.and_(scr, scr, mask);
+    b.store(outP, scr);
+    b.addi(inP, inP, 8);
+    b.addi(outP, outP, 8);
+    b.addi(n, n, -1);
+    b.bne(n, rZ, top);
+  }
+  b.halt();
+  return b.build();
+}
+
+// SPMD sort, per pass: sub-histogram counting -> intra-digit offsets
+// (parallel over digit ranges) -> serial digit-base scan (thread 0,
+// kRadix steps) -> stable permute, with barriers between steps.
+//
+// The streaming loops are software-pipelined four keys at a time, the way
+// a scheduling compiler (or the SPLASH-2 authors) would write them for an
+// in-order core. Counting uses one private sub-histogram per unroll slot,
+// so the four counter updates never alias; the permute overlaps its four
+// offset lookups only after an explicit digit-conflict test that falls
+// back to a strictly ordered slow path (a handful of predictable branches
+// per group).
+isa::Program RadixWorkload::sort_program(unsigned tid,
+                                         unsigned nthreads) const {
+  ProgramBuilder b("radix-sort-t" + std::to_string(tid));
+  auto range = chunk_of(n_, tid, nthreads);
+  const unsigned dig_lo = kRadix * tid / nthreads;
+  const unsigned dig_hi = kRadix * (tid + 1) / nthreads;
+  const std::int32_t sub_bytes = kRadix * 8;  // one sub-histogram
+
+  constexpr RegIdx pass = 1, i = 2, iEnd = 3, dv = 4, scr = 5, shift = 6,
+                   t = 7, lim = 9, pairEnd = 11, inB = 16, outB = 17,
+                   histP = 18, offsP = 19, p = 20, dA = 21, bA = 23,
+                   baseB = 25, k = 33, o = 34, run = 35, bv = 30, d8 = 31;
+  constexpr RegIdx kk[4] = {26, 27, 28, 29};
+  constexpr RegIdx dd[4] = {10, 12, 13, 14};
+  constexpr RegIdx aa[4] = {21, 22, 23, 24};
+  constexpr RegIdx bb[4] = {35, 36, 37, 38};
+  constexpr RegIdx oo[4] = {39, 40, 41, 42};
+  constexpr RegIdx nn[4] = {43, 44, 45, 46};
+
+  b.li(inB, static_cast<std::int64_t>(buf_a_));
+  b.li(outB, static_cast<std::int64_t>(buf_b_));
+  b.li(histP,
+       static_cast<std::int64_t>(hist_ + 8 * std::size_t{kRadix} * 4 * tid));
+  b.li(offsP, static_cast<std::int64_t>(offs_ + 8 * std::size_t{kRadix} * tid));
+  b.li(baseB, static_cast<std::int64_t>(base_));
+  b.li(pass, 0);
+  b.li(shift, 0);
+  auto pass_top = b.label();
+  auto pass_done = b.label();
+  b.bind(pass_top);
+  b.li(scr, kPasses);
+  b.bge(pass, scr, pass_done);
+
+  // --- zero the four private sub-histograms ---
+  b.mov(p, histP);
+  b.li(t, 4 * kRadix / 8);
+  {
+    auto z_top = b.label();
+    b.bind(z_top);
+    for (int u = 0; u < 8; ++u) b.store(p, rZ, 8 * u);
+    b.addi(p, p, 64);
+    b.addi(t, t, -1);
+    b.bne(t, rZ, z_top);
+  }
+
+  // --- counting, four keys per iteration into private sub-histograms ---
+  b.li(i, range.begin);
+  b.li(iEnd, range.end);
+  b.addi(pairEnd, iEnd, -3);
+  b.slli(p, i, 3);
+  b.add(p, p, inB);
+  {
+    auto h_top = b.label();
+    auto h_tail = b.label();
+    auto h_done = b.label();
+    // Software pipelining: group i+1's keys load while group i's counter
+    // chains resolve; all four chains are scheduled op-major so the
+    // 2-wide in-order core dual-issues them.
+    for (int u = 0; u < 4; ++u) b.load(kk[u], p, 8 * u);  // prologue
+    b.bind(h_top);
+    b.bge(i, pairEnd, h_tail);
+    for (int u = 0; u < 4; ++u) b.load(nn[u], p, 32 + 8 * u);  // next group
+    for (int u = 0; u < 4; ++u) b.srl(dd[u], kk[u], shift);
+    for (int u = 0; u < 4; ++u) b.andi(dd[u], dd[u], kRadix - 1);
+    for (int u = 0; u < 4; ++u) b.slli(dd[u], dd[u], 3);
+    for (int u = 0; u < 4; ++u) b.add(dd[u], dd[u], histP);
+    for (int u = 1; u < 4; ++u) b.addi(dd[u], dd[u], u * sub_bytes);
+    for (int u = 0; u < 4; ++u) b.load(oo[u], dd[u]);
+    for (int u = 0; u < 4; ++u) b.addi(oo[u], oo[u], 1);
+    for (int u = 0; u < 4; ++u) b.store(dd[u], oo[u]);
+    for (int u = 0; u < 4; ++u) b.mov(kk[u], nn[u]);
+    b.addi(p, p, 32);
+    b.addi(i, i, 4);
+    b.jump(h_top);
+    b.bind(h_tail);
+    b.bge(i, iEnd, h_done);
+    b.load(k, p);
+    b.srl(dv, k, shift);
+    b.andi(dv, dv, kRadix - 1);
+    b.slli(dv, dv, 3);
+    b.add(dv, dv, histP);
+    b.load(scr, dv);
+    b.addi(scr, scr, 1);
+    b.store(dv, scr);
+    b.addi(p, p, 8);
+    b.addi(i, i, 1);
+    b.jump(h_tail);
+    b.bind(h_done);
+  }
+  b.barrier();
+
+  // --- intra-digit offsets + per-digit sums over this thread's digits:
+  // offs[t][d] = sum over threads t' < t (all four subs) of counts ---
+  {
+    b.li(dv, dig_lo);
+    b.li(lim, dig_hi);
+    auto d_top = b.label();
+    auto d_done = b.label();
+    b.bind(d_top);
+    b.bge(dv, lim, d_done);
+    b.li(run, 0);
+    b.slli(d8, dv, 3);
+    b.li(dA, static_cast<std::int64_t>(hist_));
+    b.add(dA, dA, d8);  // &hist[0][0][d]
+    b.li(t, 0);
+    auto t_top = b.label();
+    b.bind(t_top);
+    // Record the running count at each thread boundary, then add the
+    // thread's four sub-counts.
+    b.li(scr, kRadix * 8);
+    b.mul(scr, t, scr);  // t * kRadix * 8
+    b.li(bA, static_cast<std::int64_t>(offs_));
+    b.add(bA, bA, scr);
+    b.add(bA, bA, d8);
+    b.store(bA, run);
+    for (int u = 0; u < 4; ++u) {
+      b.load(scr, dA, u * sub_bytes);
+      b.add(run, run, scr);
+    }
+    b.addi(dA, dA, 4 * sub_bytes);
+    b.addi(t, t, 1);
+    b.li(scr, nthreads);
+    b.blt(t, scr, t_top);
+    b.li(dA, static_cast<std::int64_t>(sums_));
+    b.add(dA, dA, d8);
+    b.store(dA, run);
+    b.addi(dv, dv, 1);
+    b.jump(d_top);
+    b.bind(d_done);
+  }
+  b.barrier();
+
+  // --- serial digit-base scan (thread 0, kRadix iterations) ---
+  if (tid == 0) {
+    b.li(run, 0);
+    b.li(dv, 0);
+    b.li(p, static_cast<std::int64_t>(sums_));
+    b.li(dA, static_cast<std::int64_t>(base_));
+    auto s_top = b.label();
+    b.bind(s_top);
+    b.load(scr, p);
+    b.store(dA, run);
+    b.add(run, run, scr);
+    b.addi(p, p, 8);
+    b.addi(dA, dA, 8);
+    b.addi(dv, dv, 1);
+    b.li(lim, kRadix);
+    b.blt(dv, lim, s_top);
+  }
+  b.barrier();
+
+  // --- stable permute, four keys per iteration;
+  // destination = base[digit] + offs[tid][digit]++ ---
+  b.li(i, range.begin);
+  b.slli(p, i, 3);
+  b.add(p, p, inB);
+  {
+    auto m_top = b.label();
+    auto m_tail = b.label();
+    auto m_done = b.label();
+    auto m_slow = b.label();
+    auto m_next = b.label();
+    for (int u = 0; u < 4; ++u) b.load(kk[u], p, 8 * u);  // prologue
+    b.bind(m_top);
+    b.bge(i, pairEnd, m_tail);
+    for (int u = 0; u < 4; ++u) b.load(nn[u], p, 32 + 8 * u);  // next group
+    for (int u = 0; u < 4; ++u) b.srl(dd[u], kk[u], shift);
+    for (int u = 0; u < 4; ++u) b.andi(dd[u], dd[u], kRadix - 1);
+    // Digit-conflict test: any equal pair forces the ordered slow path.
+    for (int x = 0; x < 4; ++x)
+      for (int y = x + 1; y < 4; ++y) b.beq(dd[x], dd[y], m_slow);
+    // Fast path: all four offset chains overlap (op-major schedule).
+    for (int u = 0; u < 4; ++u) b.slli(dd[u], dd[u], 3);
+    for (int u = 0; u < 4; ++u) b.add(aa[u], dd[u], offsP);
+    for (int u = 0; u < 4; ++u) b.add(bb[u], dd[u], baseB);
+    for (int u = 0; u < 4; ++u) b.load(oo[u], aa[u]);
+    for (int u = 0; u < 4; ++u) b.addi(dd[u], oo[u], 1);
+    for (int u = 0; u < 4; ++u) b.store(aa[u], dd[u]);
+    for (int u = 0; u < 4; ++u) b.load(bb[u], bb[u]);  // base[digit]
+    for (int u = 0; u < 4; ++u) b.add(oo[u], oo[u], bb[u]);
+    for (int u = 0; u < 4; ++u) b.slli(oo[u], oo[u], 3);
+    for (int u = 0; u < 4; ++u) b.add(oo[u], oo[u], outB);
+    for (int u = 0; u < 4; ++u) b.store(oo[u], kk[u]);
+    for (int u = 0; u < 4; ++u) b.mov(kk[u], nn[u]);
+    b.jump(m_next);
+    // Slow path: strictly ordered read-modify-writes.
+    b.bind(m_slow);
+    for (int u = 0; u < 4; ++u) {
+      b.slli(scr, dd[u], 3);
+      b.add(dA, scr, offsP);
+      b.add(bA, scr, baseB);
+      b.load(o, dA);
+      b.addi(scr, o, 1);
+      b.store(dA, scr);
+      b.load(bv, bA);
+      b.add(o, o, bv);
+      b.slli(o, o, 3);
+      b.add(o, o, outB);
+      b.store(o, kk[u]);
+    }
+    for (int u = 0; u < 4; ++u) b.mov(kk[u], nn[u]);
+    b.bind(m_next);
+    b.addi(p, p, 32);
+    b.addi(i, i, 4);
+    b.jump(m_top);
+    b.bind(m_tail);
+    b.bge(i, iEnd, m_done);
+    b.load(k, p);
+    b.srl(dv, k, shift);
+    b.andi(dv, dv, kRadix - 1);
+    b.slli(d8, dv, 3);
+    b.add(dA, d8, offsP);
+    b.add(bA, d8, baseB);
+    b.load(o, dA);
+    b.addi(scr, o, 1);
+    b.store(dA, scr);
+    b.load(bv, bA);
+    b.add(o, o, bv);
+    b.slli(o, o, 3);
+    b.add(o, o, outB);
+    b.store(o, k);
+    b.addi(p, p, 8);
+    b.addi(i, i, 1);
+    b.jump(m_tail);
+    b.bind(m_done);
+  }
+  b.barrier();
+
+  // swap in/out buffers, next digit
+  b.mov(scr, inB);
+  b.mov(inB, outB);
+  b.mov(outB, scr);
+  b.addi(shift, shift, 6);
+  b.addi(pass, pass, 1);
+  b.jump(pass_top);
+  b.bind(pass_done);
+  b.halt();
+  return b.build();
+}
+
+machine::ParallelProgram RadixWorkload::build(const Variant& variant) const {
+  unsigned nthreads =
+      variant.kind == Variant::Kind::kBase ? 1 : variant.nthreads;
+  VLT_CHECK(supports(variant.kind), "unsupported radix variant");
+  VLT_CHECK(nthreads <= kMaxThreads, "radix supports at most 8 threads");
+
+  machine::ParallelProgram prog;
+  prog.name = name();
+
+  machine::Phase init;
+  init.label = "key-prep";
+  init.mode = machine::PhaseMode::kSerial;
+  init.vlt_opportunity = false;
+  init.programs.push_back(
+      init_program(variant.kind != Variant::Kind::kSuThreads));
+  prog.phases.push_back(std::move(init));
+
+  machine::Phase sort;
+  sort.label = "sort";
+  sort.vlt_opportunity = true;
+  switch (variant.kind) {
+    case Variant::Kind::kBase:
+      sort.mode = machine::PhaseMode::kSerial;
+      break;
+    case Variant::Kind::kLaneThreads:
+      sort.mode = machine::PhaseMode::kLaneThreads;
+      break;
+    case Variant::Kind::kSuThreads:
+      sort.mode = machine::PhaseMode::kSuThreads;
+      break;
+    default:
+      VLT_CHECK(false, "unreachable");
+  }
+  for (unsigned t = 0; t < nthreads; ++t)
+    sort.programs.push_back(sort_program(t, nthreads));
+  prog.phases.push_back(std::move(sort));
+  return prog;
+}
+
+std::optional<std::string> RadixWorkload::verify(
+    const func::FuncMemory& mem) const {
+  // Odd pass count: the final sorted array lands in buf_b_.
+  auto got = mem.read_block_i64(kPasses % 2 ? buf_b_ : buf_a_, n_);
+  for (unsigned i = 0; i < n_; ++i)
+    if (got[i] != golden_sorted_[i])
+      return "radix: keys[" + std::to_string(i) + "] = " +
+             std::to_string(got[i]) + ", expected " +
+             std::to_string(golden_sorted_[i]);
+  return std::nullopt;
+}
+
+}  // namespace vlt::workloads

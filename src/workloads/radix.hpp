@@ -1,0 +1,47 @@
+// radix: LSD radix sort (Table 4: 6% vectorized, avg VL 62.3, 90% VLT
+// opportunity).
+//
+// A short vectorized key-preparation pass (VL 64 strips — radix's only
+// vector content, ~6% of operations) followed by the classic SPMD sort:
+// per-pass local histograms, a serial prefix scan on thread 0, and a
+// stable permute, with barriers between steps. The sort loops are scalar
+// with little ILP (load -> digit -> counter update chains), the code the
+// paper runs as 8 scalar threads on the vector lanes (§5).
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace vlt::workloads {
+
+class RadixWorkload : public Workload {
+ public:
+  explicit RadixWorkload(unsigned keys = 16384);
+
+  std::string name() const override { return "radix"; }
+  void init_memory(func::FuncMemory& mem) const override;
+  machine::ParallelProgram build(const Variant& variant) const override;
+  std::optional<std::string> verify(
+      const func::FuncMemory& mem) const override;
+  bool supports(Variant::Kind kind) const override {
+    return kind == Variant::Kind::kBase ||
+           kind == Variant::Kind::kLaneThreads ||
+           kind == Variant::Kind::kSuThreads;
+  }
+
+ private:
+  static constexpr unsigned kRadix = 64;    // 6-bit digits
+  static constexpr unsigned kPasses = 3;    // covers the 16-bit keys
+  static constexpr unsigned kMaxThreads = 8;
+
+  isa::Program init_program(bool vectorized) const;
+  isa::Program sort_program(unsigned tid, unsigned nthreads) const;
+
+  unsigned n_;
+  Addr raw_, buf_a_, buf_b_, hist_, offs_, sums_, base_;
+  std::vector<std::int64_t> raw_keys_;
+  std::vector<std::int64_t> golden_sorted_;
+};
+
+}  // namespace vlt::workloads

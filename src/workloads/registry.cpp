@@ -1,0 +1,44 @@
+#include "common/log.hpp"
+#include "workloads/barnes.hpp"
+#include "workloads/bt.hpp"
+#include "workloads/mpenc.hpp"
+#include "workloads/multprec.hpp"
+#include "workloads/mxm.hpp"
+#include "workloads/ocean.hpp"
+#include "workloads/radix.hpp"
+#include "workloads/sage.hpp"
+#include "workloads/trfd.hpp"
+#include "workloads/workload.hpp"
+
+namespace vlt::workloads {
+
+WorkloadPtr make_workload(const std::string& name) {
+  if (name == "mxm") return std::make_unique<MxmWorkload>();
+  if (name == "sage") return std::make_unique<SageWorkload>();
+  if (name == "mpenc") return std::make_unique<MpencWorkload>();
+  if (name == "trfd") return std::make_unique<TrfdWorkload>();
+  if (name == "multprec") return std::make_unique<MultprecWorkload>();
+  if (name == "bt") return std::make_unique<BtWorkload>();
+  if (name == "radix") return std::make_unique<RadixWorkload>();
+  if (name == "ocean") return std::make_unique<OceanWorkload>();
+  if (name == "barnes") return std::make_unique<BarnesWorkload>();
+  VLT_CHECK(false, "unknown workload: " + name);
+  return nullptr;
+}
+
+std::vector<std::string> workload_names() {
+  return {"mxm",  "sage",  "mpenc", "trfd",  "multprec",
+          "bt",   "radix", "ocean", "barnes"};
+}
+
+std::vector<std::string> vector_thread_apps() {
+  return {"mpenc", "trfd", "multprec", "bt"};
+}
+
+std::vector<std::string> scalar_thread_apps() {
+  return {"radix", "ocean", "barnes"};
+}
+
+std::vector<std::string> long_vector_apps() { return {"mxm", "sage"}; }
+
+}  // namespace vlt::workloads

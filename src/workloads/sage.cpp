@@ -1,0 +1,120 @@
+#include "workloads/sage.hpp"
+
+#include "common/log.hpp"
+#include "workloads/kernel_util.hpp"
+
+namespace vlt::workloads {
+
+using isa::ProgramBuilder;
+
+SageWorkload::SageWorkload(unsigned height, unsigned width, unsigned sweeps)
+    : h_(height), w_(width), sweeps_(sweeps) {
+  VLT_CHECK(h_ >= 3 && w_ >= 3, "grid too small for a 5-point stencil");
+  func::AddressAllocator alloc;
+  a_addr_ = alloc.alloc_words(std::size_t{h_} * w_);
+  b_addr_ = alloc.alloc_words(std::size_t{h_} * w_);
+
+  init_.resize(std::size_t{h_} * w_);
+  for (unsigned i = 0; i < h_; ++i)
+    for (unsigned j = 0; j < w_; ++j)
+      init_[i * w_ + j] = static_cast<double>((i * 13 + j * 7) % 17) * 0.25;
+
+  // Golden: sweeps of out[i][j] = ((l+r) + (u+d)) * 0.25 on the interior,
+  // ping-ponging between the two buffers, matching the kernel's FP order.
+  std::vector<double> in = init_, out = init_;
+  for (unsigned s = 0; s < sweeps_; ++s) {
+    for (unsigned i = 1; i + 1 < h_; ++i)
+      for (unsigned j = 1; j + 1 < w_; ++j) {
+        double lr = in[i * w_ + j - 1] + in[i * w_ + j + 1];
+        double ud = in[(i - 1) * w_ + j] + in[(i + 1) * w_ + j];
+        out[i * w_ + j] = (lr + ud) * 0.25;
+      }
+    std::swap(in, out);
+  }
+  golden_ = in;  // result of the last sweep
+}
+
+void SageWorkload::init_memory(func::FuncMemory& mem) const {
+  mem.write_block_f64(a_addr_, init_);
+  mem.write_block_f64(b_addr_, init_);
+}
+
+machine::ParallelProgram SageWorkload::build(const Variant& variant) const {
+  VLT_CHECK(variant.kind == Variant::Kind::kBase,
+            "sage runs only as the base single-thread variant");
+
+  ProgramBuilder b("sage");
+  // s1=sweep, s2=i, s3=n, s4=vl, s5=scratch, s6=row bound,
+  // s16=&in[i][1], s17=&out[i][1], s20=in base, s21=out base, s22=swap tmp,
+  // s32=0.25.
+  constexpr RegIdx sw = 1, i = 2, n = 3, vl = 4, scr = 5, hb = 6, inP = 16,
+                   outP = 17, inB = 20, outB = 21, tmp = 22, quarter = 32;
+  const std::int32_t row_bytes = static_cast<std::int32_t>(w_ * 8);
+
+  b.li_f64(quarter, 0.25);
+  b.li(inB, static_cast<std::int64_t>(a_addr_));
+  b.li(outB, static_cast<std::int64_t>(b_addr_));
+  b.li(sw, sweeps_);
+  auto sweep_top = b.label();
+  b.bind(sweep_top);
+  b.li(i, 1);
+  b.li(hb, h_ - 1);
+  b.addi(inP, inB, row_bytes + 8);    // &in[1][1]
+  b.addi(outP, outB, row_bytes + 8);  // &out[1][1]
+  auto row_top = b.label();
+  auto rows_done = b.label();
+  b.bind(row_top);
+  b.bge(i, hb, rows_done);
+  b.li(n, w_ - 2);
+  strip_mine(b, n, vl, scr, {inP, outP}, [&] {
+    b.vload(1, inP, -8);          // left
+    b.vload(2, inP, 8);           // right
+    b.vfadd(1, 1, 2);             // l + r
+    b.vload(2, inP, -row_bytes);  // up
+    b.vload(3, inP, row_bytes);   // down
+    b.vfadd(2, 2, 3);             // u + d
+    b.vfadd(1, 1, 2);
+    b.vfmul(1, 1, quarter, isa::kFlagSrc2Scalar);
+    b.vstore(1, outP);
+  });
+  b.addi(inP, inP, 16);  // skip right border + next row's left border
+  b.addi(outP, outP, 16);
+  b.addi(i, i, 1);
+  b.jump(row_top);
+  b.bind(rows_done);
+  // Swap buffers and iterate; in-flight stores must land before the next
+  // sweep reads them.
+  b.membar();
+  b.mov(tmp, inB);
+  b.mov(inB, outB);
+  b.mov(outB, tmp);
+  b.addi(sw, sw, -1);
+  b.bne(sw, 0, sweep_top);
+  b.halt();
+
+  machine::ParallelProgram prog;
+  prog.name = name();
+  machine::Phase phase;
+  phase.label = "stencil-sweeps";
+  phase.mode = machine::PhaseMode::kSerial;
+  phase.vlt_opportunity = false;
+  phase.programs.push_back(b.build());
+  prog.phases.push_back(std::move(phase));
+  return prog;
+}
+
+std::optional<std::string> SageWorkload::verify(
+    const func::FuncMemory& mem) const {
+  // The final sweep's output lives in buffer A for even sweep counts,
+  // buffer B for odd.
+  Addr result = (sweeps_ % 2 == 0) ? a_addr_ : b_addr_;
+  std::vector<double> got = mem.read_block_f64(result, golden_.size());
+  for (std::size_t k = 0; k < golden_.size(); ++k)
+    if (got[k] != golden_[k])
+      return "sage: grid[" + std::to_string(k) + "] = " +
+             std::to_string(got[k]) + ", expected " +
+             std::to_string(golden_[k]);
+  return std::nullopt;
+}
+
+}  // namespace vlt::workloads

@@ -1,0 +1,34 @@
+// sage: hydrodynamics modeling stand-in (Table 4: 94% vectorized,
+// avg VL 63.8). A sequence of 5-point stencil relaxation sweeps over a
+// wide 2-D grid; rows are strip-mined at full hardware vector length with
+// a short tail, matching the near-64 average vector length. Long vectors
+// throughout, so no VLT opportunity.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace vlt::workloads {
+
+class SageWorkload : public Workload {
+ public:
+  SageWorkload(unsigned height = 24, unsigned width = 256,
+               unsigned sweeps = 3);
+
+  std::string name() const override { return "sage"; }
+  void init_memory(func::FuncMemory& mem) const override;
+  machine::ParallelProgram build(const Variant& variant) const override;
+  std::optional<std::string> verify(
+      const func::FuncMemory& mem) const override;
+  bool supports(Variant::Kind kind) const override {
+    return kind == Variant::Kind::kBase;
+  }
+
+ private:
+  unsigned h_, w_, sweeps_;
+  Addr a_addr_, b_addr_;
+  std::vector<double> init_, golden_;
+};
+
+}  // namespace vlt::workloads

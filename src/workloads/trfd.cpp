@@ -1,0 +1,171 @@
+#include "workloads/trfd.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "workloads/kernel_util.hpp"
+
+namespace vlt::workloads {
+
+using isa::ProgramBuilder;
+
+TrfdWorkload::TrfdWorkload(std::vector<unsigned> shell_sizes) {
+  func::AddressAllocator alloc;
+  Xorshift64 rng(0x7FD0ull);
+
+  std::size_t t_total = 0, x_total = 0;
+  for (unsigned s : shell_sizes) {
+    Shell sh;
+    sh.size = s;
+    sh.t_mat = alloc.alloc_words(std::size_t{s} * s);
+    sh.x_in = alloc.alloc_words(std::size_t{s} * s);
+    sh.y_mid = alloc.alloc_words(std::size_t{s} * s);
+    sh.z_out = alloc.alloc_words(std::size_t{s} * s);
+    shells_.push_back(sh);
+    t_total += std::size_t{s} * s;
+    x_total += std::size_t{s} * s;
+  }
+  t_data_.resize(t_total);
+  x_data_.resize(x_total);
+  for (auto& v : t_data_) v = (static_cast<double>(rng.next_below(9)) - 4.0) * 0.125;
+  for (auto& v : x_data_) v = (static_cast<double>(rng.next_below(11)) - 5.0) * 0.25;
+
+  // Golden: z = T * (T * x), accumulated in ascending-b order per element
+  // to match the kernel's FP evaluation order exactly.
+  std::size_t off = 0;
+  for (const Shell& sh : shells_) {
+    unsigned s = sh.size;
+    const double* T = &t_data_[off];
+    const double* X = &x_data_[off];
+    std::vector<double> y(std::size_t{s} * s, 0.0), z(std::size_t{s} * s, 0.0);
+    for (unsigned a = 0; a < s; ++a)
+      for (unsigned bq = 0; bq < s; ++bq)
+        for (unsigned j = 0; j < s; ++j)
+          y[a * s + j] += T[a * s + bq] * X[bq * s + j];
+    for (unsigned a = 0; a < s; ++a)
+      for (unsigned bq = 0; bq < s; ++bq)
+        for (unsigned j = 0; j < s; ++j)
+          z[a * s + j] += T[a * s + bq] * y[bq * s + j];
+    golden_z_.push_back(std::move(z));
+    off += std::size_t{s} * s;
+  }
+}
+
+void TrfdWorkload::init_memory(func::FuncMemory& mem) const {
+  std::size_t off = 0;
+  for (const Shell& sh : shells_) {
+    std::size_t n = std::size_t{sh.size} * sh.size;
+    mem.write_block_f64(sh.t_mat, {t_data_.begin() + off, n});
+    mem.write_block_f64(sh.x_in, {x_data_.begin() + off, n});
+    off += n;
+  }
+}
+
+// One transformation pass over every shell: out[a][:] = sum_b T[a][b]*in[b][:].
+// The a-loop of each shell is split across threads; T addresses use
+// multiply-based indexing, reproducing the scalar-heavy address arithmetic
+// of the Fortran original (and the paper's 73% vectorization).
+isa::Program TrfdWorkload::pass_program(unsigned tid, unsigned nthreads,
+                                        unsigned pass) const {
+  ProgramBuilder b("trfd-p" + std::to_string(pass) + "-t" +
+                   std::to_string(tid));
+  constexpr RegIdx a = 1, bq = 2, n = 3, vl = 4, scr = 5, aEnd = 6, s = 7,
+                   off = 8, tP = 16, inRow = 19, outPos = 20, tv = 33,
+                   rowBytes = 9;
+
+  for (std::size_t si = 0; si < shells_.size(); ++si) {
+    const Shell& sh = shells_[si];
+    Addr in = pass == 0 ? sh.x_in : sh.y_mid;
+    Addr out = pass == 0 ? sh.y_mid : sh.z_out;
+    auto range = chunk_of(sh.size, tid, nthreads);
+    if (range.begin >= range.end) continue;
+
+    b.li(s, sh.size);
+    b.li(rowBytes, sh.size * 8);
+    b.li(a, range.begin);
+    b.li(aEnd, range.end);
+    auto a_top = b.label();
+    auto a_done = b.label();
+    b.bind(a_top);
+    b.bge(a, aEnd, a_done);
+    // Strip-mine the row dimension (full row in one chunk on the base
+    // machine; clamped to the partition MAXVL under VLT).
+    b.li(off, 0);  // byte offset into the row
+    b.li(n, sh.size);
+    auto strip_top = b.label();
+    auto strip_done = b.label();
+    b.bind(strip_top);
+    b.beq(n, rZ, strip_done);
+    b.setvl(vl, n);
+    b.vbcast(2, rZ);  // accumulator row chunk
+    b.li(bq, 0);
+    auto b_top = b.label();
+    b.bind(b_top);
+    // t = T[a][bq] via computed (multiply-based) indexing.
+    b.mul(scr, a, s);
+    b.add(scr, scr, bq);
+    b.slli(scr, scr, 3);
+    b.li(tP, static_cast<std::int64_t>(sh.t_mat));
+    b.add(tP, tP, scr);
+    b.load(tv, tP);
+    // in[bq][chunk]
+    b.mul(inRow, bq, rowBytes);
+    b.li(scr, static_cast<std::int64_t>(in));
+    b.add(inRow, inRow, scr);
+    b.add(inRow, inRow, off);
+    b.vload(1, inRow);
+    b.vfma(2, 1, tv, isa::kFlagSrc2Scalar);
+    b.addi(bq, bq, 1);
+    b.blt(bq, s, b_top);
+    // out[a][chunk]
+    b.mul(outPos, a, rowBytes);
+    b.li(scr, static_cast<std::int64_t>(out));
+    b.add(outPos, outPos, scr);
+    b.add(outPos, outPos, off);
+    b.vstore(2, outPos);
+    b.sub(n, n, vl);
+    b.slli(scr, vl, 3);
+    b.add(off, off, scr);
+    b.jump(strip_top);
+    b.bind(strip_done);
+    b.addi(a, a, 1);
+    b.jump(a_top);
+    b.bind(a_done);
+  }
+  b.halt();
+  return b.build();
+}
+
+machine::ParallelProgram TrfdWorkload::build(const Variant& variant) const {
+  unsigned nthreads =
+      variant.kind == Variant::Kind::kBase ? 1 : variant.nthreads;
+  VLT_CHECK(supports(variant.kind), "unsupported trfd variant");
+
+  machine::ParallelProgram prog;
+  prog.name = name();
+  for (unsigned pass = 0; pass < 2; ++pass) {
+    machine::Phase phase;
+    phase.label = "transform-pass-" + std::to_string(pass);
+    phase.mode = nthreads == 1 ? machine::PhaseMode::kSerial
+                               : machine::PhaseMode::kVectorThreads;
+    phase.vlt_opportunity = true;
+    for (unsigned t = 0; t < nthreads; ++t)
+      phase.programs.push_back(pass_program(t, nthreads, pass));
+    prog.phases.push_back(std::move(phase));
+  }
+  return prog;
+}
+
+std::optional<std::string> TrfdWorkload::verify(
+    const func::FuncMemory& mem) const {
+  for (std::size_t si = 0; si < shells_.size(); ++si) {
+    const Shell& sh = shells_[si];
+    auto got = mem.read_block_f64(sh.z_out, golden_z_[si].size());
+    for (std::size_t k = 0; k < got.size(); ++k)
+      if (got[k] != golden_z_[si][k])
+        return "trfd: shell " + std::to_string(si) + " z[" +
+               std::to_string(k) + "] mismatch";
+  }
+  return std::nullopt;
+}
+
+}  // namespace vlt::workloads

@@ -1,0 +1,52 @@
+// trfd: two-electron integral transformation stand-in (PERFECT club;
+// Table 4: 73% vectorized, avg VL 22.7, common VLs 4/20/30/35, 99% VLT
+// opportunity).
+//
+// The transformation processes orbital "shells" whose sizes follow the
+// paper's common vector lengths; each shell applies a dense transform
+// T * X twice (two passes), with heavy scalar index arithmetic between
+// vector operations, as the Fortran original exhibits. The outer row loop
+// of every shell is split across VLT threads; a barrier separates the two
+// passes.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace vlt::workloads {
+
+class TrfdWorkload : public Workload {
+ public:
+  /// `shell_sizes` defaults to the paper's common-VL mix with mean ~22.7.
+  explicit TrfdWorkload(std::vector<unsigned> shell_sizes = {
+                            4, 4, 4, 20, 20, 20, 20, 20, 20, 20, 30, 35});
+
+  std::string name() const override { return "trfd"; }
+  void init_memory(func::FuncMemory& mem) const override;
+  machine::ParallelProgram build(const Variant& variant) const override;
+  std::optional<std::string> verify(
+      const func::FuncMemory& mem) const override;
+  bool supports(Variant::Kind kind) const override {
+    return kind == Variant::Kind::kBase ||
+           kind == Variant::Kind::kVectorThreads;
+  }
+
+ private:
+  isa::Program pass_program(unsigned tid, unsigned nthreads,
+                            unsigned pass) const;
+
+  struct Shell {
+    unsigned size;
+    Addr t_mat;  // size x size transform coefficients
+    Addr x_in;   // size x size data (pass 1 input)
+    Addr y_mid;  // pass 1 output / pass 2 input
+    Addr z_out;  // pass 2 output
+  };
+
+  std::vector<Shell> shells_;
+  std::vector<double> t_data_, x_data_;
+  std::vector<std::vector<double>> golden_z_;
+};
+
+}  // namespace vlt::workloads

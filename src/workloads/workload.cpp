@@ -1,0 +1,19 @@
+#include "workloads/workload.hpp"
+
+namespace vlt::workloads {
+
+std::string Variant::to_string() const {
+  switch (kind) {
+    case Kind::kBase:
+      return "base";
+    case Kind::kVectorThreads:
+      return "vlt-" + std::to_string(nthreads) + "vt";
+    case Kind::kLaneThreads:
+      return "vlt-" + std::to_string(nthreads) + "lane";
+    case Kind::kSuThreads:
+      return "su-" + std::to_string(nthreads) + "t";
+  }
+  return "?";
+}
+
+}  // namespace vlt::workloads

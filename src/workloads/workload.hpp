@@ -1,0 +1,69 @@
+// Workload interface: each of the paper's nine applications provides a
+// memory image, phase-structured programs for every execution variant,
+// and a golden check of the results.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "func/memory.hpp"
+#include "machine/phase.hpp"
+
+namespace vlt::workloads {
+
+struct Variant {
+  enum class Kind {
+    kBase,           // single thread, all lanes (paper's base runs)
+    kVectorThreads,  // VLT with `nthreads` vector threads (§4)
+    kLaneThreads,    // VLT with `nthreads` scalar threads on lanes (§5)
+    kSuThreads,      // `nthreads` scalar threads on the scalar units (CMT)
+  };
+  Kind kind = Kind::kBase;
+  unsigned nthreads = 1;
+
+  static Variant base() { return {Kind::kBase, 1}; }
+  static Variant vector_threads(unsigned n) {
+    return {Kind::kVectorThreads, n};
+  }
+  static Variant lane_threads(unsigned n) { return {Kind::kLaneThreads, n}; }
+  static Variant su_threads(unsigned n) { return {Kind::kSuThreads, n}; }
+
+  std::string to_string() const;
+};
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Writes the input data segment into simulated memory.
+  virtual void init_memory(func::FuncMemory& mem) const = 0;
+
+  /// Builds the phase list for the requested variant. Serial phases are
+  /// identical across variants; parallel phases are decomposed over
+  /// `variant.nthreads` threads.
+  virtual machine::ParallelProgram build(const Variant& variant) const = 0;
+
+  /// Checks the simulated memory image against a host-computed golden
+  /// result; returns an error description on mismatch.
+  virtual std::optional<std::string> verify(
+      const func::FuncMemory& mem) const = 0;
+
+  /// Variants the workload supports (e.g. scalar apps have no vector-thread
+  /// decomposition).
+  virtual bool supports(Variant::Kind kind) const = 0;
+};
+
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+/// Factory for the nine applications of Table 4. Sizes are the default
+/// "paper" configurations used by the benches.
+WorkloadPtr make_workload(const std::string& name);
+std::vector<std::string> workload_names();        // all nine
+std::vector<std::string> vector_thread_apps();    // mpenc trfd multprec bt
+std::vector<std::string> scalar_thread_apps();    // radix ocean barnes
+std::vector<std::string> long_vector_apps();      // mxm sage
+
+}  // namespace vlt::workloads

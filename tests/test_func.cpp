@@ -1,0 +1,550 @@
+// Unit tests for the functional layer: sparse memory, architectural state,
+// and instruction semantics (including vector length, masking, and the
+// VLT max-VL clamp).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "func/executor.hpp"
+#include "func/memory.hpp"
+#include "isa/program.hpp"
+
+namespace vlt::func {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+class ExecutorTest : public ::testing::Test {
+ protected:
+  ExecResult run(const Instruction& inst) {
+    return exec_.execute(inst, st_, ctx_, addrs_);
+  }
+
+  FuncMemory mem_;
+  Executor exec_{mem_};
+  ArchState st_;
+  ExecContext ctx_{0, 1, kMaxVectorLength};
+  std::vector<Addr> addrs_;
+};
+
+TEST(FuncMemory, ZeroInitialized) {
+  FuncMemory mem;
+  EXPECT_EQ(mem.read64(0x1000), 0u);
+  EXPECT_EQ(mem.allocated_pages(), 0u);
+}
+
+TEST(FuncMemory, ReadBackWrites) {
+  FuncMemory mem;
+  mem.write64(0x2000, 0xDEADBEEFu);
+  EXPECT_EQ(mem.read64(0x2000), 0xDEADBEEFu);
+  mem.write_f64(0x2008, 3.25);
+  EXPECT_EQ(mem.read_f64(0x2008), 3.25);
+  mem.write_i64(0x2010, -17);
+  EXPECT_EQ(mem.read_i64(0x2010), -17);
+}
+
+TEST(FuncMemory, SparsePagesAreIndependent) {
+  FuncMemory mem;
+  mem.write64(0, 1);
+  mem.write64(1ull << 40, 2);
+  EXPECT_EQ(mem.read64(0), 1u);
+  EXPECT_EQ(mem.read64(1ull << 40), 2u);
+  EXPECT_EQ(mem.allocated_pages(), 2u);
+}
+
+TEST(FuncMemory, BlockHelpers) {
+  FuncMemory mem;
+  std::vector<double> vals{1.0, 2.5, -3.0};
+  mem.write_block_f64(0x3000, vals);
+  EXPECT_EQ(mem.read_block_f64(0x3000, 3), vals);
+}
+
+TEST(AddressAllocator, LineAlignment) {
+  AddressAllocator alloc(0x1000);
+  Addr a = alloc.alloc_words(3);
+  Addr b = alloc.alloc_words(1);
+  EXPECT_EQ(a % 8, 0u);
+  EXPECT_EQ(b % kLineBytes, 0u);
+  EXPECT_GE(b, a + 3 * 8);
+}
+
+TEST_F(ExecutorTest, ScalarArithmetic) {
+  st_.set_sreg_i(1, 20);
+  st_.set_sreg_i(2, -6);
+  run({Opcode::kAdd, 3, 1, 2, 0, 0});
+  EXPECT_EQ(st_.sreg_i(3), 14);
+  run({Opcode::kMul, 4, 1, 2, 0, 0});
+  EXPECT_EQ(st_.sreg_i(4), -120);
+  run({Opcode::kDiv, 5, 1, 2, 0, 0});
+  EXPECT_EQ(st_.sreg_i(5), -3);
+  run({Opcode::kRem, 6, 1, 2, 0, 0});
+  EXPECT_EQ(st_.sreg_i(6), 2);
+}
+
+TEST_F(ExecutorTest, DivisionByZeroYieldsZero) {
+  st_.set_sreg_i(1, 5);
+  st_.set_sreg_i(2, 0);
+  run({Opcode::kDiv, 3, 1, 2, 0, 0});
+  EXPECT_EQ(st_.sreg_i(3), 0);
+}
+
+TEST_F(ExecutorTest, FloatingPoint) {
+  st_.set_sreg_f(1, 1.5);
+  st_.set_sreg_f(2, 2.0);
+  run({Opcode::kFmul, 3, 1, 2, 0, 0});
+  EXPECT_EQ(st_.sreg_f(3), 3.0);
+  run({Opcode::kFsqrt, 4, 3, 0, 0, 0});
+  EXPECT_DOUBLE_EQ(st_.sreg_f(4), std::sqrt(3.0));
+  run({Opcode::kFcvtIF, 5, 1, 0, 0, 0});  // int bits of s1 -> double
+}
+
+TEST_F(ExecutorTest, LoadStore) {
+  st_.set_sreg_i(1, 0x4000);
+  st_.set_sreg_i(2, 77);
+  run({Opcode::kStore, 0, 1, 2, 8, 0});
+  EXPECT_EQ(mem_.read_i64(0x4008), 77);
+  EXPECT_EQ(addrs_.size(), 1u);
+  EXPECT_EQ(addrs_[0], 0x4008u);
+  run({Opcode::kLoad, 3, 1, 0, 8, 0});
+  EXPECT_EQ(st_.sreg_i(3), 77);
+}
+
+TEST_F(ExecutorTest, BranchSemantics) {
+  st_.set_sreg_i(1, 5);
+  st_.set_sreg_i(2, 5);
+  st_.set_pc(10);
+  ExecResult r = run({Opcode::kBeq, 0, 1, 2, 4, 0});
+  EXPECT_TRUE(r.branch_taken);
+  EXPECT_EQ(r.next_pc, 15u);  // pc + 1 + imm
+  r = run({Opcode::kBne, 0, 1, 2, 4, 0});
+  EXPECT_FALSE(r.branch_taken);
+  EXPECT_EQ(r.next_pc, 11u);
+}
+
+TEST_F(ExecutorTest, JalAndJr) {
+  st_.set_pc(20);
+  ExecResult r = run({Opcode::kJal, 7, 0, 0, 5, 0});
+  EXPECT_EQ(st_.sreg(7), 21u);
+  EXPECT_EQ(r.next_pc, 26u);
+  st_.set_sreg(8, 3);
+  st_.set_pc(30);
+  r = run({Opcode::kJr, 0, 8, 0, 0, 0});
+  EXPECT_EQ(r.next_pc, 3u);
+}
+
+TEST_F(ExecutorTest, SetvlClampsToContextMax) {
+  ctx_.max_vl = 16;  // e.g. 4 VLT threads on 8 lanes
+  st_.set_sreg_i(1, 40);
+  run({Opcode::kSetvl, 2, 1, 0, 0, 0});
+  EXPECT_EQ(st_.vl(), 16u);
+  EXPECT_EQ(st_.sreg_i(2), 16);
+  st_.set_sreg_i(1, 7);
+  run({Opcode::kSetvl, 2, 1, 0, 0, 0});
+  EXPECT_EQ(st_.vl(), 7u);
+  run({Opcode::kSetvlMax, 2, 0, 0, 0, 0});
+  EXPECT_EQ(st_.vl(), 16u);
+}
+
+TEST_F(ExecutorTest, TidAndNthreads) {
+  ctx_.tid = 3;
+  ctx_.nthreads = 8;
+  run({Opcode::kTid, 1, 0, 0, 0, 0});
+  run({Opcode::kNthreads, 2, 0, 0, 0, 0});
+  EXPECT_EQ(st_.sreg(1), 3u);
+  EXPECT_EQ(st_.sreg(2), 8u);
+}
+
+TEST_F(ExecutorTest, VectorAddAndScalarForm) {
+  st_.set_vl(4);
+  for (unsigned i = 0; i < 4; ++i) {
+    st_.set_velem_i(1, i, i);
+    st_.set_velem_i(2, i, 10 * i);
+  }
+  run({Opcode::kVadd, 3, 1, 2, 0, 0});
+  for (unsigned i = 0; i < 4; ++i) EXPECT_EQ(st_.velem_i(3, i), 11 * (int)i);
+
+  st_.set_sreg_i(7, 100);
+  run({Opcode::kVadd, 4, 1, 7, 0, isa::kFlagSrc2Scalar});
+  for (unsigned i = 0; i < 4; ++i) EXPECT_EQ(st_.velem_i(4, i), 100 + (int)i);
+}
+
+TEST_F(ExecutorTest, VectorLengthZeroIsNoop) {
+  st_.set_vl(0);
+  st_.set_velem_i(3, 0, 42);
+  ExecResult r = run({Opcode::kVadd, 3, 1, 2, 0, 0});
+  EXPECT_EQ(st_.velem_i(3, 0), 42);
+  EXPECT_EQ(r.elems, 0u);
+}
+
+TEST_F(ExecutorTest, VfmaAccumulates) {
+  st_.set_vl(2);
+  st_.set_velem_f(3, 0, 1.0);
+  st_.set_velem_f(3, 1, 2.0);
+  st_.set_velem_f(1, 0, 3.0);
+  st_.set_velem_f(1, 1, 4.0);
+  st_.set_sreg_f(7, 0.5);
+  run({Opcode::kVfma, 3, 1, 7, 0, isa::kFlagSrc2Scalar});
+  EXPECT_EQ(st_.velem_f(3, 0), 2.5);
+  EXPECT_EQ(st_.velem_f(3, 1), 4.0);
+}
+
+TEST_F(ExecutorTest, MaskedExecution) {
+  st_.set_vl(4);
+  for (unsigned i = 0; i < 4; ++i) {
+    st_.set_velem_i(1, i, i);
+    st_.set_velem_i(2, i, 1);
+    st_.set_velem_i(3, i, -1);
+  }
+  st_.set_sreg_i(9, 2);
+  run({Opcode::kVcmplt, 0, 1, 9, 0, isa::kFlagSrc2Scalar});  // mask = i < 2
+  EXPECT_TRUE(st_.mask(0));
+  EXPECT_TRUE(st_.mask(1));
+  EXPECT_FALSE(st_.mask(2));
+  run({Opcode::kVadd, 3, 1, 2, 0, isa::kFlagMasked});
+  EXPECT_EQ(st_.velem_i(3, 0), 1);
+  EXPECT_EQ(st_.velem_i(3, 1), 2);
+  EXPECT_EQ(st_.velem_i(3, 2), -1);  // untouched
+}
+
+TEST_F(ExecutorTest, VmergeSelectsByMask) {
+  st_.set_vl(2);
+  st_.set_mask(0, true);
+  st_.set_mask(1, false);
+  st_.set_velem_i(1, 0, 10);
+  st_.set_velem_i(1, 1, 11);
+  st_.set_velem_i(2, 0, 20);
+  st_.set_velem_i(2, 1, 21);
+  run({Opcode::kVmerge, 3, 1, 2, 0, 0});
+  EXPECT_EQ(st_.velem_i(3, 0), 10);
+  EXPECT_EQ(st_.velem_i(3, 1), 21);
+}
+
+TEST_F(ExecutorTest, Reductions) {
+  st_.set_vl(5);
+  for (unsigned i = 0; i < 5; ++i) st_.set_velem_i(1, i, i + 1);
+  run({Opcode::kVredsum, 8, 1, 0, 0, 0});
+  EXPECT_EQ(st_.sreg_i(8), 15);
+  run({Opcode::kVredmax, 8, 1, 0, 0, 0});
+  EXPECT_EQ(st_.sreg_i(8), 5);
+  run({Opcode::kVredmin, 8, 1, 0, 0, 0});
+  EXPECT_EQ(st_.sreg_i(8), 1);
+  for (unsigned i = 0; i < 5; ++i) st_.set_velem_f(2, i, 0.5);
+  run({Opcode::kVfredsum, 9, 2, 0, 0, 0});
+  EXPECT_EQ(st_.sreg_f(9), 2.5);
+}
+
+TEST_F(ExecutorTest, VabsdiffForSad) {
+  st_.set_vl(3);
+  st_.set_velem_i(1, 0, 10);
+  st_.set_velem_i(1, 1, 2);
+  st_.set_velem_i(1, 2, 5);
+  st_.set_velem_i(2, 0, 7);
+  st_.set_velem_i(2, 1, 9);
+  st_.set_velem_i(2, 2, 5);
+  run({Opcode::kVabsdiff, 3, 1, 2, 0, 0});
+  EXPECT_EQ(st_.velem_i(3, 0), 3);
+  EXPECT_EQ(st_.velem_i(3, 1), 7);
+  EXPECT_EQ(st_.velem_i(3, 2), 0);
+}
+
+TEST_F(ExecutorTest, UnitStrideVectorMemory) {
+  st_.set_vl(4);
+  for (unsigned i = 0; i < 4; ++i) mem_.write_i64(0x5000 + 8 * i, 100 + i);
+  st_.set_sreg_i(1, 0x5000);
+  run({Opcode::kVload, 2, 1, 0, 0, 0});
+  EXPECT_EQ(addrs_.size(), 4u);
+  for (unsigned i = 0; i < 4; ++i) EXPECT_EQ(st_.velem_i(2, i), 100 + (int)i);
+
+  st_.set_sreg_i(3, 0x6000);
+  run({Opcode::kVstore, 2, 3, 0, 0, 0});
+  for (unsigned i = 0; i < 4; ++i)
+    EXPECT_EQ(mem_.read_i64(0x6000 + 8 * i), 100 + (int)i);
+}
+
+TEST_F(ExecutorTest, StridedVectorMemory) {
+  st_.set_vl(3);
+  for (unsigned i = 0; i < 3; ++i) mem_.write_i64(0x7000 + 24 * i, i);
+  st_.set_sreg_i(1, 0x7000);
+  st_.set_sreg_i(2, 24);
+  run({Opcode::kVloads, 3, 1, 2, 0, 0});
+  for (unsigned i = 0; i < 3; ++i) EXPECT_EQ(st_.velem_i(3, i), (int)i);
+  EXPECT_EQ(addrs_[1], 0x7018u);
+}
+
+TEST_F(ExecutorTest, GatherScatter) {
+  st_.set_vl(3);
+  st_.set_sreg_i(1, 0x8000);
+  st_.set_velem_i(2, 0, 16);
+  st_.set_velem_i(2, 1, 0);
+  st_.set_velem_i(2, 2, 8);
+  mem_.write_i64(0x8010, 1);
+  mem_.write_i64(0x8000, 2);
+  mem_.write_i64(0x8008, 3);
+  run({Opcode::kVgather, 3, 1, 2, 0, 0});
+  EXPECT_EQ(st_.velem_i(3, 0), 1);
+  EXPECT_EQ(st_.velem_i(3, 1), 2);
+  EXPECT_EQ(st_.velem_i(3, 2), 3);
+
+  run({Opcode::kVscatter, 3, 1, 2, 0, 0});  // writes values back
+  EXPECT_EQ(mem_.read_i64(0x8010), 1);
+}
+
+TEST_F(ExecutorTest, ViotaAndVbcast) {
+  st_.set_vl(4);
+  run({Opcode::kViota, 1, 0, 0, 0, 0});
+  for (unsigned i = 0; i < 4; ++i) EXPECT_EQ(st_.velem(1, i), i);
+  st_.set_sreg_i(5, 9);
+  run({Opcode::kVbcast, 2, 5, 0, 0, 0});
+  for (unsigned i = 0; i < 4; ++i) EXPECT_EQ(st_.velem_i(2, i), 9);
+}
+
+TEST_F(ExecutorTest, HaltAndBarrierFlags) {
+  EXPECT_TRUE(run({Opcode::kHalt, 0, 0, 0, 0, 0}).halted);
+  EXPECT_TRUE(run({Opcode::kBarrier, 0, 0, 0, 0, 0}).is_barrier);
+  EXPECT_FALSE(run({Opcode::kNop, 0, 0, 0, 0, 0}).halted);
+}
+
+// --- table-driven coverage: every scalar ALU opcode's contract -------------
+
+struct AluCase {
+  const char* name;
+  isa::Opcode op;
+  std::int64_t a, b;
+  std::int64_t expect;
+  bool imm_form;   // operand b passed through the immediate field
+};
+
+class ScalarAluContract : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(ScalarAluContract, Semantics) {
+  const AluCase& c = GetParam();
+  FuncMemory mem;
+  Executor exec(mem);
+  ArchState st;
+  ExecContext ctx{0, 1, kMaxVectorLength};
+  std::vector<Addr> addrs;
+  st.set_sreg_i(1, c.a);
+  Instruction inst;
+  if (c.imm_form) {
+    inst = Instruction{c.op, 3, 1, 0, static_cast<std::int32_t>(c.b), 0};
+  } else {
+    st.set_sreg_i(2, c.b);
+    inst = Instruction{c.op, 3, 1, 2, 0, 0};
+  }
+  exec.execute(inst, st, ctx, addrs);
+  EXPECT_EQ(st.sreg_i(3), c.expect) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, ScalarAluContract,
+    ::testing::Values(
+        AluCase{"add", Opcode::kAdd, 7, 5, 12, false},
+        AluCase{"add_neg", Opcode::kAdd, -7, 5, -2, false},
+        AluCase{"addi", Opcode::kAddi, 7, -3, 4, true},
+        AluCase{"sub", Opcode::kSub, 7, 5, 2, false},
+        AluCase{"mul", Opcode::kMul, -6, 7, -42, false},
+        AluCase{"div", Opcode::kDiv, 43, 7, 6, false},
+        AluCase{"div_by_zero", Opcode::kDiv, 43, 0, 0, false},
+        AluCase{"rem", Opcode::kRem, 43, 7, 1, false},
+        AluCase{"rem_by_zero", Opcode::kRem, 43, 0, 0, false},
+        AluCase{"and", Opcode::kAnd, 0b1100, 0b1010, 0b1000, false},
+        AluCase{"andi", Opcode::kAndi, 0xFF, 0x0F, 0x0F, true},
+        AluCase{"or", Opcode::kOr, 0b1100, 0b1010, 0b1110, false},
+        AluCase{"ori", Opcode::kOri, 0b1100, 0b0001, 0b1101, true},
+        AluCase{"xor", Opcode::kXor, 0b1100, 0b1010, 0b0110, false},
+        AluCase{"xori", Opcode::kXori, 0b1100, 0b1111, 0b0011, true},
+        AluCase{"sll", Opcode::kSll, 3, 4, 48, false},
+        AluCase{"slli", Opcode::kSlli, 3, 4, 48, true},
+        AluCase{"srl", Opcode::kSrl, 48, 4, 3, false},
+        AluCase{"srli", Opcode::kSrli, 48, 4, 3, true},
+        AluCase{"sra_neg", Opcode::kSra, -16, 2, -4, false},
+        AluCase{"slt_true", Opcode::kSlt, -1, 0, 1, false},
+        AluCase{"slt_false", Opcode::kSlt, 1, 0, 0, false},
+        AluCase{"slti", Opcode::kSlti, 3, 9, 1, true},
+        AluCase{"seq_true", Opcode::kSeq, 5, 5, 1, false},
+        AluCase{"seq_false", Opcode::kSeq, 5, 6, 0, false}),
+    [](const auto& info) { return info.param.name; });
+
+// --- table-driven coverage: scalar FP opcode contracts ---------------------
+
+struct FpuCase {
+  const char* name;
+  isa::Opcode op;
+  double a, b;
+  double expect;
+  bool unary;
+};
+
+class ScalarFpuContract : public ::testing::TestWithParam<FpuCase> {};
+
+TEST_P(ScalarFpuContract, Semantics) {
+  const FpuCase& c = GetParam();
+  FuncMemory mem;
+  Executor exec(mem);
+  ArchState st;
+  ExecContext ctx{0, 1, kMaxVectorLength};
+  std::vector<Addr> addrs;
+  st.set_sreg_f(1, c.a);
+  if (!c.unary) st.set_sreg_f(2, c.b);
+  exec.execute(Instruction{c.op, 3, 1, 2, 0, 0}, st, ctx, addrs);
+  EXPECT_EQ(st.sreg_f(3), c.expect) << c.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, ScalarFpuContract,
+    ::testing::Values(
+        FpuCase{"fadd", Opcode::kFadd, 1.5, 2.25, 3.75, false},
+        FpuCase{"fsub", Opcode::kFsub, 1.5, 2.25, -0.75, false},
+        FpuCase{"fmul", Opcode::kFmul, 1.5, 2.0, 3.0, false},
+        FpuCase{"fdiv", Opcode::kFdiv, 3.0, 2.0, 1.5, false},
+        FpuCase{"fsqrt", Opcode::kFsqrt, 2.25, 0, 1.5, true},
+        FpuCase{"fabs", Opcode::kFabs, -4.5, 0, 4.5, true},
+        FpuCase{"fneg", Opcode::kFneg, 4.5, 0, -4.5, true},
+        FpuCase{"fmin", Opcode::kFmin, 4.5, -1.0, -1.0, false},
+        FpuCase{"fmax", Opcode::kFmax, 4.5, -1.0, 4.5, false}),
+    [](const auto& info) { return info.param.name; });
+
+// --- table-driven coverage: elementwise vector opcode contracts ------------
+
+struct VecCase {
+  const char* name;
+  isa::Opcode op;
+  std::int64_t a, b;        // element values replicated across VL
+  std::int64_t expect;
+  bool fp;                  // interpret as doubles (bit patterns built here)
+};
+
+class VectorElemContract : public ::testing::TestWithParam<VecCase> {};
+
+TEST_P(VectorElemContract, SemanticsAtSeveralVls) {
+  const VecCase& c = GetParam();
+  for (unsigned vl : {1u, 5u, 8u, 64u}) {
+    FuncMemory mem;
+    Executor exec(mem);
+    ArchState st;
+    ExecContext ctx{0, 1, kMaxVectorLength};
+    std::vector<Addr> addrs;
+    st.set_vl(vl);
+    for (unsigned i = 0; i < vl; ++i) {
+      if (c.fp) {
+        st.set_velem_f(1, i, static_cast<double>(c.a));
+        st.set_velem_f(2, i, static_cast<double>(c.b));
+      } else {
+        st.set_velem_i(1, i, c.a);
+        st.set_velem_i(2, i, c.b);
+      }
+    }
+    exec.execute(Instruction{c.op, 3, 1, 2, 0, 0}, st, ctx, addrs);
+    for (unsigned i = 0; i < vl; ++i) {
+      if (c.fp)
+        EXPECT_EQ(st.velem_f(3, i), static_cast<double>(c.expect))
+            << c.name << " vl=" << vl << " i=" << i;
+      else
+        EXPECT_EQ(st.velem_i(3, i), c.expect)
+            << c.name << " vl=" << vl << " i=" << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOps, VectorElemContract,
+    ::testing::Values(
+        VecCase{"vadd", Opcode::kVadd, 9, -4, 5, false},
+        VecCase{"vsub", Opcode::kVsub, 9, -4, 13, false},
+        VecCase{"vmul", Opcode::kVmul, 9, -4, -36, false},
+        VecCase{"vand", Opcode::kVand, 0b0110, 0b0011, 0b0010, false},
+        VecCase{"vor", Opcode::kVor, 0b0110, 0b0011, 0b0111, false},
+        VecCase{"vxor", Opcode::kVxor, 0b0110, 0b0011, 0b0101, false},
+        VecCase{"vmin", Opcode::kVmin, 9, -4, -4, false},
+        VecCase{"vmax", Opcode::kVmax, 9, -4, 9, false},
+        VecCase{"vabsdiff", Opcode::kVabsdiff, 3, 11, 8, false},
+        VecCase{"vfadd", Opcode::kVfadd, 9, -4, 5, true},
+        VecCase{"vfsub", Opcode::kVfsub, 9, -4, 13, true},
+        VecCase{"vfmul", Opcode::kVfmul, 9, -4, -36, true},
+        VecCase{"vfmin", Opcode::kVfmin, 9, -4, -4, true},
+        VecCase{"vfmax", Opcode::kVfmax, 9, -4, 9, true},
+        VecCase{"vmov", Opcode::kVmov, 7, 0, 7, false}),
+    [](const auto& info) { return info.param.name; });
+
+TEST_F(ExecutorTest, VfdivAndVfsqrtAndVfabsAndVfneg) {
+  st_.set_vl(3);
+  for (unsigned i = 0; i < 3; ++i) {
+    st_.set_velem_f(1, i, -2.25);
+    st_.set_velem_f(2, i, 1.5);
+  }
+  run({Opcode::kVfdiv, 3, 1, 2, 0, 0});
+  for (unsigned i = 0; i < 3; ++i) EXPECT_EQ(st_.velem_f(3, i), -1.5);
+  run({Opcode::kVfabs, 4, 1, 0, 0, 0});
+  for (unsigned i = 0; i < 3; ++i) EXPECT_EQ(st_.velem_f(4, i), 2.25);
+  run({Opcode::kVfneg, 5, 1, 0, 0, 0});
+  for (unsigned i = 0; i < 3; ++i) EXPECT_EQ(st_.velem_f(5, i), 2.25);
+  run({Opcode::kVfsqrt, 6, 4, 0, 0, 0});
+  for (unsigned i = 0; i < 3; ++i) EXPECT_EQ(st_.velem_f(6, i), 1.5);
+}
+
+TEST_F(ExecutorTest, VectorShiftsTakeScalarAmounts) {
+  st_.set_vl(2);
+  st_.set_velem_i(1, 0, 3);
+  st_.set_velem_i(1, 1, 5);
+  st_.set_sreg_i(7, 2);
+  run({Opcode::kVsll, 2, 1, 7, 0, isa::kFlagSrc2Scalar});
+  EXPECT_EQ(st_.velem_i(2, 0), 12);
+  EXPECT_EQ(st_.velem_i(2, 1), 20);
+  run({Opcode::kVsrl, 3, 2, 7, 0, isa::kFlagSrc2Scalar});
+  EXPECT_EQ(st_.velem_i(3, 0), 3);
+  EXPECT_EQ(st_.velem_i(3, 1), 5);
+}
+
+TEST_F(ExecutorTest, VfmaVectorVectorForm) {
+  st_.set_vl(2);
+  st_.set_velem_f(3, 0, 1.0);
+  st_.set_velem_f(3, 1, 2.0);
+  st_.set_velem_f(1, 0, 3.0);
+  st_.set_velem_f(1, 1, 4.0);
+  st_.set_velem_f(2, 0, 0.5);
+  st_.set_velem_f(2, 1, 0.25);
+  run({Opcode::kVfma, 3, 1, 2, 0, 0});
+  EXPECT_EQ(st_.velem_f(3, 0), 2.5);
+  EXPECT_EQ(st_.velem_f(3, 1), 3.0);
+}
+
+TEST_F(ExecutorTest, MaskedStoreSkipsMaskedOffElements) {
+  st_.set_vl(4);
+  st_.set_sreg_i(1, 0x6100);
+  for (unsigned i = 0; i < 4; ++i) {
+    st_.set_velem_i(2, i, 100 + i);
+    st_.set_mask(i, i % 2 == 0);
+    mem_.write_i64(0x6100 + 8 * i, -1);
+  }
+  run({Opcode::kVstore, 2, 1, 0, 0, isa::kFlagMasked});
+  EXPECT_EQ(addrs_.size(), 2u);  // only unmasked elements touch memory
+  EXPECT_EQ(mem_.read_i64(0x6100), 100);
+  EXPECT_EQ(mem_.read_i64(0x6108), -1);
+  EXPECT_EQ(mem_.read_i64(0x6110), 102);
+  EXPECT_EQ(mem_.read_i64(0x6118), -1);
+}
+
+TEST_F(ExecutorTest, VcmpeqAndFcmplt) {
+  st_.set_vl(3);
+  st_.set_velem_i(1, 0, 5);
+  st_.set_velem_i(1, 1, 6);
+  st_.set_velem_i(1, 2, 5);
+  st_.set_sreg_i(7, 5);
+  run({Opcode::kVcmpeq, 0, 1, 7, 0, isa::kFlagSrc2Scalar});
+  EXPECT_TRUE(st_.mask(0));
+  EXPECT_FALSE(st_.mask(1));
+  EXPECT_TRUE(st_.mask(2));
+
+  st_.set_velem_f(2, 0, 1.0);
+  st_.set_velem_f(2, 1, -1.0);
+  st_.set_velem_f(2, 2, 0.0);
+  st_.set_sreg_f(8, 0.5);
+  run({Opcode::kVfcmplt, 0, 2, 8, 0, isa::kFlagSrc2Scalar});
+  EXPECT_FALSE(st_.mask(0));
+  EXPECT_TRUE(st_.mask(1));
+  EXPECT_TRUE(st_.mask(2));
+}
+
+}  // namespace
+}  // namespace vlt::func

@@ -1,0 +1,262 @@
+// Cross-module integration tests: whole-machine runs exercising the SU,
+// VCL, lanes, and memory system together, asserting the directional
+// results behind every figure of the paper.
+#include <gtest/gtest.h>
+
+#include "machine/processor.hpp"
+#include "machine/simulator.hpp"
+#include "workloads/all_workloads.hpp"
+#include "workloads/kernel_util.hpp"
+#include "workloads/workload.hpp"
+
+namespace vlt {
+namespace {
+
+using machine::MachineConfig;
+using machine::RunResult;
+using machine::Simulator;
+using workloads::Variant;
+using workloads::make_workload;
+
+Cycle cycles_of(const workloads::Workload& w, const MachineConfig& cfg,
+                Variant v) {
+  RunResult r = Simulator(cfg).run(w, v);
+  EXPECT_TRUE(r.verified) << w.name() << ": " << r.verify_error;
+  return r.cycles;
+}
+
+// --- Figure 1 directions ---------------------------------------------------
+
+TEST(Fig1, MxmScalesWithLanes) {
+  auto w = make_workload("mxm");
+  Cycle one = cycles_of(*w, MachineConfig::base(1), Variant::base());
+  Cycle eight = cycles_of(*w, MachineConfig::base(8), Variant::base());
+  double speedup = static_cast<double>(one) / static_cast<double>(eight);
+  EXPECT_GT(speedup, 5.0);  // paper: ~7x
+  EXPECT_LE(speedup, 8.5);
+}
+
+TEST(Fig1, LaneScalingIsMonotoneForMxm) {
+  auto w = make_workload("mxm");
+  Cycle prev = kNeverReady;
+  for (unsigned lanes : {1u, 2u, 4u, 8u}) {
+    Cycle c = cycles_of(*w, MachineConfig::base(lanes), Variant::base());
+    EXPECT_LT(c, prev) << lanes << " lanes";
+    prev = c;
+  }
+}
+
+TEST(Fig1, ShortVectorAppsSaturateEarly) {
+  auto w = make_workload("bt");
+  Cycle one = cycles_of(*w, MachineConfig::base(1), Variant::base());
+  Cycle eight = cycles_of(*w, MachineConfig::base(8), Variant::base());
+  // bt (avg VL ~5.6) gains almost nothing from 8 lanes.
+  EXPECT_LT(static_cast<double>(one) / eight, 1.5);
+}
+
+TEST(Fig1, ScalarAppsAreLaneCountInvariant) {
+  workloads::OceanWorkload ocean(32, 2);
+  Cycle one = cycles_of(ocean, MachineConfig::base(1), Variant::base());
+  Cycle eight = cycles_of(ocean, MachineConfig::base(8), Variant::base());
+  EXPECT_NEAR(static_cast<double>(one) / eight, 1.0, 0.02);
+}
+
+TEST(Fig1, EveryAppVerifiesOnEveryLaneCount) {
+  for (const char* name : {"mxm", "trfd", "mpenc"}) {
+    auto w = make_workload(name);
+    for (unsigned lanes : {1u, 2u, 4u, 8u})
+      (void)cycles_of(*w, MachineConfig::base(lanes), Variant::base());
+  }
+}
+
+// --- Figure 3 directions ---------------------------------------------------
+
+TEST(Fig3, VltSpeedsUpEveryShortVectorApp) {
+  for (const std::string& name : workloads::vector_thread_apps()) {
+    auto w = make_workload(name);
+    Cycle base = cycles_of(*w, MachineConfig::base(), Variant::base());
+    Cycle v2 = cycles_of(*w, MachineConfig::v2_cmp(),
+                         Variant::vector_threads(2));
+    Cycle v4 = cycles_of(*w, MachineConfig::v4_cmp(),
+                         Variant::vector_threads(4));
+    EXPECT_LT(v2, base) << name;
+    EXPECT_LT(v4, v2) << name;  // 4 threads beat 2 on every app (paper)
+    double s4 = static_cast<double>(base) / v4;
+    EXPECT_GE(s4, 1.3) << name;  // paper band: 1.40 - 2.3
+    EXPECT_LE(s4, 2.5) << name;
+  }
+}
+
+// --- Figure 4 directions ---------------------------------------------------
+
+TEST(Fig4, VltPreservesBusyWorkAndCutsIdle) {
+  auto w = make_workload("mpenc");
+  RunResult base = Simulator(MachineConfig::base()).run(*w, Variant::base());
+  RunResult vlt =
+      Simulator(MachineConfig::v4_cmp()).run(*w, Variant::vector_threads(4));
+  ASSERT_TRUE(base.verified && vlt.verified);
+  // Element work (busy lane-cycles) is invariant across configurations.
+  EXPECT_EQ(base.util.busy, vlt.util.busy);
+  // VLT compresses total lane-cycles (faster execution).
+  EXPECT_LT(vlt.util.total(), base.util.total());
+}
+
+// --- Figure 5 directions ---------------------------------------------------
+
+TEST(Fig5, V4SmtTrailsV4Cmt) {
+  auto w = make_workload("trfd");
+  Cycle smt = cycles_of(*w, MachineConfig::v4_smt(),
+                        Variant::vector_threads(4));
+  Cycle cmt = cycles_of(*w, MachineConfig::v4_cmt(),
+                        Variant::vector_threads(4));
+  EXPECT_GT(smt, cmt);  // one 4-way SU cannot feed 4 threads (paper §7.1)
+}
+
+TEST(Fig5, V4CmtComesCloseToV4Cmp) {
+  auto w = make_workload("mpenc");
+  Cycle cmt = cycles_of(*w, MachineConfig::v4_cmt(),
+                        Variant::vector_threads(4));
+  Cycle cmp = cycles_of(*w, MachineConfig::v4_cmp(),
+                        Variant::vector_threads(4));
+  EXPECT_LT(static_cast<double>(cmt) / cmp, 1.15);  // within ~15%
+}
+
+TEST(Fig5, HybridBeatsHeterogeneousOnTrfd) {
+  // V4-CMP-h pins threads on 2-way SUs; V4-CMT lets two threads share a
+  // 4-way SU flexibly (paper §7.1).
+  auto w = make_workload("trfd");
+  Cycle cmt = cycles_of(*w, MachineConfig::v4_cmt(),
+                        Variant::vector_threads(4));
+  Cycle h = cycles_of(*w, MachineConfig::v4_cmp_h(),
+                      Variant::vector_threads(4));
+  EXPECT_LT(cmt, h);
+}
+
+// --- Figure 6 directions ---------------------------------------------------
+
+TEST(Fig6, RadixFavoursLaneThreads) {
+  workloads::RadixWorkload radix(8192);
+  Cycle lanes = cycles_of(radix, MachineConfig::v4_cmt(),
+                          Variant::lane_threads(8));
+  Cycle cmt = cycles_of(radix, MachineConfig::cmt(), Variant::su_threads(4));
+  EXPECT_GT(static_cast<double>(cmt) / lanes, 1.5);  // paper: ~2x
+}
+
+TEST(Fig6, OceanFavoursLaneThreads) {
+  workloads::OceanWorkload ocean(64, 4);
+  Cycle lanes = cycles_of(ocean, MachineConfig::v4_cmt(),
+                          Variant::lane_threads(8));
+  Cycle cmt = cycles_of(ocean, MachineConfig::cmt(), Variant::su_threads(4));
+  EXPECT_GT(static_cast<double>(cmt) / lanes, 1.1);
+}
+
+TEST(Fig6, BarnesIsRoughlyAtParity) {
+  workloads::BarnesWorkload barnes(192);
+  Cycle lanes = cycles_of(barnes, MachineConfig::v4_cmt(),
+                          Variant::lane_threads(8));
+  Cycle cmt = cycles_of(barnes, MachineConfig::cmt(), Variant::su_threads(4));
+  double rel = static_cast<double>(cmt) / lanes;
+  EXPECT_GT(rel, 0.7);
+  EXPECT_LT(rel, 1.3);  // paper: "equal performance"
+}
+
+// --- phase machinery --------------------------------------------------------
+
+TEST(Phases, ModeSwitchChargesOverhead) {
+  // mpenc has a parallel phase followed by a serial one; the VLT run pays
+  // switch overhead at both boundaries.
+  auto w = make_workload("mpenc");
+  RunResult r =
+      Simulator(MachineConfig::v4_cmp()).run(*w, Variant::vector_threads(4));
+  ASSERT_TRUE(r.verified);
+  Cycle phase_sum = 0;
+  for (const auto& p : r.phase_cycles) phase_sum += p.cycles;
+  EXPECT_EQ(r.cycles - phase_sum,
+            2 * MachineConfig::v4_cmp().phase_switch_overhead);
+}
+
+TEST(Phases, CachesStayWarmAcrossPhases) {
+  // Running the same serial kernel as two phases back to back: the second
+  // run must be faster thanks to warm caches.
+  isa::ProgramBuilder mk1("p1"), mk2("p2");
+  for (auto* b : {&mk1, &mk2}) {
+    constexpr RegIdx n = 1, vl = 2, scr = 3, inP = 16, a = 48;
+    b->li(a, 1);
+    b->li(inP, 0x40000);
+    b->li(n, 512);
+    workloads::strip_mine(*b, n, vl, scr, {inP}, [&] {
+      b->vload(1, inP);
+      b->vadd(2, 1, a, isa::kFlagSrc2Scalar);
+      b->vstore(2, inP);
+    });
+    b->halt();
+  }
+  machine::Processor proc(MachineConfig::base());
+  machine::Phase ph1, ph2;
+  ph1.mode = ph2.mode = machine::PhaseMode::kSerial;
+  ph1.programs.push_back(mk1.build());
+  ph2.programs.push_back(mk2.build());
+  Cycle cold = proc.run_phase(ph1);
+  Cycle warm = proc.run_phase(ph2);
+  EXPECT_LT(warm, cold);
+}
+
+TEST(Phases, LaneModeAfterVectorModeWorks) {
+  // A machine can run a serial vector phase, then scalar lane threads,
+  // then another serial phase (mode transitions quiesce the VU).
+  machine::Processor proc(MachineConfig::v4_cmt());
+  auto vec_prog = [] {
+    isa::ProgramBuilder b("v");
+    constexpr RegIdx n = 1, vl = 2;
+    b.li(n, 64);
+    b.setvl(vl, n);
+    b.viota(1);
+    b.li(16, 0x50000);
+    b.vstore(1, 16);
+    b.halt();
+    return b.build();
+  };
+  auto lane_prog = [](unsigned tid) {
+    isa::ProgramBuilder b("l" + std::to_string(tid));
+    b.tid(1);
+    b.slli(2, 1, 3);
+    b.li(3, 0x60000);
+    b.add(3, 3, 2);
+    b.addi(4, 1, 100);
+    b.store(3, 4);
+    b.barrier();
+    b.halt();
+    return b.build();
+  };
+  machine::Phase p1;
+  p1.mode = machine::PhaseMode::kSerial;
+  p1.programs.push_back(vec_prog());
+  proc.run_phase(p1);
+  machine::Phase p2;
+  p2.mode = machine::PhaseMode::kLaneThreads;
+  for (unsigned t = 0; t < 8; ++t) p2.programs.push_back(lane_prog(t));
+  proc.run_phase(p2);
+  machine::Phase p3;
+  p3.mode = machine::PhaseMode::kSerial;
+  p3.programs.push_back(vec_prog());
+  proc.run_phase(p3);
+  for (unsigned t = 0; t < 8; ++t)
+    EXPECT_EQ(proc.memory().read_i64(0x60000 + 8 * t), 100 + t);
+  EXPECT_EQ(proc.memory().read_i64(0x50000 + 8 * 63), 63);
+}
+
+TEST(Simulator, RunCyclesHelperChecksVerification) {
+  auto w = make_workload("mxm");
+  Cycle c = machine::run_cycles(MachineConfig::base(), *w, Variant::base());
+  EXPECT_GT(c, 0u);
+}
+
+TEST(Simulator, UnsupportedVariantAborts) {
+  auto w = make_workload("mxm");
+  EXPECT_DEATH((void)Simulator(MachineConfig::v2_cmp())
+                   .run(*w, Variant::vector_threads(2)),
+               "does not support");
+}
+
+}  // namespace
+}  // namespace vlt

@@ -1,0 +1,187 @@
+// Unit tests for the ISA layer: opcode metadata, dependence analysis,
+// the assembler (labels, constant synthesis), and the disassembler.
+#include <gtest/gtest.h>
+
+#include "isa/disasm.hpp"
+#include "isa/opcode.hpp"
+#include "isa/program.hpp"
+
+namespace vlt::isa {
+namespace {
+
+TEST(OpcodeTable, EveryOpcodeHasAName) {
+  for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+    const OpInfo& info = op_info(static_cast<Opcode>(i));
+    ASSERT_NE(info.name, nullptr);
+    EXPECT_GT(std::string(info.name).size(), 0u);
+  }
+}
+
+TEST(OpcodeTable, VectorClassification) {
+  EXPECT_TRUE(is_vector(Opcode::kVadd));
+  EXPECT_TRUE(is_vector(Opcode::kVfredsum));
+  EXPECT_TRUE(is_vector(Opcode::kVscatter));
+  EXPECT_FALSE(is_vector(Opcode::kAdd));
+  EXPECT_FALSE(is_vector(Opcode::kSetvl));  // executes in the scalar unit
+  EXPECT_FALSE(is_vector(Opcode::kBarrier));
+}
+
+TEST(OpcodeTable, MemClassification) {
+  EXPECT_TRUE(is_load(Opcode::kLoad));
+  EXPECT_TRUE(is_store(Opcode::kStore));
+  EXPECT_TRUE(is_load(Opcode::kVgather));
+  EXPECT_TRUE(is_store(Opcode::kVscatter));
+  EXPECT_FALSE(is_mem(Opcode::kVfma));
+}
+
+TEST(OpcodeTable, LatenciesArePositive) {
+  for (std::size_t i = 0; i < kNumOpcodes; ++i)
+    EXPECT_GE(op_info(static_cast<Opcode>(i)).latency, 1);
+}
+
+TEST(DependenceAnalysis, ScalarAdd) {
+  Instruction inst{Opcode::kAdd, 3, 1, 2, 0, 0};
+  RegList srcs = scalar_src_regs(inst);
+  ASSERT_EQ(srcs.n, 2u);
+  EXPECT_EQ(srcs.r[0], 1);
+  EXPECT_EQ(srcs.r[1], 2);
+  RegIdx rd;
+  ASSERT_TRUE(scalar_dst_reg(inst, rd));
+  EXPECT_EQ(rd, 3);
+  EXPECT_EQ(vector_src_regs(inst).n, 0u);
+}
+
+TEST(DependenceAnalysis, VectorScalarForm) {
+  // vadd.vs v3, v1, s7: reads vector v1 and scalar s7.
+  Instruction inst{Opcode::kVadd, 3, 1, 7, 0, kFlagSrc2Scalar};
+  RegList ss = scalar_src_regs(inst);
+  ASSERT_EQ(ss.n, 1u);
+  EXPECT_EQ(ss.r[0], 7);
+  RegList vs = vector_src_regs(inst);
+  ASSERT_EQ(vs.n, 1u);
+  EXPECT_EQ(vs.r[0], 1);
+  RegIdx vd;
+  ASSERT_TRUE(vector_dst_reg(inst, vd));
+  EXPECT_EQ(vd, 3);
+}
+
+TEST(DependenceAnalysis, VfmaReadsItsDestination) {
+  Instruction inst{Opcode::kVfma, 4, 1, 2, 0, 0};
+  RegList vs = vector_src_regs(inst);
+  ASSERT_EQ(vs.n, 3u);
+  EXPECT_EQ(vs.r[2], 4);
+}
+
+TEST(DependenceAnalysis, MaskedOpReadsOldDestinationAndMask) {
+  Instruction inst{Opcode::kVadd, 5, 1, 2, 0, kFlagMasked};
+  RegList vs = vector_src_regs(inst);
+  ASSERT_EQ(vs.n, 3u);  // v1, v2, old v5
+  EXPECT_EQ(vs.r[2], 5);
+  EXPECT_TRUE(reads_mask(inst));
+}
+
+TEST(DependenceAnalysis, VectorMemoryOperands) {
+  Instruction vld{Opcode::kVload, 4, 16, 0, 0, 0};
+  EXPECT_EQ(scalar_src_regs(vld).n, 1u);  // base address
+  EXPECT_EQ(vector_src_regs(vld).n, 0u);
+  RegIdx vd;
+  ASSERT_TRUE(vector_dst_reg(vld, vd));
+  EXPECT_EQ(vd, 4);
+
+  Instruction vst{Opcode::kVstore, 4, 16, 0, 0, 0};
+  EXPECT_FALSE(vector_dst_reg(vst, vd));
+  RegList vs = vector_src_regs(vst);
+  ASSERT_EQ(vs.n, 1u);  // store data
+  EXPECT_EQ(vs.r[0], 4);
+
+  Instruction sc{Opcode::kVscatter, 4, 16, 5, 0, 0};
+  RegList scs = vector_src_regs(sc);
+  ASSERT_EQ(scs.n, 2u);  // offsets + data
+}
+
+TEST(DependenceAnalysis, ReductionWritesScalar) {
+  Instruction inst{Opcode::kVfredsum, 9, 1, 0, 0, 0};
+  RegIdx rd;
+  ASSERT_TRUE(scalar_dst_reg(inst, rd));
+  EXPECT_EQ(rd, 9);
+  RegIdx vd;
+  EXPECT_FALSE(vector_dst_reg(inst, vd));
+}
+
+TEST(DependenceAnalysis, CompareWritesMaskOnly) {
+  Instruction inst{Opcode::kVcmplt, 0, 1, 2, 0, 0};
+  EXPECT_TRUE(writes_mask(inst));
+  RegIdx vd;
+  EXPECT_FALSE(vector_dst_reg(inst, vd));
+}
+
+TEST(ProgramBuilder, BackwardBranchOffsets) {
+  ProgramBuilder b("loop");
+  auto top = b.label();
+  b.li(1, 0);            // 0
+  b.bind(top);           // -> pc 1
+  b.addi(1, 1, 1);       // 1
+  b.blt(1, 2, top);      // 2: taken -> pc = 3 + imm = 1, so imm = -2
+  b.halt();              // 3
+  Program p = b.build();
+  EXPECT_EQ(p.code()[2].imm, -2);
+}
+
+TEST(ProgramBuilder, ForwardBranchOffsets) {
+  ProgramBuilder b("fwd");
+  auto out = b.label();
+  b.beq(1, 2, out);  // 0: taken -> pc = 1 + imm
+  b.nop();           // 1
+  b.nop();           // 2
+  b.bind(out);       // -> pc 3, imm = 2
+  b.halt();
+  Program p = b.build();
+  EXPECT_EQ(p.code()[0].imm, 2);
+}
+
+TEST(ProgramBuilder, SmallConstantsAreOneInstruction) {
+  ProgramBuilder b("li");
+  b.li(1, 42);
+  b.li(2, -7);
+  EXPECT_EQ(b.pc(), 2u);
+}
+
+TEST(ProgramBuilder, LargeConstantsSynthesize) {
+  ProgramBuilder b("li64");
+  b.li(1, 0x123456789All);
+  Program p = b.build();
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.code()[0].op, Opcode::kLi);
+  EXPECT_EQ(p.code()[1].op, Opcode::kLiHi);
+}
+
+TEST(ProgramBuilder, InstructionAddresses) {
+  ProgramBuilder b("addr", /*text_base=*/0x1000);
+  b.nop();
+  b.nop();
+  Program p = b.build();
+  EXPECT_EQ(p.inst_addr(0), 0x1000u);
+  EXPECT_EQ(p.inst_addr(1), 0x1008u);
+}
+
+TEST(Disasm, RendersCommonForms) {
+  EXPECT_EQ(disassemble(Instruction{Opcode::kAdd, 3, 1, 2, 0, 0}),
+            "add s3, s1, s2");
+  EXPECT_EQ(disassemble(Instruction{Opcode::kVadd, 3, 1, 2, 0, 0}),
+            "vadd v3, v1, v2");
+  EXPECT_EQ(
+      disassemble(Instruction{Opcode::kVadd, 3, 1, 7, 0, kFlagSrc2Scalar}),
+      "vadd.vs v3, v1, s7");
+}
+
+TEST(Disasm, WholeProgramListing) {
+  ProgramBuilder b("two");
+  b.nop();
+  b.halt();
+  std::string listing = disassemble(b.build());
+  EXPECT_NE(listing.find("0:\tnop"), std::string::npos);
+  EXPECT_NE(listing.find("1:\thalt"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace vlt::isa

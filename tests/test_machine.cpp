@@ -1,0 +1,141 @@
+// Tests for machine configuration presets, thread mapping, the barrier
+// controller, and lane partitioning.
+#include <gtest/gtest.h>
+
+#include "machine/machine_config.hpp"
+#include "vltctl/barrier.hpp"
+#include "vltctl/partition.hpp"
+
+namespace vlt {
+namespace {
+
+using machine::MachineConfig;
+
+TEST(MachineConfig, BaseMatchesTable3) {
+  MachineConfig c = MachineConfig::base();
+  ASSERT_EQ(c.sus.size(), 1u);
+  EXPECT_EQ(c.sus[0].width, 4u);
+  EXPECT_EQ(c.sus[0].rob_size, 64u);
+  EXPECT_EQ(c.sus[0].arith_units, 4u);
+  EXPECT_EQ(c.sus[0].mem_ports, 2u);
+  EXPECT_EQ(c.sus[0].l1_size, 16u * 1024u);
+  EXPECT_EQ(c.sus[0].l1_ways, 2u);
+  EXPECT_EQ(c.vu.lanes, 8u);
+  EXPECT_EQ(c.vu.issue_width, 2u);
+  EXPECT_EQ(c.vu.viq_size, 32u);
+  EXPECT_EQ(c.vu.window_size, 32u);
+  EXPECT_EQ(c.vu.arith_fus, 3u);
+  EXPECT_EQ(c.vu.mem_ports, 2u);
+  EXPECT_EQ(c.l2.size_bytes, 4u * 1024u * 1024u);
+  EXPECT_EQ(c.l2.ways, 4u);
+  EXPECT_EQ(c.l2.banks, 16u);
+  EXPECT_EQ(c.l2.hit_latency, 10u);
+  EXPECT_EQ(c.l2.miss_latency, 100u);
+}
+
+TEST(MachineConfig, PresetRoundTripByName) {
+  for (const std::string& name : MachineConfig::preset_names()) {
+    MachineConfig c = MachineConfig::by_name(name);
+    EXPECT_EQ(c.name, name);
+  }
+}
+
+TEST(MachineConfig, SmtSlotCounts) {
+  EXPECT_EQ(MachineConfig::base().total_smt_slots(), 1u);
+  EXPECT_EQ(MachineConfig::v2_smt().total_smt_slots(), 2u);
+  EXPECT_EQ(MachineConfig::v4_smt().total_smt_slots(), 4u);
+  EXPECT_EQ(MachineConfig::v4_cmt().total_smt_slots(), 4u);
+  EXPECT_EQ(MachineConfig::v4_cmp_h().total_smt_slots(), 4u);
+  EXPECT_EQ(MachineConfig::cmt().total_smt_slots(), 4u);
+}
+
+TEST(MachineConfig, V4CmtThreadMappingInterleavesSus) {
+  MachineConfig c = MachineConfig::v4_cmt();
+  EXPECT_EQ(c.thread_slot(0), (std::pair<unsigned, unsigned>{0, 0}));
+  EXPECT_EQ(c.thread_slot(1), (std::pair<unsigned, unsigned>{1, 0}));
+  EXPECT_EQ(c.thread_slot(2), (std::pair<unsigned, unsigned>{0, 1}));
+  EXPECT_EQ(c.thread_slot(3), (std::pair<unsigned, unsigned>{1, 1}));
+}
+
+TEST(MachineConfig, HeterogeneousConfigsUseSmallSecondaries) {
+  MachineConfig c = MachineConfig::v4_cmp_h();
+  ASSERT_EQ(c.sus.size(), 4u);
+  EXPECT_EQ(c.sus[0].width, 4u);
+  for (unsigned i = 1; i < 4; ++i) EXPECT_EQ(c.sus[i].width, 2u);
+}
+
+TEST(MachineConfig, CmtHasNoVectorUnit) {
+  EXPECT_FALSE(MachineConfig::cmt().has_vector_unit);
+  EXPECT_TRUE(MachineConfig::v4_cmt().has_vector_unit);
+}
+
+TEST(Barrier, ReleasesWhenAllArrive) {
+  vltctl::BarrierController bc;
+  bc.begin_phase(3, 10);
+  auto g0 = bc.arrive(100);
+  EXPECT_EQ(bc.release_time(g0), kNeverReady);
+  auto g1 = bc.arrive(105);
+  auto g2 = bc.arrive(120);
+  EXPECT_EQ(g0, g1);
+  EXPECT_EQ(g1, g2);
+  EXPECT_EQ(bc.release_time(g0), 130u);  // last arrival + latency
+}
+
+TEST(Barrier, GenerationsAdvance) {
+  vltctl::BarrierController bc;
+  bc.begin_phase(2, 5);
+  auto a = bc.arrive(10);
+  bc.arrive(11);
+  auto b = bc.arrive(30);  // same thread's next barrier
+  EXPECT_EQ(b, a + 1);
+  bc.arrive(31);
+  EXPECT_EQ(bc.release_time(b), 36u);
+  EXPECT_EQ(bc.generations_completed(), 2u);
+}
+
+TEST(Barrier, SingleThreadReleasesImmediately) {
+  vltctl::BarrierController bc;
+  bc.begin_phase(1, 5);
+  auto g = bc.arrive(42);
+  EXPECT_EQ(bc.release_time(g), 47u);
+}
+
+TEST(Partition, StandardSplits) {
+  auto p1 = vltctl::make_partition(8, 1);
+  EXPECT_EQ(p1.lanes_per_thread, 8u);
+  EXPECT_EQ(p1.max_vl_per_thread, 64u);
+  auto p2 = vltctl::make_partition(8, 2);
+  EXPECT_EQ(p2.lanes_per_thread, 4u);
+  EXPECT_EQ(p2.max_vl_per_thread, 32u);
+  auto p4 = vltctl::make_partition(8, 4);
+  EXPECT_EQ(p4.lanes_per_thread, 2u);
+  EXPECT_EQ(p4.max_vl_per_thread, 16u);
+  auto p8 = vltctl::make_partition(8, 8);
+  EXPECT_EQ(p8.lanes_per_thread, 1u);
+  EXPECT_EQ(p8.max_vl_per_thread, 8u);
+}
+
+TEST(Partition, SupportedPartitionsOf8Lanes) {
+  auto parts = vltctl::supported_partitions(8);
+  ASSERT_EQ(parts.size(), 4u);  // 1, 2, 4, 8 threads
+  EXPECT_EQ(parts[3].nthreads, 8u);
+}
+
+TEST(Partition, RegisterFileReuseInvariant) {
+  // §3.2: per-thread register storage never exceeds what the owned lanes
+  // already hold (8 elements per register per lane on the 8-lane machine).
+  for (const auto& p : vltctl::supported_partitions(8)) {
+    EXPECT_EQ(p.max_vl_per_thread, p.lanes_per_thread * 8)
+        << p.nthreads << " threads";
+  }
+}
+
+TEST(Partition, LaneElementDistribution) {
+  auto elems = vltctl::lane_elements(/*lane=*/3, /*lanes=*/8, /*vl=*/20);
+  ASSERT_EQ(elems.size(), 3u);  // elements 3, 11, 19
+  EXPECT_EQ(elems[0], 3u);
+  EXPECT_EQ(elems[2], 19u);
+}
+
+}  // namespace
+}  // namespace vlt

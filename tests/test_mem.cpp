@@ -1,0 +1,126 @@
+// Unit tests for the memory-system timing models.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "mem/cache.hpp"
+#include "mem/l2_cache.hpp"
+#include "mem/main_memory.hpp"
+
+namespace vlt::mem {
+namespace {
+
+TEST(Cache, MissThenHit) {
+  Cache c(1024, 2);
+  EXPECT_FALSE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x100, false).hit);
+  EXPECT_TRUE(c.access(0x13F, false).hit);  // same 64-byte line
+  EXPECT_FALSE(c.access(0x140, false).hit);
+}
+
+TEST(Cache, LruEviction) {
+  // 2 ways, 8 sets of 64B lines in 1 KB; lines mapping to set 0 are
+  // addresses 0, 512, 1024, ...
+  Cache c(1024, 2);
+  c.access(0, false);
+  c.access(512, false);
+  c.access(0, false);     // 0 is now MRU
+  c.access(1024, false);  // evicts 512
+  EXPECT_TRUE(c.probe(0));
+  EXPECT_FALSE(c.probe(512));
+  EXPECT_TRUE(c.probe(1024));
+}
+
+TEST(Cache, DirtyWritebackReported) {
+  Cache c(128, 1);  // 2 sets, direct mapped
+  c.access(0, true);
+  Cache::Result r = c.access(128, false);  // same set, evicts dirty line 0
+  EXPECT_FALSE(r.hit);
+  EXPECT_TRUE(r.writeback);
+  EXPECT_EQ(r.victim_addr, 0u);
+}
+
+TEST(Cache, CleanEvictionHasNoWriteback) {
+  Cache c(128, 1);
+  c.access(0, false);
+  EXPECT_FALSE(c.access(128, false).writeback);
+}
+
+TEST(Cache, Invalidate) {
+  Cache c(1024, 2);
+  c.access(0x200, false);
+  c.invalidate(0x200);
+  EXPECT_FALSE(c.probe(0x200));
+}
+
+TEST(MainMemory, LatencyAndBandwidth) {
+  MainMemory m(MainMemoryParams{90, 4});
+  EXPECT_EQ(m.request_line(0), 90u);
+  // Second request in the same cycle waits for the bus.
+  EXPECT_EQ(m.request_line(0), 94u);
+  EXPECT_EQ(m.request_line(100), 190u);
+}
+
+class L2Test : public ::testing::Test {
+ protected:
+  L2Test() : memory_(MainMemoryParams{90, 4}), l2_(params(), memory_) {}
+  static L2Params params() {
+    L2Params p;  // defaults: 4MB, 4-way, 16 banks, 10/100
+    return p;
+  }
+  MainMemory memory_;
+  L2Cache l2_;
+};
+
+TEST_F(L2Test, HitAndMissLatencies) {
+  // Cold miss: completes at start + 100 (Table 3 miss penalty).
+  EXPECT_EQ(l2_.access(0x1000, false, 0), 100u);
+  // Hit afterwards: start + 10.
+  EXPECT_EQ(l2_.access(0x1000, false, 200), 210u);
+}
+
+TEST_F(L2Test, PendingMissIsMerged) {
+  Cycle first = l2_.access(0x2000, false, 0);
+  Cycle second = l2_.access(0x2000, false, 1);
+  EXPECT_EQ(second, first);  // MSHR merge, no second memory trip
+  EXPECT_EQ(memory_.requests(), 1u);
+}
+
+TEST_F(L2Test, BankConflictsSerialize) {
+  // Warm three lines: 0 and 16 share bank 0 (16 banks); line 1 is bank 1.
+  l2_.access(0, false, 0);
+  l2_.access(16 * kLineBytes, false, 0);
+  l2_.access(1 * kLineBytes, false, 0);
+  Cycle base = 1000;
+  l2_.access(0, false, base);
+  // Same bank in the same cycle: delayed by the bank occupancy.
+  Cycle t1 = l2_.access(16 * kLineBytes, false, base);
+  // Different bank in the same cycle: unaffected.
+  Cycle t2 = l2_.access(1 * kLineBytes, false, base);
+  EXPECT_EQ(t2, base + 10);
+  EXPECT_GT(t1, t2);
+}
+
+TEST_F(L2Test, StridedAccessesSpreadAcrossBanks) {
+  // Unit-stride lines touch all 16 banks before reusing one.
+  Cycle base = 1000;
+  // Warm the lines first.
+  for (unsigned i = 0; i < 16; ++i)
+    l2_.access(i * kLineBytes, false, 0);
+  Cycle max_t = 0;
+  for (unsigned i = 0; i < 16; ++i)
+    max_t = std::max(max_t, l2_.access(i * kLineBytes, false, base));
+  EXPECT_EQ(max_t, base + 10);  // all hits, no conflicts
+}
+
+TEST_F(L2Test, RandomStreamInvariant_CompletionNeverBeforeHitLatency) {
+  Xorshift64 rng(123);
+  for (int i = 0; i < 2000; ++i) {
+    Cycle now = static_cast<Cycle>(i);
+    Addr a = (rng.next_below(1 << 20)) * 8;
+    Cycle done = l2_.access(a, rng.next_below(2) == 0, now);
+    EXPECT_GE(done, now + 10);
+  }
+}
+
+}  // namespace
+}  // namespace vlt::mem

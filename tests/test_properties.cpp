@@ -1,0 +1,359 @@
+// Parameterized property sweeps over module invariants, including a
+// differential test: random programs run through the functional executor
+// must produce exactly the state a host-side interpreter-mirror computes,
+// and identical architectural results on every machine configuration.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/histogram.hpp"
+#include "common/rng.hpp"
+#include "func/executor.hpp"
+#include "isa/disasm.hpp"
+#include "isa/program.hpp"
+#include "machine/processor.hpp"
+#include "mem/cache.hpp"
+#include "mem/l2_cache.hpp"
+#include "vltctl/barrier.hpp"
+#include "vltctl/partition.hpp"
+#include "workloads/kernel_util.hpp"
+
+namespace vlt {
+namespace {
+
+// --- Cache properties over a sweep of geometries ---
+
+struct CacheGeom {
+  std::size_t size;
+  unsigned ways;
+};
+
+class CacheProperty : public ::testing::TestWithParam<CacheGeom> {};
+
+TEST_P(CacheProperty, ProbeAgreesWithAccessHistory) {
+  auto [size, ways] = GetParam();
+  mem::Cache cache(size, ways);
+  Xorshift64 rng(size * 31 + ways);
+  for (int i = 0; i < 5000; ++i) {
+    Addr a = rng.next_below(1 << 16) * 8;
+    bool probed = cache.probe(a);
+    bool hit = cache.access(a, rng.next_below(2) == 0).hit;
+    EXPECT_EQ(probed, hit);
+    EXPECT_TRUE(cache.probe(a));  // present after access
+  }
+  EXPECT_EQ(cache.hits() + cache.misses(), 5000u);
+}
+
+TEST_P(CacheProperty, RepeatedAccessAlwaysHits) {
+  auto [size, ways] = GetParam();
+  mem::Cache cache(size, ways);
+  cache.access(0x1234 & ~7ull, false);
+  for (int i = 0; i < 10; ++i)
+    EXPECT_TRUE(cache.access(0x1234 & ~7ull, false).hit);
+}
+
+TEST_P(CacheProperty, WorkingSetWithinCapacityNeverEvicts) {
+  auto [size, ways] = GetParam();
+  mem::Cache cache(size, ways);
+  // Touch exactly one line per set (way 0 of each set): fits trivially.
+  unsigned sets = cache.num_sets();
+  for (unsigned s = 0; s < sets; ++s)
+    cache.access(static_cast<Addr>(s) * kLineBytes, false);
+  for (unsigned s = 0; s < sets; ++s)
+    EXPECT_TRUE(cache.access(static_cast<Addr>(s) * kLineBytes, false).hit);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheProperty,
+    ::testing::Values(CacheGeom{1024, 1}, CacheGeom{1024, 2},
+                      CacheGeom{4096, 4}, CacheGeom{16384, 2},
+                      CacheGeom{4096, 1}, CacheGeom{65536, 8}));
+
+// --- Lane-partition properties ---
+
+class PartitionProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PartitionProperty, ElementsCoverEveryIndexExactlyOnce) {
+  unsigned lanes = GetParam();
+  for (unsigned vl : {1u, 5u, 8u, 17u, 64u}) {
+    std::vector<int> seen(vl, 0);
+    for (unsigned lane = 0; lane < lanes; ++lane)
+      for (unsigned e : vltctl::lane_elements(lane, lanes, vl)) ++seen[e];
+    for (unsigned e = 0; e < vl; ++e) EXPECT_EQ(seen[e], 1) << "vl=" << vl;
+  }
+}
+
+TEST_P(PartitionProperty, PartitionConservesLanesAndRegisters) {
+  unsigned lanes = GetParam();
+  for (const auto& p : vltctl::supported_partitions(lanes)) {
+    EXPECT_EQ(p.lanes_per_thread * p.nthreads, lanes);
+    EXPECT_EQ(p.max_vl_per_thread * p.nthreads, kMaxVectorLength);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(LaneCounts, PartitionProperty,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u));
+
+// --- Random scalar programs: executor vs host mirror ----------------------
+
+/// Generates a random straight-line integer program and mirrors its
+/// semantics on the host; the executor must match register for register.
+class RandomScalarProgram : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomScalarProgram, ExecutorMatchesHostMirror) {
+  Xorshift64 rng(GetParam());
+  constexpr unsigned kRegs = 16;  // s1..s16
+  std::array<std::int64_t, kRegs + 1> host{};
+
+  isa::ProgramBuilder b("random");
+  func::FuncMemory mem;
+  func::Executor exec(mem);
+  func::ArchState st;
+  func::ExecContext ctx{0, 1, kMaxVectorLength};
+  std::vector<Addr> addrs;
+
+  auto reg = [&] { return static_cast<RegIdx>(1 + rng.next_below(kRegs)); };
+  // Seed registers.
+  for (unsigned r = 1; r <= kRegs; ++r) {
+    auto v = static_cast<std::int64_t>(rng.next_below(1 << 20)) - (1 << 19);
+    b.li(static_cast<RegIdx>(r), v);
+    host[r] = v;
+  }
+  for (int n = 0; n < 300; ++n) {
+    RegIdx d = reg(), s1 = reg(), s2 = reg();
+    switch (rng.next_below(10)) {
+      case 0: b.add(d, s1, s2); host[d] = host[s1] + host[s2]; break;
+      case 1: b.sub(d, s1, s2); host[d] = host[s1] - host[s2]; break;
+      case 2: b.mul(d, s1, s2); host[d] = host[s1] * host[s2]; break;
+      case 3:
+        b.and_(d, s1, s2);
+        host[d] = host[s1] & host[s2];
+        break;
+      case 4: b.or_(d, s1, s2); host[d] = host[s1] | host[s2]; break;
+      case 5: b.xor_(d, s1, s2); host[d] = host[s1] ^ host[s2]; break;
+      case 6:
+        b.slli(d, s1, 3);
+        host[d] = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(host[s1]) << 3);
+        break;
+      case 7:
+        b.srli(d, s1, 5);
+        host[d] = static_cast<std::int64_t>(
+            static_cast<std::uint64_t>(host[s1]) >> 5);
+        break;
+      case 8: b.slt(d, s1, s2); host[d] = host[s1] < host[s2]; break;
+      case 9:
+        b.div(d, s1, s2);
+        host[d] = host[s2] == 0 ? 0 : host[s1] / host[s2];
+        break;
+    }
+  }
+  b.halt();
+  isa::Program p = b.build();
+
+  while (true) {
+    const isa::Instruction& inst = p.at(st.pc());
+    func::ExecResult r = exec.execute(inst, st, ctx, addrs);
+    if (r.halted) break;
+    st.set_pc(r.next_pc);
+  }
+  for (unsigned r = 1; r <= kRegs; ++r)
+    EXPECT_EQ(st.sreg_i(static_cast<RegIdx>(r)), host[r]) << "s" << r;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScalarProgram,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+// --- The same program produces identical results on every machine ---------
+
+/// A small checksum kernel (scalar + vector mix) must leave the exact same
+/// memory image no matter which timing configuration runs it: functional
+/// behaviour may never depend on timing.
+class ConfigInvariance : public ::testing::TestWithParam<std::string> {};
+
+isa::Program checksum_kernel() {
+  isa::ProgramBuilder b("checksum");
+  constexpr RegIdx n = 1, vl = 2, scr = 3, inP = 16, outP = 17, acc = 33,
+                   t = 34, three = 48;
+  b.li(three, 3);
+  b.li(inP, 0x70000);
+  b.li(outP, 0x78000);
+  b.li(acc, 0);
+  b.li(n, 300);
+  workloads::strip_mine(b, n, vl, scr, {inP, outP}, [&] {
+    b.vload(1, inP);
+    b.vmul(2, 1, three, isa::kFlagSrc2Scalar);
+    b.vstore(2, outP);
+    b.vredsum(t, 2);
+    b.add(acc, acc, t);
+  });
+  b.li(t, 0x79000);
+  b.store(t, acc);
+  b.halt();
+  return b.build();
+}
+
+TEST_P(ConfigInvariance, SameMemoryImageOnEveryConfig) {
+  machine::MachineConfig cfg = machine::MachineConfig::by_name(GetParam());
+  if (!cfg.has_vector_unit) GTEST_SKIP() << "vector kernel needs a VU";
+  machine::Processor proc(cfg);
+  for (unsigned i = 0; i < 300; ++i)
+    proc.memory().write_i64(0x70000 + 8 * i, static_cast<std::int64_t>(i) - 150);
+  machine::Phase ph;
+  ph.mode = machine::PhaseMode::kSerial;
+  ph.programs.push_back(checksum_kernel());
+  proc.run_phase(ph);
+
+  std::int64_t acc = 0;
+  for (unsigned i = 0; i < 300; ++i) {
+    std::int64_t want = (static_cast<std::int64_t>(i) - 150) * 3;
+    EXPECT_EQ(proc.memory().read_i64(0x78000 + 8 * i), want) << i;
+    acc += want;
+  }
+  EXPECT_EQ(proc.memory().read_i64(0x79000), acc);
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ConfigInvariance,
+                         ::testing::Values("base", "V2-SMT", "V4-SMT",
+                                           "V2-CMP", "V4-CMP", "V4-CMT",
+                                           "V4-CMP-h"),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (char& c : n)
+                             if (c == '-') c = '_';
+                           return n;
+                         });
+
+// --- strip_mine covers every element exactly once, any MAXVL --------------
+
+class StripMineProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StripMineProperty, TouchesEveryElementOnceUnderClampedVl) {
+  unsigned max_vl = GetParam();
+  for (unsigned total : {1u, 7u, 16u, 63u, 64u, 65u, 200u}) {
+    isa::ProgramBuilder b("strip");
+    constexpr RegIdx n = 1, vl = 2, scr = 3, pP = 16, one = 48;
+    b.li(one, 1);
+    b.li(pP, 0x90000);
+    b.li(n, total);
+    workloads::strip_mine(b, n, vl, scr, {pP}, [&] {
+      b.vload(4, pP);
+      b.vadd(4, 4, one, isa::kFlagSrc2Scalar);
+      b.vstore(4, pP);
+    });
+    b.halt();
+    isa::Program p = b.build();
+
+    func::FuncMemory mem;
+    func::Executor exec(mem);
+    func::ArchState st;
+    func::ExecContext ctx{0, 1, max_vl};
+    std::vector<Addr> addrs;
+    while (true) {
+      func::ExecResult r = exec.execute(p.at(st.pc()), st, ctx, addrs);
+      if (r.halted) break;
+      st.set_pc(r.next_pc);
+    }
+    for (unsigned i = 0; i < total; ++i)
+      EXPECT_EQ(mem.read_i64(0x90000 + 8 * i), 1) << "vl=" << max_vl
+                                                  << " i=" << i;
+    EXPECT_EQ(mem.read_i64(0x90000 + 8 * total), 0);  // no overrun
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(MaxVls, StripMineProperty,
+                         ::testing::Values(8u, 16u, 32u, 64u));
+
+// --- barrier controller under randomized arrival orders -------------------
+
+class BarrierProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(BarrierProperty, RandomArrivalOrdersAlwaysRelease) {
+  unsigned nthreads = GetParam();
+  Xorshift64 rng(nthreads * 977);
+  vltctl::BarrierController bc;
+  bc.begin_phase(nthreads, 10);
+  for (int gen = 0; gen < 20; ++gen) {
+    std::vector<Cycle> arrivals;
+    Cycle base = 1000 * (gen + 1);
+    for (unsigned t = 0; t < nthreads; ++t)
+      arrivals.push_back(base + rng.next_below(500));
+    std::vector<std::uint64_t> gens;
+    Cycle latest = 0;
+    for (Cycle a : arrivals) {
+      gens.push_back(bc.arrive(a));
+      latest = std::max(latest, a);
+    }
+    for (std::size_t i = 1; i < gens.size(); ++i) EXPECT_EQ(gens[i], gens[0]);
+    EXPECT_EQ(bc.release_time(gens[0]), latest + 10);
+  }
+  EXPECT_EQ(bc.generations_completed(), 20u);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, BarrierProperty,
+                         ::testing::Values(1u, 2u, 3u, 4u, 8u));
+
+// --- histogram ---------------------------------------------------------------
+
+TEST(Histogram, MeanAndTopKeys) {
+  Histogram h;
+  h.add(8, 10);
+  h.add(16, 5);
+  h.add(64, 1);
+  EXPECT_EQ(h.total_weight(), 16u);
+  EXPECT_NEAR(h.mean(), (8.0 * 10 + 16 * 5 + 64) / 16.0, 1e-12);
+  auto top = h.top_keys(2);
+  EXPECT_EQ(top, (std::vector<std::uint64_t>{8, 16}));
+}
+
+TEST(Histogram, TopKeysAreSortedAscending) {
+  Histogram h;
+  h.add(64, 3);
+  h.add(5, 3);
+  h.add(12, 3);
+  EXPECT_EQ(h.top_keys(3), (std::vector<std::uint64_t>{5, 12, 64}));
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.add(4);
+  h.clear();
+  EXPECT_EQ(h.total_weight(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+// --- deterministic RNG ------------------------------------------------------
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Xorshift64 a(42), c(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), c.next());
+}
+
+TEST(Rng, BoundsRespected) {
+  Xorshift64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+    double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+// --- L2 timing monotonicity under random streams ----------------------------
+
+TEST(L2Property, CompletionIsNeverBeforeRequestPlusHit) {
+  mem::MainMemory memctl({90, 1});
+  mem::L2Cache l2({}, memctl);
+  Xorshift64 rng(99);
+  Cycle now = 0;
+  for (int i = 0; i < 5000; ++i) {
+    now += rng.next_below(3);
+    Addr a = rng.next_below(1 << 18) * 8;
+    Cycle done = l2.access(a, rng.next_below(4) == 0, now);
+    ASSERT_GE(done, now + 10);
+    ASSERT_LE(done, now + 100 + 64);  // miss + worst-case queueing in test
+  }
+}
+
+}  // namespace
+}  // namespace vlt

@@ -1,0 +1,490 @@
+// Unit tests for the out-of-order scalar unit.
+#include <gtest/gtest.h>
+
+#include "func/memory.hpp"
+#include "isa/program.hpp"
+#include "mem/l2_cache.hpp"
+#include "mem/main_memory.hpp"
+#include "su/scalar_core.hpp"
+#include "vltctl/barrier.hpp"
+
+namespace vlt::su {
+namespace {
+
+using isa::ProgramBuilder;
+
+class SuTest : public ::testing::Test {
+ protected:
+  SuTest() : main_mem_({90, 4}), l2_({}, main_mem_) {}
+
+  /// Runs `prog` on a fresh core until completion; returns cycles taken.
+  Cycle run(const isa::Program& prog, SuParams params = SuParams{},
+            unsigned nthreads = 1) {
+    // Fresh timing state per run: the simulated clock restarts at 0.
+    main_mem_ = mem::MainMemory({90, 4});
+    l2_ = mem::L2Cache({}, main_mem_);
+    core_ = std::make_unique<ScalarCore>(params, mem_, l2_, barrier_, nullptr);
+    barrier_.begin_phase(nthreads, 10);
+    ThreadAssignment work;
+    work.program = &prog;
+    core_->start_context(0, work, 0);
+    Cycle now = 0;
+    while (!core_->all_done()) {
+      core_->tick(now);
+      ++now;
+      EXPECT_LT(now, 1'000'000u) << "runaway program";
+      if (now >= 1'000'000u) break;
+    }
+    return now;
+  }
+
+  func::FuncMemory mem_;
+  mem::MainMemory main_mem_;
+  mem::L2Cache l2_;
+  vltctl::BarrierController barrier_;
+  std::unique_ptr<ScalarCore> core_;
+};
+
+TEST_F(SuTest, RunsStraightLineCode) {
+  ProgramBuilder b("straight");
+  b.li(1, 5);
+  b.li(2, 7);
+  b.add(3, 1, 2);
+  b.li(4, 0x9000);
+  b.store(4, 3);
+  b.halt();
+  isa::Program p = b.build();
+  run(p);
+  EXPECT_EQ(mem_.read_i64(0x9000), 12);
+  EXPECT_EQ(core_->committed_scalar(), p.size());
+}
+
+TEST_F(SuTest, LoopProducesCorrectResult) {
+  // sum 1..100 -> mem[0xA000]
+  ProgramBuilder b("sum");
+  b.li(1, 0);   // i
+  b.li(2, 0);   // acc
+  b.li(3, 101);
+  auto loop = b.label();
+  b.bind(loop);
+  b.add(2, 2, 1);
+  b.addi(1, 1, 1);
+  b.blt(1, 3, loop);
+  b.li(4, 0xA000);
+  b.store(4, 2);
+  b.halt();
+  run(b.build());
+  EXPECT_EQ(mem_.read_i64(0xA000), 5050);
+}
+
+TEST_F(SuTest, WiderCoreIsFaster) {
+  // Independent chains in a loop (warm I-cache) expose ILP that a 4-way
+  // core exploits.
+  ProgramBuilder b4("ilp");
+  for (int r = 1; r <= 8; ++r) b4.li(r, r);
+  b4.li(9, 200);
+  auto loop = b4.label();
+  b4.bind(loop);
+  for (int rep = 0; rep < 4; ++rep)
+    for (int r = 1; r <= 8; ++r) b4.addi(r, r, 1);
+  b4.addi(9, 9, -1);
+  b4.bne(9, 0, loop);
+  b4.halt();
+  isa::Program p = b4.build();
+  Cycle wide = run(p);
+  Cycle narrow = run(p, SuParams::two_way());
+  EXPECT_LT(wide, narrow);
+  EXPECT_GT(static_cast<double>(narrow) / wide, 1.5);
+}
+
+TEST_F(SuTest, DependentChainIsLatencyBound) {
+  // A single dependent chain gains nothing from width.
+  ProgramBuilder b("chain");
+  b.li(1, 0);
+  for (int rep = 0; rep < 400; ++rep) b.addi(1, 1, 1);
+  b.halt();
+  isa::Program p = b.build();
+  Cycle wide = run(p);
+  Cycle narrow = run(p, SuParams::two_way());
+  // Both are bound by the 400-cycle chain.
+  EXPECT_GE(wide, 400u);
+  EXPECT_LT(static_cast<double>(narrow) / wide, 1.2);
+}
+
+TEST_F(SuTest, StoreToLoadForwarding) {
+  ProgramBuilder b("stl");
+  b.li(1, 0xB000);
+  b.li(2, 42);
+  b.store(1, 2);
+  b.load(3, 1);  // must see 42
+  b.li(4, 0xB008);
+  b.store(4, 3);
+  b.halt();
+  run(b.build());
+  EXPECT_EQ(mem_.read_i64(0xB008), 42);
+}
+
+TEST_F(SuTest, MispredictionsSlowExecution) {
+  // Data-dependent unpredictable branches vs the same work without them.
+  ProgramBuilder taken("pseudo-random-branches");
+  taken.li(1, 12345);  // LCG state
+  taken.li(5, 0);
+  taken.li(6, 400);
+  auto loop = taken.label();
+  taken.bind(loop);
+  taken.mul(1, 1, 1);
+  taken.addi(1, 1, 1);
+  taken.andi(2, 1, 1);  // pseudo-random bit
+  auto skip = taken.label();
+  taken.beq(2, 0, skip);
+  taken.addi(5, 5, 1);
+  taken.bind(skip);
+  taken.addi(5, 5, 1);
+  taken.li(7, 1);
+  taken.add(5, 5, 7);
+  taken.addi(6, 6, -1);
+  taken.bne(6, 0, loop);
+  taken.halt();
+  Cycle with_branches = run(taken.build());
+
+  ProgramBuilder flat("no-branches");
+  flat.li(1, 12345);
+  flat.li(5, 0);
+  flat.li(6, 400);
+  auto loop2 = flat.label();
+  flat.bind(loop2);
+  flat.mul(1, 1, 1);
+  flat.addi(1, 1, 1);
+  flat.andi(2, 1, 1);
+  flat.addi(5, 5, 1);
+  flat.addi(5, 5, 1);
+  flat.li(7, 1);
+  flat.add(5, 5, 7);
+  flat.addi(6, 6, -1);
+  flat.bne(6, 0, loop2);
+  flat.halt();
+  Cycle without = run(flat.build());
+
+  EXPECT_GT(with_branches, without);
+  EXPECT_GT(core_->predictor().lookups(), 0u);
+}
+
+TEST_F(SuTest, ColdLoadsPayL2Latency) {
+  // A pointer-chase over lines far apart: every load misses L1.
+  ProgramBuilder b("chase");
+  const int kLoads = 32;
+  for (int i = 0; i < kLoads; ++i)
+    mem_.write_i64(0x100000 + 4096 * i, 0x100000 + 4096 * (i + 1));
+  b.li(1, 0x100000);
+  for (int i = 0; i < kLoads; ++i) b.load(1, 1);
+  b.halt();
+  Cycle t = run(b.build());
+  // Each chained load costs at least the L2 miss latency (100).
+  EXPECT_GT(t, static_cast<Cycle>(kLoads) * 100);
+}
+
+TEST_F(SuTest, SmtRunsTwoThreads) {
+  ProgramBuilder b("smt");
+  b.tid(1);
+  b.slli(2, 1, 3);
+  b.li(3, 0xC000);
+  b.add(3, 3, 2);
+  b.addi(4, 1, 100);
+  b.store(3, 4);
+  b.halt();
+  isa::Program p = b.build();
+
+  SuParams params;
+  params.smt_contexts = 2;
+  core_ = std::make_unique<ScalarCore>(params, mem_, l2_, barrier_, nullptr);
+  barrier_.begin_phase(2, 10);
+  for (unsigned t = 0; t < 2; ++t) {
+    ThreadAssignment work;
+    work.program = &p;
+    work.tid = t;
+    work.nthreads = 2;
+    core_->start_context(t, work, 0);
+  }
+  Cycle now = 0;
+  while (!core_->all_done() && now < 100000) core_->tick(now), ++now;
+  EXPECT_EQ(mem_.read_i64(0xC000), 100);
+  EXPECT_EQ(mem_.read_i64(0xC008), 101);
+}
+
+TEST_F(SuTest, BarrierSynchronizesSmtThreads) {
+  // Thread 0 spins briefly then stores; thread 1 loads after the barrier
+  // and must observe the store.
+  ProgramBuilder b("barrier");
+  b.tid(1);
+  auto t1 = b.label();
+  b.bne(1, 0, t1);  // thread 1 skips the work loop
+  b.li(2, 300);     // thread 0: delay loop
+  auto spin = b.label();
+  b.bind(spin);
+  b.addi(2, 2, -1);
+  b.bne(2, 0, spin);
+  b.li(3, 0xD000);
+  b.li(4, 777);
+  b.store(3, 4);
+  b.bind(t1);
+  b.barrier();
+  b.li(5, 0xD000);
+  b.load(6, 5);
+  b.li(7, 0xD100);
+  b.slli(8, 1, 3);
+  b.add(7, 7, 8);
+  b.store(7, 6);
+  b.halt();
+  isa::Program p = b.build();
+
+  SuParams params;
+  params.smt_contexts = 2;
+  core_ = std::make_unique<ScalarCore>(params, mem_, l2_, barrier_, nullptr);
+  barrier_.begin_phase(2, 10);
+  for (unsigned t = 0; t < 2; ++t) {
+    ThreadAssignment work;
+    work.program = &p;
+    work.tid = t;
+    work.nthreads = 2;
+    core_->start_context(t, work, 0);
+  }
+  Cycle now = 0;
+  while (!core_->all_done() && now < 100000) core_->tick(now), ++now;
+  ASSERT_TRUE(core_->all_done());
+  // Both threads observed the pre-barrier store.
+  EXPECT_EQ(mem_.read_i64(0xD100), 777);
+  EXPECT_EQ(mem_.read_i64(0xD108), 777);
+}
+
+// --- scalar unit driving a vector unit -------------------------------------
+
+class SuVuTest : public ::testing::Test {
+ protected:
+  SuVuTest() : main_mem_({90, 4}), l2_({}, main_mem_), vu_({}, l2_) {}
+
+  Cycle run(const isa::Program& prog, unsigned max_vl = kMaxVectorLength) {
+    core_ = std::make_unique<ScalarCore>(SuParams{}, mem_, l2_, barrier_,
+                                         &vu_);
+    barrier_.begin_phase(1, 10);
+    ThreadAssignment work;
+    work.program = &prog;
+    work.max_vl = max_vl;
+    core_->start_context(0, work, 0);
+    Cycle now = 0;
+    while ((!core_->all_done() || !vu_.ctx_quiesced(0, now)) &&
+           now < 1'000'000) {
+      vu_.tick(now);
+      core_->tick(now);
+      ++now;
+    }
+    EXPECT_TRUE(core_->all_done());
+    return now;
+  }
+
+  func::FuncMemory mem_;
+  mem::MainMemory main_mem_;
+  mem::L2Cache l2_;
+  vltctl::BarrierController barrier_;
+  vu::VectorUnit vu_;
+  std::unique_ptr<ScalarCore> core_;
+};
+
+TEST_F(SuVuTest, VectorKernelRunsToCompletion) {
+  for (unsigned i = 0; i < 64; ++i) mem_.write_i64(0x8000 + 8 * i, i);
+  ProgramBuilder b("vk");
+  b.li(1, 64);
+  b.setvl(2, 1);
+  b.li(16, 0x8000);
+  b.li(17, 0x9000);
+  b.li(3, 5);
+  b.vload(1, 16);
+  b.vmul(2, 1, 3, isa::kFlagSrc2Scalar);
+  b.vstore(2, 17);
+  b.halt();
+  run(b.build());
+  for (unsigned i = 0; i < 64; ++i)
+    EXPECT_EQ(mem_.read_i64(0x9000 + 8 * i), 5 * static_cast<int>(i));
+  EXPECT_EQ(core_->committed_vector(), 3u);
+  EXPECT_EQ(vu_.element_ops(), 3u * 64u);
+}
+
+TEST_F(SuVuTest, ReductionGatesDependentScalarCode) {
+  // The store of the reduction result must wait for the vector unit; a
+  // run whose scalar dest is consumed immediately still commits in order
+  // and produces the right value.
+  for (unsigned i = 0; i < 32; ++i) mem_.write_i64(0x8000 + 8 * i, i + 1);
+  ProgramBuilder b("red");
+  b.li(1, 32);
+  b.setvl(2, 1);
+  b.li(16, 0x8000);
+  b.vload(1, 16);
+  b.vredsum(33, 1);
+  b.addi(34, 33, 100);  // depends on the vector->scalar transfer
+  b.li(17, 0xA000);
+  b.store(17, 34);
+  b.halt();
+  run(b.build());
+  EXPECT_EQ(mem_.read_i64(0xA000), 32 * 33 / 2 + 100);
+}
+
+TEST_F(SuVuTest, MembarWaitsForVectorStores) {
+  // A scalar load after a membar observes the vector store's data; the
+  // membar itself waits until the VU quiesces.
+  ProgramBuilder b("mb");
+  b.li(1, 8);
+  b.setvl(2, 1);
+  b.viota(1);
+  b.li(16, 0xB000);
+  b.vstore(1, 16);
+  b.membar();
+  b.load(33, 16, 8);  // element 1 == 1
+  b.li(17, 0xB100);
+  b.store(17, 33);
+  b.halt();
+  run(b.build());
+  EXPECT_EQ(mem_.read_i64(0xB100), 1);
+}
+
+TEST_F(SuVuTest, MaxVlClampFollowsContext) {
+  // With a 16-element MAXVL (4-thread partition), setvl(64) clamps; the
+  // strip-mined loop still covers all elements.
+  ProgramBuilder b("clamp");
+  constexpr RegIdx n = 1, vl = 2, scr = 3, p = 16, one = 48;
+  b.li(one, 1);
+  b.li(p, 0xC000);
+  b.li(n, 64);
+  auto loop = b.label();
+  auto done = b.label();
+  b.bind(loop);
+  b.beq(n, 0, done);
+  b.setvl(vl, n);
+  b.vload(4, p);
+  b.vadd(4, 4, one, isa::kFlagSrc2Scalar);
+  b.vstore(4, p);
+  b.sub(n, n, vl);
+  b.slli(scr, vl, 3);
+  b.add(p, p, scr);
+  b.jump(loop);
+  b.bind(done);
+  b.halt();
+  run(b.build(), /*max_vl=*/16);
+  for (unsigned i = 0; i < 64; ++i)
+    EXPECT_EQ(mem_.read_i64(0xC000 + 8 * i), 1) << i;
+  // 4 strip iterations of VL 16.
+  EXPECT_EQ(vu_.vl_histogram().counts().at(16), 12u);
+}
+
+TEST_F(SuVuTest, ViqBackpressureDoesNotDeadlock) {
+  // Push far more vector instructions than the VIQ holds.
+  ProgramBuilder b("pressure");
+  b.li(1, 64);
+  b.setvl(2, 1);
+  b.li(16, 0x8000);
+  for (int i = 0; i < 120; ++i) b.vload(static_cast<RegIdx>(i % 8), 16);
+  b.halt();
+  Cycle t = run(b.build());
+  EXPECT_GT(t, 0u);
+  EXPECT_EQ(core_->committed_vector(), 120u);
+}
+
+TEST_F(SuTest, StoreBufferLimitsOutstandingMisses) {
+  // 64 stores to distinct lines: with a 16-entry store buffer the run
+  // must take at least (64-16) serialized line-fill slots on the bus.
+  ProgramBuilder b("stores");
+  b.li(1, 0x200000);
+  for (int i = 0; i < 64; ++i) b.store(1, 2, i * 64);
+  b.halt();
+  isa::Program p = b.build();
+  SuParams tiny;
+  tiny.store_buffer = 2;
+  Cycle constrained = run(p, tiny);
+  SuParams roomy;
+  roomy.store_buffer = 64;
+  Cycle free_flow = run(p, roomy);
+  EXPECT_LT(free_flow, constrained);
+}
+
+TEST_F(SuTest, HaltDrainsRob) {
+  ProgramBuilder b("drain");
+  b.li(1, 0xD000);
+  b.li(2, 9);
+  b.store(1, 2);
+  b.halt();
+  run(b.build());
+  EXPECT_TRUE(core_->all_done());
+  EXPECT_EQ(mem_.read_i64(0xD000), 9);
+}
+
+TEST_F(SuTest, FourSmtContextsAllFinish) {
+  ProgramBuilder b("smt4");
+  b.tid(1);
+  b.slli(2, 1, 3);
+  b.li(3, 0xE000);
+  b.add(3, 3, 2);
+  b.li(4, 500);
+  auto spin = b.label();
+  b.bind(spin);
+  b.addi(4, 4, -1);
+  b.bne(4, 0, spin);
+  b.store(3, 1);
+  b.halt();
+  isa::Program p = b.build();
+  SuParams params;
+  params.smt_contexts = 4;
+  main_mem_ = mem::MainMemory({90, 4});
+  l2_ = mem::L2Cache({}, main_mem_);
+  core_ = std::make_unique<ScalarCore>(params, mem_, l2_, barrier_, nullptr);
+  barrier_.begin_phase(4, 10);
+  for (unsigned t = 0; t < 4; ++t) {
+    ThreadAssignment work;
+    work.program = &p;
+    work.tid = t;
+    work.nthreads = 4;
+    core_->start_context(t, work, 0);
+  }
+  Cycle now = 0;
+  while (!core_->all_done() && now < 200000) core_->tick(now), ++now;
+  ASSERT_TRUE(core_->all_done());
+  for (unsigned t = 0; t < 4; ++t)
+    EXPECT_EQ(mem_.read_i64(0xE000 + 8 * t), t);
+}
+
+TEST_F(SuTest, SmtSharingSlowsEachThreadButHelpsTotal) {
+  // One thread on a dedicated core vs two identical threads SMT-sharing:
+  // total throughput improves, per-thread latency worsens.
+  ProgramBuilder b("mix");
+  b.li(1, 800);
+  auto loop = b.label();
+  b.bind(loop);
+  b.addi(2, 2, 1);
+  b.addi(3, 3, 1);
+  b.addi(4, 4, 1);
+  b.addi(5, 5, 2);
+  b.addi(1, 1, -1);
+  b.bne(1, 0, loop);
+  b.halt();
+  isa::Program p = b.build();
+  Cycle solo = run(p);
+
+  SuParams params;
+  params.smt_contexts = 2;
+  main_mem_ = mem::MainMemory({90, 4});
+  l2_ = mem::L2Cache({}, main_mem_);
+  core_ = std::make_unique<ScalarCore>(params, mem_, l2_, barrier_, nullptr);
+  barrier_.begin_phase(2, 10);
+  for (unsigned t = 0; t < 2; ++t) {
+    ThreadAssignment work;
+    work.program = &p;
+    work.tid = t;
+    work.nthreads = 2;
+    core_->start_context(t, work, 0);
+  }
+  Cycle now = 0;
+  while (!core_->all_done() && now < 200000) core_->tick(now), ++now;
+  ASSERT_TRUE(core_->all_done());
+  EXPECT_GT(now, solo);           // each thread individually slower
+  EXPECT_LT(now, 2 * solo);       // but better than serializing them
+}
+
+}  // namespace
+}  // namespace vlt::su

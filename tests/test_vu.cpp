@@ -1,0 +1,279 @@
+// Unit tests for the vector unit: chime execution, issue bandwidth,
+// chaining, lane partitioning, and utilization accounting.
+#include <gtest/gtest.h>
+
+#include "mem/l2_cache.hpp"
+#include "mem/main_memory.hpp"
+#include "vu/vector_unit.hpp"
+
+namespace vlt::vu {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+class VuTest : public ::testing::Test {
+ protected:
+  VuTest() : main_mem_({90, 4}), l2_({}, main_mem_), vu_(VuParams{}, l2_) {}
+
+  VecDispatch arith(Opcode op, RegIdx vd, RegIdx v1, RegIdx v2, unsigned vl,
+                    unsigned vctx = 0) {
+    VecDispatch d;
+    d.inst = Instruction{op, vd, v1, v2, 0, 0};
+    d.vl = vl;
+    d.vctx = vctx;
+    return d;
+  }
+
+  /// Ticks until the context quiesces; returns the quiesce cycle.
+  Cycle drain(Cycle start = 0) {
+    Cycle now = start;
+    while (now < 1'000'000) {
+      bool all = true;
+      for (unsigned c = 0; c < vu_.num_contexts(); ++c)
+        all &= vu_.ctx_quiesced(c, now);
+      if (all) return now;
+      vu_.tick(now);
+      ++now;
+    }
+    ADD_FAILURE() << "vector unit did not quiesce";
+    return now;
+  }
+
+  mem::MainMemory main_mem_;
+  mem::L2Cache l2_;
+  VectorUnit vu_;
+};
+
+TEST_F(VuTest, ChimeExecutionTime) {
+  // One VL-64 add on 8 lanes occupies its FU for 8 cycles.
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 64), 0));
+  Cycle done = drain();
+  // start(0) + latency(2) + chime(8) - 1 = 9, quiesce observed at >= 10.
+  EXPECT_GE(done, 9u);
+  EXPECT_LE(done, 12u);
+  EXPECT_EQ(vu_.element_ops(), 64u);
+  EXPECT_EQ(vu_.instructions_issued(), 1u);
+}
+
+TEST_F(VuTest, IndependentOpsOverlapOnDifferentFus) {
+  // An add (VALU0) and a mul (VALU1) of VL 64 run concurrently.
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 64), 0));
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVmul, 4, 5, 6, 64), 0));
+  Cycle both = drain();
+  EXPECT_LE(both, 16u);  // far less than 2 sequential chimes + latencies
+}
+
+TEST_F(VuTest, SameFuSerializes) {
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 64), 0));
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVsub, 4, 5, 6, 64), 0));
+  Cycle done = drain();
+  EXPECT_GE(done, 17u);  // two 8-cycle chimes back to back on VALU0
+}
+
+TEST_F(VuTest, ChainingStartsDependentEarly) {
+  // vmul v3 <- ...; vadd v4 <- v3: the add may start latency(4) cycles
+  // after the mul starts, not after it completes.
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVmul, 3, 1, 2, 64), 0));
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 4, 3, 3, 64), 0));
+  Cycle done = drain();
+  // Unchained would be ~ (4+8) + (2+8) = 22+; chained ~ 4 + 2 + 8 = 14ish.
+  EXPECT_LE(done, 18u);
+}
+
+TEST_F(VuTest, ShortVectorsWastePartOfTheChime) {
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 4), 0));
+  drain();
+  const DatapathUtilization& u = vu_.utilization();
+  EXPECT_EQ(u.busy, 4u);
+  EXPECT_EQ(u.partly_idle, 4u);  // chime of 1 cycle x 8 lanes - 4 elems
+}
+
+TEST_F(VuTest, VlHistogramTracksIssuedLengths) {
+  vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 16), 0);
+  vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 16), 0);
+  vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 8), 0);
+  drain();
+  EXPECT_EQ(vu_.vl_histogram().counts().at(16), 2u);
+  EXPECT_EQ(vu_.vl_histogram().counts().at(8), 1u);
+  EXPECT_NEAR(vu_.vl_histogram().mean(), (16 + 16 + 8) / 3.0, 1e-9);
+}
+
+TEST_F(VuTest, ViqBackpressure) {
+  for (unsigned i = 0; i < 32; ++i)
+    ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 64), 0));
+  EXPECT_FALSE(vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 64), 0));
+  drain();
+  EXPECT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 64), 1000));
+}
+
+TEST_F(VuTest, ReductionSignalsScalarCompletion) {
+  Cycle done_cell = kNeverReady;
+  VecDispatch d = arith(Opcode::kVredsum, 9, 1, 0, 32);
+  d.scalar_done = &done_cell;
+  ASSERT_TRUE(vu_.try_dispatch(std::move(d), 0));
+  drain();
+  EXPECT_NE(done_cell, kNeverReady);
+  EXPECT_GT(done_cell, 0u);
+}
+
+TEST_F(VuTest, PartitioningSplitsLanesAndMaxVl) {
+  EXPECT_EQ(vu_.lanes_per_ctx(), 8u);
+  EXPECT_EQ(vu_.max_vl_per_ctx(), 64u);
+  vu_.configure_contexts(4, 0);
+  EXPECT_EQ(vu_.num_contexts(), 4u);
+  EXPECT_EQ(vu_.lanes_per_ctx(), 2u);
+  EXPECT_EQ(vu_.max_vl_per_ctx(), 16u);
+}
+
+TEST_F(VuTest, TwoContextsExecuteConcurrently) {
+  vu_.configure_contexts(2, 0);
+  // Each context: VL-32 add on 4 lanes = 8-cycle chime.
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 32, 0), 0));
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 32, 1), 0));
+  Cycle done = drain();
+  EXPECT_LE(done, 14u);  // concurrent, not 2x serial
+}
+
+TEST_F(VuTest, UnitStrideLoadFasterThanLargeStride) {
+  VecDispatch uload = arith(Opcode::kVload, 1, 16, 0, 64);
+  for (unsigned i = 0; i < 64; ++i) uload.addrs.push_back(0x10000 + 8 * i);
+  ASSERT_TRUE(vu_.try_dispatch(std::move(uload), 0));
+  Cycle t_unit = drain();
+
+  Cycle start = t_unit + 10;
+  VecDispatch sload = arith(Opcode::kVloads, 1, 16, 17, 64);
+  // Stride of 16 lines maps every element to the same bank.
+  for (unsigned i = 0; i < 64; ++i)
+    sload.addrs.push_back(0x200000 + static_cast<Addr>(i) * 16 * kLineBytes);
+  ASSERT_TRUE(vu_.try_dispatch(std::move(sload), start));
+  Cycle t_stride = drain(start);
+  EXPECT_GT(t_stride - start, t_unit);  // bank conflicts hurt
+}
+
+TEST_F(VuTest, QuiescedAfterReconfigureRoundTrip) {
+  vu_.configure_contexts(2, 0);
+  vu_.configure_contexts(1, 0);
+  EXPECT_TRUE(vu_.ctx_quiesced(0, 0));
+}
+
+TEST_F(VuTest, MaskRenameOrdersCompareAndMerge) {
+  // vcmplt writes the mask; vmerge must wait for it.
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVmul, 1, 2, 3, 64), 0));
+  VecDispatch cmp = arith(Opcode::kVcmplt, 0, 1, 2, 64);
+  ASSERT_TRUE(vu_.try_dispatch(std::move(cmp), 0));
+  VecDispatch merge = arith(Opcode::kVmerge, 4, 1, 2, 64);
+  ASSERT_TRUE(vu_.try_dispatch(std::move(merge), 0));
+  Cycle done = drain();
+  // mul (chained into cmp) then cmp then merge on VALU0: at least two
+  // serialized 8-cycle chimes beyond the mul's chain point.
+  EXPECT_GE(done, 20u);
+}
+
+TEST_F(VuTest, MaskedOpWaitsForOldDestination) {
+  // A masked add reads its old destination: it cannot issue before the
+  // instruction producing that destination completes/chains.
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVmul, 5, 1, 2, 64), 0));
+  VecDispatch m = arith(Opcode::kVadd, 5, 1, 2, 64);
+  m.inst.flags = isa::kFlagMasked;
+  ASSERT_TRUE(vu_.try_dispatch(std::move(m), 0));
+  Cycle done = drain();
+  EXPECT_GE(done, 13u);  // mul chain point (4) + add latency + chime
+}
+
+TEST_F(VuTest, NoChainingAblationSlowsDependentChains) {
+  // Rebuild the unit with chaining disabled and compare a dependent pair.
+  auto run_pair = [&](bool chain) {
+    VuParams p;
+    p.chaining = chain;
+    VectorUnit vu(p, l2_);
+    EXPECT_TRUE(vu.try_dispatch(arith(Opcode::kVmul, 3, 1, 2, 64), 0));
+    EXPECT_TRUE(vu.try_dispatch(arith(Opcode::kVadd, 4, 3, 3, 64), 0));
+    Cycle now = 0;
+    while (!vu.ctx_quiesced(0, now) && now < 100000) vu.tick(now), ++now;
+    return now;
+  };
+  Cycle chained = run_pair(true);
+  Cycle unchained = run_pair(false);
+  EXPECT_GT(unchained, chained);
+}
+
+TEST_F(VuTest, GatherFeelsBankConflictsMoreThanUnitStride) {
+  // Gather with all offsets in one bank vs a unit-stride load.
+  VecDispatch uni = arith(Opcode::kVload, 1, 16, 0, 64);
+  for (unsigned i = 0; i < 64; ++i) uni.addrs.push_back(0x40000 + 8 * i);
+  ASSERT_TRUE(vu_.try_dispatch(std::move(uni), 0));
+  Cycle t_uni = drain();
+
+  Cycle start = t_uni + 5;
+  VecDispatch gat = arith(Opcode::kVgather, 1, 16, 2, 64);
+  for (unsigned i = 0; i < 64; ++i)
+    gat.addrs.push_back(0x400000 + static_cast<Addr>(i) * 16 * kLineBytes);
+  ASSERT_TRUE(vu_.try_dispatch(std::move(gat), start));
+  Cycle t_gat = drain(start) - start;
+  EXPECT_GT(t_gat, t_uni);
+}
+
+TEST_F(VuTest, ScatterTracksOutstandingForQuiesce) {
+  VecDispatch sc = arith(Opcode::kVscatter, 1, 16, 2, 32);
+  for (unsigned i = 0; i < 32; ++i) sc.addrs.push_back(0x50000 + 64 * i);
+  ASSERT_TRUE(vu_.try_dispatch(std::move(sc), 0));
+  EXPECT_FALSE(vu_.ctx_quiesced(0, 1));
+  Cycle done = drain();
+  EXPECT_TRUE(vu_.ctx_quiesced(0, done));
+}
+
+TEST_F(VuTest, ZeroLengthVectorIsOneCycleChime) {
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 0), 0));
+  Cycle done = drain();
+  EXPECT_LE(done, 5u);
+  EXPECT_EQ(vu_.element_ops(), 0u);
+}
+
+TEST_F(VuTest, FourContextsIssueIndependently) {
+  vu_.configure_contexts(4, 0);
+  for (unsigned c = 0; c < 4; ++c)
+    ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 16, c), 0));
+  Cycle done = drain();
+  // Each context: VL-16 on 2 lanes = 8-cycle chime; all four concurrent.
+  EXPECT_LE(done, 16u);
+  EXPECT_EQ(vu_.instructions_issued(), 4u);
+}
+
+TEST_F(VuTest, ContextsDoNotShareRenameState) {
+  vu_.configure_contexts(2, 0);
+  // ctx 0 writes v3 (slow mul); ctx 1 reads its own v3 immediately.
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVmul, 3, 1, 2, 32, 0), 0));
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 4, 3, 3, 32, 1), 0));
+  // ctx 1's add must not wait for ctx 0's mul: it should finish quickly.
+  Cycle now = 0;
+  while (!vu_.ctx_quiesced(1, now) && now < 1000) {
+    vu_.tick(now);
+    ++now;
+  }
+  EXPECT_LE(now, 16u);
+  drain();
+}
+
+TEST_F(VuTest, UtilizationLaneCyclesAreConserved) {
+  // busy + partly_idle for an instruction equals chime * lanes.
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 37), 0));
+  drain();
+  const DatapathUtilization& u = vu_.utilization();
+  unsigned chime = (37 + 7) / 8;
+  EXPECT_EQ(u.busy + u.partly_idle,
+            static_cast<std::uint64_t>(chime) * 8);
+}
+
+TEST_F(VuTest, ReconfigureWhileBusyAborts) {
+  ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 64), 0));
+  EXPECT_DEATH(vu_.configure_contexts(2, 0), "while busy");
+  drain();
+}
+
+TEST_F(VuTest, OddPartitionAborts) {
+  EXPECT_DEATH(vu_.configure_contexts(3, 0), "divide evenly");
+}
+
+}  // namespace
+}  // namespace vlt::vu

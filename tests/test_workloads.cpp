@@ -1,0 +1,232 @@
+// Functional verification of every workload on every machine/variant it
+// supports: the simulated memory image must match the host-computed golden
+// result, and the measured characteristics must sit near Table 4.
+//
+// Smaller-than-default workload instances are used where the default would
+// make the suite slow; correctness is size-independent.
+#include <gtest/gtest.h>
+
+#include "machine/simulator.hpp"
+#include "workloads/all_workloads.hpp"
+#include "workloads/workload.hpp"
+
+namespace vlt::workloads {
+namespace {
+
+using machine::MachineConfig;
+using machine::RunResult;
+using machine::Simulator;
+
+RunResult run(const Workload& w, const MachineConfig& cfg, Variant v) {
+  return Simulator(cfg).run(w, v);
+}
+
+RunResult run_base(const std::string& name) {
+  WorkloadPtr w = make_workload(name);
+  return run(*w, MachineConfig::base(), Variant::base());
+}
+
+/// Reduced-size instances keep the multi-variant sweeps fast; correctness
+/// is size-independent.
+WorkloadPtr make_small(const std::string& name) {
+  if (name == "radix") return std::make_unique<RadixWorkload>(2048);
+  if (name == "ocean") return std::make_unique<OceanWorkload>(32, 2);
+  if (name == "barnes") return std::make_unique<BarnesWorkload>(96);
+  return make_workload(name);
+}
+
+// --- every workload verifies under the base machine -----------------------
+
+class BaseVerify : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(BaseVerify, GoldenMatch) {
+  RunResult r = run_base(GetParam());
+  EXPECT_TRUE(r.verified) << r.verify_error;
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_GT(r.scalar_insts, 0u);
+}
+
+TEST_P(BaseVerify, PhaseCyclesSumBelowTotal) {
+  RunResult r = run_base(GetParam());
+  Cycle sum = 0;
+  for (const auto& p : r.phase_cycles) sum += p.cycles;
+  EXPECT_LE(sum, r.cycles);  // total additionally counts switch overhead
+  EXPECT_FALSE(r.phase_cycles.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, BaseVerify,
+                         ::testing::ValuesIn(workload_names()),
+                         [](const auto& info) { return info.param; });
+
+// --- vector-thread apps verify under every VLT configuration --------------
+
+struct VltCase {
+  std::string app;
+  std::string config;
+  unsigned threads;
+};
+
+class VltVerify : public ::testing::TestWithParam<VltCase> {};
+
+TEST_P(VltVerify, GoldenMatch) {
+  const VltCase& c = GetParam();
+  WorkloadPtr w = make_workload(c.app);
+  RunResult r = run(*w, MachineConfig::by_name(c.config),
+                    Variant::vector_threads(c.threads));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+std::vector<VltCase> vlt_cases() {
+  std::vector<VltCase> out;
+  for (const std::string& app : vector_thread_apps()) {
+    out.push_back({app, "V2-SMT", 2});
+    out.push_back({app, "V2-CMP", 2});
+    out.push_back({app, "V2-CMP-h", 2});
+    out.push_back({app, "V4-SMT", 4});
+    out.push_back({app, "V4-CMT", 4});
+    out.push_back({app, "V4-CMP", 4});
+    out.push_back({app, "V4-CMP-h", 4});
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, VltVerify, ::testing::ValuesIn(vlt_cases()),
+                         [](const auto& info) {
+                           std::string n =
+                               info.param.app + "_" + info.param.config;
+                           for (char& ch : n)
+                             if (ch == '-') ch = '_';
+                           return n;
+                         });
+
+// --- scalar-thread apps verify on lanes and on the CMT --------------------
+
+class ScalarVerify : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScalarVerify, LaneThreadsGoldenMatch) {
+  WorkloadPtr w = make_small(GetParam());
+  RunResult r = run(*w, MachineConfig::v4_cmt(), Variant::lane_threads(8));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+TEST_P(ScalarVerify, SuThreadsGoldenMatch) {
+  WorkloadPtr w = make_small(GetParam());
+  RunResult r = run(*w, MachineConfig::cmt(), Variant::su_threads(4));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+TEST_P(ScalarVerify, FewerLaneThreadsAlsoWork) {
+  WorkloadPtr w = make_small(GetParam());
+  RunResult r = run(*w, MachineConfig::v4_cmt(), Variant::lane_threads(4));
+  EXPECT_TRUE(r.verified) << r.verify_error;
+}
+
+INSTANTIATE_TEST_SUITE_P(ScalarApps, ScalarVerify,
+                         ::testing::ValuesIn(scalar_thread_apps()),
+                         [](const auto& info) { return info.param; });
+
+// --- Table 4 characteristics stay in their calibrated bands ---------------
+
+struct Band {
+  std::string app;
+  double vect_lo, vect_hi;
+  double avg_vl_lo, avg_vl_hi;
+  double opp_lo, opp_hi;  // negative = no opportunity expected
+};
+
+class Table4Band : public ::testing::TestWithParam<Band> {};
+
+TEST_P(Table4Band, Characteristics) {
+  const Band& b = GetParam();
+  RunResult r = run_base(b.app);
+  ASSERT_TRUE(r.verified) << r.verify_error;
+  EXPECT_GE(r.pct_vectorization(), b.vect_lo);
+  EXPECT_LE(r.pct_vectorization(), b.vect_hi);
+  if (b.avg_vl_hi > 0) {
+    EXPECT_GE(r.avg_vl(), b.avg_vl_lo);
+    EXPECT_LE(r.avg_vl(), b.avg_vl_hi);
+  }
+  if (b.opp_hi > 0) {
+    EXPECT_GE(r.pct_opportunity(), b.opp_lo);
+    EXPECT_LE(r.pct_opportunity(), b.opp_hi);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Bands, Table4Band,
+    ::testing::Values(Band{"mxm", 90, 100, 63, 64.5, -1, -1},
+                      Band{"sage", 90, 100, 62, 64.5, -1, -1},
+                      Band{"mpenc", 60, 85, 9, 15, 70, 92},
+                      Band{"trfd", 65, 90, 20, 29, 95, 100},
+                      Band{"multprec", 55, 80, 22, 29, 72, 92},
+                      Band{"bt", 28, 55, 4.5, 9, 55, 80},
+                      Band{"radix", 1, 10, 55, 64.5, 85, 100},
+                      Band{"ocean", 0, 0.01, -1, -1, 95, 100},
+                      Band{"barnes", 0, 0.01, -1, -1, 95, 100}),
+    [](const auto& info) { return info.param.app; });
+
+// --- common vector lengths match the paper's ------------------------------
+
+TEST(CommonVls, MpencShows8And16And64) {
+  RunResult r = run_base("mpenc");
+  auto top = r.vl_hist.top_keys(3);
+  EXPECT_EQ(top, (std::vector<std::uint64_t>{8, 16, 64}));
+}
+
+TEST(CommonVls, BtShows5And10And12) {
+  RunResult r = run_base("bt");
+  auto top = r.vl_hist.top_keys(3);
+  EXPECT_EQ(top, (std::vector<std::uint64_t>{5, 10, 12}));
+}
+
+TEST(CommonVls, MultprecShows23And24And64) {
+  RunResult r = run_base("multprec");
+  auto top = r.vl_hist.top_keys(3);
+  EXPECT_EQ(top, (std::vector<std::uint64_t>{23, 24, 64}));
+}
+
+// --- registry --------------------------------------------------------------
+
+TEST(Registry, AllNineNamesResolve) {
+  auto names = workload_names();
+  ASSERT_EQ(names.size(), 9u);
+  for (const std::string& n : names) {
+    WorkloadPtr w = make_workload(n);
+    ASSERT_NE(w, nullptr);
+    EXPECT_EQ(w->name(), n);
+  }
+}
+
+TEST(Registry, UnknownNameAborts) {
+  EXPECT_DEATH((void)make_workload("no-such-app"), "unknown workload");
+}
+
+TEST(Registry, CategoriesPartitionTheApps) {
+  auto all = workload_names();
+  std::size_t counted = long_vector_apps().size() +
+                        vector_thread_apps().size() +
+                        scalar_thread_apps().size();
+  EXPECT_EQ(counted, all.size());
+}
+
+TEST(Registry, SupportsMatchesCategory) {
+  for (const std::string& n : vector_thread_apps()) {
+    WorkloadPtr w = make_workload(n);
+    EXPECT_TRUE(w->supports(Variant::Kind::kVectorThreads)) << n;
+    EXPECT_FALSE(w->supports(Variant::Kind::kLaneThreads)) << n;
+  }
+  for (const std::string& n : scalar_thread_apps()) {
+    WorkloadPtr w = make_workload(n);
+    EXPECT_TRUE(w->supports(Variant::Kind::kLaneThreads)) << n;
+    EXPECT_TRUE(w->supports(Variant::Kind::kSuThreads)) << n;
+    EXPECT_FALSE(w->supports(Variant::Kind::kVectorThreads)) << n;
+  }
+  for (const std::string& n : long_vector_apps()) {
+    WorkloadPtr w = make_workload(n);
+    EXPECT_TRUE(w->supports(Variant::Kind::kBase)) << n;
+    EXPECT_FALSE(w->supports(Variant::Kind::kVectorThreads)) << n;
+  }
+}
+
+}  // namespace
+}  // namespace vlt::workloads

@@ -1,0 +1,141 @@
+// vltsim_run — command-line driver: run any workload on any machine
+// configuration and variant, print cycle counts, per-phase timing,
+// Table 4-style characteristics, and cache/predictor statistics.
+//
+//   vltsim_run <workload> [--config NAME] [--variant base|vlt2|vlt4|
+//                          lanes8|lanes4|su4] [--lanes N] [--list]
+//
+// Examples:
+//   vltsim_run mpenc --config V4-CMP --variant vlt4
+//   vltsim_run radix --config CMT --variant su4
+//   vltsim_run mxm --lanes 2
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "machine/area_model.hpp"
+#include "machine/simulator.hpp"
+#include "workloads/workload.hpp"
+
+using namespace vlt;
+using workloads::Variant;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vltsim_run <workload> [--config NAME] [--variant V] "
+      "[--lanes N] [--list]\n"
+      "  workloads: mxm sage mpenc trfd multprec bt radix ocean barnes\n"
+      "  configs:   base V2-SMT V4-SMT V2-CMP V2-CMP-h V4-CMP V4-CMP-h "
+      "V4-CMT CMT\n"
+      "  variants:  base vlt2 vlt4 lanes4 lanes8 su2 su4\n");
+}
+
+bool parse_variant(const std::string& s, Variant& out) {
+  if (s == "base") out = Variant::base();
+  else if (s == "vlt2") out = Variant::vector_threads(2);
+  else if (s == "vlt4") out = Variant::vector_threads(4);
+  else if (s == "lanes4") out = Variant::lane_threads(4);
+  else if (s == "lanes8") out = Variant::lane_threads(8);
+  else if (s == "su2") out = Variant::su_threads(2);
+  else if (s == "su4") out = Variant::su_threads(4);
+  else return false;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  std::string workload_name;
+  std::string config_name = "base";
+  Variant variant = Variant::base();
+  unsigned lanes = 0;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list") {
+      for (const std::string& n : workloads::workload_names())
+        std::printf("%s\n", n.c_str());
+      return 0;
+    }
+    if (arg == "--config" && i + 1 < argc) {
+      config_name = argv[++i];
+    } else if (arg == "--variant" && i + 1 < argc) {
+      if (!parse_variant(argv[++i], variant)) {
+        usage();
+        return 2;
+      }
+    } else if (arg == "--lanes" && i + 1 < argc) {
+      lanes = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg[0] != '-' && workload_name.empty()) {
+      workload_name = arg;
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (workload_name.empty()) {
+    usage();
+    return 2;
+  }
+
+  machine::MachineConfig cfg = lanes != 0
+                                   ? machine::MachineConfig::base(lanes)
+                                   : machine::MachineConfig::by_name(
+                                         config_name);
+  auto workload = workloads::make_workload(workload_name);
+  if (!workload->supports(variant.kind)) {
+    std::fprintf(stderr, "%s does not support variant %s\n",
+                 workload_name.c_str(), variant.to_string().c_str());
+    return 1;
+  }
+
+  machine::RunResult r = machine::Simulator(cfg).run(*workload, variant);
+
+  std::printf("workload : %s\nconfig   : %s\nvariant  : %s\n",
+              r.workload.c_str(), r.config.c_str(), r.variant.c_str());
+  std::printf("verified : %s\n",
+              r.verified ? "yes" : ("NO — " + r.verify_error).c_str());
+  std::printf("cycles   : %llu\n",
+              static_cast<unsigned long long>(r.cycles));
+  for (const auto& p : r.phase_cycles)
+    std::printf("  phase %-24s %10llu cycles\n", p.label.c_str(),
+                static_cast<unsigned long long>(p.cycles));
+  std::printf("scalar instructions : %llu\n",
+              static_cast<unsigned long long>(r.scalar_insts));
+  std::printf("vector instructions : %llu\n",
+              static_cast<unsigned long long>(r.vector_insts));
+  std::printf("vector element ops  : %llu\n",
+              static_cast<unsigned long long>(r.element_ops));
+  std::printf("%% vectorization     : %.1f\n", r.pct_vectorization());
+  if (r.element_ops > 0) {
+    std::printf("average VL          : %.1f\n", r.avg_vl());
+    std::string common;
+    for (std::uint64_t vl : r.vl_hist.top_keys(3)) {
+      if (!common.empty()) common += ", ";
+      common += std::to_string(vl);
+    }
+    std::printf("common VLs          : %s\n", common.c_str());
+  }
+  std::printf("%% VLT opportunity   : %.1f\n", r.pct_opportunity());
+  if (cfg.has_vector_unit) {
+    const auto& u = r.util;
+    double total = static_cast<double>(u.total());
+    if (total > 0)
+      std::printf(
+          "datapath utilization: busy %.1f%%  partly-idle %.1f%%  "
+          "stalled %.1f%%  all-idle %.1f%%\n",
+          100.0 * u.busy / total, 100.0 * u.partly_idle / total,
+          100.0 * u.stalled / total, 100.0 * u.all_idle / total);
+  }
+  std::printf("die area            : %.1f mm^2 (%+.1f%% vs base)\n",
+              machine::AreaModel().config_area(cfg),
+              machine::AreaModel().pct_increase(cfg));
+  return r.verified ? 0 : 1;
+}
