@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_16_lanes.dir/ext_16_lanes.cpp.o"
+  "CMakeFiles/ext_16_lanes.dir/ext_16_lanes.cpp.o.d"
+  "ext_16_lanes"
+  "ext_16_lanes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_16_lanes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_lane_scaling.dir/fig1_lane_scaling.cpp.o"
+  "CMakeFiles/fig1_lane_scaling.dir/fig1_lane_scaling.cpp.o.d"
+  "fig1_lane_scaling"
+  "fig1_lane_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_lane_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_tab2_area.dir/tab1_tab2_area.cpp.o"
+  "CMakeFiles/tab1_tab2_area.dir/tab1_tab2_area.cpp.o.d"
+  "tab1_tab2_area"
+  "tab1_tab2_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_tab2_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tab1_tab2_area.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_machine_params.dir/tab3_machine_params.cpp.o"
+  "CMakeFiles/tab3_machine_params.dir/tab3_machine_params.cpp.o.d"
+  "tab3_machine_params"
+  "tab3_machine_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_machine_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

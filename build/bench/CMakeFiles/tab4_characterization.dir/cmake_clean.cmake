@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab4_characterization.dir/tab4_characterization.cpp.o"
+  "CMakeFiles/tab4_characterization.dir/tab4_characterization.cpp.o.d"
+  "tab4_characterization"
+  "tab4_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab4_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

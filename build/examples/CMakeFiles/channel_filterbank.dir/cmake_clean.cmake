@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_filterbank.dir/channel_filterbank.cpp.o"
+  "CMakeFiles/channel_filterbank.dir/channel_filterbank.cpp.o.d"
+  "channel_filterbank"
+  "channel_filterbank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_filterbank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/vltsim.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/vltsim.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/common/stats.cpp.o.d"
+  "/root/repo/src/func/arch_state.cpp" "src/CMakeFiles/vltsim.dir/func/arch_state.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/func/arch_state.cpp.o.d"
+  "/root/repo/src/func/executor.cpp" "src/CMakeFiles/vltsim.dir/func/executor.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/func/executor.cpp.o.d"
+  "/root/repo/src/func/memory.cpp" "src/CMakeFiles/vltsim.dir/func/memory.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/func/memory.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "src/CMakeFiles/vltsim.dir/isa/disasm.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/opcode.cpp" "src/CMakeFiles/vltsim.dir/isa/opcode.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/isa/opcode.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/CMakeFiles/vltsim.dir/isa/program.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/isa/program.cpp.o.d"
+  "/root/repo/src/lanecore/lane_core.cpp" "src/CMakeFiles/vltsim.dir/lanecore/lane_core.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/lanecore/lane_core.cpp.o.d"
+  "/root/repo/src/machine/area_model.cpp" "src/CMakeFiles/vltsim.dir/machine/area_model.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/machine/area_model.cpp.o.d"
+  "/root/repo/src/machine/machine_config.cpp" "src/CMakeFiles/vltsim.dir/machine/machine_config.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/machine/machine_config.cpp.o.d"
+  "/root/repo/src/machine/processor.cpp" "src/CMakeFiles/vltsim.dir/machine/processor.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/machine/processor.cpp.o.d"
+  "/root/repo/src/machine/simulator.cpp" "src/CMakeFiles/vltsim.dir/machine/simulator.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/machine/simulator.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/CMakeFiles/vltsim.dir/mem/cache.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/l2_cache.cpp" "src/CMakeFiles/vltsim.dir/mem/l2_cache.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/mem/l2_cache.cpp.o.d"
+  "/root/repo/src/su/branch_pred.cpp" "src/CMakeFiles/vltsim.dir/su/branch_pred.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/su/branch_pred.cpp.o.d"
+  "/root/repo/src/su/scalar_core.cpp" "src/CMakeFiles/vltsim.dir/su/scalar_core.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/su/scalar_core.cpp.o.d"
+  "/root/repo/src/vltctl/barrier.cpp" "src/CMakeFiles/vltsim.dir/vltctl/barrier.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/vltctl/barrier.cpp.o.d"
+  "/root/repo/src/vltctl/partition.cpp" "src/CMakeFiles/vltsim.dir/vltctl/partition.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/vltctl/partition.cpp.o.d"
+  "/root/repo/src/vu/vector_unit.cpp" "src/CMakeFiles/vltsim.dir/vu/vector_unit.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/vu/vector_unit.cpp.o.d"
+  "/root/repo/src/workloads/barnes.cpp" "src/CMakeFiles/vltsim.dir/workloads/barnes.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/workloads/barnes.cpp.o.d"
+  "/root/repo/src/workloads/bt.cpp" "src/CMakeFiles/vltsim.dir/workloads/bt.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/workloads/bt.cpp.o.d"
+  "/root/repo/src/workloads/mpenc.cpp" "src/CMakeFiles/vltsim.dir/workloads/mpenc.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/workloads/mpenc.cpp.o.d"
+  "/root/repo/src/workloads/multprec.cpp" "src/CMakeFiles/vltsim.dir/workloads/multprec.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/workloads/multprec.cpp.o.d"
+  "/root/repo/src/workloads/mxm.cpp" "src/CMakeFiles/vltsim.dir/workloads/mxm.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/workloads/mxm.cpp.o.d"
+  "/root/repo/src/workloads/ocean.cpp" "src/CMakeFiles/vltsim.dir/workloads/ocean.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/workloads/ocean.cpp.o.d"
+  "/root/repo/src/workloads/radix.cpp" "src/CMakeFiles/vltsim.dir/workloads/radix.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/workloads/radix.cpp.o.d"
+  "/root/repo/src/workloads/registry.cpp" "src/CMakeFiles/vltsim.dir/workloads/registry.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/workloads/registry.cpp.o.d"
+  "/root/repo/src/workloads/sage.cpp" "src/CMakeFiles/vltsim.dir/workloads/sage.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/workloads/sage.cpp.o.d"
+  "/root/repo/src/workloads/trfd.cpp" "src/CMakeFiles/vltsim.dir/workloads/trfd.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/workloads/trfd.cpp.o.d"
+  "/root/repo/src/workloads/workload.cpp" "src/CMakeFiles/vltsim.dir/workloads/workload.cpp.o" "gcc" "src/CMakeFiles/vltsim.dir/workloads/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

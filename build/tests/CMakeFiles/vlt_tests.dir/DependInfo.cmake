@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_area.cpp" "tests/CMakeFiles/vlt_tests.dir/test_area.cpp.o" "gcc" "tests/CMakeFiles/vlt_tests.dir/test_area.cpp.o.d"
+  "/root/repo/tests/test_func.cpp" "tests/CMakeFiles/vlt_tests.dir/test_func.cpp.o" "gcc" "tests/CMakeFiles/vlt_tests.dir/test_func.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/vlt_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/vlt_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/vlt_tests.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/vlt_tests.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_lanecore.cpp" "tests/CMakeFiles/vlt_tests.dir/test_lanecore.cpp.o" "gcc" "tests/CMakeFiles/vlt_tests.dir/test_lanecore.cpp.o.d"
+  "/root/repo/tests/test_machine.cpp" "tests/CMakeFiles/vlt_tests.dir/test_machine.cpp.o" "gcc" "tests/CMakeFiles/vlt_tests.dir/test_machine.cpp.o.d"
+  "/root/repo/tests/test_mem.cpp" "tests/CMakeFiles/vlt_tests.dir/test_mem.cpp.o" "gcc" "tests/CMakeFiles/vlt_tests.dir/test_mem.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/vlt_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/vlt_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_su.cpp" "tests/CMakeFiles/vlt_tests.dir/test_su.cpp.o" "gcc" "tests/CMakeFiles/vlt_tests.dir/test_su.cpp.o.d"
+  "/root/repo/tests/test_vu.cpp" "tests/CMakeFiles/vlt_tests.dir/test_vu.cpp.o" "gcc" "tests/CMakeFiles/vlt_tests.dir/test_vu.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/vlt_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/vlt_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vltsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vlt_tests.dir/test_area.cpp.o"
+  "CMakeFiles/vlt_tests.dir/test_area.cpp.o.d"
+  "CMakeFiles/vlt_tests.dir/test_func.cpp.o"
+  "CMakeFiles/vlt_tests.dir/test_func.cpp.o.d"
+  "CMakeFiles/vlt_tests.dir/test_integration.cpp.o"
+  "CMakeFiles/vlt_tests.dir/test_integration.cpp.o.d"
+  "CMakeFiles/vlt_tests.dir/test_isa.cpp.o"
+  "CMakeFiles/vlt_tests.dir/test_isa.cpp.o.d"
+  "CMakeFiles/vlt_tests.dir/test_lanecore.cpp.o"
+  "CMakeFiles/vlt_tests.dir/test_lanecore.cpp.o.d"
+  "CMakeFiles/vlt_tests.dir/test_machine.cpp.o"
+  "CMakeFiles/vlt_tests.dir/test_machine.cpp.o.d"
+  "CMakeFiles/vlt_tests.dir/test_mem.cpp.o"
+  "CMakeFiles/vlt_tests.dir/test_mem.cpp.o.d"
+  "CMakeFiles/vlt_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/vlt_tests.dir/test_properties.cpp.o.d"
+  "CMakeFiles/vlt_tests.dir/test_su.cpp.o"
+  "CMakeFiles/vlt_tests.dir/test_su.cpp.o.d"
+  "CMakeFiles/vlt_tests.dir/test_vu.cpp.o"
+  "CMakeFiles/vlt_tests.dir/test_vu.cpp.o.d"
+  "CMakeFiles/vlt_tests.dir/test_workloads.cpp.o"
+  "CMakeFiles/vlt_tests.dir/test_workloads.cpp.o.d"
+  "vlt_tests"
+  "vlt_tests.pdb"
+  "vlt_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vlt_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

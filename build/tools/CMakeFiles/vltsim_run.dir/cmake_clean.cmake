@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vltsim_run.dir/vltsim_run.cpp.o"
+  "CMakeFiles/vltsim_run.dir/vltsim_run.cpp.o.d"
+  "vltsim_run"
+  "vltsim_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vltsim_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
