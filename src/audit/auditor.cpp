@@ -1,0 +1,73 @@
+#include "audit/auditor.hpp"
+
+#include <sstream>
+
+#include "vltctl/barrier.hpp"
+
+namespace vlt::audit {
+
+Auditor::Auditor(const AuditConfig& cfg, AuditSink* sink)
+    : cfg_(cfg), sink_(sink != nullptr ? sink : &abort_sink_) {
+  if (cfg_.lockstep) lockstep_ = std::make_unique<Lockstep>(*sink_);
+}
+
+void Auditor::note_phase(const std::string& label, Cycle cycles,
+                         std::uint64_t element_ops_total) {
+  phase_cycle_sum_ += cycles;
+  if (cfg_.invariants && !phase_elem_marks_.empty()) {
+    sink_->expect(element_ops_total >= phase_elem_marks_.back().second,
+                  Check::kElementAccounting, "run", phase_cycle_sum_,
+                  "element counter moved backwards across phase '" + label +
+                      "'");
+  }
+  phase_elem_marks_.emplace_back(label, element_ops_total);
+}
+
+void Auditor::barrier_watchdog(const vltctl::BarrierController& barrier,
+                               Cycle now, const std::string& phase_label) {
+  if (!cfg_.invariants) return;
+  vltctl::BarrierController::PendingGen p = barrier.oldest_pending();
+  if (!p.valid) return;
+  if (now - p.first_arrival <= cfg_.barrier_watchdog) return;
+  std::ostringstream os;
+  os << "barrier deadlock in phase '" << phase_label << "': generation "
+     << p.generation << " has " << p.arrivals << "/" << p.expected
+     << " arrivals, oldest waiting since cycle " << p.first_arrival << " ("
+     << (now - p.first_arrival) << " cycles ago)";
+  sink_->report({Check::kBarrierDeadlock, "barrier", now, os.str()});
+}
+
+void Auditor::finish_run(Cycle total_cycles, Cycle opportunity_cycles,
+                         std::uint64_t element_ops, const Histogram& vl_hist,
+                         const func::FuncMemory& final_memory) {
+  if (cfg_.invariants) {
+    sink_->expect(
+        phase_cycle_sum_ + overhead_ == total_cycles, Check::kRunAccounting,
+        "run", total_cycles,
+        "phase cycles (" + std::to_string(phase_cycle_sum_) +
+            ") + overhead (" + std::to_string(overhead_) +
+            ") do not sum to the run total (" + std::to_string(total_cycles) +
+            ")");
+    sink_->expect(opportunity_cycles <= total_cycles, Check::kRunAccounting,
+                  "run", total_cycles,
+                  "opportunity cycles (" + std::to_string(opportunity_cycles) +
+                      ") exceed the run total");
+    sink_->expect(
+        element_ops == vl_hist.weighted_sum(), Check::kElementAccounting,
+        "run", total_cycles,
+        "element-op counter (" + std::to_string(element_ops) +
+            ") does not match the VL histogram sum (" +
+            std::to_string(vl_hist.weighted_sum()) + ")");
+    if (!phase_elem_marks_.empty()) {
+      sink_->expect(
+          phase_elem_marks_.back().second == element_ops,
+          Check::kElementAccounting, "run", total_cycles,
+          "per-phase element counters sum to " +
+              std::to_string(phase_elem_marks_.back().second) +
+              " but the vector unit reports " + std::to_string(element_ops));
+    }
+  }
+  if (lockstep_) lockstep_->compare_final_memory(final_memory, total_cycles);
+}
+
+}  // namespace vlt::audit

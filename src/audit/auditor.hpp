@@ -1,0 +1,75 @@
+// Aggregate audit facility owned by a simulation run: holds the sink, the
+// lockstep co-simulator, and the run-level conservation counters. The
+// machine layer threads a pointer to this object through the processor so
+// every component can report into one place. All hooks are observational —
+// enabling audit mode never changes a reported cycle count.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/lockstep.hpp"
+#include "audit/sink.hpp"
+#include "common/histogram.hpp"
+
+namespace vlt::vltctl {
+class BarrierController;
+}
+
+namespace vlt::audit {
+
+class Auditor {
+ public:
+  /// `sink` overrides the default aborting sink (tests pass a
+  /// RecordingSink); the Auditor does not take ownership of it.
+  explicit Auditor(const AuditConfig& cfg, AuditSink* sink = nullptr);
+
+  const AuditConfig& config() const { return cfg_; }
+  AuditSink& sink() { return *sink_; }
+
+  /// Sink for dynamic invariant checks, or nullptr when cfg.invariants is
+  /// off — components hold this pointer and skip checking entirely on null.
+  AuditSink* invariant_sink() {
+    return cfg_.invariants ? sink_ : nullptr;
+  }
+
+  /// The co-simulator, or nullptr when cfg.lockstep is off.
+  Lockstep* lockstep() { return lockstep_.get(); }
+
+  // --- run-level accounting (driven by machine::Simulator) ---
+
+  /// Records thread-management overhead charged outside of phases.
+  void note_overhead(Cycle cycles) { overhead_ += cycles; }
+
+  /// Records one completed phase: its cycle count and the vector unit's
+  /// cumulative element counter at phase end.
+  void note_phase(const std::string& label, Cycle cycles,
+                  std::uint64_t element_ops_total);
+
+  /// Deadlock watchdog, polled from the processor's run loop: reports when
+  /// a barrier generation has been partially full longer than
+  /// cfg.barrier_watchdog cycles.
+  void barrier_watchdog(const vltctl::BarrierController& barrier, Cycle now,
+                        const std::string& phase_label);
+
+  /// End-of-run reconciliation: RunResult sums must match the per-phase
+  /// counters, and the lockstep shadow memory must match the simulated one.
+  void finish_run(Cycle total_cycles, Cycle opportunity_cycles,
+                  std::uint64_t element_ops, const Histogram& vl_hist,
+                  const func::FuncMemory& final_memory);
+
+ private:
+  AuditConfig cfg_;
+  AbortSink abort_sink_;
+  AuditSink* sink_;
+  std::unique_ptr<Lockstep> lockstep_;
+
+  Cycle overhead_ = 0;
+  Cycle phase_cycle_sum_ = 0;
+  // (label, cumulative element ops at phase end) marks, in phase order.
+  std::vector<std::pair<std::string, std::uint64_t>> phase_elem_marks_;
+};
+
+}  // namespace vlt::audit

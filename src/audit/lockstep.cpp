@@ -1,0 +1,180 @@
+#include "audit/lockstep.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "isa/disasm.hpp"
+
+namespace vlt::audit {
+
+Lockstep::Lockstep(AuditSink& sink) : sink_(&sink), exec_(shadow_mem_) {}
+
+void Lockstep::seed_memory(const func::FuncMemory& initial) {
+  shadow_mem_.copy_from(initial);
+}
+
+void Lockstep::begin_phase(const std::vector<ThreadSpec>& threads) {
+  threads_.clear();
+  threads_.resize(threads.size());
+  for (const ThreadSpec& t : threads) {
+    if (t.tid >= threads_.size()) {
+      sink_->report({Check::kLockstep, "lockstep", 0,
+                     "phase thread ids are not dense: tid " +
+                         std::to_string(t.tid) + " of " +
+                         std::to_string(threads.size())});
+      continue;
+    }
+    Shadow& s = threads_[t.tid];
+    s.prog = t.program;
+    s.arch.reset();
+    s.ectx = func::ExecContext{t.tid, t.nthreads, t.max_vl};
+    s.pc = 0;
+    s.halted = false;
+  }
+}
+
+Lockstep::Shadow* Lockstep::shadow_for(ThreadId tid, Cycle now) {
+  if (tid < threads_.size() && threads_[tid].prog != nullptr)
+    return &threads_[tid];
+  sink_->report({Check::kLockstep, "lockstep", now,
+                 "execution on a thread the phase never registered: tid " +
+                     std::to_string(tid)});
+  return nullptr;
+}
+
+void Lockstep::diverged(ThreadId tid, std::uint64_t pc, Cycle now,
+                        const std::string& what) {
+  std::ostringstream os;
+  os << "divergence at tid " << tid << " pc " << pc << ": " << what;
+  sink_->report({Check::kLockstep, "lockstep", now, os.str()});
+}
+
+void Lockstep::compare_state(const Shadow& s, const isa::Instruction& inst,
+                             const func::ArchState& primary_state,
+                             ThreadId tid, std::uint64_t pc, Cycle now,
+                             bool full) {
+  // Scalar register file: cheap enough to compare completely every step.
+  for (RegIdx r = 0; r < kNumScalarRegs; ++r) {
+    if (s.arch.sreg(r) != primary_state.sreg(r)) {
+      std::ostringstream os;
+      os << "scalar register s" << unsigned(r) << " diverged after '"
+         << isa::disassemble(inst) << "': reference 0x" << std::hex
+         << s.arch.sreg(r) << " vs pipeline 0x" << primary_state.sreg(r);
+      diverged(tid, pc, now, os.str());
+      return;
+    }
+  }
+  if (s.arch.vl() != primary_state.vl()) {
+    diverged(tid, pc, now,
+             "VL diverged: reference " + std::to_string(s.arch.vl()) +
+                 " vs pipeline " + std::to_string(primary_state.vl()));
+    return;
+  }
+  // Vector state: compare the written destination every step, and the
+  // whole file on full checks (halt / explicit request).
+  auto compare_vreg = [&](RegIdx vr) {
+    for (unsigned i = 0; i < kMaxVectorLength; ++i) {
+      if (s.arch.velem(vr, i) != primary_state.velem(vr, i)) {
+        std::ostringstream os;
+        os << "vector register v" << unsigned(vr) << "[" << i
+           << "] diverged after '" << isa::disassemble(inst)
+           << "': reference 0x" << std::hex << s.arch.velem(vr, i)
+           << " vs pipeline 0x" << primary_state.velem(vr, i);
+        diverged(tid, pc, now, os.str());
+        return false;
+      }
+    }
+    return true;
+  };
+  if (full) {
+    for (RegIdx vr = 0; vr < kNumVectorRegs; ++vr)
+      if (!compare_vreg(vr)) return;
+  } else {
+    RegIdx vd;
+    if (isa::vector_dst_reg(inst, vd) && !compare_vreg(vd)) return;
+  }
+  if (isa::writes_mask(inst) &&
+      s.arch.mask_bits() != primary_state.mask_bits())
+    diverged(tid, pc, now,
+             "mask register diverged after '" + isa::disassemble(inst) + "'");
+}
+
+void Lockstep::on_execute(ThreadId tid, const isa::Instruction& inst,
+                          std::uint64_t pc, const func::ExecResult& primary,
+                          const std::vector<Addr>& primary_addrs,
+                          const func::ArchState& primary_state, Cycle now) {
+  Shadow* sp = shadow_for(tid, now);
+  if (sp == nullptr) return;
+  Shadow& s = *sp;
+  ++replayed_;
+
+  if (s.halted) {
+    diverged(tid, pc, now, "pipeline executed past HALT");
+    return;
+  }
+  if (s.pc != pc) {
+    diverged(tid, pc, now,
+             "control flow diverged: reference pc " + std::to_string(s.pc) +
+                 " vs pipeline pc " + std::to_string(pc));
+    s.pc = pc;  // resync so one report does not cascade
+  }
+  if (pc >= s.prog->size()) {
+    diverged(tid, pc, now, "pc past the end of " + s.prog->name());
+    return;
+  }
+  const isa::Instruction& ref_inst = s.prog->at(pc);
+  if (std::memcmp(&ref_inst, &inst, sizeof(inst)) != 0) {
+    diverged(tid, pc, now,
+             "instruction mismatch: reference '" + isa::disassemble(ref_inst) +
+                 "' vs pipeline '" + isa::disassemble(inst) + "'");
+    return;
+  }
+
+  s.arch.set_pc(pc);
+  func::ExecResult ref = exec_.execute(ref_inst, s.arch, s.ectx, addr_scratch_);
+
+  if (ref.next_pc != primary.next_pc)
+    diverged(tid, pc, now,
+             "next pc diverged after '" + isa::disassemble(inst) +
+                 "': reference " + std::to_string(ref.next_pc) +
+                 " vs pipeline " + std::to_string(primary.next_pc));
+  if (ref.branch_taken != primary.branch_taken)
+    diverged(tid, pc, now,
+             "branch direction diverged at '" + isa::disassemble(inst) + "'");
+  if (ref.halted != primary.halted)
+    diverged(tid, pc, now, "halt state diverged");
+  if (ref.elems != primary.elems)
+    diverged(tid, pc, now,
+             "element count diverged at '" + isa::disassemble(inst) +
+                 "': reference " + std::to_string(ref.elems) +
+                 " vs pipeline " + std::to_string(primary.elems));
+  if (addr_scratch_ != primary_addrs) {
+    std::ostringstream os;
+    os << "effective addresses diverged at '" << isa::disassemble(inst)
+       << "': reference " << addr_scratch_.size() << " addrs vs pipeline "
+       << primary_addrs.size();
+    for (std::size_t i = 0;
+         i < addr_scratch_.size() && i < primary_addrs.size(); ++i) {
+      if (addr_scratch_[i] != primary_addrs[i]) {
+        os << "; first mismatch at element " << i << ": 0x" << std::hex
+           << addr_scratch_[i] << " vs 0x" << primary_addrs[i];
+        break;
+      }
+    }
+    diverged(tid, pc, now, os.str());
+  }
+
+  compare_state(s, inst, primary_state, tid, pc, now, ref.halted);
+
+  s.pc = ref.next_pc;
+  s.halted = ref.halted;
+}
+
+void Lockstep::compare_final_memory(const func::FuncMemory& primary,
+                                    Cycle now) {
+  if (auto diff = shadow_mem_.first_difference(primary))
+    sink_->report({Check::kLockstep, "lockstep", now,
+                   "final memory image diverged: " + *diff});
+}
+
+}  // namespace vlt::audit

@@ -1,0 +1,79 @@
+// Lockstep co-simulation (audit mode): every instruction the timing
+// pipelines execute is replayed, in the same global order, on a second,
+// independent func::Executor + func::ArchState per thread against a shadow
+// copy of memory. Any divergence in PCs, register writes, effective
+// addresses, or the final memory image is reported with a precise
+// diagnostic. This keeps the execute-at-fetch timing model honest: a
+// pipeline that clobbers architectural state, runs a thread with the wrong
+// identity, or executes out of program order diverges immediately.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "audit/sink.hpp"
+#include "func/executor.hpp"
+#include "func/memory.hpp"
+#include "isa/program.hpp"
+
+namespace vlt::audit {
+
+class Lockstep {
+ public:
+  explicit Lockstep(AuditSink& sink);
+
+  /// Snapshots the workload's initial memory image as the shadow memory.
+  /// Call after Workload::init_memory and before the first phase.
+  void seed_memory(const func::FuncMemory& initial);
+
+  struct ThreadSpec {
+    const isa::Program* program = nullptr;
+    ThreadId tid = 0;
+    unsigned nthreads = 1;
+    unsigned max_vl = 0;
+  };
+
+  /// Registers the threads of the next phase; shadow architectural state
+  /// starts from reset, mirroring the pipelines' per-phase context reset.
+  void begin_phase(const std::vector<ThreadSpec>& threads);
+
+  /// Replays one primary execution step. `primary` / `primary_addrs` /
+  /// `primary_state` are the timing pipeline's results for the instruction
+  /// at `pc` of thread `tid`; the shadow executes independently and any
+  /// mismatch is reported to the sink.
+  void on_execute(ThreadId tid, const isa::Instruction& inst,
+                  std::uint64_t pc, const func::ExecResult& primary,
+                  const std::vector<Addr>& primary_addrs,
+                  const func::ArchState& primary_state, Cycle now);
+
+  /// Word-by-word comparison of the shadow memory against the timing
+  /// simulation's final memory image (end of run).
+  void compare_final_memory(const func::FuncMemory& primary, Cycle now);
+
+  std::uint64_t instructions_replayed() const { return replayed_; }
+
+ private:
+  struct Shadow {
+    const isa::Program* prog = nullptr;
+    func::ArchState arch;
+    func::ExecContext ectx;
+    std::uint64_t pc = 0;
+    bool halted = false;
+  };
+
+  Shadow* shadow_for(ThreadId tid, Cycle now);
+  void diverged(ThreadId tid, std::uint64_t pc, Cycle now,
+                const std::string& what);
+  void compare_state(const Shadow& s, const isa::Instruction& inst,
+                     const func::ArchState& primary_state, ThreadId tid,
+                     std::uint64_t pc, Cycle now, bool full);
+
+  AuditSink* sink_;
+  func::FuncMemory shadow_mem_;
+  func::Executor exec_;
+  std::vector<Shadow> threads_;  // indexed by tid within the phase
+  std::vector<Addr> addr_scratch_;
+  std::uint64_t replayed_ = 0;
+};
+
+}  // namespace vlt::audit

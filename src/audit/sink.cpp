@@ -1,0 +1,35 @@
+#include "audit/sink.hpp"
+
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace vlt::audit {
+
+const char* check_name(Check c) {
+  switch (c) {
+    case Check::kLaneOccupancy: return "lane-occupancy";
+    case Check::kElementAccounting: return "element-accounting";
+    case Check::kBarrierProtocol: return "barrier-protocol";
+    case Check::kBarrierDeadlock: return "barrier-deadlock";
+    case Check::kCacheCounters: return "cache-counters";
+    case Check::kCacheTiming: return "cache-timing";
+    case Check::kLockstep: return "lockstep";
+    case Check::kRunAccounting: return "run-accounting";
+    case Check::kQueueBounds: return "queue-bounds";
+  }
+  return "unknown";
+}
+
+std::string Violation::to_string() const {
+  std::ostringstream os;
+  os << "audit[" << check_name(check) << "] " << component << " @cycle "
+     << cycle << ": " << detail;
+  return os.str();
+}
+
+void AbortSink::report(const Violation& v) {
+  fatal("audit", 0, v.to_string());
+}
+
+}  // namespace vlt::audit

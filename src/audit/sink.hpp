@@ -1,0 +1,92 @@
+// Audit reporting: every dynamic invariant the simulator checks in audit
+// mode funnels through an AuditSink, so production runs can abort with a
+// precise diagnostic while tests capture violations and assert on them.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace vlt::audit {
+
+/// Classes of audited invariants (see docs/CHECKS.md for the catalogue).
+enum class Check : std::uint8_t {
+  kLaneOccupancy,      // a partition never issues beyond its lane share
+  kElementAccounting,  // element/chime counters reconcile across layers
+  kBarrierProtocol,    // generations monotone, releases after arrivals
+  kBarrierDeadlock,    // arrivals stuck longer than the watchdog allows
+  kCacheCounters,      // hit+miss+writeback/occupancy reconciliation
+  kCacheTiming,        // completion times never beat the hit latency
+  kLockstep,           // timing pipeline diverged from the reference model
+  kRunAccounting,      // RunResult sums match per-phase measurements
+  kQueueBounds,        // decoupling/store queues within configured capacity
+};
+
+const char* check_name(Check c);
+
+struct Violation {
+  Check check;
+  std::string component;  // e.g. "vu", "barrier", "l1d@su0", "lockstep"
+  Cycle cycle = 0;        // simulated time of detection
+  std::string detail;     // human-readable diagnostic
+
+  std::string to_string() const;
+};
+
+/// Receiver of invariant violations. The default sink aborts (a corrupted
+/// simulation must never report numbers); tests install a recording sink.
+class AuditSink {
+ public:
+  virtual ~AuditSink() = default;
+  virtual void report(const Violation& v) = 0;
+
+  /// Convenience: report when `ok` is false.
+  void expect(bool ok, Check check, const char* component, Cycle cycle,
+              const std::string& detail) {
+    if (!ok) report(Violation{check, component, cycle, detail});
+  }
+};
+
+/// Aborts the process with the violation diagnostic (production default).
+class AbortSink : public AuditSink {
+ public:
+  void report(const Violation& v) override;
+};
+
+/// Records violations for tests to inspect; never aborts.
+class RecordingSink : public AuditSink {
+ public:
+  void report(const Violation& v) override { violations.push_back(v); }
+
+  bool saw(Check c) const {
+    for (const Violation& v : violations)
+      if (v.check == c) return true;
+    return false;
+  }
+
+  std::vector<Violation> violations;
+};
+
+/// Audit-mode switches carried by MachineConfig. Everything defaults off:
+/// audit mode is observational and opt-in, and enabling it must not change
+/// a single reported cycle count.
+struct AuditConfig {
+  bool invariants = false;  // dynamic conservation/protocol checks
+  bool lockstep = false;    // reference-model co-simulation
+  /// Cycles a barrier generation may sit partially full before the
+  /// watchdog declares deadlock and reports (instead of spinning to the
+  /// 2e9-cycle phase limit).
+  Cycle barrier_watchdog = 2'000'000;
+
+  bool enabled() const { return invariants || lockstep; }
+
+  static AuditConfig full() {
+    AuditConfig a;
+    a.invariants = true;
+    a.lockstep = true;
+    return a;
+  }
+};
+
+}  // namespace vlt::audit

@@ -17,6 +17,7 @@ class Histogram {
   }
 
   std::uint64_t total_weight() const { return total_weight_; }
+  std::uint64_t weighted_sum() const { return weighted_sum_; }
 
   double mean() const {
     return total_weight_ == 0

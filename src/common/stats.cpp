@@ -4,7 +4,15 @@
 
 namespace vlt {
 
-std::uint64_t StatSet::get(const std::string& name) const {
+void StatSet::inc(std::string_view name, std::uint64_t v) {
+  auto it = counters_.find(name);
+  if (it == counters_.end())
+    counters_.emplace(std::string(name), v);
+  else
+    it->second += v;
+}
+
+std::uint64_t StatSet::get(std::string_view name) const {
   auto it = counters_.find(name);
   return it == counters_.end() ? 0 : it->second;
 }

@@ -3,24 +3,29 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 
 namespace vlt {
 
 class StatSet {
  public:
-  void inc(const std::string& name, std::uint64_t v = 1) { counters_[name] += v; }
-  std::uint64_t get(const std::string& name) const;
+  // string_view + transparent comparator: counter names are almost always
+  // string literals, and heterogeneous lookup avoids materialising a
+  // std::string per call on the hot path.
+  void inc(std::string_view name, std::uint64_t v = 1);
+  std::uint64_t get(std::string_view name) const;
   void merge(const StatSet& other);
   void clear() { counters_.clear(); }
-  const std::map<std::string, std::uint64_t>& counters() const {
+  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
     return counters_;
   }
   std::string to_string() const;
 
  private:
-  std::map<std::string, std::uint64_t> counters_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
 };
 
 }  // namespace vlt

@@ -45,6 +45,8 @@ ExecResult Executor::execute(const Instruction& inst, ArchState& st,
 
   // Element-wise vector op with mask support.
   const unsigned vl = st.vl();
+  VLT_CHECK(!isa::is_vector(inst.op) || vl <= ctx.max_vl,
+            "vector instruction with VL above the partition's max VL");
   auto for_each_elem = [&](auto&& body) {
     for (unsigned i = 0; i < vl; ++i) {
       if (inst.masked() && !st.mask(i)) continue;

@@ -1,5 +1,8 @@
 #include "func/memory.hpp"
 
+#include <algorithm>
+#include <sstream>
+
 namespace vlt::func {
 
 FuncMemory::Page& FuncMemory::page_for(Addr addr) {
@@ -51,6 +54,41 @@ std::vector<std::int64_t> FuncMemory::read_block_i64(Addr addr,
   std::vector<std::int64_t> out(count);
   for (std::size_t i = 0; i < count; ++i) out[i] = read_i64(addr + 8 * i);
   return out;
+}
+
+void FuncMemory::copy_from(const FuncMemory& other) {
+  pages_.clear();
+  for (const auto& [key, page] : other.pages_)
+    pages_[key] = std::make_unique<Page>(*page);
+}
+
+std::optional<std::string> FuncMemory::first_difference(
+    const FuncMemory& other) const {
+  // Walk the sorted union of page keys so the reported address is the
+  // lowest differing one and the result is deterministic.
+  std::vector<Addr> keys;
+  keys.reserve(pages_.size() + other.pages_.size());
+  for (const auto& [key, page] : pages_) keys.push_back(key);
+  for (const auto& [key, page] : other.pages_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+
+  static const Page kZeroPage{};
+  for (Addr key : keys) {
+    auto a_it = pages_.find(key);
+    auto b_it = other.pages_.find(key);
+    const Page& a = a_it == pages_.end() ? kZeroPage : *a_it->second;
+    const Page& b = b_it == other.pages_.end() ? kZeroPage : *b_it->second;
+    for (std::size_t w = 0; w < a.size(); ++w) {
+      if (a[w] != b[w]) {
+        std::ostringstream os;
+        os << "word at 0x" << std::hex << (key * kPageBytes + w * 8)
+           << ": 0x" << a[w] << " vs 0x" << b[w];
+        return os.str();
+      }
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace vlt::func

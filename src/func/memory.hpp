@@ -5,7 +5,9 @@
 #include <array>
 #include <cstring>
 #include <memory>
+#include <optional>
 #include <span>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -47,6 +49,13 @@ class FuncMemory {
   std::vector<std::int64_t> read_block_i64(Addr addr, std::size_t count) const;
 
   std::size_t allocated_pages() const { return pages_.size(); }
+
+  /// Replaces this memory's contents with a deep copy of `other`.
+  void copy_from(const FuncMemory& other);
+
+  /// First 64-bit word where the two images differ, formatted for a
+  /// diagnostic, or nullopt when identical. Absent pages compare as zero.
+  std::optional<std::string> first_difference(const FuncMemory& other) const;
 
  private:
   using Page = std::array<std::uint64_t, kPageBytes / 8>;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "audit/auditor.hpp"
 #include "common/log.hpp"
 #include "isa/disasm.hpp"
 
@@ -13,12 +15,19 @@ using isa::Instruction;
 using isa::Opcode;
 
 LaneCore::LaneCore(const LaneCoreParams& p, func::FuncMemory& memory,
-                   mem::L2Cache& l2, vltctl::BarrierController& barrier)
+                   mem::L2Cache& l2, vltctl::BarrierController& barrier,
+                   audit::Auditor* auditor)
     : params_(p),
       executor_(memory),
       l2_(&l2),
       barrier_(&barrier),
-      icache_(p.icache_size, p.icache_ways) {}
+      icache_(p.icache_size, p.icache_ways) {
+  if (auditor != nullptr) {
+    audit_ = auditor->invariant_sink();
+    lockstep_ = auditor->lockstep();
+    icache_.set_audit(audit_, "lane-icache");
+  }
+}
 
 void LaneCore::start(const isa::Program& program, ThreadId tid,
                      unsigned nthreads, Cycle now) {
@@ -35,6 +44,13 @@ void LaneCore::start(const isa::Program& program, ThreadId tid,
   store_queue_.clear();
   waiting_barrier_ = false;
   icache_.invalidate_all();  // cold lane I-cache at phase start
+}
+
+void LaneCore::synth_lockstep(const Instruction& inst, Cycle now) {
+  func::ExecResult res;
+  res.next_pc = pc_ + 1;
+  static const std::vector<Addr> kNoAddrs;
+  lockstep_->on_execute(ectx_.tid, inst, pc_, res, kNoAddrs, arch_, now);
 }
 
 bool LaneCore::scoreboard_ready(const Instruction& inst, Cycle now) const {
@@ -62,6 +78,7 @@ bool LaneCore::issue_one(Cycle now) {
     Cycle rel = barrier_->release_time(barrier_gen_);
     if (rel == kNeverReady || rel > now) return false;
     waiting_barrier_ = false;
+    if (lockstep_ != nullptr) synth_lockstep(inst, now);
     ++committed_;
     ++pc_;
     return true;
@@ -71,6 +88,7 @@ bool LaneCore::issue_one(Cycle now) {
     if (!outstanding_.empty() || !store_queue_.empty())
       return false;  // drain memory first
     if (inst.op == Opcode::kMembar) {
+      if (lockstep_ != nullptr) synth_lockstep(inst, now);
       ++committed_;
       ++pc_;
       return true;
@@ -125,6 +143,9 @@ bool LaneCore::issue_one(Cycle now) {
 
   arch_.set_pc(pc_);
   func::ExecResult res = executor_.execute(inst, arch_, ectx_, addr_scratch_);
+  if (lockstep_ != nullptr)
+    lockstep_->on_execute(ectx_.tid, inst, pc_, res, addr_scratch_, arch_,
+                          now);
   ++committed_;
   static const bool trace = std::getenv("VLT_LANE_TRACE") != nullptr;
   if (trace && ectx_.tid == 1 && committed_ > 2000 && committed_ < 2100)
@@ -177,6 +198,20 @@ void LaneCore::tick(Cycle now) {
     if (!issue_one(now)) break;
     ++issued_this_cycle_;
     if (done_ || now < stall_until_) break;
+  }
+
+  if (audit_ != nullptr) {
+    audit_->expect(outstanding_.size() <= params_.max_outstanding,
+                   audit::Check::kQueueBounds, "lane", now,
+                   "load decoupling queue holds " +
+                       std::to_string(outstanding_.size()) +
+                       " entries, capacity " +
+                       std::to_string(params_.max_outstanding));
+    audit_->expect(store_queue_.size() <= params_.store_queue,
+                   audit::Check::kQueueBounds, "lane", now,
+                   "store queue holds " + std::to_string(store_queue_.size()) +
+                       " entries, capacity " +
+                       std::to_string(params_.store_queue));
   }
 }
 

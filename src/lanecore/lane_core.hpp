@@ -21,6 +21,12 @@
 #include "mem/l2_cache.hpp"
 #include "vltctl/barrier.hpp"
 
+namespace vlt::audit {
+class Auditor;
+class AuditSink;
+class Lockstep;
+}  // namespace vlt::audit
+
 namespace vlt::lanecore {
 
 struct LaneCoreParams {
@@ -38,7 +44,8 @@ struct LaneCoreParams {
 class LaneCore {
  public:
   LaneCore(const LaneCoreParams& p, func::FuncMemory& memory,
-           mem::L2Cache& l2, vltctl::BarrierController& barrier);
+           mem::L2Cache& l2, vltctl::BarrierController& barrier,
+           audit::Auditor* auditor = nullptr);
 
   void start(const isa::Program& program, ThreadId tid, unsigned nthreads,
              Cycle now);
@@ -53,11 +60,17 @@ class LaneCore {
  private:
   bool issue_one(Cycle now);
   bool scoreboard_ready(const isa::Instruction& inst, Cycle now) const;
+  /// Lockstep hook for barrier/membar, which commit without going through
+  /// the functional executor: replays them with a synthesized fall-through
+  /// result so the co-simulator's program counters stay aligned.
+  void synth_lockstep(const isa::Instruction& inst, Cycle now);
 
   LaneCoreParams params_;
   func::Executor executor_;
   mem::L2Cache* l2_;
   vltctl::BarrierController* barrier_;
+  audit::AuditSink* audit_ = nullptr;
+  audit::Lockstep* lockstep_ = nullptr;
   mem::Cache icache_;
 
   bool active_ = false;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "audit/sink.hpp"
 #include "lanecore/lane_core.hpp"
 #include "mem/l2_cache.hpp"
 #include "mem/main_memory.hpp"
@@ -26,6 +27,10 @@ struct MachineConfig {
   /// Memory-bus occupancy per 64-byte line. The X1-class machines the
   /// paper models stream one line per cycle into the L2.
   unsigned mem_cycles_per_line = 1;
+
+  /// Audit mode (off by default): dynamic invariant checks and lockstep
+  /// co-simulation. Observational only — enabling it never changes timing.
+  audit::AuditConfig audit;
 
   /// Derived main-memory parameters: an uncontended L2 miss completes
   /// miss_latency cycles after it starts (Table 3: 100).

@@ -8,19 +8,26 @@ namespace {
 constexpr Cycle kPhaseCycleLimit = 2'000'000'000ull;
 }
 
-Processor::Processor(const MachineConfig& config)
+Processor::Processor(const MachineConfig& config, audit::Auditor* auditor)
     : config_(config),
+      auditor_(auditor),
       main_memory_(config.memory_params()),
       l2_(config.l2, main_memory_) {
-  if (config_.has_vector_unit)
+  audit::AuditSink* sink =
+      auditor_ != nullptr ? auditor_->invariant_sink() : nullptr;
+  barrier_.set_audit(sink);
+  l2_.set_audit(sink);
+  if (config_.has_vector_unit) {
     vu_ = std::make_unique<vu::VectorUnit>(config_.vu, l2_);
+    vu_->set_audit(sink);
+  }
   for (const su::SuParams& p : config_.sus)
     sus_.push_back(std::make_unique<su::ScalarCore>(p, memory_, l2_, barrier_,
-                                                    vu_.get()));
+                                                    vu_.get(), auditor_));
   if (config_.has_vector_unit) {
     for (unsigned i = 0; i < config_.vu.lanes; ++i)
       lanes_.push_back(std::make_unique<lanecore::LaneCore>(
-          config_.lane_core, memory_, l2_, barrier_));
+          config_.lane_core, memory_, l2_, barrier_, auditor_));
   }
 }
 
@@ -88,6 +95,17 @@ void Processor::start_phase_contexts(const Phase& phase) {
       break;
     }
   }
+
+  if (auditor_ != nullptr && auditor_->lockstep() != nullptr) {
+    const unsigned mvl =
+        (phase.mode == PhaseMode::kLaneThreads || vu_ == nullptr)
+            ? 0
+            : vu_->max_vl_per_ctx();
+    std::vector<audit::Lockstep::ThreadSpec> specs;
+    for (unsigned t = 0; t < k; ++t)
+      specs.push_back({&phase.programs[t], t, k, mvl});
+    auditor_->lockstep()->begin_phase(specs);
+  }
 }
 
 bool Processor::phase_complete(const Phase& phase) const {
@@ -116,6 +134,10 @@ Cycle Processor::run_phase(const Phase& phase) {
   while (!phase_complete(phase)) {
     VLT_CHECK(now_ - start < kPhaseCycleLimit,
               "phase exceeded the cycle limit (deadlock?) in " + phase.label);
+    // The watchdog catches a stuck barrier long before the 2e9-cycle phase
+    // limit would; polled sparsely so audit mode stays cheap.
+    if (auditor_ != nullptr && (now_ & 1023) == 0)
+      auditor_->barrier_watchdog(barrier_, now_, phase.label);
     if (lane_mode) {
       for (unsigned t = 0; t < phase.nthreads(); ++t) lanes_[t]->tick(now_);
     } else {

@@ -5,6 +5,7 @@
 #include <memory>
 #include <vector>
 
+#include "audit/auditor.hpp"
 #include "func/memory.hpp"
 #include "lanecore/lane_core.hpp"
 #include "machine/machine_config.hpp"
@@ -19,7 +20,10 @@ namespace vlt::machine {
 
 class Processor {
  public:
-  explicit Processor(const MachineConfig& config);
+  /// `auditor` (optional, not owned) attaches the audit layer: invariant
+  /// sinks on every component plus lockstep thread registration.
+  explicit Processor(const MachineConfig& config,
+                     audit::Auditor* auditor = nullptr);
 
   /// Runs one phase to completion (all threads halted, vector unit
   /// quiesced). The clock is monotonic across phases so cache and branch
@@ -47,6 +51,7 @@ class Processor {
   bool phase_complete(const Phase& phase) const;
 
   MachineConfig config_;
+  audit::Auditor* auditor_;
   func::FuncMemory memory_;
   mem::MainMemory main_memory_;
   mem::L2Cache l2_;

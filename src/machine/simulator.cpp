@@ -1,5 +1,8 @@
 #include "machine/simulator.hpp"
 
+#include <memory>
+
+#include "audit/auditor.hpp"
 #include "common/log.hpp"
 #include "machine/processor.hpp"
 
@@ -11,8 +14,14 @@ RunResult Simulator::run(const workloads::Workload& workload,
             workload.name() + " does not support variant " +
                 variant.to_string());
 
-  Processor proc(config_);
+  std::unique_ptr<audit::Auditor> auditor;
+  if (config_.audit.enabled())
+    auditor = std::make_unique<audit::Auditor>(config_.audit, audit_sink_);
+
+  Processor proc(config_, auditor.get());
   workload.init_memory(proc.memory());
+  if (auditor && auditor->lockstep() != nullptr)
+    auditor->lockstep()->seed_memory(proc.memory());
   ParallelProgram prog = workload.build(variant);
 
   RunResult res;
@@ -24,13 +33,20 @@ RunResult Simulator::run(const workloads::Workload& workload,
   for (const Phase& phase : prog.phases) {
     // Thread-management overhead at region boundaries (paper §3.3: saving
     // and restoring vector registers, thread API costs).
-    if (phase.nthreads() != prev_threads)
+    if (phase.nthreads() != prev_threads) {
       proc.charge_overhead(config_.phase_switch_overhead);
+      if (auditor) auditor->note_overhead(config_.phase_switch_overhead);
+    }
     prev_threads = phase.nthreads();
 
     Cycle took = proc.run_phase(phase);
     res.phase_cycles.push_back({phase.label, took});
     if (phase.vlt_opportunity) res.opportunity_cycles += took;
+    if (auditor) {
+      const vu::VectorUnit* vu = proc.vector_unit();
+      auditor->note_phase(phase.label, took,
+                          vu != nullptr ? vu->element_ops() : 0);
+    }
   }
   res.cycles = proc.now();  // includes thread-switch overhead
 
@@ -41,6 +57,10 @@ RunResult Simulator::run(const workloads::Workload& workload,
     res.util = vu->utilization();
     res.vl_hist = vu->vl_histogram();
   }
+
+  if (auditor)
+    auditor->finish_run(res.cycles, res.opportunity_cycles, res.element_ops,
+                        res.vl_hist, proc.memory());
 
   std::optional<std::string> err = workload.verify(proc.memory());
   res.verified = !err.has_value();

@@ -51,6 +51,11 @@ class Simulator {
  public:
   explicit Simulator(MachineConfig config) : config_(std::move(config)) {}
 
+  /// Overrides the audit sink (default: abort on the first violation).
+  /// Tests pass an audit::RecordingSink to capture violations. Not owned;
+  /// must outlive run().
+  void set_audit_sink(audit::AuditSink* sink) { audit_sink_ = sink; }
+
   /// Builds a fresh (cold) machine, runs every phase of the workload
   /// variant, verifies the memory image, and returns the measurements.
   RunResult run(const workloads::Workload& workload,
@@ -58,6 +63,7 @@ class Simulator {
 
  private:
   MachineConfig config_;
+  audit::AuditSink* audit_sink_ = nullptr;
 };
 
 /// Convenience for benches: cycles of `workload` under (config, variant).

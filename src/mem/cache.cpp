@@ -1,5 +1,8 @@
 #include "mem/cache.hpp"
 
+#include <string>
+
+#include "audit/sink.hpp"
 #include "common/log.hpp"
 
 namespace vlt::mem {
@@ -19,6 +22,7 @@ Cache::Result Cache::access(Addr addr, bool is_write) {
   Addr tag = tag_of(addr);
   Line* base = &lines_[set * ways_];
   ++use_clock_;
+  ++accesses_;
 
   Line* victim = &base[0];
   for (unsigned w = 0; w < ways_; ++w) {
@@ -28,6 +32,7 @@ Cache::Result Cache::access(Addr addr, bool is_write) {
       line.dirty |= is_write;
       ++hits_;
       res.hit = true;
+      check_counters();
       return res;
     }
     if (!line.valid) {
@@ -41,12 +46,34 @@ Cache::Result Cache::access(Addr addr, bool is_write) {
   if (victim->valid && victim->dirty) {
     res.writeback = true;
     res.victim_addr = line_addr(victim->tag, set);
+    ++writebacks_;
   }
+  if (!victim->valid) ++valid_count_;
   victim->valid = true;
   victim->tag = tag;
   victim->dirty = is_write;
   victim->last_use = use_clock_;
+  check_counters();
   return res;
+}
+
+void Cache::check_counters() const {
+  if (audit_ == nullptr) return;
+  audit_->expect(hits_ + misses_ == accesses_, audit::Check::kCacheCounters,
+                 audit_name_, use_clock_,
+                 "hits (" + std::to_string(hits_) + ") + misses (" +
+                     std::to_string(misses_) +
+                     ") do not reconcile with accesses (" +
+                     std::to_string(accesses_) + ")");
+  audit_->expect(writebacks_ <= misses_, audit::Check::kCacheCounters,
+                 audit_name_, use_clock_,
+                 "writebacks (" + std::to_string(writebacks_) +
+                     ") exceed misses (" + std::to_string(misses_) + ")");
+  audit_->expect(valid_count_ <= lines_.size(), audit::Check::kCacheCounters,
+                 audit_name_, use_clock_,
+                 "valid-line population (" + std::to_string(valid_count_) +
+                     ") exceeds the tag array capacity (" +
+                     std::to_string(lines_.size()) + ")");
 }
 
 bool Cache::probe(Addr addr) const {
@@ -63,11 +90,15 @@ void Cache::invalidate(Addr addr) {
   Addr tag = tag_of(addr);
   Line* base = &lines_[set * ways_];
   for (unsigned w = 0; w < ways_; ++w)
-    if (base[w].valid && base[w].tag == tag) base[w].valid = false;
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].valid = false;
+      --valid_count_;
+    }
 }
 
 void Cache::invalidate_all() {
   for (Line& l : lines_) l.valid = false;
+  valid_count_ = 0;
 }
 
 }  // namespace vlt::mem

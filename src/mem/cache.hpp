@@ -7,6 +7,10 @@
 
 #include "common/types.hpp"
 
+namespace vlt::audit {
+class AuditSink;
+}
+
 namespace vlt::mem {
 
 class Cache {
@@ -33,8 +37,20 @@ class Cache {
 
   std::uint64_t hits() const { return hits_; }
   std::uint64_t misses() const { return misses_; }
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t writebacks() const { return writebacks_; }
+  std::uint64_t valid_lines() const { return valid_count_; }
   unsigned num_sets() const { return num_sets_; }
   unsigned ways() const { return ways_; }
+
+  /// Attaches an audit sink checking counter conservation on every access:
+  /// hits + misses == accesses, writebacks never exceed misses, and the
+  /// valid-line population never exceeds the tag array capacity. `name`
+  /// labels violations (e.g. "l1d", "l2"). Pass nullptr to detach.
+  void set_audit(audit::AuditSink* sink, const char* name) {
+    audit_ = sink;
+    audit_name_ = name;
+  }
 
  private:
   struct Line {
@@ -43,6 +59,8 @@ class Cache {
     bool valid = false;
     bool dirty = false;
   };
+
+  void check_counters() const;
 
   std::size_t set_index(Addr addr) const {
     return (addr / line_bytes_) % num_sets_;
@@ -59,6 +77,11 @@ class Cache {
   std::uint64_t use_clock_ = 0;
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t writebacks_ = 0;
+  std::uint64_t valid_count_ = 0;
+  audit::AuditSink* audit_ = nullptr;
+  const char* audit_name_ = "cache";
 };
 
 }  // namespace vlt::mem

@@ -1,8 +1,31 @@
 #include "mem/l2_cache.hpp"
 
 #include <algorithm>
+#include <string>
+
+#include "audit/sink.hpp"
 
 namespace vlt::mem {
+
+namespace {
+
+// Observational timing check shared by all completion paths: a completion
+// can never precede the request or undercut the hit latency.
+void check_timing(audit::AuditSink* audit, const L2Params& p, Cycle start,
+                  Cycle done, Cycle now) {
+  if (audit == nullptr) return;
+  audit->expect(done >= start + p.hit_latency, audit::Check::kCacheTiming,
+                "l2", now,
+                "completion at cycle " + std::to_string(done) +
+                    " undercuts the hit latency (start " +
+                    std::to_string(start) + ", hit latency " +
+                    std::to_string(p.hit_latency) + ")");
+  audit->expect(start >= now, audit::Check::kCacheTiming, "l2", now,
+                "bank accepted an access at cycle " + std::to_string(start) +
+                    ", before it was requested");
+}
+
+}  // namespace
 
 L2Cache::L2Cache(const L2Params& p, MainMemory& memory)
     : params_(p),
@@ -25,13 +48,18 @@ Cycle L2Cache::access(Addr addr, bool is_write, Cycle now) {
   if (it != pending_fills_.end()) {
     if (it->second > start) {
       tags_.access(addr, is_write);  // keep LRU/dirty state coherent
-      return std::max(it->second, start + params_.hit_latency);
+      Cycle done = std::max(it->second, start + params_.hit_latency);
+      check_timing(audit_, params_, start, done, now);
+      return done;
     }
     pending_fills_.erase(it);
   }
 
   Cache::Result r = tags_.access(addr, is_write);
-  if (r.hit) return start + params_.hit_latency;
+  if (r.hit) {
+    check_timing(audit_, params_, start, start + params_.hit_latency, now);
+    return start + params_.hit_latency;
+  }
 
   // Miss: fetch the line from main memory; a dirty victim writeback uses
   // the memory bus as well (request_line models the occupancy). The machine
@@ -41,7 +69,13 @@ Cycle L2Cache::access(Addr addr, bool is_write, Cycle now) {
   Cycle fill = memory_->request_line(start);
   Cycle done = fill + params_.hit_latency;
   pending_fills_[line] = done;
+  check_timing(audit_, params_, start, done, now);
   return done;
+}
+
+void L2Cache::set_audit(audit::AuditSink* sink) {
+  audit_ = sink;
+  tags_.set_audit(sink, "l2");
 }
 
 void L2Cache::prune_pending(Cycle now) {

@@ -40,6 +40,11 @@ class L2Cache {
   std::uint64_t misses() const { return tags_.misses(); }
   std::uint64_t accesses() const { return tags_.hits() + tags_.misses(); }
 
+  /// Attaches an audit sink to the tag array and enables timing checks on
+  /// every access (no completion before the hit latency; completion times
+  /// never precede the request). Pass nullptr to detach.
+  void set_audit(audit::AuditSink* sink);
+
  private:
   void prune_pending(Cycle now);
 
@@ -49,6 +54,7 @@ class L2Cache {
   std::vector<Cycle> bank_free_;
   std::unordered_map<Addr, Cycle> pending_fills_;  // line index -> fill time
   std::uint64_t accesses_since_prune_ = 0;
+  audit::AuditSink* audit_ = nullptr;
 };
 
 }  // namespace vlt::mem

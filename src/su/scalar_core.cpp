@@ -1,7 +1,9 @@
 #include "su/scalar_core.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "audit/auditor.hpp"
 #include "common/log.hpp"
 
 namespace vlt::su {
@@ -17,7 +19,7 @@ constexpr std::uint64_t kPendingRedirect = ~std::uint64_t{0};
 
 ScalarCore::ScalarCore(const SuParams& p, func::FuncMemory& memory,
                        mem::L2Cache& l2, vltctl::BarrierController& barrier,
-                       vu::VectorUnit* vu)
+                       vu::VectorUnit* vu, audit::Auditor* auditor)
     : params_(p),
       executor_(memory),
       l2_(&l2),
@@ -26,7 +28,14 @@ ScalarCore::ScalarCore(const SuParams& p, func::FuncMemory& memory,
       l1i_(p.l1_size, p.l1_ways),
       l1d_(p.l1_size, p.l1_ways),
       bpred_(p.bpred_bits),
-      ctxs_(p.smt_contexts) {}
+      ctxs_(p.smt_contexts) {
+  if (auditor != nullptr) {
+    audit_ = auditor->invariant_sink();
+    lockstep_ = auditor->lockstep();
+    l1i_.set_audit(audit_, "l1i");
+    l1d_.set_audit(audit_, "l1d");
+  }
+}
 
 void ScalarCore::start_context(unsigned ctx, const ThreadAssignment& work,
                                Cycle now) {
@@ -84,6 +93,30 @@ void ScalarCore::tick(Cycle now) {
   do_dispatch(now);
   do_fetch(now);
   rr_ = (rr_ + 1) % std::max<unsigned>(1, params_.smt_contexts);
+
+  if (audit_ != nullptr) {
+    const unsigned n = static_cast<unsigned>(ctxs_.size());
+    const unsigned rob_cap = std::max(4u, params_.rob_size / std::max(1u, n));
+    for (unsigned i = 0; i < n; ++i) {
+      audit_->expect(ctxs_[i].rob.size() <= rob_cap,
+                     audit::Check::kQueueBounds, "su", now,
+                     "ROB of context " + std::to_string(i) + " holds " +
+                         std::to_string(ctxs_[i].rob.size()) +
+                         " entries, capacity " + std::to_string(rob_cap));
+      audit_->expect(ctxs_[i].fq.size() <= params_.fetch_queue,
+                     audit::Check::kQueueBounds, "su", now,
+                     "fetch queue of context " + std::to_string(i) +
+                         " holds " + std::to_string(ctxs_[i].fq.size()) +
+                         " entries, capacity " +
+                         std::to_string(params_.fetch_queue));
+    }
+    audit_->expect(store_buffer_.size() <= params_.store_buffer,
+                   audit::Check::kQueueBounds, "su", now,
+                   "store buffer holds " +
+                       std::to_string(store_buffer_.size()) +
+                       " entries, capacity " +
+                       std::to_string(params_.store_buffer));
+  }
 }
 
 // ---------------------------------------------------------------- fetch ---
@@ -123,6 +156,9 @@ void ScalarCore::fetch_context(CtxState& c, unsigned budget, Cycle now) {
     c.arch.set_pc(c.fetch_pc);
     func::ExecResult res = executor_.execute(inst, c.arch, c.ectx,
                                              addr_scratch_);
+    if (lockstep_ != nullptr)
+      lockstep_->on_execute(c.work.tid, inst, c.fetch_pc, res, addr_scratch_,
+                            c.arch, now);
 
     FetchedInst fi;
     fi.inst = inst;

@@ -29,6 +29,12 @@
 #include "vltctl/barrier.hpp"
 #include "vu/vector_unit.hpp"
 
+namespace vlt::audit {
+class Auditor;
+class AuditSink;
+class Lockstep;
+}  // namespace vlt::audit
+
 namespace vlt::su {
 
 struct SuParams {
@@ -70,7 +76,8 @@ struct ThreadAssignment {
 class ScalarCore {
  public:
   ScalarCore(const SuParams& p, func::FuncMemory& memory, mem::L2Cache& l2,
-             vltctl::BarrierController& barrier, vu::VectorUnit* vu);
+             vltctl::BarrierController& barrier, vu::VectorUnit* vu,
+             audit::Auditor* auditor = nullptr);
 
   /// Binds `work` to SMT context `ctx` and resets its pipeline state.
   void start_context(unsigned ctx, const ThreadAssignment& work, Cycle now);
@@ -174,6 +181,8 @@ class ScalarCore {
   mem::L2Cache* l2_;
   vltctl::BarrierController* barrier_;
   vu::VectorUnit* vu_;
+  audit::AuditSink* audit_ = nullptr;
+  audit::Lockstep* lockstep_ = nullptr;
 
   mem::Cache l1i_;
   mem::Cache l1d_;

@@ -1,5 +1,6 @@
 #include "vltctl/barrier.hpp"
 
+#include "audit/sink.hpp"
 #include "common/log.hpp"
 
 namespace vlt::vltctl {
@@ -13,9 +14,11 @@ void BarrierController::begin_phase(unsigned nthreads,
   gens_.clear();
   nthreads_ = nthreads;
   release_latency_ = release_latency;
+  phase_open_ = true;
 }
 
 std::uint64_t BarrierController::arrive(Cycle now) {
+  VLT_CHECK(phase_open_, "barrier arrival before begin_phase");
   // Find the first generation this caller has not filled yet: arrivals are
   // one-per-thread-per-generation, so the first non-released generation
   // with capacity is the right one.
@@ -25,11 +28,27 @@ std::uint64_t BarrierController::arrive(Cycle now) {
       ++g.arrivals;
       if (now > g.last_arrival) g.last_arrival = now;
       if (g.arrivals == nthreads_) g.release = g.last_arrival + release_latency_;
+      if (audit_ != nullptr) {
+        audit_->expect(g.arrivals <= nthreads_, audit::Check::kBarrierProtocol,
+                       "barrier", now,
+                       "generation " + std::to_string(base_gen_ + i) +
+                           " overfilled: " + std::to_string(g.arrivals) +
+                           " arrivals for " + std::to_string(nthreads_) +
+                           " threads");
+        audit_->expect(g.release == kNeverReady || g.release >= g.last_arrival,
+                       audit::Check::kBarrierProtocol, "barrier", now,
+                       "release precedes the last arrival in generation " +
+                           std::to_string(base_gen_ + i));
+        audit_->expect(now >= g.first_arrival,
+                       audit::Check::kBarrierProtocol, "barrier", now,
+                       "arrival times not monotone within generation " +
+                           std::to_string(base_gen_ + i));
+      }
       return base_gen_ + i;
     }
   }
-  gens_.push_back(Gen{1, now, nthreads_ == 1 ? now + release_latency_
-                                             : kNeverReady});
+  gens_.push_back(Gen{1, now, now, nthreads_ == 1 ? now + release_latency_
+                                                  : kNeverReady});
   return base_gen_ + gens_.size() - 1;
 }
 
@@ -45,6 +64,15 @@ std::uint64_t BarrierController::generations_completed() const {
   for (const Gen& g : gens_)
     if (g.arrivals == nthreads_) ++n;
   return n;
+}
+
+BarrierController::PendingGen BarrierController::oldest_pending() const {
+  for (std::size_t i = 0; i < gens_.size(); ++i) {
+    const Gen& g = gens_[i];
+    if (g.arrivals > 0 && g.arrivals < nthreads_)
+      return {true, base_gen_ + i, g.arrivals, nthreads_, g.first_arrival};
+  }
+  return {};
 }
 
 }  // namespace vlt::vltctl

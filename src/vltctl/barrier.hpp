@@ -12,6 +12,10 @@
 
 #include "common/types.hpp"
 
+namespace vlt::audit {
+class AuditSink;
+}
+
 namespace vlt::vltctl {
 
 class BarrierController {
@@ -21,7 +25,8 @@ class BarrierController {
   void begin_phase(unsigned nthreads, unsigned release_latency);
 
   /// Registers an arrival at cycle `now`; returns the generation index the
-  /// caller should poll with release_time().
+  /// caller should poll with release_time(). It is a fatal protocol error
+  /// to arrive before any begin_phase.
   std::uint64_t arrive(Cycle now);
 
   /// Release cycle of `generation`, or kNeverReady while threads are still
@@ -30,17 +35,36 @@ class BarrierController {
 
   std::uint64_t generations_completed() const;
 
+  /// Attaches an audit sink for barrier-protocol invariant checks
+  /// (arrival counts never exceed the participant count, releases never
+  /// precede the last arrival). Pass nullptr to detach.
+  void set_audit(audit::AuditSink* sink) { audit_ = sink; }
+
+  /// Oldest generation that has at least one arrival but is not yet full —
+  /// the watchdog's candidate for a deadlocked barrier.
+  struct PendingGen {
+    bool valid = false;
+    std::uint64_t generation = 0;
+    unsigned arrivals = 0;
+    unsigned expected = 0;
+    Cycle first_arrival = 0;
+  };
+  PendingGen oldest_pending() const;
+
  private:
   struct Gen {
     unsigned arrivals = 0;
+    Cycle first_arrival = 0;
     Cycle last_arrival = 0;
     Cycle release = kNeverReady;
   };
 
   unsigned nthreads_ = 1;
   unsigned release_latency_ = 0;
+  bool phase_open_ = false;
   std::uint64_t base_gen_ = 0;  // generations retired in earlier phases
   std::vector<Gen> gens_;
+  audit::AuditSink* audit_ = nullptr;
 };
 
 }  // namespace vlt::vltctl

@@ -15,6 +15,13 @@ LanePartition make_partition(unsigned lanes, unsigned nthreads) {
   // each architectural register; a thread owning lanes_per_thread lanes can
   // hold vectors of that many elements per register without new storage.
   p.max_vl_per_thread = kMaxVectorLength / nthreads;
+  // Conservation: the partition must cover every lane exactly once and the
+  // register file must not grow — per-thread VL times the thread count may
+  // not exceed the architectural maximum.
+  VLT_CHECK(p.lanes_per_thread * p.nthreads == lanes,
+            "lane partition does not cover the lane array exactly");
+  VLT_CHECK(p.max_vl_per_thread * p.nthreads <= kMaxVectorLength,
+            "partition max VL exceeds the register file capacity");
   return p;
 }
 

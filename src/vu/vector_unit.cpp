@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
+#include "audit/sink.hpp"
 #include "common/log.hpp"
 
 namespace vlt::vu {
@@ -148,6 +150,29 @@ bool VectorUnit::try_issue(Ctx& c, WinEntry& e, Cycle now,
   const unsigned dur = chime(e.op.vl, lanes_assigned);
   c.fu_free[fu] = start + dur;
 
+  if (audit_ != nullptr) {
+    // Lane occupancy: the chime rectangle (dur cycles × assigned lanes)
+    // must cover every element exactly once, and a partition may never be
+    // handed more lanes than the machine has.
+    audit_->expect(lanes_assigned * active_contexts_ == params_.lanes,
+                   audit::Check::kLaneOccupancy, "vu", now,
+                   std::to_string(lanes_assigned) + " lanes x " +
+                       std::to_string(active_contexts_) +
+                       " contexts does not cover the " +
+                       std::to_string(params_.lanes) + "-lane array");
+    audit_->expect(static_cast<std::uint64_t>(dur) * lanes_assigned >=
+                       e.op.vl,
+                   audit::Check::kLaneOccupancy, "vu", now,
+                   "chime of " + std::to_string(dur) + " cycles on " +
+                       std::to_string(lanes_assigned) +
+                       " lanes cannot hold VL " + std::to_string(e.op.vl));
+    audit_->expect(e.op.vl <= kMaxVectorLength / active_contexts_,
+                   audit::Check::kElementAccounting, "vu", now,
+                   "issued VL " + std::to_string(e.op.vl) +
+                       " above the partition maximum " +
+                       std::to_string(kMaxVectorLength / active_contexts_));
+  }
+
   Cycle complete;
   bool from_mem = false;
   if (info.fu == FuClass::kVMem) {
@@ -191,6 +216,26 @@ bool VectorUnit::try_issue(Ctx& c, WinEntry& e, Cycle now,
 
 void VectorUnit::tick(Cycle now) {
   for (Ctx& c : ctxs_) rename_into_window(c);
+
+  if (audit_ != nullptr) {
+    // Queue bounds: each partition's VIQ/window slice must respect its
+    // statically partitioned capacity.
+    const unsigned viq_cap = std::max(1u, params_.viq_size / active_contexts_);
+    const unsigned win_cap =
+        std::max(1u, params_.window_size / active_contexts_);
+    for (std::size_t i = 0; i < ctxs_.size(); ++i) {
+      audit_->expect(ctxs_[i].viq.size() <= viq_cap,
+                     audit::Check::kQueueBounds, "vu", now,
+                     "VIQ slice " + std::to_string(i) + " holds " +
+                         std::to_string(ctxs_[i].viq.size()) +
+                         " entries, capacity " + std::to_string(viq_cap));
+      audit_->expect(ctxs_[i].window.size() <= win_cap,
+                     audit::Check::kQueueBounds, "vu", now,
+                     "window slice " + std::to_string(i) + " holds " +
+                         std::to_string(ctxs_[i].window.size()) +
+                         " entries, capacity " + std::to_string(win_cap));
+    }
+  }
 
   // Each thread partition keeps the full per-stream issue rate: the lane
   // groups have independent control paths, and the multiplexed VCL's

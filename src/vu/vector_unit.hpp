@@ -26,6 +26,10 @@
 #include "isa/opcode.hpp"
 #include "mem/l2_cache.hpp"
 
+namespace vlt::audit {
+class AuditSink;
+}
+
 namespace vlt::vu {
 
 struct VuParams {
@@ -92,6 +96,10 @@ class VectorUnit {
   }
   unsigned num_contexts() const { return active_contexts_; }
 
+  /// Attaches an audit sink for per-issue occupancy and element-accounting
+  /// invariant checks. Pass nullptr to detach. Observational only.
+  void set_audit(audit::AuditSink* sink) { audit_ = sink; }
+
   // --- statistics ---
   const DatapathUtilization& utilization() const { return util_; }
   const Histogram& vl_histogram() const { return vl_hist_; }
@@ -140,6 +148,7 @@ class VectorUnit {
   std::uint64_t insts_issued_ = 0;
   std::uint64_t elem_ops_ = 0;
   unsigned rr_ctx_ = 0;
+  audit::AuditSink* audit_ = nullptr;
 };
 
 }  // namespace vlt::vu

@@ -1,0 +1,343 @@
+// Audit-layer tests: invariant sinks, lockstep co-simulation, the barrier
+// watchdog, and the guarantee that audit mode is purely observational
+// (bit-identical cycle counts with the auditor on or off).
+#include <gtest/gtest.h>
+
+#include "audit/auditor.hpp"
+#include "audit/lockstep.hpp"
+#include "audit/sink.hpp"
+#include "func/executor.hpp"
+#include "func/memory.hpp"
+#include "isa/program.hpp"
+#include "machine/processor.hpp"
+#include "machine/simulator.hpp"
+#include "vltctl/barrier.hpp"
+#include "workloads/all_workloads.hpp"
+#include "workloads/workload.hpp"
+
+namespace vlt {
+namespace {
+
+using machine::MachineConfig;
+using machine::Phase;
+using machine::PhaseMode;
+using machine::Processor;
+using machine::RunResult;
+using machine::Simulator;
+using workloads::make_workload;
+using workloads::Variant;
+using workloads::workload_names;
+using workloads::WorkloadPtr;
+
+/// Reduced-size instances keep the two-run (audit off/on) sweeps fast;
+/// the invariants are size-independent.
+WorkloadPtr make_small(const std::string& name) {
+  if (name == "radix") return std::make_unique<workloads::RadixWorkload>(2048);
+  if (name == "ocean") return std::make_unique<workloads::OceanWorkload>(32, 2);
+  if (name == "barnes") return std::make_unique<workloads::BarnesWorkload>(96);
+  return make_workload(name);
+}
+
+// --- sink plumbing ---------------------------------------------------------
+
+TEST(AuditSink, ViolationFormatsCheckComponentCycleDetail) {
+  audit::Violation v{audit::Check::kLaneOccupancy, "vu", 42, "too many lanes"};
+  EXPECT_EQ(v.to_string(), "audit[lane-occupancy] vu @cycle 42: too many lanes");
+}
+
+TEST(AuditSink, RecordingSinkCapturesAndFilters) {
+  audit::RecordingSink sink;
+  sink.expect(true, audit::Check::kCacheCounters, "l2", 1, "fine");
+  EXPECT_TRUE(sink.violations.empty());
+  sink.expect(false, audit::Check::kCacheCounters, "l2", 2, "broken");
+  ASSERT_EQ(sink.violations.size(), 1u);
+  EXPECT_TRUE(sink.saw(audit::Check::kCacheCounters));
+  EXPECT_FALSE(sink.saw(audit::Check::kLockstep));
+}
+
+TEST(AuditSink, AbortSinkDiesWithDiagnostic) {
+  audit::AbortSink sink;
+  audit::Violation v{audit::Check::kBarrierProtocol, "barrier", 7, "overfill"};
+  EXPECT_DEATH(sink.report(v), "barrier-protocol");
+}
+
+TEST(AuditConfig, DefaultsAreOff) {
+  audit::AuditConfig cfg;
+  EXPECT_FALSE(cfg.enabled());
+  EXPECT_TRUE(audit::AuditConfig::full().enabled());
+}
+
+// --- shadow-memory comparison ---------------------------------------------
+
+TEST(FuncMemoryDiff, IdenticalImagesHaveNoDifference) {
+  func::FuncMemory a;
+  a.write64(0x1000, 7);
+  a.write64(0x80000, 9);
+  func::FuncMemory b;
+  b.copy_from(a);
+  EXPECT_FALSE(a.first_difference(b).has_value());
+  EXPECT_FALSE(b.first_difference(a).has_value());
+}
+
+TEST(FuncMemoryDiff, ReportsLowestDifferingWord) {
+  func::FuncMemory a;
+  func::FuncMemory b;
+  a.write64(0x2000, 1);
+  a.write64(0x9000, 2);
+  b.write64(0x9000, 3);
+  auto diff = a.first_difference(b);
+  ASSERT_TRUE(diff.has_value());
+  // 0x2000 differs (1 vs absent-as-0) and is the lowest address.
+  EXPECT_NE(diff->find("0x2000"), std::string::npos) << *diff;
+}
+
+TEST(FuncMemoryDiff, AbsentPagesCompareAsZero) {
+  func::FuncMemory a;
+  func::FuncMemory b;
+  a.write64(0x3000, 0);  // allocates a page of zeros
+  EXPECT_FALSE(a.first_difference(b).has_value());
+}
+
+// --- injected invariant violations ----------------------------------------
+
+TEST(Auditor, ElementCountMismatchIsReported) {
+  audit::RecordingSink sink;
+  audit::AuditConfig cfg;
+  cfg.invariants = true;
+  audit::Auditor auditor(cfg, &sink);
+  auditor.note_phase("p0", 100, /*element_ops_total=*/50);
+  Histogram vl_hist;
+  vl_hist.add(10, 5);  // 50 element ops in the histogram
+  func::FuncMemory mem;
+  // Claim 60 element ops against a histogram recording 50.
+  auditor.finish_run(/*total=*/100, /*opportunity=*/0, /*element_ops=*/60,
+                     vl_hist, mem);
+  EXPECT_TRUE(sink.saw(audit::Check::kElementAccounting));
+}
+
+TEST(Auditor, ConsistentRunHasNoViolations) {
+  audit::RecordingSink sink;
+  audit::AuditConfig cfg;
+  cfg.invariants = true;
+  audit::Auditor auditor(cfg, &sink);
+  auditor.note_overhead(10);
+  auditor.note_phase("p0", 40, 50);
+  auditor.note_phase("p1", 50, 50);
+  Histogram vl_hist;
+  vl_hist.add(10, 5);
+  func::FuncMemory mem;
+  auditor.finish_run(/*total=*/100, /*opportunity=*/90, /*element_ops=*/50,
+                     vl_hist, mem);
+  EXPECT_TRUE(sink.violations.empty()) << sink.violations[0].to_string();
+}
+
+TEST(Auditor, PhaseCycleSumMismatchDies) {
+  audit::AuditConfig cfg;
+  cfg.invariants = true;
+  audit::Auditor auditor(cfg);  // default aborting sink
+  auditor.note_phase("p0", 40, 0);
+  Histogram vl_hist;
+  func::FuncMemory mem;
+  EXPECT_DEATH(auditor.finish_run(100, 0, 0, vl_hist, mem), "run-accounting");
+}
+
+// --- barrier protocol ------------------------------------------------------
+
+TEST(BarrierAudit, ArriveWithoutBeginPhaseDies) {
+  vltctl::BarrierController barrier;
+  EXPECT_DEATH(barrier.arrive(0), "begin_phase");
+}
+
+TEST(BarrierAudit, OldestPendingTracksFirstArrival) {
+  vltctl::BarrierController barrier;
+  barrier.begin_phase(2, 10);
+  EXPECT_FALSE(barrier.oldest_pending().valid);
+  barrier.arrive(100);
+  auto p = barrier.oldest_pending();
+  ASSERT_TRUE(p.valid);
+  EXPECT_EQ(p.first_arrival, 100u);
+  EXPECT_EQ(p.arrivals, 1u);
+  EXPECT_EQ(p.expected, 2u);
+  barrier.arrive(150);
+  EXPECT_FALSE(barrier.oldest_pending().valid);
+}
+
+TEST(BarrierAudit, StuckBarrierTripsWatchdogInsteadOfHanging) {
+  // Lane-thread phase where thread 0 waits at a barrier thread 1 never
+  // reaches: without the watchdog this would spin to the 2e9-cycle phase
+  // limit; with it, the auditor aborts with a deadlock diagnostic.
+  MachineConfig cfg = MachineConfig::v4_cmt();
+  cfg.audit.invariants = true;
+  cfg.audit.barrier_watchdog = 5'000;
+
+  isa::ProgramBuilder waiter("waiter");
+  waiter.barrier();
+  waiter.halt();
+  isa::ProgramBuilder deserter("deserter");
+  deserter.halt();
+
+  Phase phase;
+  phase.label = "stuck";
+  phase.mode = PhaseMode::kLaneThreads;
+  phase.programs.push_back(waiter.build());
+  phase.programs.push_back(deserter.build());
+
+  audit::Auditor auditor(cfg.audit);  // aborting sink
+  Processor proc(cfg, &auditor);
+  EXPECT_DEATH(proc.run_phase(phase), "deadlock");
+}
+
+// --- executor guard --------------------------------------------------------
+
+TEST(ExecutorAudit, VectorOpAboveMaxVlDies) {
+  func::FuncMemory mem;
+  func::Executor exec(mem);
+  func::ArchState st;
+  st.set_vl(8);
+  func::ExecContext ctx{0, 1, /*max_vl=*/4};
+  isa::Instruction vadd;
+  vadd.op = isa::Opcode::kVadd;
+  std::vector<Addr> addrs;
+  EXPECT_DEATH(exec.execute(vadd, st, ctx, addrs), "max VL");
+}
+
+// --- lockstep unit behaviour ----------------------------------------------
+
+isa::Program tiny_program() {
+  isa::ProgramBuilder b("tiny");
+  b.li(1, 5);
+  b.addi(1, 1, 3);
+  b.halt();
+  return b.build();
+}
+
+TEST(Lockstep, CleanReplayReportsNothing) {
+  audit::RecordingSink sink;
+  audit::Lockstep ls(sink);
+  isa::Program prog = tiny_program();
+  ls.begin_phase({{&prog, 0, 1, 0}});
+
+  // Drive a faithful "primary": execute the same program independently.
+  func::FuncMemory mem;
+  func::Executor exec(mem);
+  func::ArchState st;
+  func::ExecContext ctx{0, 1, 0};
+  std::vector<Addr> addrs;
+  std::uint64_t pc = 0;
+  for (;;) {
+    const isa::Instruction& inst = prog.at(pc);
+    st.set_pc(pc);
+    func::ExecResult res = exec.execute(inst, st, ctx, addrs);
+    ls.on_execute(0, inst, pc, res, addrs, st, pc);
+    if (res.halted) break;
+    pc = res.next_pc;
+  }
+  EXPECT_TRUE(sink.violations.empty()) << sink.violations[0].to_string();
+  EXPECT_EQ(ls.instructions_replayed(), 3u);
+}
+
+TEST(Lockstep, DivergentRegisterIsReported) {
+  audit::RecordingSink sink;
+  audit::Lockstep ls(sink);
+  isa::Program prog = tiny_program();
+  ls.begin_phase({{&prog, 0, 1, 0}});
+
+  func::FuncMemory mem;
+  func::Executor exec(mem);
+  func::ArchState st;
+  func::ExecContext ctx{0, 1, 0};
+  std::vector<Addr> addrs;
+  st.set_pc(0);
+  func::ExecResult res = exec.execute(prog.at(0), st, ctx, addrs);
+  st.set_sreg(1, 999);  // corrupt the "pipeline" state after execution
+  ls.on_execute(0, prog.at(0), 0, res, addrs, st, 0);
+  EXPECT_TRUE(sink.saw(audit::Check::kLockstep));
+}
+
+TEST(Lockstep, SkippedInstructionIsReported) {
+  audit::RecordingSink sink;
+  audit::Lockstep ls(sink);
+  isa::Program prog = tiny_program();
+  ls.begin_phase({{&prog, 0, 1, 0}});
+
+  func::FuncMemory mem;
+  func::Executor exec(mem);
+  func::ArchState st;
+  func::ExecContext ctx{0, 1, 0};
+  std::vector<Addr> addrs;
+  st.set_pc(1);  // skip the first instruction entirely
+  func::ExecResult res = exec.execute(prog.at(1), st, ctx, addrs);
+  ls.on_execute(0, prog.at(1), 1, res, addrs, st, 0);
+  EXPECT_TRUE(sink.saw(audit::Check::kLockstep));
+}
+
+TEST(Lockstep, UnseededMemoryDivergesOnFinalCompare) {
+  audit::RecordingSink sink;
+  audit::Lockstep ls(sink);
+  func::FuncMemory primary;
+  primary.write64(0x4000, 0xdead);
+  ls.compare_final_memory(primary, 0);
+  EXPECT_TRUE(sink.saw(audit::Check::kLockstep));
+}
+
+// --- whole-machine co-simulation ------------------------------------------
+// Every workload, with invariants + lockstep enabled, must (a) raise no
+// violations and (b) produce bit-identical cycle counts to the audit-off
+// run: the auditor is observational only.
+
+struct CosimCase {
+  std::string app;
+  std::string config;
+  Variant variant;
+  std::string tag;
+};
+
+std::vector<CosimCase> cosim_cases() {
+  std::vector<CosimCase> out;
+  for (const std::string& app : workload_names()) {
+    auto w = make_workload(app);
+    out.push_back({app, "base", Variant::base(), app + "_base1"});
+    if (w->supports(Variant::Kind::kVectorThreads)) {
+      out.push_back(
+          {app, "V2-SMT", Variant::vector_threads(2), app + "_vt2"});
+      out.push_back(
+          {app, "V4-SMT", Variant::vector_threads(4), app + "_vt4"});
+    }
+    if (w->supports(Variant::Kind::kLaneThreads))
+      out.push_back({app, "V4-CMT", Variant::lane_threads(4), app + "_lt4"});
+  }
+  return out;
+}
+
+class Cosim : public ::testing::TestWithParam<CosimCase> {};
+
+TEST_P(Cosim, AuditedRunIsCleanAndCycleIdentical) {
+  const CosimCase& c = GetParam();
+  WorkloadPtr w = make_small(c.app);
+
+  MachineConfig plain = MachineConfig::by_name(c.config);
+  RunResult off = Simulator(plain).run(*w, c.variant);
+  ASSERT_TRUE(off.verified) << off.verify_error;
+
+  MachineConfig audited = MachineConfig::by_name(c.config);
+  audited.audit = audit::AuditConfig::full();
+  audit::RecordingSink sink;
+  Simulator sim(audited);
+  sim.set_audit_sink(&sink);
+  RunResult on = sim.run(*w, c.variant);
+  ASSERT_TRUE(on.verified) << on.verify_error;
+
+  EXPECT_TRUE(sink.violations.empty())
+      << sink.violations.size() << " violations, first: "
+      << sink.violations[0].to_string();
+  EXPECT_EQ(off.cycles, on.cycles);
+  EXPECT_EQ(off.scalar_insts, on.scalar_insts);
+  EXPECT_EQ(off.vector_insts, on.vector_insts);
+  EXPECT_EQ(off.element_ops, on.element_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, Cosim, ::testing::ValuesIn(cosim_cases()),
+                         [](const auto& info) { return info.param.tag; });
+
+}  // namespace
+}  // namespace vlt

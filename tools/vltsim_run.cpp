@@ -26,11 +26,13 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: vltsim_run <workload> [--config NAME] [--variant V] "
-      "[--lanes N] [--list]\n"
+      "[--lanes N] [--audit] [--list]\n"
       "  workloads: mxm sage mpenc trfd multprec bt radix ocean barnes\n"
       "  configs:   base V2-SMT V4-SMT V2-CMP V2-CMP-h V4-CMP V4-CMP-h "
       "V4-CMT CMT\n"
-      "  variants:  base vlt2 vlt4 lanes4 lanes8 su2 su4\n");
+      "  variants:  base vlt2 vlt4 lanes4 lanes8 su2 su4\n"
+      "  --audit:   per-cycle invariant checks + lockstep co-simulation\n"
+      "             (aborts with a diagnostic on the first violation)\n");
 }
 
 bool parse_variant(const std::string& s, Variant& out) {
@@ -56,6 +58,7 @@ int main(int argc, char** argv) {
   std::string config_name = "base";
   Variant variant = Variant::base();
   unsigned lanes = 0;
+  bool audit = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -73,6 +76,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--lanes" && i + 1 < argc) {
       lanes = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (arg == "--audit") {
+      audit = true;
     } else if (arg[0] != '-' && workload_name.empty()) {
       workload_name = arg;
     } else {
@@ -89,6 +94,7 @@ int main(int argc, char** argv) {
                                    ? machine::MachineConfig::base(lanes)
                                    : machine::MachineConfig::by_name(
                                          config_name);
+  if (audit) cfg.audit = audit::AuditConfig::full();
   auto workload = workloads::make_workload(workload_name);
   if (!workload->supports(variant.kind)) {
     std::fprintf(stderr, "%s does not support variant %s\n",
@@ -102,6 +108,8 @@ int main(int argc, char** argv) {
               r.workload.c_str(), r.config.c_str(), r.variant.c_str());
   std::printf("verified : %s\n",
               r.verified ? "yes" : ("NO — " + r.verify_error).c_str());
+  if (audit)
+    std::printf("audit    : clean (invariants + lockstep co-simulation)\n");
   std::printf("cycles   : %llu\n",
               static_cast<unsigned long long>(r.cycles));
   for (const auto& p : r.phase_cycles)
