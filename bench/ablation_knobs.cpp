@@ -6,136 +6,95 @@
 //  4. The memory-bus width behind the L2.
 //
 // Each ablation quantifies how much of the headline result rests on the
-// corresponding mechanism.
-#include <benchmark/benchmark.h>
-
+// corresponding mechanism. Tweaked configs get distinguishing names so
+// every cell has a unique RunKey (and its own result-cache identity).
 #include <cstdio>
-#include <map>
+#include <memory>
 
 #include "bench_util.hpp"
 #include "workloads/all_workloads.hpp"
-
-namespace {
 
 using namespace vlt;
 using machine::MachineConfig;
 using workloads::Variant;
 
-std::map<std::string, Cycle>& cycles_by_key() { return bench::results(); }
+int main() {
+  campaign::SweepSpec spec;
 
-void record(benchmark::State& state, const std::string& key,
-            const MachineConfig& cfg, const workloads::Workload& w,
-            Variant v) {
-  machine::RunResult r;
-  for (auto _ : state) r = machine::Simulator(cfg).run(w, v);
-  if (!r.verified) {
-    state.SkipWithError(r.verify_error.c_str());
-    return;
-  }
-  state.counters["cycles"] = static_cast<double>(r.cycles);
-  cycles_by_key()[key] = r.cycles;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
   // 1. chaining on/off for the vector-thread apps (base machine).
-  for (const std::string& app : vlt::workloads::vector_thread_apps())
+  for (const std::string& app : workloads::vector_thread_apps())
     for (bool chain : {true, false}) {
-      std::string key = "chain/" + app + (chain ? "/on" : "/off");
-      benchmark::RegisterBenchmark(
-          key.c_str(),
-          [app, chain, key](benchmark::State& s) {
-            MachineConfig cfg = MachineConfig::base();
-            cfg.vu.chaining = chain;
-            auto w = vlt::workloads::make_workload(app);
-            record(s, key, cfg, *w, Variant::base());
-          })
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1);
+      MachineConfig cfg = MachineConfig::base();
+      cfg.vu.chaining = chain;
+      cfg.name = chain ? "base-chain" : "base-nochain";
+      spec.add(cfg, app, Variant::base());
     }
 
   // 2. L2 banks under trfd (strided row loads) and mxm (streaming).
   for (const std::string& app : {std::string("trfd"), std::string("mxm")})
     for (unsigned banks : {1u, 4u, 16u, 32u}) {
-      std::string key = "banks/" + app + "/" + std::to_string(banks);
-      benchmark::RegisterBenchmark(
-          key.c_str(),
-          [app, banks, key](benchmark::State& s) {
-            MachineConfig cfg = MachineConfig::base();
-            cfg.l2.banks = banks;
-            auto w = vlt::workloads::make_workload(app);
-            record(s, key, cfg, *w, Variant::base());
-          })
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1);
+      MachineConfig cfg = MachineConfig::base();
+      cfg.l2.banks = banks;
+      cfg.name = "base-l2b" + std::to_string(banks);
+      spec.add(cfg, app, Variant::base());
     }
 
-  // 3. lane-core load-queue depth under lane threads (ocean).
+  // 3. lane-core load-queue depth under lane threads (ocean, small grid).
   for (unsigned depth : {4u, 8u, 24u}) {
-    std::string key = "laneq/ocean/" + std::to_string(depth);
-    benchmark::RegisterBenchmark(
-        key.c_str(),
-        [depth, key](benchmark::State& s) {
-          MachineConfig cfg = MachineConfig::v4_cmt();
-          cfg.lane_core.max_outstanding = depth;
-          vlt::workloads::OceanWorkload ocean(64, 4);
-          record(s, key, cfg, ocean, Variant::lane_threads(8));
-        })
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(1);
+    MachineConfig cfg = MachineConfig::v4_cmt();
+    cfg.lane_core.max_outstanding = depth;
+    cfg.name = "V4-CMT-lq" + std::to_string(depth);
+    spec.add(cfg,
+             [] { return std::make_unique<workloads::OceanWorkload>(64, 4); },
+             Variant::lane_threads(8));
   }
 
   // 4. memory-bus width behind the L2 (cycles per 64B line) under mxm.
   for (unsigned cpl : {1u, 2u, 4u, 8u}) {
-    std::string key = "membus/mxm/" + std::to_string(cpl);
-    benchmark::RegisterBenchmark(
-        key.c_str(),
-        [cpl, key](benchmark::State& s) {
-          MachineConfig cfg = MachineConfig::base();
-          cfg.mem_cycles_per_line = cpl;
-          auto w = vlt::workloads::make_workload("mxm");
-          record(s, key, cfg, *w, Variant::base());
-        })
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(1);
+    MachineConfig cfg = MachineConfig::base();
+    cfg.mem_cycles_per_line = cpl;
+    cfg.name = "base-membus" + std::to_string(cpl);
+    spec.add(cfg, "mxm", Variant::base());
   }
 
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  campaign::RunSet r = bench::run(spec);
 
-  auto& r = cycles_by_key();
   std::printf("\n=== Ablation 1: vector chaining (slowdown when disabled) "
               "===\n");
-  for (const std::string& app : vlt::workloads::vector_thread_apps())
+  for (const std::string& app : workloads::vector_thread_apps())
     std::printf("%-10s chaining-off/on cycle ratio: %.2f\n", app.c_str(),
-                bench::speedup(r["chain/" + app + "/off"],
-                               r["chain/" + app + "/on"]));
+                bench::speedup(r.cycles(app, "base-nochain", "base"),
+                               r.cycles(app, "base-chain", "base")));
 
   std::printf("\n=== Ablation 2: L2 bank count (speedup vs 1 bank) ===\n");
   for (const std::string& app : {std::string("trfd"), std::string("mxm")}) {
     std::printf("%-10s", app.c_str());
     for (unsigned banks : {1u, 4u, 16u, 32u})
       std::printf("  %u banks: %.2f", banks,
-                  bench::speedup(r["banks/" + app + "/1"],
-                                 r["banks/" + app + "/" +
-                                   std::to_string(banks)]));
+                  bench::speedup(r.cycles(app, "base-l2b1", "base"),
+                                 r.cycles(app,
+                                          "base-l2b" + std::to_string(banks),
+                                          "base")));
     std::printf("\n");
   }
 
   std::printf("\n=== Ablation 3: lane load-decoupling depth (ocean, 8 lane "
               "threads; speedup vs depth 4) ===\n");
+  std::string ocean = workloads::OceanWorkload(64, 4).name();
   for (unsigned depth : {4u, 8u, 24u})
     std::printf("depth %2u: %.2f\n", depth,
-                bench::speedup(r["laneq/ocean/4"],
-                               r["laneq/ocean/" + std::to_string(depth)]));
+                bench::speedup(r.cycles(ocean, "V4-CMT-lq4", "vlt-8lane"),
+                               r.cycles(ocean,
+                                        "V4-CMT-lq" + std::to_string(depth),
+                                        "vlt-8lane")));
 
   std::printf("\n=== Ablation 4: memory-bus occupancy per line (mxm; "
               "slowdown vs 1 cycle/line) ===\n");
   for (unsigned cpl : {1u, 2u, 4u, 8u})
     std::printf("%u cycles/line: %.2f\n", cpl,
-                bench::speedup(r["membus/mxm/" + std::to_string(cpl)],
-                               r["membus/mxm/1"]));
+                bench::speedup(r.cycles("mxm",
+                                        "base-membus" + std::to_string(cpl),
+                                        "base"),
+                               r.cycles("mxm", "base-membus1", "base")));
   return 0;
 }

@@ -1,51 +1,36 @@
 // Shared helpers for the paper-reproduction benches. Each bench binary
-// regenerates one table or figure: it runs the required simulations inside
-// google-benchmark (one iteration per configuration — these are whole-
-// program simulations, not microbenchmarks) and prints the paper-style
-// rows at the end.
+// regenerates one table or figure: it declares its grid as a campaign
+// SweepSpec, runs it on the parallel campaign engine (thread count from
+// VLTSWEEP_THREADS, result cache from VLTSWEEP_CACHE), and prints the
+// paper-style rows from the typed RunSet.
 #pragma once
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
-#include <map>
-#include <string>
+#include <cstdlib>
 
-#include "machine/simulator.hpp"
-#include "workloads/workload.hpp"
+#include "campaign/campaign.hpp"
+#include "common/log.hpp"
 
 namespace vlt::bench {
 
-/// Cycle counts collected by the registered benchmarks, keyed by
-/// "workload/config/variant", consumed by the final report printer.
-inline std::map<std::string, Cycle>& results() {
-  static std::map<std::string, Cycle> r;
-  return r;
-}
-
-inline std::string key(const std::string& workload, const std::string& config,
-                       const std::string& variant) {
-  return workload + "/" + config + "/" + variant;
-}
-
-/// Runs one simulation, records its cycle count, and reports it as the
-/// benchmark's "cycles" counter. Aborts if verification fails — a bench
-/// must never report numbers from a functionally wrong run.
-inline void run_and_record(benchmark::State& state,
-                           const machine::MachineConfig& config,
-                           const workloads::Workload& workload,
-                           const workloads::Variant& variant) {
-  machine::RunResult result;
-  for (auto _ : state) {
-    result = machine::Simulator(config).run(workload, variant);
-  }
-  if (!result.verified) {
-    state.SkipWithError(("verification failed: " + result.verify_error).c_str());
-    return;
-  }
-  state.counters["cycles"] = static_cast<double>(result.cycles);
-  results()[key(workload.name(), config.name, variant.to_string())] =
-      result.cycles;
+/// Runs the spec on the campaign engine with per-cell progress on stderr.
+/// Aborts if any cell fails verification — a bench must never report
+/// numbers from a functionally wrong run.
+inline campaign::RunSet run(const campaign::SweepSpec& spec) {
+  campaign::CampaignOptions opts;
+  if (const char* t = std::getenv("VLTSWEEP_THREADS"))
+    opts.threads = static_cast<unsigned>(std::strtoul(t, nullptr, 10));
+  if (const char* c = std::getenv("VLTSWEEP_CACHE")) opts.cache_dir = c;
+  opts.progress = [](std::size_t done, std::size_t total,
+                     const campaign::RunKey& key, bool hit) {
+    std::fprintf(stderr, "[%3zu/%zu] %-44s %s\n", done, total,
+                 key.to_string().c_str(), hit ? "(cached)" : "");
+  };
+  campaign::RunSet set = campaign::Campaign(opts).run(spec);
+  for (const machine::RunResult& r : set.results())
+    VLT_CHECK(r.verified, r.workload + "/" + r.config + "/" + r.variant +
+                              " failed verification: " + r.verify_error);
+  return set;
 }
 
 inline double speedup(Cycle baseline, Cycle current) {

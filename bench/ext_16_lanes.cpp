@@ -3,17 +3,15 @@
 // usefulness of VLT for low-DLP applications"): a 16-lane machine, lane
 // scaling to 16, and VLT with up to 8 vector threads (2 lanes each,
 // MAXVL 8) driven by four 2-way-SMT scalar units.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
 #include "bench_util.hpp"
 
-namespace {
-
 using namespace vlt;
 using machine::MachineConfig;
 using workloads::Variant;
+
+namespace {
 
 /// 16-lane machine with enough SMT slots for 8 vector threads.
 MachineConfig sixteen_lane_v8() {
@@ -26,60 +24,46 @@ MachineConfig sixteen_lane_v8() {
   return c;
 }
 
+bool has_dlp_for_8_threads(const std::string& app) {
+  // 8 threads on 16 lanes give MAXVL 8: only apps whose kernels
+  // strip-mine below that can use it. mpenc's 16-wide SAD rows and
+  // bt's 12-wide line ops need at least 4-thread partitions — the
+  // paper's own rule that the thread count must match the phase's DLP
+  // (S3.1).
+  return app != "mpenc" && app != "bt";
+}
+
 }  // namespace
 
-int main(int argc, char** argv) {
-  for (const std::string& app : vlt::workloads::vector_thread_apps()) {
+int main() {
+  campaign::SweepSpec spec;
+  for (const std::string& app : workloads::vector_thread_apps()) {
     for (unsigned lanes : {8u, 16u})
-      benchmark::RegisterBenchmark(
-          ("ext16/" + app + "/base" + std::to_string(lanes)).c_str(),
-          [app, lanes](benchmark::State& s) {
-            auto w = vlt::workloads::make_workload(app);
-            bench::run_and_record(s, MachineConfig::base(lanes), *w,
-                                  Variant::base());
-          })
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1);
+      spec.add(MachineConfig::base(lanes), app, Variant::base());
     for (unsigned threads : {4u, 8u}) {
-      // 8 threads on 16 lanes give MAXVL 8: only apps whose kernels
-      // strip-mine below that can use it. mpenc's 16-wide SAD rows and
-      // bt's 12-wide line ops need at least 4-thread partitions — the
-      // paper's own rule that the thread count must match the phase's DLP
-      // (S3.1).
-      if (threads == 8 && (app == "mpenc" || app == "bt")) continue;
-      benchmark::RegisterBenchmark(
-          ("ext16/" + app + "/vlt" + std::to_string(threads)).c_str(),
-          [app, threads](benchmark::State& s) {
-            auto w = vlt::workloads::make_workload(app);
-            bench::run_and_record(s, sixteen_lane_v8(), *w,
-                                  Variant::vector_threads(threads));
-          })
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1);
+      if (threads == 8 && !has_dlp_for_8_threads(app)) continue;
+      spec.add(sixteen_lane_v8(), app, Variant::vector_threads(threads));
     }
   }
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  campaign::RunSet results = bench::run(spec);
 
   std::printf("\n=== Extension: VLT on a 16-lane machine (speedup over the "
               "16-lane base) ===\n%-10s %12s %12s %12s\n", "app",
               "16L vs 8L", "VLT-4 (16L)", "VLT-8 (16L)");
-  for (const std::string& app : vlt::workloads::vector_thread_apps()) {
-    Cycle b8 = bench::results()[bench::key(app, "base", "base")];
-    Cycle b16 =
-        bench::results()[bench::key(app, "base-16lane", "base")];
-    Cycle v4 = bench::results()[bench::key(app, "V8-CMT-16L", "vlt-4vt")];
-    Cycle v8 = bench::results()[bench::key(app, "V8-CMT-16L", "vlt-8vt")];
-    if (v8 != 0)
+  for (const std::string& app : workloads::vector_thread_apps()) {
+    Cycle b8 = results.cycles(app, "base", "base");
+    Cycle b16 = results.cycles(app, "base-16lane", "base");
+    Cycle v4 = results.cycles(app, "V8-CMT-16L", "vlt-4vt");
+    if (has_dlp_for_8_threads(app)) {
+      Cycle v8 = results.cycles(app, "V8-CMT-16L", "vlt-8vt");
       std::printf("%-10s %12.2f %12.2f %12.2f\n", app.c_str(),
                   bench::speedup(b8, b16), bench::speedup(b16, v4),
                   bench::speedup(b16, v8));
-    else
+    } else {
       std::printf("%-10s %12.2f %12.2f %12s\n", app.c_str(),
                   bench::speedup(b8, b16), bench::speedup(b16, v4),
                   "n/a (DLP)");
+    }
   }
   std::printf("\nThe paper's §6 expectation: a single thread cannot use 16 "
               "lanes for these codes\n(first column ~1.0), so the VLT "

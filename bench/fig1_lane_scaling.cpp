@@ -1,52 +1,32 @@
 // Reproduces Figure 1: speedup of the base vector processor as the lane
 // count scales 1 -> 8, for all nine applications. Long-vector codes (mxm,
 // sage) scale well; short-vector codes flatten; scalar codes are flat.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
 #include "bench_util.hpp"
 
-namespace {
-
 using namespace vlt;
-using bench::results;
 using machine::MachineConfig;
 using workloads::Variant;
 
+namespace {
 const unsigned kLaneCounts[] = {1, 2, 4, 8};
-
-void BM_LaneScaling(benchmark::State& state, const std::string& app,
-                    unsigned lanes) {
-  auto w = workloads::make_workload(app);
-  bench::run_and_record(state, MachineConfig::base(lanes), *w,
-                        Variant::base());
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  for (const std::string& app : vlt::workloads::workload_names())
+int main() {
+  campaign::SweepSpec spec;
+  for (const std::string& app : workloads::workload_names())
     for (unsigned lanes : kLaneCounts)
-      benchmark::RegisterBenchmark(
-          ("fig1/" + app + "/lanes:" + std::to_string(lanes)).c_str(),
-          [app, lanes](benchmark::State& s) { BM_LaneScaling(s, app, lanes); })
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1);
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+      spec.add(MachineConfig::base(lanes), app, Variant::base());
+  campaign::RunSet results = bench::run(spec);
 
   std::printf("\n=== Figure 1: speedup vs vector lanes (relative to 1 lane) "
               "===\n%-10s %8s %8s %8s %8s\n", "app", "1", "2", "4", "8");
-  for (const std::string& app : vlt::workloads::workload_names()) {
+  for (const std::string& app : workloads::workload_names()) {
     std::printf("%-10s", app.c_str());
-    vlt::Cycle one = results()[bench::key(
-        app, MachineConfig::base(1).name, "base")];
+    Cycle one = results.cycles(app, MachineConfig::base(1).name, "base");
     for (unsigned lanes : kLaneCounts) {
-      vlt::Cycle c = results()[bench::key(
-          app, MachineConfig::base(lanes).name, "base")];
+      Cycle c = results.cycles(app, MachineConfig::base(lanes).name, "base");
       std::printf(" %8.2f", bench::speedup(one, c));
     }
     std::printf("\n");

@@ -2,54 +2,31 @@
 // short/medium-vector applications, with 2 vector threads (V2-CMP) and
 // 4 vector threads (V4-CMP) — the fully replicated scalar units that give
 // VLT's maximum performance potential.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
 #include "bench_util.hpp"
 
-namespace {
-
 using namespace vlt;
-using bench::results;
 using machine::MachineConfig;
 using workloads::Variant;
 
-struct Point {
-  const char* config;
-  unsigned threads;
-};
-const Point kPoints[] = {{"base", 1}, {"V2-CMP", 2}, {"V4-CMP", 4}};
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  for (const std::string& app : vlt::workloads::vector_thread_apps())
-    for (const Point& pt : kPoints) {
-      std::string cfg = pt.config;
-      unsigned n = pt.threads;
-      benchmark::RegisterBenchmark(
-          ("fig3/" + app + "/" + cfg).c_str(),
-          [app, cfg, n](benchmark::State& s) {
-            auto w = vlt::workloads::make_workload(app);
-            Variant v = n == 1 ? Variant::base() : Variant::vector_threads(n);
-            bench::run_and_record(s, MachineConfig::by_name(cfg), *w, v);
-          })
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1);
-    }
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+int main() {
+  campaign::SweepSpec spec;
+  spec.add_grid({MachineConfig::base()}, workloads::vector_thread_apps(),
+                {Variant::base()});
+  spec.add_grid({MachineConfig::v2_cmp()}, workloads::vector_thread_apps(),
+                {Variant::vector_threads(2)});
+  spec.add_grid({MachineConfig::v4_cmp()}, workloads::vector_thread_apps(),
+                {Variant::vector_threads(4)});
+  campaign::RunSet results = bench::run(spec);
 
   std::printf("\n=== Figure 3: VLT speedup over the base vector processor "
               "===\n%-10s %14s %14s\n", "app", "VLT-2 (V2-CMP)",
               "VLT-4 (V4-CMP)");
-  for (const std::string& app : vlt::workloads::vector_thread_apps()) {
-    vlt::Cycle base = results()[bench::key(app, "base", "base")];
-    vlt::Cycle v2 = results()[bench::key(app, "V2-CMP", "vlt-2vt")];
-    vlt::Cycle v4 = results()[bench::key(app, "V4-CMP", "vlt-4vt")];
+  for (const std::string& app : workloads::vector_thread_apps()) {
+    Cycle base = results.cycles(app, "base", "base");
+    Cycle v2 = results.cycles(app, "V2-CMP", "vlt-2vt");
+    Cycle v4 = results.cycles(app, "V4-CMP", "vlt-4vt");
     std::printf("%-10s %14.2f %14.2f\n", app.c_str(),
                 bench::speedup(base, v2), bench::speedup(base, v4));
   }

@@ -2,39 +2,15 @@
 // datapaths (busy / partly idle / stalled / all idle) for base and VLT
 // executions, normalized to the base run's total so a shorter bar means a
 // faster execution.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
-#include <map>
 
 #include "bench_util.hpp"
 
-namespace {
-
 using namespace vlt;
 using machine::MachineConfig;
-using machine::RunResult;
 using workloads::Variant;
 
-std::map<std::string, RunResult>& full_results() {
-  static std::map<std::string, RunResult> r;
-  return r;
-}
-
-void run_point(benchmark::State& state, const std::string& app,
-               const std::string& cfg, unsigned threads) {
-  auto w = vlt::workloads::make_workload(app);
-  Variant v = threads == 1 ? Variant::base() : Variant::vector_threads(threads);
-  RunResult res;
-  for (auto _ : state)
-    res = machine::Simulator(MachineConfig::by_name(cfg)).run(*w, v);
-  if (!res.verified) {
-    state.SkipWithError(res.verify_error.c_str());
-    return;
-  }
-  state.counters["cycles"] = static_cast<double>(res.cycles);
-  full_results()[app + "/" + cfg] = res;
-}
+namespace {
 
 struct Point {
   const char* config;
@@ -47,32 +23,27 @@ const Point kPoints[] = {{"base", 1, "base"},
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  for (const std::string& app : vlt::workloads::vector_thread_apps())
-    for (const Point& pt : kPoints) {
-      std::string cfg = pt.config;
-      unsigned n = pt.threads;
-      benchmark::RegisterBenchmark(("fig4/" + app + "/" + cfg).c_str(),
-                                   [app, cfg, n](benchmark::State& s) {
-                                     run_point(s, app, cfg, n);
-                                   })
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1);
-    }
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+int main() {
+  campaign::SweepSpec spec;
+  for (const std::string& app : workloads::vector_thread_apps())
+    for (const Point& pt : kPoints)
+      spec.add(MachineConfig::by_name(pt.config), app,
+               pt.threads == 1 ? Variant::base()
+                               : Variant::vector_threads(pt.threads));
+  campaign::RunSet results = bench::run(spec);
 
   std::printf("\n=== Figure 4: arithmetic-datapath utilization, normalized "
               "to the base run (%%) ===\n%-10s %-6s %8s %12s %9s %10s %8s\n",
               "app", "run", "busy", "partly-idle", "stalled", "all-idle",
               "total");
-  for (const std::string& app : vlt::workloads::vector_thread_apps()) {
+  for (const std::string& app : workloads::vector_thread_apps()) {
     double base_total = static_cast<double>(
-        full_results()[app + "/base"].util.total());
+        results.at({app, "base", "base"}).util.total());
     for (const Point& pt : kPoints) {
-      const auto& u = full_results()[app + "/" + pt.config].util;
+      std::string variant =
+          pt.threads == 1 ? "base"
+                          : Variant::vector_threads(pt.threads).to_string();
+      const auto& u = results.at({app, pt.config, variant}).util;
       auto pct = [&](std::uint64_t v) {
         return base_total == 0 ? 0.0 : 100.0 * static_cast<double>(v) /
                                            base_total;

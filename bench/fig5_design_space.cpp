@@ -4,18 +4,15 @@
 // (CMT). The paper's findings: V2-SMT ~ V2-CMP; V4-SMT trails because a
 // single 4-way SU cannot feed 4 threads; V4-CMT matches V4-CMP at a
 // fraction of the area; V4-CMP-h trails all other 4-thread points.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
 #include "bench_util.hpp"
 
-namespace {
-
 using namespace vlt;
-using bench::results;
 using machine::MachineConfig;
 using workloads::Variant;
+
+namespace {
 
 struct Point {
   const char* config;
@@ -27,38 +24,27 @@ const Point kPoints[] = {{"base", 1},     {"V2-SMT", 2}, {"V2-CMP", 2},
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  for (const std::string& app : vlt::workloads::vector_thread_apps())
-    for (const Point& pt : kPoints) {
-      std::string cfg = pt.config;
-      unsigned n = pt.threads;
-      benchmark::RegisterBenchmark(
-          ("fig5/" + app + "/" + cfg).c_str(),
-          [app, cfg, n](benchmark::State& s) {
-            auto w = vlt::workloads::make_workload(app);
-            Variant v = n == 1 ? Variant::base() : Variant::vector_threads(n);
-            bench::run_and_record(s, MachineConfig::by_name(cfg), *w, v);
-          })
-          ->Unit(benchmark::kMillisecond)
-          ->Iterations(1);
-    }
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+int main() {
+  campaign::SweepSpec spec;
+  for (const std::string& app : workloads::vector_thread_apps())
+    for (const Point& pt : kPoints)
+      spec.add(MachineConfig::by_name(pt.config), app,
+               pt.threads == 1 ? Variant::base()
+                               : Variant::vector_threads(pt.threads));
+  campaign::RunSet results = bench::run(spec);
 
   std::printf("\n=== Figure 5: VLT speedup over base, per SU organization "
               "===\n%-10s", "app");
   for (std::size_t i = 1; i < std::size(kPoints); ++i)
     std::printf(" %9s", kPoints[i].config);
   std::printf("\n");
-  for (const std::string& app : vlt::workloads::vector_thread_apps()) {
-    vlt::Cycle base = results()[bench::key(app, "base", "base")];
+  for (const std::string& app : workloads::vector_thread_apps()) {
+    Cycle base = results.cycles(app, "base", "base");
     std::printf("%-10s", app.c_str());
     for (std::size_t i = 1; i < std::size(kPoints); ++i) {
-      std::string variant =
-          "vlt-" + std::to_string(kPoints[i].threads) + "vt";
-      vlt::Cycle c = results()[bench::key(app, kPoints[i].config, variant)];
+      Cycle c = results.cycles(
+          app, kPoints[i].config,
+          Variant::vector_threads(kPoints[i].threads).to_string());
       std::printf(" %9.2f", bench::speedup(base, c));
     }
     std::printf("\n");

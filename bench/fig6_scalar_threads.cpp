@@ -2,53 +2,28 @@
 // scalar threads running on the lanes of the V4-CMT machine versus four
 // scalar threads on the CMT (the same two 2-way-threaded scalar units
 // without the vector unit). Bars are performance relative to the CMT.
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
 #include "bench_util.hpp"
 
-namespace {
-
 using namespace vlt;
-using bench::results;
 using machine::MachineConfig;
 using workloads::Variant;
 
-}  // namespace
-
-int main(int argc, char** argv) {
-  for (const std::string& app : vlt::workloads::scalar_thread_apps()) {
-    benchmark::RegisterBenchmark(
-        ("fig6/" + app + "/CMT-4threads").c_str(),
-        [app](benchmark::State& s) {
-          auto w = vlt::workloads::make_workload(app);
-          bench::run_and_record(s, MachineConfig::cmt(), *w,
-                                Variant::su_threads(4));
-        })
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(1);
-    benchmark::RegisterBenchmark(
-        ("fig6/" + app + "/VLT-8lanes").c_str(),
-        [app](benchmark::State& s) {
-          auto w = vlt::workloads::make_workload(app);
-          bench::run_and_record(s, MachineConfig::v4_cmt(), *w,
-                                Variant::lane_threads(8));
-        })
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(1);
+int main() {
+  campaign::SweepSpec spec;
+  for (const std::string& app : workloads::scalar_thread_apps()) {
+    spec.add(MachineConfig::cmt(), app, Variant::su_threads(4));
+    spec.add(MachineConfig::v4_cmt(), app, Variant::lane_threads(8));
   }
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+  campaign::RunSet results = bench::run(spec);
 
   std::printf("\n=== Figure 6: 8 VLT scalar threads on the lanes vs 4 "
               "threads on the CMT ===\n%-10s %12s %12s %20s\n", "app",
               "CMT cycles", "VLT cycles", "VLT perf rel. to CMT");
-  for (const std::string& app : vlt::workloads::scalar_thread_apps()) {
-    vlt::Cycle cmt = results()[bench::key(app, "CMT", "su-4t")];
-    vlt::Cycle vl = results()[bench::key(app, "V4-CMT", "vlt-8lane")];
+  for (const std::string& app : workloads::scalar_thread_apps()) {
+    Cycle cmt = results.cycles(app, "CMT", "su-4t");
+    Cycle vl = results.cycles(app, "V4-CMT", "vlt-8lane");
     std::printf("%-10s %12llu %12llu %19.2fx\n", app.c_str(),
                 static_cast<unsigned long long>(cmt),
                 static_cast<unsigned long long>(vl), bench::speedup(cmt, vl));

@@ -1,37 +1,15 @@
 // Reproduces Table 1 (component area breakdown) and Table 2 (% area
 // increase of VLT configurations over the base vector processor).
 //
-// These are closed-form model evaluations, so the "benchmark" measures the
-// (trivial) model cost and the value is in the printed tables.
-#include <benchmark/benchmark.h>
-
+// These are closed-form model evaluations — no simulation, so no campaign:
+// the value is in the printed tables.
 #include <cstdio>
 
 #include "machine/area_model.hpp"
 
-namespace {
-
 using vlt::machine::AreaModel;
-using vlt::machine::MachineConfig;
 
-void BM_AreaModel(benchmark::State& state) {
-  AreaModel model;
-  double sum = 0;
-  for (auto _ : state) {
-    for (const std::string& name : MachineConfig::preset_names())
-      sum += model.config_area(MachineConfig::by_name(name));
-    benchmark::DoNotOptimize(sum);
-  }
-}
-BENCHMARK(BM_AreaModel);
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-
+int main() {
   AreaModel model;
   std::printf("\n=== Table 1: area breakdown for vector processor components "
               "===\n%s\n", model.table1().c_str());

@@ -2,56 +2,26 @@
 // measured on the base vector processor — % vectorization (in operations),
 // average vector length, the most common vector lengths, and the fraction
 // of execution time VLT could accelerate ("% Opportunity").
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
-#include <map>
 
 #include "bench_util.hpp"
-
-namespace {
 
 using namespace vlt;
 using machine::MachineConfig;
 using machine::RunResult;
 using workloads::Variant;
 
-std::map<std::string, RunResult>& full_results() {
-  static std::map<std::string, RunResult> r;
-  return r;
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  for (const std::string& app : vlt::workloads::workload_names())
-    benchmark::RegisterBenchmark(
-        ("tab4/" + app).c_str(),
-        [app](benchmark::State& s) {
-          auto w = vlt::workloads::make_workload(app);
-          RunResult res;
-          for (auto _ : s)
-            res = machine::Simulator(MachineConfig::base())
-                      .run(*w, Variant::base());
-          if (!res.verified) {
-            s.SkipWithError(res.verify_error.c_str());
-            return;
-          }
-          s.counters["cycles"] = static_cast<double>(res.cycles);
-          full_results()[app] = res;
-        })
-        ->Unit(benchmark::kMillisecond)
-        ->Iterations(1);
-
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
+int main() {
+  campaign::SweepSpec spec;
+  spec.add_grid({MachineConfig::base()}, workloads::workload_names(),
+                {Variant::base()});
+  campaign::RunSet results = bench::run(spec);
 
   std::printf("\n=== Table 4: application characteristics on the base "
               "machine ===\n%-10s %8s %8s %-16s %8s\n", "app", "%Vect",
               "AvgVL", "Common VLs", "%Opp");
-  for (const std::string& app : vlt::workloads::workload_names()) {
-    const RunResult& r = full_results()[app];
+  for (const std::string& app : workloads::workload_names()) {
+    const RunResult& r = results.at({app, "base", "base"});
     std::string common;
     for (std::uint64_t vl : r.vl_hist.top_keys(3)) {
       if (!common.empty()) common += ", ";

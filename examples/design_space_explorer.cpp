@@ -3,16 +3,31 @@
 // a single table. "Perf/area" shows why the paper recommends V4-CMT: near
 // V4-CMP performance at a third of its area overhead.
 //
+// Built on the campaign engine: the whole design space is declared as one
+// SweepSpec and executed across a thread pool (VLTSWEEP_THREADS to
+// override, VLTSWEEP_CACHE for a result cache).
+//
 //   $ ./build/examples/design_space_explorer [workload]
 #include <cstdio>
 #include <string>
 
+#include "campaign/campaign.hpp"
 #include "machine/area_model.hpp"
-#include "machine/simulator.hpp"
-#include "workloads/workload.hpp"
 
 using namespace vlt;
 using workloads::Variant;
+
+namespace {
+
+struct Point {
+  const char* name;
+  unsigned threads;
+};
+const Point kPoints[] = {{"V2-SMT", 2}, {"V2-CMP", 2}, {"V2-CMP-h", 2},
+                         {"V4-SMT", 4}, {"V4-CMT", 4}, {"V4-CMP", 4},
+                         {"V4-CMP-h", 4}};
+
+}  // namespace
 
 int main(int argc, char** argv) {
   std::string app = argc > 1 ? argv[1] : "mpenc";
@@ -25,34 +40,30 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  campaign::SweepSpec spec;
+  spec.add(machine::MachineConfig::base(), app, Variant::base());
+  for (const Point& pt : kPoints)
+    spec.add(machine::MachineConfig::by_name(pt.name), app,
+             Variant::vector_threads(pt.threads));
+  campaign::RunSet results = campaign::Campaign().run(spec);
+
   machine::AreaModel area;
-  Cycle base = machine::Simulator(machine::MachineConfig::base())
-                   .run(*workload, Variant::base())
-                   .cycles;
+  Cycle base = results.cycles(app, "base", "base");
   std::printf("workload: %s   base: %llu cycles, %.1f mm^2\n\n", app.c_str(),
-              static_cast<unsigned long long>(base),
-              area.base_area());
+              static_cast<unsigned long long>(base), area.base_area());
   std::printf("%-10s %8s %10s %10s %12s %12s\n", "config", "threads",
               "cycles", "speedup", "area +%", "speedup/area");
 
-  struct Point {
-    const char* name;
-    unsigned threads;
-  };
-  for (const Point& pt : {Point{"V2-SMT", 2}, Point{"V2-CMP", 2},
-                          Point{"V2-CMP-h", 2}, Point{"V4-SMT", 4},
-                          Point{"V4-CMT", 4}, Point{"V4-CMP", 4},
-                          Point{"V4-CMP-h", 4}}) {
-    machine::MachineConfig cfg = machine::MachineConfig::by_name(pt.name);
-    machine::RunResult r = machine::Simulator(cfg).run(
-        *workload, Variant::vector_threads(pt.threads));
+  for (const Point& pt : kPoints) {
+    const machine::RunResult& r = results.at(
+        {app, pt.name, Variant::vector_threads(pt.threads).to_string()});
     if (!r.verified) {
       std::printf("%-10s verification failed: %s\n", pt.name,
                   r.verify_error.c_str());
       continue;
     }
     double speedup = static_cast<double>(base) / static_cast<double>(r.cycles);
-    double pct = area.pct_increase(cfg);
+    double pct = area.pct_increase(machine::MachineConfig::by_name(pt.name));
     double ratio = speedup / (1.0 + pct / 100.0);
     std::printf("%-10s %8u %10llu %9.2fx %11.1f%% %12.2f\n", pt.name,
                 pt.threads, static_cast<unsigned long long>(r.cycles), speedup,

@@ -1,0 +1,271 @@
+#include "campaign/campaign.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "common/log.hpp"
+#include "func/memory.hpp"
+#include "isa/opcode.hpp"
+
+namespace vlt::campaign {
+
+bool config_supports(const machine::MachineConfig& config,
+                     const workloads::Variant& variant) {
+  using Kind = workloads::Variant::Kind;
+  switch (variant.kind) {
+    case Kind::kBase:
+      return config.has_vector_unit;
+    case Kind::kVectorThreads:
+      return config.has_vector_unit &&
+             variant.nthreads <= config.max_vector_threads &&
+             variant.nthreads <= config.total_smt_slots();
+    case Kind::kLaneThreads:
+      return config.has_vector_unit && variant.nthreads <= config.vu.lanes;
+    case Kind::kSuThreads:
+      return variant.nthreads <= config.total_smt_slots();
+  }
+  return false;
+}
+
+SweepSpec& SweepSpec::add(machine::MachineConfig config, std::string workload,
+                          workloads::Variant variant) {
+  cells_.push_back({std::move(config), std::move(workload), variant, {}});
+  return *this;
+}
+
+SweepSpec& SweepSpec::add(machine::MachineConfig config,
+                          std::function<workloads::WorkloadPtr()> make,
+                          workloads::Variant variant) {
+  std::string name = make()->name();
+  cells_.push_back({std::move(config), std::move(name), variant,
+                    std::move(make)});
+  return *this;
+}
+
+std::size_t SweepSpec::add_grid(
+    const std::vector<machine::MachineConfig>& configs,
+    const std::vector<std::string>& workload_names,
+    const std::vector<workloads::Variant>& variants) {
+  std::size_t added = 0;
+  for (const std::string& name : workload_names) {
+    workloads::WorkloadPtr w = workloads::make_workload(name);
+    for (const machine::MachineConfig& config : configs)
+      for (const workloads::Variant& variant : variants) {
+        if (!w->supports(variant.kind) || !config_supports(config, variant))
+          continue;
+        add(config, name, variant);
+        ++added;
+      }
+  }
+  return added;
+}
+
+namespace {
+
+/// Cache key for one cell: machine fingerprint + variant + the workload's
+/// actual content (built programs and input image). See result_cache.hpp.
+std::uint64_t cell_cache_key(const Cell& cell,
+                             const workloads::Workload& workload) {
+  Digest d;
+  d.mix(std::string("vltsweep-cache-v1"));
+  d.mix(cell.config.fingerprint());
+  d.mix(cell.variant.to_string());
+  d.mix(workload.name());
+
+  func::FuncMemory image;
+  workload.init_memory(image);
+  d.mix(image.content_hash());
+
+  machine::ParallelProgram prog = workload.build(cell.variant);
+  d.mix(prog.phases.size());
+  for (const machine::Phase& phase : prog.phases) {
+    d.mix(phase.label);
+    d.mix(static_cast<std::uint64_t>(phase.mode));
+    d.mix(phase.vlt_opportunity ? 1 : 0);
+    d.mix(phase.programs.size());
+    for (const isa::Program& p : phase.programs) {
+      d.mix(p.size());
+      for (const isa::Instruction& inst : p.code()) {
+        // Digest the opcode through its ISA-table row, not just its enum
+        // value: retiming or re-classifying an instruction invalidates
+        // every cached cell that executes it.
+        const isa::OpInfo& info = isa::op_info(inst.op);
+        d.mix(std::string(info.name));
+        d.mix(info.latency);
+        d.mix(static_cast<std::uint64_t>(info.fu));
+        d.mix(static_cast<std::uint64_t>(info.kind));
+        d.mix(info.traits);
+        d.mix(inst.rd);
+        d.mix(inst.rs1);
+        d.mix(inst.rs2);
+        d.mix(static_cast<std::uint64_t>(
+            static_cast<std::uint32_t>(inst.imm)));
+        d.mix(inst.flags);
+      }
+    }
+  }
+  return d.value();
+}
+
+}  // namespace
+
+const machine::RunResult* RunSet::find(const RunKey& key) const {
+  auto it = index_.find(key);
+  return it == index_.end() ? nullptr : &results_[it->second];
+}
+
+const machine::RunResult& RunSet::at(const RunKey& key) const {
+  const machine::RunResult* r = find(key);
+  VLT_CHECK(r != nullptr, "no result for " + key.to_string() +
+                              " in this campaign");
+  return *r;
+}
+
+bool RunSet::all_verified() const {
+  for (const machine::RunResult& r : results_)
+    if (!r.verified) return false;
+  return true;
+}
+
+Json RunSet::to_json() const {
+  Json j = Json::object();
+  j.set("schema", "vltsweep-v1");
+  j.set("cells", static_cast<std::uint64_t>(results_.size()));
+  Json arr = Json::array();
+  for (const machine::RunResult& r : results_) arr.push_back(r.to_json());
+  j.set("results", std::move(arr));
+  return j;
+}
+
+std::string RunSet::to_csv() const {
+  std::string out =
+      "workload,config,variant,verified,cycles,opportunity_cycles,"
+      "scalar_insts,vector_insts,element_ops,pct_vectorization,avg_vl,"
+      "pct_opportunity,util_busy,util_partly_idle,util_stalled,"
+      "util_all_idle\n";
+  char buf[512];
+  for (const machine::RunResult& r : results_) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s,%s,%s,%d,%llu,%llu,%llu,%llu,%llu,%.10g,%.10g,%.10g,%llu,%llu,"
+        "%llu,%llu\n",
+        r.workload.c_str(), r.config.c_str(), r.variant.c_str(),
+        r.verified ? 1 : 0, static_cast<unsigned long long>(r.cycles),
+        static_cast<unsigned long long>(r.opportunity_cycles),
+        static_cast<unsigned long long>(r.scalar_insts),
+        static_cast<unsigned long long>(r.vector_insts),
+        static_cast<unsigned long long>(r.element_ops),
+        r.pct_vectorization(), r.avg_vl(), r.pct_opportunity(),
+        static_cast<unsigned long long>(r.util.busy),
+        static_cast<unsigned long long>(r.util.partly_idle),
+        static_cast<unsigned long long>(r.util.stalled),
+        static_cast<unsigned long long>(r.util.all_idle));
+    out += buf;
+  }
+  return out;
+}
+
+RunSet Campaign::run(const SweepSpec& spec) const {
+  const std::vector<Cell>& cells = spec.cells();
+  RunSet set;
+  set.results_.resize(cells.size());
+
+  std::optional<ResultCache> cache;
+  if (!options_.cache_dir.empty()) cache.emplace(options_.cache_dir);
+
+  unsigned threads = options_.threads != 0
+                         ? options_.threads
+                         : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (cells.size() < threads) threads = static_cast<unsigned>(cells.size());
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::atomic<std::size_t> hits{0};
+  std::mutex progress_mu;
+
+  // Each worker claims cells by index and writes into its preallocated
+  // slot, so aggregation order is the spec order no matter which thread
+  // finishes first — this is what makes threads=N output bit-identical
+  // to threads=1.
+  auto worker = [&] {
+    while (true) {
+      std::size_t i = next.fetch_add(1);
+      if (i >= cells.size()) return;
+      const Cell& cell = cells[i];
+      workloads::WorkloadPtr w = cell.make
+                                     ? cell.make()
+                                     : workloads::make_workload(cell.workload);
+      VLT_CHECK(w->supports(cell.variant.kind),
+                cell.workload + " does not support variant " +
+                    cell.variant.to_string());
+
+      bool hit = false;
+      std::uint64_t key = 0;
+      if (cache) {
+        key = cell_cache_key(cell, *w);
+        if (!options_.force) {
+          std::optional<machine::RunResult> cached = cache->lookup(key);
+          // The cached identifying strings must match the cell's; a hash
+          // collision across different cells is theoretically possible
+          // and must re-simulate rather than silently cross-fill.
+          if (cached && cached->workload == cell.workload &&
+              cached->config == cell.config.name &&
+              cached->variant == cell.variant.to_string()) {
+            set.results_[i] = std::move(*cached);
+            hit = true;
+          }
+        }
+      }
+      if (!hit) {
+        set.results_[i] =
+            machine::Simulator(cell.config).run(*w, cell.variant);
+        if (cache) cache->store(key, set.results_[i]);
+      } else {
+        hits.fetch_add(1);
+      }
+
+      std::size_t completed = done.fetch_add(1) + 1;
+      if (options_.progress) {
+        std::lock_guard<std::mutex> lock(progress_mu);
+        options_.progress(completed, cells.size(), cell.key(), hit);
+      }
+    }
+  };
+
+  if (threads <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+
+  set.cache_hits_ = hits.load();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    bool inserted = set.index_.emplace(cells[i].key(), i).second;
+    // Two cells with one identity would make lookups ambiguous — tweaked
+    // configs must carry a distinguishing name.
+    VLT_CHECK(inserted,
+              "duplicate sweep cell " + cells[i].key().to_string());
+  }
+  return set;
+}
+
+RunSet run_or_die(const SweepSpec& spec) {
+  CampaignOptions opts;
+  if (const char* t = std::getenv("VLTSWEEP_THREADS"))
+    opts.threads = static_cast<unsigned>(std::strtoul(t, nullptr, 10));
+  if (const char* c = std::getenv("VLTSWEEP_CACHE")) opts.cache_dir = c;
+  RunSet set = Campaign(opts).run(spec);
+  for (const machine::RunResult& r : set.results())
+    VLT_CHECK(r.verified, r.workload + "/" + r.config + "/" + r.variant +
+                              " failed verification: " + r.verify_error);
+  return set;
+}
+
+}  // namespace vlt::campaign

@@ -1,0 +1,151 @@
+// Experiment-campaign engine: declarative sweep specs (workload ×
+// MachineConfig × Variant), parallel execution over a host thread pool,
+// deterministic aggregation, and a content-addressed on-disk result cache.
+//
+// Every table and figure of the paper is a cross-product sweep; this layer
+// replaces the per-bench register/collect/print scaffolding with one
+// engine. Simulator::run is const and self-contained (a fresh Processor
+// per run, no shared mutable state), so cells execute concurrently and the
+// aggregated RunSet is bit-identical to serial execution regardless of
+// thread count.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/result_cache.hpp"
+#include "campaign/run_key.hpp"
+#include "machine/simulator.hpp"
+#include "workloads/workload.hpp"
+
+namespace vlt::campaign {
+
+/// One sweep cell: a full machine configuration (not just a preset name,
+/// so ablation tweaks and custom machines sweep like presets), a workload,
+/// and a variant. The workload is either a registry name or a custom
+/// factory (each worker thread instantiates its own copy); either way the
+/// cell is identified by RunKey strings, so configs with tweaked
+/// parameters must carry a distinguishing name.
+struct Cell {
+  machine::MachineConfig config;
+  std::string workload;
+  workloads::Variant variant;
+  /// When set, used instead of workloads::make_workload(workload).
+  std::function<workloads::WorkloadPtr()> make;
+
+  RunKey key() const {
+    return RunKey{workload, config.name, variant.to_string()};
+  }
+};
+
+/// Whether `config` has the hardware contexts/lanes the variant asks for.
+/// The grid builder uses this (plus Workload::supports) to prune the
+/// cross-product to runnable cells.
+bool config_supports(const machine::MachineConfig& config,
+                     const workloads::Variant& variant);
+
+/// Declarative sweep specification: an ordered list of cells. Order is
+/// the aggregation order, so two specs built the same way produce
+/// byte-identical reports.
+class SweepSpec {
+ public:
+  /// Adds one cell unconditionally (the caller vouches it is runnable).
+  SweepSpec& add(machine::MachineConfig config, std::string workload,
+                 workloads::Variant variant);
+
+  /// Adds a cell running a custom workload built by `make` (e.g. a
+  /// non-default problem size). The instance's name() keys the cell.
+  SweepSpec& add(machine::MachineConfig config,
+                 std::function<workloads::WorkloadPtr()> make,
+                 workloads::Variant variant);
+
+  /// Adds the cross-product of configs × workloads × variants, keeping
+  /// only cells where the workload supports the variant kind and the
+  /// config has the required hardware. Returns the number of cells added.
+  std::size_t add_grid(const std::vector<machine::MachineConfig>& configs,
+                       const std::vector<std::string>& workload_names,
+                       const std::vector<workloads::Variant>& variants);
+
+  const std::vector<Cell>& cells() const { return cells_; }
+  bool empty() const { return cells_.empty(); }
+  std::size_t size() const { return cells_.size(); }
+
+ private:
+  std::vector<Cell> cells_;
+};
+
+struct CampaignOptions {
+  /// Worker threads; 0 = std::thread::hardware_concurrency().
+  unsigned threads = 0;
+  /// Result-cache directory; empty = no caching.
+  std::string cache_dir;
+  /// Re-simulate even on a cache hit (refreshes the cache).
+  bool force = false;
+  /// Called after each cell completes (from worker threads, serialized
+  /// internally): done count, total, the cell's key, cache hit?
+  std::function<void(std::size_t, std::size_t, const RunKey&, bool)>
+      progress;
+};
+
+/// Aggregated results of a campaign, in spec order.
+class RunSet {
+ public:
+  const std::vector<machine::RunResult>& results() const { return results_; }
+  std::size_t size() const { return results_.size(); }
+  const machine::RunResult& at(std::size_t i) const { return results_[i]; }
+
+  /// Lookup by key; aborts if the key was not part of the sweep (a typo'd
+  /// lookup in a report is a programming error, like bench::key was).
+  const machine::RunResult& at(const RunKey& key) const;
+  const machine::RunResult* find(const RunKey& key) const;
+  Cycle cycles(const std::string& workload, const std::string& config,
+               const std::string& variant) const {
+    return at(RunKey{workload, config, variant}).cycles;
+  }
+
+  bool all_verified() const;
+  std::size_t cache_hits() const { return cache_hits_; }
+  std::size_t cache_misses() const { return results_.size() - cache_hits_; }
+
+  /// Full campaign report: {"schema": .., "results": [RunResult...]}.
+  /// Deterministic bytes for a given spec — the CI golden diff and the
+  /// threads=1 vs threads=N determinism test compare these directly.
+  Json to_json() const;
+
+  /// Flat CSV (one row per cell; phase timings and the VL histogram are
+  /// JSON-only).
+  std::string to_csv() const;
+
+ private:
+  friend class Campaign;
+  std::vector<machine::RunResult> results_;
+  std::map<RunKey, std::size_t> index_;
+  std::size_t cache_hits_ = 0;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignOptions options = {})
+      : options_(std::move(options)) {}
+
+  /// Executes every cell (thread pool, cache-aware) and aggregates in
+  /// spec order. Aborts on an unknown workload name; verification
+  /// failures are reported per-cell in the RunSet, not fatal.
+  RunSet run(const SweepSpec& spec) const;
+
+ private:
+  CampaignOptions options_;
+};
+
+/// Convenience used by the bench drivers: run `spec` honoring the
+/// VLTSWEEP_THREADS / VLTSWEEP_CACHE environment variables (so `make
+/// bench` farms out without per-bench flag plumbing), abort if any cell
+/// fails verification — a bench must never print numbers from a
+/// functionally wrong run.
+RunSet run_or_die(const SweepSpec& spec);
+
+}  // namespace vlt::campaign

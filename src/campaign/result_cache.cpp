@@ -1,0 +1,60 @@
+#include "campaign/result_cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <system_error>
+#include <thread>
+
+#include "common/log.hpp"
+
+namespace vlt::campaign {
+
+namespace fs = std::filesystem;
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  VLT_CHECK(!ec, "cannot create cache directory " + dir_ + ": " +
+                     ec.message());
+}
+
+std::string ResultCache::entry_path(std::uint64_t key) const {
+  char name[32];
+  std::snprintf(name, sizeof(name), "%016llx.json",
+                static_cast<unsigned long long>(key));
+  return dir_ + "/" + name;
+}
+
+std::optional<machine::RunResult> ResultCache::lookup(
+    std::uint64_t key) const {
+  std::ifstream in(entry_path(key));
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  std::optional<Json> j = Json::parse(text.str());
+  if (!j) return std::nullopt;
+  return machine::RunResult::from_json(*j);
+}
+
+void ResultCache::store(std::uint64_t key,
+                        const machine::RunResult& result) const {
+  std::string path = entry_path(key);
+  // Unique temp name per key+thread: concurrent writers of the same key
+  // both write the same bytes, so last-rename-wins is harmless.
+  std::string tmp = path + ".tmp" +
+                    std::to_string(static_cast<unsigned long long>(
+                        std::hash<std::thread::id>{}(
+                            std::this_thread::get_id())));
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) return;  // unwritable cache degrades to a no-op, not an error
+    out << result.to_json().dump(1) << "\n";
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) fs::remove(tmp, ec);
+}
+
+}  // namespace vlt::campaign

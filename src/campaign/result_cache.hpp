@@ -1,0 +1,64 @@
+// Content-addressed on-disk result cache for campaign cells.
+//
+// A cell's cache key digests everything its cycle count depends on: the
+// machine-config fingerprint, the variant, the workload's built programs
+// (instruction encodings plus each opcode's timing/semantics row from the
+// ISA table) and its input memory image. Touching one workload's kernel or
+// data therefore invalidates exactly that workload's cells; a config or
+// ISA change invalidates everything it affects. No timestamps, no
+// manifest: the key IS the validity check.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "machine/simulator.hpp"
+
+namespace vlt::campaign {
+
+/// Streaming FNV-1a digest used for cache keys and fingerprints.
+class Digest {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xFF;
+      h_ *= 1099511628211ull;
+    }
+  }
+  void mix(const std::string& s) {
+    for (char c : s) {
+      h_ ^= static_cast<unsigned char>(c);
+      h_ *= 1099511628211ull;
+    }
+    mix(s.size());  // length-delimit so "ab","c" != "a","bc"
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ull;
+};
+
+class ResultCache {
+ public:
+  /// Opens (creating if needed) a cache rooted at `dir`. Aborts if the
+  /// directory cannot be created.
+  explicit ResultCache(std::string dir);
+
+  /// Returns the cached result for `key`, or nullopt on a miss. A
+  /// corrupt or unreadable entry counts as a miss.
+  std::optional<machine::RunResult> lookup(std::uint64_t key) const;
+
+  /// Stores `result` under `key` (atomic write-then-rename, so concurrent
+  /// sweeps over a shared cache never observe torn entries).
+  void store(std::uint64_t key, const machine::RunResult& result) const;
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string entry_path(std::uint64_t key) const;
+
+  std::string dir_;
+};
+
+}  // namespace vlt::campaign

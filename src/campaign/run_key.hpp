@@ -1,0 +1,30 @@
+// Typed identity of one sweep cell. Replaces the hand-concatenated
+// "workload/config/variant" strings the benches used to key their global
+// result maps with.
+#pragma once
+
+#include <string>
+#include <tuple>
+
+namespace vlt::campaign {
+
+struct RunKey {
+  std::string workload;
+  std::string config;
+  std::string variant;
+
+  std::string to_string() const {
+    return workload + "/" + config + "/" + variant;
+  }
+
+  friend bool operator==(const RunKey& a, const RunKey& b) {
+    return a.workload == b.workload && a.config == b.config &&
+           a.variant == b.variant;
+  }
+  friend bool operator<(const RunKey& a, const RunKey& b) {
+    return std::tie(a.workload, a.config, a.variant) <
+           std::tie(b.workload, b.config, b.variant);
+  }
+};
+
+}  // namespace vlt::campaign

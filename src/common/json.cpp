@@ -1,0 +1,349 @@
+#include "common/json.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace vlt {
+
+namespace {
+
+const std::string kEmptyString;
+const Json kNullJson;
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    out += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void Json::set(const std::string& key, Json v) {
+  type_ = Type::kObject;
+  for (auto& [k, existing] : keys_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  keys_.emplace_back(key, std::move(v));
+}
+
+bool Json::as_bool(bool dflt) const {
+  return type_ == Type::kBool ? bool_ : dflt;
+}
+
+std::int64_t Json::as_int(std::int64_t dflt) const {
+  switch (type_) {
+    case Type::kInt: return int_;
+    case Type::kUint: return static_cast<std::int64_t>(uint_);
+    case Type::kDouble: return static_cast<std::int64_t>(double_);
+    default: return dflt;
+  }
+}
+
+std::uint64_t Json::as_uint(std::uint64_t dflt) const {
+  switch (type_) {
+    case Type::kInt: return static_cast<std::uint64_t>(int_);
+    case Type::kUint: return uint_;
+    case Type::kDouble: return static_cast<std::uint64_t>(double_);
+    default: return dflt;
+  }
+}
+
+double Json::as_double(double dflt) const {
+  switch (type_) {
+    case Type::kInt: return static_cast<double>(int_);
+    case Type::kUint: return static_cast<double>(uint_);
+    case Type::kDouble: return double_;
+    default: return dflt;
+  }
+}
+
+const std::string& Json::as_string() const {
+  return type_ == Type::kString ? string_ : kEmptyString;
+}
+
+const Json& Json::at(std::size_t i) const {
+  return i < items_.size() ? items_[i] : kNullJson;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : keys_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  auto newline = [&](int d) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * d, ' ');
+  };
+  switch (type_) {
+    case Type::kNull: out += "null"; break;
+    case Type::kBool: out += bool_ ? "true" : "false"; break;
+    case Type::kInt: out += std::to_string(int_); break;
+    case Type::kUint: out += std::to_string(uint_); break;
+    case Type::kDouble: append_double(out, double_); break;
+    case Type::kString: append_escaped(out, string_); break;
+    case Type::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        items_[i].dump_to(out, indent, depth + 1);
+      }
+      if (!items_.empty()) newline(depth);
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < keys_.size(); ++i) {
+        if (i) out += ',';
+        newline(depth + 1);
+        append_escaped(out, keys_[i].first);
+        out += indent < 0 ? ":" : ": ";
+        keys_[i].second.dump_to(out, indent, depth + 1);
+      }
+      if (!keys_.empty()) newline(depth);
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  std::optional<Json> parse(std::string* error) {
+    std::optional<Json> v = parse_value();
+    skip_ws();
+    if (v && pos_ != text_.size()) {
+      fail("trailing characters after document");
+      v.reset();
+    }
+    if (!v && error) *error = error_ + " at offset " + std::to_string(pos_);
+    return v;
+  }
+
+ private:
+  void fail(const std::string& msg) {
+    if (error_.empty()) error_ = msg;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char* word) {
+    std::size_t n = std::string(word).size();
+    if (text_.compare(pos_, n, word) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<Json> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      std::optional<std::string> s = parse_string();
+      if (!s) return std::nullopt;
+      return Json(std::move(*s));
+    }
+    if (literal("null")) return Json();
+    if (literal("true")) return Json(true);
+    if (literal("false")) return Json(false);
+    return parse_number();
+  }
+
+  std::optional<Json> parse_object() {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    if (consume('}')) return obj;
+    while (true) {
+      skip_ws();
+      std::optional<std::string> key = parse_string();
+      if (!key) return std::nullopt;
+      if (!consume(':')) {
+        fail("expected ':' after object key");
+        return std::nullopt;
+      }
+      std::optional<Json> v = parse_value();
+      if (!v) return std::nullopt;
+      obj.set(*key, std::move(*v));
+      if (consume(',')) continue;
+      if (consume('}')) return obj;
+      fail("expected ',' or '}' in object");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<Json> parse_array() {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    if (consume(']')) return arr;
+    while (true) {
+      std::optional<Json> v = parse_value();
+      if (!v) return std::nullopt;
+      arr.push_back(std::move(*v));
+      if (consume(',')) continue;
+      if (consume(']')) return arr;
+      fail("expected ',' or ']' in array");
+      return std::nullopt;
+    }
+  }
+
+  std::optional<std::string> parse_string() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      fail("expected string");
+      return std::nullopt;
+    }
+    ++pos_;
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return std::nullopt;
+          }
+          unsigned code = static_cast<unsigned>(
+              std::strtoul(text_.substr(pos_, 4).c_str(), nullptr, 16));
+          pos_ += 4;
+          // Campaign artifacts are ASCII; encode BMP code points as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape character");
+          return std::nullopt;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Json> parse_number() {
+    std::size_t start = pos_;
+    bool is_float = false;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        is_float = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) {
+      fail("expected value");
+      return std::nullopt;
+    }
+    std::string tok = text_.substr(start, pos_ - start);
+    if (is_float) return Json(std::strtod(tok.c_str(), nullptr));
+    if (tok[0] == '-')
+      return Json(static_cast<std::int64_t>(
+          std::strtoll(tok.c_str(), nullptr, 10)));
+    return Json(static_cast<std::uint64_t>(
+        std::strtoull(tok.c_str(), nullptr, 10)));
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+}  // namespace
+
+std::optional<Json> Json::parse(const std::string& text, std::string* error) {
+  return Parser(text).parse(error);
+}
+
+}  // namespace vlt

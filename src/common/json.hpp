@@ -1,0 +1,88 @@
+// Minimal JSON value: build, serialize, parse. Object members keep their
+// insertion order and numbers print through a fixed format, so a Json tree
+// always serializes to the same bytes — the property the campaign result
+// cache and the committed sweep goldens rely on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vlt {
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kInt, kUint, kDouble, kString, kArray,
+                    kObject };
+
+  Json() = default;
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(std::int64_t v) : type_(Type::kInt), int_(v) {}
+  Json(std::uint64_t v) : type_(Type::kUint), uint_(v) {}
+  Json(int v) : type_(Type::kInt), int_(v) {}
+  Json(unsigned v) : type_(Type::kUint), uint_(v) {}
+  Json(double v) : type_(Type::kDouble), double_(v) {}
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}
+
+  static Json array() {
+    Json j;
+    j.type_ = Type::kArray;
+    return j;
+  }
+  static Json object() {
+    Json j;
+    j.type_ = Type::kObject;
+    return j;
+  }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+
+  // --- builders ---
+  void push_back(Json v) { items_.push_back(std::move(v)); }
+  /// Adds (or replaces) an object member, preserving first-set order.
+  void set(const std::string& key, Json v);
+
+  // --- accessors (loose: wrong-type access returns a default) ---
+  bool as_bool(bool dflt = false) const;
+  std::int64_t as_int(std::int64_t dflt = 0) const;
+  std::uint64_t as_uint(std::uint64_t dflt = 0) const;
+  double as_double(double dflt = 0.0) const;
+  const std::string& as_string() const;
+
+  std::size_t size() const { return items_.size(); }
+  const Json& at(std::size_t i) const;
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const Json* find(const std::string& key) const;
+  const std::vector<std::pair<std::string, Json>>& members() const {
+    return keys_;
+  }
+  const std::vector<Json>& items() const { return items_; }
+
+  /// Serializes deterministically. indent < 0: compact single line.
+  std::string dump(int indent = -1) const;
+
+  /// Strict parse of a complete JSON document; nullopt on any error
+  /// (`error`, if given, receives a position-annotated description).
+  static std::optional<Json> parse(const std::string& text,
+                                   std::string* error = nullptr);
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::uint64_t uint_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;                           // array elements
+  std::vector<std::pair<std::string, Json>> keys_;    // object members
+};
+
+}  // namespace vlt

@@ -91,4 +91,32 @@ std::optional<std::string> FuncMemory::first_difference(
   return std::nullopt;
 }
 
+std::uint64_t FuncMemory::content_hash() const {
+  std::vector<Addr> keys;
+  keys.reserve(pages_.size());
+  for (const auto& [key, page] : pages_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 1099511628211ull;
+    }
+  };
+  for (Addr key : keys) {
+    const Page& page = *pages_.at(key);
+    bool all_zero = true;
+    for (std::uint64_t w : page)
+      if (w != 0) {
+        all_zero = false;
+        break;
+      }
+    if (all_zero) continue;  // hash like an untouched page
+    mix(key);
+    for (std::uint64_t w : page) mix(w);
+  }
+  return h;
+}
+
 }  // namespace vlt::func

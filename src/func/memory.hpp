@@ -57,6 +57,11 @@ class FuncMemory {
   /// diagnostic, or nullopt when identical. Absent pages compare as zero.
   std::optional<std::string> first_difference(const FuncMemory& other) const;
 
+  /// Order-independent FNV-1a digest of the image contents (all-zero pages
+  /// hash like absent ones). Used to fingerprint workload input data for
+  /// the campaign result cache.
+  std::uint64_t content_hash() const;
+
  private:
   using Page = std::array<std::uint64_t, kPageBytes / 8>;
 

@@ -90,7 +90,7 @@ MachineConfig MachineConfig::cmt() {
   return c;
 }
 
-MachineConfig MachineConfig::by_name(const std::string& name) {
+std::optional<MachineConfig> MachineConfig::find(const std::string& name) {
   if (name == "base") return base();
   if (name == "V2-SMT") return v2_smt();
   if (name == "V4-SMT") return v4_smt();
@@ -100,8 +100,64 @@ MachineConfig MachineConfig::by_name(const std::string& name) {
   if (name == "V4-CMP-h") return v4_cmp_h();
   if (name == "V4-CMT") return v4_cmt();
   if (name == "CMT") return cmt();
-  VLT_CHECK(false, "unknown machine configuration: " + name);
-  return base();
+  return std::nullopt;
+}
+
+MachineConfig MachineConfig::by_name(const std::string& name) {
+  std::optional<MachineConfig> c = find(name);
+  VLT_CHECK(c.has_value(), "unknown machine configuration: " + name);
+  return *c;
+}
+
+std::string MachineConfig::fingerprint() const {
+  std::string fp = "vltcfg1";  // bump when a new timing knob is added
+  auto add = [&fp](std::uint64_t v) { fp += ":" + std::to_string(v); };
+  add(sus.size());
+  for (const su::SuParams& s : sus) {
+    add(s.width);
+    add(s.rob_size);
+    add(s.arith_units);
+    add(s.mem_ports);
+    add(s.smt_contexts);
+    add(s.fetch_queue);
+    add(s.l1_size);
+    add(s.l1_ways);
+    add(s.l1_data_latency);
+    add(s.redirect_penalty);
+    add(s.bpred_bits);
+    add(s.l1_prefetch ? 1 : 0);
+    add(s.store_buffer);
+    add(s.vec_handoff_rate);
+  }
+  add(has_vector_unit ? 1 : 0);
+  add(vu.lanes);
+  add(vu.issue_width);
+  add(vu.viq_size);
+  add(vu.window_size);
+  add(vu.arith_fus);
+  add(vu.mem_ports);
+  add(vu.scalar_xfer_latency);
+  add(vu.chaining ? 1 : 0);
+  add(l2.size_bytes);
+  add(l2.ways);
+  add(l2.banks);
+  add(l2.hit_latency);
+  add(l2.miss_latency);
+  add(l2.bank_occupancy);
+  add(lane_core.width);
+  add(lane_core.arith_units);
+  add(lane_core.mem_ports);
+  add(lane_core.max_outstanding);
+  add(lane_core.store_queue);
+  add(lane_core.icache_size);
+  add(lane_core.icache_ways);
+  add(lane_core.imiss_forward_latency);
+  add(lane_core.taken_branch_penalty);
+  add(barrier_latency);
+  add(phase_switch_overhead);
+  add(max_vector_threads);
+  add(mem_cycles_per_line);
+  return fp;
 }
 
 std::vector<std::string> MachineConfig::preset_names() {

@@ -2,6 +2,7 @@
 // VLT design points of Table 2 / Figures 5-6.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,8 +64,18 @@ struct MachineConfig {
   static MachineConfig v4_cmt();
   static MachineConfig cmt();  // V4-CMT without the vector unit (§5)
 
+  /// Aborts on an unknown name (used where a bad name is a programming
+  /// error). CLIs that parse user input should use find() instead.
   static MachineConfig by_name(const std::string& name);
+  /// Preset lookup with error reporting: nullopt for an unknown name.
+  static std::optional<MachineConfig> find(const std::string& name);
   static std::vector<std::string> preset_names();
+
+  /// Canonical serialization of every timing-relevant parameter. Two
+  /// configs with equal fingerprints simulate identically; the campaign
+  /// result cache keys on this, so custom (non-preset) configs and
+  /// ablation tweaks invalidate cached cells automatically.
+  std::string fingerprint() const;
 };
 
 }  // namespace vlt::machine

@@ -1,5 +1,6 @@
 #include "machine/simulator.hpp"
 
+#include <cstdlib>
 #include <memory>
 
 #include "audit/auditor.hpp"
@@ -7,6 +8,92 @@
 #include "machine/processor.hpp"
 
 namespace vlt::machine {
+
+Json RunResult::to_json() const {
+  Json j = Json::object();
+  j.set("workload", workload);
+  j.set("config", config);
+  j.set("variant", variant);
+  j.set("verified", verified);
+  if (!verified) j.set("verify_error", verify_error);
+  j.set("cycles", cycles);
+  Json phases = Json::array();
+  for (const PhaseTiming& p : phase_cycles) {
+    Json ph = Json::object();
+    ph.set("label", p.label);
+    ph.set("cycles", p.cycles);
+    phases.push_back(std::move(ph));
+  }
+  j.set("phases", std::move(phases));
+  j.set("opportunity_cycles", opportunity_cycles);
+  j.set("scalar_insts", scalar_insts);
+  j.set("vector_insts", vector_insts);
+  j.set("element_ops", element_ops);
+  Json metrics = Json::object();
+  metrics.set("pct_vectorization", pct_vectorization());
+  metrics.set("avg_vl", avg_vl());
+  metrics.set("pct_opportunity", pct_opportunity());
+  j.set("metrics", std::move(metrics));
+  Json u = Json::object();
+  u.set("busy", util.busy);
+  u.set("partly_idle", util.partly_idle);
+  u.set("stalled", util.stalled);
+  u.set("all_idle", util.all_idle);
+  j.set("utilization", std::move(u));
+  Json hist = Json::object();
+  for (const auto& [vl, count] : vl_hist.counts())  // std::map: ascending
+    hist.set(std::to_string(vl), count);
+  j.set("vl_histogram", std::move(hist));
+  return j;
+}
+
+std::optional<RunResult> RunResult::from_json(const Json& j) {
+  if (!j.is_object() || j.find("workload") == nullptr ||
+      j.find("cycles") == nullptr)
+    return std::nullopt;
+  RunResult r;
+  auto str = [&j](const char* key) {
+    const Json* v = j.find(key);
+    return v != nullptr ? v->as_string() : std::string();
+  };
+  auto num = [&j](const char* key) {
+    const Json* v = j.find(key);
+    return v != nullptr ? v->as_uint() : 0;
+  };
+  r.workload = str("workload");
+  r.config = str("config");
+  r.variant = str("variant");
+  const Json* verified = j.find("verified");
+  r.verified = verified != nullptr && verified->as_bool();
+  r.verify_error = str("verify_error");
+  r.cycles = num("cycles");
+  if (const Json* phases = j.find("phases"); phases != nullptr)
+    for (const Json& ph : phases->items()) {
+      const Json* cycles = ph.find("cycles");
+      r.phase_cycles.push_back(
+          {ph.find("label") != nullptr ? ph.find("label")->as_string() : "",
+           cycles != nullptr ? cycles->as_uint() : 0});
+    }
+  r.opportunity_cycles = num("opportunity_cycles");
+  r.scalar_insts = num("scalar_insts");
+  r.vector_insts = num("vector_insts");
+  r.element_ops = num("element_ops");
+  if (const Json* u = j.find("utilization"); u != nullptr) {
+    auto field = [&u](const char* key) {
+      const Json* v = u->find(key);
+      return v != nullptr ? v->as_uint() : 0;
+    };
+    r.util.busy = field("busy");
+    r.util.partly_idle = field("partly_idle");
+    r.util.stalled = field("stalled");
+    r.util.all_idle = field("all_idle");
+  }
+  if (const Json* hist = j.find("vl_histogram"); hist != nullptr)
+    for (const auto& [key, count] : hist->members())
+      r.vl_hist.add(std::strtoull(key.c_str(), nullptr, 10),
+                    count.as_uint());
+  return r;
+}
 
 RunResult Simulator::run(const workloads::Workload& workload,
                          const workloads::Variant& variant) const {

@@ -2,9 +2,11 @@
 // and collects the measurements behind every table and figure.
 #pragma once
 
+#include <optional>
 #include <string>
 
 #include "common/histogram.hpp"
+#include "common/json.hpp"
 #include "machine/machine_config.hpp"
 #include "workloads/workload.hpp"
 
@@ -45,6 +47,28 @@ struct RunResult {
                        : 100.0 * static_cast<double>(opportunity_cycles) /
                              static_cast<double>(cycles);
   }
+
+  /// Stable JSON serialization — the schema behind `vltsweep`,
+  /// `vltsim_run --json`, and the campaign result cache:
+  ///
+  ///   workload, config, variant   identifying strings
+  ///   verified, verify_error      golden-check outcome
+  ///   cycles                      total simulated cycles
+  ///   phases                      [{label, cycles}] in execution order
+  ///   opportunity_cycles          cycles in VLT-able phases
+  ///   scalar_insts, vector_insts, element_ops
+  ///   metrics                     {pct_vectorization, avg_vl,
+  ///                                pct_opportunity}  (Table 4)
+  ///   utilization                 {busy, partly_idle, stalled, all_idle}
+  ///   vl_histogram                {"<VL>": count, ...} ascending VL
+  ///
+  /// Field order is fixed and numbers format deterministically, so equal
+  /// results serialize to equal bytes.
+  Json to_json() const;
+
+  /// Inverse of to_json(); nullopt if `j` is not a RunResult object.
+  /// Derived metrics are recomputed, not trusted from the input.
+  static std::optional<RunResult> from_json(const Json& j);
 };
 
 class Simulator {

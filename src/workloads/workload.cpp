@@ -16,4 +16,57 @@ std::string Variant::to_string() const {
   return "?";
 }
 
+namespace {
+
+/// Parses the decimal thread count following a variant prefix, optionally
+/// requiring a trailing suffix ("vlt-4vt" style). Thread counts are kept
+/// within the widest machine this repo models (16-lane, 8 threads = 64).
+bool parse_count(const std::string& text, std::size_t prefix_len,
+                 const char* suffix, unsigned& out) {
+  std::size_t suffix_len = std::string(suffix).size();
+  if (text.size() < suffix_len) return false;
+  std::size_t end = text.size() - suffix_len;
+  if (end <= prefix_len || text.compare(end, std::string::npos, suffix) != 0)
+    return false;
+  unsigned n = 0;
+  for (std::size_t i = prefix_len; i < end; ++i) {
+    char c = text[i];
+    if (c < '0' || c > '9') return false;
+    n = n * 10 + static_cast<unsigned>(c - '0');
+    if (n > 64) return false;
+  }
+  if (n == 0) return false;
+  out = n;
+  return true;
+}
+
+}  // namespace
+
+std::optional<Variant> Variant::parse(const std::string& text,
+                                      std::string* error) {
+  unsigned n = 0;
+  if (text == "base") return base();
+  if (parse_count(text, 3, "", n) && text.rfind("vlt", 0) == 0)
+    return vector_threads(n);
+  if (parse_count(text, 4, "vt", n) && text.rfind("vlt-", 0) == 0)
+    return vector_threads(n);
+  if (parse_count(text, 5, "", n) && text.rfind("lanes", 0) == 0)
+    return lane_threads(n);
+  if (parse_count(text, 4, "lane", n) && text.rfind("vlt-", 0) == 0)
+    return lane_threads(n);
+  if (parse_count(text, 2, "", n) && text.rfind("su", 0) == 0 &&
+      text.rfind("su-", 0) != 0)
+    return su_threads(n);
+  if (parse_count(text, 3, "t", n) && text.rfind("su-", 0) == 0)
+    return su_threads(n);
+  if (error)
+    *error = "unknown variant '" + text + "' (expected " + spec_help() + ")";
+  return std::nullopt;
+}
+
+std::string Variant::spec_help() {
+  return "base, vltN (N vector threads), lanesN (N scalar threads on the "
+         "lanes), or suN (N scalar threads on the scalar units)";
+}
+
 }  // namespace vlt::workloads

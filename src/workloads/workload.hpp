@@ -30,6 +30,21 @@ struct Variant {
   static Variant su_threads(unsigned n) { return {Kind::kSuThreads, n}; }
 
   std::string to_string() const;
+
+  /// Parses both the CLI shorthand ("base", "vlt4", "lanes8", "su2") and
+  /// the canonical to_string() form ("vlt-4vt", "vlt-8lane", "su-2t").
+  /// On failure returns nullopt and, when given, sets `error` to a message
+  /// naming the accepted spellings. The single shared parser for every
+  /// tool, bench, and example.
+  static std::optional<Variant> parse(const std::string& text,
+                                      std::string* error = nullptr);
+
+  /// Human-readable summary of the accepted spellings, for usage text.
+  static std::string spec_help();
+
+  friend bool operator==(const Variant& a, const Variant& b) {
+    return a.kind == b.kind && a.nthreads == b.nthreads;
+  }
 };
 
 class Workload {

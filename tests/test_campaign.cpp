@@ -1,0 +1,330 @@
+// Campaign engine: spec expansion, parallel determinism, the result
+// cache, the unified parse/serialize API, and the JSON utility it rides
+// on.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "campaign/campaign.hpp"
+#include "common/json.hpp"
+
+namespace vlt {
+namespace {
+
+namespace fs = std::filesystem;
+using campaign::Campaign;
+using campaign::CampaignOptions;
+using campaign::RunKey;
+using campaign::RunSet;
+using campaign::SweepSpec;
+using machine::MachineConfig;
+using machine::RunResult;
+using workloads::Variant;
+
+// --- Json ---
+
+TEST(Json, DumpIsDeterministicAndOrdered) {
+  Json j = Json::object();
+  j.set("b", 1u);
+  j.set("a", 2u);
+  j.set("b", 3u);  // replaces, keeps first-set position
+  EXPECT_EQ(j.dump(), "{\"b\":3,\"a\":2}");
+}
+
+TEST(Json, RoundTripsThroughParse) {
+  Json j = Json::object();
+  j.set("str", "line\n\"quoted\"");
+  j.set("int", std::int64_t{-5});
+  j.set("uint", std::uint64_t{18446744073709551615ull});
+  j.set("dbl", 1.5);
+  j.set("flag", true);
+  Json arr = Json::array();
+  arr.push_back(Json());
+  arr.push_back(7u);
+  j.set("arr", std::move(arr));
+
+  std::optional<Json> back = Json::parse(j.dump(2));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->dump(), j.dump());
+  EXPECT_EQ(back->find("uint")->as_uint(), 18446744073709551615ull);
+  EXPECT_EQ(back->find("int")->as_int(), -5);
+  EXPECT_EQ(back->find("str")->as_string(), "line\n\"quoted\"");
+}
+
+TEST(Json, RejectsMalformedInput) {
+  std::string err;
+  EXPECT_FALSE(Json::parse("{\"a\":}", &err).has_value());
+  EXPECT_FALSE(Json::parse("[1,]", &err).has_value());
+  EXPECT_FALSE(Json::parse("{\"a\":1} trailing", &err).has_value());
+  EXPECT_FALSE(Json::parse("\"unterminated", &err).has_value());
+  EXPECT_FALSE(err.empty());
+}
+
+// --- unified parse API ---
+
+TEST(VariantParse, AcceptsCliAndCanonicalSpellings) {
+  EXPECT_EQ(*Variant::parse("base"), Variant::base());
+  EXPECT_EQ(*Variant::parse("vlt2"), Variant::vector_threads(2));
+  EXPECT_EQ(*Variant::parse("vlt4"), Variant::vector_threads(4));
+  EXPECT_EQ(*Variant::parse("vlt-4vt"), Variant::vector_threads(4));
+  EXPECT_EQ(*Variant::parse("lanes8"), Variant::lane_threads(8));
+  EXPECT_EQ(*Variant::parse("vlt-8lane"), Variant::lane_threads(8));
+  EXPECT_EQ(*Variant::parse("su4"), Variant::su_threads(4));
+  EXPECT_EQ(*Variant::parse("su-2t"), Variant::su_threads(2));
+}
+
+TEST(VariantParse, RoundTripsToString) {
+  for (Variant v : {Variant::base(), Variant::vector_threads(2),
+                    Variant::lane_threads(8), Variant::su_threads(4)}) {
+    std::optional<Variant> parsed = Variant::parse(v.to_string());
+    ASSERT_TRUE(parsed.has_value()) << v.to_string();
+    EXPECT_EQ(*parsed, v);
+  }
+}
+
+TEST(VariantParse, RejectsGarbageWithMessage) {
+  std::string err;
+  EXPECT_FALSE(Variant::parse("vlt", &err).has_value());
+  EXPECT_NE(err.find("unknown variant"), std::string::npos);
+  EXPECT_FALSE(Variant::parse("vlt0", &err).has_value());
+  EXPECT_FALSE(Variant::parse("vlt-4", &err).has_value());
+  EXPECT_FALSE(Variant::parse("lanes", &err).has_value());
+  EXPECT_FALSE(Variant::parse("su999", &err).has_value());
+  EXPECT_FALSE(Variant::parse("", &err).has_value());
+}
+
+TEST(ConfigFind, KnownAndUnknownNames) {
+  for (const std::string& name : MachineConfig::preset_names()) {
+    std::optional<MachineConfig> c = MachineConfig::find(name);
+    ASSERT_TRUE(c.has_value()) << name;
+    EXPECT_EQ(c->name, name);
+  }
+  EXPECT_FALSE(MachineConfig::find("V9-XXL").has_value());
+}
+
+TEST(ConfigFingerprint, DistinguishesTimingKnobs) {
+  MachineConfig a = MachineConfig::base();
+  MachineConfig b = MachineConfig::base();
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.vu.chaining = false;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  b = MachineConfig::base();
+  b.l2.banks = 1;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  // The name is cosmetic, not timing-relevant.
+  b = MachineConfig::base();
+  b.name = "renamed";
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+// --- RunKey / spec expansion ---
+
+TEST(RunKey, OrderingAndFormatting) {
+  RunKey a{"bt", "base", "base"};
+  RunKey b{"bt", "base", "vlt-2vt"};
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.to_string(), "bt/base/base");
+  EXPECT_TRUE(a == (RunKey{"bt", "base", "base"}));
+}
+
+TEST(SweepSpec, GridPrunesUnsupportedCells) {
+  SweepSpec spec;
+  // mxm has no vector-thread decomposition; base has one hardware thread.
+  std::size_t added = spec.add_grid(
+      {MachineConfig::base(), MachineConfig::v4_cmp()}, {"mxm", "mpenc"},
+      {Variant::base(), Variant::vector_threads(4)});
+  // mxm: base on both configs. mpenc: base on both + vlt4 on V4-CMP.
+  EXPECT_EQ(added, 5u);
+  EXPECT_EQ(spec.size(), 5u);
+}
+
+TEST(ConfigSupports, HardwareLimits) {
+  EXPECT_TRUE(campaign::config_supports(MachineConfig::base(),
+                                        Variant::base()));
+  EXPECT_FALSE(campaign::config_supports(MachineConfig::base(),
+                                         Variant::vector_threads(2)));
+  EXPECT_TRUE(campaign::config_supports(MachineConfig::v4_cmp(),
+                                        Variant::vector_threads(4)));
+  EXPECT_FALSE(campaign::config_supports(MachineConfig::v2_cmp(),
+                                         Variant::vector_threads(4)));
+  // CMT has no vector unit: scalar-unit threads only.
+  EXPECT_FALSE(campaign::config_supports(MachineConfig::cmt(),
+                                         Variant::base()));
+  EXPECT_TRUE(campaign::config_supports(MachineConfig::cmt(),
+                                        Variant::su_threads(4)));
+  EXPECT_TRUE(campaign::config_supports(MachineConfig::v4_cmt(),
+                                        Variant::lane_threads(8)));
+  EXPECT_FALSE(campaign::config_supports(MachineConfig::v4_cmt(),
+                                         Variant::lane_threads(16)));
+}
+
+// --- RunResult serialization ---
+
+TEST(RunResultJson, RoundTripPreservesEveryField) {
+  RunResult r = machine::Simulator(MachineConfig::base())
+                    .run(*workloads::make_workload("mpenc"), Variant::base());
+  ASSERT_TRUE(r.verified);
+
+  std::optional<RunResult> back = RunResult::from_json(r.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->to_json().dump(), r.to_json().dump());
+  EXPECT_EQ(back->cycles, r.cycles);
+  EXPECT_EQ(back->phase_cycles.size(), r.phase_cycles.size());
+  EXPECT_EQ(back->vl_hist.counts(), r.vl_hist.counts());
+  EXPECT_DOUBLE_EQ(back->avg_vl(), r.avg_vl());
+  EXPECT_EQ(back->util.total(), r.util.total());
+}
+
+TEST(RunResultJson, SchemaHasDocumentedFields) {
+  RunResult r = machine::Simulator(MachineConfig::base())
+                    .run(*workloads::make_workload("mxm"), Variant::base());
+  Json j = r.to_json();
+  for (const char* key :
+       {"workload", "config", "variant", "verified", "cycles", "phases",
+        "opportunity_cycles", "scalar_insts", "vector_insts", "element_ops",
+        "metrics", "utilization", "vl_histogram"})
+    EXPECT_NE(j.find(key), nullptr) << key;
+  EXPECT_NE(j.find("metrics")->find("pct_vectorization"), nullptr);
+  EXPECT_NE(j.find("metrics")->find("avg_vl"), nullptr);
+  EXPECT_NE(j.find("metrics")->find("pct_opportunity"), nullptr);
+  EXPECT_NE(j.find("utilization")->find("busy"), nullptr);
+}
+
+TEST(RunResultJson, FromJsonRejectsNonResults) {
+  EXPECT_FALSE(RunResult::from_json(Json()).has_value());
+  EXPECT_FALSE(RunResult::from_json(*Json::parse("{\"a\":1}")).has_value());
+}
+
+// --- campaign execution ---
+
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.add_grid({MachineConfig::base(), MachineConfig::v2_cmp()},
+                {"mpenc", "multprec"},
+                {Variant::base(), Variant::vector_threads(2)});
+  return spec;
+}
+
+TEST(Campaign, ParallelAggregationIsBitIdenticalToSerial) {
+  CampaignOptions serial;
+  serial.threads = 1;
+  RunSet a = Campaign(serial).run(small_spec());
+
+  CampaignOptions parallel;
+  parallel.threads = 4;  // oversubscribed on small hosts — still identical
+  RunSet b = Campaign(parallel).run(small_spec());
+
+  ASSERT_TRUE(a.all_verified());
+  EXPECT_EQ(a.to_json().dump(1), b.to_json().dump(1));
+  EXPECT_EQ(a.to_csv(), b.to_csv());
+}
+
+TEST(Campaign, LookupByTypedKey) {
+  RunSet set = Campaign().run(small_spec());
+  EXPECT_EQ(set.size(), 6u);  // 2 workloads x (base x base, V2-CMP x 2)
+  const RunResult& r = set.at({"mpenc", "V2-CMP", "vlt-2vt"});
+  EXPECT_EQ(r.workload, "mpenc");
+  EXPECT_GT(r.cycles, 0u);
+  EXPECT_EQ(set.cycles("mpenc", "V2-CMP", "vlt-2vt"), r.cycles);
+  EXPECT_EQ(set.find({"mpenc", "CMT", "su-4t"}), nullptr);
+}
+
+class CampaignCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vltsweep-cache-test-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  CampaignOptions cached_opts(unsigned threads = 2) {
+    CampaignOptions o;
+    o.threads = threads;
+    o.cache_dir = dir_.string();
+    return o;
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CampaignCacheTest, WarmRerunHitsAndIsByteIdentical) {
+  RunSet cold = Campaign(cached_opts()).run(small_spec());
+  EXPECT_EQ(cold.cache_hits(), 0u);
+  EXPECT_EQ(cold.cache_misses(), 6u);
+
+  RunSet warm = Campaign(cached_opts()).run(small_spec());
+  EXPECT_EQ(warm.cache_hits(), 6u);
+  EXPECT_EQ(warm.cache_misses(), 0u);
+  EXPECT_EQ(warm.to_json().dump(1), cold.to_json().dump(1));
+}
+
+TEST_F(CampaignCacheTest, SpecChangeInvalidatesOnlyNewCells) {
+  Campaign(cached_opts()).run(small_spec());
+
+  SweepSpec extended = small_spec();
+  extended.add(MachineConfig::v4_cmp(), "mpenc", Variant::vector_threads(4));
+  RunSet set = Campaign(cached_opts()).run(extended);
+  EXPECT_EQ(set.cache_hits(), 6u);    // everything from the first sweep
+  EXPECT_EQ(set.cache_misses(), 1u);  // only the new cell simulates
+}
+
+TEST_F(CampaignCacheTest, ConfigTweakInvalidates) {
+  SweepSpec spec;
+  spec.add(MachineConfig::base(), "multprec", Variant::base());
+  Campaign(cached_opts()).run(spec);
+
+  // Same name, different timing parameters: must miss, not cross-fill.
+  MachineConfig tweaked = MachineConfig::base();
+  tweaked.l2.banks = 1;
+  SweepSpec spec2;
+  spec2.add(tweaked, "multprec", Variant::base());
+  RunSet set = Campaign(cached_opts()).run(spec2);
+  EXPECT_EQ(set.cache_hits(), 0u);
+}
+
+TEST_F(CampaignCacheTest, ForceResimulates) {
+  SweepSpec spec;
+  spec.add(MachineConfig::base(), "multprec", Variant::base());
+  Campaign(cached_opts()).run(spec);
+
+  CampaignOptions force = cached_opts();
+  force.force = true;
+  RunSet set = Campaign(force).run(spec);
+  EXPECT_EQ(set.cache_hits(), 0u);
+}
+
+TEST_F(CampaignCacheTest, CorruptEntryIsAMissNotAnError) {
+  SweepSpec spec;
+  spec.add(MachineConfig::base(), "multprec", Variant::base());
+  RunSet cold = Campaign(cached_opts()).run(spec);
+
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    std::ofstream out(entry.path(), std::ios::trunc);
+    out << "{not json";
+  }
+  RunSet set = Campaign(cached_opts()).run(spec);
+  EXPECT_EQ(set.cache_hits(), 0u);
+  EXPECT_EQ(set.at(0).cycles, cold.at(0).cycles);
+}
+
+TEST(Campaign, ProgressCallbackCoversEveryCell) {
+  CampaignOptions opts;
+  opts.threads = 2;
+  std::vector<std::string> seen;
+  opts.progress = [&seen](std::size_t done, std::size_t total,
+                          const RunKey& key, bool hit) {
+    EXPECT_LE(done, total);
+    EXPECT_FALSE(hit);
+    seen.push_back(key.to_string());
+  };
+  RunSet set = Campaign(opts).run(small_spec());
+  EXPECT_EQ(seen.size(), set.size());
+}
+
+}  // namespace
+}  // namespace vlt

@@ -1,0 +1,94 @@
+// Golden cycle counts for every workload on the paper's key design
+// points. These pin the simulator's timing behaviour exactly: any change
+// to issue rules, chaining, the memory system, or the VLT runtime that
+// moves a number must update this table deliberately (and re-generate
+// tests/golden/sweep_small.json, which the CI sweep job diffs against).
+#include <gtest/gtest.h>
+
+#include "campaign/campaign.hpp"
+
+namespace vlt {
+namespace {
+
+using campaign::Campaign;
+using campaign::CampaignOptions;
+using campaign::RunSet;
+using campaign::SweepSpec;
+using machine::MachineConfig;
+using workloads::Variant;
+
+struct Golden {
+  const char* workload;
+  const char* config;
+  const char* variant;
+  Cycle cycles;
+};
+
+// Collected from the seed implementation via
+//   vltsweep --workloads all --configs base,V2-CMP,V4-CMP
+//            --variants base,vlt2,vlt4 --format csv
+constexpr Golden kGolden[] = {
+    // All nine workloads, single-threaded on the 8-lane base machine.
+    {"mxm", "base", "base", 18988},
+    {"sage", "base", "base", 6976},
+    {"mpenc", "base", "base", 59235},
+    {"trfd", "base", "base", 105699},
+    {"multprec", "base", "base", 20014},
+    {"bt", "base", "base", 53427},
+    {"radix", "base", "base", 454282},
+    {"ocean", "base", "base", 364382},
+    {"barnes", "base", "base", 140946},
+    // Two vector threads (Figure 3 left bars). V2-CMP and V4-CMP give
+    // identical timing for 2 threads: the extra SUs of V4-CMP sit idle.
+    {"mpenc", "V2-CMP", "vlt-2vt", 37736},
+    {"trfd", "V2-CMP", "vlt-2vt", 64545},
+    {"multprec", "V2-CMP", "vlt-2vt", 15739},
+    {"bt", "V2-CMP", "vlt-2vt", 36626},
+    {"mpenc", "V4-CMP", "vlt-2vt", 37736},
+    {"trfd", "V4-CMP", "vlt-2vt", 64545},
+    {"multprec", "V4-CMP", "vlt-2vt", 15739},
+    {"bt", "V4-CMP", "vlt-2vt", 36626},
+    // Four vector threads (Figure 3 right bars).
+    {"mpenc", "V4-CMP", "vlt-4vt", 29970},
+    {"trfd", "V4-CMP", "vlt-4vt", 50559},
+    {"multprec", "V4-CMP", "vlt-4vt", 14256},
+    {"bt", "V4-CMP", "vlt-4vt", 27799},
+};
+
+TEST(GoldenCycles, EveryPinnedCellMatches) {
+  SweepSpec spec;
+  for (const Golden& g : kGolden)
+    spec.add(MachineConfig::by_name(g.config), g.workload,
+             *Variant::parse(g.variant));
+
+  CampaignOptions opts;
+  opts.threads = 0;  // all hardware threads; determinism is independent
+  RunSet results = Campaign(opts).run(spec);
+  ASSERT_TRUE(results.all_verified());
+
+  for (const Golden& g : kGolden)
+    EXPECT_EQ(results.cycles(g.workload, g.config, g.variant), g.cycles)
+        << g.workload << "/" << g.config << "/" << g.variant;
+}
+
+// VLT must never slow an application down relative to its own base run
+// (the paper's speedups are all >= 1); guard the relation, not just the
+// absolute values, so the table above stays self-consistent.
+TEST(GoldenCycles, VltSpeedupsAreAboveOne) {
+  SweepSpec spec;
+  for (const Golden& g : kGolden)
+    spec.add(MachineConfig::by_name(g.config), g.workload,
+             *Variant::parse(g.variant));
+  RunSet results = Campaign().run(spec);
+
+  for (const std::string& app : workloads::vector_thread_apps()) {
+    Cycle base = results.cycles(app, "base", "base");
+    Cycle vlt2 = results.cycles(app, "V2-CMP", "vlt-2vt");
+    Cycle vlt4 = results.cycles(app, "V4-CMP", "vlt-4vt");
+    EXPECT_LT(vlt2, base) << app;
+    EXPECT_LT(vlt4, vlt2) << app;
+  }
+}
+
+}  // namespace
+}  // namespace vlt

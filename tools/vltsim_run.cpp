@@ -2,17 +2,20 @@
 // configuration and variant, print cycle counts, per-phase timing,
 // Table 4-style characteristics, and cache/predictor statistics.
 //
-//   vltsim_run <workload> [--config NAME] [--variant base|vlt2|vlt4|
-//                          lanes8|lanes4|su4] [--lanes N] [--list]
+//   vltsim_run <workload> [--config NAME] [--variant V] [--lanes N]
+//              [--json] [--audit] [--list]
 //
 // Examples:
 //   vltsim_run mpenc --config V4-CMP --variant vlt4
 //   vltsim_run radix --config CMT --variant su4
 //   vltsim_run mxm --lanes 2
+//   vltsim_run bt --json           # RunResult JSON on stdout
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "campaign/campaign.hpp"
 #include "machine/area_model.hpp"
 #include "machine/simulator.hpp"
 #include "workloads/workload.hpp"
@@ -23,28 +26,22 @@ using workloads::Variant;
 namespace {
 
 void usage() {
+  std::string configs;
+  for (const std::string& n : machine::MachineConfig::preset_names())
+    configs += " " + n;
   std::fprintf(
       stderr,
       "usage: vltsim_run <workload> [--config NAME] [--variant V] "
-      "[--lanes N] [--audit] [--list]\n"
+      "[--lanes N] [--json] [--audit] [--list]\n"
       "  workloads: mxm sage mpenc trfd multprec bt radix ocean barnes\n"
-      "  configs:   base V2-SMT V4-SMT V2-CMP V2-CMP-h V4-CMP V4-CMP-h "
-      "V4-CMT CMT\n"
-      "  variants:  base vlt2 vlt4 lanes4 lanes8 su2 su4\n"
+      "  configs:  %s\n"
+      "  variants: %s\n"
+      "  --lanes N: base machine with N lanes (1-%u, dividing %u)\n"
+      "  --json:    print the run result as JSON (schema: RunResult)\n"
       "  --audit:   per-cycle invariant checks + lockstep co-simulation\n"
-      "             (aborts with a diagnostic on the first violation)\n");
-}
-
-bool parse_variant(const std::string& s, Variant& out) {
-  if (s == "base") out = Variant::base();
-  else if (s == "vlt2") out = Variant::vector_threads(2);
-  else if (s == "vlt4") out = Variant::vector_threads(4);
-  else if (s == "lanes4") out = Variant::lane_threads(4);
-  else if (s == "lanes8") out = Variant::lane_threads(8);
-  else if (s == "su2") out = Variant::su_threads(2);
-  else if (s == "su4") out = Variant::su_threads(4);
-  else return false;
-  return true;
+      "             (aborts with a diagnostic on the first violation)\n",
+      configs.c_str(), Variant::spec_help().c_str(), kMaxVectorLength,
+      kMaxVectorLength);
 }
 
 }  // namespace
@@ -59,6 +56,7 @@ int main(int argc, char** argv) {
   Variant variant = Variant::base();
   unsigned lanes = 0;
   bool audit = false;
+  bool json = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -70,14 +68,31 @@ int main(int argc, char** argv) {
     if (arg == "--config" && i + 1 < argc) {
       config_name = argv[++i];
     } else if (arg == "--variant" && i + 1 < argc) {
-      if (!parse_variant(argv[++i], variant)) {
-        usage();
+      std::string err;
+      std::optional<Variant> parsed = Variant::parse(argv[++i], &err);
+      if (!parsed) {
+        std::fprintf(stderr, "vltsim_run: %s\n", err.c_str());
         return 2;
       }
+      variant = *parsed;
     } else if (arg == "--lanes" && i + 1 < argc) {
-      lanes = static_cast<unsigned>(std::atoi(argv[++i]));
+      const char* v = argv[++i];
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1 ||
+          n > static_cast<long>(kMaxVectorLength) ||
+          kMaxVectorLength % static_cast<unsigned>(n) != 0) {
+        std::fprintf(stderr,
+                     "vltsim_run: --lanes expects an integer in [1,%u] "
+                     "dividing %u, got '%s'\n",
+                     kMaxVectorLength, kMaxVectorLength, v);
+        return 2;
+      }
+      lanes = static_cast<unsigned>(n);
     } else if (arg == "--audit") {
       audit = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg[0] != '-' && workload_name.empty()) {
       workload_name = arg;
     } else {
@@ -90,10 +105,23 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  machine::MachineConfig cfg = lanes != 0
-                                   ? machine::MachineConfig::base(lanes)
-                                   : machine::MachineConfig::by_name(
-                                         config_name);
+  machine::MachineConfig cfg;
+  if (lanes != 0) {
+    cfg = machine::MachineConfig::base(lanes);
+  } else {
+    std::optional<machine::MachineConfig> found =
+        machine::MachineConfig::find(config_name);
+    if (!found) {
+      std::string valid;
+      for (const std::string& n : machine::MachineConfig::preset_names())
+        valid += " " + n;
+      std::fprintf(stderr,
+                   "vltsim_run: unknown config '%s' (valid:%s)\n",
+                   config_name.c_str(), valid.c_str());
+      return 2;
+    }
+    cfg = std::move(*found);
+  }
   if (audit) cfg.audit = audit::AuditConfig::full();
   auto workload = workloads::make_workload(workload_name);
   if (!workload->supports(variant.kind)) {
@@ -101,8 +129,20 @@ int main(int argc, char** argv) {
                  workload_name.c_str(), variant.to_string().c_str());
     return 1;
   }
+  if (!campaign::config_supports(cfg, variant)) {
+    std::fprintf(stderr,
+                 "config %s cannot run variant %s (not enough hardware "
+                 "contexts/lanes)\n",
+                 cfg.name.c_str(), variant.to_string().c_str());
+    return 1;
+  }
 
   machine::RunResult r = machine::Simulator(cfg).run(*workload, variant);
+
+  if (json) {
+    std::printf("%s\n", r.to_json().dump(1).c_str());
+    return r.verified ? 0 : 1;
+  }
 
   std::printf("workload : %s\nconfig   : %s\nvariant  : %s\n",
               r.workload.c_str(), r.config.c_str(), r.variant.c_str());

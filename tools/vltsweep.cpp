@@ -1,0 +1,229 @@
+// vltsweep — parallel experiment-campaign driver: run a workload ×
+// config × variant grid across a host thread pool, with a
+// content-addressed on-disk result cache, and emit JSON or CSV.
+//
+//   vltsweep [--workloads a,b|all] [--configs x,y|all] [--variants v,..]
+//            [--threads N] [--cache DIR] [--no-cache] [--force]
+//            [--format json|csv] [--out FILE] [--quiet] [--list]
+//
+// The grid is pruned to runnable cells (workload supports the variant
+// kind, config has the hardware), so `--workloads all --configs all
+// --variants base,vlt2,vlt4,lanes8,su4` reproduces the paper's whole
+// design space in one command. Output bytes are independent of --threads.
+//
+// Examples:
+//   vltsweep                               # default: full Figure-5 grid
+//   vltsweep --workloads mpenc,bt --configs base,V4-CMP \
+//            --variants base,vlt4 --threads 4 --out sweep.json
+//   vltsweep --workloads all --configs all --variants base,vlt2,vlt4 \
+//            --cache .vltsweep-cache --format csv
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+using namespace vlt;
+using workloads::Variant;
+
+namespace {
+
+void usage() {
+  std::string configs;
+  for (const std::string& n : machine::MachineConfig::preset_names())
+    configs += " " + n;
+  std::string workloads_list;
+  for (const std::string& n : workloads::workload_names())
+    workloads_list += " " + n;
+  std::fprintf(
+      stderr,
+      "usage: vltsweep [--workloads LIST|all] [--configs LIST|all]\n"
+      "                [--variants LIST] [--threads N] [--cache DIR]\n"
+      "                [--no-cache] [--force] [--format json|csv]\n"
+      "                [--out FILE] [--quiet] [--list]\n"
+      "  workloads:%s\n"
+      "  configs:  %s\n"
+      "  variants: %s\n"
+      "  --threads N   worker threads (default: hardware concurrency)\n"
+      "  --cache DIR   result-cache directory (default .vltsweep-cache;\n"
+      "                --no-cache disables, --force re-simulates)\n"
+      "  --list        print the cells the spec expands to, then exit\n",
+      workloads_list.c_str(), configs.c_str(), Variant::spec_help().c_str());
+}
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workloads_arg = "all";
+  std::string configs_arg;
+  std::string variants_arg = "base,vlt2,vlt4";
+  std::string format = "json";
+  std::string out_path;
+  campaign::CampaignOptions opts;
+  opts.cache_dir = ".vltsweep-cache";
+  bool quiet = false;
+  bool list_only = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "vltsweep: %s needs a value\n", arg.c_str());
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workloads") {
+      workloads_arg = value();
+    } else if (arg == "--configs") {
+      configs_arg = value();
+    } else if (arg == "--variants") {
+      variants_arg = value();
+    } else if (arg == "--threads") {
+      const char* v = value();
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1 || n > 1024) {
+        std::fprintf(stderr,
+                     "vltsweep: --threads expects an integer in [1,1024], "
+                     "got '%s'\n", v);
+        return 2;
+      }
+      opts.threads = static_cast<unsigned>(n);
+    } else if (arg == "--cache") {
+      opts.cache_dir = value();
+    } else if (arg == "--no-cache") {
+      opts.cache_dir.clear();
+    } else if (arg == "--force") {
+      opts.force = true;
+    } else if (arg == "--format") {
+      format = value();
+      if (format != "json" && format != "csv") {
+        std::fprintf(stderr, "vltsweep: unknown format '%s'\n",
+                     format.c_str());
+        return 2;
+      }
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "vltsweep: unknown argument '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  // --- resolve the grid ---
+  std::vector<std::string> workload_names =
+      workloads_arg == "all" ? workloads::workload_names()
+                             : split_csv(workloads_arg);
+  for (const std::string& name : workload_names) {
+    bool known = false;
+    for (const std::string& k : workloads::workload_names())
+      known = known || k == name;
+    if (!known) {
+      std::fprintf(stderr, "vltsweep: unknown workload '%s'\n", name.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<std::string> config_names;
+  if (configs_arg.empty() || configs_arg == "all") {
+    // Default grid: every preset that can run vector code (CMT joins in
+    // only when an suN variant asks for it).
+    config_names = machine::MachineConfig::preset_names();
+  } else {
+    config_names = split_csv(configs_arg);
+  }
+  std::vector<machine::MachineConfig> configs;
+  for (const std::string& name : config_names) {
+    std::optional<machine::MachineConfig> c =
+        machine::MachineConfig::find(name);
+    if (!c) {
+      std::string valid;
+      for (const std::string& n : machine::MachineConfig::preset_names())
+        valid += " " + n;
+      std::fprintf(stderr,
+                   "vltsweep: unknown config '%s' (valid:%s)\n",
+                   name.c_str(), valid.c_str());
+      return 2;
+    }
+    configs.push_back(std::move(*c));
+  }
+
+  std::vector<Variant> variants;
+  for (const std::string& v : split_csv(variants_arg)) {
+    std::string err;
+    std::optional<Variant> parsed = Variant::parse(v, &err);
+    if (!parsed) {
+      std::fprintf(stderr, "vltsweep: %s\n", err.c_str());
+      return 2;
+    }
+    variants.push_back(*parsed);
+  }
+
+  campaign::SweepSpec spec;
+  spec.add_grid(configs, workload_names, variants);
+  if (spec.empty()) {
+    std::fprintf(stderr,
+                 "vltsweep: the requested grid has no runnable cells\n");
+    return 2;
+  }
+
+  if (list_only) {
+    for (const campaign::Cell& cell : spec.cells())
+      std::printf("%s\n", cell.key().to_string().c_str());
+    return 0;
+  }
+
+  if (!quiet)
+    opts.progress = [](std::size_t done, std::size_t total,
+                       const campaign::RunKey& key, bool hit) {
+      std::fprintf(stderr, "[%3zu/%zu] %-40s %s\n", done, total,
+                   key.to_string().c_str(), hit ? "(cached)" : "");
+    };
+
+  campaign::RunSet set = campaign::Campaign(opts).run(spec);
+
+  std::string output = format == "csv" ? set.to_csv()
+                                       : set.to_json().dump(1) + "\n";
+  if (out_path.empty()) {
+    std::fputs(output.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "vltsweep: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << output;
+  }
+
+  if (!quiet)
+    std::fprintf(stderr,
+                 "vltsweep: %zu cells (%zu simulated, %zu from cache)%s\n",
+                 set.size(), set.cache_misses(), set.cache_hits(),
+                 set.all_verified() ? "" : " — VERIFICATION FAILURES");
+  return set.all_verified() ? 0 : 1;
+}
