@@ -14,8 +14,9 @@
 namespace vlt::bench {
 
 /// Runs the spec on the campaign engine with per-cell progress on stderr.
-/// Aborts if any cell fails verification — a bench must never report
-/// numbers from a functionally wrong run.
+/// Aborts (vlt::fatal) if any cell fails — a bench must never report
+/// numbers from a functionally wrong run, and it has no use for a
+/// partial result set, so the typed errors stop here.
 inline campaign::RunSet run(const campaign::SweepSpec& spec) {
   campaign::CampaignOptions opts;
   if (const char* t = std::getenv("VLTSWEEP_THREADS"))
@@ -26,11 +27,17 @@ inline campaign::RunSet run(const campaign::SweepSpec& spec) {
     std::fprintf(stderr, "[%3zu/%zu] %-44s %s\n", done, total,
                  key.to_string().c_str(), hit ? "(cached)" : "");
   };
-  campaign::RunSet set = campaign::Campaign(opts).run(spec);
-  for (const machine::RunResult& r : set.results())
-    VLT_CHECK(r.verified, r.workload + "/" + r.config + "/" + r.variant +
-                              " failed verification: " + r.verify_error);
-  return set;
+  try {
+    campaign::RunSet set = campaign::Campaign(opts).run(spec);
+    for (const machine::RunResult& r : set.results())
+      VLT_CHECK(r.ok(), r.workload + "/" + r.config + "/" + r.variant +
+                            " failed [" +
+                            machine::run_status_name(r.status) +
+                            "]: " + r.error);
+    return set;
+  } catch (const vlt::SimError& e) {
+    vlt::fatal(e.file(), e.line(), e.message());
+  }
 }
 
 inline double speedup(Cycle baseline, Cycle current) {

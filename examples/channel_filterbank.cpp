@@ -146,7 +146,7 @@ int main() {
                                 .run(bank, workloads::Variant::base());
   std::printf("base (1 thread, 8 lanes):        %8llu cycles  [%s]\n",
               static_cast<unsigned long long>(base.cycles),
-              base.verified ? "verified" : base.verify_error.c_str());
+              base.verified ? "verified" : base.error.c_str());
   for (unsigned k : {2u, 4u}) {
     auto cfg = k == 2 ? machine::MachineConfig::v2_cmp()
                       : machine::MachineConfig::v4_cmp();
@@ -155,7 +155,7 @@ int main() {
     std::printf("VLT  (%u threads, %u lanes each):  %8llu cycles  [%s]  "
                 "speedup %.2fx\n",
                 k, 8 / k, static_cast<unsigned long long>(r.cycles),
-                r.verified ? "verified" : r.verify_error.c_str(),
+                r.verified ? "verified" : r.error.c_str(),
                 static_cast<double>(base.cycles) / r.cycles);
   }
   return 0;

@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
         {app, pt.name, Variant::vector_threads(pt.threads).to_string()});
     if (!r.verified) {
       std::printf("%-10s verification failed: %s\n", pt.name,
-                  r.verify_error.c_str());
+                  r.error.c_str());
       continue;
     }
     double speedup = static_cast<double>(base) / static_cast<double>(r.cycles);

@@ -129,7 +129,7 @@ int main() {
                                 .run(saxpy, workloads::Variant::base());
   std::printf("base (1 thread, 8 lanes):      %8llu cycles  [%s]\n",
               static_cast<unsigned long long>(base.cycles),
-              base.verified ? "verified" : base.verify_error.c_str());
+              base.verified ? "verified" : base.error.c_str());
 
   machine::RunResult vlt2 =
       machine::Simulator(machine::MachineConfig::v2_cmp())
@@ -137,7 +137,7 @@ int main() {
   std::printf("VLT  (2 threads, 4 lanes each): %8llu cycles  [%s]  "
               "speedup %.2fx\n",
               static_cast<unsigned long long>(vlt2.cycles),
-              vlt2.verified ? "verified" : vlt2.verify_error.c_str(),
+              vlt2.verified ? "verified" : vlt2.error.c_str(),
               static_cast<double>(base.cycles) / vlt2.cycles);
 
   machine::RunResult vlt4 =
@@ -146,7 +146,7 @@ int main() {
   std::printf("VLT  (4 threads, 2 lanes each): %8llu cycles  [%s]  "
               "speedup %.2fx\n",
               static_cast<unsigned long long>(vlt4.cycles),
-              vlt4.verified ? "verified" : vlt4.verify_error.c_str(),
+              vlt4.verified ? "verified" : vlt4.error.c_str(),
               static_cast<double>(base.cycles) / vlt4.cycles);
   return 0;
 }

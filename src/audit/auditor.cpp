@@ -7,7 +7,7 @@
 namespace vlt::audit {
 
 Auditor::Auditor(const AuditConfig& cfg, AuditSink* sink)
-    : cfg_(cfg), sink_(sink != nullptr ? sink : &abort_sink_) {
+    : cfg_(cfg), sink_(sink != nullptr ? sink : &throw_sink_) {
   if (cfg_.lockstep) lockstep_ = std::make_unique<Lockstep>(*sink_);
 }
 

@@ -22,7 +22,7 @@ namespace vlt::audit {
 
 class Auditor {
  public:
-  /// `sink` overrides the default aborting sink (tests pass a
+  /// `sink` overrides the default throwing sink (tests pass a
   /// RecordingSink); the Auditor does not take ownership of it.
   explicit Auditor(const AuditConfig& cfg, AuditSink* sink = nullptr);
 
@@ -62,7 +62,7 @@ class Auditor {
 
  private:
   AuditConfig cfg_;
-  AbortSink abort_sink_;
+  ThrowSink throw_sink_;
   AuditSink* sink_;
   std::unique_ptr<Lockstep> lockstep_;
 

@@ -28,8 +28,8 @@ std::string Violation::to_string() const {
   return os.str();
 }
 
-void AbortSink::report(const Violation& v) {
-  fatal("audit", 0, v.to_string());
+void ThrowSink::report(const Violation& v) {
+  VLT_FAIL(ErrorKind::kInvariant, v.to_string());
 }
 
 }  // namespace vlt::audit

@@ -34,7 +34,7 @@ struct Violation {
   std::string to_string() const;
 };
 
-/// Receiver of invariant violations. The default sink aborts (a corrupted
+/// Receiver of invariant violations. The default sink throws (a corrupted
 /// simulation must never report numbers); tests install a recording sink.
 class AuditSink {
  public:
@@ -48,10 +48,12 @@ class AuditSink {
   }
 };
 
-/// Aborts the process with the violation diagnostic (production default).
-class AbortSink : public AuditSink {
+/// Raises SimError(kInvariant) with the violation diagnostic (production
+/// default). Standalone tools die with the diagnostic via their top-level
+/// handler; campaign sweeps isolate the failure to the offending cell.
+class ThrowSink : public AuditSink {
  public:
-  void report(const Violation& v) override;
+  [[noreturn]] void report(const Violation& v) override;
 };
 
 /// Records violations for tests to inspect; never aborts.

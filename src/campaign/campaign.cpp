@@ -6,6 +6,7 @@
 #include <mutex>
 #include <thread>
 
+#include "campaign/journal.hpp"
 #include "common/log.hpp"
 #include "func/memory.hpp"
 #include "isa/opcode.hpp"
@@ -130,9 +131,22 @@ bool RunSet::all_verified() const {
   return true;
 }
 
+bool RunSet::all_ok() const {
+  for (const machine::RunResult& r : results_)
+    if (!r.ok()) return false;
+  return true;
+}
+
+std::size_t RunSet::failures() const {
+  std::size_t n = 0;
+  for (const machine::RunResult& r : results_)
+    if (!r.ok()) ++n;
+  return n;
+}
+
 Json RunSet::to_json() const {
   Json j = Json::object();
-  j.set("schema", "vltsweep-v1");
+  j.set("schema", "vltsweep-v2");
   j.set("cells", static_cast<std::uint64_t>(results_.size()));
   Json arr = Json::array();
   for (const machine::RunResult& r : results_) arr.push_back(r.to_json());
@@ -142,18 +156,19 @@ Json RunSet::to_json() const {
 
 std::string RunSet::to_csv() const {
   std::string out =
-      "workload,config,variant,verified,cycles,opportunity_cycles,"
-      "scalar_insts,vector_insts,element_ops,pct_vectorization,avg_vl,"
-      "pct_opportunity,util_busy,util_partly_idle,util_stalled,"
-      "util_all_idle\n";
+      "workload,config,variant,status,verified,attempts,cycles,"
+      "opportunity_cycles,scalar_insts,vector_insts,element_ops,"
+      "pct_vectorization,avg_vl,pct_opportunity,util_busy,util_partly_idle,"
+      "util_stalled,util_all_idle,error\n";
   char buf[512];
   for (const machine::RunResult& r : results_) {
     std::snprintf(
         buf, sizeof(buf),
-        "%s,%s,%s,%d,%llu,%llu,%llu,%llu,%llu,%.10g,%.10g,%.10g,%llu,%llu,"
-        "%llu,%llu\n",
+        "%s,%s,%s,%s,%d,%u,%llu,%llu,%llu,%llu,%llu,%.10g,%.10g,%.10g,%llu,"
+        "%llu,%llu,%llu,",
         r.workload.c_str(), r.config.c_str(), r.variant.c_str(),
-        r.verified ? 1 : 0, static_cast<unsigned long long>(r.cycles),
+        machine::run_status_name(r.status), r.verified ? 1 : 0, r.attempts,
+        static_cast<unsigned long long>(r.cycles),
         static_cast<unsigned long long>(r.opportunity_cycles),
         static_cast<unsigned long long>(r.scalar_insts),
         static_cast<unsigned long long>(r.vector_insts),
@@ -164,17 +179,83 @@ std::string RunSet::to_csv() const {
         static_cast<unsigned long long>(r.util.stalled),
         static_cast<unsigned long long>(r.util.all_idle));
     out += buf;
+    std::string error = r.error;
+    for (char& c : error)
+      if (c == ',' || c == '\n' || c == '\r') c = ';';
+    out += error;
+    out += '\n';
   }
   return out;
 }
+
+std::uint64_t spec_digest(const SweepSpec& spec) {
+  Digest d;
+  d.mix(std::string("vltsweep-spec-v1"));
+  d.mix(spec.size());
+  for (const Cell& cell : spec.cells()) d.mix(cell.key().to_string());
+  return d.value();
+}
+
+namespace {
+
+/// Simulates one cell under the campaign's fault-isolation policy:
+/// SimErrors land in the result's status/error, and each failure is
+/// retried up to `max_retries` extra attempts.
+machine::RunResult run_cell(const Cell& cell, const CampaignOptions& options) {
+  machine::MachineConfig config = cell.config;
+  if (options.cell_cycle_limit) config.cycle_limit = *options.cell_cycle_limit;
+
+  machine::RunResult res;
+  for (unsigned attempt = 1;; ++attempt) {
+    try {
+      workloads::WorkloadPtr w =
+          cell.make ? cell.make() : workloads::make_workload(cell.workload);
+      res = machine::Simulator(config).run(*w, cell.variant);
+    } catch (const vlt::SimError& e) {
+      res = machine::RunResult{};
+      res.status = machine::run_status_from_error(e.kind());
+      res.error = e.what();
+    }
+    // The identifying strings come from the cell, not the run: a cell
+    // that failed before Simulator::run still names itself in reports.
+    res.workload = cell.workload;
+    res.config = cell.config.name;
+    res.variant = cell.variant.to_string();
+    res.attempts = attempt;
+    if (res.ok() || attempt > options.max_retries) return res;
+  }
+}
+
+}  // namespace
 
 RunSet Campaign::run(const SweepSpec& spec) const {
   const std::vector<Cell>& cells = spec.cells();
   RunSet set;
   set.results_.resize(cells.size());
 
+  // Index (and duplicate-check) the spec before any simulation: two cells
+  // with one identity would make lookups ambiguous — tweaked configs must
+  // carry a distinguishing name — and the error should fire before hours
+  // of sweeping, not after.
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    bool inserted = set.index_.emplace(cells[i].key(), i).second;
+    VLT_CHECK(inserted,
+              "duplicate sweep cell " + cells[i].key().to_string());
+  }
+
   std::optional<ResultCache> cache;
   if (!options_.cache_dir.empty()) cache.emplace(options_.cache_dir);
+
+  // Resume: replay completed cells from the journal, then reopen it so
+  // the file is whole (header + replayed entries) before workers append.
+  std::map<std::size_t, machine::RunResult> resumed;
+  Journal journal;
+  if (!options_.journal_path.empty()) {
+    std::uint64_t digest = spec_digest(spec);
+    if (options_.resume)
+      resumed = Journal::load(options_.journal_path, digest, cells.size());
+    journal.open(options_.journal_path, digest, cells.size(), resumed);
+  }
 
   unsigned threads = options_.threads != 0
                          ? options_.threads
@@ -185,6 +266,7 @@ RunSet Campaign::run(const SweepSpec& spec) const {
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
   std::atomic<std::size_t> hits{0};
+  std::atomic<bool> stop{false};
   std::mutex progress_mu;
 
   // Each worker claims cells by index and writes into its preallocated
@@ -196,37 +278,60 @@ RunSet Campaign::run(const SweepSpec& spec) const {
       std::size_t i = next.fetch_add(1);
       if (i >= cells.size()) return;
       const Cell& cell = cells[i];
-      workloads::WorkloadPtr w = cell.make
-                                     ? cell.make()
-                                     : workloads::make_workload(cell.workload);
-      VLT_CHECK(w->supports(cell.variant.kind),
-                cell.workload + " does not support variant " +
-                    cell.variant.to_string());
 
       bool hit = false;
-      std::uint64_t key = 0;
-      if (cache) {
-        key = cell_cache_key(cell, *w);
-        if (!options_.force) {
-          std::optional<machine::RunResult> cached = cache->lookup(key);
-          // The cached identifying strings must match the cell's; a hash
-          // collision across different cells is theoretically possible
-          // and must re-simulate rather than silently cross-fill.
-          if (cached && cached->workload == cell.workload &&
-              cached->config == cell.config.name &&
-              cached->variant == cell.variant.to_string()) {
-            set.results_[i] = std::move(*cached);
-            hit = true;
+      if (auto it = resumed.find(i); it != resumed.end()) {
+        // Journal replay: take the recorded result verbatim (including
+        // failures) so a resumed sweep reports byte-identically.
+        set.results_[i] = it->second;
+        hit = true;
+      } else if (stop.load(std::memory_order_relaxed)) {
+        machine::RunResult& r = set.results_[i];
+        r.workload = cell.workload;
+        r.config = cell.config.name;
+        r.variant = cell.variant.to_string();
+        r.status = machine::RunStatus::kSkipped;
+        r.error = "not executed: fail-fast stopped the campaign";
+        r.attempts = 0;
+        // Deliberately not journaled: a resume should attempt these.
+      } else {
+        std::uint64_t key = 0;
+        bool have_key = false;
+        if (cache) {
+          try {
+            workloads::WorkloadPtr w =
+                cell.make ? cell.make()
+                          : workloads::make_workload(cell.workload);
+            key = cell_cache_key(cell, *w);
+            have_key = true;
+          } catch (const vlt::SimError&) {
+            // An unconstructable cell fails in run_cell with the right
+            // status; it just never touches the cache.
+          }
+          if (have_key && !options_.force) {
+            std::optional<machine::RunResult> cached = cache->lookup(key);
+            // The cached identifying strings must match the cell's; a hash
+            // collision across different cells is theoretically possible
+            // and must re-simulate rather than silently cross-fill. Only
+            // ok results are trusted from the cache (failures re-run).
+            if (cached && cached->ok() && cached->workload == cell.workload &&
+                cached->config == cell.config.name &&
+                cached->variant == cell.variant.to_string()) {
+              set.results_[i] = std::move(*cached);
+              hit = true;
+            }
           }
         }
+        if (!hit) {
+          set.results_[i] = run_cell(cell, options_);
+          if (cache && have_key && set.results_[i].ok())
+            cache->store(key, set.results_[i]);
+          if (!set.results_[i].ok() && options_.fail_fast)
+            stop.store(true, std::memory_order_relaxed);
+        }
+        journal.append(i, cell.key(), set.results_[i]);
       }
-      if (!hit) {
-        set.results_[i] =
-            machine::Simulator(cell.config).run(*w, cell.variant);
-        if (cache) cache->store(key, set.results_[i]);
-      } else {
-        hits.fetch_add(1);
-      }
+      if (hit) hits.fetch_add(1);
 
       std::size_t completed = done.fetch_add(1) + 1;
       if (options_.progress) {
@@ -246,13 +351,7 @@ RunSet Campaign::run(const SweepSpec& spec) const {
   }
 
   set.cache_hits_ = hits.load();
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    bool inserted = set.index_.emplace(cells[i].key(), i).second;
-    // Two cells with one identity would make lookups ambiguous — tweaked
-    // configs must carry a distinguishing name.
-    VLT_CHECK(inserted,
-              "duplicate sweep cell " + cells[i].key().to_string());
-  }
+  set.resumed_ = resumed.size();
   return set;
 }
 
@@ -261,11 +360,19 @@ RunSet run_or_die(const SweepSpec& spec) {
   if (const char* t = std::getenv("VLTSWEEP_THREADS"))
     opts.threads = static_cast<unsigned>(std::strtoul(t, nullptr, 10));
   if (const char* c = std::getenv("VLTSWEEP_CACHE")) opts.cache_dir = c;
-  RunSet set = Campaign(opts).run(spec);
-  for (const machine::RunResult& r : set.results())
-    VLT_CHECK(r.verified, r.workload + "/" + r.config + "/" + r.variant +
-                              " failed verification: " + r.verify_error);
-  return set;
+  try {
+    RunSet set = Campaign(opts).run(spec);
+    for (const machine::RunResult& r : set.results())
+      VLT_CHECK(r.ok(), r.workload + "/" + r.config + "/" + r.variant +
+                            " failed [" +
+                            machine::run_status_name(r.status) +
+                            "]: " + r.error);
+    return set;
+  } catch (const vlt::SimError& e) {
+    // Benches have no use for a partial result set; keep the seed's
+    // abort-with-location contract.
+    vlt::fatal(e.file(), e.line(), e.message());
+  }
 }
 
 }  // namespace vlt::campaign

@@ -81,12 +81,31 @@ class SweepSpec {
 struct CampaignOptions {
   /// Worker threads; 0 = std::thread::hardware_concurrency().
   unsigned threads = 0;
-  /// Result-cache directory; empty = no caching.
+  /// Result-cache directory; empty = no caching. Only ok results are
+  /// cached — failures (and their cycle-budget timeouts) always
+  /// re-simulate, so a fixed bug or a raised budget takes effect.
   std::string cache_dir;
   /// Re-simulate even on a cache hit (refreshes the cache).
   bool force = false;
+  /// Stop launching new cells after the first failed cell; cells not yet
+  /// started finish the sweep as RunStatus::kSkipped. Default: isolate
+  /// the failure in its cell and keep sweeping.
+  bool fail_fast = false;
+  /// Extra simulation attempts per failed cell (the attempt count lands
+  /// in RunResult::attempts). The simulator is deterministic, so this
+  /// mainly guards host-level flakiness; default off.
+  unsigned max_retries = 0;
+  /// Overrides MachineConfig::cycle_limit for every cell when set.
+  std::optional<Cycle> cell_cycle_limit;
+  /// When non-empty, every completed cell is appended to this JSONL
+  /// journal (campaign/journal.hpp) so a killed sweep can resume.
+  std::string journal_path;
+  /// Replay completed cells from journal_path before running; only the
+  /// remaining cells execute. Requires journal_path.
+  bool resume = false;
   /// Called after each cell completes (from worker threads, serialized
-  /// internally): done count, total, the cell's key, cache hit?
+  /// internally): done count, total, the cell's key, cache hit? (journal
+  /// replays count as hits).
   std::function<void(std::size_t, std::size_t, const RunKey&, bool)>
       progress;
 };
@@ -108,16 +127,25 @@ class RunSet {
   }
 
   bool all_verified() const;
+  /// True when every cell has RunStatus::kOk (stricter than
+  /// all_verified(): a timed-out or skipped cell is unverified AND
+  /// not ok).
+  bool all_ok() const;
+  /// Count of cells with status != ok (including skipped).
+  std::size_t failures() const;
   std::size_t cache_hits() const { return cache_hits_; }
   std::size_t cache_misses() const { return results_.size() - cache_hits_; }
+  /// Cells replayed from the journal instead of executed (--resume).
+  std::size_t resumed() const { return resumed_; }
 
-  /// Full campaign report: {"schema": .., "results": [RunResult...]}.
-  /// Deterministic bytes for a given spec — the CI golden diff and the
-  /// threads=1 vs threads=N determinism test compare these directly.
+  /// Full campaign report: {"schema": "vltsweep-v2", "results":
+  /// [RunResult...]}. Deterministic bytes for a given spec — the CI
+  /// golden diff, the kill/resume byte-identity check, and the threads=1
+  /// vs threads=N determinism test compare these directly.
   Json to_json() const;
 
   /// Flat CSV (one row per cell; phase timings and the VL histogram are
-  /// JSON-only).
+  /// JSON-only). Commas/newlines in the error column are folded to ';'.
   std::string to_csv() const;
 
  private:
@@ -125,16 +153,26 @@ class RunSet {
   std::vector<machine::RunResult> results_;
   std::map<RunKey, std::size_t> index_;
   std::size_t cache_hits_ = 0;
+  std::size_t resumed_ = 0;
 };
+
+/// Order-sensitive digest of a spec's cell identities; keys the journal
+/// header so a journal only ever resumes the sweep that wrote it.
+std::uint64_t spec_digest(const SweepSpec& spec);
 
 class Campaign {
  public:
   explicit Campaign(CampaignOptions options = {})
       : options_(std::move(options)) {}
 
-  /// Executes every cell (thread pool, cache-aware) and aggregates in
-  /// spec order. Aborts on an unknown workload name; verification
-  /// failures are reported per-cell in the RunSet, not fatal.
+  /// Executes every cell (thread pool, cache- and journal-aware) and
+  /// aggregates in spec order. Each cell is fault-isolated: a SimError
+  /// thrown while building or simulating it (unknown workload, tripped
+  /// invariant, exceeded cycle budget, ...) lands in that cell's
+  /// RunResult::status/error, retried per max_retries, and the sweep
+  /// continues — or, with fail_fast, stops launching new cells. Only a
+  /// duplicate cell identity or a foreign resume journal still throws:
+  /// those poison the whole report, not one cell.
   RunSet run(const SweepSpec& spec) const;
 
  private:
@@ -143,8 +181,8 @@ class Campaign {
 
 /// Convenience used by the bench drivers: run `spec` honoring the
 /// VLTSWEEP_THREADS / VLTSWEEP_CACHE environment variables (so `make
-/// bench` farms out without per-bench flag plumbing), abort if any cell
-/// fails verification — a bench must never print numbers from a
+/// bench` farms out without per-bench flag plumbing), abort (vlt::fatal)
+/// if any cell fails — a bench must never print numbers from a
 /// functionally wrong run.
 RunSet run_or_die(const SweepSpec& spec);
 

@@ -1,0 +1,103 @@
+#include "campaign/journal.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/log.hpp"
+
+namespace vlt::campaign {
+
+namespace {
+
+std::string spec_hex(std::uint64_t spec) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(spec));
+  return buf;
+}
+
+std::string entry_line(std::size_t cell, const RunKey& key,
+                       const machine::RunResult& result) {
+  Json j = Json::object();
+  j.set("cell", static_cast<std::uint64_t>(cell));
+  j.set("key", key.to_string());
+  j.set("result", result.to_json());
+  return j.dump();
+}
+
+}  // namespace
+
+std::map<std::size_t, machine::RunResult> Journal::load(
+    const std::string& path, std::uint64_t spec, std::size_t cells) {
+  std::map<std::size_t, machine::RunResult> out;
+  std::ifstream in(path);
+  if (!in) return out;  // nothing to resume
+
+  std::string line;
+  if (!std::getline(in, line)) return out;  // empty file: header never made it
+  std::optional<Json> header = Json::parse(line);
+  const Json* schema =
+      header && header->is_object() ? header->find("schema") : nullptr;
+  const Json* hspec = header ? header->find("spec") : nullptr;
+  const Json* hcells = header ? header->find("cells") : nullptr;
+  if (schema == nullptr || schema->as_string() != "vltsweep-journal-v1")
+    VLT_FAIL(ErrorKind::kConfig,
+             path + " is not a vltsweep journal (bad or missing header)");
+  if (hspec == nullptr || hspec->as_string() != spec_hex(spec) ||
+      hcells == nullptr || hcells->as_uint() != cells)
+    VLT_FAIL(ErrorKind::kConfig,
+             "journal " + path +
+                 " was written for a different sweep; refusing to resume "
+                 "(delete it or rerun without --resume)");
+
+  while (std::getline(in, line)) {
+    std::optional<Json> j = Json::parse(line);
+    if (!j || !j->is_object()) break;  // torn tail from a mid-write kill
+    const Json* cell = j->find("cell");
+    const Json* result = j->find("result");
+    if (cell == nullptr || result == nullptr) break;
+    std::size_t index = static_cast<std::size_t>(cell->as_uint());
+    if (index >= cells) break;
+    std::optional<machine::RunResult> r =
+        machine::RunResult::from_json(*result);
+    if (!r) break;
+    out[index] = std::move(*r);  // last record for an index wins
+  }
+  return out;
+}
+
+void Journal::open(const std::string& path, std::uint64_t spec,
+                   std::size_t cells,
+                   const std::map<std::size_t, machine::RunResult>& resumed) {
+  out_.open(path, std::ios::trunc);
+  if (!out_.is_open()) {
+    std::fprintf(stderr,
+                 "vltsweep warning: cannot write journal %s; "
+                 "this sweep will not be resumable\n",
+                 path.c_str());
+    return;
+  }
+  Json header = Json::object();
+  header.set("schema", "vltsweep-journal-v1");
+  header.set("spec", spec_hex(spec));
+  header.set("cells", static_cast<std::uint64_t>(cells));
+  out_ << header.dump() << "\n";
+  for (const auto& [index, result] : resumed)
+    out_ << entry_line(
+                index,
+                RunKey{result.workload, result.config, result.variant},
+                result)
+         << "\n";
+  out_.flush();
+}
+
+void Journal::append(std::size_t cell, const RunKey& key,
+                     const machine::RunResult& result) {
+  if (!out_.is_open()) return;
+  std::string line = entry_line(cell, key, result);
+  std::lock_guard<std::mutex> lock(mu_);
+  out_ << line << "\n";
+  out_.flush();
+}
+
+}  // namespace vlt::campaign

@@ -1,0 +1,64 @@
+// Append-only campaign journal: one JSONL file recording every completed
+// cell of a sweep, so a killed campaign resumes from its last finished
+// cell instead of restarting (`vltsweep --resume`).
+//
+// Layout: a header line identifying the sweep, then one line per
+// completed cell, appended and flushed as workers finish:
+//
+//   {"schema": "vltsweep-journal-v1", "spec": "<hex digest>", "cells": N}
+//   {"cell": 0, "key": "mpenc/base/base", "result": {RunResult...}}
+//   ...
+//
+// The spec digest covers the ordered cell identities, so a journal is
+// only replayed into the sweep that wrote it. A SIGKILL can tear the
+// final line; load() ignores an unparseable tail, and resume rewrites
+// the file (header + surviving entries) rather than appending after a
+// torn record.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "campaign/run_key.hpp"
+#include "machine/simulator.hpp"
+
+namespace vlt::campaign {
+
+class Journal {
+ public:
+  Journal() = default;
+  Journal(const Journal&) = delete;
+  Journal& operator=(const Journal&) = delete;
+
+  /// Parses the journal at `path` written for a sweep with the given spec
+  /// digest and cell count. A missing file yields an empty map (nothing
+  /// to resume). A header naming a different sweep throws
+  /// SimError(kConfig) — replaying foreign results would corrupt the
+  /// report. Torn or malformed entry lines end the replay silently.
+  static std::map<std::size_t, machine::RunResult> load(
+      const std::string& path, std::uint64_t spec, std::size_t cells);
+
+  /// Opens `path` for writing: truncates, writes the header, and replays
+  /// `resumed` (so the file is whole again after a torn tail). On IO
+  /// failure the journal degrades to disabled with a warning on stderr —
+  /// the sweep still runs, it just cannot be resumed.
+  void open(const std::string& path, std::uint64_t spec, std::size_t cells,
+            const std::map<std::size_t, machine::RunResult>& resumed);
+
+  bool enabled() const { return out_.is_open(); }
+
+  /// Records one completed cell. Thread-safe; the line is flushed before
+  /// returning so a kill at any instant loses at most the torn tail.
+  void append(std::size_t cell, const RunKey& key,
+              const machine::RunResult& result);
+
+ private:
+  std::ofstream out_;
+  std::mutex mu_;
+};
+
+}  // namespace vlt::campaign

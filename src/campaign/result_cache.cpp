@@ -16,8 +16,12 @@ namespace fs = std::filesystem;
 ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
-  VLT_CHECK(!ec, "cannot create cache directory " + dir_ + ": " +
-                     ec.message());
+  enabled_ = !ec;
+  if (!enabled_)
+    std::fprintf(stderr,
+                 "vltsim warning: cannot create cache directory %s: %s; "
+                 "caching disabled for this run\n",
+                 dir_.c_str(), ec.message().c_str());
 }
 
 std::string ResultCache::entry_path(std::uint64_t key) const {
@@ -29,17 +33,31 @@ std::string ResultCache::entry_path(std::uint64_t key) const {
 
 std::optional<machine::RunResult> ResultCache::lookup(
     std::uint64_t key) const {
-  std::ifstream in(entry_path(key));
-  if (!in) return std::nullopt;
-  std::ostringstream text;
-  text << in.rdbuf();
-  std::optional<Json> j = Json::parse(text.str());
-  if (!j) return std::nullopt;
-  return machine::RunResult::from_json(*j);
+  if (!enabled_) return std::nullopt;
+  std::string path = entry_path(key);
+  std::optional<machine::RunResult> result;
+  {
+    std::ifstream in(path);
+    if (!in) return std::nullopt;
+    std::ostringstream text;
+    text << in.rdbuf();
+    std::optional<Json> j = Json::parse(text.str());
+    if (j) result = machine::RunResult::from_json(*j);
+  }
+  if (!result) {
+    // Quarantine rather than delete: the bytes stay inspectable, but the
+    // entry stops costing a parse on every subsequent campaign.
+    std::error_code ec;
+    fs::rename(path, path + ".corrupt", ec);
+    if (ec) fs::remove(path, ec);
+    return std::nullopt;
+  }
+  return result;
 }
 
 void ResultCache::store(std::uint64_t key,
                         const machine::RunResult& result) const {
+  if (!enabled_) return;
   std::string path = entry_path(key);
   // Unique temp name per key+thread: concurrent writers of the same key
   // both write the same bytes, so last-rename-wins is harmless.

@@ -41,12 +41,19 @@ class Digest {
 
 class ResultCache {
  public:
-  /// Opens (creating if needed) a cache rooted at `dir`. Aborts if the
-  /// directory cannot be created.
+  /// Opens (creating if needed) a cache rooted at `dir`. If the directory
+  /// cannot be created the cache degrades to disabled — every lookup
+  /// misses, every store is a no-op — with a warning on stderr; a bad
+  /// cache path must never kill a campaign that can run without it.
   explicit ResultCache(std::string dir);
 
+  /// True when the cache directory exists and is usable.
+  bool enabled() const { return enabled_; }
+
   /// Returns the cached result for `key`, or nullopt on a miss. A
-  /// corrupt or unreadable entry counts as a miss.
+  /// corrupt or unreadable entry counts as a miss and is quarantined
+  /// (renamed to "<entry>.corrupt") so later campaigns do not re-parse
+  /// it on every run.
   std::optional<machine::RunResult> lookup(std::uint64_t key) const;
 
   /// Stores `result` under `key` (atomic write-then-rename, so concurrent
@@ -59,6 +66,7 @@ class ResultCache {
   std::string entry_path(std::uint64_t key) const;
 
   std::string dir_;
+  bool enabled_ = false;
 };
 
 }  // namespace vlt::campaign

@@ -1,0 +1,24 @@
+#include "common/error.hpp"
+
+namespace vlt {
+
+const char* error_kind_name(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kInvariant: return "invariant";
+    case ErrorKind::kConfig: return "config";
+    case ErrorKind::kWorkloadVerify: return "workload-verify";
+    case ErrorKind::kTimeout: return "timeout";
+    case ErrorKind::kIo: return "io";
+  }
+  return "unknown";
+}
+
+SimError::SimError(ErrorKind kind, const char* file, int line, std::string msg)
+    : std::runtime_error(std::string(file) + ":" + std::to_string(line) +
+                         ": " + msg),
+      kind_(kind),
+      file_(file),
+      line_(line),
+      msg_(std::move(msg)) {}
+
+}  // namespace vlt

@@ -1,0 +1,58 @@
+// Typed simulator errors (the vltguard taxonomy).
+//
+// Every recoverable failure the simulator can raise is a SimError carrying
+// one of five kinds. VLT_CHECK (common/log.hpp) throws kInvariant; other
+// layers throw the kind that matches the fault:
+//
+//   kInvariant       a simulator self-check failed (state corruption,
+//                    protocol violation, audit finding) — a bug, not input
+//   kConfig          bad input: unknown workload/config, mismatched journal
+//   kWorkloadVerify  the run completed but the golden check failed
+//   kTimeout         a run exceeded its cycle budget (possible deadlock)
+//   kIo              the host filesystem failed underneath us
+//
+// The campaign engine catches SimError per sweep cell and turns it into a
+// failed RunResult, so one bad cell never discards a thousand good ones;
+// the CLI tools install a top-level handler that prints the classic
+// "vltsim fatal: file:line: msg" diagnostic for standalone runs. See
+// docs/ERRORS.md.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace vlt {
+
+enum class ErrorKind : std::uint8_t {
+  kInvariant,
+  kConfig,
+  kWorkloadVerify,
+  kTimeout,
+  kIo,
+};
+
+/// Stable lowercase name used in JSON/CSV statuses and diagnostics:
+/// "invariant", "config", "workload-verify", "timeout", "io".
+const char* error_kind_name(ErrorKind kind);
+
+class SimError : public std::runtime_error {
+ public:
+  /// `file`/`line` locate the throw site (VLT_CHECK passes __FILE__ /
+  /// __LINE__); what() formats as "file:line: msg".
+  SimError(ErrorKind kind, const char* file, int line, std::string msg);
+
+  ErrorKind kind() const { return kind_; }
+  const char* file() const { return file_; }
+  int line() const { return line_; }
+  /// The bare diagnostic, without the file:line prefix of what().
+  const std::string& message() const { return msg_; }
+
+ private:
+  ErrorKind kind_;
+  const char* file_;
+  int line_;
+  std::string msg_;
+};
+
+}  // namespace vlt

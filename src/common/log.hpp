@@ -5,15 +5,27 @@
 #include <cstdlib>
 #include <string>
 
+#include "common/error.hpp"
+
 namespace vlt {
 
+/// Prints "vltsim fatal: file:line: msg" and aborts. The last-resort exit
+/// used by run_or_die-style helpers whose callers must never see numbers
+/// from a broken run; recoverable paths throw SimError instead.
 [[noreturn]] void fatal(const char* file, int line, const std::string& msg);
 
+/// Raises a typed SimError from the current source location.
+#define VLT_FAIL(kind, msg) \
+  throw ::vlt::SimError((kind), __FILE__, __LINE__, (msg))
+
 /// Simulator invariant check: always on (simulation bugs silently corrupt
-/// results, so these are not compiled out in release builds).
+/// results, so these are not compiled out in release builds). Throws
+/// SimError(kInvariant); the campaign engine isolates the failure to the
+/// sweep cell that raised it, and the CLI tools' top-level handlers print
+/// the classic file:line fatal diagnostic for standalone runs.
 #define VLT_CHECK(cond, msg)                                      \
   do {                                                            \
-    if (!(cond)) ::vlt::fatal(__FILE__, __LINE__, (msg));         \
+    if (!(cond)) VLT_FAIL(::vlt::ErrorKind::kInvariant, (msg));   \
   } while (0)
 
 }  // namespace vlt

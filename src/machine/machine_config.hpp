@@ -29,6 +29,14 @@ struct MachineConfig {
   /// paper models stream one line per cycle into the L2.
   unsigned mem_cycles_per_line = 1;
 
+  /// Per-run cycle budget: a run whose clock reaches this many cycles
+  /// raises SimError(kTimeout) with a deadlock diagnostic (phase label,
+  /// per-context PCs, barrier state). Campaigns override it per cell via
+  /// CampaignOptions::cell_cycle_limit / vltsweep --cell-cycle-limit.
+  /// Deliberately NOT part of fingerprint(): the budget bounds a run, it
+  /// never changes the timing of a run that completes within it.
+  Cycle cycle_limit = 2'000'000'000ull;
+
   /// Audit mode (off by default): dynamic invariant checks and lockstep
   /// co-simulation. Observational only — enabling it never changes timing.
   audit::AuditConfig audit;

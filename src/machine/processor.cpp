@@ -1,12 +1,10 @@
 #include "machine/processor.hpp"
 
+#include <cstdio>
+
 #include "common/log.hpp"
 
 namespace vlt::machine {
-
-namespace {
-constexpr Cycle kPhaseCycleLimit = 2'000'000'000ull;
-}
 
 Processor::Processor(const MachineConfig& config, audit::Auditor* auditor)
     : config_(config),
@@ -132,10 +130,13 @@ Cycle Processor::run_phase(const Phase& phase) {
     for (const auto& lc : lanes_) lane_committed_before += lc->committed();
 
   while (!phase_complete(phase)) {
-    VLT_CHECK(now_ - start < kPhaseCycleLimit,
-              "phase exceeded the cycle limit (deadlock?) in " + phase.label);
-    // The watchdog catches a stuck barrier long before the 2e9-cycle phase
-    // limit would; polled sparsely so audit mode stays cheap.
+    // Per-run budget (now_ is monotonic across phases, so this bounds the
+    // whole cell, not just one phase). kTimeout so campaigns can classify
+    // and retry it separately from invariant failures.
+    if (now_ >= config_.cycle_limit)
+      VLT_FAIL(ErrorKind::kTimeout, timeout_diagnostic(phase));
+    // The watchdog catches a stuck barrier long before the cycle budget
+    // would; polled sparsely so audit mode stays cheap.
     if (auditor_ != nullptr && (now_ & 1023) == 0)
       auditor_->barrier_watchdog(barrier_, now_, phase.label);
     if (lane_mode) {
@@ -153,6 +154,52 @@ Cycle Processor::run_phase(const Phase& phase) {
     lane_committed_ += after - lane_committed_before;
   }
   return now_ - start;
+}
+
+std::string Processor::timeout_diagnostic(const Phase& phase) const {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "run exceeded the %llu-cycle budget in phase '%s'"
+                " (possible deadlock)",
+                static_cast<unsigned long long>(config_.cycle_limit),
+                phase.label.c_str());
+  std::string msg = buf;
+
+  if (phase.mode == PhaseMode::kLaneThreads) {
+    for (unsigned t = 0; t < phase.nthreads() && t < lanes_.size(); ++t) {
+      const lanecore::LaneCore& lc = *lanes_[t];
+      std::snprintf(buf, sizeof(buf), "; lane%u: %s pc=%llu", t,
+                    lc.done() ? "done" : (lc.active() ? "running" : "idle"),
+                    static_cast<unsigned long long>(lc.arch_state().pc()));
+      msg += buf;
+    }
+  } else {
+    for (unsigned s = 0; s < sus_.size(); ++s) {
+      const su::ScalarCore& su = *sus_[s];
+      for (unsigned c = 0; c < su.num_contexts(); ++c) {
+        if (!su.context_active(c)) continue;
+        std::snprintf(
+            buf, sizeof(buf), "; su%u.ctx%u: %s pc=%llu", s, c,
+            su.context_done(c) ? "done" : "running",
+            static_cast<unsigned long long>(su.arch_state(c).pc()));
+        msg += buf;
+      }
+    }
+  }
+
+  vltctl::BarrierController::PendingGen pending = barrier_.oldest_pending();
+  if (pending.valid) {
+    std::snprintf(buf, sizeof(buf),
+                  "; barrier: generation %llu stuck at %u/%u arrivals since "
+                  "cycle %llu",
+                  static_cast<unsigned long long>(pending.generation),
+                  pending.arrivals, pending.expected,
+                  static_cast<unsigned long long>(pending.first_arrival));
+    msg += buf;
+  } else {
+    msg += "; barrier: no generation pending";
+  }
+  return msg;
 }
 
 std::uint64_t Processor::committed_scalar() const {

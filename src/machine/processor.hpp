@@ -49,6 +49,10 @@ class Processor {
  private:
   void start_phase_contexts(const Phase& phase);
   bool phase_complete(const Phase& phase) const;
+  /// Deadlock diagnostic for a run that exhausted config().cycle_limit:
+  /// the stuck phase, every context's PC and state, and the oldest
+  /// partially-full barrier generation.
+  std::string timeout_diagnostic(const Phase& phase) const;
 
   MachineConfig config_;
   audit::Auditor* auditor_;

@@ -9,13 +9,48 @@
 
 namespace vlt::machine {
 
+const char* run_status_name(RunStatus s) {
+  switch (s) {
+    case RunStatus::kOk: return "ok";
+    case RunStatus::kWorkloadVerify: return "workload-verify";
+    case RunStatus::kInvariant: return "invariant";
+    case RunStatus::kConfig: return "config";
+    case RunStatus::kTimeout: return "timeout";
+    case RunStatus::kIo: return "io";
+    case RunStatus::kSkipped: return "skipped";
+  }
+  return "unknown";
+}
+
+std::optional<RunStatus> run_status_from_name(const std::string& name) {
+  for (RunStatus s :
+       {RunStatus::kOk, RunStatus::kWorkloadVerify, RunStatus::kInvariant,
+        RunStatus::kConfig, RunStatus::kTimeout, RunStatus::kIo,
+        RunStatus::kSkipped})
+    if (name == run_status_name(s)) return s;
+  return std::nullopt;
+}
+
+RunStatus run_status_from_error(ErrorKind kind) {
+  switch (kind) {
+    case ErrorKind::kInvariant: return RunStatus::kInvariant;
+    case ErrorKind::kConfig: return RunStatus::kConfig;
+    case ErrorKind::kWorkloadVerify: return RunStatus::kWorkloadVerify;
+    case ErrorKind::kTimeout: return RunStatus::kTimeout;
+    case ErrorKind::kIo: return RunStatus::kIo;
+  }
+  return RunStatus::kInvariant;
+}
+
 Json RunResult::to_json() const {
   Json j = Json::object();
   j.set("workload", workload);
   j.set("config", config);
   j.set("variant", variant);
+  j.set("status", run_status_name(status));
   j.set("verified", verified);
-  if (!verified) j.set("verify_error", verify_error);
+  if (!ok()) j.set("error", error);
+  j.set("attempts", static_cast<std::uint64_t>(attempts));
   j.set("cycles", cycles);
   Json phases = Json::array();
   for (const PhaseTiming& p : phase_cycles) {
@@ -65,7 +100,21 @@ std::optional<RunResult> RunResult::from_json(const Json& j) {
   r.variant = str("variant");
   const Json* verified = j.find("verified");
   r.verified = verified != nullptr && verified->as_bool();
-  r.verify_error = str("verify_error");
+  if (const Json* status = j.find("status"); status != nullptr) {
+    std::optional<RunStatus> parsed =
+        run_status_from_name(status->as_string());
+    if (!parsed) return std::nullopt;
+    r.status = *parsed;
+  } else {
+    // Schema-v1 entries (e.g. an old result cache) carry only `verified`.
+    r.status = r.verified ? RunStatus::kOk : RunStatus::kWorkloadVerify;
+  }
+  r.error = str("error");
+  if (r.error.empty()) r.error = str("verify_error");  // schema v1
+  const Json* attempts = j.find("attempts");
+  r.attempts = attempts != nullptr
+                   ? static_cast<unsigned>(attempts->as_uint(1))
+                   : 1;
   r.cycles = num("cycles");
   if (const Json* phases = j.find("phases"); phases != nullptr)
     for (const Json& ph : phases->items()) {
@@ -151,7 +200,10 @@ RunResult Simulator::run(const workloads::Workload& workload,
 
   std::optional<std::string> err = workload.verify(proc.memory());
   res.verified = !err.has_value();
-  if (err) res.verify_error = *err;
+  if (err) {
+    res.status = RunStatus::kWorkloadVerify;
+    res.error = *err;
+  }
   return res;
 }
 
@@ -159,8 +211,10 @@ Cycle run_cycles(const MachineConfig& config,
                  const workloads::Workload& workload,
                  const workloads::Variant& variant) {
   RunResult r = Simulator(config).run(workload, variant);
-  VLT_CHECK(r.verified, workload.name() + " failed verification on " +
-                            config.name + ": " + r.verify_error);
+  if (!r.verified)
+    VLT_FAIL(ErrorKind::kWorkloadVerify,
+             workload.name() + " failed verification on " + config.name +
+                 ": " + r.error);
   return r.cycles;
 }
 

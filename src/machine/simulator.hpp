@@ -5,6 +5,7 @@
 #include <optional>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/histogram.hpp"
 #include "common/json.hpp"
 #include "machine/machine_config.hpp"
@@ -16,6 +17,25 @@ struct PhaseTiming {
   std::string label;
   Cycle cycles = 0;
 };
+
+/// Typed outcome of one run (the vltguard taxonomy, see docs/ERRORS.md).
+/// kOk is the only success; kSkipped marks cells a fail-fast campaign
+/// never executed; the rest mirror vlt::ErrorKind.
+enum class RunStatus : std::uint8_t {
+  kOk,
+  kWorkloadVerify,  // completed, but the golden check failed
+  kInvariant,       // a simulator self-check threw mid-run
+  kConfig,          // the cell could not even be constructed
+  kTimeout,         // exceeded the cycle budget (possible deadlock)
+  kIo,              // host filesystem failure
+  kSkipped,         // not executed (fail-fast stopped the campaign)
+};
+
+/// Stable names used in the JSON "status" field and CSV column: "ok",
+/// "workload-verify", "invariant", "config", "timeout", "io", "skipped".
+const char* run_status_name(RunStatus s);
+std::optional<RunStatus> run_status_from_name(const std::string& name);
+RunStatus run_status_from_error(ErrorKind kind);
 
 struct RunResult {
   std::string workload;
@@ -29,8 +49,15 @@ struct RunResult {
   std::uint64_t element_ops = 0;
   vu::DatapathUtilization util;
   Histogram vl_hist;
+  RunStatus status = RunStatus::kOk;
   bool verified = false;
-  std::string verify_error;
+  /// Failure detail: the golden-check mismatch for kWorkloadVerify, the
+  /// thrown SimError's file:line diagnostic for the error statuses.
+  std::string error;
+  /// Simulation attempts this result took (CampaignOptions::max_retries).
+  unsigned attempts = 1;
+
+  bool ok() const { return status == RunStatus::kOk; }
 
   /// Table 4 "% Vect": vector element operations over all operations.
   double pct_vectorization() const {
@@ -52,7 +79,10 @@ struct RunResult {
   /// `vltsim_run --json`, and the campaign result cache:
   ///
   ///   workload, config, variant   identifying strings
-  ///   verified, verify_error      golden-check outcome
+  ///   status                      typed outcome (run_status_name)
+  ///   verified                    golden-check outcome
+  ///   error                       failure detail (only when status != ok)
+  ///   attempts                    simulation attempts (retry policy)
   ///   cycles                      total simulated cycles
   ///   phases                      [{label, cycles}] in execution order
   ///   opportunity_cycles          cycles in VLT-able phases
@@ -91,6 +121,7 @@ class Simulator {
 };
 
 /// Convenience for benches: cycles of `workload` under (config, variant).
+/// Throws SimError(kWorkloadVerify) if the golden check fails.
 Cycle run_cycles(const MachineConfig& config,
                  const workloads::Workload& workload,
                  const workloads::Variant& variant);

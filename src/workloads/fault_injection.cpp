@@ -1,0 +1,110 @@
+#include "workloads/fault_injection.hpp"
+
+#include "isa/program.hpp"
+
+namespace vlt::workloads {
+
+using isa::ProgramBuilder;
+
+namespace {
+
+isa::Program halt_program(const std::string& name) {
+  ProgramBuilder b(name);
+  b.halt();
+  return b.build();
+}
+
+}  // namespace
+
+// --- fault.verify ----------------------------------------------------------
+
+void FaultVerifyWorkload::init_memory(func::FuncMemory&) const {}
+
+machine::ParallelProgram FaultVerifyWorkload::build(const Variant&) const {
+  machine::ParallelProgram prog;
+  prog.name = name();
+  machine::Phase phase;
+  phase.label = "noop";
+  phase.mode = machine::PhaseMode::kSerial;
+  phase.programs.push_back(halt_program("fault-verify"));
+  prog.phases.push_back(std::move(phase));
+  return prog;
+}
+
+std::optional<std::string> FaultVerifyWorkload::verify(
+    const func::FuncMemory&) const {
+  return "injected verification failure (fault.verify always mismatches)";
+}
+
+bool FaultVerifyWorkload::supports(Variant::Kind kind) const {
+  return kind == Variant::Kind::kBase;
+}
+
+// --- fault.invariant -------------------------------------------------------
+
+void FaultInvariantWorkload::init_memory(func::FuncMemory&) const {}
+
+machine::ParallelProgram FaultInvariantWorkload::build(const Variant&) const {
+  machine::ParallelProgram prog;
+  prog.name = name();
+  // A serial phase must carry exactly one program; two trips the
+  // processor's VLT_CHECK regardless of machine configuration.
+  machine::Phase phase;
+  phase.label = "malformed";
+  phase.mode = machine::PhaseMode::kSerial;
+  phase.programs.push_back(halt_program("fault-inv-0"));
+  phase.programs.push_back(halt_program("fault-inv-1"));
+  prog.phases.push_back(std::move(phase));
+  return prog;
+}
+
+std::optional<std::string> FaultInvariantWorkload::verify(
+    const func::FuncMemory&) const {
+  return std::nullopt;  // unreachable: build() never survives run_phase
+}
+
+bool FaultInvariantWorkload::supports(Variant::Kind kind) const {
+  return kind == Variant::Kind::kBase;
+}
+
+// --- fault.barrier ---------------------------------------------------------
+
+void FaultBarrierWorkload::init_memory(func::FuncMemory&) const {}
+
+machine::ParallelProgram FaultBarrierWorkload::build(
+    const Variant& variant) const {
+  unsigned nthreads = variant.nthreads;
+  machine::ParallelProgram prog;
+  prog.name = name();
+  machine::Phase phase;
+  phase.label = "stuck-barrier";
+  phase.mode = variant.kind == Variant::Kind::kSuThreads
+                   ? machine::PhaseMode::kSuThreads
+                   : machine::PhaseMode::kLaneThreads;
+  ProgramBuilder waiter("fault-barrier-waiter");
+  waiter.barrier();
+  waiter.halt();
+  phase.programs.push_back(waiter.build());
+  for (unsigned t = 1; t < nthreads; ++t)
+    phase.programs.push_back(
+        halt_program("fault-barrier-deserter" + std::to_string(t)));
+  prog.phases.push_back(std::move(phase));
+  return prog;
+}
+
+std::optional<std::string> FaultBarrierWorkload::verify(
+    const func::FuncMemory&) const {
+  // Only reachable with one thread, where the barrier releases instantly.
+  return std::nullopt;
+}
+
+bool FaultBarrierWorkload::supports(Variant::Kind kind) const {
+  return kind == Variant::Kind::kLaneThreads ||
+         kind == Variant::Kind::kSuThreads;
+}
+
+std::vector<std::string> fault_workload_names() {
+  return {"fault.verify", "fault.invariant", "fault.barrier"};
+}
+
+}  // namespace vlt::workloads

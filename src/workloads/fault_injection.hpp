@@ -1,0 +1,56 @@
+// Deterministic fault-injection workloads for exercising the vltguard
+// error paths under test (docs/ERRORS.md).
+//
+// Each injector reliably produces one failure class:
+//
+//   fault.verify     runs to completion, then fails the golden check
+//                    (status workload-verify)
+//   fault.invariant  builds a malformed phase that trips a VLT_CHECK in
+//                    the processor (status invariant)
+//   fault.barrier    thread 0 waits at a barrier the other threads never
+//                    reach, so the run spins until the cycle budget —
+//                    or the audit watchdog — fires (status timeout)
+//
+// They resolve through make_workload()/find_workload() like the real
+// applications but are excluded from workload_names(), so an "all" grid
+// never picks them up; tests and CLI runs name them explicitly.
+#pragma once
+
+#include "workloads/workload.hpp"
+
+namespace vlt::workloads {
+
+class FaultVerifyWorkload : public Workload {
+ public:
+  std::string name() const override { return "fault.verify"; }
+  void init_memory(func::FuncMemory& mem) const override;
+  machine::ParallelProgram build(const Variant& variant) const override;
+  std::optional<std::string> verify(
+      const func::FuncMemory& mem) const override;
+  bool supports(Variant::Kind kind) const override;
+};
+
+class FaultInvariantWorkload : public Workload {
+ public:
+  std::string name() const override { return "fault.invariant"; }
+  void init_memory(func::FuncMemory& mem) const override;
+  machine::ParallelProgram build(const Variant& variant) const override;
+  std::optional<std::string> verify(
+      const func::FuncMemory& mem) const override;
+  bool supports(Variant::Kind kind) const override;
+};
+
+class FaultBarrierWorkload : public Workload {
+ public:
+  std::string name() const override { return "fault.barrier"; }
+  void init_memory(func::FuncMemory& mem) const override;
+  machine::ParallelProgram build(const Variant& variant) const override;
+  std::optional<std::string> verify(
+      const func::FuncMemory& mem) const override;
+  bool supports(Variant::Kind kind) const override;
+};
+
+/// The injector names above, for harnesses that sweep every error path.
+std::vector<std::string> fault_workload_names();
+
+}  // namespace vlt::workloads

@@ -1,5 +1,6 @@
 #include "common/log.hpp"
 #include "workloads/barnes.hpp"
+#include "workloads/fault_injection.hpp"
 #include "workloads/bt.hpp"
 #include "workloads/mpenc.hpp"
 #include "workloads/multprec.hpp"
@@ -12,7 +13,7 @@
 
 namespace vlt::workloads {
 
-WorkloadPtr make_workload(const std::string& name) {
+WorkloadPtr find_workload(const std::string& name) {
   if (name == "mxm") return std::make_unique<MxmWorkload>();
   if (name == "sage") return std::make_unique<SageWorkload>();
   if (name == "mpenc") return std::make_unique<MpencWorkload>();
@@ -22,8 +23,17 @@ WorkloadPtr make_workload(const std::string& name) {
   if (name == "radix") return std::make_unique<RadixWorkload>();
   if (name == "ocean") return std::make_unique<OceanWorkload>();
   if (name == "barnes") return std::make_unique<BarnesWorkload>();
-  VLT_CHECK(false, "unknown workload: " + name);
+  if (name == "fault.verify") return std::make_unique<FaultVerifyWorkload>();
+  if (name == "fault.invariant")
+    return std::make_unique<FaultInvariantWorkload>();
+  if (name == "fault.barrier") return std::make_unique<FaultBarrierWorkload>();
   return nullptr;
+}
+
+WorkloadPtr make_workload(const std::string& name) {
+  WorkloadPtr w = find_workload(name);
+  if (w == nullptr) VLT_FAIL(ErrorKind::kConfig, "unknown workload: " + name);
+  return w;
 }
 
 std::vector<std::string> workload_names() {

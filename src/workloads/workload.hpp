@@ -74,8 +74,13 @@ class Workload {
 using WorkloadPtr = std::unique_ptr<Workload>;
 
 /// Factory for the nine applications of Table 4. Sizes are the default
-/// "paper" configurations used by the benches.
+/// "paper" configurations used by the benches. Throws SimError(kConfig)
+/// on an unknown name; CLIs validating user input use find_workload().
 WorkloadPtr make_workload(const std::string& name);
+/// Like make_workload, but returns nullptr for an unknown name. Also
+/// resolves the fault-injection workloads (workloads/fault_injection.hpp),
+/// which workload_names() deliberately omits.
+WorkloadPtr find_workload(const std::string& name);
 std::vector<std::string> workload_names();        // all nine
 std::vector<std::string> vector_thread_apps();    // mpenc trfd multprec bt
 std::vector<std::string> scalar_thread_apps();    // radix ocean barnes

@@ -1,0 +1,122 @@
+#!/usr/bin/env bash
+# End-to-end CLI checks for the vltguard layer (docs/ERRORS.md): exit
+# codes for failed/timeout/unknown cells, fault isolation in vltsweep,
+# fail-fast skipping, and kill-then---resume byte-identity.
+#
+#   cli_guard_test.sh <vltsim_run> <vltsweep>
+#
+# Registered under ctest from tools/CMakeLists.txt.
+set -u
+
+VLTSIM_RUN=$1
+VLTSWEEP=$2
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/vltguard-cli.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT
+cd "$TMP"
+
+failures=0
+check() { # check <name> <expected-rc> <actual-rc>
+  if [ "$2" -ne "$3" ]; then
+    echo "FAIL: $1: expected exit $2, got $3" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $1 (exit $3)"
+  fi
+}
+expect_grep() { # expect_grep <name> <pattern> <file>
+  if ! grep -q "$2" "$3"; then
+    echo "FAIL: $1: '$2' not found in $3" >&2
+    sed 's/^/    /' "$3" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $1"
+  fi
+}
+
+# --- vltsim_run exit codes -------------------------------------------------
+
+"$VLTSIM_RUN" multprec > run_ok.txt 2>&1
+check "vltsim_run ok run" 0 $?
+expect_grep "vltsim_run ok status line" "status   : ok" run_ok.txt
+
+"$VLTSIM_RUN" fault.verify > run_verify.txt 2>&1
+check "vltsim_run verify failure" 1 $?
+expect_grep "verify failure status" "status   : workload-verify" run_verify.txt
+
+"$VLTSIM_RUN" fault.barrier --config V4-CMT --variant lanes4 \
+    --cycle-limit 20000 > run_timeout.txt 2>&1
+check "vltsim_run timeout" 1 $?
+expect_grep "timeout status" "status   : timeout" run_timeout.txt
+expect_grep "timeout diagnostic" "cycle budget" run_timeout.txt
+
+"$VLTSIM_RUN" no-such-app > run_unknown.txt 2>&1
+check "vltsim_run unknown workload" 2 $?
+
+"$VLTSIM_RUN" fault.invariant --json > run_inv.json 2>&1
+check "vltsim_run invariant via json" 1 $?
+expect_grep "invariant status in json" '"status": "invariant"' run_inv.json
+
+# --- vltsweep fault isolation ----------------------------------------------
+
+"$VLTSWEEP" --workloads fault.verify,multprec --configs base \
+    --variants base --threads 1 --no-cache --no-journal --quiet \
+    --out faulty.json 2> faulty.err
+check "vltsweep isolates the faulting cell" 1 $?
+expect_grep "faulty cell reported" '"status": "workload-verify"' faulty.json
+expect_grep "healthy cell survives" '"workload": "multprec"' faulty.json
+expect_grep "failure summary" "cells FAILED" faulty.err
+
+"$VLTSWEEP" --workloads fault.verify,multprec,mpenc --configs base \
+    --variants base --threads 1 --no-cache --no-journal --quiet \
+    --fail-fast --out failfast.json 2> /dev/null
+check "vltsweep fail-fast" 1 $?
+expect_grep "fail-fast skips the rest" '"status": "skipped"' failfast.json
+
+"$VLTSWEEP" --workloads no-such-app --configs base --variants base \
+    > /dev/null 2>&1
+check "vltsweep unknown workload" 2 $?
+
+# --- kill mid-sweep, then --resume: byte-identical report ------------------
+
+SWEEP_ARGS=(--workloads mpenc,multprec --configs base,V2-CMP
+            --variants base,vlt2 --threads 1 --no-cache
+            --format json)
+
+"$VLTSWEEP" "${SWEEP_ARGS[@]}" --no-journal --quiet \
+    --out uninterrupted.json
+check "vltsweep reference run" 0 $?
+
+VLTSWEEP_KILL_AFTER=2 "$VLTSWEEP" "${SWEEP_ARGS[@]}" \
+    --journal sweep.jsonl --out killed.json > /dev/null 2>&1
+rc=$?
+if [ $rc -eq 0 ]; then
+  echo "FAIL: VLTSWEEP_KILL_AFTER did not kill the sweep" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: sweep killed mid-run (exit $rc)"
+fi
+if [ -e killed.json ]; then
+  echo "FAIL: killed sweep wrote a report" >&2
+  failures=$((failures + 1))
+fi
+
+"$VLTSWEEP" "${SWEEP_ARGS[@]}" --journal sweep.jsonl --resume \
+    --out resumed.json 2> resume.err
+check "vltsweep --resume" 0 $?
+expect_grep "resume replayed cells" "resumed" resume.err
+if cmp -s uninterrupted.json resumed.json; then
+  echo "ok: resumed report is byte-identical"
+else
+  echo "FAIL: resumed report differs from uninterrupted run" >&2
+  diff uninterrupted.json resumed.json | head -20 >&2
+  failures=$((failures + 1))
+fi
+
+# --- done -------------------------------------------------------------------
+
+if [ $failures -ne 0 ]; then
+  echo "$failures CLI guard check(s) failed" >&2
+  exit 1
+fi
+echo "all CLI guard checks passed"

@@ -1,0 +1,31 @@
+// EXPECT_SIM_ERROR(stmt, substr): assert that `stmt` throws vlt::SimError
+// with `substr` somewhere in its what() (which is "file:line: message").
+//
+// This replaces EXPECT_DEATH for simulator self-checks: VLT_CHECK throws
+// a typed SimError instead of aborting the process, so the old fork-and-
+// match-stderr death tests became plain try/catch — immensely faster, and
+// they run unchanged under the sanitizer presets (EXPECT_DEATH and ASan
+// never got along).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/error.hpp"
+
+#define EXPECT_SIM_ERROR(stmt, substr)                                     \
+  do {                                                                     \
+    bool vlt_sim_error_caught = false;                                     \
+    try {                                                                  \
+      stmt;                                                                \
+    } catch (const ::vlt::SimError& vlt_sim_error) {                       \
+      vlt_sim_error_caught = true;                                         \
+      EXPECT_NE(std::string(vlt_sim_error.what()).find(substr),            \
+                std::string::npos)                                         \
+          << "SimError \"" << vlt_sim_error.what()                         \
+          << "\" does not mention \"" << (substr) << "\"";                 \
+    }                                                                      \
+    EXPECT_TRUE(vlt_sim_error_caught)                                      \
+        << "expected a vlt::SimError from: " #stmt;                        \
+  } while (0)

@@ -3,6 +3,8 @@
 // (bit-identical cycle counts with the auditor on or off).
 #include <gtest/gtest.h>
 
+#include "expect_sim_error.hpp"
+
 #include "audit/auditor.hpp"
 #include "audit/lockstep.hpp"
 #include "audit/sink.hpp"
@@ -55,10 +57,10 @@ TEST(AuditSink, RecordingSinkCapturesAndFilters) {
   EXPECT_FALSE(sink.saw(audit::Check::kLockstep));
 }
 
-TEST(AuditSink, AbortSinkDiesWithDiagnostic) {
-  audit::AbortSink sink;
+TEST(AuditSink, ThrowSinkThrowsWithDiagnostic) {
+  audit::ThrowSink sink;
   audit::Violation v{audit::Check::kBarrierProtocol, "barrier", 7, "overfill"};
-  EXPECT_DEATH(sink.report(v), "barrier-protocol");
+  EXPECT_SIM_ERROR(sink.report(v), "barrier-protocol");
 }
 
 TEST(AuditConfig, DefaultsAreOff) {
@@ -131,21 +133,22 @@ TEST(Auditor, ConsistentRunHasNoViolations) {
   EXPECT_TRUE(sink.violations.empty()) << sink.violations[0].to_string();
 }
 
-TEST(Auditor, PhaseCycleSumMismatchDies) {
+TEST(Auditor, PhaseCycleSumMismatchThrows) {
   audit::AuditConfig cfg;
   cfg.invariants = true;
-  audit::Auditor auditor(cfg);  // default aborting sink
+  audit::Auditor auditor(cfg);  // default throwing sink
   auditor.note_phase("p0", 40, 0);
   Histogram vl_hist;
   func::FuncMemory mem;
-  EXPECT_DEATH(auditor.finish_run(100, 0, 0, vl_hist, mem), "run-accounting");
+  EXPECT_SIM_ERROR(auditor.finish_run(100, 0, 0, vl_hist, mem),
+                   "run-accounting");
 }
 
 // --- barrier protocol ------------------------------------------------------
 
-TEST(BarrierAudit, ArriveWithoutBeginPhaseDies) {
+TEST(BarrierAudit, ArriveWithoutBeginPhaseThrows) {
   vltctl::BarrierController barrier;
-  EXPECT_DEATH(barrier.arrive(0), "begin_phase");
+  EXPECT_SIM_ERROR(barrier.arrive(0), "begin_phase");
 }
 
 TEST(BarrierAudit, OldestPendingTracksFirstArrival) {
@@ -164,8 +167,8 @@ TEST(BarrierAudit, OldestPendingTracksFirstArrival) {
 
 TEST(BarrierAudit, StuckBarrierTripsWatchdogInsteadOfHanging) {
   // Lane-thread phase where thread 0 waits at a barrier thread 1 never
-  // reaches: without the watchdog this would spin to the 2e9-cycle phase
-  // limit; with it, the auditor aborts with a deadlock diagnostic.
+  // reaches: without the watchdog this would spin to the 2e9-cycle
+  // budget; with it, the auditor throws a deadlock diagnostic.
   MachineConfig cfg = MachineConfig::v4_cmt();
   cfg.audit.invariants = true;
   cfg.audit.barrier_watchdog = 5'000;
@@ -182,14 +185,14 @@ TEST(BarrierAudit, StuckBarrierTripsWatchdogInsteadOfHanging) {
   phase.programs.push_back(waiter.build());
   phase.programs.push_back(deserter.build());
 
-  audit::Auditor auditor(cfg.audit);  // aborting sink
+  audit::Auditor auditor(cfg.audit);  // throwing sink
   Processor proc(cfg, &auditor);
-  EXPECT_DEATH(proc.run_phase(phase), "deadlock");
+  EXPECT_SIM_ERROR(proc.run_phase(phase), "deadlock");
 }
 
 // --- executor guard --------------------------------------------------------
 
-TEST(ExecutorAudit, VectorOpAboveMaxVlDies) {
+TEST(ExecutorAudit, VectorOpAboveMaxVlThrows) {
   func::FuncMemory mem;
   func::Executor exec(mem);
   func::ArchState st;
@@ -198,7 +201,7 @@ TEST(ExecutorAudit, VectorOpAboveMaxVlDies) {
   isa::Instruction vadd;
   vadd.op = isa::Opcode::kVadd;
   std::vector<Addr> addrs;
-  EXPECT_DEATH(exec.execute(vadd, st, ctx, addrs), "max VL");
+  EXPECT_SIM_ERROR(exec.execute(vadd, st, ctx, addrs), "max VL");
 }
 
 // --- lockstep unit behaviour ----------------------------------------------
@@ -317,7 +320,7 @@ TEST_P(Cosim, AuditedRunIsCleanAndCycleIdentical) {
 
   MachineConfig plain = MachineConfig::by_name(c.config);
   RunResult off = Simulator(plain).run(*w, c.variant);
-  ASSERT_TRUE(off.verified) << off.verify_error;
+  ASSERT_TRUE(off.verified) << off.error;
 
   MachineConfig audited = MachineConfig::by_name(c.config);
   audited.audit = audit::AuditConfig::full();
@@ -325,7 +328,7 @@ TEST_P(Cosim, AuditedRunIsCleanAndCycleIdentical) {
   Simulator sim(audited);
   sim.set_audit_sink(&sink);
   RunResult on = sim.run(*w, c.variant);
-  ASSERT_TRUE(on.verified) << on.verify_error;
+  ASSERT_TRUE(on.verified) << on.error;
 
   EXPECT_TRUE(sink.violations.empty())
       << sink.violations.size() << " violations, first: "

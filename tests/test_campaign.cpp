@@ -182,10 +182,13 @@ TEST(RunResultJson, SchemaHasDocumentedFields) {
                     .run(*workloads::make_workload("mxm"), Variant::base());
   Json j = r.to_json();
   for (const char* key :
-       {"workload", "config", "variant", "verified", "cycles", "phases",
-        "opportunity_cycles", "scalar_insts", "vector_insts", "element_ops",
-        "metrics", "utilization", "vl_histogram"})
+       {"workload", "config", "variant", "status", "verified", "attempts",
+        "cycles", "phases", "opportunity_cycles", "scalar_insts",
+        "vector_insts", "element_ops", "metrics", "utilization",
+        "vl_histogram"})
     EXPECT_NE(j.find(key), nullptr) << key;
+  EXPECT_EQ(j.find("status")->as_string(), "ok");
+  EXPECT_EQ(j.find("error"), nullptr);  // only present on failures
   EXPECT_NE(j.find("metrics")->find("pct_vectorization"), nullptr);
   EXPECT_NE(j.find("metrics")->find("avg_vl"), nullptr);
   EXPECT_NE(j.find("metrics")->find("pct_opportunity"), nullptr);
@@ -298,7 +301,7 @@ TEST_F(CampaignCacheTest, ForceResimulates) {
   EXPECT_EQ(set.cache_hits(), 0u);
 }
 
-TEST_F(CampaignCacheTest, CorruptEntryIsAMissNotAnError) {
+TEST_F(CampaignCacheTest, CorruptEntryIsAMissAndGetsQuarantined) {
   SweepSpec spec;
   spec.add(MachineConfig::base(), "multprec", Variant::base());
   RunSet cold = Campaign(cached_opts()).run(spec);
@@ -310,6 +313,15 @@ TEST_F(CampaignCacheTest, CorruptEntryIsAMissNotAnError) {
   RunSet set = Campaign(cached_opts()).run(spec);
   EXPECT_EQ(set.cache_hits(), 0u);
   EXPECT_EQ(set.at(0).cycles, cold.at(0).cycles);
+
+  // The corrupt entry was renamed aside, the fresh result stored in its
+  // place; a third sweep hits cleanly instead of re-parsing garbage.
+  std::size_t quarantined = 0;
+  for (const auto& entry : fs::directory_iterator(dir_))
+    if (entry.path().extension() == ".corrupt") ++quarantined;
+  EXPECT_EQ(quarantined, 1u);
+  RunSet warm = Campaign(cached_opts()).run(spec);
+  EXPECT_EQ(warm.cache_hits(), 1u);
 }
 
 TEST(Campaign, ProgressCallbackCoversEveryCell) {

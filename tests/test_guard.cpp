@@ -1,0 +1,345 @@
+// vltguard: the typed error taxonomy, per-cell fault isolation in the
+// campaign engine, retry/fail-fast/cycle-budget policies, the resume
+// journal, and graceful result-cache degradation (docs/ERRORS.md).
+#include <gtest/gtest.h>
+
+#include "expect_sim_error.hpp"
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "campaign/campaign.hpp"
+#include "campaign/journal.hpp"
+#include "common/error.hpp"
+#include "machine/simulator.hpp"
+#include "workloads/fault_injection.hpp"
+#include "workloads/workload.hpp"
+
+namespace vlt {
+namespace {
+
+namespace fs = std::filesystem;
+using campaign::Campaign;
+using campaign::CampaignOptions;
+using campaign::RunKey;
+using campaign::RunSet;
+using campaign::SweepSpec;
+using machine::MachineConfig;
+using machine::RunResult;
+using machine::RunStatus;
+using machine::Simulator;
+using workloads::Variant;
+
+// --- SimError / status taxonomy --------------------------------------------
+
+TEST(SimError, CarriesKindLocationAndMessage) {
+  try {
+    VLT_FAIL(ErrorKind::kTimeout, "budget blown");
+    FAIL() << "VLT_FAIL did not throw";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kTimeout);
+    EXPECT_NE(std::string(e.file()).find("test_guard.cpp"),
+              std::string::npos);
+    EXPECT_GT(e.line(), 0);
+    EXPECT_EQ(e.message(), "budget blown");
+    // what() is the file:line-prefixed form the CLIs print.
+    std::string what = e.what();
+    EXPECT_NE(what.find("test_guard.cpp"), std::string::npos);
+    EXPECT_NE(what.find("budget blown"), std::string::npos);
+  }
+}
+
+TEST(SimError, VltCheckThrowsInvariant) {
+  try {
+    VLT_CHECK(1 + 1 == 3, "arithmetic is broken");
+    FAIL() << "VLT_CHECK did not throw";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kInvariant);
+  }
+}
+
+TEST(RunStatusNames, RoundTripAndErrorMapping) {
+  for (RunStatus s :
+       {RunStatus::kOk, RunStatus::kWorkloadVerify, RunStatus::kInvariant,
+        RunStatus::kConfig, RunStatus::kTimeout, RunStatus::kIo,
+        RunStatus::kSkipped}) {
+    std::optional<RunStatus> back =
+        machine::run_status_from_name(machine::run_status_name(s));
+    ASSERT_TRUE(back.has_value()) << machine::run_status_name(s);
+    EXPECT_EQ(*back, s);
+  }
+  EXPECT_FALSE(machine::run_status_from_name("no-such-status").has_value());
+  EXPECT_EQ(machine::run_status_from_error(ErrorKind::kTimeout),
+            RunStatus::kTimeout);
+  EXPECT_EQ(machine::run_status_from_error(ErrorKind::kConfig),
+            RunStatus::kConfig);
+}
+
+TEST(RunResultJson, V1EntriesParseWithDerivedStatus) {
+  // A schema-v1 cache entry has `verified`/`verify_error` but no
+  // `status`/`attempts`; from_json derives them.
+  std::optional<Json> ok = Json::parse(
+      R"({"workload":"w","config":"c","variant":"v","verified":true,)"
+      R"("cycles":10})");
+  ASSERT_TRUE(ok.has_value());
+  std::optional<RunResult> r = RunResult::from_json(*ok);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, RunStatus::kOk);
+  EXPECT_EQ(r->attempts, 1u);
+
+  std::optional<Json> bad = Json::parse(
+      R"({"workload":"w","config":"c","variant":"v","verified":false,)"
+      R"("verify_error":"mismatch at 0x10","cycles":10})");
+  ASSERT_TRUE(bad.has_value());
+  r = RunResult::from_json(*bad);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->status, RunStatus::kWorkloadVerify);
+  EXPECT_EQ(r->error, "mismatch at 0x10");
+}
+
+// --- fault injectors, one per error class ----------------------------------
+
+TEST(FaultInjection, VerifyInjectorFailsTheGoldenCheck) {
+  auto w = workloads::make_workload("fault.verify");
+  RunResult r = Simulator(MachineConfig::base()).run(*w, Variant::base());
+  EXPECT_EQ(r.status, RunStatus::kWorkloadVerify);
+  EXPECT_FALSE(r.verified);
+  EXPECT_NE(r.error.find("injected"), std::string::npos);
+}
+
+TEST(FaultInjection, InvariantInjectorTripsAProcessorCheck) {
+  auto w = workloads::make_workload("fault.invariant");
+  EXPECT_SIM_ERROR((void)Simulator(MachineConfig::base())
+                       .run(*w, Variant::base()),
+                   "serial phase");
+}
+
+TEST(FaultInjection, BarrierInjectorTimesOutWithDiagnostic) {
+  MachineConfig cfg = MachineConfig::v4_cmt();
+  cfg.cycle_limit = 20'000;
+  auto w = workloads::make_workload("fault.barrier");
+  try {
+    (void)Simulator(cfg).run(*w, Variant::lane_threads(4));
+    FAIL() << "stuck barrier did not time out";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kTimeout);
+    std::string msg = e.message();
+    EXPECT_NE(msg.find("20000-cycle budget"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("stuck-barrier"), std::string::npos) << msg;  // label
+    EXPECT_NE(msg.find("pc="), std::string::npos) << msg;
+    EXPECT_NE(msg.find("1/4 arrivals"), std::string::npos) << msg;
+  }
+}
+
+TEST(FaultInjection, NamesResolveButStayOutOfTheRegistryList) {
+  for (const std::string& name : workloads::fault_workload_names()) {
+    EXPECT_NE(workloads::find_workload(name), nullptr) << name;
+    for (const std::string& listed : workloads::workload_names())
+      EXPECT_NE(listed, name);
+  }
+  EXPECT_EQ(workloads::find_workload("no-such-app"), nullptr);
+}
+
+// --- campaign fault isolation ----------------------------------------------
+
+/// One healthy cell on each side of a failing one.
+SweepSpec faulty_spec() {
+  SweepSpec spec;
+  spec.add(MachineConfig::base(), "multprec", Variant::base());
+  spec.add(MachineConfig::base(), "fault.verify", Variant::base());
+  spec.add(MachineConfig::base(), "mpenc", Variant::base());
+  return spec;
+}
+
+TEST(CampaignGuard, FaultingCellDoesNotKillTheSweep) {
+  CampaignOptions opts;
+  opts.threads = 2;
+  RunSet set = Campaign(opts).run(faulty_spec());
+  ASSERT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.at(0).ok());
+  EXPECT_EQ(set.at(1).status, RunStatus::kWorkloadVerify);
+  EXPECT_TRUE(set.at(2).ok());
+  EXPECT_FALSE(set.all_ok());
+  EXPECT_EQ(set.failures(), 1u);
+}
+
+TEST(CampaignGuard, InvariantAndTimeoutLandInTheCellResult) {
+  SweepSpec spec;
+  spec.add(MachineConfig::base(), "fault.invariant", Variant::base());
+  spec.add(MachineConfig::v4_cmt(), "fault.barrier",
+           Variant::lane_threads(4));
+  CampaignOptions opts;
+  opts.threads = 2;
+  opts.cell_cycle_limit = 20'000;
+  RunSet set = Campaign(opts).run(spec);
+  EXPECT_EQ(set.at(0).status, RunStatus::kInvariant);
+  EXPECT_NE(set.at(0).error.find("serial phase"), std::string::npos);
+  EXPECT_EQ(set.at(1).status, RunStatus::kTimeout);
+  EXPECT_NE(set.at(1).error.find("cycle budget"), std::string::npos);
+}
+
+TEST(CampaignGuard, RetriesCountAttempts) {
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.max_retries = 2;
+  RunSet set = Campaign(opts).run(faulty_spec());
+  EXPECT_EQ(set.at(0).attempts, 1u);  // ok first try
+  EXPECT_EQ(set.at(1).attempts, 3u);  // 1 + 2 retries, still failing
+  EXPECT_EQ(set.at(1).status, RunStatus::kWorkloadVerify);
+}
+
+TEST(CampaignGuard, FailFastSkipsRemainingCells) {
+  SweepSpec spec;
+  spec.add(MachineConfig::base(), "fault.verify", Variant::base());
+  spec.add(MachineConfig::base(), "multprec", Variant::base());
+  spec.add(MachineConfig::base(), "mpenc", Variant::base());
+  CampaignOptions opts;
+  opts.threads = 1;  // deterministic claim order
+  opts.fail_fast = true;
+  RunSet set = Campaign(opts).run(spec);
+  EXPECT_EQ(set.at(0).status, RunStatus::kWorkloadVerify);
+  EXPECT_EQ(set.at(1).status, RunStatus::kSkipped);
+  EXPECT_EQ(set.at(2).status, RunStatus::kSkipped);
+  EXPECT_EQ(set.at(1).attempts, 0u);
+  // Skipped cells still carry their identity for the report.
+  EXPECT_EQ(set.at(1).workload, "multprec");
+}
+
+TEST(CampaignGuard, UnknownWorkloadFailsItsCellOnly) {
+  SweepSpec spec;
+  spec.add(MachineConfig::base(), "no-such-app", Variant::base());
+  spec.add(MachineConfig::base(), "multprec", Variant::base());
+  CampaignOptions opts;
+  opts.threads = 1;
+  RunSet set = Campaign(opts).run(spec);
+  EXPECT_EQ(set.at(0).status, RunStatus::kConfig);
+  EXPECT_NE(set.at(0).error.find("unknown workload"), std::string::npos);
+  EXPECT_TRUE(set.at(1).ok());
+}
+
+TEST(CampaignGuard, DuplicateCellStillThrowsBeforeRunning) {
+  SweepSpec spec;
+  spec.add(MachineConfig::base(), "multprec", Variant::base());
+  spec.add(MachineConfig::base(), "multprec", Variant::base());
+  EXPECT_SIM_ERROR((void)Campaign().run(spec), "duplicate sweep cell");
+}
+
+// --- temp-dir fixture for cache/journal tests ------------------------------
+
+class GuardFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vltguard-test-" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "-" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+TEST_F(GuardFsTest, FailedResultsAreNeverCached) {
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.cache_dir = (dir_ / "cache").string();
+  RunSet cold = Campaign(opts).run(faulty_spec());
+  EXPECT_EQ(cold.cache_hits(), 0u);
+
+  RunSet warm = Campaign(opts).run(faulty_spec());
+  // The two healthy cells hit; the faulty one re-simulates every time.
+  EXPECT_EQ(warm.cache_hits(), 2u);
+  EXPECT_EQ(warm.cache_misses(), 1u);
+  EXPECT_EQ(warm.at(1).status, RunStatus::kWorkloadVerify);
+}
+
+TEST_F(GuardFsTest, UnwritableCacheDirDegradesToNoCache) {
+  // A path through a regular file cannot become a directory, even for
+  // root (chmod-based fixtures are a no-op under uid 0).
+  std::ofstream(dir_ / "blocker") << "x";
+  campaign::ResultCache cache((dir_ / "blocker" / "cache").string());
+  EXPECT_FALSE(cache.enabled());
+
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.cache_dir = (dir_ / "blocker" / "cache").string();
+  SweepSpec spec;
+  spec.add(MachineConfig::base(), "multprec", Variant::base());
+  RunSet set = Campaign(opts).run(spec);  // must not throw
+  EXPECT_TRUE(set.all_ok());
+  EXPECT_EQ(set.cache_hits(), 0u);
+}
+
+// --- journal & resume -------------------------------------------------------
+
+TEST_F(GuardFsTest, ResumeAfterTornJournalIsByteIdentical) {
+  SweepSpec spec = faulty_spec();
+  std::string journal = (dir_ / "sweep.jsonl").string();
+
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.journal_path = journal;
+  RunSet full = Campaign(opts).run(spec);
+  std::string golden = full.to_json().dump(1);
+
+  // Emulate a SIGKILL after two cells: keep the header + two entries and
+  // tear the third mid-line.
+  std::ifstream in(journal);
+  std::string line, kept;
+  for (int i = 0; i < 3 && std::getline(in, line); ++i) kept += line + "\n";
+  ASSERT_TRUE(std::getline(in, line));
+  kept += line.substr(0, line.size() / 2);  // torn tail, no newline
+  in.close();
+  std::ofstream(journal, std::ios::trunc) << kept;
+
+  CampaignOptions resume = opts;
+  resume.resume = true;
+  RunSet resumed = Campaign(resume).run(spec);
+  EXPECT_EQ(resumed.resumed(), 2u);
+  EXPECT_EQ(resumed.to_json().dump(1), golden);
+
+  // The rewritten journal is whole again: resuming the finished sweep
+  // replays everything and simulates nothing.
+  RunSet again = Campaign(resume).run(spec);
+  EXPECT_EQ(again.resumed(), 3u);
+  EXPECT_EQ(again.to_json().dump(1), golden);
+}
+
+TEST_F(GuardFsTest, JournalFromADifferentSweepRefusesToResume) {
+  std::string journal = (dir_ / "sweep.jsonl").string();
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.journal_path = journal;
+  SweepSpec one;
+  one.add(MachineConfig::base(), "multprec", Variant::base());
+  Campaign(opts).run(one);
+
+  CampaignOptions resume = opts;
+  resume.resume = true;
+  EXPECT_SIM_ERROR((void)Campaign(resume).run(faulty_spec()),
+                   "different sweep");
+}
+
+TEST_F(GuardFsTest, MissingJournalResumesFromNothing) {
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.journal_path = (dir_ / "never-written.jsonl").string();
+  opts.resume = true;
+  RunSet set = Campaign(opts).run(faulty_spec());
+  EXPECT_EQ(set.resumed(), 0u);
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST_F(GuardFsTest, JournalLoadRejectsGarbageHeader) {
+  std::string journal = (dir_ / "garbage.jsonl").string();
+  std::ofstream(journal) << "this is not json\n";
+  EXPECT_SIM_ERROR((void)campaign::Journal::load(journal, 1, 1),
+                   "not a vltsweep journal");
+}
+
+}  // namespace
+}  // namespace vlt

@@ -3,6 +3,8 @@
 // results behind every figure of the paper.
 #include <gtest/gtest.h>
 
+#include "expect_sim_error.hpp"
+
 #include "machine/processor.hpp"
 #include "machine/simulator.hpp"
 #include "workloads/all_workloads.hpp"
@@ -21,7 +23,7 @@ using workloads::make_workload;
 Cycle cycles_of(const workloads::Workload& w, const MachineConfig& cfg,
                 Variant v) {
   RunResult r = Simulator(cfg).run(w, v);
-  EXPECT_TRUE(r.verified) << w.name() << ": " << r.verify_error;
+  EXPECT_TRUE(r.verified) << w.name() << ": " << r.error;
   return r.cycles;
 }
 
@@ -251,11 +253,11 @@ TEST(Simulator, RunCyclesHelperChecksVerification) {
   EXPECT_GT(c, 0u);
 }
 
-TEST(Simulator, UnsupportedVariantAborts) {
+TEST(Simulator, UnsupportedVariantThrows) {
   auto w = make_workload("mxm");
-  EXPECT_DEATH((void)Simulator(MachineConfig::v2_cmp())
-                   .run(*w, Variant::vector_threads(2)),
-               "does not support");
+  EXPECT_SIM_ERROR((void)Simulator(MachineConfig::v2_cmp())
+                       .run(*w, Variant::vector_threads(2)),
+                   "does not support");
 }
 
 }  // namespace

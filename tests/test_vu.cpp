@@ -2,6 +2,8 @@
 // chaining, lane partitioning, and utilization accounting.
 #include <gtest/gtest.h>
 
+#include "expect_sim_error.hpp"
+
 #include "mem/l2_cache.hpp"
 #include "mem/main_memory.hpp"
 #include "vu/vector_unit.hpp"
@@ -265,14 +267,14 @@ TEST_F(VuTest, UtilizationLaneCyclesAreConserved) {
             static_cast<std::uint64_t>(chime) * 8);
 }
 
-TEST_F(VuTest, ReconfigureWhileBusyAborts) {
+TEST_F(VuTest, ReconfigureWhileBusyThrows) {
   ASSERT_TRUE(vu_.try_dispatch(arith(Opcode::kVadd, 1, 2, 3, 64), 0));
-  EXPECT_DEATH(vu_.configure_contexts(2, 0), "while busy");
+  EXPECT_SIM_ERROR(vu_.configure_contexts(2, 0), "while busy");
   drain();
 }
 
-TEST_F(VuTest, OddPartitionAborts) {
-  EXPECT_DEATH(vu_.configure_contexts(3, 0), "divide evenly");
+TEST_F(VuTest, OddPartitionThrows) {
+  EXPECT_SIM_ERROR(vu_.configure_contexts(3, 0), "divide evenly");
 }
 
 }  // namespace

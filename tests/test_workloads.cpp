@@ -6,6 +6,8 @@
 // make the suite slow; correctness is size-independent.
 #include <gtest/gtest.h>
 
+#include "expect_sim_error.hpp"
+
 #include "machine/simulator.hpp"
 #include "workloads/all_workloads.hpp"
 #include "workloads/workload.hpp"
@@ -41,7 +43,7 @@ class BaseVerify : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(BaseVerify, GoldenMatch) {
   RunResult r = run_base(GetParam());
-  EXPECT_TRUE(r.verified) << r.verify_error;
+  EXPECT_TRUE(r.verified) << r.error;
   EXPECT_GT(r.cycles, 0u);
   EXPECT_GT(r.scalar_insts, 0u);
 }
@@ -73,7 +75,7 @@ TEST_P(VltVerify, GoldenMatch) {
   WorkloadPtr w = make_workload(c.app);
   RunResult r = run(*w, MachineConfig::by_name(c.config),
                     Variant::vector_threads(c.threads));
-  EXPECT_TRUE(r.verified) << r.verify_error;
+  EXPECT_TRUE(r.verified) << r.error;
 }
 
 std::vector<VltCase> vlt_cases() {
@@ -106,19 +108,19 @@ class ScalarVerify : public ::testing::TestWithParam<std::string> {};
 TEST_P(ScalarVerify, LaneThreadsGoldenMatch) {
   WorkloadPtr w = make_small(GetParam());
   RunResult r = run(*w, MachineConfig::v4_cmt(), Variant::lane_threads(8));
-  EXPECT_TRUE(r.verified) << r.verify_error;
+  EXPECT_TRUE(r.verified) << r.error;
 }
 
 TEST_P(ScalarVerify, SuThreadsGoldenMatch) {
   WorkloadPtr w = make_small(GetParam());
   RunResult r = run(*w, MachineConfig::cmt(), Variant::su_threads(4));
-  EXPECT_TRUE(r.verified) << r.verify_error;
+  EXPECT_TRUE(r.verified) << r.error;
 }
 
 TEST_P(ScalarVerify, FewerLaneThreadsAlsoWork) {
   WorkloadPtr w = make_small(GetParam());
   RunResult r = run(*w, MachineConfig::v4_cmt(), Variant::lane_threads(4));
-  EXPECT_TRUE(r.verified) << r.verify_error;
+  EXPECT_TRUE(r.verified) << r.error;
 }
 
 INSTANTIATE_TEST_SUITE_P(ScalarApps, ScalarVerify,
@@ -139,7 +141,7 @@ class Table4Band : public ::testing::TestWithParam<Band> {};
 TEST_P(Table4Band, Characteristics) {
   const Band& b = GetParam();
   RunResult r = run_base(b.app);
-  ASSERT_TRUE(r.verified) << r.verify_error;
+  ASSERT_TRUE(r.verified) << r.error;
   EXPECT_GE(r.pct_vectorization(), b.vect_lo);
   EXPECT_LE(r.pct_vectorization(), b.vect_hi);
   if (b.avg_vl_hi > 0) {
@@ -197,8 +199,8 @@ TEST(Registry, AllNineNamesResolve) {
   }
 }
 
-TEST(Registry, UnknownNameAborts) {
-  EXPECT_DEATH((void)make_workload("no-such-app"), "unknown workload");
+TEST(Registry, UnknownNameThrowsConfigError) {
+  EXPECT_SIM_ERROR((void)make_workload("no-such-app"), "unknown workload");
 }
 
 TEST(Registry, CategoriesPartitionTheApps) {

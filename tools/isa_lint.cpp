@@ -10,6 +10,7 @@
 #include <set>
 #include <string>
 
+#include "common/error.hpp"
 #include "func/arch_state.hpp"
 #include "func/executor.hpp"
 #include "func/memory.hpp"
@@ -25,9 +26,25 @@ void fail(const std::string& what) {
   ++failures;
 }
 
+int run_main();
+
 }  // namespace
 
 int main() {
+  try {
+    return run_main();
+  } catch (const vlt::SimError& e) {
+    // E.g. the executor's invalid-opcode check for an opcode with no
+    // semantics — a lint failure, reported in the simulator's fatal shape.
+    std::fprintf(stderr, "vltsim fatal: %s:%d: %s\n", e.file(), e.line(),
+                 e.message().c_str());
+    return 3;
+  }
+}
+
+namespace {
+
+int run_main() {
   using namespace vlt;
   using isa::Opcode;
 
@@ -77,9 +94,10 @@ int main() {
 
   // --- executor closure: every opcode has functional semantics ---
   // Execute each opcode once from a zeroed state. A missing switch case
-  // falls through to the executor's invalid-opcode fatal and aborts this
-  // tool, which ctest reports as a failure. Vector semantics must account
-  // for every element (res.elems == VL).
+  // falls through to the executor's invalid-opcode check, whose SimError
+  // exits this tool through the fatal handler — ctest reports the nonzero
+  // exit as a failure. Vector semantics must account for every element
+  // (res.elems == VL).
   func::FuncMemory mem;
   func::Executor exec(mem);
   std::vector<Addr> addrs;
@@ -122,3 +140,5 @@ int main() {
   std::fprintf(stderr, "isa_lint: %d failure(s)\n", failures);
   return 1;
 }
+
+}  // namespace

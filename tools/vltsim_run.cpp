@@ -3,7 +3,10 @@
 // Table 4-style characteristics, and cache/predictor statistics.
 //
 //   vltsim_run <workload> [--config NAME] [--variant V] [--lanes N]
-//              [--json] [--audit] [--list]
+//              [--cycle-limit N] [--json] [--audit] [--list]
+//
+// Exit codes: 0 ok, 1 run failed (verification/timeout/...), 2 usage,
+// 3 internal simulator error (see docs/ERRORS.md).
 //
 // Examples:
 //   vltsim_run mpenc --config V4-CMP --variant vlt4
@@ -32,21 +35,21 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: vltsim_run <workload> [--config NAME] [--variant V] "
-      "[--lanes N] [--json] [--audit] [--list]\n"
+      "[--lanes N] [--cycle-limit N] [--json] [--audit] [--list]\n"
       "  workloads: mxm sage mpenc trfd multprec bt radix ocean barnes\n"
       "  configs:  %s\n"
       "  variants: %s\n"
       "  --lanes N: base machine with N lanes (1-%u, dividing %u)\n"
+      "  --cycle-limit N: cycle budget; exceeding it fails the run with\n"
+      "             status \"timeout\" and a per-context diagnostic\n"
       "  --json:    print the run result as JSON (schema: RunResult)\n"
       "  --audit:   per-cycle invariant checks + lockstep co-simulation\n"
-      "             (aborts with a diagnostic on the first violation)\n",
+      "             (fails with a diagnostic on the first violation)\n",
       configs.c_str(), Variant::spec_help().c_str(), kMaxVectorLength,
       kMaxVectorLength);
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   if (argc < 2) {
     usage();
     return 2;
@@ -55,6 +58,7 @@ int main(int argc, char** argv) {
   std::string config_name = "base";
   Variant variant = Variant::base();
   unsigned lanes = 0;
+  Cycle cycle_limit = 0;
   bool audit = false;
   bool json = false;
 
@@ -89,6 +93,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       lanes = static_cast<unsigned>(n);
+    } else if (arg == "--cycle-limit" && i + 1 < argc) {
+      const char* v = argv[++i];
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1) {
+        std::fprintf(stderr,
+                     "vltsim_run: --cycle-limit expects a positive "
+                     "integer, got '%s'\n", v);
+        return 2;
+      }
+      cycle_limit = static_cast<Cycle>(n);
     } else if (arg == "--audit") {
       audit = true;
     } else if (arg == "--json") {
@@ -123,7 +138,14 @@ int main(int argc, char** argv) {
     cfg = std::move(*found);
   }
   if (audit) cfg.audit = audit::AuditConfig::full();
-  auto workload = workloads::make_workload(workload_name);
+  if (cycle_limit != 0) cfg.cycle_limit = cycle_limit;
+  auto workload = workloads::find_workload(workload_name);
+  if (workload == nullptr) {
+    std::fprintf(stderr, "vltsim_run: unknown workload '%s'\n",
+                 workload_name.c_str());
+    usage();
+    return 2;
+  }
   if (!workload->supports(variant.kind)) {
     std::fprintf(stderr, "%s does not support variant %s\n",
                  workload_name.c_str(), variant.to_string().c_str());
@@ -137,17 +159,29 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  machine::RunResult r = machine::Simulator(cfg).run(*workload, variant);
+  machine::RunResult r;
+  try {
+    r = machine::Simulator(cfg).run(*workload, variant);
+  } catch (const vlt::SimError& e) {
+    // Simulation-level failures (timeout, tripped invariant) are a
+    // failed run (exit 1), not a tool crash: report them as a result.
+    r.status = machine::run_status_from_error(e.kind());
+    r.error = e.what();
+  }
+  r.workload = workload_name;
+  r.config = cfg.name;
+  r.variant = variant.to_string();
 
   if (json) {
     std::printf("%s\n", r.to_json().dump(1).c_str());
-    return r.verified ? 0 : 1;
+    return r.ok() ? 0 : 1;
   }
 
   std::printf("workload : %s\nconfig   : %s\nvariant  : %s\n",
               r.workload.c_str(), r.config.c_str(), r.variant.c_str());
-  std::printf("verified : %s\n",
-              r.verified ? "yes" : ("NO — " + r.verify_error).c_str());
+  std::printf("status   : %s%s%s\n", machine::run_status_name(r.status),
+              r.ok() ? "" : " — ", r.ok() ? "" : r.error.c_str());
+  std::printf("verified : %s\n", r.verified ? "yes" : "NO");
   if (audit)
     std::printf("audit    : clean (invariants + lockstep co-simulation)\n");
   std::printf("cycles   : %llu\n",
@@ -185,5 +219,17 @@ int main(int argc, char** argv) {
   std::printf("die area            : %.1f mm^2 (%+.1f%% vs base)\n",
               machine::AreaModel().config_area(cfg),
               machine::AreaModel().pct_increase(cfg));
-  return r.verified ? 0 : 1;
+  return r.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const vlt::SimError& e) {
+    std::fprintf(stderr, "vltsim fatal: %s:%d: %s\n", e.file(), e.line(),
+                 e.message().c_str());
+    return 3;
+  }
 }

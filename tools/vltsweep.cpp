@@ -4,6 +4,8 @@
 //
 //   vltsweep [--workloads a,b|all] [--configs x,y|all] [--variants v,..]
 //            [--threads N] [--cache DIR] [--no-cache] [--force]
+//            [--fail-fast] [--max-retries N] [--cell-cycle-limit N]
+//            [--journal FILE] [--no-journal] [--resume]
 //            [--format json|csv] [--out FILE] [--quiet] [--list]
 //
 // The grid is pruned to runnable cells (workload supports the variant
@@ -11,12 +13,19 @@
 // --variants base,vlt2,vlt4,lanes8,su4` reproduces the paper's whole
 // design space in one command. Output bytes are independent of --threads.
 //
+// Failed cells (verification, invariant, timeout, ...) are isolated:
+// the sweep completes, the report carries per-cell status, the exit code
+// is 1, and a summary lists the failures (docs/ERRORS.md). A killed
+// sweep resumes from its journal with --resume, byte-identically.
+//
 // Examples:
 //   vltsweep                               # default: full Figure-5 grid
 //   vltsweep --workloads mpenc,bt --configs base,V4-CMP \
 //            --variants base,vlt4 --threads 4 --out sweep.json
 //   vltsweep --workloads all --configs all --variants base,vlt2,vlt4 \
 //            --cache .vltsweep-cache --format csv
+//   vltsweep --resume --out sweep.json     # continue a killed sweep
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -42,14 +51,26 @@ void usage() {
       stderr,
       "usage: vltsweep [--workloads LIST|all] [--configs LIST|all]\n"
       "                [--variants LIST] [--threads N] [--cache DIR]\n"
-      "                [--no-cache] [--force] [--format json|csv]\n"
-      "                [--out FILE] [--quiet] [--list]\n"
+      "                [--no-cache] [--force] [--fail-fast]\n"
+      "                [--max-retries N] [--cell-cycle-limit N]\n"
+      "                [--journal FILE] [--no-journal] [--resume]\n"
+      "                [--format json|csv] [--out FILE] [--quiet] [--list]\n"
       "  workloads:%s\n"
       "  configs:  %s\n"
       "  variants: %s\n"
       "  --threads N   worker threads (default: hardware concurrency)\n"
       "  --cache DIR   result-cache directory (default .vltsweep-cache;\n"
       "                --no-cache disables, --force re-simulates)\n"
+      "  --fail-fast   stop launching cells after the first failure\n"
+      "                (unstarted cells report status \"skipped\")\n"
+      "  --max-retries N   extra attempts per failed cell (default 0)\n"
+      "  --cell-cycle-limit N   per-cell cycle budget (default: the\n"
+      "                machine config's limit; exceeding it fails the\n"
+      "                cell with status \"timeout\")\n"
+      "  --journal F   completed-cell journal (default\n"
+      "                .vltsweep-journal.jsonl; --no-journal disables)\n"
+      "  --resume      replay completed cells from the journal, run the\n"
+      "                rest (byte-identical output to an unkilled sweep)\n"
       "  --list        print the cells the spec expands to, then exit\n",
       workloads_list.c_str(), configs.c_str(), Variant::spec_help().c_str());
 }
@@ -66,9 +87,7 @@ std::vector<std::string> split_csv(const std::string& s) {
   return out;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+int run_main(int argc, char** argv) {
   std::string workloads_arg = "all";
   std::string configs_arg;
   std::string variants_arg = "base,vlt2,vlt4";
@@ -76,6 +95,7 @@ int main(int argc, char** argv) {
   std::string out_path;
   campaign::CampaignOptions opts;
   opts.cache_dir = ".vltsweep-cache";
+  opts.journal_path = ".vltsweep-journal.jsonl";
   bool quiet = false;
   bool list_only = false;
 
@@ -89,6 +109,18 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
+    auto uint_value = [&](long min, long max) -> unsigned long {
+      const char* v = value();
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < min || n > max) {
+        std::fprintf(stderr,
+                     "vltsweep: %s expects an integer in [%ld,%ld], "
+                     "got '%s'\n", arg.c_str(), min, max, v);
+        std::exit(2);
+      }
+      return static_cast<unsigned long>(n);
+    };
     if (arg == "--workloads") {
       workloads_arg = value();
     } else if (arg == "--configs") {
@@ -96,22 +128,34 @@ int main(int argc, char** argv) {
     } else if (arg == "--variants") {
       variants_arg = value();
     } else if (arg == "--threads") {
-      const char* v = value();
-      char* end = nullptr;
-      long n = std::strtol(v, &end, 10);
-      if (end == v || *end != '\0' || n < 1 || n > 1024) {
-        std::fprintf(stderr,
-                     "vltsweep: --threads expects an integer in [1,1024], "
-                     "got '%s'\n", v);
-        return 2;
-      }
-      opts.threads = static_cast<unsigned>(n);
+      opts.threads = static_cast<unsigned>(uint_value(1, 1024));
     } else if (arg == "--cache") {
       opts.cache_dir = value();
     } else if (arg == "--no-cache") {
       opts.cache_dir.clear();
     } else if (arg == "--force") {
       opts.force = true;
+    } else if (arg == "--fail-fast") {
+      opts.fail_fast = true;
+    } else if (arg == "--max-retries") {
+      opts.max_retries = static_cast<unsigned>(uint_value(0, 100));
+    } else if (arg == "--cell-cycle-limit") {
+      const char* v = value();
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1) {
+        std::fprintf(stderr,
+                     "vltsweep: --cell-cycle-limit expects a positive "
+                     "integer, got '%s'\n", v);
+        return 2;
+      }
+      opts.cell_cycle_limit = static_cast<Cycle>(n);
+    } else if (arg == "--journal") {
+      opts.journal_path = value();
+    } else if (arg == "--no-journal") {
+      opts.journal_path.clear();
+    } else if (arg == "--resume") {
+      opts.resume = true;
     } else if (arg == "--format") {
       format = value();
       if (format != "json" && format != "csv") {
@@ -135,15 +179,20 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (opts.resume && opts.journal_path.empty()) {
+    std::fprintf(stderr, "vltsweep: --resume needs a journal "
+                         "(drop --no-journal)\n");
+    return 2;
+  }
+
   // --- resolve the grid ---
   std::vector<std::string> workload_names =
       workloads_arg == "all" ? workloads::workload_names()
                              : split_csv(workloads_arg);
   for (const std::string& name : workload_names) {
-    bool known = false;
-    for (const std::string& k : workloads::workload_names())
-      known = known || k == name;
-    if (!known) {
+    // find_workload also resolves the fault.* injectors, which "all"
+    // deliberately leaves out.
+    if (workloads::find_workload(name) == nullptr) {
       std::fprintf(stderr, "vltsweep: unknown workload '%s'\n", name.c_str());
       return 2;
     }
@@ -198,11 +247,21 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (!quiet)
-    opts.progress = [](std::size_t done, std::size_t total,
-                       const campaign::RunKey& key, bool hit) {
-      std::fprintf(stderr, "[%3zu/%zu] %-40s %s\n", done, total,
-                   key.to_string().c_str(), hit ? "(cached)" : "");
+  // Deterministic mid-sweep kill for the resume tests: SIGKILL this
+  // process after N cells complete, leaving the journal behind.
+  long kill_after = 0;
+  if (const char* k = std::getenv("VLTSWEEP_KILL_AFTER"))
+    kill_after = std::strtol(k, nullptr, 10);
+
+  if (!quiet || kill_after > 0)
+    opts.progress = [quiet, kill_after](std::size_t done, std::size_t total,
+                                        const campaign::RunKey& key,
+                                        bool hit) {
+      if (!quiet)
+        std::fprintf(stderr, "[%3zu/%zu] %-40s %s\n", done, total,
+                     key.to_string().c_str(), hit ? "(cached)" : "");
+      if (kill_after > 0 && done >= static_cast<std::size_t>(kill_after))
+        std::raise(SIGKILL);
     };
 
   campaign::RunSet set = campaign::Campaign(opts).run(spec);
@@ -220,10 +279,37 @@ int main(int argc, char** argv) {
     out << output;
   }
 
-  if (!quiet)
+  if (!quiet) {
+    std::string resumed;
+    if (set.resumed() > 0)
+      resumed = ", " + std::to_string(set.resumed()) + " resumed";
     std::fprintf(stderr,
-                 "vltsweep: %zu cells (%zu simulated, %zu from cache)%s\n",
+                 "vltsweep: %zu cells (%zu simulated, %zu from cache%s)\n",
                  set.size(), set.cache_misses(), set.cache_hits(),
-                 set.all_verified() ? "" : " — VERIFICATION FAILURES");
-  return set.all_verified() ? 0 : 1;
+                 resumed.c_str());
+  }
+  if (!set.all_ok()) {
+    std::fprintf(stderr, "vltsweep: %zu of %zu cells FAILED:\n",
+                 set.failures(), set.size());
+    for (const machine::RunResult& r : set.results())
+      if (!r.ok())
+        std::fprintf(stderr, "  %s/%s/%s [%s] %s\n", r.workload.c_str(),
+                     r.config.c_str(), r.variant.c_str(),
+                     machine::run_status_name(r.status), r.error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const vlt::SimError& e) {
+    // Same shape vlt::fatal prints, but through the typed error path.
+    std::fprintf(stderr, "vltsim fatal: %s:%d: %s\n", e.file(), e.line(),
+                 e.message().c_str());
+    return 3;
+  }
 }
