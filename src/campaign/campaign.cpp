@@ -144,22 +144,27 @@ std::size_t RunSet::failures() const {
   return n;
 }
 
-Json RunSet::to_json() const {
+Json RunSet::to_json(bool include_wall) const {
   Json j = Json::object();
   j.set("schema", "vltsweep-v2");
   j.set("cells", static_cast<std::uint64_t>(results_.size()));
   Json arr = Json::array();
-  for (const machine::RunResult& r : results_) arr.push_back(r.to_json());
+  for (const machine::RunResult& r : results_) {
+    Json rj = r.to_json();
+    if (include_wall) rj.set("wall_ms", r.wall_ms);
+    arr.push_back(std::move(rj));
+  }
   j.set("results", std::move(arr));
   return j;
 }
 
-std::string RunSet::to_csv() const {
+std::string RunSet::to_csv(bool include_wall) const {
   std::string out =
       "workload,config,variant,status,verified,attempts,cycles,"
       "opportunity_cycles,scalar_insts,vector_insts,element_ops,"
       "pct_vectorization,avg_vl,pct_opportunity,util_busy,util_partly_idle,"
-      "util_stalled,util_all_idle,error\n";
+      "util_stalled,util_all_idle,error";
+  out += include_wall ? ",wall_ms\n" : "\n";
   char buf[512];
   for (const machine::RunResult& r : results_) {
     std::snprintf(
@@ -183,6 +188,10 @@ std::string RunSet::to_csv() const {
     for (char& c : error)
       if (c == ',' || c == '\n' || c == '\r') c = ';';
     out += error;
+    if (include_wall) {
+      std::snprintf(buf, sizeof(buf), ",%.3f", r.wall_ms);
+      out += buf;
+    }
     out += '\n';
   }
   return out;

@@ -141,12 +141,16 @@ class RunSet {
   /// Full campaign report: {"schema": "vltsweep-v2", "results":
   /// [RunResult...]}. Deterministic bytes for a given spec — the CI
   /// golden diff, the kill/resume byte-identity check, and the threads=1
-  /// vs threads=N determinism test compare these directly.
-  Json to_json() const;
+  /// vs threads=N determinism test compare these directly. `include_wall`
+  /// (vltsweep --wall) appends each cell's host wall_ms — opt-in only,
+  /// because wall time is nondeterministic and would break those byte
+  /// comparisons (0 for cached/replayed cells).
+  Json to_json(bool include_wall = false) const;
 
   /// Flat CSV (one row per cell; phase timings and the VL histogram are
   /// JSON-only). Commas/newlines in the error column are folded to ';'.
-  std::string to_csv() const;
+  /// `include_wall` adds a trailing host wall_ms column (see to_json).
+  std::string to_csv(bool include_wall = false) const;
 
  private:
   friend class Campaign;

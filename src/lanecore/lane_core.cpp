@@ -184,6 +184,44 @@ bool LaneCore::issue_one(Cycle now) {
   return true;
 }
 
+Cycle LaneCore::next_event(Cycle now) const {
+  if (!active_ || done_) return kNeverReady;
+  if (stall_until_ > now) return stall_until_;
+
+  if (waiting_barrier_) {
+    Cycle rel = barrier_->release_time(barrier_gen_);
+    return rel == kNeverReady ? kNeverReady : std::max(now + 1, rel);
+  }
+
+  // In-order: only the instruction at pc_ can make progress. Whatever it
+  // waits on bounds the skip; structural hazards (ports, width) reset
+  // every cycle, so the floor is now + 1.
+  const Instruction& inst = prog_->at(pc_);
+  Cycle t = now + 1;
+  if (inst.op == Opcode::kBarrier || inst.op == Opcode::kMembar) {
+    // Both decoupling queues drain front-first; the last completion time
+    // empties them.
+    for (Cycle d : outstanding_) t = std::max(t, d);
+    for (Cycle d : store_queue_) t = std::max(t, d);
+    return t;
+  }
+
+  isa::RegList srcs = isa::scalar_src_regs(inst);
+  for (unsigned i = 0; i < srcs.n; ++i)
+    t = std::max(t, reg_ready_[srcs.r[i]]);
+  RegIdx rd;
+  if (isa::scalar_dst_reg(inst, rd)) t = std::max(t, reg_ready_[rd]);
+  if (isa::is_mem(inst.op)) {
+    if (isa::is_store(inst.op)) {
+      if (store_queue_.size() >= params_.store_queue)
+        t = std::max(t, store_queue_.front());
+    } else if (outstanding_.size() >= params_.max_outstanding) {
+      t = std::max(t, outstanding_.front());
+    }
+  }
+  return t;
+}
+
 void LaneCore::tick(Cycle now) {
   if (!active_ || done_) return;
   if (now < stall_until_) return;

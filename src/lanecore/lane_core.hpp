@@ -53,6 +53,15 @@ class LaneCore {
   bool done() const { return done_; }
   bool active() const { return active_; }
 
+  /// Event-driven skip-ahead hook (docs/PERF.md): earliest cycle > now at
+  /// which tick() could change state — a front-end stall expiring, the
+  /// scoreboard clearing for the instruction at pc_, the decoupling
+  /// queues draining for a barrier/membar, or a known barrier release.
+  /// kNeverReady when the lane is done or waiting on a barrier whose
+  /// release is not scheduled yet (the completing arrival happens inside
+  /// another lane's executed tick, which forces a recompute).
+  Cycle next_event(Cycle now) const;
+
   const func::ArchState& arch_state() const { return arch_; }
   std::uint64_t committed() const { return committed_; }
   const StatSet& stats() const { return stats_; }

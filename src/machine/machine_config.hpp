@@ -37,6 +37,15 @@ struct MachineConfig {
   /// never changes the timing of a run that completes within it.
   Cycle cycle_limit = 2'000'000'000ull;
 
+  /// Event-driven skip-ahead (docs/PERF.md): the phase loop jumps the
+  /// clock straight to the next unit event instead of ticking every
+  /// cycle. Provably timing-neutral — reported cycles and statistics are
+  /// bit-identical either way (tests/test_skip_equivalence.cpp) — so,
+  /// like cycle_limit, it is deliberately NOT part of fingerprint().
+  /// The CLIs expose --no-skip to select the cycle-by-cycle loop as a
+  /// cross-check oracle.
+  bool event_skip = true;
+
   /// Audit mode (off by default): dynamic invariant checks and lockstep
   /// co-simulation. Observational only — enabling it never changes timing.
   audit::AuditConfig audit;

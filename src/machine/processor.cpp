@@ -1,6 +1,7 @@
 #include "machine/processor.hpp"
 
-#include <cstdio>
+#include <algorithm>
+#include <string>
 
 #include "common/log.hpp"
 
@@ -129,24 +130,10 @@ Cycle Processor::run_phase(const Phase& phase) {
   if (lane_mode)
     for (const auto& lc : lanes_) lane_committed_before += lc->committed();
 
-  while (!phase_complete(phase)) {
-    // Per-run budget (now_ is monotonic across phases, so this bounds the
-    // whole cell, not just one phase). kTimeout so campaigns can classify
-    // and retry it separately from invariant failures.
-    if (now_ >= config_.cycle_limit)
-      VLT_FAIL(ErrorKind::kTimeout, timeout_diagnostic(phase));
-    // The watchdog catches a stuck barrier long before the cycle budget
-    // would; polled sparsely so audit mode stays cheap.
-    if (auditor_ != nullptr && (now_ & 1023) == 0)
-      auditor_->barrier_watchdog(barrier_, now_, phase.label);
-    if (lane_mode) {
-      for (unsigned t = 0; t < phase.nthreads(); ++t) lanes_[t]->tick(now_);
-    } else {
-      if (vu_) vu_->tick(now_);
-      for (auto& su : sus_) su->tick(now_);
-    }
-    ++now_;
-  }
+  if (config_.event_skip)
+    run_phase_events(phase);
+  else
+    run_phase_cycles(phase);
 
   if (lane_mode) {
     std::uint64_t after = 0;
@@ -156,46 +143,304 @@ Cycle Processor::run_phase(const Phase& phase) {
   return now_ - start;
 }
 
+void Processor::run_phase_cycles(const Phase& phase) {
+  // The legacy cycle-by-cycle engine (--no-skip): tick every unit on
+  // every cycle and rediscover completion with a full scan. Kept intact
+  // as the timing oracle run_phase_events is checked against
+  // (tests/test_skip_equivalence.cpp, tools/vltperf) — both engines must
+  // report byte-identical results.
+  const bool lane_mode = phase.mode == PhaseMode::kLaneThreads;
+  while (!phase_complete(phase)) {
+    // Per-run budget (now_ is monotonic across phases, so this bounds the
+    // whole cell, not just one phase). kTimeout so campaigns can classify
+    // and retry it separately from invariant failures.
+    if (now_ >= config_.cycle_limit)
+      VLT_FAIL(ErrorKind::kTimeout, timeout_diagnostic(phase));
+    // The watchdog catches a stuck barrier long before the cycle budget
+    // would; polled sparsely so audit mode stays cheap.
+    if (auditor_ != nullptr && now_ - last_watchdog_ >= kWatchdogInterval) {
+      last_watchdog_ = now_;
+      auditor_->barrier_watchdog(barrier_, now_, phase.label);
+    }
+    ++ticks_;
+    if (lane_mode) {
+      for (unsigned t = 0; t < phase.nthreads(); ++t) lanes_[t]->tick(now_);
+    } else {
+      if (vu_) vu_->tick(now_);
+      for (auto& su : sus_) su->tick(now_);
+    }
+    ++now_;
+  }
+}
+
+void Processor::run_phase_events(const Phase& phase) {
+  const bool lane_mode = phase.mode == PhaseMode::kLaneThreads;
+
+  // Running active-unit count, decremented as lanes/contexts finish, so
+  // completion is O(1) per iteration instead of a full scan. The vector
+  // unit (whose drain is a scheduled event, not a per-cycle discovery) is
+  // checked only once the count hits zero.
+  unsigned undone = 0;
+  if (lane_mode) {
+    for (unsigned t = 0; t < phase.nthreads(); ++t)
+      if (!lanes_[t]->done()) ++undone;
+  } else {
+    for (const auto& su : sus_) undone += su->undone_contexts();
+  }
+  auto complete = [&]() {
+    if (undone > 0) return false;
+    if (lane_mode || !vu_) return true;
+    for (unsigned c = 0; c < vu_->num_contexts(); ++c)
+      if (!vu_->ctx_quiesced(c, now_)) return false;
+    return true;
+  };
+
+  // Per-unit tick gating (docs/PERF.md): each unit carries a cached
+  // next_event cycle and is ticked only when due (cached value <= now_).
+  // A unit's own next_event is a lower bound on its next state change,
+  // and cross-unit effects flow through exactly two shared structures —
+  // the barrier and the vector unit — whose mutation counters invalidate
+  // the caches of every unit that reads them. A skipped unit-tick is
+  // thereby a proven no-op, so only its closed-form bookkeeping (SMT
+  // round-robin rotation, Figure-4 idle/stall accounting) is replayed:
+  // lazily for the scalar units (span length is all that matters) and
+  // eagerly every iteration for the vector unit (its accounting
+  // classifies idle cycles by VIQ/window occupancy, which this cycle's
+  // scalar-unit ticks may change by dispatching — so the span must be
+  // closed out before they run).
+  const std::size_t nsu = sus_.size();
+  const unsigned nlanes = lane_mode ? phase.nthreads() : 0;
+  std::vector<Cycle> unit_next(lane_mode ? nlanes : nsu, now_);
+  std::vector<Cycle> su_accounted(lane_mode ? 0 : nsu, now_);
+  std::vector<std::uint64_t> su_vu_seen(lane_mode ? 0 : nsu, 0);
+  // Per scalar unit, the vctxs (as a bitmask) of ready vector
+  // instructions blocked only by a full VIQ slice. A blocked unit must
+  // tick in the same cycle as the vector-unit tick whose rename vacates
+  // a slot (the handoff succeeds that very cycle) — but VIQ occupancy
+  // only ever grows after that tick, so while the slice stays full the
+  // retry is a proven no-op and the unit can stay parked.
+  std::vector<std::uint32_t> su_vec_blocked(lane_mode ? 0 : nsu, 0);
+  // Progress snapshots for the dense-streak shortcut (see the refresh
+  // stage below).
+  std::vector<std::uint64_t> su_prog(lane_mode ? 0 : nsu, 0);
+  std::vector<std::uint64_t> lane_prog(lane_mode ? nlanes : 0, 0);
+  if (lane_mode)
+    for (unsigned t = 0; t < nlanes; ++t) lane_prog[t] = lanes_[t]->committed();
+  else
+    for (std::size_t i = 0; i < nsu; ++i) su_prog[i] = sus_[i]->progress_count();
+  Cycle vu_next = now_;
+  std::uint64_t bar_seen = barrier_.mutation_count();
+  std::uint64_t vu_seen = vu_ ? vu_->mutation_count() : 0;
+  if (!lane_mode && vu_)
+    for (std::size_t i = 0; i < nsu; ++i)
+      su_vu_seen[i] = sus_[i]->vu_watch_count();
+
+  while (!complete()) {
+    // Per-run budget (now_ is monotonic across phases, so this bounds the
+    // whole cell, not just one phase). kTimeout so campaigns can classify
+    // and retry it separately from invariant failures.
+    if (now_ >= config_.cycle_limit)
+      VLT_FAIL(ErrorKind::kTimeout, timeout_diagnostic(phase));
+    // The watchdog catches a stuck barrier long before the cycle budget
+    // would; polled sparsely so audit mode stays cheap.
+    if (auditor_ != nullptr && now_ - last_watchdog_ >= kWatchdogInterval) {
+      last_watchdog_ = now_;
+      auditor_->barrier_watchdog(barrier_, now_, phase.label);
+    }
+    ++ticks_;
+    if (lane_mode) {
+      for (unsigned t = 0; t < nlanes; ++t) {
+        if (unit_next[t] > now_) continue;
+        lanecore::LaneCore& lc = *lanes_[t];
+        const bool was_done = lc.done();
+        lc.tick(now_);
+        if (!was_done && lc.done()) --undone;
+      }
+    } else {
+      bool vu_ticked = false;
+      if (vu_ && vu_next <= now_) {
+        vu_->tick(now_);
+        vu_ticked = true;
+      }
+      for (std::size_t i = 0; i < nsu; ++i) {
+        if (unit_next[i] > now_) {
+          std::uint32_t m = su_vec_blocked[i];
+          if (!vu_ticked || m == 0) continue;
+          bool freed = false;
+          for (unsigned v = 0; m != 0; ++v, m >>= 1)
+            if ((m & 1u) != 0 && !vu_->viq_full(v)) {
+              freed = true;
+              break;
+            }
+          if (!freed) continue;
+          unit_next[i] = now_;  // VIQ slot vacated: hand off this cycle
+        }
+        su::ScalarCore& su = *sus_[i];
+        if (su_accounted[i] < now_) su.skip_cycles(now_ - su_accounted[i]);
+        su_accounted[i] = now_ + 1;
+        const unsigned before = su.undone_contexts();
+        su.tick(now_);
+        undone -= before - su.undone_contexts();
+      }
+    }
+
+    // Refresh stale caches. A cache is stale when its unit just ticked
+    // (value <= now_) or when a structure it reads mutated: every unit
+    // polls the barrier, and a scalar unit also reads vector-unit state —
+    // but only the partitions its own contexts drive (scalar_done
+    // completion cells the VU writes straight into its ROB, drain times
+    // its membars wait on), all of which move only at issue. Issues into
+    // other threads' partitions leave its cache valid, which is what lets
+    // the VLT configurations skip scalar-unit work at all: under a shared
+    // busy vector unit a whole-unit mutation count would invalidate every
+    // scalar unit every cycle.
+    const std::uint64_t bar_now = barrier_.mutation_count();
+    const bool bar_changed = bar_now != bar_seen;
+    bar_seen = bar_now;
+    Cycle ev = kNeverReady;
+    if (lane_mode) {
+      for (unsigned t = 0; t < nlanes; ++t) {
+        const bool due = unit_next[t] <= now_;
+        if (due || bar_changed) {
+          // Dense-streak shortcut (see the scalar-unit refresh below):
+          // a lane that just committed work is due again at now_ + 1
+          // without paying the event scan. Ticks that change state
+          // without committing (a barrier arrival, a starting stall)
+          // simply fall through to the scan, which is always correct.
+          bool streak = false;
+          if (due) {
+            const std::uint64_t p = lanes_[t]->committed();
+            streak = p != lane_prog[t];
+            lane_prog[t] = p;
+          }
+          unit_next[t] = streak ? now_ + 1 : lanes_[t]->next_event(now_);
+        }
+        ev = std::min(ev, unit_next[t]);
+      }
+    } else {
+      bool vu_changed = false;
+      if (vu_) {
+        const std::uint64_t vu_now = vu_->mutation_count();
+        vu_changed = vu_now != vu_seen;
+        vu_seen = vu_now;
+      }
+      for (std::size_t i = 0; i < nsu; ++i) {
+        const bool due = unit_next[i] <= now_;
+        bool refresh = due || bar_changed;
+        if (vu_changed) {
+          const std::uint64_t w = sus_[i]->vu_watch_count();
+          if (w != su_vu_seen[i]) {
+            su_vu_seen[i] = w;
+            refresh = true;
+          }
+        }
+        if (refresh) {
+          // Dense-streak shortcut: a tick that performed pipeline work
+          // changed state at now_, so now_ + 1 is already a correct
+          // lower bound — defer the full event scan until a tick comes
+          // up empty. Units doing real work every cycle thus pay the
+          // same per-cycle cost as the legacy loop plus one counter
+          // compare.
+          bool streak = false;
+          if (due) {
+            const std::uint64_t p = sus_[i]->progress_count();
+            streak = p != su_prog[i];
+            su_prog[i] = p;
+          }
+          if (streak) {
+            unit_next[i] = now_ + 1;
+          } else {
+            std::uint32_t blocked = 0;
+            unit_next[i] = sus_[i]->next_event(now_, &blocked);
+            su_vec_blocked[i] = blocked;
+          }
+        }
+        ev = std::min(ev, unit_next[i]);
+      }
+      if (vu_) {
+        // Same shortcut for the vector unit: any mutation this cycle
+        // (rename, issue, accepted dispatch) makes now_ + 1 a valid
+        // bound; only a mutation-free due tick pays the event scan.
+        if (vu_changed)
+          vu_next = now_ + 1;
+        else if (vu_next <= now_)
+          vu_next = vu_->next_event(now_);
+        ev = std::min(ev, vu_next);
+        // Phase completion is itself an event: once every context has
+        // halted the loop still has to land exactly on the vector unit's
+        // drain point, where ctx_quiesced flips and the phase ends.
+        if (undone == 0) {
+          const Cycle d = vu_->drain_time();
+          if (d != kNeverReady) ev = std::min(ev, std::max(now_ + 1, d));
+        }
+      }
+    }
+    if (undone == 0 && (lane_mode || !vu_)) ev = now_ + 1;
+    // Safety net: scheduled barrier releases are already implied by the
+    // cores polling them, but a redundant event is harmless (the extra
+    // iteration ticks nothing) while a missed one would change reported
+    // cycles. Skipped when the loop is not jumping anyway — a barrier
+    // event can never beat the now_ + 1 floor.
+    if (ev > now_ + 1) ev = std::min(ev, barrier_.next_event(now_));
+
+    Cycle next = now_ + 1;
+    if (ev > next) {
+      // Never jump past a watchdog poll or the cycle budget: both must
+      // observe the same boundaries the cycle-by-cycle loop does. A
+      // fully stuck machine (ev == kNeverReady) rides these clamps
+      // straight to the watchdog / timeout diagnostic.
+      if (auditor_ != nullptr)
+        ev = std::min(ev, last_watchdog_ + kWatchdogInterval);
+      ev = std::min(ev, config_.cycle_limit);
+      if (ev > next) next = ev;
+    }
+    now_ = next;
+  }
+
+  // Close out the bookkeeping spans of units that were not due on the
+  // final cycles: every unit must account exactly [phase start, now_)
+  // ticks, as the cycle-by-cycle engine does.
+  if (!lane_mode) {
+    if (vu_) vu_->account_to(now_);
+    for (std::size_t i = 0; i < nsu; ++i)
+      if (su_accounted[i] < now_) sus_[i]->skip_cycles(now_ - su_accounted[i]);
+  }
+}
+
 std::string Processor::timeout_diagnostic(const Phase& phase) const {
-  char buf[128];
-  std::snprintf(buf, sizeof(buf),
-                "run exceeded the %llu-cycle budget in phase '%s'"
-                " (possible deadlock)",
-                static_cast<unsigned long long>(config_.cycle_limit),
-                phase.label.c_str());
-  std::string msg = buf;
+  // Built with std::string appends: a fixed snprintf buffer used to
+  // truncate long phase labels and many-context dumps mid-diagnostic.
+  std::string msg = "run exceeded the " +
+                    std::to_string(config_.cycle_limit) +
+                    "-cycle budget in phase '" + phase.label +
+                    "' (possible deadlock)";
 
   if (phase.mode == PhaseMode::kLaneThreads) {
     for (unsigned t = 0; t < phase.nthreads() && t < lanes_.size(); ++t) {
       const lanecore::LaneCore& lc = *lanes_[t];
-      std::snprintf(buf, sizeof(buf), "; lane%u: %s pc=%llu", t,
-                    lc.done() ? "done" : (lc.active() ? "running" : "idle"),
-                    static_cast<unsigned long long>(lc.arch_state().pc()));
-      msg += buf;
+      msg += "; lane" + std::to_string(t) + ": ";
+      msg += lc.done() ? "done" : (lc.active() ? "running" : "idle");
+      msg += " pc=" + std::to_string(lc.arch_state().pc());
     }
   } else {
     for (unsigned s = 0; s < sus_.size(); ++s) {
       const su::ScalarCore& su = *sus_[s];
       for (unsigned c = 0; c < su.num_contexts(); ++c) {
         if (!su.context_active(c)) continue;
-        std::snprintf(
-            buf, sizeof(buf), "; su%u.ctx%u: %s pc=%llu", s, c,
-            su.context_done(c) ? "done" : "running",
-            static_cast<unsigned long long>(su.arch_state(c).pc()));
-        msg += buf;
+        msg += "; su" + std::to_string(s) + ".ctx" + std::to_string(c) +
+               ": ";
+        msg += su.context_done(c) ? "done" : "running";
+        msg += " pc=" + std::to_string(su.arch_state(c).pc());
       }
     }
   }
 
   vltctl::BarrierController::PendingGen pending = barrier_.oldest_pending();
   if (pending.valid) {
-    std::snprintf(buf, sizeof(buf),
-                  "; barrier: generation %llu stuck at %u/%u arrivals since "
-                  "cycle %llu",
-                  static_cast<unsigned long long>(pending.generation),
-                  pending.arrivals, pending.expected,
-                  static_cast<unsigned long long>(pending.first_arrival));
-    msg += buf;
+    msg += "; barrier: generation " + std::to_string(pending.generation) +
+           " stuck at " + std::to_string(pending.arrivals) + "/" +
+           std::to_string(pending.expected) + " arrivals since cycle " +
+           std::to_string(pending.first_arrival);
   } else {
     msg += "; barrier: no generation pending";
   }

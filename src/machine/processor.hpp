@@ -38,6 +38,12 @@ class Processor {
   const MachineConfig& config() const { return config_; }
   const vu::VectorUnit* vector_unit() const { return vu_.get(); }
 
+  /// Loop iterations actually executed (host-side instrumentation). With
+  /// event-driven skip-ahead (config.event_skip, docs/PERF.md) this is
+  /// typically far below now(): the difference is cycles the simulator
+  /// proved to be no-ops and jumped over.
+  std::uint64_t ticks_executed() const { return ticks_; }
+
   std::uint64_t committed_scalar() const;
   std::uint64_t committed_vector() const;
   const mem::L2Cache& l2() const { return l2_; }
@@ -48,11 +54,25 @@ class Processor {
 
  private:
   void start_phase_contexts(const Phase& phase);
+  /// The event-driven engine (config.event_skip, the default): runs the
+  /// phase landing only on event cycles, with O(1) completion tracking.
+  void run_phase_events(const Phase& phase);
+  /// The legacy cycle-by-cycle engine (--no-skip): ticks every cycle and
+  /// rescans for completion. Timing oracle for run_phase_events.
+  void run_phase_cycles(const Phase& phase);
+  /// Full completion scan used by the legacy engine: every thread halted
+  /// and (outside lane mode) every vector context quiesced.
   bool phase_complete(const Phase& phase) const;
   /// Deadlock diagnostic for a run that exhausted config().cycle_limit:
   /// the stuck phase, every context's PC and state, and the oldest
   /// partially-full barrier generation.
   std::string timeout_diagnostic(const Phase& phase) const;
+
+  /// Barrier-watchdog poll interval. The poll is armed on elapsed cycles
+  /// since the previous poll (not `now_ % interval == 0`): skip-ahead
+  /// lands on arbitrary cycles, and an exact-modulus poll could be jumped
+  /// over forever.
+  static constexpr Cycle kWatchdogInterval = 1024;
 
   MachineConfig config_;
   audit::Auditor* auditor_;
@@ -64,6 +84,8 @@ class Processor {
   std::vector<std::unique_ptr<su::ScalarCore>> sus_;
   std::vector<std::unique_ptr<lanecore::LaneCore>> lanes_;
   Cycle now_ = 0;
+  Cycle last_watchdog_ = 0;
+  std::uint64_t ticks_ = 0;
   std::uint64_t lane_committed_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "machine/simulator.hpp"
 
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 
@@ -149,6 +150,7 @@ RunResult Simulator::run(const workloads::Workload& workload,
   VLT_CHECK(workload.supports(variant.kind),
             workload.name() + " does not support variant " +
                 variant.to_string());
+  const auto wall_start = std::chrono::steady_clock::now();
 
   std::unique_ptr<audit::Auditor> auditor;
   if (config_.audit.enabled())
@@ -204,6 +206,9 @@ RunResult Simulator::run(const workloads::Workload& workload,
     res.status = RunStatus::kWorkloadVerify;
     res.error = *err;
   }
+  res.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
   return res;
 }
 

@@ -56,6 +56,14 @@ struct RunResult {
   std::string error;
   /// Simulation attempts this result took (CampaignOptions::max_retries).
   unsigned attempts = 1;
+  /// Host wall-clock milliseconds Simulator::run took (0 when unknown:
+  /// parsed from JSON, replayed from a journal, or served from the result
+  /// cache). Host-side measurement only — deliberately NOT serialized by
+  /// to_json(), whose bytes must stay deterministic for the golden
+  /// diffs, the content-addressed cache, and --resume byte-identity.
+  /// vltsweep surfaces it behind the opt-in --wall flag; tools/vltperf
+  /// is the measurement harness built on it (docs/PERF.md).
+  double wall_ms = 0.0;
 
   bool ok() const { return status == RunStatus::kOk; }
 

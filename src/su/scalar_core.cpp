@@ -43,11 +43,13 @@ void ScalarCore::start_context(unsigned ctx, const ThreadAssignment& work,
   VLT_CHECK(work.program != nullptr && !work.program->empty(),
             "context started without a program");
   CtxState& c = ctxs_[ctx];
+  if (c.active && !c.done) --undone_;
   c = CtxState{};
   c.active = true;
   c.work = work;
   c.ectx = func::ExecContext{work.tid, work.nthreads, work.max_vl};
   c.fetch_stall_until = now;
+  ++undone_;
 }
 
 void ScalarCore::clear_contexts() {
@@ -55,6 +57,7 @@ void ScalarCore::clear_contexts() {
     VLT_CHECK(!c.active || c.done, "clearing a context that is still running");
     c = CtxState{};
   }
+  undone_ = 0;
 }
 
 bool ScalarCore::context_done(unsigned ctx) const {
@@ -174,6 +177,7 @@ void ScalarCore::fetch_context(CtxState& c, unsigned budget, Cycle now) {
       fi.mispredicted = !bpred_.predict_and_update(iaddr, res.branch_taken);
 
     c.fq.push_back(std::move(fi));
+    ++progress_;
     --budget;
     c.fetch_pc = res.next_pc;
 
@@ -252,6 +256,8 @@ void ScalarCore::do_dispatch(Cycle now) {
       if (e.mispredicted) c.redirect_seq = e.seq;
 
       c.rob.push_back(std::move(e));
+      ++progress_;
+      ++c.unissued;
       ++c.next_seq;
       c.fq.pop_front();
       --budget;
@@ -271,11 +277,17 @@ void ScalarCore::do_issue(Cycle now) {
   for (unsigned k = 0; k < n; ++k) {
     CtxState& c = ctxs_[(rr_ + k) % n];
     if (!c.active) continue;
+    unsigned remaining = c.unissued;
     for (RobEntry& e : c.rob) {
       if (budget == 0) return;
+      if (remaining == 0) break;  // only issued/done entries beyond here
 
       if (e.state == RobEntry::St::kVecWait) {
+        --remaining;
         if (vec_handoff == 0) continue;
+        // A full VIQ slice rejects the dispatch regardless of operands;
+        // skip building one just to have try_dispatch bounce it.
+        if (vu_ != nullptr && vu_->viq_full(c.work.vctx)) continue;
         bool ready = true;
         for (unsigned i = 0; i < e.nsrc; ++i)
           ready &= operand_ready(c, e.src_seq[i], now);
@@ -290,6 +302,8 @@ void ScalarCore::do_issue(Cycle now) {
         d.scalar_done = e.vec_scalar_dst ? &e.complete_at : nullptr;
         if (vu_->try_dispatch(std::move(d), now)) {
           e.state = RobEntry::St::kVecFlight;
+          ++progress_;
+          --c.unissued;
           if (!e.vec_scalar_dst) e.complete_at = now + 1;
           --vec_handoff;
           --budget;
@@ -300,6 +314,7 @@ void ScalarCore::do_issue(Cycle now) {
       }
 
       if (e.state != RobEntry::St::kWaiting) continue;
+      --remaining;
 
       // Barriers and membars resolve only at the head of the ROB, when all
       // older work (including vector stores) has drained.
@@ -311,10 +326,13 @@ void ScalarCore::do_issue(Cycle now) {
         if (!e.barrier_arrived) {
           e.barrier_gen = barrier_->arrive(now);
           e.barrier_arrived = true;
+          ++progress_;
         }
         Cycle rel = barrier_->release_time(e.barrier_gen);
         if (rel == kNeverReady) continue;
         e.state = RobEntry::St::kIssued;
+        ++progress_;
+        --c.unissued;
         e.complete_at = std::max(rel, now);
         continue;  // does not consume an execution slot
       }
@@ -325,6 +343,8 @@ void ScalarCore::do_issue(Cycle now) {
           store_buffer_.pop_front();
         if (!store_buffer_.empty()) continue;  // drain buffered stores
         e.state = RobEntry::St::kIssued;
+        ++progress_;
+        --c.unissued;
         e.complete_at = now + 1;
         continue;
       }
@@ -389,6 +409,8 @@ void ScalarCore::do_issue(Cycle now) {
         e.complete_at = now + info.latency;
       }
       e.state = RobEntry::St::kIssued;
+      ++progress_;
+      --c.unissued;
       --budget;
 
       // A resolved misprediction restarts fetch after the redirect penalty.
@@ -437,14 +459,146 @@ void ScalarCore::do_commit(Cycle now) {
         c.fetch_after_barrier = false;
         stats_.inc("barriers");
       }
-      if (e.is_halt) c.done = true;
+      if (e.is_halt) {
+        c.done = true;
+        --undone_;
+      }
 
       c.rob.pop_front();
       ++c.head_seq;
+      ++progress_;
       --budget;
       if (c.done) break;
     }
   }
+}
+
+// ----------------------------------------------------------- skip-ahead ---
+
+Cycle ScalarCore::ready_time(const CtxState& c, const RobEntry& e) const {
+  Cycle t = 0;
+  auto dep = [&](std::uint64_t seq) -> bool {
+    if (seq < c.head_seq) return true;  // producer already committed
+    const RobEntry* p = find_entry(c, seq);
+    if (p == nullptr || p->complete_at == kNeverReady) return false;
+    t = std::max(t, p->complete_at);
+    return true;
+  };
+  for (unsigned i = 0; i < e.nsrc; ++i)
+    if (!dep(e.src_seq[i])) return kNeverReady;
+  if (e.store_dep_seq != 0 && !dep(e.store_dep_seq)) return kNeverReady;
+  return t;
+}
+
+Cycle ScalarCore::next_event(Cycle now, std::uint32_t* vec_blocked) const {
+  Cycle ev = kNeverReady;
+  auto consider = [&ev](Cycle t) {
+    if (t < ev) ev = t;
+  };
+  const unsigned n = static_cast<unsigned>(ctxs_.size());
+  const unsigned rob_cap = std::max(4u, params_.rob_size / std::max(1u, n));
+
+  // The store buffer drains front-first: one slot frees when the front
+  // entry becomes visible, and the whole buffer is empty once the latest
+  // entry is (barrier/membar drain condition).
+  Cycle sb_front = store_buffer_.empty() ? 0 : store_buffer_.front();
+  Cycle sb_empty = 0;
+  for (Cycle t : store_buffer_) sb_empty = std::max(sb_empty, t);
+
+  for (const CtxState& c : ctxs_) {
+    if (!c.active || c.done) continue;
+
+    // Fetch: eligible as soon as any stall expires (I-miss, redirect
+    // penalty). Gated states (halt, post-barrier, unresolved mispredict,
+    // full fetch queue) are woken by the commit/dispatch events below.
+    if (!c.fetch_halted && !c.fetch_after_barrier && c.redirect_seq == 0 &&
+        c.fq.size() < params_.fetch_queue)
+      consider(std::max(now + 1, c.fetch_stall_until));
+
+    if (!c.fq.empty() && c.rob.size() < rob_cap) consider(now + 1);
+
+    // Scan bounded by the pending count: the tail beyond the last
+    // kWaiting/kVecWait entry is all issued/done, and (below) non-head
+    // issued entries contribute no candidates anyway.
+    unsigned pending = c.unissued;
+    for (const RobEntry& e : c.rob) {
+      if (pending == 0 && e.seq != c.head_seq) break;
+      if (ev <= now + 1) return now + 1;
+      switch (e.state) {
+        case RobEntry::St::kDone:
+          if (e.seq == c.head_seq) consider(now + 1);
+          break;
+        case RobEntry::St::kIssued:
+        case RobEntry::St::kVecFlight:
+          // Only the head needs a completion event. A non-head entry's
+          // completion enables exactly two things: dependants, whose own
+          // ready_time candidates below carry the same cycle, and the
+          // in-order commit, which only the head can start. (If older
+          // entries commit first, the recompute after that tick sees
+          // this entry as the new head.)
+          if (e.seq != c.head_seq) break;
+          if (e.complete_at == kNeverReady) break;  // VU fills this in
+          if (e.complete_at > now)
+            consider(e.complete_at);  // wakes the commit
+          else
+            consider(now + 1);  // committable head (commit width ran out)
+          break;
+        case RobEntry::St::kWaiting: {
+          --pending;
+          if (e.is_barrier || e.is_membar) {
+            if (e.seq != c.head_seq) break;  // woken by the head's commit
+            if (e.is_barrier && e.barrier_arrived) {
+              Cycle rel = barrier_->release_time(e.barrier_gen);
+              // kNeverReady: the releasing arrival happens inside another
+              // core's executed tick, which forces a recompute.
+              if (rel != kNeverReady) consider(std::max(now + 1, rel));
+              break;
+            }
+            Cycle t = std::max(now + 1, sb_empty);
+            if (e.is_membar && vu_ != nullptr) {
+              Cycle q = vu_->ctx_drain_time(c.work.vctx);
+              if (q == kNeverReady) break;  // woken by vector-unit issues
+              t = std::max(t, q);
+            }
+            consider(t);
+            break;
+          }
+          Cycle ready = ready_time(c, e);
+          if (ready == kNeverReady) break;
+          if (e.is_store && ready <= now &&
+              store_buffer_.size() >= params_.store_buffer)
+            consider(std::max(now + 1, sb_front));
+          else
+            consider(std::max(now + 1, ready));
+          break;
+        }
+        case RobEntry::St::kVecWait: {
+          --pending;
+          Cycle ready = ready_time(c, e);
+          if (ready == kNeverReady) break;
+          // A ready vector op blocked only by a full VIQ slice cannot
+          // move until the VCL renames a slot free, so it contributes no
+          // per-cycle retry; the vec_blocked flag makes the caller tick
+          // this core alongside the vector unit instead (the handoff can
+          // succeed in the same cycle as the vacating rename). With
+          // space (or a future ready time) the handoff is a real event.
+          if (ready <= now && vu_ != nullptr && vu_->viq_full(c.work.vctx)) {
+            if (vec_blocked != nullptr)
+              *vec_blocked |= 1u << (c.work.vctx & 31u);
+            break;
+          }
+          consider(std::max(now + 1, ready));
+          break;
+        }
+      }
+    }
+  }
+  return ev;
+}
+
+void ScalarCore::skip_cycles(std::uint64_t cycles) {
+  const unsigned n = std::max<unsigned>(1, params_.smt_contexts);
+  rr_ = static_cast<unsigned>((rr_ + cycles) % n);
 }
 
 }  // namespace vlt::su

@@ -92,6 +92,56 @@ class ScalarCore {
   unsigned num_contexts() const { return static_cast<unsigned>(ctxs_.size()); }
   bool context_active(unsigned ctx) const { return ctxs_[ctx].active; }
 
+  /// Contexts that are active and have not committed their HALT yet.
+  /// O(1): maintained at start/clear/commit so the processor's phase loop
+  /// can keep a running active-unit count instead of scanning.
+  unsigned undone_contexts() const { return undone_; }
+
+  /// Event-driven skip-ahead hook (docs/PERF.md): earliest cycle > now at
+  /// which tick() could change state — a fetch stall expiring, a ROB
+  /// entry's producers completing, a committable head, the store buffer
+  /// draining for a barrier/membar, a known barrier release. Entries
+  /// whose producers have not issued (complete_at == kNeverReady)
+  /// contribute nothing: the producer's issue is itself an event, after
+  /// which the processor recomputes. kNeverReady when the core cannot
+  /// make progress without external input.
+  ///
+  /// `vec_blocked` (optional) accumulates, as a bitmask, the vctxs of
+  /// ready vector instructions blocked only by a full VIQ slice. That
+  /// handoff can succeed in the same cycle as the rename that vacates a
+  /// slot (the vector unit ticks first), so the caller must tick this
+  /// core in the same cycle as any vector-unit tick after which one of
+  /// those slices has space — a wake-after-rename would land one cycle
+  /// late and change reported timing. While the slices stay full a
+  /// retry cannot succeed (scalar units only add VIQ entries).
+  Cycle next_event(Cycle now, std::uint32_t* vec_blocked = nullptr) const;
+
+  /// Sum of the vector unit's mutation counts over the partitions this
+  /// core's active contexts drive. Vector-unit state this core reads
+  /// (scalar_done completion cells, membar drain times, VIQ space for
+  /// handoffs) is per-partition and moves only at rename or issue, so a
+  /// cached next_event survives as long as this sum does (docs/PERF.md).
+  /// 0 without a vector unit.
+  std::uint64_t vu_watch_count() const {
+    if (vu_ == nullptr) return 0;
+    std::uint64_t n = 0;
+    for (const CtxState& c : ctxs_)
+      if (c.active) n += vu_->ctx_mutations(c.work.vctx);
+    return n;
+  }
+
+  /// Replays the per-cycle SMT round-robin rotation for `cycles` skipped
+  /// ticks; everything else about a skipped tick is a proven no-op.
+  void skip_cycles(std::uint64_t cycles);
+
+  /// Monotonic count of pipeline actions (fetched, dispatched, issued,
+  /// committed instructions; barrier arrivals). If a tick moved this, the
+  /// core changed state at that cycle and `now + 1` is already a correct
+  /// lower bound for its next event — the event-driven loop uses that to
+  /// defer the full next_event() scan until a tick comes up empty
+  /// (docs/PERF.md).
+  std::uint64_t progress_count() const { return progress_; }
+
   const func::ArchState& arch_state(unsigned ctx) const {
     return ctxs_[ctx].arch;
   }
@@ -161,6 +211,10 @@ class ScalarCore {
     Addr cur_fetch_line = ~Addr{0};
 
     std::deque<RobEntry> rob;
+    /// Entries still in kWaiting/kVecWait. Issue and event scans walk the
+    /// ROB only until they have seen this many pending entries — the tail
+    /// beyond the last pending one is all issued/done and can't act.
+    unsigned unissued = 0;
     std::uint64_t next_seq = 1;
     std::uint64_t head_seq = 1;
     std::array<std::uint64_t, kNumScalarRegs> rename{};  // reg -> seq
@@ -173,6 +227,9 @@ class ScalarCore {
 
   void fetch_context(CtxState& c, unsigned budget, Cycle now);
   bool operand_ready(const CtxState& c, std::uint64_t seq, Cycle now) const;
+  /// Cycle all of `e`'s producers (and store dependence) are complete, or
+  /// kNeverReady while any producer has not issued yet.
+  Cycle ready_time(const CtxState& c, const RobEntry& e) const;
   RobEntry* find_entry(CtxState& c, std::uint64_t seq);
   const RobEntry* find_entry(const CtxState& c, std::uint64_t seq) const;
 
@@ -189,9 +246,11 @@ class ScalarCore {
   BranchPredictor bpred_;
   std::vector<CtxState> ctxs_;
   unsigned rr_ = 0;  // SMT round-robin rotation
+  unsigned undone_ = 0;  // active contexts that have not committed HALT
 
   std::uint64_t committed_scalar_ = 0;
   std::uint64_t committed_vector_ = 0;
+  std::uint64_t progress_ = 0;  // see progress_count()
   StatSet stats_;
   std::vector<Addr> addr_scratch_;
   std::deque<Cycle> store_buffer_;  // completion times of in-flight stores

@@ -12,6 +12,9 @@ void BarrierController::begin_phase(unsigned nthreads,
               "phase ended with a half-full barrier generation");
   base_gen_ += gens_.size();
   gens_.clear();
+  first_open_ = 0;
+  first_live_ = 0;
+  ++mutations_;
   nthreads_ = nthreads;
   release_latency_ = release_latency;
   phase_open_ = true;
@@ -19,10 +22,15 @@ void BarrierController::begin_phase(unsigned nthreads,
 
 std::uint64_t BarrierController::arrive(Cycle now) {
   VLT_CHECK(phase_open_, "barrier arrival before begin_phase");
+  ++mutations_;
   // Find the first generation this caller has not filled yet: arrivals are
   // one-per-thread-per-generation, so the first non-released generation
-  // with capacity is the right one.
-  for (std::size_t i = 0; i < gens_.size(); ++i) {
+  // with capacity is the right one. Full generations never change, so the
+  // scan starts at the cursor, not at the beginning of the phase.
+  while (first_open_ < gens_.size() &&
+         gens_[first_open_].arrivals >= nthreads_)
+    ++first_open_;
+  for (std::size_t i = first_open_; i < gens_.size(); ++i) {
     Gen& g = gens_[i];
     if (g.arrivals < nthreads_) {
       ++g.arrivals;
@@ -57,6 +65,24 @@ Cycle BarrierController::release_time(std::uint64_t generation) const {
   std::size_t idx = generation - base_gen_;
   VLT_CHECK(idx < gens_.size(), "unknown barrier generation");
   return gens_[idx].release;
+}
+
+Cycle BarrierController::next_event(Cycle now) const {
+  // A generation already released at or before `now` can never be a
+  // future event again (release times are final and `now` is monotonic
+  // across calls), so drop it from all later scans. The cursor stops at
+  // the first pending generation, whose release may still be scheduled.
+  while (first_live_ < gens_.size() &&
+         gens_[first_live_].release != kNeverReady &&
+         gens_[first_live_].release <= now)
+    ++first_live_;
+  Cycle ev = kNeverReady;
+  for (std::size_t i = first_live_; i < gens_.size(); ++i) {
+    const Gen& g = gens_[i];
+    if (g.release != kNeverReady && g.release > now && g.release < ev)
+      ev = g.release;
+  }
+  return ev;
 }
 
 std::uint64_t BarrierController::generations_completed() const {

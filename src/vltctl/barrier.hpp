@@ -35,6 +35,22 @@ class BarrierController {
 
   std::uint64_t generations_completed() const;
 
+  /// Event-driven skip-ahead hook (docs/PERF.md): earliest scheduled
+  /// release strictly after `now`, or kNeverReady when no full generation
+  /// has a pending release. A half-full generation contributes nothing —
+  /// the arrival that completes it happens inside an executed core tick,
+  /// after which the processor recomputes all events. Called once per
+  /// executed tick, so it scans from a cursor past generations whose
+  /// release is already in the past (`now` is monotonic) instead of the
+  /// whole phase history.
+  Cycle next_event(Cycle now) const;
+
+  /// Monotonic count of state changes (arrivals, release scheduling,
+  /// phase resets). The event-driven phase loop (docs/PERF.md) compares
+  /// snapshots of this to decide whether cached per-unit next_event
+  /// values that read barrier state are still valid.
+  std::uint64_t mutation_count() const { return mutations_; }
+
   /// Attaches an audit sink for barrier-protocol invariant checks
   /// (arrival counts never exceed the participant count, releases never
   /// precede the last arrival). Pass nullptr to detach.
@@ -64,6 +80,15 @@ class BarrierController {
   bool phase_open_ = false;
   std::uint64_t base_gen_ = 0;  // generations retired in earlier phases
   std::vector<Gen> gens_;
+  /// Index of the oldest generation still accepting arrivals. Earlier
+  /// generations are full and never change, so arrive() starts its scan
+  /// here instead of walking the whole phase history every time.
+  std::size_t first_open_ = 0;
+  /// next_event() scan cursor: generations below it have released at or
+  /// before the last queried `now`, so they can never be a future event
+  /// again. mutable because advancing it is invisible to callers.
+  mutable std::size_t first_live_ = 0;
+  std::uint64_t mutations_ = 0;
   audit::AuditSink* audit_ = nullptr;
 };
 

@@ -44,6 +44,9 @@ void VectorUnit::configure_contexts(unsigned num_contexts, Cycle now) {
     c.outstanding_until = now;
   }
   rr_ctx_ = 0;
+  // Bookkeeping starts fresh at the phase boundary: the cycles between
+  // phases (thread-switch overhead) are never ticked by either engine.
+  accounted_to_ = now;
 }
 
 bool VectorUnit::try_dispatch(VecDispatch&& d, Cycle now) {
@@ -51,8 +54,13 @@ bool VectorUnit::try_dispatch(VecDispatch&& d, Cycle now) {
   Ctx& c = ctxs_[d.vctx];
   unsigned viq_cap = std::max(1u, params_.viq_size / active_contexts_);
   if (c.viq.size() >= viq_cap) return false;
+  // Close out any unticked bookkeeping span before the push: scalar units
+  // dispatch after this unit's tick slot in the cycle, so cycle `now` (and
+  // everything before it) classifies by the pre-dispatch VIQ occupancy.
+  account_to(now + 1);
   if (c.outstanding_until < now) c.outstanding_until = now;
   c.viq.push_back(std::move(d));
+  ++mutations_;
   return true;
 }
 
@@ -80,6 +88,10 @@ void VectorUnit::rename_into_window(Ctx& c) {
       c.mask = e.out;
     }
     c.window.push_back(std::move(e));
+  }
+  if (moved > 0) {
+    ++mutations_;
+    ++c.mutations;
   }
 }
 
@@ -203,6 +215,8 @@ bool VectorUnit::try_issue(Ctx& c, WinEntry& e, Cycle now,
   vl_hist_.add(e.op.vl);
   elem_ops_ += e.op.vl;
   ++insts_issued_;
+  ++mutations_;
+  ++c.mutations;
   // Debug issue trace, enabled with VLT_TRACE=1 in the environment.
   static const bool trace = std::getenv("VLT_TRACE") != nullptr;
   if (trace && insts_issued_ < 200)
@@ -215,6 +229,12 @@ bool VectorUnit::try_issue(Ctx& c, WinEntry& e, Cycle now,
 }
 
 void VectorUnit::tick(Cycle now) {
+  // Replay the bookkeeping of any cycles the event-driven loop proved to
+  // be no-op ticks and jumped over; under the cycle-by-cycle engine the
+  // span is always empty. Must precede the renames below, which change
+  // how idle cycles classify.
+  if (accounted_to_ < now) skip_cycles(accounted_to_, now);
+  accounted_to_ = now + 1;
   for (Ctx& c : ctxs_) rename_into_window(c);
 
   if (audit_ != nullptr) {
@@ -270,6 +290,86 @@ void VectorUnit::tick(Cycle now) {
         util_.all_idle += lanes_assigned;
     }
   }
+}
+
+Cycle VectorUnit::next_event(Cycle now) const {
+  Cycle ev = kNeverReady;
+  const unsigned win_cap = std::max(1u, params_.window_size / active_contexts_);
+  for (const Ctx& c : ctxs_) {
+    // Renaming moves VIQ entries into the window on the very next tick.
+    if (!c.viq.empty() && c.window.size() < win_cap) return now + 1;
+    for (const WinEntry& e : c.window) {
+      const isa::OpInfo& info = isa::op_info(e.op.inst.op);
+      Cycle fu_free;
+      if (info.fu == FuClass::kVMem) {
+        // Earliest-free of the vLSU ports, mirroring try_issue's pick.
+        unsigned p0 = params_.arith_fus;
+        fu_free = c.fu_free[p0];
+        for (unsigned p = p0; p < p0 + params_.mem_ports; ++p)
+          fu_free = std::min(fu_free, c.fu_free[p]);
+      } else {
+        unsigned fu = 0;
+        switch (info.fu) {
+          case FuClass::kVAlu0: fu = 0; break;
+          case FuClass::kVAlu1: fu = 1; break;
+          case FuClass::kVAlu2: fu = 2; break;
+          default: break;
+        }
+        fu_free = c.fu_free[fu];
+      }
+      Cycle t = std::max(now + 1, fu_free);
+      bool unknown = false;
+      for (unsigned i = 0; i < e.nsrc; ++i) {
+        const OpTiming& s = *e.srcs[i];
+        Cycle gate = s.from_mem ? s.complete : s.chain_ready;
+        if (gate == kNeverReady) {  // producer still waiting to issue
+          unknown = true;
+          break;
+        }
+        t = std::max(t, gate);
+      }
+      if (!unknown && t < ev) ev = t;
+      if (ev <= now + 1) return now + 1;
+    }
+  }
+  return ev;
+}
+
+Cycle VectorUnit::drain_time() const {
+  Cycle t = 0;
+  for (const Ctx& c : ctxs_) {
+    if (!c.viq.empty() || !c.window.empty()) return kNeverReady;
+    t = std::max(t, c.outstanding_until);
+  }
+  return t;
+}
+
+Cycle VectorUnit::ctx_drain_time(unsigned vctx) const {
+  if (vctx >= ctxs_.size()) return 0;
+  const Ctx& c = ctxs_[vctx];
+  if (!c.viq.empty() || !c.window.empty()) return kNeverReady;
+  return c.outstanding_until;
+}
+
+void VectorUnit::skip_cycles(Cycle from, Cycle to) {
+  // Equivalent to calling tick() on every cycle in [from, to) given that
+  // none of those ticks renames or issues anything: only the Figure-4
+  // stall/idle tally and the round-robin pointer move. An arithmetic FU
+  // counts as idle at cycle t exactly when fu_free <= t, and work_waiting
+  // cannot change inside the span (no renames, issues, or dispatches).
+  const unsigned n = active_contexts_;
+  const unsigned lanes_assigned = params_.lanes / n;
+  for (const Ctx& c : ctxs_) {
+    const bool work_waiting = !c.viq.empty() || !c.window.empty();
+    std::uint64_t idle_cycles = 0;
+    for (unsigned f = 0; f < params_.arith_fus; ++f) {
+      Cycle idle_from = std::max(from, c.fu_free[f]);
+      if (idle_from < to) idle_cycles += to - idle_from;
+    }
+    (work_waiting ? util_.stalled : util_.all_idle) +=
+        idle_cycles * lanes_assigned;
+  }
+  rr_ctx_ = n ? static_cast<unsigned>((rr_ctx_ + (to - from)) % n) : 0;
 }
 
 bool VectorUnit::ctx_quiesced(unsigned vctx, Cycle now) const {

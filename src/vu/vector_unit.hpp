@@ -16,6 +16,7 @@
 // to perform as well as a replicated one at negligible area cost.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <deque>
 #include <memory>
@@ -89,6 +90,39 @@ class VectorUnit {
   /// True when the context has no instruction in flight at or after `now`.
   bool ctx_quiesced(unsigned vctx, Cycle now) const;
 
+  /// Event-driven skip-ahead hook (docs/PERF.md): earliest cycle > now at
+  /// which tick() could change state — queued VIQ work with window space
+  /// (renaming), or a window entry becoming issueable (functional unit
+  /// free and all source operands chained/complete). An entry whose
+  /// producer has not issued yet contributes nothing: the producer's own
+  /// issue happens inside an executed tick, after which the processor
+  /// recomputes all events. kNeverReady when nothing can happen without
+  /// external input.
+  Cycle next_event(Cycle now) const;
+
+  /// Cycle by which every context is quiesced assuming no new dispatches:
+  /// the max outstanding completion, or kNeverReady while any VIQ/window
+  /// slice still holds un-issued instructions. Lets the processor jump
+  /// straight to the end-of-phase drain point.
+  Cycle drain_time() const;
+
+  /// Same, for a single context (membar resolution in the scalar unit).
+  Cycle ctx_drain_time(unsigned vctx) const;
+
+  /// Brings the per-cycle tick bookkeeping (Figure-4 stalled/all-idle
+  /// accounting, VCL round-robin rotation) current through cycle `to`
+  /// (exclusive), replaying any unticked span in closed form. tick() and
+  /// try_dispatch() self-account — a dispatch closes the pending span
+  /// before the VIQ push changes how its cycles classify — so the
+  /// event-driven phase loop only calls this once, at the end of a
+  /// phase, to cover trailing cycles where the unit was never due.
+  void account_to(Cycle to) {
+    if (accounted_to_ < to) {
+      skip_cycles(accounted_to_, to);
+      accounted_to_ = to;
+    }
+  }
+
   unsigned lanes() const { return params_.lanes; }
   unsigned lanes_per_ctx() const { return params_.lanes / active_contexts_; }
   unsigned max_vl_per_ctx() const {
@@ -99,6 +133,35 @@ class VectorUnit {
   /// Attaches an audit sink for per-issue occupancy and element-accounting
   /// invariant checks. Pass nullptr to detach. Observational only.
   void set_audit(audit::AuditSink* sink) { audit_ = sink; }
+
+  /// Monotonic count of state changes visible outside the unit: accepted
+  /// dispatches, VIQ→window renames, and issues (which write scalar_done
+  /// completion cells in SU ROBs and move outstanding/drain times). The
+  /// event-driven phase loop (docs/PERF.md) compares snapshots of this to
+  /// decide whether cached per-unit next_event values are still valid.
+  std::uint64_t mutation_count() const { return mutations_; }
+
+  /// State changes of one partition (renames and issues). Everything a
+  /// scalar unit reads from the vector unit is per-vctx — the scalar_done
+  /// cell of a reduction it dispatched, the drain time its membar waits
+  /// on, VIQ space for its next handoff — and all of it moves only at
+  /// rename or issue, so a scalar unit's cached next_event needs
+  /// revalidation only when the counts of the partitions its contexts
+  /// drive move. Activity in other threads' partitions cannot affect it,
+  /// which is what lets VLT configurations keep scalar units parked while
+  /// the shared vector unit is busy.
+  std::uint64_t ctx_mutations(unsigned vctx) const {
+    return vctx < ctxs_.size() ? ctxs_[vctx].mutations : 0;
+  }
+
+  /// True when vctx's VIQ slice has no room for another dispatch. A ready
+  /// vector instruction blocked only by this is woken by the rename that
+  /// vacates a slot (a ctx_mutations() bump), not by per-cycle retries.
+  bool viq_full(unsigned vctx) const {
+    return vctx < ctxs_.size() &&
+           ctxs_[vctx].viq.size() >=
+               std::max(1u, params_.viq_size / active_contexts_);
+  }
 
   // --- statistics ---
   const DatapathUtilization& utilization() const { return util_; }
@@ -130,8 +193,14 @@ class VectorUnit {
     TimingRef mask;
     std::vector<Cycle> fu_free;  // arith_fus entries, then mem_ports
     Cycle outstanding_until = 0;
+    std::uint64_t mutations = 0;  // ctx_mutations(): renames + issues
   };
 
+  /// Raw closed-form replay of [from, to): equivalent to ticking every
+  /// cycle in the span given that none of those ticks renames or issues
+  /// anything, and that no dispatch lands mid-span. Callers manage
+  /// accounted_to_.
+  void skip_cycles(Cycle from, Cycle to);
   void rename_into_window(Ctx& c);
   bool entry_ready(const WinEntry& e, Cycle now) const;
   bool try_issue(Ctx& c, WinEntry& e, Cycle now, unsigned lanes_assigned);
@@ -147,7 +216,9 @@ class VectorUnit {
   Histogram vl_hist_;
   std::uint64_t insts_issued_ = 0;
   std::uint64_t elem_ops_ = 0;
+  std::uint64_t mutations_ = 0;
   unsigned rr_ctx_ = 0;
+  Cycle accounted_to_ = 0;  // bookkeeping applied for cycles before this
   audit::AuditSink* audit_ = nullptr;
 };
 

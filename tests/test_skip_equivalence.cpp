@@ -1,0 +1,155 @@
+// Equivalence suite for the event-driven skip-ahead engine (docs/PERF.md):
+// the default engine and the --no-skip cycle-by-cycle oracle must produce
+// byte-identical RunResult::to_json for every workload, variant, and lane
+// count — cycles, phase_cycles, utilization split, and histograms may not
+// move by a single unit. Fault paths are covered too: injected failures
+// must classify identically and timeout diagnostics must report the same
+// phase and barrier state under skip-ahead.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "machine/machine_config.hpp"
+#include "machine/phase.hpp"
+#include "machine/processor.hpp"
+#include "machine/simulator.hpp"
+#include "workloads/workload.hpp"
+
+#include "expect_sim_error.hpp"
+
+namespace vlt {
+namespace {
+
+using machine::MachineConfig;
+using machine::RunResult;
+using machine::RunStatus;
+using machine::Simulator;
+using workloads::Variant;
+
+/// Runs `workload` under both engines and returns {skip, no-skip} JSON.
+std::pair<std::string, std::string> run_both(MachineConfig cfg,
+                                             const std::string& workload,
+                                             Variant variant) {
+  workloads::WorkloadPtr w = workloads::make_workload(workload);
+  cfg.event_skip = true;
+  std::string with_skip =
+      Simulator(cfg).run(*w, variant).to_json().dump(1);
+  cfg.event_skip = false;
+  std::string without =
+      Simulator(cfg).run(*w, variant).to_json().dump(1);
+  return {with_skip, without};
+}
+
+void expect_equivalent(MachineConfig cfg, const std::string& workload,
+                       Variant variant) {
+  auto [with_skip, without] = run_both(cfg, workload, variant);
+  EXPECT_EQ(with_skip, without)
+      << workload << " on " << cfg.name << " / " << variant.to_string()
+      << " diverges between skip-ahead and --no-skip";
+}
+
+// --- every workload, base machine, lane counts 1 / 4 / 8 -------------------
+
+class LaneCountEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LaneCountEquivalence, AllWorkloadsByteIdentical) {
+  const unsigned lanes = GetParam();
+  for (const std::string& name : workloads::workload_names())
+    expect_equivalent(MachineConfig::base(lanes), name, Variant::base());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lanes, LaneCountEquivalence,
+                         ::testing::Values(1u, 4u, 8u));
+
+// --- VLT vector-thread variants on the golden sweep configs ----------------
+
+TEST(SkipEquivalence, VectorThreadVariants) {
+  for (const std::string& name : workloads::workload_names()) {
+    workloads::WorkloadPtr w = workloads::make_workload(name);
+    if (!w->supports(Variant::Kind::kVectorThreads)) continue;
+    expect_equivalent(MachineConfig::v2_cmp(), name,
+                      Variant::vector_threads(2));
+    expect_equivalent(MachineConfig::v4_cmp(), name,
+                      Variant::vector_threads(4));
+  }
+}
+
+// --- lane-threading (CMT) variants: the in-order lane-core engine ----------
+
+TEST(SkipEquivalence, LaneThreadVariants) {
+  for (const std::string& name : workloads::workload_names()) {
+    workloads::WorkloadPtr w = workloads::make_workload(name);
+    if (!w->supports(Variant::Kind::kLaneThreads)) continue;
+    expect_equivalent(MachineConfig::v4_cmt(), name,
+                      Variant::lane_threads(4));
+  }
+}
+
+// --- fault injectors: failures must classify identically -------------------
+
+TEST(SkipEquivalence, VerifyFaultProducesIdenticalResult) {
+  auto [with_skip, without] =
+      run_both(MachineConfig::base(), "fault.verify", Variant::base());
+  EXPECT_EQ(with_skip, without);
+  // And both really are the injected verification failure.
+  EXPECT_NE(with_skip.find("workload-verify"), std::string::npos);
+}
+
+TEST(SkipEquivalence, InvariantFaultTripsBothEngines) {
+  auto w = workloads::make_workload("fault.invariant");
+  for (bool skip : {true, false}) {
+    MachineConfig cfg = MachineConfig::base();
+    cfg.event_skip = skip;
+    EXPECT_SIM_ERROR((void)Simulator(cfg).run(*w, Variant::base()),
+                     "serial phase");
+  }
+}
+
+TEST(SkipEquivalence, BarrierTimeoutDiagnosticIdentical) {
+  auto w = workloads::make_workload("fault.barrier");
+  std::string messages[2];
+  for (bool skip : {true, false}) {
+    MachineConfig cfg = MachineConfig::v4_cmt();
+    cfg.cycle_limit = 20'000;
+    cfg.event_skip = skip;
+    try {
+      (void)Simulator(cfg).run(*w, Variant::lane_threads(4));
+      FAIL() << "stuck barrier did not time out (event_skip=" << skip << ")";
+    } catch (const SimError& e) {
+      EXPECT_EQ(e.kind(), ErrorKind::kTimeout);
+      messages[skip ? 0 : 1] = e.message();
+    }
+  }
+  // Same phase label, same barrier arrival state, same per-context dump —
+  // the whole diagnostic must match, not just the cycle count.
+  EXPECT_EQ(messages[0], messages[1]);
+  EXPECT_NE(messages[0].find("stuck-barrier"), std::string::npos);
+  EXPECT_NE(messages[0].find("1/4 arrivals"), std::string::npos);
+}
+
+// --- the engine must actually skip ----------------------------------------
+
+TEST(SkipEquivalence, SkipExecutesFewerTicksForSameCycles) {
+  workloads::WorkloadPtr w = workloads::make_workload("mpenc");
+  machine::ParallelProgram prog = w->build(Variant::base());
+
+  Cycle cycles[2];
+  std::uint64_t ticks[2];
+  for (bool skip : {true, false}) {
+    MachineConfig cfg = MachineConfig::base();
+    cfg.event_skip = skip;
+    machine::Processor proc(cfg, nullptr);
+    w->init_memory(proc.memory());
+    for (const machine::Phase& phase : prog.phases) proc.run_phase(phase);
+    cycles[skip ? 0 : 1] = proc.now();
+    ticks[skip ? 0 : 1] = proc.ticks_executed();
+  }
+  EXPECT_EQ(cycles[0], cycles[1]) << "skip-ahead changed reported cycles";
+  EXPECT_EQ(ticks[1], cycles[1]) << "the oracle must tick every cycle";
+  EXPECT_LT(ticks[0], ticks[1])
+      << "skip-ahead executed as many ticks as the oracle — no cycle was "
+         "ever skipped";
+}
+
+}  // namespace
+}  // namespace vlt

@@ -1,0 +1,275 @@
+// vltperf — host-throughput benchmark harness for the event-driven
+// skip-ahead core loop (docs/PERF.md).
+//
+//   vltperf [--quick] [--budget-ms N] [--min-speedup X] [--out FILE]
+//
+// Runs a workload × config × variant grid twice per cell — once with
+// event-driven skip-ahead (the default core loop) and once with
+// --no-skip cycle-by-cycle ticking — taking the best host time over
+// repeated passes within a per-cell wall budget. Every pass doubles as
+// a correctness oracle: the two modes' RunResult::to_json() bytes must
+// be identical, or the tool fails (exit 1) before reporting any number.
+//
+// The report (default BENCH_vltperf.json, schema "vltperf-v1") carries
+// per-cell simulated cycles, host ms per mode, skip/no-skip speedup and
+// simulated Mcycles per host second, plus grid totals (including
+// instructions per host second). --min-speedup X turns the total
+// speedup into a gate: exit 1 when skip-ahead is not at least X times
+// faster — CI runs `vltperf --quick --min-speedup 2` on the golden
+// sweep grid.
+//
+// Grids:
+//   default   all registered workloads × {base, V2-CMP, V4-CMP}
+//             × {base, vlt2, vlt4}, pruned to runnable cells
+//   --quick   mpenc,trfd,multprec,bt over the same configs/variants —
+//             exactly the CI golden sweep grid (24 cells)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "machine/simulator.hpp"
+#include "workloads/workload.hpp"
+
+using namespace vlt;
+using workloads::Variant;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vltperf [--quick] [--budget-ms N] [--min-speedup X]\n"
+      "               [--out FILE]\n"
+      "  --quick         measure the CI golden sweep grid\n"
+      "                  (mpenc,trfd,multprec,bt) instead of every\n"
+      "                  workload\n"
+      "  --budget-ms N   per-cell, per-mode wall budget for repeated\n"
+      "                  passes; the best (minimum) pass is reported\n"
+      "                  (default 200, always at least one pass)\n"
+      "  --min-speedup X fail (exit 1) unless total skip-ahead speedup\n"
+      "                  over --no-skip is at least X (default: report\n"
+      "                  only)\n"
+      "  --out FILE      report path (default BENCH_vltperf.json)\n");
+}
+
+struct CellTiming {
+  campaign::Cell cell;
+  machine::RunResult result;  // from a skip-mode pass
+  double host_ms_skip = 0.0;
+  double host_ms_noskip = 0.0;
+};
+
+/// Best (minimum) Simulator::run wall time over repeated passes within
+/// `budget_ms` of harness wall time; at least one pass always runs.
+/// `json_out` receives the last pass's serialized result.
+double measure(const machine::MachineConfig& cfg,
+               const workloads::Workload& w, const Variant& variant,
+               double budget_ms, machine::RunResult* result_out,
+               std::string* json_out) {
+  const auto start = std::chrono::steady_clock::now();
+  double best = -1.0;
+  while (true) {
+    machine::RunResult r = machine::Simulator(cfg).run(w, variant);
+    if (best < 0.0 || r.wall_ms < best) best = r.wall_ms;
+    const double elapsed =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    if (elapsed >= budget_ms) {
+      *json_out = r.to_json().dump(1);
+      if (result_out != nullptr) *result_out = std::move(r);
+      return best;
+    }
+  }
+}
+
+int run_main(int argc, char** argv) {
+  bool quick = false;
+  double budget_ms = 200.0;
+  double min_speedup = 0.0;
+  std::string out_path = "BENCH_vltperf.json";
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "vltperf: %s needs a value\n", arg.c_str());
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto double_value = [&]() {
+      const char* v = value();
+      char* end = nullptr;
+      double d = std::strtod(v, &end);
+      if (end == v || *end != '\0' || d <= 0.0) {
+        std::fprintf(stderr, "vltperf: %s expects a positive number, got "
+                             "'%s'\n", arg.c_str(), v);
+        std::exit(2);
+      }
+      return d;
+    };
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--budget-ms") {
+      budget_ms = double_value();
+    } else if (arg == "--min-speedup") {
+      min_speedup = double_value();
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "vltperf: unknown argument '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+
+  std::vector<std::string> workload_names =
+      quick ? std::vector<std::string>{"mpenc", "trfd", "multprec", "bt"}
+            : workloads::workload_names();
+  std::vector<machine::MachineConfig> configs;
+  for (const char* name : {"base", "V2-CMP", "V4-CMP"})
+    configs.push_back(machine::MachineConfig::by_name(name));
+  std::vector<Variant> variants;
+  for (const char* v : {"base", "vlt2", "vlt4"})
+    variants.push_back(*Variant::parse(v, nullptr));
+
+  campaign::SweepSpec spec;
+  spec.add_grid(configs, workload_names, variants);
+
+  std::vector<CellTiming> timings;
+  std::size_t done = 0;
+  for (const campaign::Cell& cell : spec.cells()) {
+    workloads::WorkloadPtr w = workloads::make_workload(cell.workload);
+
+    CellTiming t;
+    t.cell = cell;
+    machine::MachineConfig cfg = cell.config;
+    std::string json_skip;
+    std::string json_noskip;
+    cfg.event_skip = true;
+    t.host_ms_skip =
+        measure(cfg, *w, cell.variant, budget_ms, &t.result, &json_skip);
+    cfg.event_skip = false;
+    t.host_ms_noskip =
+        measure(cfg, *w, cell.variant, budget_ms, nullptr, &json_noskip);
+
+    // Embedded equivalence oracle: skip-ahead must be invisible in every
+    // reported number before its speed means anything.
+    if (json_skip != json_noskip) {
+      std::fprintf(stderr,
+                   "vltperf: FATAL: %s results differ between skip-ahead "
+                   "and --no-skip\n--- skip ---\n%s\n--- no-skip ---\n%s\n",
+                   cell.key().to_string().c_str(), json_skip.c_str(),
+                   json_noskip.c_str());
+      return 1;
+    }
+    if (!t.result.ok()) {
+      std::fprintf(stderr, "vltperf: FATAL: %s failed [%s]: %s\n",
+                   cell.key().to_string().c_str(),
+                   machine::run_status_name(t.result.status),
+                   t.result.error.c_str());
+      return 1;
+    }
+
+    std::fprintf(stderr,
+                 "[%3zu/%zu] %-40s skip %8.2f ms  no-skip %8.2f ms  "
+                 "(%.1fx)\n",
+                 ++done, spec.size(), cell.key().to_string().c_str(),
+                 t.host_ms_skip, t.host_ms_noskip,
+                 t.host_ms_noskip / std::max(t.host_ms_skip, 1e-6));
+    timings.push_back(std::move(t));
+  }
+
+  double total_skip = 0.0;
+  double total_noskip = 0.0;
+  std::uint64_t total_cycles = 0;
+  std::uint64_t total_insts = 0;
+  Json cells = Json::array();
+  for (const CellTiming& t : timings) {
+    total_skip += t.host_ms_skip;
+    total_noskip += t.host_ms_noskip;
+    total_cycles += t.result.cycles;
+    const std::uint64_t insts = t.result.scalar_insts + t.result.vector_insts;
+    total_insts += insts;
+
+    Json c = Json::object();
+    c.set("workload", t.cell.workload);
+    c.set("config", t.cell.config.name);
+    c.set("variant", t.cell.variant.to_string());
+    c.set("cycles", t.result.cycles);
+    c.set("insts", insts);
+    c.set("host_ms_skip", t.host_ms_skip);
+    c.set("host_ms_noskip", t.host_ms_noskip);
+    c.set("speedup", t.host_ms_noskip / std::max(t.host_ms_skip, 1e-6));
+    c.set("mcycles_per_s", static_cast<double>(t.result.cycles) / 1e6 /
+                               std::max(t.host_ms_skip, 1e-6) * 1e3);
+    cells.push_back(std::move(c));
+  }
+
+  const double speedup = total_noskip / std::max(total_skip, 1e-6);
+  Json report = Json::object();
+  report.set("schema", "vltperf-v1");
+  report.set("grid", quick ? "quick" : "full");
+  report.set("budget_ms", budget_ms);
+  report.set("cells", std::move(cells));
+  Json total = Json::object();
+  total.set("cells", static_cast<std::uint64_t>(timings.size()));
+  total.set("sim_cycles", total_cycles);
+  total.set("insts", total_insts);
+  total.set("host_ms_skip", total_skip);
+  total.set("host_ms_noskip", total_noskip);
+  total.set("speedup", speedup);
+  total.set("mcycles_per_s", static_cast<double>(total_cycles) / 1e6 /
+                                 std::max(total_skip, 1e-6) * 1e3);
+  total.set("insts_per_s", static_cast<double>(total_insts) /
+                               std::max(total_skip, 1e-6) * 1e3);
+  report.set("total", std::move(total));
+
+  std::ofstream out(out_path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "vltperf: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << report.dump(1) << "\n";
+
+  std::fprintf(stderr,
+               "vltperf: %zu cells, %.1f Mcycles/s (skip) vs %.1f "
+               "Mcycles/s (no-skip), total speedup %.2fx -> %s\n",
+               timings.size(),
+               static_cast<double>(total_cycles) / 1e6 /
+                   std::max(total_skip, 1e-6) * 1e3,
+               static_cast<double>(total_cycles) / 1e6 /
+                   std::max(total_noskip, 1e-6) * 1e3,
+               speedup, out_path.c_str());
+
+  if (min_speedup > 0.0 && speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "vltperf: FAILED: total speedup %.2fx is below the "
+                 "--min-speedup %.2fx gate\n", speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const vlt::SimError& e) {
+    std::fprintf(stderr, "vltsim fatal: %s:%d: %s\n", e.file(), e.line(),
+                 e.message().c_str());
+    return 3;
+  }
+}

@@ -3,7 +3,7 @@
 // Table 4-style characteristics, and cache/predictor statistics.
 //
 //   vltsim_run <workload> [--config NAME] [--variant V] [--lanes N]
-//              [--cycle-limit N] [--json] [--audit] [--list]
+//              [--cycle-limit N] [--no-skip] [--json] [--audit] [--list]
 //
 // Exit codes: 0 ok, 1 run failed (verification/timeout/...), 2 usage,
 // 3 internal simulator error (see docs/ERRORS.md).
@@ -35,13 +35,16 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: vltsim_run <workload> [--config NAME] [--variant V] "
-      "[--lanes N] [--cycle-limit N] [--json] [--audit] [--list]\n"
+      "[--lanes N] [--cycle-limit N] [--no-skip] [--json] [--audit] "
+      "[--list]\n"
       "  workloads: mxm sage mpenc trfd multprec bt radix ocean barnes\n"
       "  configs:  %s\n"
       "  variants: %s\n"
       "  --lanes N: base machine with N lanes (1-%u, dividing %u)\n"
       "  --cycle-limit N: cycle budget; exceeding it fails the run with\n"
       "             status \"timeout\" and a per-context diagnostic\n"
+      "  --no-skip: tick every cycle instead of event-driven skip-ahead\n"
+      "             (timing-neutral oracle, docs/PERF.md)\n"
       "  --json:    print the run result as JSON (schema: RunResult)\n"
       "  --audit:   per-cycle invariant checks + lockstep co-simulation\n"
       "             (fails with a diagnostic on the first violation)\n",
@@ -61,6 +64,7 @@ int run_main(int argc, char** argv) {
   Cycle cycle_limit = 0;
   bool audit = false;
   bool json = false;
+  bool no_skip = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -104,6 +108,8 @@ int run_main(int argc, char** argv) {
         return 2;
       }
       cycle_limit = static_cast<Cycle>(n);
+    } else if (arg == "--no-skip") {
+      no_skip = true;
     } else if (arg == "--audit") {
       audit = true;
     } else if (arg == "--json") {
@@ -139,6 +145,7 @@ int run_main(int argc, char** argv) {
   }
   if (audit) cfg.audit = audit::AuditConfig::full();
   if (cycle_limit != 0) cfg.cycle_limit = cycle_limit;
+  if (no_skip) cfg.event_skip = false;
   auto workload = workloads::find_workload(workload_name);
   if (workload == nullptr) {
     std::fprintf(stderr, "vltsim_run: unknown workload '%s'\n",

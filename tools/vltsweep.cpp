@@ -5,8 +5,8 @@
 //   vltsweep [--workloads a,b|all] [--configs x,y|all] [--variants v,..]
 //            [--threads N] [--cache DIR] [--no-cache] [--force]
 //            [--fail-fast] [--max-retries N] [--cell-cycle-limit N]
-//            [--journal FILE] [--no-journal] [--resume]
-//            [--format json|csv] [--out FILE] [--quiet] [--list]
+//            [--journal FILE] [--no-journal] [--resume] [--no-skip]
+//            [--wall] [--format json|csv] [--out FILE] [--quiet] [--list]
 //
 // The grid is pruned to runnable cells (workload supports the variant
 // kind, config has the hardware), so `--workloads all --configs all
@@ -54,7 +54,8 @@ void usage() {
       "                [--no-cache] [--force] [--fail-fast]\n"
       "                [--max-retries N] [--cell-cycle-limit N]\n"
       "                [--journal FILE] [--no-journal] [--resume]\n"
-      "                [--format json|csv] [--out FILE] [--quiet] [--list]\n"
+      "                [--no-skip] [--wall] [--format json|csv]\n"
+      "                [--out FILE] [--quiet] [--list]\n"
       "  workloads:%s\n"
       "  configs:  %s\n"
       "  variants: %s\n"
@@ -71,6 +72,10 @@ void usage() {
       "                .vltsweep-journal.jsonl; --no-journal disables)\n"
       "  --resume      replay completed cells from the journal, run the\n"
       "                rest (byte-identical output to an unkilled sweep)\n"
+      "  --no-skip     tick every cycle instead of event-driven\n"
+      "                skip-ahead (timing-neutral oracle, docs/PERF.md)\n"
+      "  --wall        add each cell's host wall-clock ms to the report\n"
+      "                (nondeterministic; 0 for cached/resumed cells)\n"
       "  --list        print the cells the spec expands to, then exit\n",
       workloads_list.c_str(), configs.c_str(), Variant::spec_help().c_str());
 }
@@ -98,6 +103,8 @@ int run_main(int argc, char** argv) {
   opts.journal_path = ".vltsweep-journal.jsonl";
   bool quiet = false;
   bool list_only = false;
+  bool no_skip = false;
+  bool wall = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -156,6 +163,10 @@ int run_main(int argc, char** argv) {
       opts.journal_path.clear();
     } else if (arg == "--resume") {
       opts.resume = true;
+    } else if (arg == "--no-skip") {
+      no_skip = true;
+    } else if (arg == "--wall") {
+      wall = true;
     } else if (arg == "--format") {
       format = value();
       if (format != "json" && format != "csv") {
@@ -221,6 +232,10 @@ int run_main(int argc, char** argv) {
     }
     configs.push_back(std::move(*c));
   }
+  // Timing-neutral (and not part of the config fingerprint), so cached
+  // cells from skip-mode runs remain valid hits under --no-skip.
+  if (no_skip)
+    for (machine::MachineConfig& c : configs) c.event_skip = false;
 
   std::vector<Variant> variants;
   for (const std::string& v : split_csv(variants_arg)) {
@@ -266,8 +281,9 @@ int run_main(int argc, char** argv) {
 
   campaign::RunSet set = campaign::Campaign(opts).run(spec);
 
-  std::string output = format == "csv" ? set.to_csv()
-                                       : set.to_json().dump(1) + "\n";
+  std::string output = format == "csv"
+                           ? set.to_csv(wall)
+                           : set.to_json(wall).dump(1) + "\n";
   if (out_path.empty()) {
     std::fputs(output.c_str(), stdout);
   } else {
