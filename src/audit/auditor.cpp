@@ -38,7 +38,7 @@ void Auditor::barrier_watchdog(const vltctl::BarrierController& barrier,
 }
 
 void Auditor::finish_run(Cycle total_cycles, Cycle opportunity_cycles,
-                         std::uint64_t element_ops, const Histogram& vl_hist,
+                         std::uint64_t element_ops, const stats::Histogram& vl_hist,
                          const func::FuncMemory& final_memory) {
   if (cfg_.invariants) {
     sink_->expect(

@@ -12,7 +12,7 @@
 
 #include "audit/lockstep.hpp"
 #include "audit/sink.hpp"
-#include "common/histogram.hpp"
+#include "stats/stats.hpp"
 
 namespace vlt::vltctl {
 class BarrierController;
@@ -57,7 +57,7 @@ class Auditor {
   /// End-of-run reconciliation: RunResult sums must match the per-phase
   /// counters, and the lockstep shadow memory must match the simulated one.
   void finish_run(Cycle total_cycles, Cycle opportunity_cycles,
-                  std::uint64_t element_ops, const Histogram& vl_hist,
+                  std::uint64_t element_ops, const stats::Histogram& vl_hist,
                   const func::FuncMemory& final_memory);
 
  private:

@@ -17,6 +17,7 @@ const char* check_name(Check c) {
     case Check::kLockstep: return "lockstep";
     case Check::kRunAccounting: return "run-accounting";
     case Check::kQueueBounds: return "queue-bounds";
+    case Check::kCycleAccounting: return "cycle-accounting";
   }
   return "unknown";
 }

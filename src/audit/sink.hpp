@@ -21,6 +21,7 @@ enum class Check : std::uint8_t {
   kLockstep,           // timing pipeline diverged from the reference model
   kRunAccounting,      // RunResult sums match per-phase measurements
   kQueueBounds,        // decoupling/store queues within configured capacity
+  kCycleAccounting,    // closed-form spans match the per-cycle classifier
 };
 
 const char* check_name(Check c);

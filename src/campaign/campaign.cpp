@@ -71,7 +71,7 @@ namespace {
 std::uint64_t cell_cache_key(const Cell& cell,
                              const workloads::Workload& workload) {
   Digest d;
-  d.mix(std::string("vltsweep-cache-v1"));
+  d.mix(std::string("vltsweep-cache-v2"));
   d.mix(cell.config.fingerprint());
   d.mix(cell.variant.to_string());
   d.mix(workload.name());
@@ -146,7 +146,7 @@ std::size_t RunSet::failures() const {
 
 Json RunSet::to_json(bool include_wall) const {
   Json j = Json::object();
-  j.set("schema", "vltsweep-v2");
+  j.set("schema", "vltsweep-v3");
   j.set("cells", static_cast<std::uint64_t>(results_.size()));
   Json arr = Json::array();
   for (const machine::RunResult& r : results_) {

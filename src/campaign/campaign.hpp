@@ -138,7 +138,7 @@ class RunSet {
   /// Cells replayed from the journal instead of executed (--resume).
   std::size_t resumed() const { return resumed_; }
 
-  /// Full campaign report: {"schema": "vltsweep-v2", "results":
+  /// Full campaign report: {"schema": "vltsweep-v3", "results":
   /// [RunResult...]}. Deterministic bytes for a given spec — the CI
   /// golden diff, the kill/resume byte-identity check, and the threads=1
   /// vs threads=N determinism test compare these directly. `include_wall`

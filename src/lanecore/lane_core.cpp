@@ -79,7 +79,7 @@ bool LaneCore::issue_one(Cycle now) {
     if (rel == kNeverReady || rel > now) return false;
     waiting_barrier_ = false;
     if (lockstep_ != nullptr) synth_lockstep(inst, now);
-    ++committed_;
+    committed_.inc();
     ++pc_;
     return true;
   }
@@ -89,18 +89,18 @@ bool LaneCore::issue_one(Cycle now) {
       return false;  // drain memory first
     if (inst.op == Opcode::kMembar) {
       if (lockstep_ != nullptr) synth_lockstep(inst, now);
-      ++committed_;
+      committed_.inc();
       ++pc_;
       return true;
     }
     barrier_gen_ = barrier_->arrive(now);
     waiting_barrier_ = true;
-    stats_.inc("barriers");
+    barriers_.inc();
     return false;
   }
 
   if (!scoreboard_ready(inst, now)) {
-    stats_.inc("stall_scoreboard");
+    stall_scoreboard_.inc();
     return false;
   }
 
@@ -109,21 +109,21 @@ bool LaneCore::issue_one(Cycle now) {
   const bool store_op = mem_op && isa::is_store(inst.op);
   if (mem_op) {
     if (mem_used_ >= params_.mem_ports) {
-      stats_.inc("stall_mem_port");
+      stall_mem_port_.inc();
       return false;
     }
     if (store_op) {
       if (store_queue_.size() >= params_.store_queue) {
-        stats_.inc("stall_store_queue");
+        stall_store_queue_.inc();
         return false;
       }
     } else if (outstanding_.size() >= params_.max_outstanding) {
-      stats_.inc("stall_load_queue");
+      stall_load_queue_.inc();
       return false;
     }
   } else if (info.fu != isa::FuClass::kNone) {
     if (arith_used_ >= params_.arith_units) {
-      stats_.inc("stall_arith");
+      stall_arith_.inc();
       return false;
     }
   }
@@ -134,7 +134,6 @@ bool LaneCore::issue_one(Cycle now) {
   if (line != cur_line_) {
     cur_line_ = line;
     if (!icache_.access(iaddr, false).hit) {
-      stats_.inc("lane_imisses");
       stall_until_ =
           l2_->access(iaddr, false, now + 1) + params_.imiss_forward_latency;
       return false;
@@ -146,9 +145,9 @@ bool LaneCore::issue_one(Cycle now) {
   if (lockstep_ != nullptr)
     lockstep_->on_execute(ectx_.tid, inst, pc_, res, addr_scratch_, arch_,
                           now);
-  ++committed_;
+  committed_.inc();
   static const bool trace = std::getenv("VLT_LANE_TRACE") != nullptr;
-  if (trace && ectx_.tid == 1 && committed_ > 2000 && committed_ < 2100)
+  if (trace && ectx_.tid == 1 && committed_.value() > 2000 && committed_.value() < 2100)
     std::fprintf(stderr, "[lane%u] t=%llu pc=%llu %s\n", ectx_.tid,
                  (unsigned long long)now, (unsigned long long)pc_,
                  isa::disassemble(inst).c_str());
@@ -251,6 +250,23 @@ void LaneCore::tick(Cycle now) {
                        " entries, capacity " +
                        std::to_string(params_.store_queue));
   }
+}
+
+void LaneCore::register_stats(stats::Registry& registry,
+                              const std::string& prefix) {
+  icache_.register_stats(registry, prefix + ".icache");
+  registry.add_counter(prefix + ".committed", &committed_);
+  registry.add_counter(prefix + ".barriers", &barriers_);
+  registry.add_counter(prefix + ".stall_scoreboard", &stall_scoreboard_,
+                       stats::Stability::kDiagnostic);
+  registry.add_counter(prefix + ".stall_mem_port", &stall_mem_port_,
+                       stats::Stability::kDiagnostic);
+  registry.add_counter(prefix + ".stall_store_queue", &stall_store_queue_,
+                       stats::Stability::kDiagnostic);
+  registry.add_counter(prefix + ".stall_load_queue", &stall_load_queue_,
+                       stats::Stability::kDiagnostic);
+  registry.add_counter(prefix + ".stall_arith", &stall_arith_,
+                       stats::Stability::kDiagnostic);
 }
 
 }  // namespace vlt::lanecore

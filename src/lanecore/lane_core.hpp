@@ -12,8 +12,8 @@
 #pragma once
 
 #include <deque>
+#include <string>
 
-#include "common/stats.hpp"
 #include "common/types.hpp"
 #include "func/executor.hpp"
 #include "isa/program.hpp"
@@ -63,8 +63,16 @@ class LaneCore {
   Cycle next_event(Cycle now) const;
 
   const func::ArchState& arch_state() const { return arch_; }
-  std::uint64_t committed() const { return committed_; }
-  const StatSet& stats() const { return stats_; }
+  std::uint64_t committed() const { return committed_.value(); }
+  std::uint64_t barriers() const { return barriers_.value(); }
+  const mem::Cache& icache() const { return icache_; }
+
+  /// Registers this lane's instruments under `prefix` (e.g. "lane3"): the
+  /// I-cache ("<prefix>.icache.*"), committed instructions, and barrier
+  /// arrivals. The per-tick stall tallies are registered kDiagnostic —
+  /// the skip-ahead engine never replays blocked ticks, so they are
+  /// engine-dependent and must stay out of serialized snapshots.
+  void register_stats(stats::Registry& registry, const std::string& prefix);
 
  private:
   bool issue_one(Cycle now);
@@ -105,8 +113,14 @@ class LaneCore {
   bool waiting_barrier_ = false;
   std::uint64_t barrier_gen_ = 0;
 
-  std::uint64_t committed_ = 0;
-  StatSet stats_;
+  stats::Counter committed_;
+  stats::Counter barriers_;
+  // Per failed issue attempt, so tick-frequency-dependent (kDiagnostic).
+  stats::Counter stall_scoreboard_;
+  stats::Counter stall_mem_port_;
+  stats::Counter stall_store_queue_;
+  stats::Counter stall_load_queue_;
+  stats::Counter stall_arith_;
   std::vector<Addr> addr_scratch_;
 };
 

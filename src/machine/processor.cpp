@@ -28,6 +28,26 @@ Processor::Processor(const MachineConfig& config, audit::Auditor* auditor)
       lanes_.push_back(std::make_unique<lanecore::LaneCore>(
           config_.lane_core, memory_, l2_, barrier_, auditor_));
   }
+
+  // All units constructed and at their final addresses: register every
+  // instrument under its hierarchical name. Unit-owned counters live
+  // behind unique_ptrs; l2_/barrier_/ticks_ are direct members, so the
+  // registry pins this Processor in place (it is never moved).
+  l2_.register_stats(registry_, "l2");
+  barrier_.register_stats(registry_, "barrier");
+  if (vu_) vu_->register_stats(registry_);
+  for (std::size_t i = 0; i < sus_.size(); ++i)
+    sus_[i]->register_stats(registry_, "su" + std::to_string(i));
+  for (std::size_t i = 0; i < lanes_.size(); ++i)
+    lanes_[i]->register_stats(registry_, "lane" + std::to_string(i));
+  registry_.add_counter("engine.ticks", &ticks_,
+                        stats::Stability::kDiagnostic);
+}
+
+void Processor::set_trace(stats::TraceBuffer* trace) {
+  l2_.set_trace(trace);
+  barrier_.set_trace(trace);
+  if (vu_) vu_->set_trace(trace);
 }
 
 void Processor::start_phase_contexts(const Phase& phase) {
@@ -162,7 +182,7 @@ void Processor::run_phase_cycles(const Phase& phase) {
       last_watchdog_ = now_;
       auditor_->barrier_watchdog(barrier_, now_, phase.label);
     }
-    ++ticks_;
+    ticks_.inc();
     if (lane_mode) {
       for (unsigned t = 0; t < phase.nthreads(); ++t) lanes_[t]->tick(now_);
     } else {
@@ -247,7 +267,7 @@ void Processor::run_phase_events(const Phase& phase) {
       last_watchdog_ = now_;
       auditor_->barrier_watchdog(barrier_, now_, phase.label);
     }
-    ++ticks_;
+    ticks_.inc();
     if (lane_mode) {
       for (unsigned t = 0; t < nlanes; ++t) {
         if (unit_next[t] > now_) continue;

@@ -12,6 +12,8 @@
 #include "machine/phase.hpp"
 #include "mem/l2_cache.hpp"
 #include "mem/main_memory.hpp"
+#include "stats/stats.hpp"
+#include "stats/trace.hpp"
 #include "su/scalar_core.hpp"
 #include "vltctl/barrier.hpp"
 #include "vu/vector_unit.hpp"
@@ -42,7 +44,19 @@ class Processor {
   /// event-driven skip-ahead (config.event_skip, docs/PERF.md) this is
   /// typically far below now(): the difference is cycles the simulator
   /// proved to be no-ops and jumped over.
-  std::uint64_t ticks_executed() const { return ticks_; }
+  std::uint64_t ticks_executed() const { return ticks_.value(); }
+
+  /// The machine-wide metrics registry: every unit's instruments are
+  /// registered at construction under hierarchical names ("su0.l1d.*",
+  /// "vu.datapath.*", "barrier.*", "lane3.icache.*", "engine.*"). Owned
+  /// here; snapshot it after a run for RunResult.
+  stats::Registry& registry() { return registry_; }
+  const stats::Registry& registry() const { return registry_; }
+
+  /// Attaches the structured-event trace buffer to every traced unit
+  /// (vector-unit dispatch/handoff, barrier arrive/release, L2 misses).
+  /// Pass nullptr to detach.
+  void set_trace(stats::TraceBuffer* trace);
 
   std::uint64_t committed_scalar() const;
   std::uint64_t committed_vector() const;
@@ -83,9 +97,12 @@ class Processor {
   std::unique_ptr<vu::VectorUnit> vu_;
   std::vector<std::unique_ptr<su::ScalarCore>> sus_;
   std::vector<std::unique_ptr<lanecore::LaneCore>> lanes_;
+  stats::Registry registry_;
   Cycle now_ = 0;
   Cycle last_watchdog_ = 0;
-  std::uint64_t ticks_ = 0;
+  // Host-side engine instrumentation: differs between the two engines by
+  // design, hence kDiagnostic (never serialized).
+  stats::Counter ticks_;
   std::uint64_t lane_committed_ = 0;
 };
 

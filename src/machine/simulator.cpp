@@ -80,6 +80,9 @@ Json RunResult::to_json() const {
   for (const auto& [vl, count] : vl_hist.counts())  // std::map: ascending
     hist.set(std::to_string(vl), count);
   j.set("vl_histogram", std::move(hist));
+  // Only when non-empty: pre-v3 documents carry no snapshot, and parsing
+  // then re-serializing one must reproduce its bytes.
+  if (!stats.empty()) j.set("stats", stats.to_json());
   return j;
 }
 
@@ -142,6 +145,8 @@ std::optional<RunResult> RunResult::from_json(const Json& j) {
     for (const auto& [key, count] : hist->members())
       r.vl_hist.add(std::strtoull(key.c_str(), nullptr, 10),
                     count.as_uint());
+  if (const Json* stats = j.find("stats"); stats != nullptr)
+    r.stats = stats::Snapshot::from_json(*stats);
   return r;
 }
 
@@ -157,6 +162,7 @@ RunResult Simulator::run(const workloads::Workload& workload,
     auditor = std::make_unique<audit::Auditor>(config_.audit, audit_sink_);
 
   Processor proc(config_, auditor.get());
+  if (trace_ != nullptr) proc.set_trace(trace_);
   workload.init_memory(proc.memory());
   if (auditor && auditor->lockstep() != nullptr)
     auditor->lockstep()->seed_memory(proc.memory());
@@ -196,9 +202,15 @@ RunResult Simulator::run(const workloads::Workload& workload,
     res.vl_hist = vu->vl_histogram();
   }
 
-  if (auditor)
+  res.stats = proc.registry().snapshot();
+
+  if (auditor) {
+    // End-of-run conservation pass over every registered invariant
+    // (cache hits+misses==accesses, span-vs-cycle accounting, …).
+    proc.registry().check_invariants(*auditor->invariant_sink(), proc.now());
     auditor->finish_run(res.cycles, res.opportunity_cycles, res.element_ops,
                         res.vl_hist, proc.memory());
+  }
 
   std::optional<std::string> err = workload.verify(proc.memory());
   res.verified = !err.has_value();

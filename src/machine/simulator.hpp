@@ -6,9 +6,10 @@
 #include <string>
 
 #include "common/error.hpp"
-#include "common/histogram.hpp"
 #include "common/json.hpp"
 #include "machine/machine_config.hpp"
+#include "stats/stats.hpp"
+#include "stats/trace.hpp"
 #include "workloads/workload.hpp"
 
 namespace vlt::machine {
@@ -48,7 +49,10 @@ struct RunResult {
   std::uint64_t vector_insts = 0;
   std::uint64_t element_ops = 0;
   vu::DatapathUtilization util;
-  Histogram vl_hist;
+  stats::Histogram vl_hist;
+  /// Full registry snapshot of the run's machine ("su0.l1d.misses",
+  /// "vu.datapath.busy", …). Empty when parsed from a pre-v3 document.
+  stats::Snapshot stats;
   RunStatus status = RunStatus::kOk;
   bool verified = false;
   /// Failure detail: the golden-check mismatch for kWorkloadVerify, the
@@ -99,6 +103,9 @@ struct RunResult {
   ///                                pct_opportunity}  (Table 4)
   ///   utilization                 {busy, partly_idle, stalled, all_idle}
   ///   vl_histogram                {"<VL>": count, ...} ascending VL
+  ///   stats                       registry snapshot (docs/METRICS.md);
+  ///                               omitted when empty, so documents parsed
+  ///                               from older schemas round-trip unchanged
   ///
   /// Field order is fixed and numbers format deterministically, so equal
   /// results serialize to equal bytes.
@@ -118,6 +125,12 @@ class Simulator {
   /// must outlive run().
   void set_audit_sink(audit::AuditSink* sink) { audit_sink_ = sink; }
 
+  /// Attaches a structured-event trace buffer; the machine's traced units
+  /// record into it during run(). Not owned; must outlive run(). Pass
+  /// nullptr to detach. Tracing is observational: it never changes
+  /// reported cycles.
+  void set_trace(stats::TraceBuffer* trace) { trace_ = trace; }
+
   /// Builds a fresh (cold) machine, runs every phase of the workload
   /// variant, verifies the memory image, and returns the measurements.
   RunResult run(const workloads::Workload& workload,
@@ -126,6 +139,7 @@ class Simulator {
  private:
   MachineConfig config_;
   audit::AuditSink* audit_sink_ = nullptr;
+  stats::TraceBuffer* trace_ = nullptr;
 };
 
 /// Convenience for benches: cycles of `workload` under (config, variant).

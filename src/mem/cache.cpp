@@ -22,7 +22,7 @@ Cache::Result Cache::access(Addr addr, bool is_write) {
   Addr tag = tag_of(addr);
   Line* base = &lines_[set * ways_];
   ++use_clock_;
-  ++accesses_;
+  accesses_.inc();
 
   Line* victim = &base[0];
   for (unsigned w = 0; w < ways_; ++w) {
@@ -30,7 +30,7 @@ Cache::Result Cache::access(Addr addr, bool is_write) {
     if (line.valid && line.tag == tag) {
       line.last_use = use_clock_;
       line.dirty |= is_write;
-      ++hits_;
+      hits_.inc();
       res.hit = true;
       check_counters();
       return res;
@@ -42,13 +42,13 @@ Cache::Result Cache::access(Addr addr, bool is_write) {
     }
   }
 
-  ++misses_;
+  misses_.inc();
   if (victim->valid && victim->dirty) {
     res.writeback = true;
     res.victim_addr = line_addr(victim->tag, set);
-    ++writebacks_;
+    writebacks_.inc();
   }
-  if (!victim->valid) ++valid_count_;
+  if (!victim->valid) valid_lines_.inc();
   victim->valid = true;
   victim->tag = tag;
   victim->dirty = is_write;
@@ -57,23 +57,37 @@ Cache::Result Cache::access(Addr addr, bool is_write) {
   return res;
 }
 
+std::optional<std::string> Cache::conservation_violation() const {
+  if (hits() + misses() != accesses())
+    return "hits (" + std::to_string(hits()) + ") + misses (" +
+           std::to_string(misses()) + ") do not reconcile with accesses (" +
+           std::to_string(accesses()) + ")";
+  if (writebacks() > misses())
+    return "writebacks (" + std::to_string(writebacks()) +
+           ") exceed misses (" + std::to_string(misses()) + ")";
+  if (valid_lines() > lines_.size())
+    return "valid-line population (" + std::to_string(valid_lines()) +
+           ") exceeds the tag array capacity (" +
+           std::to_string(lines_.size()) + ")";
+  return std::nullopt;
+}
+
 void Cache::check_counters() const {
   if (audit_ == nullptr) return;
-  audit_->expect(hits_ + misses_ == accesses_, audit::Check::kCacheCounters,
-                 audit_name_, use_clock_,
-                 "hits (" + std::to_string(hits_) + ") + misses (" +
-                     std::to_string(misses_) +
-                     ") do not reconcile with accesses (" +
-                     std::to_string(accesses_) + ")");
-  audit_->expect(writebacks_ <= misses_, audit::Check::kCacheCounters,
-                 audit_name_, use_clock_,
-                 "writebacks (" + std::to_string(writebacks_) +
-                     ") exceed misses (" + std::to_string(misses_) + ")");
-  audit_->expect(valid_count_ <= lines_.size(), audit::Check::kCacheCounters,
-                 audit_name_, use_clock_,
-                 "valid-line population (" + std::to_string(valid_count_) +
-                     ") exceeds the tag array capacity (" +
-                     std::to_string(lines_.size()) + ")");
+  if (std::optional<std::string> violation = conservation_violation())
+    audit_->report(audit::Violation{audit::Check::kCacheCounters, audit_name_,
+                                    use_clock_, *violation});
+}
+
+void Cache::register_stats(stats::Registry& registry,
+                           const std::string& prefix) {
+  registry.add_counter(prefix + ".hits", &hits_);
+  registry.add_counter(prefix + ".misses", &misses_);
+  registry.add_counter(prefix + ".accesses", &accesses_);
+  registry.add_counter(prefix + ".writebacks", &writebacks_);
+  registry.add_gauge(prefix + ".valid_lines", &valid_lines_);
+  registry.add_invariant(prefix, audit::Check::kCacheCounters,
+                         [this] { return conservation_violation(); });
 }
 
 bool Cache::probe(Addr addr) const {
@@ -92,13 +106,13 @@ void Cache::invalidate(Addr addr) {
   for (unsigned w = 0; w < ways_; ++w)
     if (base[w].valid && base[w].tag == tag) {
       base[w].valid = false;
-      --valid_count_;
+      valid_lines_.dec();
     }
 }
 
 void Cache::invalidate_all() {
   for (Line& l : lines_) l.valid = false;
-  valid_count_ = 0;
+  valid_lines_.set(0);
 }
 
 }  // namespace vlt::mem

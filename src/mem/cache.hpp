@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "stats/stats.hpp"
 
 namespace vlt::audit {
 class AuditSink;
@@ -35,22 +37,31 @@ class Cache {
   void invalidate(Addr addr);
   void invalidate_all();
 
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::uint64_t accesses() const { return accesses_; }
-  std::uint64_t writebacks() const { return writebacks_; }
-  std::uint64_t valid_lines() const { return valid_count_; }
+  std::uint64_t hits() const { return hits_.value(); }
+  std::uint64_t misses() const { return misses_.value(); }
+  std::uint64_t accesses() const { return accesses_.value(); }
+  std::uint64_t writebacks() const { return writebacks_.value(); }
+  std::uint64_t valid_lines() const {
+    return static_cast<std::uint64_t>(valid_lines_.value());
+  }
   unsigned num_sets() const { return num_sets_; }
   unsigned ways() const { return ways_; }
 
   /// Attaches an audit sink checking counter conservation on every access:
   /// hits + misses == accesses, writebacks never exceed misses, and the
   /// valid-line population never exceeds the tag array capacity. `name`
-  /// labels violations (e.g. "l1d", "l2"). Pass nullptr to detach.
-  void set_audit(audit::AuditSink* sink, const char* name) {
+  /// labels violations (e.g. "l1d", "l2") and is copied, so callers may
+  /// pass temporaries. Pass nullptr to detach.
+  void set_audit(audit::AuditSink* sink, std::string name) {
     audit_ = sink;
-    audit_name_ = name;
+    audit_name_ = std::move(name);
   }
+
+  /// Registers "<prefix>.hits" / ".misses" / ".accesses" / ".writebacks"
+  /// counters and the ".valid_lines" gauge, plus the conservation
+  /// invariant under the same prefix (evaluated at end of run through
+  /// Registry::check_invariants).
+  void register_stats(stats::Registry& registry, const std::string& prefix);
 
  private:
   struct Line {
@@ -61,6 +72,10 @@ class Cache {
   };
 
   void check_counters() const;
+  /// Diagnostic when the hit/miss/writeback/occupancy counters fail to
+  /// reconcile; nullopt when conservation holds. Shared by the per-access
+  /// audit check and the registry invariant.
+  std::optional<std::string> conservation_violation() const;
 
   std::size_t set_index(Addr addr) const {
     return (addr / line_bytes_) % num_sets_;
@@ -75,13 +90,13 @@ class Cache {
   unsigned num_sets_;
   std::vector<Line> lines_;  // num_sets_ * ways_, set-major
   std::uint64_t use_clock_ = 0;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t accesses_ = 0;
-  std::uint64_t writebacks_ = 0;
-  std::uint64_t valid_count_ = 0;
+  stats::Counter hits_;
+  stats::Counter misses_;
+  stats::Counter accesses_;
+  stats::Counter writebacks_;
+  stats::Gauge valid_lines_;
   audit::AuditSink* audit_ = nullptr;
-  const char* audit_name_ = "cache";
+  std::string audit_name_ = "cache";
 };
 
 }  // namespace vlt::mem

@@ -65,6 +65,9 @@ Cycle L2Cache::access(Addr addr, bool is_write, Cycle now) {
   // the memory bus as well (request_line models the occupancy). The machine
   // config sets the memory latency to miss_latency - hit_latency, so an
   // uncontended miss completes at start + miss_latency (Table 3: 100).
+  if (trace_ != nullptr)
+    trace_->record(stats::TraceEvent::Kind::kL2Miss, now,
+                   static_cast<std::uint32_t>(bank), addr);
   if (r.writeback) (void)memory_->request_line(start);
   Cycle fill = memory_->request_line(start);
   Cycle done = fill + params_.hit_latency;

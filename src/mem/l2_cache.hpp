@@ -5,11 +5,13 @@
 // merged (MSHR behaviour).
 #pragma once
 
+#include <string>
 #include <unordered_map>
 
 #include "common/types.hpp"
 #include "mem/cache.hpp"
 #include "mem/main_memory.hpp"
+#include "stats/trace.hpp"
 
 namespace vlt::mem {
 
@@ -45,6 +47,15 @@ class L2Cache {
   /// never precede the request). Pass nullptr to detach.
   void set_audit(audit::AuditSink* sink);
 
+  /// Registers the tag-array instruments under `prefix` ("l2.hits", ...).
+  void register_stats(stats::Registry& registry, const std::string& prefix) {
+    tags_.register_stats(registry, prefix);
+  }
+
+  /// Attaches the structured-event trace buffer; misses record a kL2Miss
+  /// with the owning bank as the lane. Pass nullptr to detach.
+  void set_trace(stats::TraceBuffer* trace) { trace_ = trace; }
+
  private:
   void prune_pending(Cycle now);
 
@@ -55,6 +66,7 @@ class L2Cache {
   std::unordered_map<Addr, Cycle> pending_fills_;  // line index -> fill time
   std::uint64_t accesses_since_prune_ = 0;
   audit::AuditSink* audit_ = nullptr;
+  stats::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace vlt::mem

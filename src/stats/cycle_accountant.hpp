@@ -1,0 +1,98 @@
+// Figure-4 datapath-cycle classification, shared by both engines.
+//
+// Every arithmetic-datapath lane-cycle of a run lands in exactly one of
+// four buckets (paper Figure 4): busy (an element operation executed),
+// partly idle (a chime slot wasted because VL < lanes x duration),
+// stalled (the FU sat idle while work waited in the VIQ/window), or all
+// idle (no vector instruction in flight at all). The per-cycle oracle
+// ticks the classifier every cycle (account_cycle); the event-driven skip
+// engine feeds it the same spans in closed form (account_span). With an
+// audit sink attached, account_span replays each span through the
+// per-cycle classifier and reports a violation if the two paths ever
+// disagree — the agreement check behind the engines' byte-identical
+// utilization split (docs/PERF.md, docs/CHECKS.md).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+#include "stats/stats.hpp"
+
+namespace vlt::audit {
+class AuditSink;
+}
+
+namespace vlt::stats {
+
+/// Figure-4 utilization split. All counts are lane-cycles summed over the
+/// arithmetic datapaths of all lanes.
+struct DatapathUtilization {
+  std::uint64_t busy = 0;         // element operations executed
+  std::uint64_t partly_idle = 0;  // slots wasted because VL < a full chime
+  std::uint64_t stalled = 0;      // FU idle while work waits (deps/issue bw)
+  std::uint64_t all_idle = 0;     // no vector instruction in flight at all
+
+  DatapathUtilization operator-(const DatapathUtilization& o) const {
+    return {busy - o.busy, partly_idle - o.partly_idle, stalled - o.stalled,
+            all_idle - o.all_idle};
+  }
+  std::uint64_t total() const {
+    return busy + partly_idle + stalled + all_idle;
+  }
+};
+
+class CycleAccountant {
+ public:
+  /// One issued instruction: `elems` element operations occupying a chime
+  /// rectangle of `slots` lane-cycles (duration x assigned lanes). The
+  /// rectangle splits into busy element slots and partly-idle waste.
+  void on_issue(std::uint64_t elems, std::uint64_t slots) {
+    busy_.inc(elems);
+    partly_idle_.inc(slots - elems);
+  }
+
+  /// Per-cycle classification of one context's arithmetic FUs at `now`
+  /// (the oracle path): an FU with fu_free[f] <= now sat idle this cycle,
+  /// charged as stalled lane-cycles when work was waiting in the VIQ or
+  /// window, all-idle otherwise. `weight` is the lanes assigned to the
+  /// context. Busy cycles are not counted here — they were charged at
+  /// issue by on_issue().
+  void account_cycle(Cycle now, const Cycle* fu_free, unsigned nfus,
+                     bool work_waiting, unsigned weight) {
+    for (unsigned f = 0; f < nfus; ++f)
+      if (fu_free[f] <= now) (work_waiting ? stalled_ : all_idle_).inc(weight);
+  }
+
+  /// Closed-form classification of the span [from, to) (the skip-engine
+  /// path): equivalent to calling account_cycle on every cycle of the
+  /// span, valid only when no issue, rename, or dispatch lands inside it
+  /// (so fu_free and work_waiting are constant across the span — the
+  /// skip engine's no-op-tick proof). With an audit sink attached the
+  /// span is replayed per-cycle and any disagreement is reported.
+  void account_span(Cycle from, Cycle to, const Cycle* fu_free, unsigned nfus,
+                    bool work_waiting, unsigned weight);
+
+  DatapathUtilization utilization() const {
+    return {busy_.value(), partly_idle_.value(), stalled_.value(),
+            all_idle_.value()};
+  }
+
+  /// Attaches the audit sink enabling the span-vs-cycle agreement check.
+  /// Pass nullptr to detach. Observational only.
+  void set_audit(audit::AuditSink* sink) { audit_ = sink; }
+
+  /// Registers the four buckets as "<prefix>.busy" etc. All stable: both
+  /// engines charge identical totals (enforced by the agreement check and
+  /// the equivalence suite).
+  void register_stats(Registry& registry, const std::string& prefix);
+
+ private:
+  Counter busy_;
+  Counter partly_idle_;
+  Counter stalled_;
+  Counter all_idle_;
+  audit::AuditSink* audit_ = nullptr;
+};
+
+}  // namespace vlt::stats

@@ -1,0 +1,131 @@
+#include "stats/stats.hpp"
+
+#include <cstdlib>
+
+#include "common/log.hpp"
+
+namespace vlt::stats {
+
+std::uint64_t Snapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : counters)
+    if (n == name) return v;
+  return 0;
+}
+
+Json Snapshot::to_json() const {
+  Json j = Json::object();
+  if (!counters.empty()) {
+    Json c = Json::object();
+    for (const auto& [name, value] : counters) c.set(name, value);
+    j.set("counters", std::move(c));
+  }
+  if (!gauges.empty()) {
+    Json g = Json::object();
+    for (const auto& [name, value] : gauges) g.set(name, value);
+    j.set("gauges", std::move(g));
+  }
+  if (!histograms.empty()) {
+    Json h = Json::object();
+    for (const auto& [name, hist] : histograms) {
+      Json buckets = Json::object();
+      for (const auto& [key, weight] : hist.counts())  // std::map: ascending
+        buckets.set(std::to_string(key), weight);
+      h.set(name, std::move(buckets));
+    }
+    j.set("histograms", std::move(h));
+  }
+  return j;
+}
+
+Snapshot Snapshot::from_json(const Json& j) {
+  Snapshot s;
+  if (!j.is_object()) return s;
+  if (const Json* c = j.find("counters"); c != nullptr)
+    for (const auto& [name, value] : c->members())
+      s.counters.emplace_back(name, value.as_uint());
+  if (const Json* g = j.find("gauges"); g != nullptr)
+    for (const auto& [name, value] : g->members())
+      s.gauges.emplace_back(name, value.as_int());
+  if (const Json* h = j.find("histograms"); h != nullptr)
+    for (const auto& [name, buckets] : h->members()) {
+      Histogram hist;
+      for (const auto& [key, weight] : buckets.members())
+        hist.add(std::strtoull(key.c_str(), nullptr, 10), weight.as_uint());
+      s.histograms.emplace_back(name, std::move(hist));
+    }
+  return s;
+}
+
+void Registry::check_new_name(const std::string& name) const {
+  VLT_CHECK(!name.empty(), "instrument registered without a name");
+  VLT_CHECK(counters_.find(name) == counters_.end() &&
+                gauges_.find(name) == gauges_.end() &&
+                histograms_.find(name) == histograms_.end(),
+            "duplicate instrument name '" + name + "'");
+}
+
+void Registry::add_counter(const std::string& name, const Counter* c,
+                           Stability stability) {
+  check_new_name(name);
+  VLT_CHECK(c != nullptr, "null counter registered as '" + name + "'");
+  counters_[name] = {c, stability};
+}
+
+void Registry::add_gauge(const std::string& name, const Gauge* g,
+                         Stability stability) {
+  check_new_name(name);
+  VLT_CHECK(g != nullptr, "null gauge registered as '" + name + "'");
+  gauges_[name] = {g, stability};
+}
+
+void Registry::add_histogram(const std::string& name, const Histogram* h,
+                             Stability stability) {
+  check_new_name(name);
+  VLT_CHECK(h != nullptr, "null histogram registered as '" + name + "'");
+  histograms_[name] = {h, stability};
+}
+
+void Registry::add_invariant(const std::string& component, audit::Check check,
+                             std::function<std::optional<std::string>()> fn) {
+  VLT_CHECK(fn != nullptr, "null invariant registered for " + component);
+  invariants_.push_back({component, check, std::move(fn)});
+}
+
+void Registry::check_invariants(audit::AuditSink& sink, Cycle now) const {
+  for (const Invariant& inv : invariants_)
+    if (std::optional<std::string> violation = inv.fn())
+      sink.report(
+          audit::Violation{inv.check, inv.component, now, *violation});
+}
+
+Snapshot Registry::snapshot() const {
+  Snapshot s;
+  for (const auto& [name, entry] : counters_)  // std::map: name-sorted
+    if (entry.stability == Stability::kStable && entry.instrument->value() != 0)
+      s.counters.emplace_back(name, entry.instrument->value());
+  for (const auto& [name, entry] : gauges_)
+    if (entry.stability == Stability::kStable && entry.instrument->value() != 0)
+      s.gauges.emplace_back(name, entry.instrument->value());
+  for (const auto& [name, entry] : histograms_)
+    if (entry.stability == Stability::kStable &&
+        entry.instrument->total_weight() != 0)
+      s.histograms.emplace_back(name, *entry.instrument);
+  return s;
+}
+
+std::uint64_t Registry::counter_value(const std::string& name) const {
+  auto it = counters_.find(name);
+  return it != counters_.end() ? it->second.instrument->value() : 0;
+}
+
+std::int64_t Registry::gauge_value(const std::string& name) const {
+  auto it = gauges_.find(name);
+  return it != gauges_.end() ? it->second.instrument->value() : 0;
+}
+
+const Histogram* Registry::histogram(const std::string& name) const {
+  auto it = histograms_.find(name);
+  return it != histograms_.end() ? it->second.instrument : nullptr;
+}
+
+}  // namespace vlt::stats

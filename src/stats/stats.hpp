@@ -1,0 +1,200 @@
+// Unified metrics layer (vltstat): typed instruments owned by the units
+// that update them, registered by name into a per-machine stats::Registry.
+//
+// Design rules:
+//  - Hot paths touch only the instrument (an inlined integer add); the
+//    registry is consulted at registration and snapshot time only, so the
+//    layer is cheap enough for the vltperf CI floor (docs/PERF.md).
+//  - Names are hierarchical, dot-separated, lower_snake_case leaves:
+//    "<unit><index>.<structure>.<metric>" — e.g. "su0.l1d.misses",
+//    "lane3.icache.hits", "vu.datapath.busy", "barrier.arrivals". The
+//    index dimension is part of the name, so per-context and per-lane
+//    series need no side tables (docs/METRICS.md).
+//  - Every instrument is either kStable (engine-invariant: identical
+//    under the per-cycle oracle and the event-driven skip engine, and
+//    therefore part of the serialized RunResult snapshot) or kDiagnostic
+//    (tick-frequency tallies that depend on which cycles were executed;
+//    in-process only, excluded from snapshots the same way
+//    RunResult::wall_ms is).
+//  - Conservation invariants (hits + misses == accesses, ...) register
+//    alongside the instruments and are evaluated through the audit layer,
+//    so the checks stay observational and opt-in (docs/CHECKS.md).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/sink.hpp"
+#include "common/json.hpp"
+#include "common/types.hpp"
+
+namespace vlt::stats {
+
+/// Monotonic event counter (cache hits, committed instructions, ...).
+class Counter {
+ public:
+  void inc(std::uint64_t by = 1) { value_ += by; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Instantaneous level that can move both ways (valid-line population).
+class Gauge {
+ public:
+  void inc(std::int64_t by = 1) { value_ += by; }
+  void dec(std::int64_t by = 1) { value_ -= by; }
+  void set(std::int64_t v) { value_ = v; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+/// Integer-keyed weighted histogram used for vector-length
+/// characterization (Table 4). The single histogram type in the tree.
+class Histogram {
+ public:
+  void add(std::uint64_t key, std::uint64_t weight = 1) {
+    counts_[key] += weight;
+    total_weight_ += weight;
+    weighted_sum_ += key * weight;
+  }
+
+  std::uint64_t total_weight() const { return total_weight_; }
+  std::uint64_t weighted_sum() const { return weighted_sum_; }
+
+  double mean() const {
+    return total_weight_ == 0
+               ? 0.0
+               : static_cast<double>(weighted_sum_) /
+                     static_cast<double>(total_weight_);
+  }
+
+  /// Keys sorted by descending weight (ties: ascending key); at most `n`.
+  std::vector<std::uint64_t> top_keys(std::size_t n) const {
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> items(counts_.begin(),
+                                                               counts_.end());
+    std::sort(items.begin(), items.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    std::vector<std::uint64_t> keys;
+    for (std::size_t i = 0; i < items.size() && i < n; ++i)
+      keys.push_back(items[i].first);
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  }
+
+  const std::map<std::uint64_t, std::uint64_t>& counts() const {
+    return counts_;
+  }
+
+  void clear() {
+    counts_.clear();
+    total_weight_ = 0;
+    weighted_sum_ = 0;
+  }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> counts_;
+  std::uint64_t total_weight_ = 0;
+  std::uint64_t weighted_sum_ = 0;
+};
+
+/// Whether an instrument's value belongs to the run's deterministic,
+/// engine-invariant measurement surface.
+enum class Stability : std::uint8_t {
+  kStable,      // identical under both engines; serialized into snapshots
+  kDiagnostic,  // depends on which cycles executed; in-process only
+};
+
+/// Point-in-time copy of every stable, non-zero instrument, name-sorted so
+/// equal machine states serialize to equal bytes (the property the golden
+/// diffs, the result cache, and --resume all lean on).
+struct Snapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<std::pair<std::string, Histogram>> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Value of a counter by name; 0 when absent (zero-valued counters are
+  /// omitted from snapshots, so absence and zero are the same thing).
+  std::uint64_t counter(const std::string& name) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {key:
+  /// weight}}}; empty sections are omitted. Deterministic bytes.
+  Json to_json() const;
+  static Snapshot from_json(const Json& j);
+};
+
+/// Name -> instrument directory for one machine instance. Does not own the
+/// instruments: units keep them as members (hot-path updates never touch
+/// the registry) and register pointers at construction; the registry must
+/// not outlive the units (both live in machine::Processor).
+class Registry {
+ public:
+  void add_counter(const std::string& name, const Counter* c,
+                   Stability stability = Stability::kStable);
+  void add_gauge(const std::string& name, const Gauge* g,
+                 Stability stability = Stability::kStable);
+  void add_histogram(const std::string& name, const Histogram* h,
+                     Stability stability = Stability::kStable);
+
+  /// Registers a conservation invariant evaluated by check_invariants():
+  /// `fn` returns a diagnostic when the invariant is violated, nullopt
+  /// when it holds. `component` labels the violation ("l1d", "vu", ...).
+  void add_invariant(const std::string& component, audit::Check check,
+                     std::function<std::optional<std::string>()> fn);
+
+  /// Evaluates every registered invariant, reporting violations into
+  /// `sink` stamped with cycle `now`. Observational: called by the
+  /// simulator at end of run when audit mode is on.
+  void check_invariants(audit::AuditSink& sink, Cycle now) const;
+
+  /// Stable instruments only; zero-valued counters/gauges and empty
+  /// histograms are omitted (absence == zero, and golden files stay
+  /// readable). Deterministic: entries are name-sorted.
+  Snapshot snapshot() const;
+
+  /// Raw lookups for tests and tools; include diagnostic instruments.
+  /// Return 0 / nullptr when the name is not registered.
+  std::uint64_t counter_value(const std::string& name) const;
+  std::int64_t gauge_value(const std::string& name) const;
+  const Histogram* histogram(const std::string& name) const;
+
+  std::size_t num_instruments() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+ private:
+  template <typename T>
+  struct Entry {
+    const T* instrument = nullptr;
+    Stability stability = Stability::kStable;
+  };
+  struct Invariant {
+    std::string component;
+    audit::Check check;
+    std::function<std::optional<std::string>()> fn;
+  };
+
+  void check_new_name(const std::string& name) const;
+
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+  std::vector<Invariant> invariants_;
+};
+
+}  // namespace vlt::stats

@@ -1,0 +1,97 @@
+#include "stats/trace.hpp"
+
+#include "common/log.hpp"
+
+namespace vlt::stats {
+
+const char* trace_event_name(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kVecDispatch: return "vec_dispatch";
+    case TraceEvent::Kind::kViqHandoff: return "viq_handoff";
+    case TraceEvent::Kind::kBarrierArrive: return "barrier_arrive";
+    case TraceEvent::Kind::kBarrierRelease: return "barrier_release";
+    case TraceEvent::Kind::kL2Miss: return "l2_miss";
+  }
+  return "unknown";
+}
+
+const char* trace_event_category(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kVecDispatch:
+    case TraceEvent::Kind::kViqHandoff:
+      return "vu";
+    case TraceEvent::Kind::kBarrierArrive:
+    case TraceEvent::Kind::kBarrierRelease:
+      return "barrier";
+    case TraceEvent::Kind::kL2Miss:
+      return "mem";
+  }
+  return "unknown";
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  VLT_CHECK(capacity >= 1, "trace buffer needs capacity for one event");
+  ring_.reserve(capacity_);
+}
+
+void TraceBuffer::record(TraceEvent::Kind kind, Cycle cycle,
+                         std::uint32_t unit, std::uint64_t a) {
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back({kind, cycle, unit, a});
+    return;
+  }
+  ring_[head_] = {kind, cycle, unit, a};
+  head_ = (head_ + 1) % capacity_;
+}
+
+std::vector<TraceEvent> TraceBuffer::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  return out;
+}
+
+Json TraceBuffer::to_chrome_json() const {
+  Json root = Json::object();
+  Json events_json = Json::array();
+  for (const TraceEvent& e : events()) {
+    Json ev = Json::object();
+    ev.set("name", trace_event_name(e.kind));
+    ev.set("cat", trace_event_category(e.kind));
+    ev.set("ph", "i");  // instant event
+    ev.set("s", "t");   // thread-scoped
+    ev.set("ts", e.cycle);
+    ev.set("pid", 0u);
+    ev.set("tid", e.unit);
+    Json args = Json::object();
+    switch (e.kind) {
+      case TraceEvent::Kind::kVecDispatch:
+      case TraceEvent::Kind::kViqHandoff:
+        args.set("vl", e.a);
+        break;
+      case TraceEvent::Kind::kBarrierArrive:
+      case TraceEvent::Kind::kBarrierRelease:
+        args.set("generation", e.a);
+        break;
+      case TraceEvent::Kind::kL2Miss:
+        args.set("addr", e.a);
+        break;
+    }
+    ev.set("args", std::move(args));
+    events_json.push_back(std::move(ev));
+  }
+  root.set("traceEvents", std::move(events_json));
+  root.set("displayTimeUnit", "ns");
+  root.set("vltDropped", dropped());
+  return root;
+}
+
+void TraceBuffer::clear() {
+  ring_.clear();
+  head_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace vlt::stats

@@ -1,0 +1,73 @@
+// Opt-in structured event trace (vltsim_run --trace out.json).
+//
+// Units record fixed-size structured events — vector dispatch, VIQ ->
+// window handoff, barrier arrive/release, L2 miss — into a bounded ring
+// buffer: when full, the oldest events are overwritten, so tracing a long
+// run keeps the tail (the interesting end state) at a fixed memory cost.
+// The buffer exports Chrome trace_event JSON (load in chrome://tracing or
+// https://ui.perfetto.dev) with the simulated cycle as the microsecond
+// timestamp. Tracing is observational: a null buffer pointer (the
+// default) keeps every record site a single predictable branch, and the
+// recorded events are engine-invariant (each marks a unit state change,
+// which both engines perform at identical cycles).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/types.hpp"
+
+namespace vlt::stats {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kVecDispatch,     // SU handed a vector instruction to a VIQ slice
+    kViqHandoff,      // VIQ -> window rename
+    kBarrierArrive,   // a thread arrived at the barrier
+    kBarrierRelease,  // a full generation's release was scheduled
+    kL2Miss,          // L2 tag miss (line fetched from main memory)
+  };
+
+  Kind kind = Kind::kVecDispatch;
+  Cycle cycle = 0;        // simulated cycle of the event
+  std::uint32_t unit = 0;  // kind-specific lane: vctx, thread, or bank
+  std::uint64_t a = 0;     // kind-specific payload (VL, generation, address)
+};
+
+const char* trace_event_name(TraceEvent::Kind kind);
+const char* trace_event_category(TraceEvent::Kind kind);
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 1 << 16);
+
+  void record(TraceEvent::Kind kind, Cycle cycle, std::uint32_t unit,
+              std::uint64_t a = 0);
+
+  /// Events currently retained (<= capacity).
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  /// Total events ever recorded; recorded() - size() were overwritten.
+  std::uint64_t recorded() const { return recorded_; }
+  std::uint64_t dropped() const { return recorded_ - ring_.size(); }
+
+  /// Retained events, oldest first.
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event export: {"traceEvents": [...], "displayTimeUnit":
+  /// "ns", "vltDropped": N}. Each event is an instant ("ph": "i") with
+  /// the simulated cycle as "ts", the unit index as "tid", and the
+  /// payload under "args". Deterministic bytes via vlt::Json.
+  Json to_chrome_json() const;
+
+  void clear();
+
+ private:
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // overwrite cursor once the ring is full
+  std::uint64_t recorded_ = 0;
+};
+
+}  // namespace vlt::stats

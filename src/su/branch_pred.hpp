@@ -4,9 +4,11 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "stats/stats.hpp"
 
 namespace vlt::su {
 
@@ -17,17 +19,23 @@ class BranchPredictor {
   bool predict(Addr pc) const;
   void update(Addr pc, bool taken);
 
-  std::uint64_t lookups() const { return lookups_; }
-  std::uint64_t mispredictions() const { return mispredicts_; }
+  std::uint64_t lookups() const { return lookups_.value(); }
+  std::uint64_t mispredictions() const { return mispredicts_.value(); }
 
   /// Convenience: predict, update, and report correctness in one step
   /// (the functional outcome is known at fetch in this simulator).
   bool predict_and_update(Addr pc, bool taken) {
-    ++lookups_;
+    lookups_.inc();
     bool correct = predict(pc) == taken;
-    if (!correct) ++mispredicts_;
+    if (!correct) mispredicts_.inc();
     update(pc, taken);
     return correct;
+  }
+
+  /// Registers "<prefix>.lookups" and "<prefix>.mispredicts".
+  void register_stats(stats::Registry& registry, const std::string& prefix) {
+    registry.add_counter(prefix + ".lookups", &lookups_);
+    registry.add_counter(prefix + ".mispredicts", &mispredicts_);
   }
 
  private:
@@ -38,8 +46,8 @@ class BranchPredictor {
   std::vector<std::uint8_t> table_;  // 2-bit counters
   std::uint64_t mask_;
   std::uint64_t history_ = 0;
-  std::uint64_t lookups_ = 0;
-  std::uint64_t mispredicts_ = 0;
+  stats::Counter lookups_;
+  stats::Counter mispredicts_;
 };
 
 }  // namespace vlt::su

@@ -150,7 +150,6 @@ void ScalarCore::fetch_context(CtxState& c, unsigned budget, Cycle now) {
       c.cur_fetch_line = line;
       if (!l1i_.access(iaddr, false).hit) {
         c.fetch_stall_until = l2_->access(iaddr, false, now + 1);
-        stats_.inc("l1i_misses");
         return;
       }
     }
@@ -370,7 +369,6 @@ void ScalarCore::do_issue(Cycle now) {
         if (r.hit) {
           e.complete_at = now + 1 + params_.l1_data_latency;
         } else {
-          stats_.inc("l1d_misses");
           if (r.writeback) (void)l2_->access(r.victim_addr, true, now + 1);
           e.complete_at = l2_->access(e.mem_addr, false, now + 1) +
                           params_.l1_data_latency;
@@ -384,7 +382,7 @@ void ScalarCore::do_issue(Cycle now) {
               if (pr.writeback)
                 (void)l2_->access(pr.victim_addr, true, now + 1);
               (void)l2_->access(next, false, now + 1);
-              stats_.inc("l1d_prefetches");
+              l1d_prefetches_.inc();
             }
           }
         }
@@ -398,7 +396,6 @@ void ScalarCore::do_issue(Cycle now) {
         mem::Cache::Result r = l1d_.access(e.mem_addr, true);
         Cycle drained = now + 2;
         if (!r.hit) {
-          stats_.inc("l1d_misses");
           if (r.writeback) (void)l2_->access(r.victim_addr, true, now + 1);
           drained = l2_->access(e.mem_addr, false, now + 1);  // line fill
         }
@@ -419,7 +416,7 @@ void ScalarCore::do_issue(Cycle now) {
             std::max(c.fetch_stall_until,
                      e.complete_at + params_.redirect_penalty);
         c.redirect_seq = 0;
-        stats_.inc("redirects");
+        redirects_.inc();
       }
     }
   }
@@ -452,12 +449,12 @@ void ScalarCore::do_commit(Cycle now) {
       if (!committable) break;
 
       if (e.is_vector)
-        ++committed_vector_;
+        committed_vector_.inc();
       else
-        ++committed_scalar_;
+        committed_scalar_.inc();
       if (e.is_barrier) {
         c.fetch_after_barrier = false;
-        stats_.inc("barriers");
+        barriers_.inc();
       }
       if (e.is_halt) {
         c.done = true;
@@ -599,6 +596,18 @@ Cycle ScalarCore::next_event(Cycle now, std::uint32_t* vec_blocked) const {
 void ScalarCore::skip_cycles(std::uint64_t cycles) {
   const unsigned n = std::max<unsigned>(1, params_.smt_contexts);
   rr_ = static_cast<unsigned>((rr_ + cycles) % n);
+}
+
+void ScalarCore::register_stats(stats::Registry& registry,
+                                const std::string& prefix) {
+  l1i_.register_stats(registry, prefix + ".l1i");
+  l1d_.register_stats(registry, prefix + ".l1d");
+  bpred_.register_stats(registry, prefix + ".bpred");
+  registry.add_counter(prefix + ".commit_scalar", &committed_scalar_);
+  registry.add_counter(prefix + ".commit_vector", &committed_vector_);
+  registry.add_counter(prefix + ".redirects", &redirects_);
+  registry.add_counter(prefix + ".barriers", &barriers_);
+  registry.add_counter(prefix + ".l1d_prefetches", &l1d_prefetches_);
 }
 
 }  // namespace vlt::su

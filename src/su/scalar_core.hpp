@@ -19,7 +19,6 @@
 #include <optional>
 #include <vector>
 
-#include "common/stats.hpp"
 #include "common/types.hpp"
 #include "func/executor.hpp"
 #include "isa/program.hpp"
@@ -147,12 +146,18 @@ class ScalarCore {
   }
 
   // --- statistics ---
-  std::uint64_t committed_scalar() const { return committed_scalar_; }
-  std::uint64_t committed_vector() const { return committed_vector_; }
+  std::uint64_t committed_scalar() const { return committed_scalar_.value(); }
+  std::uint64_t committed_vector() const { return committed_vector_.value(); }
   const BranchPredictor& predictor() const { return bpred_; }
   const mem::Cache& l1d() const { return l1d_; }
   const mem::Cache& l1i() const { return l1i_; }
-  const StatSet& stats() const { return stats_; }
+
+  /// Registers this core's instruments under `prefix` (e.g. "su0"): the
+  /// L1 caches ("<prefix>.l1i.*" / ".l1d.*"), the branch predictor
+  /// ("<prefix>.bpred.*"), commit counters, redirects, barrier arrivals,
+  /// and prefetches. L1 demand misses are derivable (cache misses minus
+  /// prefetches), so they carry no separate instrument.
+  void register_stats(stats::Registry& registry, const std::string& prefix);
 
  private:
   struct RobEntry {
@@ -248,10 +253,12 @@ class ScalarCore {
   unsigned rr_ = 0;  // SMT round-robin rotation
   unsigned undone_ = 0;  // active contexts that have not committed HALT
 
-  std::uint64_t committed_scalar_ = 0;
-  std::uint64_t committed_vector_ = 0;
+  stats::Counter committed_scalar_;
+  stats::Counter committed_vector_;
+  stats::Counter redirects_;
+  stats::Counter barriers_;
+  stats::Counter l1d_prefetches_;
   std::uint64_t progress_ = 0;  // see progress_count()
-  StatSet stats_;
   std::vector<Addr> addr_scratch_;
   std::deque<Cycle> store_buffer_;  // completion times of in-flight stores
 };

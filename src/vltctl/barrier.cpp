@@ -34,8 +34,18 @@ std::uint64_t BarrierController::arrive(Cycle now) {
     Gen& g = gens_[i];
     if (g.arrivals < nthreads_) {
       ++g.arrivals;
+      arrivals_.inc();
+      if (trace_ != nullptr)
+        trace_->record(stats::TraceEvent::Kind::kBarrierArrive, now, 0,
+                       base_gen_ + i);
       if (now > g.last_arrival) g.last_arrival = now;
-      if (g.arrivals == nthreads_) g.release = g.last_arrival + release_latency_;
+      if (g.arrivals == nthreads_) {
+        g.release = g.last_arrival + release_latency_;
+        generations_.inc();
+        if (trace_ != nullptr)
+          trace_->record(stats::TraceEvent::Kind::kBarrierRelease, g.release,
+                         0, base_gen_ + i);
+      }
       if (audit_ != nullptr) {
         audit_->expect(g.arrivals <= nthreads_, audit::Check::kBarrierProtocol,
                        "barrier", now,
@@ -57,7 +67,18 @@ std::uint64_t BarrierController::arrive(Cycle now) {
   }
   gens_.push_back(Gen{1, now, now, nthreads_ == 1 ? now + release_latency_
                                                   : kNeverReady});
-  return base_gen_ + gens_.size() - 1;
+  arrivals_.inc();
+  const std::uint64_t gen = base_gen_ + gens_.size() - 1;
+  if (trace_ != nullptr)
+    trace_->record(stats::TraceEvent::Kind::kBarrierArrive, now, 0, gen);
+  if (nthreads_ == 1) {
+    // A one-thread barrier fills on arrival: release scheduled immediately.
+    generations_.inc();
+    if (trace_ != nullptr)
+      trace_->record(stats::TraceEvent::Kind::kBarrierRelease,
+                     gens_.back().release, 0, gen);
+  }
+  return gen;
 }
 
 Cycle BarrierController::release_time(std::uint64_t generation) const {
@@ -90,6 +111,12 @@ std::uint64_t BarrierController::generations_completed() const {
   for (const Gen& g : gens_)
     if (g.arrivals == nthreads_) ++n;
   return n;
+}
+
+void BarrierController::register_stats(stats::Registry& registry,
+                                       const std::string& prefix) {
+  registry.add_counter(prefix + ".arrivals", &arrivals_);
+  registry.add_counter(prefix + ".generations", &generations_);
 }
 
 BarrierController::PendingGen BarrierController::oldest_pending() const {

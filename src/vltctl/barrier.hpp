@@ -8,9 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/types.hpp"
+#include "stats/stats.hpp"
+#include "stats/trace.hpp"
 
 namespace vlt::audit {
 class AuditSink;
@@ -56,6 +59,19 @@ class BarrierController {
   /// precede the last arrival). Pass nullptr to detach.
   void set_audit(audit::AuditSink* sink) { audit_ = sink; }
 
+  /// Attaches the structured-event trace buffer: every arrival records
+  /// kBarrierArrive at its cycle; a generation filling up records
+  /// kBarrierRelease stamped at the scheduled release cycle. Both carry
+  /// the generation index. Pass nullptr to detach.
+  void set_trace(stats::TraceBuffer* trace) { trace_ = trace; }
+
+  /// Registers "barrier.arrivals" (total arrivals across the run) and
+  /// "barrier.generations" (generations that filled and scheduled a
+  /// release) under `prefix`.
+  void register_stats(stats::Registry& registry, const std::string& prefix);
+
+  std::uint64_t arrivals() const { return arrivals_.value(); }
+
   /// Oldest generation that has at least one arrival but is not yet full —
   /// the watchdog's candidate for a deadlocked barrier.
   struct PendingGen {
@@ -89,7 +105,10 @@ class BarrierController {
   /// again. mutable because advancing it is invisible to callers.
   mutable std::size_t first_live_ = 0;
   std::uint64_t mutations_ = 0;
+  stats::Counter arrivals_;
+  stats::Counter generations_;
   audit::AuditSink* audit_ = nullptr;
+  stats::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace vlt::vltctl

@@ -59,12 +59,15 @@ bool VectorUnit::try_dispatch(VecDispatch&& d, Cycle now) {
   // everything before it) classifies by the pre-dispatch VIQ occupancy.
   account_to(now + 1);
   if (c.outstanding_until < now) c.outstanding_until = now;
+  if (trace_ != nullptr)
+    trace_->record(stats::TraceEvent::Kind::kVecDispatch, now, d.vctx, d.vl);
   c.viq.push_back(std::move(d));
   ++mutations_;
   return true;
 }
 
-void VectorUnit::rename_into_window(Ctx& c) {
+void VectorUnit::rename_into_window(unsigned vctx, Cycle now) {
+  Ctx& c = ctxs_[vctx];
   unsigned win_cap = std::max(1u, params_.window_size / active_contexts_);
   unsigned moved = 0;
   while (!c.viq.empty() && c.window.size() < win_cap &&
@@ -87,6 +90,9 @@ void VectorUnit::rename_into_window(Ctx& c) {
       e.out = std::make_shared<OpTiming>();
       c.mask = e.out;
     }
+    if (trace_ != nullptr)
+      trace_->record(stats::TraceEvent::Kind::kViqHandoff, now, vctx,
+                     e.op.vl);
     c.window.push_back(std::move(e));
   }
   if (moved > 0) {
@@ -207,19 +213,17 @@ bool VectorUnit::try_issue(Ctx& c, WinEntry& e, Cycle now,
   c.outstanding_until = std::max(c.outstanding_until, complete);
 
   // Figure 4 accounting: arithmetic datapaths only.
-  if (fu < params_.arith_fus) {
-    util_.busy += e.op.vl;
-    util_.partly_idle +=
-        static_cast<std::uint64_t>(dur) * lanes_assigned - e.op.vl;
-  }
+  if (fu < params_.arith_fus)
+    acct_.on_issue(e.op.vl,
+                   static_cast<std::uint64_t>(dur) * lanes_assigned);
   vl_hist_.add(e.op.vl);
-  elem_ops_ += e.op.vl;
-  ++insts_issued_;
+  elem_ops_.inc(e.op.vl);
+  insts_issued_.inc();
   ++mutations_;
   ++c.mutations;
   // Debug issue trace, enabled with VLT_TRACE=1 in the environment.
   static const bool trace = std::getenv("VLT_TRACE") != nullptr;
-  if (trace && insts_issued_ < 200)
+  if (trace && insts_issued_.value() < 200)
     std::fprintf(stderr,
                  "[vu] t=%llu issue %s vl=%u fu=%u dur=%u complete=%llu\n",
                  static_cast<unsigned long long>(now),
@@ -235,7 +239,7 @@ void VectorUnit::tick(Cycle now) {
   // how idle cycles classify.
   if (accounted_to_ < now) skip_cycles(accounted_to_, now);
   accounted_to_ = now + 1;
-  for (Ctx& c : ctxs_) rename_into_window(c);
+  for (unsigned i = 0; i < ctxs_.size(); ++i) rename_into_window(i, now);
 
   if (audit_ != nullptr) {
     // Queue bounds: each partition's VIQ/window slice must respect its
@@ -278,17 +282,13 @@ void VectorUnit::tick(Cycle now) {
   }
   rr_ctx_ = n ? (rr_ctx_ + 1) % n : 0;
 
-  // Figure 4 stall/idle accounting for arithmetic datapaths.
+  // Figure 4 stall/idle accounting for arithmetic datapaths (the
+  // per-cycle oracle path of the shared classifier).
   const unsigned lanes_assigned = params_.lanes / n;
   for (Ctx& c : ctxs_) {
     bool work_waiting = !c.viq.empty() || !c.window.empty();
-    for (unsigned f = 0; f < params_.arith_fus; ++f) {
-      if (c.fu_free[f] > now) continue;  // busy: accounted at issue
-      if (work_waiting)
-        util_.stalled += lanes_assigned;
-      else
-        util_.all_idle += lanes_assigned;
-    }
+    acct_.account_cycle(now, c.fu_free.data(), params_.arith_fus,
+                        work_waiting, lanes_assigned);
   }
 }
 
@@ -354,22 +354,24 @@ Cycle VectorUnit::ctx_drain_time(unsigned vctx) const {
 void VectorUnit::skip_cycles(Cycle from, Cycle to) {
   // Equivalent to calling tick() on every cycle in [from, to) given that
   // none of those ticks renames or issues anything: only the Figure-4
-  // stall/idle tally and the round-robin pointer move. An arithmetic FU
-  // counts as idle at cycle t exactly when fu_free <= t, and work_waiting
-  // cannot change inside the span (no renames, issues, or dispatches).
+  // stall/idle tally and the round-robin pointer move. work_waiting
+  // cannot change inside the span (no renames, issues, or dispatches), so
+  // the shared classifier's closed-form span path applies.
   const unsigned n = active_contexts_;
   const unsigned lanes_assigned = params_.lanes / n;
   for (const Ctx& c : ctxs_) {
     const bool work_waiting = !c.viq.empty() || !c.window.empty();
-    std::uint64_t idle_cycles = 0;
-    for (unsigned f = 0; f < params_.arith_fus; ++f) {
-      Cycle idle_from = std::max(from, c.fu_free[f]);
-      if (idle_from < to) idle_cycles += to - idle_from;
-    }
-    (work_waiting ? util_.stalled : util_.all_idle) +=
-        idle_cycles * lanes_assigned;
+    acct_.account_span(from, to, c.fu_free.data(), params_.arith_fus,
+                       work_waiting, lanes_assigned);
   }
   rr_ctx_ = n ? static_cast<unsigned>((rr_ctx_ + (to - from)) % n) : 0;
+}
+
+void VectorUnit::register_stats(stats::Registry& registry) {
+  acct_.register_stats(registry, "vu.datapath");
+  registry.add_histogram("vu.vl", &vl_hist_);
+  registry.add_counter("vu.insts_issued", &insts_issued_);
+  registry.add_counter("vu.element_ops", &elem_ops_);
 }
 
 bool VectorUnit::ctx_quiesced(unsigned vctx, Cycle now) const {

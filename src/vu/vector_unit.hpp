@@ -22,10 +22,11 @@
 #include <memory>
 #include <vector>
 
-#include "common/histogram.hpp"
 #include "common/types.hpp"
 #include "isa/opcode.hpp"
 #include "mem/l2_cache.hpp"
+#include "stats/cycle_accountant.hpp"
+#include "stats/trace.hpp"
 
 namespace vlt::audit {
 class AuditSink;
@@ -56,22 +57,9 @@ struct VecDispatch {
   Cycle* scalar_done = nullptr;  // completion cell for reductions (SU ROB)
 };
 
-/// Arithmetic-datapath utilization accounting for Figure 4. All counts are
-/// lane-cycles summed over the arithmetic datapaths of all lanes.
-struct DatapathUtilization {
-  std::uint64_t busy = 0;         // element operations executed
-  std::uint64_t partly_idle = 0;  // slots wasted because VL < a full chime
-  std::uint64_t stalled = 0;      // FU idle while work waits (deps/issue bw)
-  std::uint64_t all_idle = 0;     // no vector instruction in flight at all
-
-  DatapathUtilization operator-(const DatapathUtilization& o) const {
-    return {busy - o.busy, partly_idle - o.partly_idle, stalled - o.stalled,
-            all_idle - o.all_idle};
-  }
-  std::uint64_t total() const {
-    return busy + partly_idle + stalled + all_idle;
-  }
-};
+/// Figure-4 utilization split, now owned by the shared classifier in
+/// stats::CycleAccountant; the alias keeps the historical vu:: spelling.
+using DatapathUtilization = stats::DatapathUtilization;
 
 class VectorUnit {
  public:
@@ -131,8 +119,22 @@ class VectorUnit {
   unsigned num_contexts() const { return active_contexts_; }
 
   /// Attaches an audit sink for per-issue occupancy and element-accounting
-  /// invariant checks. Pass nullptr to detach. Observational only.
-  void set_audit(audit::AuditSink* sink) { audit_ = sink; }
+  /// invariant checks, plus the cycle-accountant span agreement check.
+  /// Pass nullptr to detach. Observational only.
+  void set_audit(audit::AuditSink* sink) {
+    audit_ = sink;
+    acct_.set_audit(sink);
+  }
+
+  /// Attaches the structured-event trace buffer: accepted dispatches
+  /// record kVecDispatch, VIQ -> window renames record kViqHandoff, both
+  /// with the partition as the lane. Pass nullptr to detach.
+  void set_trace(stats::TraceBuffer* trace) { trace_ = trace; }
+
+  /// Registers this unit's instruments: the Figure-4 buckets under
+  /// "vu.datapath.*", the VL histogram as "vu.vl", and the issue/element
+  /// counters ("vu.insts_issued", "vu.element_ops").
+  void register_stats(stats::Registry& registry);
 
   /// Monotonic count of state changes visible outside the unit: accepted
   /// dispatches, VIQ→window renames, and issues (which write scalar_done
@@ -164,10 +166,10 @@ class VectorUnit {
   }
 
   // --- statistics ---
-  const DatapathUtilization& utilization() const { return util_; }
-  const Histogram& vl_histogram() const { return vl_hist_; }
-  std::uint64_t instructions_issued() const { return insts_issued_; }
-  std::uint64_t element_ops() const { return elem_ops_; }
+  DatapathUtilization utilization() const { return acct_.utilization(); }
+  const stats::Histogram& vl_histogram() const { return vl_hist_; }
+  std::uint64_t instructions_issued() const { return insts_issued_.value(); }
+  std::uint64_t element_ops() const { return elem_ops_.value(); }
 
  private:
   /// Timing of one renamed vector result. Filled in at issue; consumers
@@ -201,7 +203,7 @@ class VectorUnit {
   /// anything, and that no dispatch lands mid-span. Callers manage
   /// accounted_to_.
   void skip_cycles(Cycle from, Cycle to);
-  void rename_into_window(Ctx& c);
+  void rename_into_window(unsigned vctx, Cycle now);
   bool entry_ready(const WinEntry& e, Cycle now) const;
   bool try_issue(Ctx& c, WinEntry& e, Cycle now, unsigned lanes_assigned);
   Cycle memory_op_completion(const VecDispatch& op, Cycle start,
@@ -212,14 +214,15 @@ class VectorUnit {
   std::vector<Ctx> ctxs_;
   unsigned active_contexts_ = 1;
 
-  DatapathUtilization util_;
-  Histogram vl_hist_;
-  std::uint64_t insts_issued_ = 0;
-  std::uint64_t elem_ops_ = 0;
+  stats::CycleAccountant acct_;  // Figure-4 buckets, shared classifier
+  stats::Histogram vl_hist_;
+  stats::Counter insts_issued_;
+  stats::Counter elem_ops_;
   std::uint64_t mutations_ = 0;
   unsigned rr_ctx_ = 0;
   Cycle accounted_to_ = 0;  // bookkeeping applied for cycles before this
   audit::AuditSink* audit_ = nullptr;
+  stats::TraceBuffer* trace_ = nullptr;
 };
 
 }  // namespace vlt::vu

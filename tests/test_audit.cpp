@@ -108,7 +108,7 @@ TEST(Auditor, ElementCountMismatchIsReported) {
   cfg.invariants = true;
   audit::Auditor auditor(cfg, &sink);
   auditor.note_phase("p0", 100, /*element_ops_total=*/50);
-  Histogram vl_hist;
+  stats::Histogram vl_hist;
   vl_hist.add(10, 5);  // 50 element ops in the histogram
   func::FuncMemory mem;
   // Claim 60 element ops against a histogram recording 50.
@@ -125,7 +125,7 @@ TEST(Auditor, ConsistentRunHasNoViolations) {
   auditor.note_overhead(10);
   auditor.note_phase("p0", 40, 50);
   auditor.note_phase("p1", 50, 50);
-  Histogram vl_hist;
+  stats::Histogram vl_hist;
   vl_hist.add(10, 5);
   func::FuncMemory mem;
   auditor.finish_run(/*total=*/100, /*opportunity=*/90, /*element_ops=*/50,
@@ -138,7 +138,7 @@ TEST(Auditor, PhaseCycleSumMismatchThrows) {
   cfg.invariants = true;
   audit::Auditor auditor(cfg);  // default throwing sink
   auditor.note_phase("p0", 40, 0);
-  Histogram vl_hist;
+  stats::Histogram vl_hist;
   func::FuncMemory mem;
   EXPECT_SIM_ERROR(auditor.finish_run(100, 0, 0, vl_hist, mem),
                    "run-accounting");

@@ -185,7 +185,7 @@ TEST(RunResultJson, SchemaHasDocumentedFields) {
        {"workload", "config", "variant", "status", "verified", "attempts",
         "cycles", "phases", "opportunity_cycles", "scalar_insts",
         "vector_insts", "element_ops", "metrics", "utilization",
-        "vl_histogram"})
+        "vl_histogram", "stats"})
     EXPECT_NE(j.find(key), nullptr) << key;
   EXPECT_EQ(j.find("status")->as_string(), "ok");
   EXPECT_EQ(j.find("error"), nullptr);  // only present on failures

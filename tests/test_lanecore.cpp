@@ -138,7 +138,7 @@ TEST_F(LaneCoreTest, SmallICacheThrashesOnBigLoops) {
   Cycle now = 0;
   while (!core_->done() && now < 2'000'000) core_->tick(now), ++now;
   ASSERT_TRUE(core_->done());
-  EXPECT_GT(core_->stats().get("lane_imisses"), 20u * 10u);
+  EXPECT_GT(core_->icache().misses(), 20u * 10u);
 }
 
 TEST_F(LaneCoreTest, VectorInstructionIsRejected) {

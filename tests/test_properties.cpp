@@ -6,7 +6,7 @@
 
 #include <algorithm>
 
-#include "common/histogram.hpp"
+#include "stats/stats.hpp"
 #include "common/rng.hpp"
 #include "func/executor.hpp"
 #include "isa/disasm.hpp"
@@ -296,7 +296,7 @@ INSTANTIATE_TEST_SUITE_P(ThreadCounts, BarrierProperty,
 // --- histogram ---------------------------------------------------------------
 
 TEST(Histogram, MeanAndTopKeys) {
-  Histogram h;
+  stats::Histogram h;
   h.add(8, 10);
   h.add(16, 5);
   h.add(64, 1);
@@ -307,7 +307,7 @@ TEST(Histogram, MeanAndTopKeys) {
 }
 
 TEST(Histogram, TopKeysAreSortedAscending) {
-  Histogram h;
+  stats::Histogram h;
   h.add(64, 3);
   h.add(5, 3);
   h.add(12, 3);
@@ -315,7 +315,7 @@ TEST(Histogram, TopKeysAreSortedAscending) {
 }
 
 TEST(Histogram, ClearResets) {
-  Histogram h;
+  stats::Histogram h;
   h.add(4);
   h.clear();
   EXPECT_EQ(h.total_weight(), 0u);

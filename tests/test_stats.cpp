@@ -1,0 +1,320 @@
+// vltstat metrics layer: instruments, registry snapshots, the shared
+// Figure-4 cycle accountant, the structured-event trace buffer, and the
+// schema guarantees RunResult builds on top of them (docs/METRICS.md).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "audit/sink.hpp"
+#include "machine/machine_config.hpp"
+#include "machine/simulator.hpp"
+#include "stats/cycle_accountant.hpp"
+#include "stats/stats.hpp"
+#include "stats/trace.hpp"
+#include "workloads/workload.hpp"
+
+#include "expect_sim_error.hpp"
+
+namespace vlt {
+namespace {
+
+using machine::MachineConfig;
+using machine::RunResult;
+using machine::Simulator;
+using stats::CycleAccountant;
+using stats::Registry;
+using stats::Snapshot;
+using stats::Stability;
+using stats::TraceBuffer;
+using stats::TraceEvent;
+using workloads::Variant;
+
+// --- instruments and registry ----------------------------------------------
+
+TEST(StatsRegistry, SnapshotIsNameSortedAndSkipsZeros) {
+  stats::Counter hits, misses, untouched;
+  stats::Gauge level;
+  stats::Histogram vl;
+  Registry reg;
+  reg.add_counter("z.hits", &hits);
+  reg.add_counter("a.misses", &misses);
+  reg.add_counter("m.untouched", &untouched);
+  reg.add_gauge("g.level", &level);
+  reg.add_histogram("h.vl", &vl);
+
+  hits.inc(3);
+  misses.inc();
+  level.set(-2);
+  vl.add(8, 2);
+
+  Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);  // zero-valued counter omitted
+  EXPECT_EQ(s.counters[0].first, "a.misses");  // name-sorted
+  EXPECT_EQ(s.counters[1].first, "z.hits");
+  EXPECT_EQ(s.counter("z.hits"), 3u);
+  EXPECT_EQ(s.counter("m.untouched"), 0u);  // absence == zero
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_EQ(s.gauges[0].second, -2);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].second.total_weight(), 2u);
+}
+
+TEST(StatsRegistry, DiagnosticInstrumentsStayOutOfSnapshots) {
+  stats::Counter stable, ticks;
+  Registry reg;
+  reg.add_counter("core.committed", &stable);
+  reg.add_counter("engine.ticks", &ticks, Stability::kDiagnostic);
+  stable.inc(7);
+  ticks.inc(1000);
+
+  Snapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 1u);
+  EXPECT_EQ(s.counters[0].first, "core.committed");
+  // Raw lookups still see diagnostic instruments.
+  EXPECT_EQ(reg.counter_value("engine.ticks"), 1000u);
+}
+
+TEST(StatsRegistry, DuplicateAndEmptyNamesAreRejected) {
+  stats::Counter c;
+  stats::Gauge g;
+  Registry reg;
+  reg.add_counter("x.hits", &c);
+  EXPECT_SIM_ERROR(reg.add_counter("x.hits", &c), "duplicate instrument");
+  EXPECT_SIM_ERROR(reg.add_gauge("x.hits", &g), "duplicate instrument");
+  EXPECT_SIM_ERROR(reg.add_counter("", &c), "without a name");
+}
+
+TEST(StatsRegistry, SnapshotJsonRoundTripsByteIdentically) {
+  stats::Counter c;
+  stats::Gauge g;
+  stats::Histogram h;
+  Registry reg;
+  reg.add_counter("su0.l1d.misses", &c);
+  reg.add_gauge("l2.valid_lines", &g);
+  reg.add_histogram("vu.vl", &h);
+  c.inc(42);
+  g.set(17);
+  h.add(8, 5);
+  h.add(64, 1);
+
+  Snapshot s = reg.snapshot();
+  std::string bytes = s.to_json().dump(1);
+  Snapshot back = Snapshot::from_json(s.to_json());
+  EXPECT_EQ(back.to_json().dump(1), bytes);
+  EXPECT_EQ(back.counter("su0.l1d.misses"), 42u);
+}
+
+TEST(StatsRegistry, InvariantsReportThroughTheAuditSink) {
+  stats::Counter hits, misses, accesses;
+  Registry reg;
+  reg.add_counter("c.hits", &hits);
+  reg.add_counter("c.misses", &misses);
+  reg.add_counter("c.accesses", &accesses);
+  reg.add_invariant("c", audit::Check::kCacheCounters,
+                    [&]() -> std::optional<std::string> {
+                      if (hits.value() + misses.value() != accesses.value())
+                        return "hits + misses != accesses";
+                      return std::nullopt;
+                    });
+
+  audit::RecordingSink sink;
+  hits.inc(2);
+  misses.inc(1);
+  accesses.inc(3);
+  reg.check_invariants(sink, 100);
+  EXPECT_TRUE(sink.violations.empty());
+
+  accesses.inc();  // break conservation
+  reg.check_invariants(sink, 200);
+  ASSERT_EQ(sink.violations.size(), 1u);
+  EXPECT_TRUE(sink.saw(audit::Check::kCacheCounters));
+  EXPECT_EQ(sink.violations[0].component, "c");
+  EXPECT_EQ(sink.violations[0].cycle, 200u);
+}
+
+// --- cycle accountant ------------------------------------------------------
+
+TEST(CycleAccountantTest, OnIssueSplitsTheChimeRectangle) {
+  CycleAccountant acct;
+  // VL=13 on 8 lanes: ceil(13/8)=2 cycles x 8 lanes = 16 slots.
+  acct.on_issue(13, 16);
+  stats::DatapathUtilization u = acct.utilization();
+  EXPECT_EQ(u.busy, 13u);
+  EXPECT_EQ(u.partly_idle, 3u);
+  EXPECT_EQ(u.total(), 16u);
+}
+
+TEST(CycleAccountantTest, SpanMatchesPerCycleReplay) {
+  // For assorted FU-busy patterns, the closed-form span must charge
+  // exactly what ticking the classifier on every cycle charges.
+  const Cycle kFuFree[][3] = {
+      {0, 0, 0},       // all free the whole span
+      {50, 0, 120},    // one FU busy into the span, one past it
+      {200, 200, 200}, // all busy past the span end
+      {100, 101, 99},  // frees mid-span
+  };
+  for (const auto& fu_free : kFuFree) {
+    for (bool work_waiting : {false, true}) {
+      CycleAccountant span_acct, cycle_acct;
+      span_acct.account_span(40, 140, fu_free, 3, work_waiting, /*weight=*/2);
+      for (Cycle t = 40; t < 140; ++t)
+        cycle_acct.account_cycle(t, fu_free, 3, work_waiting, 2);
+      stats::DatapathUtilization a = span_acct.utilization();
+      stats::DatapathUtilization b = cycle_acct.utilization();
+      EXPECT_EQ(a.stalled, b.stalled);
+      EXPECT_EQ(a.all_idle, b.all_idle);
+    }
+  }
+}
+
+TEST(CycleAccountantTest, AuditAgreementCheckStaysSilentWhenConsistent) {
+  audit::RecordingSink sink;
+  CycleAccountant acct;
+  acct.set_audit(&sink);
+  const Cycle fu_free[3] = {60, 0, 1000};
+  acct.account_span(40, 140, fu_free, 3, true, 2);
+  EXPECT_TRUE(sink.violations.empty());
+}
+
+// --- engine equivalence ----------------------------------------------------
+
+TEST(StatsDeterminism, TwoIdenticalRunsSnapshotIdentically) {
+  workloads::WorkloadPtr w = workloads::make_workload("mpenc");
+  MachineConfig cfg = MachineConfig::base();
+  RunResult a = Simulator(cfg).run(*w, Variant::base());
+  RunResult b = Simulator(cfg).run(*w, Variant::base());
+  ASSERT_FALSE(a.stats.empty());
+  EXPECT_EQ(a.stats.to_json().dump(1), b.stats.to_json().dump(1));
+  EXPECT_EQ(a.to_json().dump(1), b.to_json().dump(1));
+}
+
+TEST(StatsDeterminism, AccountantAgreesAcrossEnginesOnEveryWorkload) {
+  // The tentpole property: the per-cycle oracle (account_cycle) and the
+  // skip engine (account_span) must land every Figure-4 lane-cycle in the
+  // same bucket — checked here through the serialized snapshot, for all
+  // nine workloads.
+  for (const std::string& name : workloads::workload_names()) {
+    workloads::WorkloadPtr w = workloads::make_workload(name);
+    MachineConfig cfg = MachineConfig::base();
+    cfg.event_skip = true;
+    RunResult skip = Simulator(cfg).run(*w, Variant::base());
+    cfg.event_skip = false;
+    RunResult oracle = Simulator(cfg).run(*w, Variant::base());
+    EXPECT_EQ(skip.stats.to_json().dump(1), oracle.stats.to_json().dump(1))
+        << name << " snapshots diverge between engines";
+    EXPECT_EQ(skip.util.total(), oracle.util.total()) << name;
+    EXPECT_EQ(skip.util.busy, oracle.util.busy) << name;
+    EXPECT_EQ(skip.util.stalled, oracle.util.stalled) << name;
+    EXPECT_EQ(skip.util.all_idle, oracle.util.all_idle) << name;
+  }
+}
+
+// --- trace buffer ----------------------------------------------------------
+
+TEST(Trace, RingKeepsTheNewestEvents) {
+  TraceBuffer buf(4);
+  for (Cycle t = 0; t < 6; ++t)
+    buf.record(TraceEvent::Kind::kL2Miss, t, 0, 0x1000 + t);
+  EXPECT_EQ(buf.size(), 4u);
+  EXPECT_EQ(buf.recorded(), 6u);
+  EXPECT_EQ(buf.dropped(), 2u);
+  std::vector<TraceEvent> evs = buf.events();
+  ASSERT_EQ(evs.size(), 4u);
+  for (std::size_t i = 0; i < evs.size(); ++i)
+    EXPECT_EQ(evs[i].cycle, i + 2) << "oldest-first order";
+}
+
+TEST(Trace, ChromeExportRoundTripsThroughJson) {
+  TraceBuffer buf(16);
+  buf.record(TraceEvent::Kind::kVecDispatch, 10, 1, /*vl=*/32);
+  buf.record(TraceEvent::Kind::kViqHandoff, 11, 1, /*vl=*/32);
+  buf.record(TraceEvent::Kind::kBarrierArrive, 20, 0, /*gen=*/3);
+  buf.record(TraceEvent::Kind::kBarrierRelease, 25, 0, /*gen=*/3);
+  buf.record(TraceEvent::Kind::kL2Miss, 30, 2, /*addr=*/0xbeef);
+
+  std::string bytes = buf.to_chrome_json().dump(1);
+  std::string err;
+  std::optional<Json> parsed = Json::parse(bytes, &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  const Json* events = parsed->find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_EQ(events->items().size(), 5u);
+  const Json& first = events->items()[0];
+  EXPECT_EQ(first.find("name")->as_string(), "vec_dispatch");
+  EXPECT_EQ(first.find("cat")->as_string(), "vu");
+  EXPECT_EQ(first.find("ph")->as_string(), "i");
+  EXPECT_EQ(first.find("ts")->as_uint(), 10u);
+  EXPECT_EQ(first.find("args")->find("vl")->as_uint(), 32u);
+  const Json& last = events->items()[4];
+  EXPECT_EQ(last.find("name")->as_string(), "l2_miss");
+  EXPECT_EQ(last.find("args")->find("addr")->as_uint(), 0xbeefu);
+  EXPECT_EQ(parsed->find("vltDropped")->as_uint(), 0u);
+}
+
+TEST(Trace, SimulatorRunRecordsVectorAndMemoryEvents) {
+  TraceBuffer buf;
+  workloads::WorkloadPtr w = workloads::make_workload("mpenc");
+  Simulator sim(MachineConfig::base());
+  sim.set_trace(&buf);
+  RunResult r = sim.run(*w, Variant::base());
+  ASSERT_TRUE(r.verified);
+  bool saw_dispatch = false, saw_handoff = false, saw_miss = false;
+  for (const TraceEvent& e : buf.events()) {
+    saw_dispatch |= e.kind == TraceEvent::Kind::kVecDispatch;
+    saw_handoff |= e.kind == TraceEvent::Kind::kViqHandoff;
+    saw_miss |= e.kind == TraceEvent::Kind::kL2Miss;
+  }
+  EXPECT_TRUE(saw_dispatch);
+  EXPECT_TRUE(saw_handoff);
+  EXPECT_TRUE(saw_miss);
+  // Tracing is observational: the traced run reports the same bytes as an
+  // untraced one.
+  RunResult plain = Simulator(MachineConfig::base()).run(*w, Variant::base());
+  EXPECT_EQ(r.to_json().dump(1), plain.to_json().dump(1));
+}
+
+// --- schema compatibility --------------------------------------------------
+
+TEST(SchemaCompat, V2FixtureParsesWithEmptySnapshotAndRoundTrips) {
+  // A vltsweep-v2-era RunResult: no "stats" key. Parsing must yield an
+  // empty snapshot, and re-serializing must reproduce the bytes exactly
+  // (the property --resume and the result cache rely on).
+  const std::string fixture =
+      "{\"workload\":\"mpenc\",\"config\":\"base\",\"variant\":\"base\","
+      "\"status\":\"ok\",\"verified\":true,\"attempts\":1,\"cycles\":1234,"
+      "\"phases\":[{\"label\":\"p0\",\"cycles\":1234}],"
+      "\"opportunity_cycles\":1000,\"scalar_insts\":10,\"vector_insts\":4,"
+      "\"element_ops\":256,\"metrics\":{\"pct_vectorization\":96.2406015,"
+      "\"avg_vl\":64,\"pct_opportunity\":81.03727715},"
+      "\"utilization\":{\"busy\":256,\"partly_idle\":0,\"stalled\":10,"
+      "\"all_idle\":20},\"vl_histogram\":{\"64\":4}}";
+  std::string err;
+  std::optional<Json> j = Json::parse(fixture, &err);
+  ASSERT_TRUE(j.has_value()) << err;
+  std::optional<RunResult> r = RunResult::from_json(*j);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_TRUE(r->stats.empty());
+  EXPECT_EQ(r->cycles, 1234u);
+  EXPECT_EQ(r->to_json().dump(), fixture);
+}
+
+TEST(SchemaCompat, V3RunCarriesTheSnapshot) {
+  workloads::WorkloadPtr w = workloads::make_workload("mpenc");
+  RunResult r = Simulator(MachineConfig::base()).run(*w, Variant::base());
+  ASSERT_FALSE(r.stats.empty());
+  Json j = r.to_json();
+  const Json* stats = j.find("stats");
+  ASSERT_NE(stats, nullptr);
+  ASSERT_NE(stats->find("counters"), nullptr);
+  // Spot-check the naming convention against first-class accessors.
+  EXPECT_EQ(r.stats.counter("vu.element_ops"), r.element_ops);
+  EXPECT_EQ(r.stats.counter("vu.datapath.busy"), r.util.busy);
+  std::optional<RunResult> back = RunResult::from_json(j);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->to_json().dump(1), j.dump(1));
+  EXPECT_EQ(back->stats.counter("vu.datapath.busy"), r.util.busy);
+}
+
+}  // namespace
+}  // namespace vlt

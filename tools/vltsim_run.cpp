@@ -3,7 +3,8 @@
 // Table 4-style characteristics, and cache/predictor statistics.
 //
 //   vltsim_run <workload> [--config NAME] [--variant V] [--lanes N]
-//              [--cycle-limit N] [--no-skip] [--json] [--audit] [--list]
+//              [--cycle-limit N] [--no-skip] [--json] [--audit]
+//              [--trace FILE] [--list]
 //
 // Exit codes: 0 ok, 1 run failed (verification/timeout/...), 2 usage,
 // 3 internal simulator error (see docs/ERRORS.md).
@@ -36,7 +37,7 @@ void usage() {
       stderr,
       "usage: vltsim_run <workload> [--config NAME] [--variant V] "
       "[--lanes N] [--cycle-limit N] [--no-skip] [--json] [--audit] "
-      "[--list]\n"
+      "[--trace FILE] [--list]\n"
       "  workloads: mxm sage mpenc trfd multprec bt radix ocean barnes\n"
       "  configs:  %s\n"
       "  variants: %s\n"
@@ -47,7 +48,10 @@ void usage() {
       "             (timing-neutral oracle, docs/PERF.md)\n"
       "  --json:    print the run result as JSON (schema: RunResult)\n"
       "  --audit:   per-cycle invariant checks + lockstep co-simulation\n"
-      "             (fails with a diagnostic on the first violation)\n",
+      "             (fails with a diagnostic on the first violation)\n"
+      "  --trace FILE: write structured events (vector dispatch, VIQ\n"
+      "             handoff, barrier arrive/release, L2 misses) as Chrome\n"
+      "             trace_event JSON (chrome://tracing, docs/METRICS.md)\n",
       configs.c_str(), Variant::spec_help().c_str(), kMaxVectorLength,
       kMaxVectorLength);
 }
@@ -65,6 +69,7 @@ int run_main(int argc, char** argv) {
   bool audit = false;
   bool json = false;
   bool no_skip = false;
+  std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -114,6 +119,8 @@ int run_main(int argc, char** argv) {
       audit = true;
     } else if (arg == "--json") {
       json = true;
+    } else if (arg == "--trace" && i + 1 < argc) {
+      trace_path = argv[++i];
     } else if (arg[0] != '-' && workload_name.empty()) {
       workload_name = arg;
     } else {
@@ -167,8 +174,11 @@ int run_main(int argc, char** argv) {
   }
 
   machine::RunResult r;
+  stats::TraceBuffer trace;
   try {
-    r = machine::Simulator(cfg).run(*workload, variant);
+    machine::Simulator sim(cfg);
+    if (!trace_path.empty()) sim.set_trace(&trace);
+    r = sim.run(*workload, variant);
   } catch (const vlt::SimError& e) {
     // Simulation-level failures (timeout, tripped invariant) are a
     // failed run (exit 1), not a tool crash: report them as a result.
@@ -178,6 +188,24 @@ int run_main(int argc, char** argv) {
   r.workload = workload_name;
   r.config = cfg.name;
   r.variant = variant.to_string();
+
+  if (!trace_path.empty()) {
+    std::FILE* f = std::fopen(trace_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "vltsim_run: cannot open trace file '%s'\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    std::string out = trace.to_chrome_json().dump(1);
+    std::fwrite(out.data(), 1, out.size(), f);
+    std::fputc('\n', f);
+    std::fclose(f);
+    if (!json)
+      std::fprintf(stderr, "vltsim_run: wrote %zu trace events to %s%s\n",
+                   trace.size(), trace_path.c_str(),
+                   trace.dropped() > 0 ? " (ring overflowed; oldest dropped)"
+                                       : "");
+  }
 
   if (json) {
     std::printf("%s\n", r.to_json().dump(1).c_str());
