@@ -1,0 +1,232 @@
+#include "analysis/cfg.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace vlt::analysis {
+
+namespace {
+
+/// Resolved control targets of the instruction at `pc`: the fallthrough
+/// and/or branch target slot, with range checking against `size`.
+struct Targets {
+  bool fallthrough = false;
+  bool has_branch = false;
+  std::int64_t branch = 0;
+  bool indirect = false;  // jr: statically unknown target
+  bool terminates = false;  // halt
+};
+
+Targets targets_of(const isa::Instruction& inst, std::uint64_t pc) {
+  Targets t;
+  const std::int64_t next = static_cast<std::int64_t>(pc) + 1;
+  switch (inst.op) {
+    case isa::Opcode::kHalt:
+      t.terminates = true;
+      return t;
+    case isa::Opcode::kJump:
+    case isa::Opcode::kJal:
+      // jal links pc+1 but transfers unconditionally.
+      t.has_branch = true;
+      t.branch = next + inst.imm;
+      return t;
+    case isa::Opcode::kJr:
+      t.indirect = true;
+      return t;
+    case isa::Opcode::kBeq:
+    case isa::Opcode::kBne:
+    case isa::Opcode::kBlt:
+    case isa::Opcode::kBge:
+      t.fallthrough = true;
+      t.has_branch = true;
+      t.branch = next + inst.imm;
+      return t;
+    default:
+      t.fallthrough = true;
+      return t;
+  }
+}
+
+}  // namespace
+
+std::size_t Cfg::block_of(std::uint64_t pc) const {
+  VLT_CHECK(pc < pc_to_block_.size(), "pc out of range in block_of");
+  return pc_to_block_[pc];
+}
+
+bool Cfg::dominates(std::size_t a, std::size_t b) const {
+  // Walk b's dominator chain to the entry; the chain is acyclic.
+  while (true) {
+    if (a == b) return true;
+    if (b == 0) return false;
+    std::size_t up = idom[b];
+    if (up == b) return false;  // unreachable block: self-rooted
+    b = up;
+  }
+}
+
+bool Cfg::in_loop(const Edge& e, std::uint64_t pc) const {
+  for (std::size_t i = 0; i < back_edges.size(); ++i) {
+    if (back_edges[i].from != e.from || back_edges[i].to != e.to) continue;
+    const std::vector<std::size_t>& blocks = loop_blocks_[i];
+    return std::binary_search(blocks.begin(), blocks.end(), block_of(pc));
+  }
+  return false;
+}
+
+Cfg build_cfg(const isa::Program& prog) {
+  VLT_CHECK(!prog.empty(), "cannot build a CFG for an empty program");
+  const std::uint64_t n = prog.size();
+  Cfg cfg;
+  cfg.program = &prog;
+
+  // --- leaders: entry, every branch target, every post-branch slot ---
+  std::vector<bool> leader(n, false);
+  leader[0] = true;
+  for (std::uint64_t pc = 0; pc < n; ++pc) {
+    Targets t = targets_of(prog.code()[pc], pc);
+    if (t.has_branch) {
+      if (t.branch >= 0 && t.branch < static_cast<std::int64_t>(n))
+        leader[static_cast<std::uint64_t>(t.branch)] = true;
+      else
+        cfg.bad_branch_pcs.push_back(pc);
+    }
+    const bool ends_block =
+        t.has_branch || t.terminates || t.indirect || !t.fallthrough;
+    if (ends_block && pc + 1 < n) leader[pc + 1] = true;
+  }
+
+  // --- blocks and the pc -> block map ---
+  cfg.pc_to_block_.assign(n, 0);
+  for (std::uint64_t pc = 0; pc < n; ++pc) {
+    if (leader[pc]) {
+      BasicBlock b;
+      b.begin = pc;
+      cfg.blocks.push_back(b);
+    }
+    cfg.pc_to_block_[pc] = cfg.blocks.size() - 1;
+    cfg.blocks.back().end = pc + 1;
+  }
+
+  // --- edges ---
+  for (std::size_t i = 0; i < cfg.blocks.size(); ++i) {
+    BasicBlock& b = cfg.blocks[i];
+    const std::uint64_t last = b.end - 1;
+    Targets t = targets_of(prog.code()[last], last);
+    auto add_edge = [&](std::uint64_t to_pc) {
+      std::size_t to = cfg.pc_to_block_[to_pc];
+      b.succs.push_back(to);
+      cfg.blocks[to].preds.push_back(i);
+    };
+    if (t.fallthrough) {
+      if (b.end < n)
+        add_edge(b.end);
+      else
+        b.falls_off_end = true;
+    }
+    if (t.has_branch && t.branch >= 0 &&
+        t.branch < static_cast<std::int64_t>(n))
+      add_edge(static_cast<std::uint64_t>(t.branch));
+    // An indirect jump (jr) may land at any linked return point: every
+    // slot following a jal. The workloads never use jr, but a synthesized
+    // program might — keep the graph conservatively connected.
+    if (t.indirect) {
+      for (std::uint64_t pc = 0; pc + 1 < n; ++pc)
+        if (prog.code()[pc].op == isa::Opcode::kJal) add_edge(pc + 1);
+    }
+  }
+
+  // --- dominators (iterative forward dataflow on reverse postorder) ---
+  const std::size_t nb = cfg.blocks.size();
+  std::vector<std::size_t> rpo;
+  {
+    std::vector<int> state(nb, 0);  // 0 unvisited, 1 in stack, 2 done
+    std::vector<std::pair<std::size_t, std::size_t>> stack;
+    stack.emplace_back(0, 0);
+    state[0] = 1;
+    while (!stack.empty()) {
+      auto& [blk, next] = stack.back();
+      if (next < cfg.blocks[blk].succs.size()) {
+        std::size_t s = cfg.blocks[blk].succs[next++];
+        if (state[s] == 0) {
+          state[s] = 1;
+          stack.emplace_back(s, 0);
+        }
+      } else {
+        state[blk] = 2;
+        rpo.push_back(blk);
+        stack.pop_back();
+      }
+    }
+    std::reverse(rpo.begin(), rpo.end());
+  }
+  std::vector<std::size_t> rpo_index(nb, ~std::size_t{0});
+  for (std::size_t i = 0; i < rpo.size(); ++i) rpo_index[rpo[i]] = i;
+
+  cfg.idom.assign(nb, ~std::size_t{0});
+  cfg.idom[0] = 0;
+  auto intersect = [&](std::size_t a, std::size_t b) {
+    while (a != b) {
+      while (rpo_index[a] > rpo_index[b]) a = cfg.idom[a];
+      while (rpo_index[b] > rpo_index[a]) b = cfg.idom[b];
+    }
+    return a;
+  };
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (std::size_t b : rpo) {
+      if (b == 0) continue;
+      std::size_t new_idom = ~std::size_t{0};
+      for (std::size_t p : cfg.blocks[b].preds) {
+        if (cfg.idom[p] == ~std::size_t{0}) continue;  // not yet processed
+        new_idom = new_idom == ~std::size_t{0} ? p : intersect(p, new_idom);
+      }
+      if (new_idom != ~std::size_t{0} && cfg.idom[b] != new_idom) {
+        cfg.idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  // Unreachable blocks self-root so dominates() terminates on them.
+  for (std::size_t b = 0; b < nb; ++b)
+    if (cfg.idom[b] == ~std::size_t{0}) cfg.idom[b] = b;
+
+  // --- back edges and natural loops ---
+  cfg.loop_depth.assign(nb, 0);
+  for (std::size_t b = 0; b < nb; ++b) {
+    for (std::size_t s : cfg.blocks[b].succs) {
+      if (rpo_index[b] == ~std::size_t{0}) continue;  // unreachable
+      if (!cfg.dominates(s, b)) continue;
+      cfg.back_edges.push_back({b, s});
+      // Natural loop of b -> s: s plus everything reaching b without
+      // passing through s.
+      std::vector<bool> in(nb, false);
+      in[s] = true;
+      std::vector<std::size_t> work;
+      if (!in[b]) {
+        in[b] = true;
+        work.push_back(b);
+      }
+      while (!work.empty()) {
+        std::size_t x = work.back();
+        work.pop_back();
+        for (std::size_t p : cfg.blocks[x].preds)
+          if (!in[p]) {
+            in[p] = true;
+            work.push_back(p);
+          }
+      }
+      std::vector<std::size_t> members;
+      for (std::size_t x = 0; x < nb; ++x)
+        if (in[x]) {
+          members.push_back(x);
+          ++cfg.loop_depth[x];
+        }
+      cfg.loop_blocks_.push_back(std::move(members));
+    }
+  }
+  return cfg;
+}
+
+}  // namespace vlt::analysis

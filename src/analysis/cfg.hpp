@@ -1,0 +1,74 @@
+// Control-flow graph over vlt::isa::Program.
+//
+// Basic blocks are maximal straight-line runs of instruction slots; edges
+// follow the branch semantics of the ISA (imm is a signed slot offset from
+// pc+1). The graph also computes dominators, back edges, and natural-loop
+// membership — the structural facts every dataflow check in this directory
+// keys on (docs/LINT.md).
+//
+// Programs come out of ProgramBuilder with all labels resolved, so a
+// malformed graph (branch target outside the text, execution falling off
+// the end) is itself a lint finding; build_cfg() records such defects
+// instead of throwing, and the structural check surfaces them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/program.hpp"
+
+namespace vlt::analysis {
+
+/// One basic block: instruction slots [begin, end) of the program.
+struct BasicBlock {
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;  // exclusive
+  std::vector<std::size_t> succs;
+  std::vector<std::size_t> preds;
+  /// True when the block ends by running past the last instruction slot
+  /// (no halt / jump / taken branch) — a structural defect.
+  bool falls_off_end = false;
+};
+
+struct Cfg {
+  const isa::Program* program = nullptr;
+  std::vector<BasicBlock> blocks;  // blocks[0] is the entry block
+
+  /// Immediate dominator per block (idom[0] == 0). Unreachable blocks
+  /// dominate only themselves.
+  std::vector<std::size_t> idom;
+
+  /// Edges (from-block, to-block) where `to` dominates `from` — the back
+  /// edges of natural loops.
+  struct Edge {
+    std::size_t from;
+    std::size_t to;
+  };
+  std::vector<Edge> back_edges;
+
+  /// loop_depth[b] > 0 iff block b belongs to at least one natural loop.
+  std::vector<unsigned> loop_depth;
+
+  /// PCs of branch instructions whose resolved target lies outside
+  /// [0, program size) — structural defects kept out of the edge set.
+  std::vector<std::uint64_t> bad_branch_pcs;
+
+  std::size_t block_of(std::uint64_t pc) const;  // pc must be in range
+  bool dominates(std::size_t a, std::size_t b) const;
+
+  /// True when `pc` lies inside the natural loop of back edge `e`.
+  bool in_loop(const Edge& e, std::uint64_t pc) const;
+
+ private:
+  friend Cfg build_cfg(const isa::Program& prog);
+  std::vector<std::size_t> pc_to_block_;
+  /// Per back edge, the sorted block ids of its natural loop.
+  std::vector<std::vector<std::size_t>> loop_blocks_;
+};
+
+/// Builds the CFG, dominator tree, and loop structure for `prog`.
+/// `prog` must be non-empty.
+Cfg build_cfg(const isa::Program& prog);
+
+}  // namespace vlt::analysis

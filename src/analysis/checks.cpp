@@ -1,0 +1,1010 @@
+#include "analysis/checks.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <set>
+
+#include "analysis/cfg.hpp"
+#include "analysis/dataflow.hpp"
+#include "isa/disasm.hpp"
+
+namespace vlt::analysis {
+
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+// ---------------------------------------------------------------------------
+// Abstract domain: constant propagation + initialization + VL + barriers.
+// ---------------------------------------------------------------------------
+
+/// Abstract scalar value: a known 64-bit constant or top.
+struct Value {
+  bool known = false;
+  std::int64_t v = 0;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.known == b.known && (!a.known || a.v == b.v);
+  }
+};
+Value vconst(std::int64_t v) { return {true, v}; }
+Value vtop() { return {}; }
+Value vjoin(const Value& a, const Value& b) {
+  return (a.known && b.known && a.v == b.v) ? a : vtop();
+}
+
+/// Three-state "has been written" fact.
+enum class Tri : std::uint8_t { kNo, kMaybe, kYes };
+Tri tjoin(Tri a, Tri b) { return a == b ? a : Tri::kMaybe; }
+
+/// Barriers executed since threadlet entry, along the paths reaching a
+/// point. kUnknown: loop-varying (benign). kConflict: two acyclic paths
+/// disagree — a barrier-divergence defect.
+struct BarCount {
+  enum Kind : std::uint8_t { kKnown, kUnknown, kConflict } kind = kKnown;
+  std::uint32_t n = 0;
+
+  friend bool operator==(const BarCount& a, const BarCount& b) {
+    return a.kind == b.kind && (a.kind != kKnown || a.n == b.n);
+  }
+};
+BarCount bjoin(const BarCount& a, const BarCount& b, bool back_edge) {
+  if (a.kind == BarCount::kConflict || b.kind == BarCount::kConflict)
+    return {BarCount::kConflict, 0};
+  if (a.kind == BarCount::kKnown && b.kind == BarCount::kKnown && a.n == b.n)
+    return a;
+  // Differing counts: along a back edge this is an ordinary barrier-in-loop
+  // (count grows per iteration); on a forward join it means divergent
+  // control flow executed different numbers of barriers.
+  if (a.kind == BarCount::kUnknown || b.kind == BarCount::kUnknown ||
+      back_edge)
+    return {BarCount::kUnknown, 0};
+  return {BarCount::kConflict, 0};
+}
+
+struct RegState {
+  Tri init = Tri::kNo;
+  Value val = vconst(0);  // hardware zeroes the file at phase start
+  /// PC of the setvl/setvlmax whose result this register still holds
+  /// (propagated through mov), or -1. Joins of distinct sites go to -2.
+  std::int32_t vl_def = -1;
+
+  friend bool operator==(const RegState& a, const RegState& b) {
+    return a.init == b.init && a.val == b.val && a.vl_def == b.vl_def;
+  }
+};
+
+struct AbsState {
+  bool reachable = false;
+  std::array<RegState, kNumScalarRegs> sreg;
+  std::array<Tri, kNumVectorRegs> vreg{};
+  Tri mask = Tri::kNo;
+  Tri vl_set = Tri::kNo;
+  Value vl_val = vconst(0);
+  BarCount bar;
+
+  friend bool operator==(const AbsState& a, const AbsState& b) {
+    return a.reachable == b.reachable && a.sreg == b.sreg &&
+           a.vreg == b.vreg && a.mask == b.mask && a.vl_set == b.vl_set &&
+           a.vl_val == b.vl_val && a.bar == b.bar;
+  }
+};
+
+class AbsDomain {
+ public:
+  using State = AbsState;
+
+  AbsDomain(unsigned tid, unsigned nthreads, unsigned mvl)
+      : tid_(tid), nthreads_(nthreads), mvl_(mvl) {}
+
+  State top() const { return State{}; }
+
+  State boundary() const {
+    State s;
+    s.reachable = true;
+    // s0 is the conventional zero register (kernel_util.hpp): reading it
+    // without a write is idiomatic, so it enters pre-initialized.
+    s.sreg[0].init = Tri::kYes;
+    return s;
+  }
+
+  void transfer(State& s, const Instruction& inst, std::uint64_t pc) const {
+    if (!s.reachable) return;
+    const auto sval = [&](RegIdx r) {
+      return r < kNumScalarRegs ? s.sreg[r].val : vtop();
+    };
+    const auto set_scalar = [&](RegIdx r, Value v,
+                                std::int32_t vl_def = -1) {
+      if (r >= kNumScalarRegs) return;
+      s.sreg[r].init = Tri::kYes;
+      s.sreg[r].val = v;
+      s.sreg[r].vl_def = vl_def;
+    };
+
+    const Value a = sval(inst.rs1);
+    const Value b = sval(inst.rs2);
+    const std::int64_t imm = inst.imm;
+    const auto fold2 = [&](auto op) {
+      return (a.known && b.known) ? vconst(op(a.v, b.v)) : vtop();
+    };
+    const auto fold1i = [&](auto op) {
+      return a.known ? vconst(op(a.v, imm)) : vtop();
+    };
+
+    switch (inst.op) {
+      case Opcode::kLi:
+        set_scalar(inst.rd, vconst(imm));
+        return;
+      case Opcode::kLiHi: {
+        const Value old = sval(inst.rd);
+        set_scalar(inst.rd,
+                   old.known
+                       ? vconst(static_cast<std::int64_t>(
+                             static_cast<std::uint64_t>(old.v) |
+                             (static_cast<std::uint64_t>(
+                                  static_cast<std::uint32_t>(inst.imm))
+                              << 32)))
+                       : vtop());
+        return;
+      }
+      case Opcode::kMov:
+        set_scalar(inst.rd, a,
+                   inst.rs1 < kNumScalarRegs ? s.sreg[inst.rs1].vl_def : -2);
+        return;
+      case Opcode::kAdd:
+        set_scalar(inst.rd, fold2([](std::int64_t x, std::int64_t y) {
+          return static_cast<std::int64_t>(static_cast<std::uint64_t>(x) +
+                                           static_cast<std::uint64_t>(y));
+        }));
+        return;
+      case Opcode::kAddi:
+        set_scalar(inst.rd, fold1i([](std::int64_t x, std::int64_t i) {
+          return static_cast<std::int64_t>(static_cast<std::uint64_t>(x) +
+                                           static_cast<std::uint64_t>(i));
+        }));
+        return;
+      case Opcode::kSub:
+        set_scalar(inst.rd, inst.rs1 == inst.rs2
+                                ? vconst(0)
+                                : fold2([](std::int64_t x, std::int64_t y) {
+                                    return static_cast<std::int64_t>(
+                                        static_cast<std::uint64_t>(x) -
+                                        static_cast<std::uint64_t>(y));
+                                  }));
+        return;
+      case Opcode::kMul:
+        set_scalar(inst.rd, fold2([](std::int64_t x, std::int64_t y) {
+          return static_cast<std::int64_t>(static_cast<std::uint64_t>(x) *
+                                           static_cast<std::uint64_t>(y));
+        }));
+        return;
+      case Opcode::kDiv:
+        set_scalar(inst.rd, (a.known && b.known && b.v != 0 &&
+                             !(a.v == INT64_MIN && b.v == -1))
+                                ? vconst(a.v / b.v)
+                                : vtop());
+        return;
+      case Opcode::kRem:
+        set_scalar(inst.rd, (a.known && b.known && b.v != 0 &&
+                             !(a.v == INT64_MIN && b.v == -1))
+                                ? vconst(a.v % b.v)
+                                : vtop());
+        return;
+      case Opcode::kAnd:
+        set_scalar(inst.rd, fold2([](std::int64_t x, std::int64_t y) {
+          return x & y;
+        }));
+        return;
+      case Opcode::kAndi:
+        set_scalar(inst.rd, fold1i([](std::int64_t x, std::int64_t i) {
+          return x & i;
+        }));
+        return;
+      case Opcode::kOr:
+        set_scalar(inst.rd, fold2([](std::int64_t x, std::int64_t y) {
+          return x | y;
+        }));
+        return;
+      case Opcode::kOri:
+        set_scalar(inst.rd, fold1i([](std::int64_t x, std::int64_t i) {
+          return x | i;
+        }));
+        return;
+      case Opcode::kXor:
+        // xor r, a, a is the idiomatic zeroing sequence: constant 0 even
+        // when a's value is unknown.
+        set_scalar(inst.rd, inst.rs1 == inst.rs2
+                                ? vconst(0)
+                                : fold2([](std::int64_t x, std::int64_t y) {
+                                    return x ^ y;
+                                  }));
+        return;
+      case Opcode::kXori:
+        set_scalar(inst.rd, fold1i([](std::int64_t x, std::int64_t i) {
+          return x ^ i;
+        }));
+        return;
+      case Opcode::kSll:
+        set_scalar(inst.rd, fold2([](std::int64_t x, std::int64_t y) {
+          return static_cast<std::int64_t>(static_cast<std::uint64_t>(x)
+                                           << (y & 63));
+        }));
+        return;
+      case Opcode::kSlli:
+        set_scalar(inst.rd, fold1i([](std::int64_t x, std::int64_t i) {
+          return static_cast<std::int64_t>(static_cast<std::uint64_t>(x)
+                                           << (i & 63));
+        }));
+        return;
+      case Opcode::kSrl:
+        set_scalar(inst.rd, fold2([](std::int64_t x, std::int64_t y) {
+          return static_cast<std::int64_t>(static_cast<std::uint64_t>(x) >>
+                                           (y & 63));
+        }));
+        return;
+      case Opcode::kSrli:
+        set_scalar(inst.rd, fold1i([](std::int64_t x, std::int64_t i) {
+          return static_cast<std::int64_t>(static_cast<std::uint64_t>(x) >>
+                                           (i & 63));
+        }));
+        return;
+      case Opcode::kSra:
+        set_scalar(inst.rd, fold2([](std::int64_t x, std::int64_t y) {
+          return x >> (y & 63);
+        }));
+        return;
+      case Opcode::kSlt:
+        set_scalar(inst.rd, fold2([](std::int64_t x, std::int64_t y) {
+          return std::int64_t{x < y};
+        }));
+        return;
+      case Opcode::kSlti:
+        set_scalar(inst.rd, fold1i([](std::int64_t x, std::int64_t i) {
+          return std::int64_t{x < i};
+        }));
+        return;
+      case Opcode::kSeq:
+        set_scalar(inst.rd, fold2([](std::int64_t x, std::int64_t y) {
+          return std::int64_t{x == y};
+        }));
+        return;
+      case Opcode::kTid:
+        set_scalar(inst.rd, vconst(tid_));
+        return;
+      case Opcode::kNthreads:
+        set_scalar(inst.rd, vconst(nthreads_));
+        return;
+      case Opcode::kJal:
+        set_scalar(inst.rd, vconst(static_cast<std::int64_t>(pc) + 1));
+        return;
+      case Opcode::kBarrier:
+        if (s.bar.kind == BarCount::kKnown) ++s.bar.n;
+        return;
+      case Opcode::kSetvl: {
+        Value vl = vtop();
+        if (a.known)
+          vl = vconst(a.v <= 0 ? 0
+                                : std::min<std::int64_t>(a.v, mvl_));
+        s.vl_set = Tri::kYes;
+        s.vl_val = vl;
+        set_scalar(inst.rd, vl, static_cast<std::int32_t>(pc));
+        return;
+      }
+      case Opcode::kSetvlMax:
+        s.vl_set = Tri::kYes;
+        s.vl_val = vconst(mvl_);
+        set_scalar(inst.rd, s.vl_val, static_cast<std::int32_t>(pc));
+        return;
+      default:
+        break;
+    }
+
+    // Generic scalar destination (fp ops, loads, reductions): value top.
+    RegIdx sd;
+    if (isa::scalar_dst_reg(inst, sd)) set_scalar(sd, vtop());
+    RegIdx vd;
+    if (isa::vector_dst_reg(inst, vd) && vd < kNumVectorRegs)
+      s.vreg[vd] = Tri::kYes;
+    if (isa::writes_mask(inst)) s.mask = Tri::kYes;
+  }
+
+  void join(State& into, const State& from, bool back_edge) const {
+    if (!from.reachable) return;
+    if (!into.reachable) {
+      into = from;
+      return;
+    }
+    for (unsigned r = 0; r < kNumScalarRegs; ++r) {
+      RegState& d = into.sreg[r];
+      const RegState& o = from.sreg[r];
+      d.init = tjoin(d.init, o.init);
+      d.val = vjoin(d.val, o.val);
+      if (d.vl_def != o.vl_def) d.vl_def = -2;
+    }
+    for (unsigned r = 0; r < kNumVectorRegs; ++r)
+      into.vreg[r] = tjoin(into.vreg[r], from.vreg[r]);
+    into.mask = tjoin(into.mask, from.mask);
+    into.vl_set = tjoin(into.vl_set, from.vl_set);
+    into.vl_val = vjoin(into.vl_val, from.vl_val);
+    into.bar = bjoin(into.bar, from.bar, back_edge);
+  }
+
+  bool equal(const State& a, const State& b) const { return a == b; }
+
+ private:
+  unsigned tid_;
+  unsigned nthreads_;
+  unsigned mvl_;
+};
+
+// ---------------------------------------------------------------------------
+// Memory-access footprints for the race check.
+// ---------------------------------------------------------------------------
+
+/// One static access site with a resolved footprint: `count` elements of
+/// 8 bytes starting at `lo`, consecutive starts `stride` bytes apart
+/// (stride == 8: one contiguous run). exact == false: unknown footprint,
+/// excluded from race reporting.
+struct Access {
+  std::uint64_t pc = 0;
+  bool write = false;
+  bool exact = false;
+  Addr lo = 0;
+  std::uint64_t stride = 8;
+  std::uint64_t count = 0;
+  BarCount epoch;
+
+  Addr hi() const {  // exclusive upper byte bound
+    if (count == 0) return lo;
+    return lo + stride * (count - 1) + 8;
+  }
+};
+
+bool footprints_overlap(const Access& a, const Access& b) {
+  if (a.count == 0 || b.count == 0) return false;
+  if (a.hi() <= b.lo || b.hi() <= a.lo) return false;
+  if (a.stride <= 8 && b.stride <= 8) return true;  // two contiguous runs
+  // At least one sparse strided set; VL caps counts at 64 elements, so
+  // direct enumeration is cheap and exact.
+  for (std::uint64_t i = 0; i < a.count; ++i) {
+    const Addr alo = a.lo + a.stride * i;
+    for (std::uint64_t j = 0; j < b.count; ++j) {
+      const Addr blo = b.lo + b.stride * j;
+      if (alo < blo + 8 && blo < alo + 8) return true;
+    }
+  }
+  return false;
+}
+
+/// Everything the cross-threadlet checks need from one threadlet.
+struct ThreadSummary {
+  std::string program;
+  std::vector<Access> accesses;
+  /// Join of the barrier counts at every reachable halt.
+  BarCount exit_bar;
+  bool has_reachable_halt = false;
+};
+
+// ---------------------------------------------------------------------------
+// Per-threadlet analysis.
+// ---------------------------------------------------------------------------
+
+struct CheckFilter {
+  const AnalysisOptions* opts;
+  bool on(const char* name) const {
+    if (opts->only.empty()) return true;
+    return std::find(opts->only.begin(), opts->only.end(), name) !=
+           opts->only.end();
+  }
+};
+
+class ProgramAnalysis {
+ public:
+  ProgramAnalysis(const machine::ParallelProgram& par,
+                  const machine::Phase& phase, unsigned tid,
+                  const AnalysisOptions& opts, unsigned phase_mvl,
+                  std::vector<Finding>& out)
+      : par_(par),
+        phase_(phase),
+        prog_(phase.programs[tid]),
+        tid_(tid),
+        opts_(opts),
+        filter_{&opts},
+        mvl_(phase_mvl),
+        out_(out) {}
+
+  ThreadSummary run();
+
+ private:
+  Finding finding(const char* check, Severity sev, std::int64_t pc,
+                  std::string msg) const {
+    Finding f;
+    f.check = check;
+    f.severity = sev;
+    f.workload = par_.name;
+    f.phase = phase_.label;
+    f.thread = static_cast<int>(tid_);
+    f.program = prog_.name();
+    f.pc = pc;
+    f.message = std::move(msg);
+    return f;
+  }
+  void emit(const char* check, Severity sev, std::int64_t pc,
+            std::string msg) {
+    if (filter_.on(check)) out_.push_back(finding(check, sev, pc, std::move(msg)));
+  }
+
+  void structural_checks(const Cfg& cfg);
+  void visit(const AbsState& st, const Instruction& inst, std::uint64_t pc,
+             bool scalar_phase, ThreadSummary& sum);
+  Access footprint_of(const AbsState& st, const Instruction& inst,
+                      std::uint64_t pc) const;
+  void summarize_strip_mine_loops(
+      const Cfg& cfg, const DataflowResult<AbsDomain>& fp,
+      const AbsDomain& dom, ThreadSummary& sum);
+
+  const machine::ParallelProgram& par_;
+  const machine::Phase& phase_;
+  const isa::Program& prog_;
+  unsigned tid_;
+  const AnalysisOptions& opts_;
+  CheckFilter filter_;
+  unsigned mvl_;
+  std::vector<Finding>& out_;
+  /// Set by visit() when a setvl requests a known constant above MVL; the
+  /// replay loop turns it into a finding only outside loops (strip-mines
+  /// legitimately request the full remaining count and rely on the clamp).
+  bool pending_setvl_clamp_ = false;
+};
+
+void ProgramAnalysis::structural_checks(const Cfg& cfg) {
+  for (std::uint64_t pc : cfg.bad_branch_pcs)
+    emit("structure", Severity::kError, static_cast<std::int64_t>(pc),
+         "branch target outside the program: " +
+             isa::disassemble(prog_.code()[pc]));
+  std::vector<bool> reachable(cfg.blocks.size(), false);
+  {
+    std::vector<std::size_t> work{0};
+    reachable[0] = true;
+    while (!work.empty()) {
+      std::size_t b = work.back();
+      work.pop_back();
+      for (std::size_t s : cfg.blocks[b].succs)
+        if (!reachable[s]) {
+          reachable[s] = true;
+          work.push_back(s);
+        }
+    }
+  }
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b)
+    if (reachable[b] && cfg.blocks[b].falls_off_end)
+      emit("structure", Severity::kError,
+           static_cast<std::int64_t>(cfg.blocks[b].end - 1),
+           "execution can run past the last instruction slot (missing "
+           "halt or jump)");
+}
+
+Access ProgramAnalysis::footprint_of(const AbsState& st,
+                                     const Instruction& inst,
+                                     std::uint64_t pc) const {
+  Access acc;
+  acc.pc = pc;
+  acc.write = isa::is_store(inst.op);
+  acc.epoch = st.bar;
+  const auto val = [&](RegIdx r) {
+    return r < kNumScalarRegs ? st.sreg[r].val : vtop();
+  };
+  const Value base = val(inst.rs1);
+  switch (inst.op) {
+    case Opcode::kLoad:
+    case Opcode::kStore:
+      if (base.known) {
+        acc.exact = true;
+        acc.lo = static_cast<Addr>(base.v + inst.imm);
+        acc.stride = 8;
+        acc.count = 1;
+      }
+      return acc;
+    case Opcode::kVload:
+    case Opcode::kVstore:
+      if (base.known && st.vl_val.known && st.vl_val.v >= 0) {
+        acc.exact = true;
+        acc.lo = static_cast<Addr>(base.v + inst.imm);
+        acc.stride = 8;
+        acc.count = static_cast<std::uint64_t>(st.vl_val.v);
+      }
+      return acc;
+    case Opcode::kVloads:
+    case Opcode::kVstores: {
+      const Value stride = val(inst.rs2);
+      if (base.known && stride.known && stride.v > 0 && st.vl_val.known &&
+          st.vl_val.v >= 0) {
+        acc.exact = true;
+        acc.lo = static_cast<Addr>(base.v);
+        acc.stride = static_cast<std::uint64_t>(stride.v);
+        acc.count = static_cast<std::uint64_t>(st.vl_val.v);
+      }
+      return acc;
+    }
+    default:
+      // Gather/scatter offsets are vector data: statically unknown.
+      return acc;
+  }
+}
+
+void ProgramAnalysis::visit(const AbsState& st, const Instruction& inst,
+                            std::uint64_t pc, bool scalar_phase,
+                            ThreadSummary& sum) {
+  if (!st.reachable) return;
+  const std::int64_t ipc = static_cast<std::int64_t>(pc);
+  const std::string dis = isa::disassemble(inst);
+
+  // --- regfile: bounds and the s0 convention ---
+  const isa::RegList sreads = isa::scalar_src_regs(inst);
+  for (unsigned i = 0; i < sreads.n; ++i)
+    if (sreads.r[i] >= kNumScalarRegs)
+      emit("regfile", Severity::kError, ipc,
+           "scalar source s" + std::to_string(sreads.r[i]) +
+               " outside the " + std::to_string(kNumScalarRegs) +
+               "-register file: " + dis);
+  const isa::RegList vreads = isa::vector_src_regs(inst);
+  for (unsigned i = 0; i < vreads.n; ++i)
+    if (vreads.r[i] >= kNumVectorRegs)
+      emit("regfile", Severity::kError, ipc,
+           "vector source v" + std::to_string(vreads.r[i]) +
+               " outside the " + std::to_string(kNumVectorRegs) +
+               "-register file: " + dis);
+  RegIdx sd;
+  if (isa::scalar_dst_reg(inst, sd)) {
+    if (sd >= kNumScalarRegs)
+      emit("regfile", Severity::kError, ipc,
+           "scalar destination s" + std::to_string(sd) +
+               " outside the register file: " + dis);
+    else if (sd == 0)
+      emit("regfile", Severity::kError, ipc,
+           "writes s0, the conventional zero register: " + dis);
+  }
+  RegIdx vd;
+  if (isa::vector_dst_reg(inst, vd) && vd >= kNumVectorRegs)
+    emit("regfile", Severity::kError, ipc,
+         "vector destination v" + std::to_string(vd) +
+             " outside the register file: " + dis);
+
+  // --- def-before-use ---
+  // xor/sub r, a, a zero a register regardless of its value: a def, not a
+  // use. rs1 == rs2 also dedupes the read list (one finding per register).
+  const bool zeroing_idiom =
+      (inst.op == Opcode::kXor || inst.op == Opcode::kSub) &&
+      inst.rs1 == inst.rs2;
+  for (unsigned i = 0; i < sreads.n && !zeroing_idiom; ++i) {
+    const RegIdx r = sreads.r[i];
+    if (r == 0 || r >= kNumScalarRegs) continue;
+    bool dup = false;
+    for (unsigned j = 0; j < i; ++j) dup = dup || sreads.r[j] == r;
+    if (dup) continue;
+    if (st.sreg[r].init == Tri::kNo)
+      emit("def-before-use", Severity::kError, ipc,
+           "s" + std::to_string(r) + " read before any write: " + dis);
+    else if (st.sreg[r].init == Tri::kMaybe)
+      emit("def-before-use", Severity::kWarning, ipc,
+           "s" + std::to_string(r) +
+               " read before a write on some paths: " + dis);
+  }
+  for (unsigned i = 0; i < vreads.n; ++i) {
+    const RegIdx r = vreads.r[i];
+    if (r >= kNumVectorRegs) continue;
+    bool dup = false;
+    for (unsigned j = 0; j < i; ++j) dup = dup || vreads.r[j] == r;
+    if (dup) continue;
+    if (st.vreg[r] == Tri::kNo)
+      emit("def-before-use", Severity::kError, ipc,
+           "v" + std::to_string(r) + " read before any write: " + dis);
+    else if (st.vreg[r] == Tri::kMaybe)
+      emit("def-before-use", Severity::kWarning, ipc,
+           "v" + std::to_string(r) +
+               " read before a write on some paths: " + dis);
+  }
+  if (isa::reads_mask(inst)) {
+    if (st.mask == Tri::kNo)
+      emit("def-before-use", Severity::kError, ipc,
+           "mask read before any compare wrote it: " + dis);
+    else if (st.mask == Tri::kMaybe)
+      emit("def-before-use", Severity::kWarning, ipc,
+           "mask read before a compare on some paths: " + dis);
+  }
+
+  // --- vl-discipline ---
+  if (isa::is_vector(inst.op) && !scalar_phase) {
+    if (st.vl_set == Tri::kNo)
+      emit("vl-discipline", Severity::kError, ipc,
+           "vector instruction before any setvl (VL is 0): " + dis);
+    else if (st.vl_set == Tri::kMaybe)
+      emit("vl-discipline", Severity::kWarning, ipc,
+           "vector instruction with VL unset on some paths: " + dis);
+  }
+  if (inst.op == Opcode::kSetvl && inst.rs1 < kNumScalarRegs) {
+    const Value req = st.sreg[inst.rs1].val;
+    if (req.known && req.v > static_cast<std::int64_t>(mvl_))
+      // Reported by the caller only outside loops (strip-mines legitimately
+      // request the full remaining count); see run().
+      pending_setvl_clamp_ = true;
+  }
+
+  // --- barrier divergence ---
+  if ((inst.op == Opcode::kBarrier || inst.op == Opcode::kHalt) &&
+      st.bar.kind == BarCount::kConflict)
+    emit("barrier", Severity::kError, ipc,
+         std::string(inst.op == Opcode::kBarrier ? "barrier" : "halt") +
+             " reached with a path-dependent barrier count (barrier under "
+             "divergent control flow)");
+  if (inst.op == Opcode::kHalt) {
+    if (!sum.has_reachable_halt) {
+      sum.exit_bar = st.bar;
+      sum.has_reachable_halt = true;
+    } else {
+      sum.exit_bar = bjoin(sum.exit_bar, st.bar, /*back_edge=*/false);
+    }
+  }
+
+  // --- record memory accesses for the race check ---
+  if (isa::is_mem(inst.op)) sum.accesses.push_back(footprint_of(st, inst, pc));
+}
+
+// Recognizes kernel_util.hpp-style strip-mine loops and recovers exact
+// whole-loop footprints for their unit-stride accesses:
+//
+//   loop: beq C, rZ, done        (loop header)
+//         setvl V, C             (the only setvl in the loop)
+//         ... vload/vstore via P ...
+//         sub C, C, V
+//         slli T, V, 3
+//         add P, P, T            (per bumped pointer)
+//         jump loop
+//
+// With the counter's and pointers' loop-entry values known, an in-loop
+// unit-stride access through bumped pointer P covers exactly
+// [P0+off, P0+off + 8*C0). The pass also reports the stale-VL defect: a
+// `sub C, C, V` whose V was set by a setvl *outside* the loop.
+void ProgramAnalysis::summarize_strip_mine_loops(
+    const Cfg& cfg, const DataflowResult<AbsDomain>& fp, const AbsDomain& dom,
+    ThreadSummary& sum) {
+  for (const Cfg::Edge& edge : cfg.back_edges) {
+    // Gather the loop's instructions.
+    std::vector<std::uint64_t> pcs;
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      if (!cfg.in_loop(edge, cfg.blocks[b].begin)) continue;
+      for (std::uint64_t pc = cfg.blocks[b].begin; pc < cfg.blocks[b].end;
+           ++pc)
+        pcs.push_back(pc);
+    }
+    const auto in_loop_pc = [&](std::int64_t pc) {
+      return pc >= 0 && cfg.in_loop(edge, static_cast<std::uint64_t>(pc));
+    };
+
+    // Per-pc states inside the loop (fixed-point replay).
+    std::map<std::uint64_t, AbsState> at;
+    bool has_vector = false;
+    bool has_barrier = false;
+    std::vector<std::uint64_t> setvl_pcs;
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+      if (!cfg.in_loop(edge, cfg.blocks[b].begin)) continue;
+      AbsState st = fp.block_in[b];
+      for (std::uint64_t pc = cfg.blocks[b].begin; pc < cfg.blocks[b].end;
+           ++pc) {
+        at.emplace(pc, st);
+        const Instruction& inst = prog_.code()[pc];
+        if (isa::is_vector(inst.op)) has_vector = true;
+        if (inst.op == Opcode::kBarrier) has_barrier = true;
+        if (inst.op == Opcode::kSetvl || inst.op == Opcode::kSetvlMax)
+          setvl_pcs.push_back(pc);
+        dom.transfer(st, inst, pc);
+      }
+    }
+
+    // Stale-VL: the strip-mine decrement uses a VL set outside the loop.
+    std::int64_t counter = -1;  // register decremented by the VL
+    std::uint64_t setvl_pc = 0;
+    bool pattern = false;
+    for (std::uint64_t pc : pcs) {
+      const Instruction& inst = prog_.code()[pc];
+      if (inst.op != Opcode::kSub || inst.rd != inst.rs1 ||
+          inst.rs2 >= kNumScalarRegs)
+        continue;
+      const AbsState& st = at.at(pc);
+      if (!st.reachable) continue;
+      const std::int32_t def = st.sreg[inst.rs2].vl_def;
+      if (def < 0) continue;
+      if (!in_loop_pc(def)) {
+        if (has_vector)
+          emit("vl-discipline", Severity::kError,
+               static_cast<std::int64_t>(pc),
+               "strip-mine loop decrements its counter by a VL set outside "
+               "the loop (stale VL: the tail iteration overruns): " +
+                   isa::disassemble(inst));
+        continue;
+      }
+      if (setvl_pcs.size() == 1 && static_cast<std::uint64_t>(def) ==
+                                        setvl_pcs[0] &&
+          prog_.code()[setvl_pcs[0]].op == Opcode::kSetvl &&
+          prog_.code()[setvl_pcs[0]].rs1 == inst.rd) {
+        pattern = true;
+        counter = inst.rd;
+        setvl_pc = setvl_pcs[0];
+      }
+    }
+    if (!pattern || has_barrier) continue;
+
+    // Loop-entry values: join the out-states of the header's forward
+    // (non-back-edge) predecessors.
+    const std::size_t header = edge.to;
+    AbsState entry;
+    for (std::size_t p : cfg.blocks[header].preds) {
+      bool is_back = false;
+      for (const Cfg::Edge& be : cfg.back_edges)
+        is_back = is_back || (be.from == p && be.to == header);
+      if (is_back) continue;
+      AbsState st = fp.block_in[p];
+      for (std::uint64_t pc = cfg.blocks[p].begin; pc < cfg.blocks[p].end;
+           ++pc)
+        dom.transfer(st, prog_.code()[pc], pc);
+      dom.join(entry, st, /*back_edge=*/false);
+    }
+    if (!entry.reachable) continue;
+    const Value c0 = entry.sreg[counter].val;
+    if (!c0.known || c0.v < 0 || entry.bar.kind != BarCount::kKnown) continue;
+
+    // Bumped pointers: add P, P, T where T = slli T', V, 3 with V holding
+    // the in-loop setvl result. Any other in-loop write to P disqualifies.
+    std::set<RegIdx> bumped;
+    std::set<RegIdx> vl_shifted;  // registers holding 8*VL inside the loop
+    for (std::uint64_t pc : pcs) {
+      const Instruction& inst = prog_.code()[pc];
+      if (inst.op == Opcode::kSlli && inst.imm == 3 &&
+          inst.rs1 < kNumScalarRegs) {
+        const AbsState& st = at.at(pc);
+        if (st.reachable &&
+            st.sreg[inst.rs1].vl_def ==
+                static_cast<std::int32_t>(setvl_pc))
+          vl_shifted.insert(inst.rd);
+      }
+      if (inst.op == Opcode::kAdd && inst.rd == inst.rs1 &&
+          vl_shifted.count(inst.rs2) > 0)
+        bumped.insert(inst.rd);
+    }
+    for (std::uint64_t pc : pcs) {
+      const Instruction& inst = prog_.code()[pc];
+      RegIdx sd;
+      if (!isa::scalar_dst_reg(inst, sd)) continue;
+      if (bumped.count(sd) == 0) continue;
+      const bool is_bump = inst.op == Opcode::kAdd && inst.rd == inst.rs1 &&
+                           vl_shifted.count(inst.rs2) > 0;
+      if (!is_bump) bumped.erase(sd);
+    }
+
+    // Upgrade in-loop unit-stride accesses through bumped pointers with
+    // known entry addresses to exact whole-loop footprints.
+    for (Access& acc : sum.accesses) {
+      if (!in_loop_pc(static_cast<std::int64_t>(acc.pc)) || acc.exact)
+        continue;
+      const Instruction& inst = prog_.code()[acc.pc];
+      if (inst.op != Opcode::kVload && inst.op != Opcode::kVstore) continue;
+      if (bumped.count(inst.rs1) == 0) continue;
+      const Value p0 = entry.sreg[inst.rs1].val;
+      if (!p0.known) continue;
+      acc.exact = true;
+      acc.lo = static_cast<Addr>(p0.v + inst.imm);
+      acc.stride = 8;
+      acc.count = static_cast<std::uint64_t>(c0.v);
+      acc.epoch = entry.bar;
+    }
+  }
+}
+
+ThreadSummary ProgramAnalysis::run() {
+  ThreadSummary sum;
+  sum.program = prog_.name();
+  if (prog_.empty()) {
+    emit("structure", Severity::kError, -1, "empty program");
+    return sum;
+  }
+
+  const Cfg cfg = build_cfg(prog_);
+  structural_checks(cfg);
+
+  const bool scalar_phase =
+      phase_.mode == machine::PhaseMode::kLaneThreads ||
+      phase_.mode == machine::PhaseMode::kSuThreads;
+  if (scalar_phase) {
+    for (std::uint64_t pc = 0; pc < prog_.size(); ++pc)
+      if (isa::is_vector(prog_.code()[pc].op))
+        emit("structure", Severity::kError, static_cast<std::int64_t>(pc),
+             "vector instruction in a scalar-thread phase (lane cores "
+             "have no vector datapath): " +
+                 isa::disassemble(prog_.code()[pc]));
+  }
+
+  AbsDomain dom(tid_, phase_.nthreads(), mvl_);
+  DataflowResult<AbsDomain> fp = solve(cfg, dom);
+
+  // Replay each block once from its fixed-point in-state, emitting the
+  // per-instruction findings and recording memory accesses.
+  for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+    AbsState st = fp.block_in[b];
+    for (std::uint64_t pc = cfg.blocks[b].begin; pc < cfg.blocks[b].end;
+         ++pc) {
+      const Instruction& inst = prog_.code()[pc];
+      pending_setvl_clamp_ = false;
+      visit(st, inst, pc, scalar_phase, sum);
+      if (pending_setvl_clamp_ && cfg.loop_depth[b] == 0)
+        emit("vl-discipline", Severity::kWarning,
+             static_cast<std::int64_t>(pc),
+             "setvl requests a known constant above MVL " +
+                 std::to_string(mvl_) +
+                 "; the hardware clamp is silent and no strip-mine loop "
+                 "re-checks the remainder: " +
+                 isa::disassemble(inst));
+      dom.transfer(st, inst, pc);
+    }
+  }
+
+  summarize_strip_mine_loops(cfg, fp, dom, sum);
+  return sum;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Cross-threadlet checks and the phase driver.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void cross_thread_checks(const machine::ParallelProgram& par,
+                         const machine::Phase& phase,
+                         const std::vector<ThreadSummary>& threads,
+                         const CheckFilter& filter,
+                         std::vector<Finding>& out) {
+  if (threads.size() < 2) return;
+
+  // --- unbalanced barriers: provable per-threadlet totals must agree ---
+  if (filter.on("barrier")) {
+    bool all_known = true;
+    for (const ThreadSummary& t : threads)
+      all_known = all_known && t.has_reachable_halt &&
+                  t.exit_bar.kind == BarCount::kKnown;
+    if (all_known) {
+      for (std::size_t t = 1; t < threads.size(); ++t) {
+        if (threads[t].exit_bar.n == threads[0].exit_bar.n) continue;
+        Finding f;
+        f.check = "barrier";
+        f.severity = Severity::kError;
+        f.workload = par.name;
+        f.phase = phase.label;
+        f.thread = static_cast<int>(t);
+        f.program = threads[t].program;
+        f.message = "unbalanced barriers: threadlet executes " +
+                    std::to_string(threads[t].exit_bar.n) +
+                    " barrier(s) but threadlet 0 (" + threads[0].program +
+                    ") executes " + std::to_string(threads[0].exit_bar.n) +
+                    " — the phase deadlocks";
+        out.push_back(std::move(f));
+      }
+    }
+  }
+
+  // --- cross-threadlet races: proven same-epoch overlapping footprints ---
+  if (!filter.on("race")) return;
+  for (std::size_t a = 0; a < threads.size(); ++a) {
+    for (std::size_t b = a + 1; b < threads.size(); ++b) {
+      for (const Access& wa : threads[a].accesses) {
+        if (!wa.exact || wa.epoch.kind != BarCount::kKnown) continue;
+        for (const Access& ab : threads[b].accesses) {
+          if (!ab.exact || ab.epoch.kind != BarCount::kKnown) continue;
+          if (!wa.write && !ab.write) continue;  // read-read never races
+          if (wa.epoch.n != ab.epoch.n) continue;  // barrier-separated
+          if (!footprints_overlap(wa, ab)) continue;
+          Finding f;
+          f.check = "race";
+          f.severity = Severity::kError;
+          f.workload = par.name;
+          f.phase = phase.label;
+          f.thread = static_cast<int>(a);
+          f.program = threads[a].program;
+          f.pc = static_cast<std::int64_t>(wa.pc);
+          f.message =
+              std::string(wa.write && ab.write ? "write-write"
+                                               : "read-write") +
+              " overlap with threadlet " + std::to_string(b) + " (" +
+              threads[b].program + " pc " + std::to_string(ab.pc) +
+              ") in barrier epoch " + std::to_string(wa.epoch.n) +
+              ": bytes [" + std::to_string(wa.lo) + ", " +
+              std::to_string(wa.hi()) + ") vs [" + std::to_string(ab.lo) +
+              ", " + std::to_string(ab.hi()) + ")";
+          out.push_back(std::move(f));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CheckInfo> check_infos() {
+  return {
+      {"structure",
+       "CFG and phase-shape malformations (bad branch targets, fall-off-"
+       "end, serial phases with several programs, vector ops in scalar-"
+       "thread phases)"},
+      {"regfile",
+       "register indices outside the architectural files; writes to the "
+       "conventional zero register s0"},
+      {"def-before-use",
+       "scalar/vector/mask registers read before any write reaches them"},
+      {"vl-discipline",
+       "vector ops with VL never set; strip-mine loops decrementing by a "
+       "stale VL; silent setvl clamps above MVL"},
+      {"barrier",
+       "barriers under divergent control flow; threadlets of a phase with "
+       "provably unequal barrier counts"},
+      {"race",
+       "cross-threadlet write-write / read-write footprint overlap within "
+       "one barrier epoch (stride/interval effective-address analysis)"},
+      {"isa-table",
+       "opcode table closure: every opcode has a complete, consistent "
+       "OpInfo entry"},
+      {"isa-disasm", "disassembler renders every opcode's mnemonic"},
+      {"isa-exec",
+       "executor has functional semantics for every opcode and accounts "
+       "every vector element"},
+  };
+}
+
+std::vector<Finding> analyze(const machine::ParallelProgram& prog,
+                             const AnalysisOptions& opts) {
+  std::vector<Finding> out;
+  CheckFilter filter{&opts};
+
+  for (const machine::Phase& phase : prog.phases) {
+    if (phase.programs.empty()) {
+      if (filter.on("structure")) {
+        Finding f;
+        f.check = "structure";
+        f.severity = Severity::kError;
+        f.workload = prog.name;
+        f.phase = phase.label;
+        f.message = "phase has no programs";
+        out.push_back(std::move(f));
+      }
+      continue;
+    }
+    if (phase.mode == machine::PhaseMode::kSerial &&
+        phase.programs.size() != 1 && filter.on("structure")) {
+      Finding f;
+      f.check = "structure";
+      f.severity = Severity::kError;
+      f.workload = prog.name;
+      f.phase = phase.label;
+      f.message = "serial phase must have exactly one program, has " +
+                  std::to_string(phase.programs.size());
+      out.push_back(std::move(f));
+    }
+
+    unsigned phase_mvl = opts.machine_mvl;
+    if (phase.mode == machine::PhaseMode::kVectorThreads &&
+        phase.nthreads() > 0)
+      phase_mvl = std::max(1u, opts.machine_mvl / phase.nthreads());
+
+    std::vector<ThreadSummary> threads;
+    threads.reserve(phase.programs.size());
+    for (unsigned t = 0; t < phase.nthreads(); ++t) {
+      ProgramAnalysis pa(prog, phase, t, opts, phase_mvl, out);
+      threads.push_back(pa.run());
+    }
+    cross_thread_checks(prog, phase, threads, filter, out);
+  }
+  return out;
+}
+
+}  // namespace vlt::analysis

@@ -1,0 +1,77 @@
+// vltlint check suite: static analysis over phase-structured programs.
+//
+// analyze() runs every program-level check against one workload build (a
+// machine::ParallelProgram) and returns findings; check_isa_tables() (in
+// table_checks.cpp) covers the opcode-metadata closure absorbed from the
+// old tools/isa_lint. docs/LINT.md documents each check, the finding JSON
+// schema, and the suppression mechanism.
+//
+// Program-level checks (stable ids):
+//
+//   structure       CFG / phase-shape malformations: branch targets outside
+//                   the text, execution falling off the end, serial phases
+//                   with more than one program, empty programs, vector
+//                   instructions in scalar-thread (lane/SU) phases
+//   regfile         register indices outside the architectural files, and
+//                   writes to s0 (conventional zero, kernel_util.hpp)
+//   def-before-use  scalar / vector / mask registers read before any write
+//                   on some path (hardware zeroes them, so this simulates —
+//                   but almost always means a missing initialization)
+//   vl-discipline   vector instructions reachable with VL never set; strip-
+//                   mine loops that decrement their trip counter by a VL
+//                   set outside the loop (stale VL overruns the tail); and
+//                   straight-line setvl of a known constant above MVL whose
+//                   silent clamp the program never re-checks
+//   barrier         barriers or halts reachable with a path-dependent
+//                   barrier count (barrier under divergent control flow),
+//                   and threadlets of one phase whose provable barrier
+//                   counts disagree (unbalanced barrier: deadlock)
+//   race            cross-threadlet write-write / read-write overlap: a
+//                   stride/interval analysis of effective addresses flags
+//                   accesses from different threadlets of one phase that
+//                   provably touch the same bytes in the same barrier epoch
+//
+// The analyses are conservative in the quiet direction: a fact that cannot
+// be proven (loop-varying address, data-dependent barrier count) produces
+// no finding. The acceptance bar is zero findings on well-formed programs,
+// so every reported finding is actionable.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/findings.hpp"
+#include "common/types.hpp"
+#include "machine/phase.hpp"
+
+namespace vlt::analysis {
+
+struct AnalysisOptions {
+  /// Architectural MVL of the undivided vector unit. Vector-thread phases
+  /// analyze each threadlet against mvl / nthreads, mirroring
+  /// VectorUnit::max_vl_per_ctx().
+  unsigned machine_mvl = kMaxVectorLength;
+  /// When non-empty, only checks named here run (ids listed above).
+  std::vector<std::string> only;
+};
+
+/// Name + one-line description of one check, for `vltlint --list-checks`.
+struct CheckInfo {
+  const char* name;
+  const char* description;
+};
+
+/// Every check id the analyzer knows, program-level first, then the
+/// opcode-metadata closure checks.
+std::vector<CheckInfo> check_infos();
+
+/// Runs all (or opts.only) program-level checks over one workload build.
+std::vector<Finding> analyze(const machine::ParallelProgram& prog,
+                             const AnalysisOptions& opts = {});
+
+/// Opcode-metadata closure: table completeness/consistency ("isa-table"),
+/// disassembler coverage ("isa-disasm"), and executor semantics coverage
+/// ("isa-exec"). Absorbs tools/isa_lint, which is now a thin wrapper.
+std::vector<Finding> check_isa_tables();
+
+}  // namespace vlt::analysis

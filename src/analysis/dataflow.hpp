@@ -1,0 +1,80 @@
+// Generic forward dataflow engine over analysis::Cfg.
+//
+// A Domain supplies the abstract state and its operations:
+//
+//   struct Domain {
+//     struct State { ... };
+//     State boundary() const;                  // entry-block in-state
+//     State top() const;                       // pre-join identity
+//     void transfer(State& s, const isa::Instruction& inst,
+//                   std::uint64_t pc) const;   // one instruction, in place
+//     // Joins `from` into `into`; `back_edge` is true when the value
+//     // flows along a loop back edge (domains use this to widen
+//     // loop-varying facts instead of reporting divergence).
+//     void join(State& into, const State& from, bool back_edge) const;
+//     bool equal(const State& a, const State& b) const;
+//   };
+//
+// solve() iterates a worklist in reverse-postorder-ish block order until
+// the block in-states reach a fixed point, then returns them. Callers
+// replay transfer() over a block's instructions to observe the state at
+// any pc (see checks.cpp). Termination is the domain's responsibility:
+// joins must be monotone on a finite-height lattice.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+
+namespace vlt::analysis {
+
+template <typename Domain>
+struct DataflowResult {
+  /// Fixed-point state at entry to each block (index = block id).
+  /// Unreachable blocks keep the domain's top() value.
+  std::vector<typename Domain::State> block_in;
+};
+
+template <typename Domain>
+DataflowResult<Domain> solve(const Cfg& cfg, const Domain& dom) {
+  const std::size_t nb = cfg.blocks.size();
+  DataflowResult<Domain> res;
+  res.block_in.assign(nb, dom.top());
+  res.block_in[0] = dom.boundary();
+
+  std::vector<bool> back(nb * nb, false);
+  for (const Cfg::Edge& e : cfg.back_edges) back[e.from * nb + e.to] = true;
+
+  std::deque<std::size_t> work;
+  std::vector<bool> queued(nb, false);
+  work.push_back(0);
+  queued[0] = true;
+
+  while (!work.empty()) {
+    const std::size_t b = work.front();
+    work.pop_front();
+    queued[b] = false;
+
+    typename Domain::State out = res.block_in[b];
+    const BasicBlock& blk = cfg.blocks[b];
+    for (std::uint64_t pc = blk.begin; pc < blk.end; ++pc)
+      dom.transfer(out, cfg.program->code()[pc], pc);
+
+    for (std::size_t s : blk.succs) {
+      typename Domain::State merged = res.block_in[s];
+      dom.join(merged, out, back[b * nb + s]);
+      if (!dom.equal(merged, res.block_in[s])) {
+        res.block_in[s] = std::move(merged);
+        if (!queued[s]) {
+          work.push_back(s);
+          queued[s] = true;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+}  // namespace vlt::analysis

@@ -1,0 +1,70 @@
+#include "analysis/findings.hpp"
+
+namespace vlt::analysis {
+
+const char* severity_name(Severity s) {
+  return s == Severity::kError ? "error" : "warning";
+}
+
+Json Finding::to_json() const {
+  Json j = Json::object();
+  j.set("check", check);
+  j.set("severity", severity_name(severity));
+  j.set("workload", workload);
+  j.set("phase", phase);
+  if (thread >= 0) j.set("thread", thread);
+  j.set("program", program);
+  if (pc >= 0) j.set("pc", static_cast<std::int64_t>(pc));
+  j.set("message", message);
+  return j;
+}
+
+std::string Finding::to_string() const {
+  std::string site = workload.empty() ? std::string("<isa>") : workload;
+  if (!phase.empty()) site += "/" + phase;
+  if (!program.empty()) site += "/" + program;
+  if (pc >= 0) site += "@" + std::to_string(pc);
+  return check + "(" + severity_name(severity) + ") " + site + ": " + message;
+}
+
+bool Suppression::parse(const std::string& text, Suppression& out) {
+  std::size_t at = text.find('@');
+  out.check = text.substr(0, at);
+  out.workload = at == std::string::npos ? "" : text.substr(at + 1);
+  return !out.check.empty();
+}
+
+bool Suppression::matches(const Finding& f) const {
+  if (check != "*" && check != f.check) return false;
+  return workload.empty() || workload == f.workload;
+}
+
+std::vector<Finding> apply_suppressions(std::vector<Finding> findings,
+                                        const std::vector<Suppression>& sup,
+                                        std::size_t* suppressed) {
+  if (suppressed != nullptr) *suppressed = 0;
+  if (sup.empty()) return findings;
+  std::vector<Finding> kept;
+  kept.reserve(findings.size());
+  for (Finding& f : findings) {
+    bool drop = false;
+    for (const Suppression& s : sup) drop = drop || s.matches(f);
+    if (drop) {
+      if (suppressed != nullptr) ++*suppressed;
+    } else {
+      kept.push_back(std::move(f));
+    }
+  }
+  return kept;
+}
+
+Json findings_to_json(const std::vector<Finding>& findings) {
+  Json arr = Json::array();
+  for (const Finding& f : findings) arr.push_back(f.to_json());
+  Json j = Json::object();
+  j.set("findings", std::move(arr));
+  j.set("count", static_cast<std::uint64_t>(findings.size()));
+  return j;
+}
+
+}  // namespace vlt::analysis

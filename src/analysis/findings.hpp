@@ -1,0 +1,63 @@
+// Lint findings: the structured result of every vltlint check.
+//
+// A finding pins one defect to a (workload, phase, threadlet, pc) site and
+// names the check that produced it, so suppressions can target exactly one
+// check class — or one check on one program — without silencing the rest.
+// The JSON shape is documented in docs/LINT.md and is the contract for the
+// CI lint artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace vlt::analysis {
+
+enum class Severity : std::uint8_t {
+  kError,    // the program is malformed; simulating it is meaningless
+  kWarning,  // suspicious shape that simulates but likely not as intended
+};
+
+const char* severity_name(Severity s);
+
+struct Finding {
+  std::string check;     // stable check id, e.g. "def-before-use"
+  Severity severity = Severity::kError;
+  std::string workload;  // workload / ParallelProgram name ("" for table checks)
+  std::string phase;     // phase label ("" when not program-scoped)
+  int thread = -1;       // threadlet index within the phase (-1: n/a)
+  std::string program;   // isa::Program name ("" when not program-scoped)
+  std::int64_t pc = -1;  // instruction slot (-1: whole-program finding)
+  std::string message;
+
+  /// Deterministic object: {check, severity, workload, phase, thread,
+  /// program, pc, message}; thread/pc omitted when unset.
+  Json to_json() const;
+
+  /// One-line human rendering: "check(severity) workload/phase/program@pc: msg".
+  std::string to_string() const;
+};
+
+/// A suppression entry: a check id, optionally scoped to one workload with
+/// "check@workload" (e.g. "barrier@fault.barrier"). "*" matches any check.
+struct Suppression {
+  std::string check;
+  std::string workload;  // empty: any workload
+
+  /// Parses "check" or "check@workload"; returns false on an empty check.
+  static bool parse(const std::string& text, Suppression& out);
+  bool matches(const Finding& f) const;
+};
+
+/// Drops findings matched by any suppression; returns the kept findings
+/// and (optionally) counts the dropped ones.
+std::vector<Finding> apply_suppressions(std::vector<Finding> findings,
+                                        const std::vector<Suppression>& sup,
+                                        std::size_t* suppressed = nullptr);
+
+/// Deterministic JSON report: {"findings": [...], "count": N}.
+Json findings_to_json(const std::vector<Finding>& findings);
+
+}  // namespace vlt::analysis

@@ -1,0 +1,142 @@
+// Opcode-metadata closure checks (absorbed from the old tools/isa_lint).
+//
+// Three passes over every opcode: the OpInfo table must be complete and
+// internally consistent ("isa-table"), the disassembler must render every
+// mnemonic ("isa-disasm"), and the executor must have functional semantics
+// that account every vector element ("isa-exec"). The table is a positional
+// aggregate — deleting an entry shifts the initializers and value-
+// initializes the tail, which the first pass catches as a missing name.
+#include <set>
+#include <string>
+
+#include "analysis/checks.hpp"
+#include "common/error.hpp"
+#include "func/arch_state.hpp"
+#include "func/executor.hpp"
+#include "func/memory.hpp"
+#include "isa/disasm.hpp"
+#include "isa/opcode.hpp"
+
+namespace vlt::analysis {
+
+namespace {
+
+Finding table_finding(const char* check, std::string msg) {
+  Finding f;
+  f.check = check;
+  f.severity = Severity::kError;
+  f.message = std::move(msg);
+  return f;
+}
+
+}  // namespace
+
+std::vector<Finding> check_isa_tables() {
+  using isa::Opcode;
+  std::vector<Finding> out;
+  const auto fail = [&out](const char* check, std::string msg) {
+    out.push_back(table_finding(check, std::move(msg)));
+  };
+
+  // --- isa-table: every opcode has a complete, consistent OpInfo entry ---
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < isa::kNumOpcodes; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    const isa::OpInfo& info = isa::op_info(op);
+    if (info.name == nullptr || info.name[0] == '\0') {
+      fail("isa-table",
+           "opcode " + std::to_string(i) +
+               " has no table entry (name missing) — was an initializer "
+               "removed from kTable?");
+      continue;
+    }
+    if (info.latency == 0)
+      fail("isa-table", std::string(info.name) + ": latency entry is zero");
+    if (!names.insert(info.name).second)
+      fail("isa-table",
+           std::string(info.name) + ": duplicate mnemonic in the table");
+
+    const bool vec_kind = info.kind == isa::OpKind::kVecArith ||
+                          info.kind == isa::OpKind::kVecRed ||
+                          info.kind == isa::OpKind::kVecMem;
+    const bool vec_fu = info.fu == isa::FuClass::kVAlu0 ||
+                        info.fu == isa::FuClass::kVAlu1 ||
+                        info.fu == isa::FuClass::kVAlu2 ||
+                        info.fu == isa::FuClass::kVMem;
+    if (vec_kind != vec_fu)
+      fail("isa-table",
+           std::string(info.name) +
+               ": vector kind and functional-unit class disagree");
+    if (info.kind == isa::OpKind::kVecMem && info.fu != isa::FuClass::kVMem)
+      fail("isa-table",
+           std::string(info.name) + ": vector memory op not on the vLSU");
+  }
+
+  // --- isa-disasm: every opcode renders its mnemonic ---
+  for (std::size_t i = 0; i < isa::kNumOpcodes; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    const isa::OpInfo& info = isa::op_info(op);
+    if (info.name == nullptr) continue;  // already reported above
+    isa::Instruction inst;
+    inst.op = op;
+    std::string text = isa::disassemble(inst);
+    if (text.empty() || text.find(info.name) == std::string::npos)
+      fail("isa-disasm",
+           std::string(info.name) +
+               ": disassembly does not render the mnemonic (got '" + text +
+               "')");
+  }
+
+  // --- isa-exec: every opcode has functional semantics ---
+  // Execute each opcode once from a zeroed state. A missing switch case
+  // falls through to the executor's invalid-opcode SimError, reported as a
+  // finding rather than a crash. Vector semantics must account for every
+  // element (res.elems == VL).
+  func::FuncMemory mem;
+  func::Executor exec(mem);
+  std::vector<Addr> addrs;
+  const unsigned kVl = 4;
+  for (std::size_t i = 0; i < isa::kNumOpcodes; ++i) {
+    const Opcode op = static_cast<Opcode>(i);
+    const isa::OpInfo& info = isa::op_info(op);
+    if (info.name == nullptr) continue;
+    func::ArchState st;
+    st.set_vl(kVl);
+    st.set_pc(8);
+    func::ExecContext ctx{/*tid=*/0, /*nthreads=*/1, /*max_vl=*/kVl};
+    isa::Instruction inst;
+    inst.op = op;
+    func::ExecResult res;
+    try {
+      res = exec.execute(inst, st, ctx, addrs);
+    } catch (const SimError& e) {
+      fail("isa-exec", std::string(info.name) +
+                           ": executor has no semantics (" + e.message() +
+                           ")");
+      continue;
+    }
+
+    const bool vec = isa::is_vector(op);
+    if (vec && res.elems != kVl)
+      fail("isa-exec", std::string(info.name) + ": executor accounted " +
+                           std::to_string(res.elems) + " elements for VL " +
+                           std::to_string(kVl));
+    if (!vec && res.elems != 0)
+      fail("isa-exec", std::string(info.name) + ": scalar op reported " +
+                           std::to_string(res.elems) + " vector elements");
+    if (isa::is_mem(op) && vec && addrs.size() != kVl)
+      fail("isa-exec", std::string(info.name) +
+                           ": vector memory op produced " +
+                           std::to_string(addrs.size()) +
+                           " addresses for VL " + std::to_string(kVl));
+    if (op == Opcode::kHalt && !res.halted)
+      fail("isa-exec", "halt: executor did not halt");
+    if (res.next_pc == 8 && op != Opcode::kJr)
+      fail("isa-exec",
+           std::string(info.name) + ": executor did not advance the pc");
+  }
+
+  return out;
+}
+
+}  // namespace vlt::analysis

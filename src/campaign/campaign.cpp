@@ -366,8 +366,11 @@ RunSet Campaign::run(const SweepSpec& spec) const {
 
 RunSet run_or_die(const SweepSpec& spec) {
   CampaignOptions opts;
+  // Read before the worker pool exists; nothing mutates the environment.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* t = std::getenv("VLTSWEEP_THREADS"))
     opts.threads = static_cast<unsigned>(std::strtoul(t, nullptr, 10));
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   if (const char* c = std::getenv("VLTSWEEP_CACHE")) opts.cache_dir = c;
   try {
     RunSet set = Campaign(opts).run(spec);

@@ -146,6 +146,7 @@ bool LaneCore::issue_one(Cycle now) {
     lockstep_->on_execute(ectx_.tid, inst, pc_, res, addr_scratch_, arch_,
                           now);
   committed_.inc();
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only, env never mutated
   static const bool trace = std::getenv("VLT_LANE_TRACE") != nullptr;
   if (trace && ectx_.tid == 1 && committed_.value() > 2000 && committed_.value() < 2100)
     std::fprintf(stderr, "[lane%u] t=%llu pc=%llu %s\n", ectx_.tid,

@@ -222,6 +222,7 @@ bool VectorUnit::try_issue(Ctx& c, WinEntry& e, Cycle now,
   ++mutations_;
   ++c.mutations;
   // Debug issue trace, enabled with VLT_TRACE=1 in the environment.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): read-only, env never mutated
   static const bool trace = std::getenv("VLT_TRACE") != nullptr;
   if (trace && insts_issued_.value() < 200)
     std::fprintf(stderr,

@@ -3,6 +3,8 @@
 // on.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -237,10 +239,12 @@ TEST(Campaign, LookupByTypedKey) {
 class CampaignCacheTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // The pid keeps concurrent ctest processes apart: heap addresses
+    // alone collide under sanitizer allocators, which are near-
+    // deterministic across identical processes.
     dir_ = fs::temp_directory_path() /
-           ("vltsweep-cache-test-" +
-            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
-            "-" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+           ("vltsweep-cache-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)));
     fs::remove_all(dir_);
   }
   void TearDown() override { fs::remove_all(dir_); }

@@ -5,6 +5,8 @@
 
 #include "expect_sim_error.hpp"
 
+#include <unistd.h>
+
 #include <csignal>
 #include <filesystem>
 #include <fstream>
@@ -231,10 +233,12 @@ TEST(CampaignGuard, DuplicateCellStillThrowsBeforeRunning) {
 class GuardFsTest : public ::testing::Test {
  protected:
   void SetUp() override {
+    // The pid keeps concurrent ctest processes apart: heap addresses
+    // alone collide under sanitizer allocators, which are near-
+    // deterministic across identical processes.
     dir_ = fs::temp_directory_path() /
-           ("vltguard-test-" +
-            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
-            "-" + std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+           ("vltguard-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)));
     fs::remove_all(dir_);
     fs::create_directories(dir_);
   }

@@ -1,0 +1,469 @@
+// vltlint check suite: each seeded-defect fixture must produce exactly the
+// finding its defect class predicts — and only that finding — while every
+// stock workload build stays clean. The fixtures double as the living
+// specification of what each check fires on (docs/LINT.md).
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hpp"
+#include "analysis/checks.hpp"
+#include "analysis/findings.hpp"
+#include "isa/program.hpp"
+#include "machine/phase.hpp"
+#include "workloads/workload.hpp"
+
+namespace vlt::analysis {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+using isa::ProgramBuilder;
+using machine::ParallelProgram;
+using machine::Phase;
+using machine::PhaseMode;
+
+ParallelProgram wrap(std::vector<isa::Program> programs,
+                     PhaseMode mode = PhaseMode::kVectorThreads) {
+  ParallelProgram par;
+  par.name = "fixture";
+  Phase phase;
+  phase.label = "p0";
+  phase.mode = mode;
+  phase.programs = std::move(programs);
+  par.phases.push_back(std::move(phase));
+  return par;
+}
+
+ParallelProgram wrap1(isa::Program prog,
+                      PhaseMode mode = PhaseMode::kSerial) {
+  std::vector<isa::Program> v;
+  v.push_back(std::move(prog));
+  return wrap(std::move(v), mode);
+}
+
+std::vector<std::string> checks_of(const std::vector<Finding>& fs) {
+  std::vector<std::string> out;
+  out.reserve(fs.size());
+  for (const Finding& f : fs) out.push_back(f.check);
+  return out;
+}
+
+std::string render(const std::vector<Finding>& fs) {
+  std::string s;
+  for (const Finding& f : fs) s += f.to_string() + "\n";
+  return s;
+}
+
+/// Asserts the analysis reports exactly one finding, of `check`, with
+/// `severity`.
+void expect_single(const ParallelProgram& par, const std::string& check,
+                   Severity severity) {
+  std::vector<Finding> fs = analyze(par);
+  ASSERT_EQ(fs.size(), 1u) << render(fs);
+  EXPECT_EQ(fs[0].check, check) << render(fs);
+  EXPECT_EQ(fs[0].severity, severity) << render(fs);
+}
+
+// --- clean programs produce no findings ------------------------------------
+
+TEST(Lint, CleanStripMineLoopIsQuiet) {
+  ProgramBuilder b("clean");
+  const RegIdx sN = 1, sA = 2, sV = 3, sT = 4;
+  b.li(sN, 100);
+  b.li(sA, 0x1000);
+  auto loop = b.label();
+  auto done = b.label();
+  b.bind(loop);
+  b.beq(sN, 0, done);
+  b.setvl(sV, sN);
+  b.vload(10, sA);
+  b.vadd(11, 10, 10);
+  b.vstore(11, sA);
+  b.sub(sN, sN, sV);
+  b.slli(sT, sV, 3);
+  b.add(sA, sA, sT);
+  b.jump(loop);
+  b.bind(done);
+  b.halt();
+  EXPECT_TRUE(analyze(wrap1(b.build())).empty());
+}
+
+TEST(Lint, AllStockWorkloadVariantsAreClean) {
+  const std::vector<workloads::Variant> sweep = {
+      workloads::Variant::base(), workloads::Variant::vector_threads(2),
+      workloads::Variant::vector_threads(4),
+      workloads::Variant::lane_threads(8),
+      workloads::Variant::su_threads(4)};
+  for (const std::string& name : workloads::workload_names()) {
+    workloads::WorkloadPtr w = workloads::make_workload(name);
+    for (const workloads::Variant& v : sweep) {
+      if (!w->supports(v.kind)) continue;
+      std::vector<Finding> fs = analyze(w->build(v));
+      EXPECT_TRUE(fs.empty())
+          << name << ":" << v.to_string() << "\n" << render(fs);
+    }
+  }
+}
+
+TEST(Lint, IsaTablesAreClosed) {
+  EXPECT_TRUE(check_isa_tables().empty());
+}
+
+// --- def-before-use ---------------------------------------------------------
+
+TEST(Lint, ScalarReadBeforeWrite) {
+  ProgramBuilder b("ubd");
+  b.li(2, 7);
+  b.addi(1, 5, 1);  // s5 never written
+  b.halt();
+  expect_single(wrap1(b.build()), "def-before-use", Severity::kError);
+}
+
+TEST(Lint, VectorReadBeforeWrite) {
+  ProgramBuilder b("vubd");
+  b.setvlmax(1);
+  b.vadd(2, 2, 2);  // v2 never written
+  b.halt();
+  std::vector<Finding> fs = analyze(wrap1(b.build()));
+  ASSERT_EQ(fs.size(), 1u) << render(fs);
+  EXPECT_EQ(fs[0].check, "def-before-use");
+}
+
+TEST(Lint, MaskReadBeforeCompare) {
+  ProgramBuilder b("mask");
+  b.setvlmax(1);
+  b.viota(1);
+  b.vmerge(2, 1, 1);  // no compare ever wrote the mask
+  b.halt();
+  expect_single(wrap1(b.build()), "def-before-use", Severity::kError);
+}
+
+TEST(Lint, ZeroingIdiomIsADefNotAUse) {
+  ProgramBuilder b("zeroing");
+  b.xor_(5, 5, 5);  // idiomatic zeroing of an unwritten register
+  b.sub(6, 6, 6);
+  b.addi(1, 5, 1);
+  b.add(2, 6, 1);
+  b.halt();
+  EXPECT_TRUE(analyze(wrap1(b.build())).empty());
+}
+
+// --- vl-discipline ----------------------------------------------------------
+
+TEST(Lint, VectorOpWithoutSetvl) {
+  ProgramBuilder b("novl");
+  b.viota(1);  // VL is 0: the op does nothing
+  b.halt();
+  expect_single(wrap1(b.build()), "vl-discipline", Severity::kError);
+}
+
+TEST(Lint, SetvlAboveMvlOutsideLoop) {
+  ProgramBuilder b("clamp");
+  b.li(1, 100);   // > MVL 64, straight-line: the clamp silently truncates
+  b.setvl(2, 1);
+  b.viota(3);
+  b.halt();
+  expect_single(wrap1(b.build()), "vl-discipline", Severity::kWarning);
+}
+
+TEST(Lint, StripMineDecrementByStaleVl) {
+  ProgramBuilder b("stale");
+  const RegIdx sN = 1, sV = 2;
+  b.li(sN, 50);
+  b.setvl(sV, sN);  // set once, outside the loop
+  auto loop = b.label();
+  auto done = b.label();
+  b.bind(loop);
+  b.beq(sN, 0, done);
+  b.viota(10);
+  b.sub(sN, sN, sV);  // decrements by the stale (pre-loop) VL
+  b.jump(loop);
+  b.bind(done);
+  b.halt();
+  expect_single(wrap1(b.build()), "vl-discipline", Severity::kError);
+}
+
+// --- barrier protocol -------------------------------------------------------
+
+TEST(Lint, UnbalancedBarrierAcrossThreadlets) {
+  ProgramBuilder t0("t0");
+  t0.barrier();
+  t0.halt();
+  ProgramBuilder t1("t1");
+  t1.halt();  // never arrives: deadlock
+  std::vector<isa::Program> progs;
+  progs.push_back(t0.build());
+  progs.push_back(t1.build());
+  expect_single(wrap(std::move(progs), PhaseMode::kLaneThreads), "barrier",
+                Severity::kError);
+}
+
+TEST(Lint, BarrierUnderDivergentControlFlow) {
+  ProgramBuilder b("divergent");
+  auto skip = b.label();
+  b.tid(1);
+  b.beq(1, 0, skip);
+  b.barrier();  // only non-zero tids arrive
+  b.bind(skip);
+  b.halt();
+  std::vector<isa::Program> progs;
+  progs.push_back(b.build());
+  expect_single(wrap(std::move(progs), PhaseMode::kLaneThreads), "barrier",
+                Severity::kError);
+}
+
+TEST(Lint, BarrierInLoopIsQuiet) {
+  // Loop-varying barrier counts are ordinary (radix runs barriers inside
+  // its pass loop); only forward-join divergence is a defect.
+  const auto make = [](const std::string& name) {
+    ProgramBuilder b(name);
+    const RegIdx sI = 1, sN = 2;
+    b.li(sI, 0);
+    b.li(sN, 4);
+    auto loop = b.label();
+    auto done = b.label();
+    b.bind(loop);
+    b.bge(sI, sN, done);
+    b.barrier();
+    b.addi(sI, sI, 1);
+    b.jump(loop);
+    b.bind(done);
+    b.halt();
+    return b.build();
+  };
+  std::vector<isa::Program> progs;
+  progs.push_back(make("t0"));
+  progs.push_back(make("t1"));
+  // Both threadlets run the same loop; exit counts are loop-dependent, so
+  // the conservative analysis stays quiet.
+  EXPECT_TRUE(
+      analyze(wrap(std::move(progs), PhaseMode::kLaneThreads)).empty());
+}
+
+// --- cross-threadlet races --------------------------------------------------
+
+isa::Program store_to(const std::string& name, std::int64_t addr) {
+  ProgramBuilder b(name);
+  b.li(1, addr);
+  b.li(2, 7);
+  b.store(1, 2);
+  b.halt();
+  return b.build();
+}
+
+TEST(Lint, OverlappingScalarStoresRace) {
+  std::vector<isa::Program> progs;
+  progs.push_back(store_to("t0", 0x1000));
+  progs.push_back(store_to("t1", 0x1000));
+  expect_single(wrap(std::move(progs), PhaseMode::kLaneThreads), "race",
+                Severity::kError);
+}
+
+TEST(Lint, DisjointStoresDoNotRace) {
+  std::vector<isa::Program> progs;
+  progs.push_back(store_to("t0", 0x1000));
+  progs.push_back(store_to("t1", 0x2000));
+  EXPECT_TRUE(
+      analyze(wrap(std::move(progs), PhaseMode::kLaneThreads)).empty());
+}
+
+TEST(Lint, OverlappingVectorStoresRace) {
+  const auto vec_store = [](const std::string& name, std::int64_t addr) {
+    ProgramBuilder b(name);
+    b.li(1, 32);
+    b.setvl(2, 1);
+    b.viota(3);
+    b.vstore(3, 1, static_cast<std::int32_t>(addr - 32));
+    b.halt();
+    return b.build();
+  };
+  std::vector<isa::Program> progs;
+  progs.push_back(vec_store("t0", 0x1000));
+  progs.push_back(vec_store("t1", 0x1000 + 8));  // 8-byte shift: overlaps
+  expect_single(wrap(std::move(progs), PhaseMode::kVectorThreads), "race",
+                Severity::kError);
+}
+
+TEST(Lint, BarrierSeparatedAccessesDoNotRace) {
+  // t0 writes in epoch 0, t1 writes the same bytes in epoch 1: the barrier
+  // orders them.
+  ProgramBuilder t0("t0");
+  t0.li(1, 0x1000);
+  t0.li(2, 7);
+  t0.store(1, 2);
+  t0.barrier();
+  t0.halt();
+  ProgramBuilder t1("t1");
+  t1.barrier();
+  t1.li(1, 0x1000);
+  t1.li(2, 9);
+  t1.store(1, 2);
+  t1.halt();
+  std::vector<isa::Program> progs;
+  progs.push_back(t0.build());
+  progs.push_back(t1.build());
+  EXPECT_TRUE(
+      analyze(wrap(std::move(progs), PhaseMode::kLaneThreads)).empty());
+}
+
+// --- regfile and structure --------------------------------------------------
+
+TEST(Lint, WriteToS0) {
+  ProgramBuilder b("s0");
+  b.li(0, 5);  // s0 is the conventional zero register
+  b.halt();
+  expect_single(wrap1(b.build()), "regfile", Severity::kError);
+}
+
+TEST(Lint, BranchTargetOutsideProgram) {
+  std::vector<Instruction> code;
+  code.push_back({Opcode::kBeq, 0, 0, 0, /*imm=*/100, 0});  // way past end
+  code.push_back({Opcode::kHalt, 0, 0, 0, 0, 0});
+  isa::Program prog("badbr", std::move(code), 0x10000000);
+  expect_single(wrap1(std::move(prog)), "structure", Severity::kError);
+}
+
+TEST(Lint, ExecutionFallsOffEnd) {
+  std::vector<Instruction> code;
+  code.push_back({Opcode::kLi, 1, 0, 0, 1, 0});  // no halt
+  isa::Program prog("felloff", std::move(code), 0x10000000);
+  expect_single(wrap1(std::move(prog)), "structure", Severity::kError);
+}
+
+TEST(Lint, SerialPhaseWithTwoPrograms) {
+  ProgramBuilder a("a");
+  a.halt();
+  ProgramBuilder b("b");
+  b.halt();
+  std::vector<isa::Program> progs;
+  progs.push_back(a.build());
+  progs.push_back(b.build());
+  expect_single(wrap(std::move(progs), PhaseMode::kSerial), "structure",
+                Severity::kError);
+}
+
+TEST(Lint, VectorOpInLaneThreadPhase) {
+  ProgramBuilder b("vecinlane");
+  b.setvlmax(1);
+  b.viota(2);  // lane cores have no vector datapath
+  b.halt();
+  std::vector<isa::Program> progs;
+  progs.push_back(b.build());
+  expect_single(wrap(std::move(progs), PhaseMode::kLaneThreads), "structure",
+                Severity::kError);
+}
+
+// --- fault injectors are flagged -------------------------------------------
+
+TEST(Lint, FaultBarrierInjectorIsFlagged) {
+  workloads::WorkloadPtr w = workloads::find_workload("fault.barrier");
+  ASSERT_NE(w, nullptr);
+  std::vector<Finding> fs =
+      analyze(w->build(workloads::Variant::lane_threads(8)));
+  ASSERT_FALSE(fs.empty());
+  for (const Finding& f : fs) EXPECT_EQ(f.check, "barrier") << render(fs);
+}
+
+TEST(Lint, FaultInvariantInjectorIsFlagged) {
+  workloads::WorkloadPtr w = workloads::find_workload("fault.invariant");
+  ASSERT_NE(w, nullptr);
+  std::vector<Finding> fs = analyze(w->build(workloads::Variant::base()));
+  ASSERT_EQ(fs.size(), 1u) << render(fs);
+  EXPECT_EQ(fs[0].check, "structure");
+}
+
+// --- options, suppressions, and the report ---------------------------------
+
+TEST(Lint, OnlyFilterRestrictsChecks) {
+  ProgramBuilder b("multi");
+  b.li(0, 5);      // regfile
+  b.addi(1, 5, 1); // def-before-use
+  b.halt();
+  AnalysisOptions opts;
+  opts.only = {"regfile"};
+  std::vector<Finding> fs = analyze(wrap1(b.build()), opts);
+  ASSERT_EQ(fs.size(), 1u) << render(fs);
+  EXPECT_EQ(fs[0].check, "regfile");
+}
+
+TEST(Lint, SuppressionsDropByCheckAndWorkload) {
+  Finding f1;
+  f1.check = "barrier";
+  f1.workload = "fault.barrier";
+  Finding f2;
+  f2.check = "race";
+  f2.workload = "other";
+
+  Suppression by_check;
+  ASSERT_TRUE(Suppression::parse("barrier", by_check));
+  std::size_t dropped = 0;
+  std::vector<Finding> kept =
+      apply_suppressions({f1, f2}, {by_check}, &dropped);
+  EXPECT_EQ(dropped, 1u);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].check, "race");
+
+  Suppression scoped;
+  ASSERT_TRUE(Suppression::parse("barrier@elsewhere", scoped));
+  kept = apply_suppressions({f1, f2}, {scoped}, &dropped);
+  EXPECT_EQ(dropped, 0u);
+  EXPECT_EQ(kept.size(), 2u);
+
+  Suppression wildcard;
+  ASSERT_TRUE(Suppression::parse("*", wildcard));
+  kept = apply_suppressions({f1, f2}, {wildcard}, &dropped);
+  EXPECT_EQ(dropped, 2u);
+  EXPECT_TRUE(kept.empty());
+}
+
+TEST(Lint, FindingJsonShape) {
+  Finding f;
+  f.check = "race";
+  f.severity = Severity::kError;
+  f.workload = "w";
+  f.phase = "p";
+  f.thread = 1;
+  f.program = "t1";
+  f.pc = 3;
+  f.message = "m";
+  const std::string json = findings_to_json({f}).dump(0);
+  EXPECT_NE(json.find("\"check\": \"race\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"severity\": \"error\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos) << json;
+}
+
+TEST(Lint, CheckInfosCoverEveryEmittedId) {
+  std::vector<std::string> names;
+  for (const CheckInfo& c : check_infos()) names.push_back(c.name);
+  for (const char* id :
+       {"structure", "regfile", "def-before-use", "vl-discipline", "barrier",
+        "race", "isa-table", "isa-disasm", "isa-exec"})
+    EXPECT_NE(std::find(names.begin(), names.end(), id), names.end()) << id;
+}
+
+// --- CFG construction -------------------------------------------------------
+
+TEST(Lint, CfgFindsLoopStructure) {
+  ProgramBuilder b("loop");
+  const RegIdx sI = 1, sN = 2;
+  b.li(sI, 0);
+  b.li(sN, 4);
+  auto loop = b.label();
+  auto done = b.label();
+  b.bind(loop);
+  b.bge(sI, sN, done);
+  b.addi(sI, sI, 1);
+  b.jump(loop);
+  b.bind(done);
+  b.halt();
+  isa::Program prog = b.build();
+  Cfg cfg = build_cfg(prog);
+  ASSERT_EQ(cfg.back_edges.size(), 1u);
+  const Cfg::Edge& e = cfg.back_edges[0];
+  EXPECT_TRUE(cfg.dominates(e.to, e.from));
+  EXPECT_TRUE(cfg.in_loop(e, /*pc of bge*/ 2));
+  EXPECT_FALSE(cfg.in_loop(e, /*pc of halt*/ prog.size() - 1));
+  EXPECT_TRUE(cfg.bad_branch_pcs.empty());
+}
+
+}  // namespace
+}  // namespace vlt::analysis

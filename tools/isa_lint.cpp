@@ -1,144 +1,30 @@
-// Build-time ISA lint: statically verifies that the opcode table is closed.
-//
-// Every opcode must have a table entry (name, functional unit, latency),
-// a disassembly, and functional semantics in the executor. The table is a
-// positional aggregate — deleting an entry shifts the initializers and
-// value-initializes the tail, which this tool catches as a missing name.
-// Runs under ctest; a non-zero exit fails the build's test stage.
+// isa_lint — thin wrapper over the analyzer's opcode-metadata closure
+// checks (analysis::check_isa_tables). Kept as its own binary so the
+// long-standing `isa_lint` ctest name survives; the checks themselves
+// live in src/analysis/table_checks.cpp and also run under `vltlint`.
 #include <cstdio>
-#include <cstring>
-#include <set>
-#include <string>
 
+#include "analysis/checks.hpp"
 #include "common/error.hpp"
-#include "func/arch_state.hpp"
-#include "func/executor.hpp"
-#include "func/memory.hpp"
-#include "isa/disasm.hpp"
 #include "isa/opcode.hpp"
-
-namespace {
-
-int failures = 0;
-
-void fail(const std::string& what) {
-  std::fprintf(stderr, "isa_lint: %s\n", what.c_str());
-  ++failures;
-}
-
-int run_main();
-
-}  // namespace
 
 int main() {
   try {
-    return run_main();
+    std::vector<vlt::analysis::Finding> findings =
+        vlt::analysis::check_isa_tables();
+    for (const vlt::analysis::Finding& f : findings)
+      std::fprintf(stderr, "isa_lint: %s\n", f.to_string().c_str());
+    if (findings.empty()) {
+      std::printf(
+          "isa_lint: %zu opcodes verified (table, disasm, executor)\n",
+          vlt::isa::kNumOpcodes);
+      return 0;
+    }
+    std::fprintf(stderr, "isa_lint: %zu failure(s)\n", findings.size());
+    return 1;
   } catch (const vlt::SimError& e) {
-    // E.g. the executor's invalid-opcode check for an opcode with no
-    // semantics — a lint failure, reported in the simulator's fatal shape.
     std::fprintf(stderr, "vltsim fatal: %s:%d: %s\n", e.file(), e.line(),
                  e.message().c_str());
     return 3;
   }
 }
-
-namespace {
-
-int run_main() {
-  using namespace vlt;
-  using isa::Opcode;
-
-  // --- table closure: every opcode has a complete OpInfo entry ---
-  std::set<std::string> names;
-  for (std::size_t i = 0; i < isa::kNumOpcodes; ++i) {
-    const Opcode op = static_cast<Opcode>(i);
-    const isa::OpInfo& info = isa::op_info(op);
-    if (info.name == nullptr || info.name[0] == '\0') {
-      fail("opcode " + std::to_string(i) +
-           " has no table entry (name missing) — was an initializer "
-           "removed from kTable?");
-      continue;
-    }
-    if (info.latency == 0)
-      fail(std::string(info.name) + ": latency entry is zero");
-    if (!names.insert(info.name).second)
-      fail(std::string(info.name) + ": duplicate mnemonic in the table");
-
-    // FU-class / kind consistency.
-    const bool vec_kind = info.kind == isa::OpKind::kVecArith ||
-                          info.kind == isa::OpKind::kVecRed ||
-                          info.kind == isa::OpKind::kVecMem;
-    const bool vec_fu = info.fu == isa::FuClass::kVAlu0 ||
-                        info.fu == isa::FuClass::kVAlu1 ||
-                        info.fu == isa::FuClass::kVAlu2 ||
-                        info.fu == isa::FuClass::kVMem;
-    if (vec_kind != vec_fu)
-      fail(std::string(info.name) +
-           ": vector kind and functional-unit class disagree");
-    if (info.kind == isa::OpKind::kVecMem && info.fu != isa::FuClass::kVMem)
-      fail(std::string(info.name) + ": vector memory op not on the vLSU");
-  }
-
-  // --- disassembler closure: every opcode renders its mnemonic ---
-  for (std::size_t i = 0; i < isa::kNumOpcodes; ++i) {
-    const Opcode op = static_cast<Opcode>(i);
-    const isa::OpInfo& info = isa::op_info(op);
-    if (info.name == nullptr) continue;  // already reported above
-    isa::Instruction inst;
-    inst.op = op;
-    std::string text = isa::disassemble(inst);
-    if (text.empty() || text.find(info.name) == std::string::npos)
-      fail(std::string(info.name) +
-           ": disassembly does not render the mnemonic (got '" + text + "')");
-  }
-
-  // --- executor closure: every opcode has functional semantics ---
-  // Execute each opcode once from a zeroed state. A missing switch case
-  // falls through to the executor's invalid-opcode check, whose SimError
-  // exits this tool through the fatal handler — ctest reports the nonzero
-  // exit as a failure. Vector semantics must account for every element
-  // (res.elems == VL).
-  func::FuncMemory mem;
-  func::Executor exec(mem);
-  std::vector<Addr> addrs;
-  const unsigned kVl = 4;
-  for (std::size_t i = 0; i < isa::kNumOpcodes; ++i) {
-    const Opcode op = static_cast<Opcode>(i);
-    const isa::OpInfo& info = isa::op_info(op);
-    if (info.name == nullptr) continue;
-    func::ArchState st;
-    st.set_vl(kVl);
-    st.set_pc(8);
-    func::ExecContext ctx{/*tid=*/0, /*nthreads=*/1, /*max_vl=*/kVl};
-    isa::Instruction inst;
-    inst.op = op;
-    func::ExecResult res = exec.execute(inst, st, ctx, addrs);
-
-    const bool vec = isa::is_vector(op);
-    if (vec && res.elems != kVl)
-      fail(std::string(info.name) + ": executor accounted " +
-           std::to_string(res.elems) + " elements for VL " +
-           std::to_string(kVl));
-    if (!vec && res.elems != 0)
-      fail(std::string(info.name) + ": scalar op reported " +
-           std::to_string(res.elems) + " vector elements");
-    if (isa::is_mem(op) && vec && addrs.size() != kVl)
-      fail(std::string(info.name) + ": vector memory op produced " +
-           std::to_string(addrs.size()) + " addresses for VL " +
-           std::to_string(kVl));
-    if (op == Opcode::kHalt && !res.halted)
-      fail("halt: executor did not halt");
-    if (res.next_pc == 8 && op != Opcode::kJr)
-      fail(std::string(info.name) + ": executor did not advance the pc");
-  }
-
-  if (failures == 0) {
-    std::printf("isa_lint: %zu opcodes verified (table, disasm, executor)\n",
-                isa::kNumOpcodes);
-    return 0;
-  }
-  std::fprintf(stderr, "isa_lint: %d failure(s)\n", failures);
-  return 1;
-}
-
-}  // namespace

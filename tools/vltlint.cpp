@@ -1,0 +1,192 @@
+// vltlint — static analyzer for VLT phase-structured programs.
+//
+//   vltlint [workload...] [--variant V]... [--only CHECK]...
+//           [--suppress CHECK[@WORKLOAD]]... [--json] [--table-only]
+//           [--no-table] [--list-checks] [--list]
+//
+// With no workloads named, lints all nine applications across every
+// variant each one supports (base, vlt2, vlt4, lanes8, su4), plus the
+// opcode-metadata closure. Checks, the finding JSON schema, and the
+// suppression syntax are documented in docs/LINT.md.
+//
+// Exit codes: 0 no findings, 1 findings reported, 2 usage,
+// 3 internal error.
+#include <algorithm>
+#include <cstdio>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "analysis/checks.hpp"
+#include "common/error.hpp"
+#include "workloads/workload.hpp"
+
+using namespace vlt;
+using workloads::Variant;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vltlint [workload...] [--variant V]... [--only CHECK]...\n"
+      "               [--suppress CHECK[@WORKLOAD]]... [--json]\n"
+      "               [--table-only] [--no-table] [--list-checks] [--list]\n"
+      "  workloads: all nine applications plus fault.* injectors\n"
+      "             (default: the nine applications)\n"
+      "  variants:  %s (default: every variant the workload supports)\n"
+      "  --only CHECK:      run only the named check (repeatable)\n"
+      "  --suppress SPEC:   drop findings of CHECK, or CHECK@WORKLOAD\n"
+      "                     to scope to one workload; '*' matches any\n"
+      "                     check (repeatable)\n"
+      "  --json:            machine-readable report on stdout\n"
+      "  --table-only:      only the opcode-metadata closure checks\n"
+      "  --no-table:        skip the opcode-metadata closure checks\n"
+      "  --list-checks:     print every check id with its description\n"
+      "  --list:            print the default workload set\n",
+      Variant::spec_help().c_str());
+}
+
+/// The canonical variant sweep: one spelling of each decomposition kind at
+/// the paper's headline thread counts. Workloads filter by supports().
+std::vector<Variant> canonical_variants() {
+  return {Variant::base(), Variant::vector_threads(2),
+          Variant::vector_threads(4), Variant::lane_threads(8),
+          Variant::su_threads(4)};
+}
+
+int run_main(int argc, char** argv) {
+  std::vector<std::string> workload_names;
+  std::vector<Variant> variants;
+  std::vector<analysis::Suppression> suppressions;
+  analysis::AnalysisOptions opts;
+  bool json = false;
+  bool table_only = false;
+  bool no_table = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--list-checks") {
+      for (const analysis::CheckInfo& c : analysis::check_infos())
+        std::printf("%-16s %s\n", c.name, c.description);
+      return 0;
+    }
+    if (arg == "--list") {
+      for (const std::string& n : workloads::workload_names())
+        std::printf("%s\n", n.c_str());
+      return 0;
+    }
+    if (arg == "--variant" && i + 1 < argc) {
+      std::string err;
+      std::optional<Variant> parsed = Variant::parse(argv[++i], &err);
+      if (!parsed) {
+        std::fprintf(stderr, "vltlint: %s\n", err.c_str());
+        return 2;
+      }
+      variants.push_back(*parsed);
+    } else if (arg == "--only" && i + 1 < argc) {
+      opts.only.push_back(argv[++i]);
+    } else if (arg == "--suppress" && i + 1 < argc) {
+      analysis::Suppression s;
+      if (!analysis::Suppression::parse(argv[++i], s)) {
+        std::fprintf(stderr,
+                     "vltlint: --suppress expects CHECK or CHECK@WORKLOAD, "
+                     "got '%s'\n", argv[i]);
+        return 2;
+      }
+      suppressions.push_back(std::move(s));
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--table-only") {
+      table_only = true;
+    } else if (arg == "--no-table") {
+      no_table = true;
+    } else if (!arg.empty() && arg[0] != '-') {
+      workload_names.push_back(arg);
+    } else {
+      usage();
+      return 2;
+    }
+  }
+  if (table_only && no_table) {
+    std::fprintf(stderr, "vltlint: --table-only and --no-table conflict\n");
+    return 2;
+  }
+
+  std::vector<analysis::Finding> findings;
+
+  if (!table_only) {
+    if (workload_names.empty()) workload_names = workloads::workload_names();
+    const std::vector<Variant> sweep =
+        variants.empty() ? canonical_variants() : variants;
+
+    for (const std::string& name : workload_names) {
+      workloads::WorkloadPtr w = workloads::find_workload(name);
+      if (w == nullptr) {
+        std::fprintf(stderr, "vltlint: unknown workload '%s'\n",
+                     name.c_str());
+        return 2;
+      }
+      bool any = false;
+      for (const Variant& v : sweep) {
+        if (!w->supports(v.kind)) continue;
+        any = true;
+        machine::ParallelProgram prog = w->build(v);
+        // Qualify the name with the variant so a finding names the exact
+        // build it came from.
+        prog.name = name + ":" + v.to_string();
+        std::vector<analysis::Finding> fs = analysis::analyze(prog, opts);
+        findings.insert(findings.end(),
+                        std::make_move_iterator(fs.begin()),
+                        std::make_move_iterator(fs.end()));
+      }
+      if (!any && !variants.empty())
+        std::fprintf(stderr,
+                     "vltlint: %s supports none of the requested variants "
+                     "(skipped)\n", name.c_str());
+    }
+  }
+
+  if (!no_table) {
+    std::vector<analysis::Finding> fs = analysis::check_isa_tables();
+    for (analysis::Finding& f : fs) {
+      const bool keep =
+          opts.only.empty() ||
+          std::find(opts.only.begin(), opts.only.end(), f.check) !=
+              opts.only.end();
+      if (keep) findings.push_back(std::move(f));
+    }
+  }
+
+  std::size_t suppressed = 0;
+  findings =
+      analysis::apply_suppressions(std::move(findings), suppressions,
+                                   &suppressed);
+
+  if (json) {
+    Json report = analysis::findings_to_json(findings);
+    report.set("suppressed", static_cast<std::uint64_t>(suppressed));
+    std::printf("%s\n", report.dump(1).c_str());
+  } else {
+    for (const analysis::Finding& f : findings)
+      std::printf("%s\n", f.to_string().c_str());
+    std::printf("vltlint: %zu finding(s)%s\n", findings.size(),
+                suppressed > 0
+                    ? (" (" + std::to_string(suppressed) + " suppressed)")
+                          .c_str()
+                    : "");
+  }
+  return findings.empty() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const vlt::SimError& e) {
+    std::fprintf(stderr, "vltlint fatal: %s:%d: %s\n", e.file(), e.line(),
+                 e.message().c_str());
+    return 3;
+  }
+}

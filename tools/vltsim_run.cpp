@@ -19,6 +19,7 @@
 #include <cstring>
 #include <string>
 
+#include "analysis/checks.hpp"
 #include "campaign/campaign.hpp"
 #include "machine/area_model.hpp"
 #include "machine/simulator.hpp"
@@ -37,7 +38,7 @@ void usage() {
       stderr,
       "usage: vltsim_run <workload> [--config NAME] [--variant V] "
       "[--lanes N] [--cycle-limit N] [--no-skip] [--json] [--audit] "
-      "[--trace FILE] [--list]\n"
+      "[--lint] [--trace FILE] [--list]\n"
       "  workloads: mxm sage mpenc trfd multprec bt radix ocean barnes\n"
       "  configs:  %s\n"
       "  variants: %s\n"
@@ -49,6 +50,8 @@ void usage() {
       "  --json:    print the run result as JSON (schema: RunResult)\n"
       "  --audit:   per-cycle invariant checks + lockstep co-simulation\n"
       "             (fails with a diagnostic on the first violation)\n"
+      "  --lint:    run the vltlint static checks over the built program\n"
+      "             before simulating; findings fail the run (docs/LINT.md)\n"
       "  --trace FILE: write structured events (vector dispatch, VIQ\n"
       "             handoff, barrier arrive/release, L2 misses) as Chrome\n"
       "             trace_event JSON (chrome://tracing, docs/METRICS.md)\n",
@@ -69,6 +72,7 @@ int run_main(int argc, char** argv) {
   bool audit = false;
   bool json = false;
   bool no_skip = false;
+  bool lint = false;
   std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -117,6 +121,8 @@ int run_main(int argc, char** argv) {
       no_skip = true;
     } else if (arg == "--audit") {
       audit = true;
+    } else if (arg == "--lint") {
+      lint = true;
     } else if (arg == "--json") {
       json = true;
     } else if (arg == "--trace" && i + 1 < argc) {
@@ -171,6 +177,19 @@ int run_main(int argc, char** argv) {
                  "contexts/lanes)\n",
                  cfg.name.c_str(), variant.to_string().c_str());
     return 1;
+  }
+
+  if (lint) {
+    machine::ParallelProgram built = workload->build(variant);
+    std::vector<analysis::Finding> findings = analysis::analyze(built);
+    if (!findings.empty()) {
+      for (const analysis::Finding& f : findings)
+        std::fprintf(stderr, "vltsim_run: lint: %s\n", f.to_string().c_str());
+      std::fprintf(stderr,
+                   "vltsim_run: %zu lint finding(s); refusing to simulate "
+                   "a malformed program\n", findings.size());
+      return 1;
+    }
   }
 
   machine::RunResult r;
