@@ -8,6 +8,7 @@
 #include "analysis/cfg.hpp"
 #include "analysis/dataflow.hpp"
 #include "isa/disasm.hpp"
+#include "isa/rvv/rvv.hpp"
 
 namespace vlt::analysis {
 
@@ -297,6 +298,31 @@ class AbsDomain {
         s.vl_val = vconst(mvl_);
         set_scalar(inst.rd, s.vl_val, static_cast<std::int32_t>(pc));
         return;
+      case Opcode::kVsetvli: {
+        // RVV 1.0: VL <- min(AVL, VLMAX(vtype)). AVL comes from rs1 when
+        // rs1 != x0, is VLMAX itself when rs1 == x0 and rd != x0, and
+        // keeps the current VL when both are x0. An unsupported vtype is
+        // vill: VL becomes 0 (and rd, when written, 0).
+        const std::int64_t vm = static_cast<std::int64_t>(
+            isa::rvv::vlmax(mvl_, static_cast<std::uint32_t>(inst.imm)));
+        Value vl = vtop();
+        if (vm == 0) {
+          vl = vconst(0);
+        } else if (inst.rs1 != 0) {
+          // AVL is unsigned: a known negative register value is a huge
+          // AVL, which the hardware clamps to VLMAX.
+          if (a.known) vl = vconst(a.v < 0 ? vm : std::min(a.v, vm));
+        } else if (inst.rd != 0) {
+          vl = vconst(vm);
+        } else if (s.vl_val.known && s.vl_val.v >= 0) {
+          vl = vconst(std::min(s.vl_val.v, vm));  // keep vl, re-clamped
+        }
+        s.vl_set = Tri::kYes;
+        s.vl_val = vl;
+        if (inst.rd != 0)
+          set_scalar(inst.rd, vl, static_cast<std::int32_t>(pc));
+        return;
+      }
       default:
         break;
     }
@@ -509,6 +535,8 @@ Access ProgramAnalysis::footprint_of(const AbsState& st,
       return acc;
     case Opcode::kVload:
     case Opcode::kVstore:
+    case Opcode::kVle:
+    case Opcode::kVse:
       if (base.known && st.vl_val.known && st.vl_val.v >= 0) {
         acc.exact = true;
         acc.lo = static_cast<Addr>(base.v + inst.imm);
@@ -631,6 +659,16 @@ void ProgramAnalysis::visit(const AbsState& st, const Instruction& inst,
       // request the full remaining count); see run().
       pending_setvl_clamp_ = true;
   }
+  if (inst.op == Opcode::kVsetvli && inst.rs1 != 0 &&
+      inst.rs1 < kNumScalarRegs) {
+    // Same silent-clamp heuristic under RVV semantics: the request clamps
+    // to VLMAX(vtype), not the raw partition MVL. The rs1 == x0 form is
+    // exempt — requesting VLMAX is the architectural idiom, not a bug.
+    const std::int64_t vm = static_cast<std::int64_t>(
+        isa::rvv::vlmax(mvl_, static_cast<std::uint32_t>(inst.imm)));
+    const Value req = st.sreg[inst.rs1].val;
+    if (vm > 0 && req.known && req.v > vm) pending_setvl_clamp_ = true;
+  }
 
   // --- barrier divergence ---
   if ((inst.op == Opcode::kBarrier || inst.op == Opcode::kHalt) &&
@@ -697,7 +735,8 @@ void ProgramAnalysis::summarize_strip_mine_loops(
         const Instruction& inst = prog_.code()[pc];
         if (isa::is_vector(inst.op)) has_vector = true;
         if (inst.op == Opcode::kBarrier) has_barrier = true;
-        if (inst.op == Opcode::kSetvl || inst.op == Opcode::kSetvlMax)
+        if (inst.op == Opcode::kSetvl || inst.op == Opcode::kSetvlMax ||
+            inst.op == Opcode::kVsetvli)
           setvl_pcs.push_back(pc);
         dom.transfer(st, inst, pc);
       }
@@ -725,10 +764,15 @@ void ProgramAnalysis::summarize_strip_mine_loops(
                    isa::disassemble(inst));
         continue;
       }
+      // The in-loop set-VL may be either frontend's clamping form: VLT
+      // setvl or RVV vsetvli (whose AVL is the same counter; its clamp to
+      // VLMAX plays MAXVL's role).
+      const Instruction& sv = prog_.code()[setvl_pcs.empty() ? 0
+                                                             : setvl_pcs[0]];
       if (setvl_pcs.size() == 1 && static_cast<std::uint64_t>(def) ==
                                         setvl_pcs[0] &&
-          prog_.code()[setvl_pcs[0]].op == Opcode::kSetvl &&
-          prog_.code()[setvl_pcs[0]].rs1 == inst.rd) {
+          (sv.op == Opcode::kSetvl || sv.op == Opcode::kVsetvli) &&
+          sv.rs1 == inst.rd) {
         pattern = true;
         counter = inst.rd;
         setvl_pc = setvl_pcs[0];
@@ -789,7 +833,9 @@ void ProgramAnalysis::summarize_strip_mine_loops(
       if (!in_loop_pc(static_cast<std::int64_t>(acc.pc)) || acc.exact)
         continue;
       const Instruction& inst = prog_.code()[acc.pc];
-      if (inst.op != Opcode::kVload && inst.op != Opcode::kVstore) continue;
+      if (inst.op != Opcode::kVload && inst.op != Opcode::kVstore &&
+          inst.op != Opcode::kVle && inst.op != Opcode::kVse)
+        continue;
       if (bumped.count(inst.rs1) == 0) continue;
       const Value p0 = entry.sreg[inst.rs1].val;
       if (!p0.known) continue;

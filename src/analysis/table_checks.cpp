@@ -1,11 +1,14 @@
 // Opcode-metadata closure checks (absorbed from the old tools/isa_lint).
 //
-// Three passes over every opcode: the OpInfo table must be complete and
-// internally consistent ("isa-table"), the disassembler must render every
-// mnemonic ("isa-disasm"), and the executor must have functional semantics
-// that account every vector element ("isa-exec"). The table is a positional
-// aggregate — deleting an entry shifts the initializers and value-
-// initializes the tail, which the first pass catches as a missing name.
+// One global pass plus two per-frontend passes: the shared OpInfo table
+// must be complete and internally consistent and every opcode must be
+// claimed by at least one ISA frontend ("isa-table"); each frontend must
+// render every opcode it owns ("isa-disasm"); and the executor must have
+// functional semantics for every opcode of every frontend, executed under
+// that frontend's ExecContext, accounting every vector element
+// ("isa-exec"). The table is a positional aggregate — deleting an entry
+// shifts the initializers and value-initializes the tail, which the first
+// pass catches as a missing name.
 #include <set>
 #include <string>
 
@@ -14,7 +17,7 @@
 #include "func/arch_state.hpp"
 #include "func/executor.hpp"
 #include "func/memory.hpp"
-#include "isa/disasm.hpp"
+#include "isa/isa.hpp"
 #include "isa/opcode.hpp"
 
 namespace vlt::analysis {
@@ -29,6 +32,8 @@ Finding table_finding(const char* check, std::string msg) {
   return f;
 }
 
+constexpr isa::IsaId kAllIsas[] = {isa::IsaId::kVlt, isa::IsaId::kRvv};
+
 }  // namespace
 
 std::vector<Finding> check_isa_tables() {
@@ -38,7 +43,8 @@ std::vector<Finding> check_isa_tables() {
     out.push_back(table_finding(check, std::move(msg)));
   };
 
-  // --- isa-table: every opcode has a complete, consistent OpInfo entry ---
+  // --- isa-table: every opcode has a complete, consistent OpInfo entry
+  // and belongs to at least one frontend ---
   std::set<std::string> names;
   for (std::size_t i = 0; i < isa::kNumOpcodes; ++i) {
     const Opcode op = static_cast<Opcode>(i);
@@ -70,24 +76,34 @@ std::vector<Finding> check_isa_tables() {
     if (info.kind == isa::OpKind::kVecMem && info.fu != isa::FuClass::kVMem)
       fail("isa-table",
            std::string(info.name) + ": vector memory op not on the vLSU");
+
+    bool claimed = false;
+    for (isa::IsaId id : kAllIsas)
+      if (isa::frontend(id).has_opcode(op)) claimed = true;
+    if (!claimed)
+      fail("isa-table",
+           std::string(info.name) + ": opcode belongs to no ISA frontend");
   }
 
-  // --- isa-disasm: every opcode renders its mnemonic ---
-  for (std::size_t i = 0; i < isa::kNumOpcodes; ++i) {
-    const Opcode op = static_cast<Opcode>(i);
-    const isa::OpInfo& info = isa::op_info(op);
-    if (info.name == nullptr) continue;  // already reported above
-    isa::Instruction inst;
-    inst.op = op;
-    std::string text = isa::disassemble(inst);
-    if (text.empty() || text.find(info.name) == std::string::npos)
-      fail("isa-disasm",
-           std::string(info.name) +
-               ": disassembly does not render the mnemonic (got '" + text +
-               "')");
+  // --- isa-disasm: every frontend renders each opcode it owns ---
+  for (isa::IsaId id : kAllIsas) {
+    const isa::IsaFrontend& fe = isa::frontend(id);
+    for (Opcode op : fe.opcodes()) {
+      const isa::OpInfo& info = isa::op_info(op);
+      if (info.name == nullptr) continue;  // already reported above
+      isa::Instruction inst;
+      inst.op = op;
+      std::string text = fe.disasm(inst);
+      if (text.empty() || text.find(info.name) == std::string::npos)
+        fail("isa-disasm",
+             std::string(fe.name()) + ": " + info.name +
+                 ": disassembly does not render the mnemonic (got '" + text +
+                 "')");
+    }
   }
 
-  // --- isa-exec: every opcode has functional semantics ---
+  // --- isa-exec: every opcode of every frontend has functional semantics,
+  // executed under that frontend's context ---
   // Execute each opcode once from a zeroed state. A missing switch case
   // falls through to the executor's invalid-opcode SimError, reported as a
   // finding rather than a crash. Vector semantics must account for every
@@ -96,44 +112,48 @@ std::vector<Finding> check_isa_tables() {
   func::Executor exec(mem);
   std::vector<Addr> addrs;
   const unsigned kVl = 4;
-  for (std::size_t i = 0; i < isa::kNumOpcodes; ++i) {
-    const Opcode op = static_cast<Opcode>(i);
-    const isa::OpInfo& info = isa::op_info(op);
-    if (info.name == nullptr) continue;
-    func::ArchState st;
-    st.set_vl(kVl);
-    st.set_pc(8);
-    func::ExecContext ctx{/*tid=*/0, /*nthreads=*/1, /*max_vl=*/kVl};
-    isa::Instruction inst;
-    inst.op = op;
-    func::ExecResult res;
-    try {
-      res = exec.execute(inst, st, ctx, addrs);
-    } catch (const SimError& e) {
-      fail("isa-exec", std::string(info.name) +
-                           ": executor has no semantics (" + e.message() +
-                           ")");
-      continue;
-    }
+  for (isa::IsaId id : kAllIsas) {
+    const isa::IsaFrontend& fe = isa::frontend(id);
+    for (Opcode op : fe.opcodes()) {
+      const isa::OpInfo& info = isa::op_info(op);
+      if (info.name == nullptr) continue;
+      func::ArchState st;
+      st.set_vl(kVl);
+      st.set_pc(8);
+      func::ExecContext ctx{/*tid=*/0, /*nthreads=*/1, /*max_vl=*/kVl, id};
+      isa::Instruction inst;
+      inst.op = op;
+      func::ExecResult res;
+      try {
+        res = exec.execute(inst, st, ctx, addrs);
+      } catch (const SimError& e) {
+        fail("isa-exec", std::string(fe.name()) + ": " + info.name +
+                             ": executor has no semantics (" + e.message() +
+                             ")");
+        continue;
+      }
 
-    const bool vec = isa::is_vector(op);
-    if (vec && res.elems != kVl)
-      fail("isa-exec", std::string(info.name) + ": executor accounted " +
-                           std::to_string(res.elems) + " elements for VL " +
-                           std::to_string(kVl));
-    if (!vec && res.elems != 0)
-      fail("isa-exec", std::string(info.name) + ": scalar op reported " +
-                           std::to_string(res.elems) + " vector elements");
-    if (isa::is_mem(op) && vec && addrs.size() != kVl)
-      fail("isa-exec", std::string(info.name) +
-                           ": vector memory op produced " +
-                           std::to_string(addrs.size()) +
-                           " addresses for VL " + std::to_string(kVl));
-    if (op == Opcode::kHalt && !res.halted)
-      fail("isa-exec", "halt: executor did not halt");
-    if (res.next_pc == 8 && op != Opcode::kJr)
-      fail("isa-exec",
-           std::string(info.name) + ": executor did not advance the pc");
+      const bool vec = isa::is_vector(op);
+      if (vec && res.elems != kVl)
+        fail("isa-exec", std::string(fe.name()) + ": " + info.name +
+                             ": executor accounted " +
+                             std::to_string(res.elems) + " elements for VL " +
+                             std::to_string(kVl));
+      if (!vec && res.elems != 0)
+        fail("isa-exec", std::string(fe.name()) + ": " + info.name +
+                             ": scalar op reported " +
+                             std::to_string(res.elems) + " vector elements");
+      if (isa::is_mem(op) && vec && addrs.size() != kVl)
+        fail("isa-exec", std::string(fe.name()) + ": " + info.name +
+                             ": vector memory op produced " +
+                             std::to_string(addrs.size()) +
+                             " addresses for VL " + std::to_string(kVl));
+      if (op == Opcode::kHalt && !res.halted)
+        fail("isa-exec", "halt: executor did not halt");
+      if (res.next_pc == 8 && op != Opcode::kJr)
+        fail("isa-exec", std::string(fe.name()) + ": " + info.name +
+                             ": executor did not advance the pc");
+    }
   }
 
   return out;

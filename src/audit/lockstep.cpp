@@ -27,7 +27,7 @@ void Lockstep::begin_phase(const std::vector<ThreadSpec>& threads) {
     Shadow& s = threads_[t.tid];
     s.prog = t.program;
     s.arch.reset();
-    s.ectx = func::ExecContext{t.tid, t.nthreads, t.max_vl};
+    s.ectx = func::ExecContext{t.tid, t.nthreads, t.max_vl, t.program->isa()};
     s.pc = 0;
     s.halted = false;
   }

@@ -9,6 +9,7 @@
 #include "campaign/journal.hpp"
 #include "common/log.hpp"
 #include "func/memory.hpp"
+#include "isa/isa.hpp"
 #include "isa/opcode.hpp"
 
 namespace vlt::campaign {
@@ -55,7 +56,8 @@ std::size_t SweepSpec::add_grid(
     workloads::WorkloadPtr w = workloads::make_workload(name);
     for (const machine::MachineConfig& config : configs)
       for (const workloads::Variant& variant : variants) {
-        if (!w->supports(variant.kind) || !config_supports(config, variant))
+        if (!w->supports(variant.kind) || !w->supports_isa(config.isa) ||
+            !config_supports(config, variant))
           continue;
         add(config, name, variant);
         ++added;
@@ -71,7 +73,7 @@ namespace {
 std::uint64_t cell_cache_key(const Cell& cell,
                              const workloads::Workload& workload) {
   Digest d;
-  d.mix(std::string("vltsweep-cache-v2"));
+  d.mix(std::string("vltsweep-cache-v3"));
   d.mix(cell.config.fingerprint());
   d.mix(cell.variant.to_string());
   d.mix(workload.name());
@@ -80,7 +82,8 @@ std::uint64_t cell_cache_key(const Cell& cell,
   workload.init_memory(image);
   d.mix(image.content_hash());
 
-  machine::ParallelProgram prog = workload.build(cell.variant);
+  machine::ParallelProgram prog =
+      workload.build(cell.variant, cell.config.isa);
   d.mix(prog.phases.size());
   for (const machine::Phase& phase : prog.phases) {
     d.mix(phase.label);
@@ -146,7 +149,7 @@ std::size_t RunSet::failures() const {
 
 Json RunSet::to_json(bool include_wall) const {
   Json j = Json::object();
-  j.set("schema", "vltsweep-v3");
+  j.set("schema", "vltsweep-v4");
   j.set("cells", static_cast<std::uint64_t>(results_.size()));
   Json arr = Json::array();
   for (const machine::RunResult& r : results_) {
@@ -160,7 +163,7 @@ Json RunSet::to_json(bool include_wall) const {
 
 std::string RunSet::to_csv(bool include_wall) const {
   std::string out =
-      "workload,config,variant,status,verified,attempts,cycles,"
+      "workload,config,variant,isa,status,verified,attempts,cycles,"
       "opportunity_cycles,scalar_insts,vector_insts,element_ops,"
       "pct_vectorization,avg_vl,pct_opportunity,util_busy,util_partly_idle,"
       "util_stalled,util_all_idle,error";
@@ -169,9 +172,10 @@ std::string RunSet::to_csv(bool include_wall) const {
   for (const machine::RunResult& r : results_) {
     std::snprintf(
         buf, sizeof(buf),
-        "%s,%s,%s,%s,%d,%u,%llu,%llu,%llu,%llu,%llu,%.10g,%.10g,%.10g,%llu,"
-        "%llu,%llu,%llu,",
+        "%s,%s,%s,%s,%s,%d,%u,%llu,%llu,%llu,%llu,%llu,%.10g,%.10g,%.10g,"
+        "%llu,%llu,%llu,%llu,",
         r.workload.c_str(), r.config.c_str(), r.variant.c_str(),
+        r.isa.c_str(),
         machine::run_status_name(r.status), r.verified ? 1 : 0, r.attempts,
         static_cast<unsigned long long>(r.cycles),
         static_cast<unsigned long long>(r.opportunity_cycles),
@@ -230,6 +234,7 @@ machine::RunResult run_cell(const Cell& cell, const CampaignOptions& options) {
     res.workload = cell.workload;
     res.config = cell.config.name;
     res.variant = cell.variant.to_string();
+    res.isa = isa::isa_name(cell.config.isa);
     res.attempts = attempt;
     if (res.ok() || attempt > options.max_retries) return res;
   }
@@ -299,6 +304,7 @@ RunSet Campaign::run(const SweepSpec& spec) const {
         r.workload = cell.workload;
         r.config = cell.config.name;
         r.variant = cell.variant.to_string();
+        r.isa = isa::isa_name(cell.config.isa);
         r.status = machine::RunStatus::kSkipped;
         r.error = "not executed: fail-fast stopped the campaign";
         r.attempts = 0;
@@ -325,7 +331,8 @@ RunSet Campaign::run(const SweepSpec& spec) const {
             // ok results are trusted from the cache (failures re-run).
             if (cached && cached->ok() && cached->workload == cell.workload &&
                 cached->config == cell.config.name &&
-                cached->variant == cell.variant.to_string()) {
+                cached->variant == cell.variant.to_string() &&
+                cached->isa == isa::isa_name(cell.config.isa)) {
               set.results_[i] = std::move(*cached);
               hit = true;
             }

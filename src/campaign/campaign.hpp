@@ -38,7 +38,8 @@ struct Cell {
   std::function<workloads::WorkloadPtr()> make;
 
   RunKey key() const {
-    return RunKey{workload, config.name, variant.to_string()};
+    return RunKey{workload, config.name, variant.to_string(),
+                  isa::isa_name(config.isa)};
   }
 };
 
@@ -65,7 +66,9 @@ class SweepSpec {
 
   /// Adds the cross-product of configs × workloads × variants, keeping
   /// only cells where the workload supports the variant kind and the
-  /// config has the required hardware. Returns the number of cells added.
+  /// config's ISA frontend, and the config has the required hardware.
+  /// Sweeping the isa axis = passing configs with different `isa` fields.
+  /// Returns the number of cells added.
   std::size_t add_grid(const std::vector<machine::MachineConfig>& configs,
                        const std::vector<std::string>& workload_names,
                        const std::vector<workloads::Variant>& variants);
@@ -138,7 +141,7 @@ class RunSet {
   /// Cells replayed from the journal instead of executed (--resume).
   std::size_t resumed() const { return resumed_; }
 
-  /// Full campaign report: {"schema": "vltsweep-v3", "results":
+  /// Full campaign report: {"schema": "vltsweep-v4", "results":
   /// [RunResult...]}. Deterministic bytes for a given spec — the CI
   /// golden diff, the kill/resume byte-identity check, and the threads=1
   /// vs threads=N determinism test compare these directly. `include_wall`

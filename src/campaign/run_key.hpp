@@ -12,18 +12,25 @@ struct RunKey {
   std::string workload;
   std::string config;
   std::string variant;
+  /// ISA frontend name ("vlt"/"rvv"). Defaults to the seed frontend so
+  /// pre-multi-ISA keys (journals, digests) keep their meaning.
+  std::string isa = "vlt";
 
+  /// "workload/config/variant", with "/isa" appended only for non-VLT
+  /// frontends — keeps every pre-existing key string byte-identical.
   std::string to_string() const {
-    return workload + "/" + config + "/" + variant;
+    std::string s = workload + "/" + config + "/" + variant;
+    if (!isa.empty() && isa != "vlt") s += "/" + isa;
+    return s;
   }
 
   friend bool operator==(const RunKey& a, const RunKey& b) {
     return a.workload == b.workload && a.config == b.config &&
-           a.variant == b.variant;
+           a.variant == b.variant && a.isa == b.isa;
   }
   friend bool operator<(const RunKey& a, const RunKey& b) {
-    return std::tie(a.workload, a.config, a.variant) <
-           std::tie(b.workload, b.config, b.variant);
+    return std::tie(a.workload, a.config, a.variant, a.isa) <
+           std::tie(b.workload, b.config, b.variant, b.isa);
   }
 };
 

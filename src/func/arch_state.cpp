@@ -7,6 +7,7 @@ void ArchState::reset() {
   for (auto& v : vregs_) v.fill(0);
   mask_.reset();
   vl_ = 0;
+  vtype_ = isa::rvv::kVtypeE64M1;
   pc_ = 0;
 }
 

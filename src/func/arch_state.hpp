@@ -6,6 +6,7 @@
 #include <cstring>
 
 #include "common/types.hpp"
+#include "isa/rvv/rvv.hpp"
 
 namespace vlt::func {
 
@@ -59,6 +60,10 @@ class ArchState {
   unsigned vl() const { return vl_; }
   void set_vl(unsigned vl) { vl_ = vl; }
 
+  // vtype CSR (RVV frontend only; the VLT ISA never reads or writes it).
+  std::uint32_t vtype() const { return vtype_; }
+  void set_vtype(std::uint32_t vtype) { vtype_ = vtype; }
+
   bool mask(unsigned i) const { return mask_[i]; }
   void set_mask(unsigned i, bool v) { mask_[i] = v; }
   const std::bitset<kMaxVectorLength>& mask_bits() const { return mask_; }
@@ -73,6 +78,7 @@ class ArchState {
       vregs_;
   std::bitset<kMaxVectorLength> mask_;
   unsigned vl_ = 0;
+  std::uint32_t vtype_ = isa::rvv::kVtypeE64M1;
   std::uint64_t pc_ = 0;
 };
 

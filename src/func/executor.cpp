@@ -230,20 +230,18 @@ ExecResult Executor::execute(const Instruction& inst, ArchState& st,
       break;
     case Opcode::kMembar:
       break;  // ordering is a timing property; no functional effect
-    case Opcode::kSetvl: {
-      std::int64_t req = s_i(inst.rs1);
-      unsigned new_vl =
-          req <= 0 ? 0
-                   : std::min<std::uint64_t>(static_cast<std::uint64_t>(req),
-                                             ctx.max_vl);
-      st.set_vl(new_vl);
-      st.set_sreg(inst.rd, new_vl);
+    case Opcode::kSetvl:
+    case Opcode::kSetvlMax:
+    case Opcode::kVsetvli: {
+      // Set-VL semantics belong to the ISA frontend: the VLT clamp rules
+      // and the RVV vsetvli/vtype rules differ, and a program must only
+      // use its own frontend's set-VL family.
+      const isa::IsaFrontend& fe = isa::frontend(ctx.isa);
+      VLT_CHECK(fe.has_opcode(inst.op),
+                "set-VL opcode is not part of the program's ISA frontend");
+      fe.execute_setvl(inst, st, ctx);
       break;
     }
-    case Opcode::kSetvlMax:
-      st.set_vl(ctx.max_vl);
-      st.set_sreg(inst.rd, ctx.max_vl);
-      break;
 
     // --- vector integer ---
     case Opcode::kVadd:
@@ -431,7 +429,13 @@ ExecResult Executor::execute(const Instruction& inst, ArchState& st,
     }
 
     // --- vector memory ---
+    // kVle/kVse are the RVV unit-stride forms; same addressing as
+    // kVload/kVstore, but each spelling is only legal under its own
+    // frontend (checked below).
+    case Opcode::kVle:
     case Opcode::kVload:
+      VLT_CHECK(isa::frontend(ctx.isa).has_opcode(inst.op),
+                "vector load opcode is not part of the program's ISA frontend");
       for (unsigned i = 0; i < vl; ++i) {
         if (inst.masked() && !st.mask(i)) continue;
         Addr a = static_cast<Addr>(s_i(inst.rs1) + inst.imm) + 8 * i;
@@ -440,7 +444,10 @@ ExecResult Executor::execute(const Instruction& inst, ArchState& st,
       }
       res.elems = vl;
       break;
+    case Opcode::kVse:
     case Opcode::kVstore:
+      VLT_CHECK(isa::frontend(ctx.isa).has_opcode(inst.op),
+                "vector store opcode is not part of the program's ISA frontend");
       for (unsigned i = 0; i < vl; ++i) {
         if (inst.masked() && !st.mask(i)) continue;
         Addr a = static_cast<Addr>(s_i(inst.rs1) + inst.imm) + 8 * i;

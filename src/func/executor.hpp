@@ -7,16 +7,19 @@
 
 #include "func/arch_state.hpp"
 #include "func/memory.hpp"
+#include "isa/isa.hpp"
 #include "isa/opcode.hpp"
 
 namespace vlt::func {
 
-/// Per-context execution environment: thread identity and the hardware
-/// maximum vector length of the lane partition the context owns.
+/// Per-context execution environment: thread identity, the hardware
+/// maximum vector length of the lane partition the context owns, and the
+/// ISA frontend the running program was built for.
 struct ExecContext {
   ThreadId tid = 0;
   unsigned nthreads = 1;
   unsigned max_vl = kMaxVectorLength;
+  IsaId isa = IsaId::kVlt;
 };
 
 struct ExecResult {

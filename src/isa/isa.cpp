@@ -1,0 +1,102 @@
+#include "isa/isa.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "func/arch_state.hpp"
+#include "func/executor.hpp"
+#include "isa/disasm.hpp"
+#include "isa/rvv/rvv.hpp"
+
+namespace vlt::isa {
+
+const char* isa_name(IsaId id) {
+  switch (id) {
+    case IsaId::kVlt: return "vlt";
+    case IsaId::kRvv: return "rvv";
+  }
+  return "?";
+}
+
+std::optional<IsaId> isa_from_name(const std::string& name) {
+  if (name == "vlt") return IsaId::kVlt;
+  if (name == "rvv") return IsaId::kRvv;
+  return std::nullopt;
+}
+
+std::vector<std::string> isa_names() { return {"vlt", "rvv"}; }
+
+std::vector<Opcode> IsaFrontend::opcodes() const {
+  std::vector<Opcode> out;
+  for (std::size_t i = 0; i < kNumOpcodes; ++i) {
+    auto op = static_cast<Opcode>(i);
+    if (has_opcode(op)) out.push_back(op);
+  }
+  return out;
+}
+
+std::string IsaFrontend::disasm(const Instruction& inst) const {
+  // The shared renderer derives everything from the opcode tables, which
+  // already carry per-frontend mnemonics (vload vs vle64).
+  return disassemble(inst);
+}
+
+namespace {
+
+std::array<bool, kNumOpcodes> vlt_mask() {
+  std::array<bool, kNumOpcodes> m;
+  m.fill(true);
+  // The RVV frontend opcodes are not part of the seed VLT ISA.
+  for (Opcode op : {Opcode::kVsetvli, Opcode::kVle, Opcode::kVse})
+    m[static_cast<std::size_t>(op)] = false;
+  return m;
+}
+
+/// The seed Cray X1-flavored ISA: setvl clamps the (signed) request to
+/// the partition's hardware maximum, setvlmax selects it directly.
+class VltFrontend final : public IsaFrontend {
+ public:
+  VltFrontend() : IsaFrontend(vlt_mask()) {}
+
+  IsaId id() const override { return IsaId::kVlt; }
+
+  unsigned vlmax(unsigned max_vl, std::uint32_t /*vtype*/) const override {
+    return max_vl;
+  }
+
+  void execute_setvl(const Instruction& inst, func::ArchState& st,
+                     const func::ExecContext& ctx) const override {
+    switch (inst.op) {
+      case Opcode::kSetvl: {
+        std::int64_t req = st.sreg_i(inst.rs1);
+        unsigned new_vl =
+            req <= 0 ? 0
+                     : std::min<std::uint64_t>(
+                           static_cast<std::uint64_t>(req), ctx.max_vl);
+        st.set_vl(new_vl);
+        st.set_sreg(inst.rd, new_vl);
+        break;
+      }
+      case Opcode::kSetvlMax:
+        st.set_vl(ctx.max_vl);
+        st.set_sreg(inst.rd, ctx.max_vl);
+        break;
+      default:
+        VLT_CHECK(false, "vlt frontend asked to execute a foreign set-VL op");
+    }
+  }
+};
+
+}  // namespace
+
+const IsaFrontend& frontend(IsaId id) {
+  static const VltFrontend vlt;
+  switch (id) {
+    case IsaId::kVlt: return vlt;
+    case IsaId::kRvv: return rvv::rvv_frontend();
+  }
+  VLT_CHECK(false, "unknown IsaId");
+  return vlt;  // unreachable
+}
+
+}  // namespace vlt::isa

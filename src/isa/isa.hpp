@@ -1,0 +1,98 @@
+// Multi-ISA frontend layer (docs/ISA.md).
+//
+// The micro-op tables in opcode.hpp are shared infrastructure: every
+// frontend lowers to the same Instruction/OpInfo rows, so the timing
+// pipelines stay ISA-agnostic. What differs per ISA is the *architected*
+// surface — which opcodes programs may contain, how the vector length is
+// configured (setvl/setvlmax vs vsetvli/VLMAX/LMUL), and how instructions
+// render in disassembly. IsaFrontend captures exactly that seam; Program,
+// ExecContext, and MachineConfig carry an IsaId so the executor, the
+// static checks, and the campaign cache all know which frontend governs a
+// given instruction stream.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "isa/opcode.hpp"
+
+namespace vlt {
+
+/// Identity of an instruction-set frontend. Participates in
+/// MachineConfig::fingerprint(), campaign RunKeys, and RunResult
+/// serialization (schema vltsweep-v4; absent means kVlt).
+enum class IsaId : std::uint8_t {
+  kVlt,  // the Cray X1-inspired seed ISA (setvl/setvlmax)
+  kRvv,  // RISC-V Vector subset (vsetvli/VLMAX/LMUL, unit-stride e64)
+};
+
+inline constexpr std::size_t kNumIsas = 2;
+
+namespace func {
+class ArchState;
+struct ExecContext;
+}  // namespace func
+
+namespace isa {
+
+// Re-exported so frontend code can spell the id isa::IsaId alongside the
+// other isa:: types; vlt::IsaId is the canonical home (Program,
+// MachineConfig, ExecContext name it unqualified).
+using vlt::IsaId;
+
+/// Canonical lowercase name ("vlt", "rvv") used by CLIs, RunKeys, and
+/// serialization.
+const char* isa_name(IsaId id);
+/// Inverse of isa_name; nullopt on an unknown spelling.
+std::optional<IsaId> isa_from_name(const std::string& name);
+/// Every frontend name in IsaId order (usage text, sweep axes).
+std::vector<std::string> isa_names();
+
+/// One instruction-set frontend over the shared micro-op tables.
+class IsaFrontend {
+ public:
+  virtual ~IsaFrontend() = default;
+
+  virtual IsaId id() const = 0;
+  const char* name() const { return isa_name(id()); }
+
+  /// True when `op` belongs to this frontend's instruction set. O(1);
+  /// the executor consults this on its set-VL dispatch path.
+  bool has_opcode(Opcode op) const {
+    return mask_[static_cast<std::size_t>(op)];
+  }
+
+  /// Every opcode of the frontend, in table order (closure checks).
+  std::vector<Opcode> opcodes() const;
+
+  /// Disassembles one instruction of this frontend.
+  std::string disasm(const Instruction& inst) const;
+
+  /// Hardware VLMAX of a lane partition holding `max_vl` 64-bit elements
+  /// under the frontend's current VL configuration. `vtype` is the RVV
+  /// vtype CSR; the VLT frontend ignores it. 0 means the configuration is
+  /// unusable (RVV vill).
+  virtual unsigned vlmax(unsigned max_vl, std::uint32_t vtype) const = 0;
+
+  /// Executes one frontend-owned set-VL instruction (kSetvl/kSetvlMax for
+  /// VLT, kVsetvli for RVV), updating vl/vtype and the rd register. The
+  /// shared executor dispatches here and handles every other opcode
+  /// itself; callers guarantee has_opcode(inst.op).
+  virtual void execute_setvl(const Instruction& inst, func::ArchState& st,
+                             const func::ExecContext& ctx) const = 0;
+
+ protected:
+  explicit IsaFrontend(const std::array<bool, kNumOpcodes>& mask)
+      : mask_(mask) {}
+
+ private:
+  std::array<bool, kNumOpcodes> mask_;
+};
+
+/// Singleton frontend registry.
+const IsaFrontend& frontend(IsaId id);
+
+}  // namespace isa
+}  // namespace vlt

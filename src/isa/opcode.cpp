@@ -110,6 +110,9 @@ const OpInfo kTable[kNumOpcodes] = {
     /* kVstores  */ {"vstores", F::kVMem, 1, K::kVecMem, kR1 | kR2 | kST | kRD},
     /* kVgather  */ {"vgather", F::kVMem, 1, K::kVecMem, kR1 | kR2 | kWD | kLD},
     /* kVscatter */ {"vscatter", F::kVMem, 1, K::kVecMem, kR1 | kR2 | kST | kRD},
+    /* kVsetvli  */ {"vsetvli", F::kSIntAlu, 1, K::kSystem, kR1 | kWD},
+    /* kVle      */ {"vle64", F::kVMem, 1, K::kVecMem, kR1 | kWD | kLD},
+    /* kVse      */ {"vse64", F::kVMem, 1, K::kVecMem, kR1 | kST | kRD},
 };
 
 }  // namespace
@@ -134,6 +137,8 @@ RegList scalar_src_regs(const Instruction& inst) {
   switch (inst.op) {
     case Opcode::kVload:
     case Opcode::kVstore:
+    case Opcode::kVle:
+    case Opcode::kVse:
       out.push(inst.rs1);
       break;
     case Opcode::kVloads:
@@ -177,9 +182,11 @@ RegList vector_src_regs(const Instruction& inst) {
   switch (inst.op) {
     case Opcode::kVload:
     case Opcode::kVloads:
+    case Opcode::kVle:
       break;  // only scalar sources
     case Opcode::kVstore:
     case Opcode::kVstores:
+    case Opcode::kVse:
       out.push(inst.rd);  // store data
       break;
     case Opcode::kVgather:

@@ -69,6 +69,10 @@ enum class Opcode : std::uint8_t {
   // Gather/scatter: addr_i = s[rs1] + v[rs2][i]       (byte offsets)
   // For all vector stores the data source is v[rd].
   kVload, kVstore, kVloads, kVstores, kVgather, kVscatter,
+  // --- RVV frontend (isa/rvv/rvv.hpp; not part of the VLT ISA) ---
+  kVsetvli,  // vl <- min(AVL, VLMAX(vtype=imm)); rd <- vl (RVV 1.0 rules)
+  kVle,      // vle64.v: unit-stride load, addr_i = s[rs1] + imm + 8*i
+  kVse,      // vse64.v: unit-stride store of v[rd]
 
   kNumOpcodes,
 };

@@ -71,7 +71,7 @@ Program ProgramBuilder::build() {
     code_[f.inst_index].imm = static_cast<std::int32_t>(
         target - static_cast<std::int64_t>(f.inst_index) - 1);
   }
-  return Program(std::move(name_), std::move(code_), text_base_);
+  return Program(std::move(name_), std::move(code_), text_base_, isa_);
 }
 
 }  // namespace vlt::isa

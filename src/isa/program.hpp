@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "isa/isa.hpp"
 #include "isa/opcode.hpp"
 
 namespace vlt::isa {
@@ -18,10 +19,16 @@ namespace vlt::isa {
 class Program {
  public:
   Program() = default;
-  Program(std::string name, std::vector<Instruction> code, Addr text_base)
-      : name_(std::move(name)), code_(std::move(code)), text_base_(text_base) {}
+  Program(std::string name, std::vector<Instruction> code, Addr text_base,
+          IsaId isa = IsaId::kVlt)
+      : name_(std::move(name)),
+        code_(std::move(code)),
+        text_base_(text_base),
+        isa_(isa) {}
 
   const std::string& name() const { return name_; }
+  /// The ISA frontend this program was assembled for.
+  IsaId isa() const { return isa_; }
   const std::vector<Instruction>& code() const { return code_; }
   std::size_t size() const { return code_.size(); }
   bool empty() const { return code_.empty(); }
@@ -38,6 +45,7 @@ class Program {
   std::string name_;
   std::vector<Instruction> code_;
   Addr text_base_ = 0x10000000;
+  IsaId isa_ = IsaId::kVlt;
 };
 
 /// Forward-referencable branch target.
@@ -67,6 +75,10 @@ class ProgramBuilder {
  public:
   explicit ProgramBuilder(std::string name, Addr text_base = 0x10000000)
       : name_(std::move(name)), text_base_(text_base) {}
+
+  // --- ISA frontend tag (stamped onto the built Program) ---
+  void set_isa(IsaId isa) { isa_ = isa; }
+  IsaId isa() const { return isa_; }
 
   // --- labels ---
   Label label();
@@ -138,6 +150,10 @@ class ProgramBuilder {
   void membar() { emit({Opcode::kMembar, 0, 0, 0, 0, 0}); }
   void setvl(RegIdx rd, RegIdx rs1) { emit({Opcode::kSetvl, rd, rs1, 0, 0, 0}); }
   void setvlmax(RegIdx rd) { emit({Opcode::kSetvlMax, rd, 0, 0, 0, 0}); }
+  /// RVV frontend: vsetvli rd, rs1, vtypei (imm carries the vtype bits).
+  void vsetvli(RegIdx rd, RegIdx rs1, std::uint32_t vtypei) {
+    emit({Opcode::kVsetvli, rd, rs1, 0, static_cast<std::int32_t>(vtypei), 0});
+  }
 
   // --- vector arithmetic; `vs` variants take a scalar rs2 operand ---
   void vadd(RegIdx vd, RegIdx v1, RegIdx v2, std::uint8_t fl = 0) { emit({Opcode::kVadd, vd, v1, v2, 0, fl}); }
@@ -182,6 +198,9 @@ class ProgramBuilder {
   void vstores(RegIdx vdata, RegIdx base, RegIdx stride) { emit({Opcode::kVstores, vdata, base, stride, 0, 0}); }
   void vgather(RegIdx vd, RegIdx base, RegIdx voff) { emit({Opcode::kVgather, vd, base, voff, 0, 0}); }
   void vscatter(RegIdx vdata, RegIdx base, RegIdx voff) { emit({Opcode::kVscatter, vdata, base, voff, 0, 0}); }
+  // RVV frontend unit-stride forms (vle64.v / vse64.v):
+  void vle64(RegIdx vd, RegIdx base, std::int32_t off = 0, std::uint8_t fl = 0) { emit({Opcode::kVle, vd, base, 0, off, fl}); }
+  void vse64(RegIdx vdata, RegIdx base, std::int32_t off = 0, std::uint8_t fl = 0) { emit({Opcode::kVse, vdata, base, 0, off, fl}); }
 
   /// Resolve all labels and produce the program. The builder may not be
   /// reused afterwards.
@@ -197,6 +216,7 @@ class ProgramBuilder {
 
   std::string name_;
   Addr text_base_;
+  IsaId isa_ = IsaId::kVlt;
   std::vector<Instruction> code_;
   std::vector<std::int64_t> label_pos_;  // -1 until bound
   std::vector<Fixup> fixups_;

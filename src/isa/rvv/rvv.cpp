@@ -1,0 +1,107 @@
+#include "isa/rvv/rvv.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "func/arch_state.hpp"
+#include "func/executor.hpp"
+
+namespace vlt::isa::rvv {
+
+std::optional<Vtype> decode_vtype(std::uint32_t vtypei) {
+  if ((vtypei & 0xFFFFFF00u) != 0) return std::nullopt;
+  const unsigned vlmul = vtypei & 0x7u;
+  const unsigned vsew = (vtypei >> 3) & 0x7u;
+  if (vsew > 3) return std::nullopt;
+  Vtype t;
+  switch (vlmul) {
+    case 0: t.lmul_num = 1; t.lmul_den = 1; break;
+    case 1: t.lmul_num = 2; t.lmul_den = 1; break;
+    case 2: t.lmul_num = 4; t.lmul_den = 1; break;
+    case 3: t.lmul_num = 8; t.lmul_den = 1; break;
+    case 5: t.lmul_num = 1; t.lmul_den = 8; break;
+    case 6: t.lmul_num = 1; t.lmul_den = 4; break;
+    case 7: t.lmul_num = 1; t.lmul_den = 2; break;
+    default: return std::nullopt;  // vlmul == 4 is reserved
+  }
+  t.sew = 8u << vsew;
+  t.ta = ((vtypei >> 6) & 1u) != 0;
+  t.ma = ((vtypei >> 7) & 1u) != 0;
+  t.bits = vtypei & 0xFFu;
+  return t;
+}
+
+unsigned vlmax(unsigned max_vl, std::uint32_t vtypei) {
+  std::optional<Vtype> t = decode_vtype(vtypei);
+  if (!t) return 0;
+  // One RVV element per 64-bit container element: only SEW=64 without
+  // register grouping fits the register file. LMUL > 1 would need vreg
+  // groups; smaller SEW would need sub-element packing. Both are vill
+  // under this model.
+  if (t->sew != 64 || t->lmul_num > 1) return 0;
+  return max_vl * t->lmul_num / t->lmul_den;
+}
+
+std::uint64_t clamp_avl(std::uint64_t avl, unsigned vlmax) {
+  return std::min<std::uint64_t>(avl, vlmax);
+}
+
+namespace {
+
+std::array<bool, kNumOpcodes> rvv_mask() {
+  std::array<bool, kNumOpcodes> m;
+  m.fill(true);
+  // The VLT set-VL family is not RVV; neither are the strided/indexed
+  // vector memory ops (the supported RVV subset is unit-stride e64 only).
+  for (Opcode op : {Opcode::kSetvl, Opcode::kSetvlMax, Opcode::kVload,
+                    Opcode::kVstore, Opcode::kVloads, Opcode::kVstores,
+                    Opcode::kVgather, Opcode::kVscatter})
+    m[static_cast<std::size_t>(op)] = false;
+  return m;
+}
+
+class RvvFrontend final : public IsaFrontend {
+ public:
+  RvvFrontend() : IsaFrontend(rvv_mask()) {}
+
+  IsaId id() const override { return IsaId::kRvv; }
+
+  unsigned vlmax(unsigned max_vl, std::uint32_t vtype) const override {
+    return rvv::vlmax(max_vl, vtype);
+  }
+
+  void execute_setvl(const Instruction& inst, func::ArchState& st,
+                     const func::ExecContext& ctx) const override {
+    VLT_CHECK(inst.op == Opcode::kVsetvli,
+              "rvv frontend asked to execute a non-vsetvli set-VL op");
+    const auto vtypei = static_cast<std::uint32_t>(inst.imm);
+    const unsigned vm = rvv::vlmax(ctx.max_vl, vtypei);
+    if (vm == 0) {
+      // Reserved or unsupported encoding: vill, vl=0, rd cleared.
+      st.set_vtype(kVtypeVill);
+      st.set_vl(0);
+      if (inst.rd != 0) st.set_sreg(inst.rd, 0);
+      return;
+    }
+    std::uint64_t avl;
+    if (inst.rs1 != 0)
+      avl = st.sreg(inst.rs1);  // unsigned per the spec
+    else if (inst.rd != 0)
+      avl = ~std::uint64_t{0};  // x0 source, non-x0 dest: request VLMAX
+    else
+      avl = st.vl();  // x0/x0: keep vl (re-clamped under the new vtype)
+    const auto vl = static_cast<unsigned>(clamp_avl(avl, vm));
+    st.set_vtype(vtypei & 0xFFu);
+    st.set_vl(vl);
+    if (inst.rd != 0) st.set_sreg(inst.rd, vl);
+  }
+};
+
+}  // namespace
+
+const IsaFrontend& rvv_frontend() {
+  static const RvvFrontend fe;
+  return fe;
+}
+
+}  // namespace vlt::isa::rvv

@@ -1,0 +1,57 @@
+// RISC-V Vector (RVV 1.0) frontend: vtype decode, VLMAX/LMUL rules, and
+// the vsetvli AVL semantics, after the rv32emu decode slices referenced
+// in SNIPPETS.md. See docs/ISA.md for the supported subset.
+//
+// Modeling note: the machine's vector registers hold kMaxVectorLength
+// 64-bit elements, so this frontend maps one RVV element onto one 64-bit
+// container element (effective VLEN = 64 * partition-max-VL bits). Only
+// SEW=64 with LMUL <= 1 fits that model without register grouping; every
+// other vtype encoding — including architecturally valid ones the model
+// does not implement — sets vill, exactly as real hardware treats
+// unsupported configurations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/isa.hpp"
+
+namespace vlt::isa::rvv {
+
+// vtype CSR layout (the vsetvli zimm11 immediate uses the low bits):
+//   [2:0] vlmul   [5:3] vsew   [6] vta   [7] vma   [31] vill
+inline constexpr std::uint32_t kVtypeVill = 0x80000000u;
+
+/// e64m1 — the canonical configuration of this repo's RVV kernels (one
+/// RVV element per 64-bit container element, no register grouping).
+inline constexpr std::uint32_t kVtypeE64M1 = 0x18;  // vsew=3, vlmul=0
+
+struct Vtype {
+  unsigned sew = 8;       // element width in bits: 8 << vsew
+  unsigned lmul_num = 1;  // LMUL = lmul_num / lmul_den
+  unsigned lmul_den = 1;
+  bool ta = false;
+  bool ma = false;
+  std::uint32_t bits = 0;  // the low-8-bit encoding, for the vtype CSR
+};
+
+/// Decodes a vtypei immediate. nullopt = reserved encoding (high bits
+/// set, vsew > 3, or vlmul == 4) — architecturally vill.
+std::optional<Vtype> decode_vtype(std::uint32_t vtypei);
+
+/// VLMAX of a lane partition holding `max_vl` 64-bit container elements
+/// under `vtypei`. Returns 0 (vill) for reserved encodings and for valid
+/// encodings outside the supported subset (SEW != 64 or LMUL > 1);
+/// otherwise max_vl * lmul_num / lmul_den.
+unsigned vlmax(unsigned max_vl, std::uint32_t vtypei);
+
+/// The vsetvli AVL rules (RVV 1.0 §6.2), given the raw operand fields and
+/// resolved AVL source value: rs1 != x0 takes the (unsigned) register
+/// value, rs1 == x0 with rd != x0 requests VLMAX, and rs1 == rd == x0
+/// keeps the current vl. Returns min(avl, vlmax).
+std::uint64_t clamp_avl(std::uint64_t avl, unsigned vlmax);
+
+/// The RVV frontend singleton (registered under IsaId::kRvv).
+const IsaFrontend& rvv_frontend();
+
+}  // namespace vlt::isa::rvv

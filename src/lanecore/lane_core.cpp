@@ -35,7 +35,7 @@ void LaneCore::start(const isa::Program& program, ThreadId tid,
   done_ = false;
   prog_ = &program;
   arch_.reset();
-  ectx_ = func::ExecContext{tid, nthreads, /*max_vl=*/0};
+  ectx_ = func::ExecContext{tid, nthreads, /*max_vl=*/0, program.isa()};
   pc_ = 0;
   stall_until_ = now;
   cur_line_ = ~Addr{0};

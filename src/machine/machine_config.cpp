@@ -110,8 +110,9 @@ MachineConfig MachineConfig::by_name(const std::string& name) {
 }
 
 std::string MachineConfig::fingerprint() const {
-  std::string fp = "vltcfg1";  // bump when a new timing knob is added
+  std::string fp = "vltcfg2";  // bump when a new timing knob is added
   auto add = [&fp](std::uint64_t v) { fp += ":" + std::to_string(v); };
+  add(static_cast<std::uint64_t>(isa));
   add(sus.size());
   for (const su::SuParams& s : sus) {
     add(s.width);

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "audit/sink.hpp"
+#include "isa/isa.hpp"
 #include "lanecore/lane_core.hpp"
 #include "mem/l2_cache.hpp"
 #include "mem/main_memory.hpp"
@@ -17,6 +18,10 @@ namespace vlt::machine {
 
 struct MachineConfig {
   std::string name;
+  /// ISA frontend workloads are built for on this machine. Part of
+  /// fingerprint(): two frontends emit different instruction streams for
+  /// the same kernel, so results must never alias in the cache.
+  IsaId isa = IsaId::kVlt;
   std::vector<su::SuParams> sus;  // one entry per scalar unit
   bool has_vector_unit = true;
   vu::VuParams vu;

@@ -48,6 +48,7 @@ Json RunResult::to_json() const {
   j.set("workload", workload);
   j.set("config", config);
   j.set("variant", variant);
+  if (!isa.empty() && isa != "vlt") j.set("isa", isa);
   j.set("status", run_status_name(status));
   j.set("verified", verified);
   if (!ok()) j.set("error", error);
@@ -102,6 +103,8 @@ std::optional<RunResult> RunResult::from_json(const Json& j) {
   r.workload = str("workload");
   r.config = str("config");
   r.variant = str("variant");
+  r.isa = str("isa");
+  if (r.isa.empty()) r.isa = "vlt";  // pre-v4 documents carry no isa field
   const Json* verified = j.find("verified");
   r.verified = verified != nullptr && verified->as_bool();
   if (const Json* status = j.find("status"); status != nullptr) {
@@ -155,6 +158,9 @@ RunResult Simulator::run(const workloads::Workload& workload,
   VLT_CHECK(workload.supports(variant.kind),
             workload.name() + " does not support variant " +
                 variant.to_string());
+  VLT_CHECK(workload.supports_isa(config_.isa),
+            workload.name() + " has no port to the " +
+                std::string(isa::isa_name(config_.isa)) + " ISA frontend");
   const auto wall_start = std::chrono::steady_clock::now();
 
   std::unique_ptr<audit::Auditor> auditor;
@@ -166,12 +172,13 @@ RunResult Simulator::run(const workloads::Workload& workload,
   workload.init_memory(proc.memory());
   if (auditor && auditor->lockstep() != nullptr)
     auditor->lockstep()->seed_memory(proc.memory());
-  ParallelProgram prog = workload.build(variant);
+  ParallelProgram prog = workload.build(variant, config_.isa);
 
   RunResult res;
   res.workload = workload.name();
   res.config = config_.name;
   res.variant = variant.to_string();
+  res.isa = isa::isa_name(config_.isa);
 
   unsigned prev_threads = 1;
   for (const Phase& phase : prog.phases) {

@@ -42,6 +42,9 @@ struct RunResult {
   std::string workload;
   std::string config;
   std::string variant;
+  /// ISA frontend the workload was built for ("vlt"/"rvv"). Serialized
+  /// only when not "vlt", so pre-v4 documents round-trip byte-identically.
+  std::string isa = "vlt";
   Cycle cycles = 0;
   std::vector<PhaseTiming> phase_cycles;
   Cycle opportunity_cycles = 0;  // spent in VLT-able phases
@@ -91,6 +94,7 @@ struct RunResult {
   /// `vltsim_run --json`, and the campaign result cache:
   ///
   ///   workload, config, variant   identifying strings
+  ///   isa                         ISA frontend (omitted when "vlt")
   ///   status                      typed outcome (run_status_name)
   ///   verified                    golden-check outcome
   ///   error                       failure detail (only when status != ok)

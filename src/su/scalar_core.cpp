@@ -47,7 +47,8 @@ void ScalarCore::start_context(unsigned ctx, const ThreadAssignment& work,
   c = CtxState{};
   c.active = true;
   c.work = work;
-  c.ectx = func::ExecContext{work.tid, work.nthreads, work.max_vl};
+  c.ectx = func::ExecContext{work.tid, work.nthreads, work.max_vl,
+                             work.program->isa()};
   c.fetch_stall_until = now;
   ++undone_;
 }

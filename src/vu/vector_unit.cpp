@@ -116,7 +116,8 @@ Cycle VectorUnit::memory_op_completion(const VecDispatch& op, Cycle start,
   // Unit-stride accesses coalesce into line-granularity requests; strided
   // and indexed accesses are element-granular and feel bank conflicts.
   const bool unit_stride =
-      op.inst.op == Opcode::kVload || op.inst.op == Opcode::kVstore;
+      op.inst.op == Opcode::kVload || op.inst.op == Opcode::kVstore ||
+      op.inst.op == Opcode::kVle || op.inst.op == Opcode::kVse;
   Cycle latest = start;
   if (unit_stride) {
     Addr prev_line = ~Addr{0};

@@ -13,11 +13,57 @@
 
 #include "common/types.hpp"
 #include "isa/program.hpp"
+#include "isa/rvv/rvv.hpp"
 
 namespace vlt::workloads {
 
 // Named registers (see convention above).
 inline constexpr RegIdx rZ = 0;  // conventional zero
+
+// --- frontend-dispatching emitters ---
+//
+// Kernels ported to more than one ISA frontend emit their set-VL and
+// unit-stride memory operations through these helpers, which pick the
+// spelling matching the builder's ISA tag (ProgramBuilder::set_isa). For
+// the seed VLT frontend they emit exactly the instructions the kernels
+// always emitted, so VLT instruction streams stay byte-identical.
+
+/// setvl rd, rs1 (VLT) / vsetvli rd, rs1, e64m1 (RVV — vsetvl's clamp to
+/// VLMAX matches VLT's clamp to MAXVL; negative counts never reach the
+/// RVV form because strip-mined counters are element counts >= 0).
+inline void vec_setvl(isa::ProgramBuilder& b, RegIdx rd, RegIdx rs1) {
+  if (b.isa() == IsaId::kRvv)
+    b.vsetvli(rd, rs1, isa::rvv::kVtypeE64M1);
+  else
+    b.setvl(rd, rs1);
+}
+
+/// setvlmax rd (VLT) / vsetvli rd, x0, e64m1 (RVV: rs1 == x0 with a
+/// non-x0 rd requests VLMAX per the AVL rules).
+inline void vec_setvlmax(isa::ProgramBuilder& b, RegIdx rd) {
+  if (b.isa() == IsaId::kRvv)
+    b.vsetvli(rd, rZ, isa::rvv::kVtypeE64M1);
+  else
+    b.setvlmax(rd);
+}
+
+/// vload (VLT) / vle64.v (RVV) — identical unit-stride addressing.
+inline void vec_load(isa::ProgramBuilder& b, RegIdx vd, RegIdx base,
+                     std::int32_t off = 0, std::uint8_t fl = 0) {
+  if (b.isa() == IsaId::kRvv)
+    b.vle64(vd, base, off, fl);
+  else
+    b.vload(vd, base, off, fl);
+}
+
+/// vstore (VLT) / vse64.v (RVV).
+inline void vec_store(isa::ProgramBuilder& b, RegIdx vdata, RegIdx base,
+                      std::int32_t off = 0, std::uint8_t fl = 0) {
+  if (b.isa() == IsaId::kRvv)
+    b.vse64(vdata, base, off, fl);
+  else
+    b.vstore(vdata, base, off, fl);
+}
 
 /// Emits a strip-mined vector loop:
 ///
@@ -35,7 +81,7 @@ void strip_mine(isa::ProgramBuilder& b, RegIdx counter, RegIdx vl_reg,
   auto done = b.label();
   b.bind(loop);
   b.beq(counter, rZ, done);
-  b.setvl(vl_reg, counter);
+  vec_setvl(b, vl_reg, counter);
   body();
   b.sub(counter, counter, vl_reg);
   b.slli(scratch, vl_reg, 3);  // vl * 8 bytes

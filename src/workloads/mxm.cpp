@@ -37,15 +37,21 @@ void MxmWorkload::init_memory(func::FuncMemory& mem) const {
 }
 
 machine::ParallelProgram MxmWorkload::build(const Variant& variant) const {
+  return build(variant, IsaId::kVlt);
+}
+
+machine::ParallelProgram MxmWorkload::build(const Variant& variant,
+                                            IsaId isa) const {
   VLT_CHECK(variant.kind == Variant::Kind::kBase,
             "mxm runs only as the base single-thread variant");
 
   ProgramBuilder b("mxm");
+  b.set_isa(isa);
   // s1 = i, s2 = p, s16 = &A[i][p], s17 = &B[p][:], s18 = &C[i][:],
   // s33 = k bound, s32 = A element.
   constexpr RegIdx i = 1, p = 2, vl = 3, aP = 16, bP = 17, cP = 18,
                    aRow = 19, kB = 33, av = 32;
-  b.setvlmax(vl);
+  vec_setvlmax(b, vl);
   b.li(aRow, static_cast<std::int64_t>(a_addr_));
   b.li(cP, static_cast<std::int64_t>(c_addr_));
   b.li(kB, k_);
@@ -57,13 +63,13 @@ machine::ParallelProgram MxmWorkload::build(const Variant& variant) const {
     auto loop = b.label();
     b.bind(loop);
     b.load(av, aP);
-    b.vload(1, bP);          // v1 = B[p][:]
+    vec_load(b, 1, bP);      // v1 = B[p][:]
     b.vfma(2, 1, av, isa::kFlagSrc2Scalar);
     b.addi(aP, aP, 8);
     b.addi(bP, bP, kN * 8);
     b.addi(p, p, 1);
     b.blt(p, kB, loop);
-    b.vstore(2, cP);
+    vec_store(b, 2, cP);
     b.addi(cP, cP, kN * 8);
     b.addi(aRow, aRow, static_cast<std::int32_t>(k_ * 8));
   });

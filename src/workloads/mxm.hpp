@@ -18,11 +18,14 @@ class MxmWorkload : public Workload {
   std::string name() const override { return "mxm"; }
   void init_memory(func::FuncMemory& mem) const override;
   machine::ParallelProgram build(const Variant& variant) const override;
+  machine::ParallelProgram build(const Variant& variant,
+                                 IsaId isa) const override;
   std::optional<std::string> verify(
       const func::FuncMemory& mem) const override;
   bool supports(Variant::Kind kind) const override {
     return kind == Variant::Kind::kBase;
   }
+  bool supports_isa(IsaId /*isa*/) const override { return true; }
 
  private:
   static constexpr unsigned kN = 64;  // C width = hardware max VL

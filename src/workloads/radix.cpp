@@ -40,8 +40,9 @@ void RadixWorkload::init_memory(func::FuncMemory& mem) const {
 // this kind of long-vector prologue). The CMT baseline has no vector unit,
 // so the kSuThreads variant gets the scalar version the Cray compiler
 // would emit for a scalar-only target.
-isa::Program RadixWorkload::init_program(bool vectorized) const {
+isa::Program RadixWorkload::init_program(bool vectorized, IsaId isa) const {
   ProgramBuilder b("radix-init");
+  b.set_isa(isa);
   constexpr RegIdx n = 1, vl = 2, scr = 3, inP = 16, outP = 17, mask = 48;
   b.li(mask, 0xFFFF);
   b.li(inP, static_cast<std::int64_t>(raw_));
@@ -49,9 +50,9 @@ isa::Program RadixWorkload::init_program(bool vectorized) const {
   if (vectorized) {
     b.li(n, n_);
     strip_mine(b, n, vl, scr, {inP, outP}, [&] {
-      b.vload(1, inP);
+      vec_load(b, 1, inP);
       b.vand(2, 1, mask, isa::kFlagSrc2Scalar);
-      b.vstore(2, outP);
+      vec_store(b, 2, outP);
     });
   } else {
     b.li(n, n_);
@@ -80,9 +81,10 @@ isa::Program RadixWorkload::init_program(bool vectorized) const {
 // offset lookups only after an explicit digit-conflict test that falls
 // back to a strictly ordered slow path (a handful of predictable branches
 // per group).
-isa::Program RadixWorkload::sort_program(unsigned tid,
-                                         unsigned nthreads) const {
+isa::Program RadixWorkload::sort_program(unsigned tid, unsigned nthreads,
+                                         IsaId isa) const {
   ProgramBuilder b("radix-sort-t" + std::to_string(tid));
+  b.set_isa(isa);  // pure scalar code; the tag still must match the run
   auto range = chunk_of(n_, tid, nthreads);
   const unsigned dig_lo = kRadix * tid / nthreads;
   const unsigned dig_hi = kRadix * (tid + 1) / nthreads;
@@ -321,6 +323,11 @@ isa::Program RadixWorkload::sort_program(unsigned tid,
 }
 
 machine::ParallelProgram RadixWorkload::build(const Variant& variant) const {
+  return build(variant, IsaId::kVlt);
+}
+
+machine::ParallelProgram RadixWorkload::build(const Variant& variant,
+                                              IsaId isa) const {
   unsigned nthreads =
       variant.kind == Variant::Kind::kBase ? 1 : variant.nthreads;
   VLT_CHECK(supports(variant.kind), "unsupported radix variant");
@@ -334,7 +341,7 @@ machine::ParallelProgram RadixWorkload::build(const Variant& variant) const {
   init.mode = machine::PhaseMode::kSerial;
   init.vlt_opportunity = false;
   init.programs.push_back(
-      init_program(variant.kind != Variant::Kind::kSuThreads));
+      init_program(variant.kind != Variant::Kind::kSuThreads, isa));
   prog.phases.push_back(std::move(init));
 
   machine::Phase sort;
@@ -354,7 +361,7 @@ machine::ParallelProgram RadixWorkload::build(const Variant& variant) const {
       VLT_CHECK(false, "unreachable");
   }
   for (unsigned t = 0; t < nthreads; ++t)
-    sort.programs.push_back(sort_program(t, nthreads));
+    sort.programs.push_back(sort_program(t, nthreads, isa));
   prog.phases.push_back(std::move(sort));
   return prog;
 }

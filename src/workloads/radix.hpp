@@ -22,6 +22,8 @@ class RadixWorkload : public Workload {
   std::string name() const override { return "radix"; }
   void init_memory(func::FuncMemory& mem) const override;
   machine::ParallelProgram build(const Variant& variant) const override;
+  machine::ParallelProgram build(const Variant& variant,
+                                 IsaId isa) const override;
   std::optional<std::string> verify(
       const func::FuncMemory& mem) const override;
   bool supports(Variant::Kind kind) const override {
@@ -29,14 +31,15 @@ class RadixWorkload : public Workload {
            kind == Variant::Kind::kLaneThreads ||
            kind == Variant::Kind::kSuThreads;
   }
+  bool supports_isa(IsaId /*isa*/) const override { return true; }
 
  private:
   static constexpr unsigned kRadix = 64;    // 6-bit digits
   static constexpr unsigned kPasses = 3;    // covers the 16-bit keys
   static constexpr unsigned kMaxThreads = 8;
 
-  isa::Program init_program(bool vectorized) const;
-  isa::Program sort_program(unsigned tid, unsigned nthreads) const;
+  isa::Program init_program(bool vectorized, IsaId isa) const;
+  isa::Program sort_program(unsigned tid, unsigned nthreads, IsaId isa) const;
 
   unsigned n_;
   Addr raw_, buf_a_, buf_b_, hist_, offs_, sums_, base_;

@@ -65,9 +65,10 @@ void TrfdWorkload::init_memory(func::FuncMemory& mem) const {
 // multiply-based indexing, reproducing the scalar-heavy address arithmetic
 // of the Fortran original (and the paper's 73% vectorization).
 isa::Program TrfdWorkload::pass_program(unsigned tid, unsigned nthreads,
-                                        unsigned pass) const {
+                                        unsigned pass, IsaId isa) const {
   ProgramBuilder b("trfd-p" + std::to_string(pass) + "-t" +
                    std::to_string(tid));
+  b.set_isa(isa);
   constexpr RegIdx a = 1, bq = 2, n = 3, vl = 4, scr = 5, aEnd = 6, s = 7,
                    off = 8, tP = 16, inRow = 19, outPos = 20, tv = 33,
                    rowBytes = 9;
@@ -95,7 +96,7 @@ isa::Program TrfdWorkload::pass_program(unsigned tid, unsigned nthreads,
     auto strip_done = b.label();
     b.bind(strip_top);
     b.beq(n, rZ, strip_done);
-    b.setvl(vl, n);
+    vec_setvl(b, vl, n);
     b.vbcast(2, rZ);  // accumulator row chunk
     b.li(bq, 0);
     auto b_top = b.label();
@@ -112,7 +113,7 @@ isa::Program TrfdWorkload::pass_program(unsigned tid, unsigned nthreads,
     b.li(scr, static_cast<std::int64_t>(in));
     b.add(inRow, inRow, scr);
     b.add(inRow, inRow, off);
-    b.vload(1, inRow);
+    vec_load(b, 1, inRow);
     b.vfma(2, 1, tv, isa::kFlagSrc2Scalar);
     b.addi(bq, bq, 1);
     b.blt(bq, s, b_top);
@@ -121,7 +122,7 @@ isa::Program TrfdWorkload::pass_program(unsigned tid, unsigned nthreads,
     b.li(scr, static_cast<std::int64_t>(out));
     b.add(outPos, outPos, scr);
     b.add(outPos, outPos, off);
-    b.vstore(2, outPos);
+    vec_store(b, 2, outPos);
     b.sub(n, n, vl);
     b.slli(scr, vl, 3);
     b.add(off, off, scr);
@@ -136,6 +137,11 @@ isa::Program TrfdWorkload::pass_program(unsigned tid, unsigned nthreads,
 }
 
 machine::ParallelProgram TrfdWorkload::build(const Variant& variant) const {
+  return build(variant, IsaId::kVlt);
+}
+
+machine::ParallelProgram TrfdWorkload::build(const Variant& variant,
+                                             IsaId isa) const {
   unsigned nthreads =
       variant.kind == Variant::Kind::kBase ? 1 : variant.nthreads;
   VLT_CHECK(supports(variant.kind), "unsupported trfd variant");
@@ -149,7 +155,7 @@ machine::ParallelProgram TrfdWorkload::build(const Variant& variant) const {
                                : machine::PhaseMode::kVectorThreads;
     phase.vlt_opportunity = true;
     for (unsigned t = 0; t < nthreads; ++t)
-      phase.programs.push_back(pass_program(t, nthreads, pass));
+      phase.programs.push_back(pass_program(t, nthreads, pass, isa));
     prog.phases.push_back(std::move(phase));
   }
   return prog;

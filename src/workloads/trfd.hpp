@@ -25,16 +25,19 @@ class TrfdWorkload : public Workload {
   std::string name() const override { return "trfd"; }
   void init_memory(func::FuncMemory& mem) const override;
   machine::ParallelProgram build(const Variant& variant) const override;
+  machine::ParallelProgram build(const Variant& variant,
+                                 IsaId isa) const override;
   std::optional<std::string> verify(
       const func::FuncMemory& mem) const override;
   bool supports(Variant::Kind kind) const override {
     return kind == Variant::Kind::kBase ||
            kind == Variant::Kind::kVectorThreads;
   }
+  bool supports_isa(IsaId /*isa*/) const override { return true; }
 
  private:
-  isa::Program pass_program(unsigned tid, unsigned nthreads,
-                            unsigned pass) const;
+  isa::Program pass_program(unsigned tid, unsigned nthreads, unsigned pass,
+                            IsaId isa) const;
 
   struct Shell {
     unsigned size;

@@ -1,6 +1,16 @@
 #include "workloads/workload.hpp"
 
+#include "common/log.hpp"
+
 namespace vlt::workloads {
+
+machine::ParallelProgram Workload::build(const Variant& variant,
+                                         IsaId isa) const {
+  if (isa == IsaId::kVlt) return build(variant);
+  VLT_FAIL(ErrorKind::kConfig,
+           name() + " has no port to the " +
+               std::string(isa::isa_name(isa)) + " ISA frontend");
+}
 
 std::string Variant::to_string() const {
   switch (kind) {

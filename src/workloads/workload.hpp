@@ -8,6 +8,7 @@
 #include <string>
 
 #include "func/memory.hpp"
+#include "isa/isa.hpp"
 #include "machine/phase.hpp"
 
 namespace vlt::workloads {
@@ -60,6 +61,17 @@ class Workload {
   /// identical across variants; parallel phases are decomposed over
   /// `variant.nthreads` threads.
   virtual machine::ParallelProgram build(const Variant& variant) const = 0;
+
+  /// Builds the phase list against a specific ISA frontend. The base
+  /// implementation forwards kVlt to build(variant) and rejects every
+  /// other frontend with SimError(kConfig); workloads with an RVV port
+  /// override it (and supports_isa) instead of the single-arg build.
+  virtual machine::ParallelProgram build(const Variant& variant,
+                                         IsaId isa) const;
+
+  /// ISA frontends this workload has kernels for. Matches build(variant,
+  /// isa): the default is the seed VLT frontend only.
+  virtual bool supports_isa(IsaId isa) const { return isa == IsaId::kVlt; }
 
   /// Checks the simulated memory image against a host-computed golden
   /// result; returns an error description on mismatch.

@@ -55,6 +55,18 @@ constexpr Golden kGolden[] = {
     {"bt", "V4-CMP", "vlt-4vt", 27799},
 };
 
+// The RVV ports lower to micro-ops with identical OpInfo timing traits
+// (vsetvli vs setvl, vle64/vse64 vs vload/vstore), so each RVV cell must
+// reproduce its VLT sibling's cycle count exactly — the VLT speedups are
+// a property of the machine, not of the frontend (docs/ISA.md).
+constexpr Golden kGoldenRvv[] = {
+    {"mxm", "base", "base", 18988},
+    {"radix", "base", "base", 454282},
+    {"trfd", "base", "base", 105699},
+    {"trfd", "V2-CMP", "vlt-2vt", 64545},
+    {"trfd", "V4-CMP", "vlt-4vt", 50559},
+};
+
 TEST(GoldenCycles, EveryPinnedCellMatches) {
   SweepSpec spec;
   for (const Golden& g : kGolden)
@@ -69,6 +81,25 @@ TEST(GoldenCycles, EveryPinnedCellMatches) {
   for (const Golden& g : kGolden)
     EXPECT_EQ(results.cycles(g.workload, g.config, g.variant), g.cycles)
         << g.workload << "/" << g.config << "/" << g.variant;
+}
+
+TEST(GoldenCycles, RvvCellsMatchTheirVltSiblings) {
+  SweepSpec spec;
+  for (const Golden& g : kGoldenRvv) {
+    MachineConfig cfg = MachineConfig::by_name(g.config);
+    cfg.isa = IsaId::kRvv;
+    spec.add(std::move(cfg), g.workload, *Variant::parse(g.variant));
+  }
+  RunSet results = Campaign().run(spec);
+  ASSERT_TRUE(results.all_verified());
+
+  for (const Golden& g : kGoldenRvv)
+    EXPECT_EQ(results
+                  .at(campaign::RunKey{g.workload, g.config, g.variant,
+                                       "rvv"})
+                  .cycles,
+              g.cycles)
+        << g.workload << "/" << g.config << "/" << g.variant << "/rvv";
 }
 
 // VLT must never slow an application down relative to its own base run

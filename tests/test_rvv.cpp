@@ -1,0 +1,270 @@
+// Unit tests for the multi-ISA frontend layer and the RVV frontend:
+// vtype decode, VLMAX/LMUL rules, the vsetvli AVL semantics, unit-stride
+// vle64/vse64, per-frontend opcode enforcement in the executor, and the
+// isa field's ride through MachineConfig fingerprints, RunKeys, and
+// RunResult serialization (schema vltsweep-v4, docs/ISA.md).
+#include <gtest/gtest.h>
+
+#include "campaign/run_key.hpp"
+#include "func/arch_state.hpp"
+#include "func/executor.hpp"
+#include "func/memory.hpp"
+#include "isa/isa.hpp"
+#include "isa/program.hpp"
+#include "isa/rvv/rvv.hpp"
+#include "machine/machine_config.hpp"
+#include "machine/simulator.hpp"
+
+namespace vlt {
+namespace {
+
+using isa::Instruction;
+using isa::Opcode;
+
+// --- vtype decode ---
+
+TEST(RvvVtype, DecodesE64M1) {
+  auto t = isa::rvv::decode_vtype(isa::rvv::kVtypeE64M1);
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->sew, 64u);
+  EXPECT_EQ(t->lmul_num, 1u);
+  EXPECT_EQ(t->lmul_den, 1u);
+  EXPECT_FALSE(t->ta);
+  EXPECT_FALSE(t->ma);
+  EXPECT_EQ(t->bits, 0x18u);
+}
+
+TEST(RvvVtype, DecodesFractionalLmulAndPolicyBits) {
+  // e64mf2 with vta|vma: vlmul=7, vsew=3, vta=1, vma=1.
+  auto t = isa::rvv::decode_vtype(0x7u | (3u << 3) | (1u << 6) | (1u << 7));
+  ASSERT_TRUE(t.has_value());
+  EXPECT_EQ(t->sew, 64u);
+  EXPECT_EQ(t->lmul_num, 1u);
+  EXPECT_EQ(t->lmul_den, 2u);
+  EXPECT_TRUE(t->ta);
+  EXPECT_TRUE(t->ma);
+}
+
+TEST(RvvVtype, ReservedEncodingsDecodeToNullopt) {
+  EXPECT_FALSE(isa::rvv::decode_vtype(4u).has_value());       // vlmul == 4
+  EXPECT_FALSE(isa::rvv::decode_vtype(4u << 3).has_value());  // vsew > 3
+  EXPECT_FALSE(isa::rvv::decode_vtype(0x100u).has_value());   // high bits
+  EXPECT_FALSE(isa::rvv::decode_vtype(isa::rvv::kVtypeVill).has_value());
+}
+
+// --- VLMAX under the one-element-per-container model ---
+
+TEST(RvvVlmax, E64M1IsThePartitionMax) {
+  EXPECT_EQ(isa::rvv::vlmax(64, isa::rvv::kVtypeE64M1), 64u);
+  EXPECT_EQ(isa::rvv::vlmax(16, isa::rvv::kVtypeE64M1), 16u);
+}
+
+TEST(RvvVlmax, FractionalLmulScalesDown) {
+  EXPECT_EQ(isa::rvv::vlmax(64, 0x7u | (3u << 3)), 32u);  // e64mf2
+  EXPECT_EQ(isa::rvv::vlmax(64, 0x6u | (3u << 3)), 16u);  // e64mf4
+}
+
+TEST(RvvVlmax, UnsupportedConfigurationsAreVill) {
+  EXPECT_EQ(isa::rvv::vlmax(64, 2u << 3), 0u);            // e32m1
+  EXPECT_EQ(isa::rvv::vlmax(64, 0x1u | (3u << 3)), 0u);   // e64m2 grouping
+  EXPECT_EQ(isa::rvv::vlmax(64, 4u), 0u);                 // reserved vlmul
+}
+
+// --- vsetvli semantics through the shared executor ---
+
+struct RvvExecFixture {
+  func::FuncMemory mem;
+  func::Executor exec{mem};
+  func::ArchState st;
+  func::ExecContext ctx{0, 1, /*max_vl=*/16, IsaId::kRvv};
+  std::vector<Addr> addrs;
+
+  func::ExecResult vsetvli(RegIdx rd, RegIdx rs1, std::uint32_t vtypei) {
+    Instruction inst{Opcode::kVsetvli, rd, rs1, 0,
+                     static_cast<std::int32_t>(vtypei), 0};
+    return exec.execute(inst, st, ctx, addrs);
+  }
+};
+
+TEST(RvvVsetvli, RegisterAvlClampsToVlmax) {
+  RvvExecFixture f;
+  f.st.set_sreg(5, 100);
+  f.vsetvli(3, 5, isa::rvv::kVtypeE64M1);
+  EXPECT_EQ(f.st.vl(), 16u);
+  EXPECT_EQ(f.st.sreg(3), 16u);
+  EXPECT_EQ(f.st.vtype(), 0x18u);
+
+  f.st.set_sreg(5, 7);
+  f.vsetvli(3, 5, isa::rvv::kVtypeE64M1);
+  EXPECT_EQ(f.st.vl(), 7u);
+  EXPECT_EQ(f.st.sreg(3), 7u);
+}
+
+TEST(RvvVsetvli, X0SourceNonX0DestRequestsVlmax) {
+  RvvExecFixture f;
+  f.vsetvli(4, 0, isa::rvv::kVtypeE64M1);
+  EXPECT_EQ(f.st.vl(), 16u);
+  EXPECT_EQ(f.st.sreg(4), 16u);
+}
+
+TEST(RvvVsetvli, X0X0KeepsVlAndSkipsRdWrite) {
+  RvvExecFixture f;
+  f.st.set_sreg(5, 9);
+  f.vsetvli(3, 5, isa::rvv::kVtypeE64M1);
+  ASSERT_EQ(f.st.vl(), 9u);
+  f.st.set_sreg(0, 0xDEAD);  // sentinel: rd == x0 must not be written
+  f.vsetvli(0, 0, isa::rvv::kVtypeE64M1);
+  EXPECT_EQ(f.st.vl(), 9u);
+  EXPECT_EQ(f.st.sreg(0), 0xDEADu);
+}
+
+TEST(RvvVsetvli, UnsupportedVtypeSetsVill) {
+  RvvExecFixture f;
+  f.st.set_sreg(5, 8);
+  f.vsetvli(3, 5, 2u << 3);  // e32m1: valid RVV, outside the subset
+  EXPECT_EQ(f.st.vl(), 0u);
+  EXPECT_EQ(f.st.sreg(3), 0u);
+  EXPECT_EQ(f.st.vtype(), isa::rvv::kVtypeVill);
+}
+
+TEST(RvvVsetvli, AvlIsUnsigned) {
+  RvvExecFixture f;
+  f.st.set_sreg_i(5, -1);  // unsigned AVL = 2^64-1 -> clamps to VLMAX
+  f.vsetvli(3, 5, isa::rvv::kVtypeE64M1);
+  EXPECT_EQ(f.st.vl(), 16u);
+}
+
+// --- unit-stride vle64/vse64 ---
+
+TEST(RvvMemory, Vle64Vse64Roundtrip) {
+  RvvExecFixture f;
+  const Addr base = 0x1000;
+  for (unsigned i = 0; i < 8; ++i)
+    f.mem.write_i64(base + 8 * i, 100 + i);
+
+  f.st.set_sreg(10, base);
+  f.st.set_vl(8);
+  Instruction vle{Opcode::kVle, 2, 10, 0, 0, 0};
+  func::ExecResult r = f.exec.execute(vle, f.st, f.ctx, f.addrs);
+  EXPECT_EQ(r.elems, 8u);
+  ASSERT_EQ(f.addrs.size(), 8u);
+  EXPECT_EQ(f.addrs[0], base);
+  EXPECT_EQ(f.addrs[7], base + 56);
+  for (unsigned i = 0; i < 8; ++i) EXPECT_EQ(f.st.velem(2, i), 100 + i);
+
+  f.st.set_sreg(11, base + 0x200);
+  Instruction vse{Opcode::kVse, 2, 11, 0, 0, 0};
+  r = f.exec.execute(vse, f.st, f.ctx, f.addrs);
+  EXPECT_EQ(r.elems, 8u);
+  for (unsigned i = 0; i < 8; ++i)
+    EXPECT_EQ(f.mem.read_i64(base + 0x200 + 8 * i), 100 + i);
+}
+
+// --- per-frontend opcode enforcement ---
+
+TEST(IsaEnforcement, VltSetvlRejectedUnderRvv) {
+  RvvExecFixture f;
+  f.st.set_sreg(5, 4);
+  Instruction setvl{Opcode::kSetvl, 3, 5, 0, 0, 0};
+  EXPECT_THROW(f.exec.execute(setvl, f.st, f.ctx, f.addrs), SimError);
+}
+
+TEST(IsaEnforcement, RvvOpsRejectedUnderVlt) {
+  RvvExecFixture f;
+  f.ctx.isa = IsaId::kVlt;
+  Instruction vsetvli{Opcode::kVsetvli, 3, 5, 0, 0x18, 0};
+  EXPECT_THROW(f.exec.execute(vsetvli, f.st, f.ctx, f.addrs), SimError);
+  f.st.set_vl(4);
+  Instruction vle{Opcode::kVle, 2, 10, 0, 0, 0};
+  EXPECT_THROW(f.exec.execute(vle, f.st, f.ctx, f.addrs), SimError);
+}
+
+TEST(IsaFrontends, MasksPartitionTheSetVlAndMemoryFamilies) {
+  const isa::IsaFrontend& vlt = isa::frontend(IsaId::kVlt);
+  const isa::IsaFrontend& rvv = isa::frontend(IsaId::kRvv);
+  EXPECT_TRUE(vlt.has_opcode(Opcode::kSetvl));
+  EXPECT_TRUE(vlt.has_opcode(Opcode::kVgather));
+  EXPECT_FALSE(vlt.has_opcode(Opcode::kVsetvli));
+  EXPECT_FALSE(vlt.has_opcode(Opcode::kVle));
+  EXPECT_FALSE(vlt.has_opcode(Opcode::kVse));
+  EXPECT_TRUE(rvv.has_opcode(Opcode::kVsetvli));
+  EXPECT_TRUE(rvv.has_opcode(Opcode::kVle));
+  EXPECT_FALSE(rvv.has_opcode(Opcode::kSetvl));
+  EXPECT_FALSE(rvv.has_opcode(Opcode::kSetvlMax));
+  EXPECT_FALSE(rvv.has_opcode(Opcode::kVloads));
+  EXPECT_FALSE(rvv.has_opcode(Opcode::kVgather));
+  // Shared micro-ops belong to both frontends.
+  EXPECT_TRUE(vlt.has_opcode(Opcode::kVfma));
+  EXPECT_TRUE(rvv.has_opcode(Opcode::kVfma));
+}
+
+TEST(IsaFrontends, NamesRoundTrip) {
+  EXPECT_STREQ(isa::isa_name(IsaId::kVlt), "vlt");
+  EXPECT_STREQ(isa::isa_name(IsaId::kRvv), "rvv");
+  EXPECT_EQ(isa::isa_from_name("vlt"), IsaId::kVlt);
+  EXPECT_EQ(isa::isa_from_name("rvv"), IsaId::kRvv);
+  EXPECT_FALSE(isa::isa_from_name("sse").has_value());
+  EXPECT_EQ(isa::isa_names(), (std::vector<std::string>{"vlt", "rvv"}));
+}
+
+TEST(IsaFrontends, ProgramCarriesItsIsaTag) {
+  isa::ProgramBuilder b("p");
+  b.set_isa(IsaId::kRvv);
+  b.vsetvli(3, 5, isa::rvv::kVtypeE64M1);
+  b.halt();
+  isa::Program p = b.build();
+  EXPECT_EQ(p.isa(), IsaId::kRvv);
+  EXPECT_EQ(isa::ProgramBuilder("q").build().isa(), IsaId::kVlt);
+}
+
+// --- isa in fingerprints, run keys, and result serialization ---
+
+TEST(IsaPlumbing, FingerprintSeparatesFrontends) {
+  machine::MachineConfig a = machine::MachineConfig::by_name("base");
+  machine::MachineConfig b = a;
+  b.isa = IsaId::kRvv;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+  EXPECT_EQ(a.fingerprint().rfind("vltcfg2", 0), 0u);
+}
+
+TEST(IsaPlumbing, RunKeyAppendsOnlyNonDefaultIsa) {
+  campaign::RunKey vlt{"mxm", "base", "base"};
+  EXPECT_EQ(vlt.to_string(), "mxm/base/base");
+  campaign::RunKey rvv{"mxm", "base", "base", "rvv"};
+  EXPECT_EQ(rvv.to_string(), "mxm/base/base/rvv");
+  EXPECT_FALSE(vlt == rvv);
+  EXPECT_TRUE(rvv < vlt);  // "rvv" sorts before "vlt"
+}
+
+TEST(IsaPlumbing, RunResultOmitsDefaultIsaAndParsesV3Documents) {
+  machine::RunResult r;
+  r.workload = "mxm";
+  r.config = "base";
+  r.variant = "base";
+  r.cycles = 42;
+  r.verified = true;
+  const std::string v3_bytes = r.to_json().dump(-1);
+  EXPECT_EQ(v3_bytes.find("\"isa\""), std::string::npos);
+
+  // A pre-v4 document (no isa member) parses to the default frontend and
+  // re-serializes byte-identically.
+  std::optional<Json> doc = Json::parse(v3_bytes);
+  ASSERT_TRUE(doc.has_value());
+  std::optional<machine::RunResult> parsed =
+      machine::RunResult::from_json(*doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->isa, "vlt");
+  EXPECT_EQ(parsed->to_json().dump(-1), v3_bytes);
+
+  r.isa = "rvv";
+  const std::string v4_bytes = r.to_json().dump(-1);
+  EXPECT_NE(v4_bytes.find("\"isa\":\"rvv\""), std::string::npos);
+  doc = Json::parse(v4_bytes);
+  ASSERT_TRUE(doc.has_value());
+  parsed = machine::RunResult::from_json(*doc);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->isa, "rvv");
+}
+
+}  // namespace
+}  // namespace vlt

@@ -74,6 +74,19 @@ TEST(SkipEquivalence, VectorThreadVariants) {
   }
 }
 
+// --- RVV frontend cells: the second ISA must skip identically too ----------
+
+TEST(SkipEquivalence, RvvFrontendCells) {
+  for (const char* name : {"mxm", "radix", "trfd"}) {
+    MachineConfig cfg = MachineConfig::base();
+    cfg.isa = IsaId::kRvv;
+    expect_equivalent(cfg, name, Variant::base());
+  }
+  MachineConfig cfg = MachineConfig::v4_cmp();
+  cfg.isa = IsaId::kRvv;
+  expect_equivalent(cfg, "trfd", Variant::vector_threads(4));
+}
+
 // --- lane-threading (CMT) variants: the in-order lane-core engine ----------
 
 TEST(SkipEquivalence, LaneThreadVariants) {

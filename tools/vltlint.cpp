@@ -1,13 +1,15 @@
 // vltlint — static analyzer for VLT phase-structured programs.
 //
-//   vltlint [workload...] [--variant V]... [--only CHECK]...
-//           [--suppress CHECK[@WORKLOAD]]... [--json] [--table-only]
-//           [--no-table] [--list-checks] [--list]
+//   vltlint [workload...] [--variant V]... [--isa NAME]
+//           [--only CHECK]... [--suppress CHECK[@WORKLOAD]]... [--json]
+//           [--table-only] [--no-table] [--list-checks] [--list]
 //
 // With no workloads named, lints all nine applications across every
-// variant each one supports (base, vlt2, vlt4, lanes8, su4), plus the
-// opcode-metadata closure. Checks, the finding JSON schema, and the
-// suppression syntax are documented in docs/LINT.md.
+// variant each one supports (base, vlt2, vlt4, lanes8, su4) under every
+// ISA frontend each one has a port to (RVV builds are qualified
+// ":rvv"), plus the opcode-metadata closure. --isa restricts the sweep
+// to one frontend. Checks, the finding JSON schema, and the suppression
+// syntax are documented in docs/LINT.md.
 //
 // Exit codes: 0 no findings, 1 findings reported, 2 usage,
 // 3 internal error.
@@ -19,6 +21,7 @@
 
 #include "analysis/checks.hpp"
 #include "common/error.hpp"
+#include "isa/isa.hpp"
 #include "workloads/workload.hpp"
 
 using namespace vlt;
@@ -29,12 +32,16 @@ namespace {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: vltlint [workload...] [--variant V]... [--only CHECK]...\n"
-      "               [--suppress CHECK[@WORKLOAD]]... [--json]\n"
-      "               [--table-only] [--no-table] [--list-checks] [--list]\n"
+      "usage: vltlint [workload...] [--variant V]... [--isa NAME]\n"
+      "               [--only CHECK]... [--suppress CHECK[@WORKLOAD]]...\n"
+      "               [--json] [--table-only] [--no-table]\n"
+      "               [--list-checks] [--list]\n"
       "  workloads: all nine applications plus fault.* injectors\n"
       "             (default: the nine applications)\n"
       "  variants:  %s (default: every variant the workload supports)\n"
+      "  --isa NAME:        lint builds for one ISA frontend only (vlt or\n"
+      "                     rvv; default: every frontend the workload has\n"
+      "                     a port to)\n"
       "  --only CHECK:      run only the named check (repeatable)\n"
       "  --suppress SPEC:   drop findings of CHECK, or CHECK@WORKLOAD\n"
       "                     to scope to one workload; '*' matches any\n"
@@ -60,6 +67,7 @@ int run_main(int argc, char** argv) {
   std::vector<Variant> variants;
   std::vector<analysis::Suppression> suppressions;
   analysis::AnalysisOptions opts;
+  std::optional<isa::IsaId> isa_filter;
   bool json = false;
   bool table_only = false;
   bool no_table = false;
@@ -84,6 +92,17 @@ int run_main(int argc, char** argv) {
         return 2;
       }
       variants.push_back(*parsed);
+    } else if (arg == "--isa" && i + 1 < argc) {
+      const char* v = argv[++i];
+      std::optional<isa::IsaId> parsed = isa::isa_from_name(v);
+      if (!parsed) {
+        std::string valid;
+        for (const std::string& n : isa::isa_names()) valid += " " + n;
+        std::fprintf(stderr, "vltlint: unknown isa '%s' (valid:%s)\n", v,
+                     valid.c_str());
+        return 2;
+      }
+      isa_filter = *parsed;
     } else if (arg == "--only" && i + 1 < argc) {
       opts.only.push_back(argv[++i]);
     } else if (arg == "--suppress" && i + 1 < argc) {
@@ -128,22 +147,34 @@ int run_main(int argc, char** argv) {
         return 2;
       }
       bool any = false;
-      for (const Variant& v : sweep) {
-        if (!w->supports(v.kind)) continue;
-        any = true;
-        machine::ParallelProgram prog = w->build(v);
-        // Qualify the name with the variant so a finding names the exact
-        // build it came from.
-        prog.name = name + ":" + v.to_string();
-        std::vector<analysis::Finding> fs = analysis::analyze(prog, opts);
-        findings.insert(findings.end(),
-                        std::make_move_iterator(fs.begin()),
-                        std::make_move_iterator(fs.end()));
+      for (isa::IsaId id : {isa::IsaId::kVlt, isa::IsaId::kRvv}) {
+        if (isa_filter && *isa_filter != id) continue;
+        if (!w->supports_isa(id)) continue;
+        for (const Variant& v : sweep) {
+          if (!w->supports(v.kind)) continue;
+          any = true;
+          machine::ParallelProgram prog = w->build(v, id);
+          // Qualify the name with the variant (and non-default frontend)
+          // so a finding names the exact build it came from.
+          prog.name = name + ":" + v.to_string();
+          if (id != isa::IsaId::kVlt)
+            prog.name += std::string(":") + isa::isa_name(id);
+          std::vector<analysis::Finding> fs = analysis::analyze(prog, opts);
+          findings.insert(findings.end(),
+                          std::make_move_iterator(fs.begin()),
+                          std::make_move_iterator(fs.end()));
+        }
       }
-      if (!any && !variants.empty())
+      if (!any && isa_filter && !w->supports_isa(*isa_filter)) {
+        std::fprintf(stderr,
+                     "vltlint: %s has no port to the %s ISA frontend "
+                     "(skipped)\n", name.c_str(),
+                     isa::isa_name(*isa_filter));
+      } else if (!any && !variants.empty()) {
         std::fprintf(stderr,
                      "vltlint: %s supports none of the requested variants "
                      "(skipped)\n", name.c_str());
+      }
     }
   }
 

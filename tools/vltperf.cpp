@@ -1,7 +1,8 @@
 // vltperf — host-throughput benchmark harness for the event-driven
 // skip-ahead core loop (docs/PERF.md).
 //
-//   vltperf [--quick] [--budget-ms N] [--min-speedup X] [--out FILE]
+//   vltperf [--quick] [--isa NAME] [--budget-ms N] [--min-speedup X]
+//           [--out FILE]
 //
 // Runs a workload × config × variant grid twice per cell — once with
 // event-driven skip-ahead (the default core loop) and once with
@@ -33,6 +34,7 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "isa/isa.hpp"
 #include "machine/simulator.hpp"
 #include "workloads/workload.hpp"
 
@@ -44,11 +46,14 @@ namespace {
 void usage() {
   std::fprintf(
       stderr,
-      "usage: vltperf [--quick] [--budget-ms N] [--min-speedup X]\n"
-      "               [--out FILE]\n"
+      "usage: vltperf [--quick] [--isa NAME] [--budget-ms N]\n"
+      "               [--min-speedup X] [--out FILE]\n"
       "  --quick         measure the CI golden sweep grid\n"
       "                  (mpenc,trfd,multprec,bt) instead of every\n"
       "                  workload\n"
+      "  --isa NAME      ISA frontend to build workloads for (vlt or\n"
+      "                  rvv; default vlt). Workloads without a port to\n"
+      "                  the frontend are pruned from the grid\n"
       "  --budget-ms N   per-cell, per-mode wall budget for repeated\n"
       "                  passes; the best (minimum) pass is reported\n"
       "                  (default 200, always at least one pass)\n"
@@ -91,6 +96,7 @@ double measure(const machine::MachineConfig& cfg,
 
 int run_main(int argc, char** argv) {
   bool quick = false;
+  isa::IsaId isa_id = isa::IsaId::kVlt;
   double budget_ms = 200.0;
   double min_speedup = 0.0;
   std::string out_path = "BENCH_vltperf.json";
@@ -118,6 +124,17 @@ int run_main(int argc, char** argv) {
     };
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--isa") {
+      const char* v = value();
+      std::optional<isa::IsaId> parsed = isa::isa_from_name(v);
+      if (!parsed) {
+        std::string valid;
+        for (const std::string& n : isa::isa_names()) valid += " " + n;
+        std::fprintf(stderr, "vltperf: unknown isa '%s' (valid:%s)\n", v,
+                     valid.c_str());
+        return 2;
+      }
+      isa_id = *parsed;
     } else if (arg == "--budget-ms") {
       budget_ms = double_value();
     } else if (arg == "--min-speedup") {
@@ -138,8 +155,11 @@ int run_main(int argc, char** argv) {
       quick ? std::vector<std::string>{"mpenc", "trfd", "multprec", "bt"}
             : workloads::workload_names();
   std::vector<machine::MachineConfig> configs;
-  for (const char* name : {"base", "V2-CMP", "V4-CMP"})
-    configs.push_back(machine::MachineConfig::by_name(name));
+  for (const char* name : {"base", "V2-CMP", "V4-CMP"}) {
+    machine::MachineConfig c = machine::MachineConfig::by_name(name);
+    c.isa = isa_id;
+    configs.push_back(std::move(c));
+  }
   std::vector<Variant> variants;
   for (const char* v : {"base", "vlt2", "vlt4"})
     variants.push_back(*Variant::parse(v, nullptr));
@@ -221,6 +241,7 @@ int run_main(int argc, char** argv) {
   Json report = Json::object();
   report.set("schema", "vltperf-v1");
   report.set("grid", quick ? "quick" : "full");
+  report.set("isa", isa::isa_name(isa_id));
   report.set("budget_ms", budget_ms);
   report.set("cells", std::move(cells));
   Json total = Json::object();

@@ -2,9 +2,9 @@
 // configuration and variant, print cycle counts, per-phase timing,
 // Table 4-style characteristics, and cache/predictor statistics.
 //
-//   vltsim_run <workload> [--config NAME] [--variant V] [--lanes N]
-//              [--cycle-limit N] [--no-skip] [--json] [--audit]
-//              [--trace FILE] [--list]
+//   vltsim_run <workload> [--config NAME] [--variant V] [--isa NAME]
+//              [--lanes N] [--cycle-limit N] [--no-skip] [--json]
+//              [--audit] [--trace FILE] [--list]
 //
 // Exit codes: 0 ok, 1 run failed (verification/timeout/...), 2 usage,
 // 3 internal simulator error (see docs/ERRORS.md).
@@ -13,6 +13,7 @@
 //   vltsim_run mpenc --config V4-CMP --variant vlt4
 //   vltsim_run radix --config CMT --variant su4
 //   vltsim_run mxm --lanes 2
+//   vltsim_run trfd --isa rvv --config V4-CMP --variant vlt4
 //   vltsim_run bt --json           # RunResult JSON on stdout
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +22,7 @@
 
 #include "analysis/checks.hpp"
 #include "campaign/campaign.hpp"
+#include "isa/isa.hpp"
 #include "machine/area_model.hpp"
 #include "machine/simulator.hpp"
 #include "workloads/workload.hpp"
@@ -34,14 +36,22 @@ void usage() {
   std::string configs;
   for (const std::string& n : machine::MachineConfig::preset_names())
     configs += " " + n;
+  std::string isas;
+  for (const std::string& n : isa::isa_names()) {
+    if (!isas.empty()) isas += " ";
+    isas += n;
+  }
   std::fprintf(
       stderr,
       "usage: vltsim_run <workload> [--config NAME] [--variant V] "
-      "[--lanes N] [--cycle-limit N] [--no-skip] [--json] [--audit] "
-      "[--lint] [--trace FILE] [--list]\n"
+      "[--isa NAME] [--lanes N] [--cycle-limit N] [--no-skip] [--json] "
+      "[--audit] [--lint] [--trace FILE] [--list]\n"
       "  workloads: mxm sage mpenc trfd multprec bt radix ocean barnes\n"
       "  configs:  %s\n"
       "  variants: %s\n"
+      "  --isa NAME: ISA frontend to build the workload for (%s;\n"
+      "             default vlt). Workloads without a port to the\n"
+      "             requested frontend fail the run (docs/ISA.md)\n"
       "  --lanes N: base machine with N lanes (1-%u, dividing %u)\n"
       "  --cycle-limit N: cycle budget; exceeding it fails the run with\n"
       "             status \"timeout\" and a per-context diagnostic\n"
@@ -55,8 +65,8 @@ void usage() {
       "  --trace FILE: write structured events (vector dispatch, VIQ\n"
       "             handoff, barrier arrive/release, L2 misses) as Chrome\n"
       "             trace_event JSON (chrome://tracing, docs/METRICS.md)\n",
-      configs.c_str(), Variant::spec_help().c_str(), kMaxVectorLength,
-      kMaxVectorLength);
+      configs.c_str(), Variant::spec_help().c_str(), isas.c_str(),
+      kMaxVectorLength, kMaxVectorLength);
 }
 
 int run_main(int argc, char** argv) {
@@ -67,6 +77,7 @@ int run_main(int argc, char** argv) {
   std::string workload_name;
   std::string config_name = "base";
   Variant variant = Variant::base();
+  isa::IsaId isa_id = isa::IsaId::kVlt;
   unsigned lanes = 0;
   Cycle cycle_limit = 0;
   bool audit = false;
@@ -92,6 +103,17 @@ int run_main(int argc, char** argv) {
         return 2;
       }
       variant = *parsed;
+    } else if (arg == "--isa" && i + 1 < argc) {
+      const char* v = argv[++i];
+      std::optional<isa::IsaId> parsed = isa::isa_from_name(v);
+      if (!parsed) {
+        std::string valid;
+        for (const std::string& n : isa::isa_names()) valid += " " + n;
+        std::fprintf(stderr, "vltsim_run: unknown isa '%s' (valid:%s)\n", v,
+                     valid.c_str());
+        return 2;
+      }
+      isa_id = *parsed;
     } else if (arg == "--lanes" && i + 1 < argc) {
       const char* v = argv[++i];
       char* end = nullptr;
@@ -159,12 +181,18 @@ int run_main(int argc, char** argv) {
   if (audit) cfg.audit = audit::AuditConfig::full();
   if (cycle_limit != 0) cfg.cycle_limit = cycle_limit;
   if (no_skip) cfg.event_skip = false;
+  cfg.isa = isa_id;
   auto workload = workloads::find_workload(workload_name);
   if (workload == nullptr) {
     std::fprintf(stderr, "vltsim_run: unknown workload '%s'\n",
                  workload_name.c_str());
     usage();
     return 2;
+  }
+  if (!workload->supports_isa(isa_id)) {
+    std::fprintf(stderr, "%s has no port to the %s ISA frontend\n",
+                 workload_name.c_str(), isa::isa_name(isa_id));
+    return 1;
   }
   if (!workload->supports(variant.kind)) {
     std::fprintf(stderr, "%s does not support variant %s\n",
@@ -180,7 +208,7 @@ int run_main(int argc, char** argv) {
   }
 
   if (lint) {
-    machine::ParallelProgram built = workload->build(variant);
+    machine::ParallelProgram built = workload->build(variant, isa_id);
     std::vector<analysis::Finding> findings = analysis::analyze(built);
     if (!findings.empty()) {
       for (const analysis::Finding& f : findings)
@@ -207,6 +235,7 @@ int run_main(int argc, char** argv) {
   r.workload = workload_name;
   r.config = cfg.name;
   r.variant = variant.to_string();
+  r.isa = isa::isa_name(isa_id);
 
   if (!trace_path.empty()) {
     std::FILE* f = std::fopen(trace_path.c_str(), "w");
@@ -231,8 +260,9 @@ int run_main(int argc, char** argv) {
     return r.ok() ? 0 : 1;
   }
 
-  std::printf("workload : %s\nconfig   : %s\nvariant  : %s\n",
-              r.workload.c_str(), r.config.c_str(), r.variant.c_str());
+  std::printf("workload : %s\nconfig   : %s\nvariant  : %s\nisa      : %s\n",
+              r.workload.c_str(), r.config.c_str(), r.variant.c_str(),
+              r.isa.c_str());
   std::printf("status   : %s%s%s\n", machine::run_status_name(r.status),
               r.ok() ? "" : " — ", r.ok() ? "" : r.error.c_str());
   std::printf("verified : %s\n", r.verified ? "yes" : "NO");

@@ -3,10 +3,11 @@
 // content-addressed on-disk result cache, and emit JSON or CSV.
 //
 //   vltsweep [--workloads a,b|all] [--configs x,y|all] [--variants v,..]
-//            [--threads N] [--cache DIR] [--no-cache] [--force]
-//            [--fail-fast] [--max-retries N] [--cell-cycle-limit N]
-//            [--journal FILE] [--no-journal] [--resume] [--no-skip]
-//            [--wall] [--format json|csv] [--out FILE] [--quiet] [--list]
+//            [--isa i,j|all] [--threads N] [--cache DIR] [--no-cache]
+//            [--force] [--fail-fast] [--max-retries N]
+//            [--cell-cycle-limit N] [--journal FILE] [--no-journal]
+//            [--resume] [--no-skip] [--wall] [--format json|csv]
+//            [--out FILE] [--quiet] [--list]
 //
 // The grid is pruned to runnable cells (workload supports the variant
 // kind, config has the hardware), so `--workloads all --configs all
@@ -24,7 +25,9 @@
 //            --variants base,vlt4 --threads 4 --out sweep.json
 //   vltsweep --workloads all --configs all --variants base,vlt2,vlt4 \
 //            --cache .vltsweep-cache --format csv
+//   vltsweep --workloads mxm,radix,trfd --isa vlt,rvv  # sweep the isa axis
 //   vltsweep --resume --out sweep.json     # continue a killed sweep
+#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -34,6 +37,7 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "isa/isa.hpp"
 
 using namespace vlt;
 using workloads::Variant;
@@ -47,11 +51,13 @@ void usage() {
   std::string workloads_list;
   for (const std::string& n : workloads::workload_names())
     workloads_list += " " + n;
+  std::string isas;
+  for (const std::string& n : isa::isa_names()) isas += " " + n;
   std::fprintf(
       stderr,
       "usage: vltsweep [--workloads LIST|all] [--configs LIST|all]\n"
-      "                [--variants LIST] [--threads N] [--cache DIR]\n"
-      "                [--no-cache] [--force] [--fail-fast]\n"
+      "                [--variants LIST] [--isa LIST|all] [--threads N]\n"
+      "                [--cache DIR] [--no-cache] [--force] [--fail-fast]\n"
       "                [--max-retries N] [--cell-cycle-limit N]\n"
       "                [--journal FILE] [--no-journal] [--resume]\n"
       "                [--no-skip] [--wall] [--format json|csv]\n"
@@ -59,6 +65,9 @@ void usage() {
       "  workloads:%s\n"
       "  configs:  %s\n"
       "  variants: %s\n"
+      "  --isa LIST    ISA frontends to sweep (%s; default vlt). Cells\n"
+      "                whose workload has no port to a frontend are\n"
+      "                pruned from the grid (docs/ISA.md)\n"
       "  --threads N   worker threads (default: hardware concurrency)\n"
       "  --cache DIR   result-cache directory (default .vltsweep-cache;\n"
       "                --no-cache disables, --force re-simulates)\n"
@@ -77,7 +86,8 @@ void usage() {
       "  --wall        add each cell's host wall-clock ms to the report\n"
       "                (nondeterministic; 0 for cached/resumed cells)\n"
       "  --list        print the cells the spec expands to, then exit\n",
-      workloads_list.c_str(), configs.c_str(), Variant::spec_help().c_str());
+      workloads_list.c_str(), configs.c_str(), Variant::spec_help().c_str(),
+      isas.c_str());
 }
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -96,6 +106,7 @@ int run_main(int argc, char** argv) {
   std::string workloads_arg = "all";
   std::string configs_arg;
   std::string variants_arg = "base,vlt2,vlt4";
+  std::string isa_arg = "vlt";
   std::string format = "json";
   std::string out_path;
   campaign::CampaignOptions opts;
@@ -134,6 +145,8 @@ int run_main(int argc, char** argv) {
       configs_arg = value();
     } else if (arg == "--variants") {
       variants_arg = value();
+    } else if (arg == "--isa") {
+      isa_arg = value();
     } else if (arg == "--threads") {
       opts.threads = static_cast<unsigned>(uint_value(1, 1024));
     } else if (arg == "--cache") {
@@ -236,6 +249,37 @@ int run_main(int argc, char** argv) {
   // cells from skip-mode runs remain valid hits under --no-skip.
   if (no_skip)
     for (machine::MachineConfig& c : configs) c.event_skip = false;
+
+  // The isa axis sweeps by stamping each requested frontend onto a copy
+  // of every config; add_grid prunes cells whose workload has no port.
+  std::vector<isa::IsaId> isa_ids;
+  const std::vector<std::string> isa_list =
+      isa_arg == "all" ? isa::isa_names() : split_csv(isa_arg);
+  for (const std::string& name : isa_list) {
+    std::optional<isa::IsaId> id = isa::isa_from_name(name);
+    if (!id) {
+      std::string valid;
+      for (const std::string& n : isa::isa_names()) valid += " " + n;
+      std::fprintf(stderr, "vltsweep: unknown isa '%s' (valid:%s)\n",
+                   name.c_str(), valid.c_str());
+      return 2;
+    }
+    if (std::find(isa_ids.begin(), isa_ids.end(), *id) == isa_ids.end())
+      isa_ids.push_back(*id);
+  }
+  if (isa_ids.empty()) {
+    std::fprintf(stderr, "vltsweep: --isa expects at least one frontend\n");
+    return 2;
+  }
+  if (isa_ids.size() > 1 || isa_ids[0] != isa::IsaId::kVlt) {
+    std::vector<machine::MachineConfig> stamped;
+    for (isa::IsaId id : isa_ids)
+      for (machine::MachineConfig c : configs) {
+        c.isa = id;
+        stamped.push_back(std::move(c));
+      }
+    configs = std::move(stamped);
+  }
 
   std::vector<Variant> variants;
   for (const std::string& v : split_csv(variants_arg)) {
