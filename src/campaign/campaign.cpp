@@ -242,6 +242,42 @@ machine::RunResult run_cell(const Cell& cell, const CampaignOptions& options) {
 
 }  // namespace
 
+machine::RunResult execute_cell(const Cell& cell,
+                                const CampaignOptions& options,
+                                const ResultCache* cache, bool* cache_hit) {
+  if (cache_hit != nullptr) *cache_hit = false;
+  std::uint64_t key = 0;
+  bool have_key = false;
+  if (cache != nullptr) {
+    try {
+      workloads::WorkloadPtr w =
+          cell.make ? cell.make() : workloads::make_workload(cell.workload);
+      key = cell_cache_key(cell, *w);
+      have_key = true;
+    } catch (const vlt::SimError&) {
+      // An unconstructable cell fails in run_cell with the right
+      // status; it just never touches the cache.
+    }
+    if (have_key && !options.force) {
+      std::optional<machine::RunResult> cached = cache->lookup(key);
+      // The cached identifying strings must match the cell's; a hash
+      // collision across different cells is theoretically possible
+      // and must re-simulate rather than silently cross-fill. Only
+      // ok results are trusted from the cache (failures re-run).
+      if (cached && cached->ok() && cached->workload == cell.workload &&
+          cached->config == cell.config.name &&
+          cached->variant == cell.variant.to_string() &&
+          cached->isa == isa::isa_name(cell.config.isa)) {
+        if (cache_hit != nullptr) *cache_hit = true;
+        return *std::move(cached);
+      }
+    }
+  }
+  machine::RunResult res = run_cell(cell, options);
+  if (cache != nullptr && have_key && res.ok()) cache->store(key, res);
+  return res;
+}
+
 RunSet Campaign::run(const SweepSpec& spec) const {
   const std::vector<Cell>& cells = spec.cells();
   RunSet set;
@@ -310,41 +346,10 @@ RunSet Campaign::run(const SweepSpec& spec) const {
         r.attempts = 0;
         // Deliberately not journaled: a resume should attempt these.
       } else {
-        std::uint64_t key = 0;
-        bool have_key = false;
-        if (cache) {
-          try {
-            workloads::WorkloadPtr w =
-                cell.make ? cell.make()
-                          : workloads::make_workload(cell.workload);
-            key = cell_cache_key(cell, *w);
-            have_key = true;
-          } catch (const vlt::SimError&) {
-            // An unconstructable cell fails in run_cell with the right
-            // status; it just never touches the cache.
-          }
-          if (have_key && !options_.force) {
-            std::optional<machine::RunResult> cached = cache->lookup(key);
-            // The cached identifying strings must match the cell's; a hash
-            // collision across different cells is theoretically possible
-            // and must re-simulate rather than silently cross-fill. Only
-            // ok results are trusted from the cache (failures re-run).
-            if (cached && cached->ok() && cached->workload == cell.workload &&
-                cached->config == cell.config.name &&
-                cached->variant == cell.variant.to_string() &&
-                cached->isa == isa::isa_name(cell.config.isa)) {
-              set.results_[i] = std::move(*cached);
-              hit = true;
-            }
-          }
-        }
-        if (!hit) {
-          set.results_[i] = run_cell(cell, options_);
-          if (cache && have_key && set.results_[i].ok())
-            cache->store(key, set.results_[i]);
-          if (!set.results_[i].ok() && options_.fail_fast)
-            stop.store(true, std::memory_order_relaxed);
-        }
+        set.results_[i] = execute_cell(
+            cell, options_, cache ? &*cache : nullptr, &hit);
+        if (!hit && !set.results_[i].ok() && options_.fail_fast)
+          stop.store(true, std::memory_order_relaxed);
         journal.append(i, cell.key(), set.results_[i]);
       }
       if (hit) hits.fetch_add(1);

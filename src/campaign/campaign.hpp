@@ -22,6 +22,10 @@
 #include "machine/simulator.hpp"
 #include "workloads/workload.hpp"
 
+namespace vlt::shard {
+class ShardCoordinator;  // multi-process campaign execution (docs/SHARD.md)
+}
+
 namespace vlt::campaign {
 
 /// One sweep cell: a full machine configuration (not just a preset name,
@@ -157,6 +161,9 @@ class RunSet {
 
  private:
   friend class Campaign;
+  // The shard coordinator aggregates worker results into a RunSet the
+  // same way Campaign's thread pool does (spec-order slots).
+  friend class ::vlt::shard::ShardCoordinator;
   std::vector<machine::RunResult> results_;
   std::map<RunKey, std::size_t> index_;
   std::size_t cache_hits_ = 0;
@@ -166,6 +173,20 @@ class RunSet {
 /// Order-sensitive digest of a spec's cell identities; keys the journal
 /// header so a journal only ever resumes the sweep that wrote it.
 std::uint64_t spec_digest(const SweepSpec& spec);
+
+/// Executes one cell under the campaign's fault-isolation policy
+/// (SimErrors land in the result's status/error, retried per
+/// options.max_retries), consulting and feeding `cache` when non-null.
+/// `cache_hit`, when non-null, reports whether the result was served
+/// from the cache. This is the scheduling seam every execution engine
+/// shares: Campaign::run's thread pool, the vltshard worker protocol
+/// (`vltsweep --worker`), and the shard coordinator's in-process
+/// fallback all run cells through here, which is what makes a sharded
+/// campaign byte-identical to a serial one (docs/SHARD.md).
+machine::RunResult execute_cell(const Cell& cell,
+                                const CampaignOptions& options,
+                                const ResultCache* cache = nullptr,
+                                bool* cache_hit = nullptr);
 
 class Campaign {
  public:

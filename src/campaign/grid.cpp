@@ -1,0 +1,116 @@
+#include "campaign/grid.hpp"
+
+#include <algorithm>
+
+#include "isa/isa.hpp"
+
+namespace vlt::campaign {
+
+std::vector<std::string> split_csv(const std::string& s) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    if (comma > start) out.push_back(s.substr(start, comma - start));
+    start = comma + 1;
+  }
+  return out;
+}
+
+std::optional<SweepSpec> resolve_grid(const GridRequest& req,
+                                      std::string* err) {
+  std::vector<std::string> workload_names =
+      req.workloads == "all" ? workloads::workload_names()
+                             : split_csv(req.workloads);
+  for (const std::string& name : workload_names) {
+    // find_workload also resolves the fault.* injectors, which "all"
+    // deliberately leaves out.
+    if (workloads::find_workload(name) == nullptr) {
+      if (err != nullptr) *err = "unknown workload '" + name + "'";
+      return std::nullopt;
+    }
+  }
+
+  std::vector<std::string> config_names;
+  if (req.configs.empty() || req.configs == "all") {
+    // Default grid: every preset that can run vector code (CMT joins in
+    // only when an suN variant asks for it).
+    config_names = machine::MachineConfig::preset_names();
+  } else {
+    config_names = split_csv(req.configs);
+  }
+  std::vector<machine::MachineConfig> configs;
+  for (const std::string& name : config_names) {
+    std::optional<machine::MachineConfig> c =
+        machine::MachineConfig::find(name);
+    if (!c) {
+      if (err != nullptr) {
+        std::string valid;
+        for (const std::string& n : machine::MachineConfig::preset_names())
+          valid += " " + n;
+        *err = "unknown config '" + name + "' (valid:" + valid + ")";
+      }
+      return std::nullopt;
+    }
+    configs.push_back(std::move(*c));
+  }
+  // Timing-neutral (and not part of the config fingerprint), so cached
+  // cells from skip-mode runs remain valid hits under --no-skip.
+  if (req.no_skip)
+    for (machine::MachineConfig& c : configs) c.event_skip = false;
+
+  // The isa axis sweeps by stamping each requested frontend onto a copy
+  // of every config; add_grid prunes cells whose workload has no port.
+  std::vector<isa::IsaId> isa_ids;
+  const std::vector<std::string> isa_list =
+      req.isas == "all" ? isa::isa_names() : split_csv(req.isas);
+  for (const std::string& name : isa_list) {
+    std::optional<isa::IsaId> id = isa::isa_from_name(name);
+    if (!id) {
+      if (err != nullptr) {
+        std::string valid;
+        for (const std::string& n : isa::isa_names()) valid += " " + n;
+        *err = "unknown isa '" + name + "' (valid:" + valid + ")";
+      }
+      return std::nullopt;
+    }
+    if (std::find(isa_ids.begin(), isa_ids.end(), *id) == isa_ids.end())
+      isa_ids.push_back(*id);
+  }
+  if (isa_ids.empty()) {
+    if (err != nullptr) *err = "--isa expects at least one frontend";
+    return std::nullopt;
+  }
+  if (isa_ids.size() > 1 || isa_ids[0] != isa::IsaId::kVlt) {
+    std::vector<machine::MachineConfig> stamped;
+    for (isa::IsaId id : isa_ids)
+      for (machine::MachineConfig c : configs) {
+        c.isa = id;
+        stamped.push_back(std::move(c));
+      }
+    configs = std::move(stamped);
+  }
+
+  std::vector<workloads::Variant> variants;
+  for (const std::string& v : split_csv(req.variants)) {
+    std::string verr;
+    std::optional<workloads::Variant> parsed =
+        workloads::Variant::parse(v, &verr);
+    if (!parsed) {
+      if (err != nullptr) *err = verr;
+      return std::nullopt;
+    }
+    variants.push_back(*parsed);
+  }
+
+  SweepSpec spec;
+  spec.add_grid(configs, workload_names, variants);
+  if (spec.empty()) {
+    if (err != nullptr) *err = "the requested grid has no runnable cells";
+    return std::nullopt;
+  }
+  return spec;
+}
+
+}  // namespace vlt::campaign

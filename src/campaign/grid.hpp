@@ -1,0 +1,41 @@
+// Shared CLI-grid resolution: turns the --workloads/--configs/--variants/
+// --isa axis lists into a pruned SweepSpec. vltsweep, vltshard, and the
+// vltshard worker mode (`vltsweep --worker`) all resolve their grids
+// through this one function, which is what guarantees a worker process
+// builds the *identical* spec (and therefore the identical spec digest)
+// as the coordinator that spawned it — the handshake in docs/SHARD.md
+// compares those digests before any cell is assigned.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+
+namespace vlt::campaign {
+
+/// Raw axis lists exactly as they appear on a CLI, pre-split. Defaults
+/// mirror vltsweep's: everything, the paper's base/vlt2/vlt4 variants,
+/// the seed ISA.
+struct GridRequest {
+  std::string workloads = "all";
+  std::string configs;  // empty or "all" = every preset
+  std::string variants = "base,vlt2,vlt4";
+  std::string isas = "vlt";
+  /// Tick every cycle instead of event-skipping (timing-neutral, not
+  /// part of the config fingerprint; docs/PERF.md).
+  bool no_skip = false;
+};
+
+/// "a,b,c" -> {"a","b","c"}; empty segments are dropped.
+std::vector<std::string> split_csv(const std::string& s);
+
+/// Resolves `req` into a pruned sweep spec. On bad input (unknown
+/// workload/config/variant/isa, or a grid with no runnable cells)
+/// returns nullopt with a user-facing diagnostic in *err; the caller
+/// prefixes its program name and exits 2.
+std::optional<SweepSpec> resolve_grid(const GridRequest& req,
+                                      std::string* err);
+
+}  // namespace vlt::campaign

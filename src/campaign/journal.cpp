@@ -1,6 +1,7 @@
 #include "campaign/journal.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 #include "common/log.hpp"
@@ -47,8 +48,10 @@ std::map<std::size_t, machine::RunResult> Journal::load(
       hcells == nullptr || hcells->as_uint() != cells)
     VLT_FAIL(ErrorKind::kConfig,
              "journal " + path +
-                 " was written for a different sweep; refusing to resume "
-                 "(delete it or rerun without --resume)");
+                 " was written for a different sweep (journal spec " +
+                 (hspec != nullptr ? hspec->as_string() : "<missing>") +
+                 ", this sweep " + spec_hex(spec) +
+                 "); delete the stale journal or rerun without --resume");
 
   while (std::getline(in, line)) {
     std::optional<Json> j = Json::parse(line);
@@ -66,9 +69,35 @@ std::map<std::size_t, machine::RunResult> Journal::load(
   return out;
 }
 
+std::map<std::size_t, machine::RunResult> Journal::merge(
+    const std::vector<std::string>& paths, std::uint64_t spec,
+    std::size_t cells, std::size_t* duplicates) {
+  std::map<std::size_t, machine::RunResult> out;
+  std::size_t dups = 0;
+  for (const std::string& path : paths) {
+    std::map<std::size_t, machine::RunResult> shard = load(path, spec, cells);
+    for (auto& [index, result] : shard) {
+      // First record wins; all records for a cell are byte-identical
+      // anyway (the simulator is deterministic), so this only matters
+      // for the duplicate count.
+      if (!out.emplace(index, std::move(result)).second) ++dups;
+    }
+  }
+  if (duplicates != nullptr) *duplicates = dups;
+  return out;
+}
+
 void Journal::open(const std::string& path, std::uint64_t spec,
                    std::size_t cells,
-                   const std::map<std::size_t, machine::RunResult>& resumed) {
+                   const std::map<std::size_t, machine::RunResult>& resumed,
+                   int worker) {
+  path_ = path;
+  appended_ = 0;
+  fail_after_ = 0;
+  // Deterministic mid-run journal-failure injection for the guard tests.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  if (const char* f = std::getenv("VLT_TEST_JOURNAL_FAIL_AFTER"))
+    fail_after_ = static_cast<unsigned>(std::strtoul(f, nullptr, 10));
   out_.open(path, std::ios::trunc);
   if (!out_.is_open()) {
     std::fprintf(stderr,
@@ -81,12 +110,13 @@ void Journal::open(const std::string& path, std::uint64_t spec,
   header.set("schema", "vltsweep-journal-v1");
   header.set("spec", spec_hex(spec));
   header.set("cells", static_cast<std::uint64_t>(cells));
+  if (worker >= 0) header.set("worker", static_cast<std::uint64_t>(worker));
   out_ << header.dump() << "\n";
   for (const auto& [index, result] : resumed)
-    out_ << entry_line(
-                index,
-                RunKey{result.workload, result.config, result.variant},
-                result)
+    out_ << entry_line(index,
+                       RunKey{result.workload, result.config, result.variant,
+                              result.isa},
+                       result)
          << "\n";
   out_.flush();
 }
@@ -96,8 +126,23 @@ void Journal::append(std::size_t cell, const RunKey& key,
   if (!out_.is_open()) return;
   std::string line = entry_line(cell, key, result);
   std::lock_guard<std::mutex> lock(mu_);
+  if (!out_.is_open()) return;  // another thread hit the degrade path
+  if (fail_after_ != 0 && appended_ >= fail_after_)
+    out_.setstate(std::ios::failbit);
   out_ << line << "\n";
   out_.flush();
+  if (!out_.good()) {
+    // Degrade, never fail the sweep: results already aggregated in
+    // memory stay correct; only resumability after this point is lost.
+    out_.close();
+    std::fprintf(stderr,
+                 "vltsweep warning: journal write to %s failed mid-run; "
+                 "journaling disabled (cells completed after this point "
+                 "cannot be resumed)\n",
+                 path_.c_str());
+    return;
+  }
+  ++appended_;
 }
 
 }  // namespace vlt::campaign

@@ -14,6 +14,16 @@
 // final line; load() ignores an unparseable tail, and resume rewrites
 // the file (header + surviving entries) rather than appending after a
 // torn record.
+//
+// Sharded campaigns (vltshard, docs/SHARD.md) give every worker process
+// its own journal — the header then also carries a "worker" id — and the
+// coordinator unions them with merge(). Ownership is a lease enforced by
+// the coordinator: a cell is assigned to at most one live worker at a
+// time and a worker is SIGKILLed before its cell is reassigned, so at
+// most one *trusted* record per cell index exists; should a deposed
+// worker still land a late record (it finished the cell but the
+// coordinator had already moved on), the results are deterministic, so
+// merge() just counts the duplicate and keeps one copy.
 #pragma once
 
 #include <cstddef>
@@ -22,6 +32,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "campaign/run_key.hpp"
 #include "machine/simulator.hpp"
@@ -37,27 +48,50 @@ class Journal {
   /// Parses the journal at `path` written for a sweep with the given spec
   /// digest and cell count. A missing file yields an empty map (nothing
   /// to resume). A header naming a different sweep throws
-  /// SimError(kConfig) — replaying foreign results would corrupt the
-  /// report. Torn or malformed entry lines end the replay silently.
+  /// SimError(kConfig) — the message names both digests — because
+  /// replaying foreign results would corrupt the report. Torn or
+  /// malformed entry lines end the replay silently.
   static std::map<std::size_t, machine::RunResult> load(
       const std::string& path, std::uint64_t spec, std::size_t cells);
 
+  /// Unions several (per-shard) journals into one replay map. Missing
+  /// files are skipped — a worker that never completed a cell leaves no
+  /// journal worth reading — but a journal whose header names a different
+  /// sweep throws SimError(kConfig) like load() does. When two shards
+  /// recorded the same cell (a deposed worker finished after its lease
+  /// was reassigned), the first record wins and `duplicates`, when
+  /// non-null, counts the extras.
+  static std::map<std::size_t, machine::RunResult> merge(
+      const std::vector<std::string>& paths, std::uint64_t spec,
+      std::size_t cells, std::size_t* duplicates = nullptr);
+
   /// Opens `path` for writing: truncates, writes the header, and replays
-  /// `resumed` (so the file is whole again after a torn tail). On IO
+  /// `resumed` (so the file is whole again after a torn tail). `worker`
+  /// >= 0 tags the header with the writing shard's worker id. On IO
   /// failure the journal degrades to disabled with a warning on stderr —
   /// the sweep still runs, it just cannot be resumed.
   void open(const std::string& path, std::uint64_t spec, std::size_t cells,
-            const std::map<std::size_t, machine::RunResult>& resumed);
+            const std::map<std::size_t, machine::RunResult>& resumed,
+            int worker = -1);
 
   bool enabled() const { return out_.is_open(); }
 
   /// Records one completed cell. Thread-safe; the line is flushed before
-  /// returning so a kill at any instant loses at most the torn tail.
+  /// returning so a kill at any instant loses at most the torn tail. If
+  /// the underlying stream fails (directory yanked, disk full), the
+  /// journal degrades to disabled with a one-time warning instead of
+  /// failing the sweep — the run completes, it just cannot fully resume.
   void append(std::size_t cell, const RunKey& key,
               const machine::RunResult& result);
 
  private:
   std::ofstream out_;
+  std::string path_;
+  /// Test hook (VLT_TEST_JOURNAL_FAIL_AFTER): force the stream into a
+  /// failed state after this many successful appends, to exercise the
+  /// mid-run degrade path deterministically. 0 = disabled.
+  unsigned fail_after_ = 0;
+  unsigned appended_ = 0;
   std::mutex mu_;
 };
 

@@ -50,6 +50,10 @@ std::optional<machine::RunResult> ResultCache::lookup(
     std::error_code ec;
     fs::rename(path, path + ".corrupt", ec);
     if (ec) fs::remove(path, ec);
+    {
+      std::lock_guard<std::mutex> lock(quarantine_mu_);
+      quarantined_.inc();
+    }
     return std::nullopt;
   }
   return result;

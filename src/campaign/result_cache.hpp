@@ -10,10 +10,12 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 
 #include "machine/simulator.hpp"
+#include "stats/stats.hpp"
 
 namespace vlt::campaign {
 
@@ -62,11 +64,21 @@ class ResultCache {
 
   const std::string& dir() const { return dir_; }
 
+  /// Corrupt entries quarantined (renamed to `.corrupt`) by this cache
+  /// instance. Exposed as an instrument so campaign layers can register
+  /// it as "cache.quarantined" in a stats::Registry (docs/METRICS.md).
+  std::uint64_t quarantined() const { return quarantined_.value(); }
+  const stats::Counter* quarantined_counter() const { return &quarantined_; }
+
  private:
   std::string entry_path(std::uint64_t key) const;
 
   std::string dir_;
   bool enabled_ = false;
+  /// lookup() is const and runs concurrently on campaign worker threads;
+  /// the mutex serializes the (rare) quarantine increments.
+  mutable std::mutex quarantine_mu_;
+  mutable stats::Counter quarantined_;
 };
 
 }  // namespace vlt::campaign

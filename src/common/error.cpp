@@ -9,6 +9,7 @@ const char* error_kind_name(ErrorKind kind) {
     case ErrorKind::kWorkloadVerify: return "workload-verify";
     case ErrorKind::kTimeout: return "timeout";
     case ErrorKind::kIo: return "io";
+    case ErrorKind::kWorker: return "worker";
   }
   return "unknown";
 }

@@ -10,6 +10,8 @@
 //   kWorkloadVerify  the run completed but the golden check failed
 //   kTimeout         a run exceeded its cycle budget (possible deadlock)
 //   kIo              the host filesystem failed underneath us
+//   kWorker          a sharded-campaign worker process failed (crash,
+//                    signal, protocol violation, heartbeat loss)
 //
 // The campaign engine catches SimError per sweep cell and turns it into a
 // failed RunResult, so one bad cell never discards a thousand good ones;
@@ -30,10 +32,11 @@ enum class ErrorKind : std::uint8_t {
   kWorkloadVerify,
   kTimeout,
   kIo,
+  kWorker,
 };
 
 /// Stable lowercase name used in JSON/CSV statuses and diagnostics:
-/// "invariant", "config", "workload-verify", "timeout", "io".
+/// "invariant", "config", "workload-verify", "timeout", "io", "worker".
 const char* error_kind_name(ErrorKind kind);
 
 class SimError : public std::runtime_error {

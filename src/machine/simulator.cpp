@@ -18,6 +18,7 @@ const char* run_status_name(RunStatus s) {
     case RunStatus::kConfig: return "config";
     case RunStatus::kTimeout: return "timeout";
     case RunStatus::kIo: return "io";
+    case RunStatus::kWorker: return "worker";
     case RunStatus::kSkipped: return "skipped";
   }
   return "unknown";
@@ -27,7 +28,7 @@ std::optional<RunStatus> run_status_from_name(const std::string& name) {
   for (RunStatus s :
        {RunStatus::kOk, RunStatus::kWorkloadVerify, RunStatus::kInvariant,
         RunStatus::kConfig, RunStatus::kTimeout, RunStatus::kIo,
-        RunStatus::kSkipped})
+        RunStatus::kWorker, RunStatus::kSkipped})
     if (name == run_status_name(s)) return s;
   return std::nullopt;
 }
@@ -39,6 +40,7 @@ RunStatus run_status_from_error(ErrorKind kind) {
     case ErrorKind::kWorkloadVerify: return RunStatus::kWorkloadVerify;
     case ErrorKind::kTimeout: return RunStatus::kTimeout;
     case ErrorKind::kIo: return RunStatus::kIo;
+    case ErrorKind::kWorker: return RunStatus::kWorker;
   }
   return RunStatus::kInvariant;
 }

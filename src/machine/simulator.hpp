@@ -29,11 +29,13 @@ enum class RunStatus : std::uint8_t {
   kConfig,          // the cell could not even be constructed
   kTimeout,         // exceeded the cycle budget (possible deadlock)
   kIo,              // host filesystem failure
+  kWorker,          // a sharded-campaign worker process died on this cell
   kSkipped,         // not executed (fail-fast stopped the campaign)
 };
 
 /// Stable names used in the JSON "status" field and CSV column: "ok",
-/// "workload-verify", "invariant", "config", "timeout", "io", "skipped".
+/// "workload-verify", "invariant", "config", "timeout", "io", "worker",
+/// "skipped".
 const char* run_status_name(RunStatus s);
 std::optional<RunStatus> run_status_from_name(const std::string& name);
 RunStatus run_status_from_error(ErrorKind kind);

@@ -1,0 +1,608 @@
+#include "shard/coordinator.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <thread>
+
+#include "campaign/journal.hpp"
+#include "common/log.hpp"
+#include "isa/isa.hpp"
+
+namespace vlt::shard {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Spawned worker ids (and thus shard-journal names) are bounded so a
+/// resume can enumerate every possible journal and a crash loop cannot
+/// mint files forever; hitting the cap degrades to in-process fallback.
+constexpr int kMaxWorkerIds = 1024;
+
+/// One worker-process seat. Seats persist across respawns (a crashed
+/// worker's replacement occupies the same seat with a fresh id), so the
+/// seat carries the respawn backoff state.
+struct Slot {
+  bool alive = false;
+  int id = -1;
+  pid_t pid = -1;
+  int in = -1;   // coordinator -> worker stdin
+  int out = -1;  // worker stdout -> coordinator (nonblocking)
+  std::string buf;
+  std::string journal_path;
+  Clock::time_point last_seen;
+  std::ptrdiff_t cell = -1;  // in-flight cell (the lease), -1 = idle
+  bool hello_ok = false;
+  unsigned crashes_in_row = 0;
+  Clock::time_point respawn_at = Clock::time_point::min();
+};
+
+bool file_exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+/// Kills every remaining worker on scope exit, so a thrown SimError (a
+/// worker that resolved a different sweep) never leaks processes.
+struct ScopeKill {
+  std::function<void()> fn;
+  ~ScopeKill() { fn(); }
+};
+
+}  // namespace
+
+ShardCoordinator::ShardCoordinator(ShardOptions options)
+    : options_(std::move(options)) {
+  registry_.add_counter("shard.workers_spawned", &workers_spawned_);
+  registry_.add_counter("shard.worker_crashes", &worker_crashes_);
+  registry_.add_counter("shard.steals", &steals_);
+  registry_.add_counter("shard.reassignments", &reassignments_);
+  registry_.add_counter("shard.heartbeat_losses", &heartbeat_losses_);
+  registry_.add_counter("shard.retries", &retries_);
+  registry_.add_counter("shard.quarantines", &quarantines_);
+  registry_.add_counter("shard.fallback_cells", &fallback_cells_);
+  registry_.add_counter("shard.journal_duplicates", &journal_duplicates_);
+  if (!options_.cell.cache_dir.empty()) {
+    cache_.emplace(options_.cell.cache_dir);
+    registry_.add_counter("cache.quarantined", cache_->quarantined_counter());
+  }
+}
+
+campaign::RunSet ShardCoordinator::run(const campaign::SweepSpec& spec) {
+  const std::vector<campaign::Cell>& cells = spec.cells();
+  campaign::RunSet set;
+  set.results_.resize(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    bool inserted = set.index_.emplace(cells[i].key(), i).second;
+    VLT_CHECK(inserted,
+              "duplicate sweep cell " + cells[i].key().to_string());
+  }
+  if (cells.empty()) return set;
+
+  std::uint64_t digest = campaign::spec_digest(spec);
+  // A worker dying mid-write must surface as EPIPE on our next write (or
+  // EOF on its pipe), never as a fatal SIGPIPE to the coordinator.
+  std::signal(SIGPIPE, SIG_IGN);
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  const bool spawn_fail_hook = std::getenv("VLTSHARD_SPAWN_FAIL") != nullptr;
+
+  const bool journaling = !options_.journal_base.empty();
+  const std::string merged_path = options_.journal_base + ".merged.jsonl";
+  auto shard_path = [&](int id) {
+    return options_.journal_base + ".w" + std::to_string(id) + ".jsonl";
+  };
+
+  std::vector<bool> recorded(cells.size(), false);
+  std::vector<unsigned> crash_count(cells.size(), 0);
+  std::vector<std::string> last_fault(cells.size());
+  std::size_t done = 0;
+  std::size_t hits = 0;
+  std::size_t resumed_count = 0;
+
+  auto record = [&](std::size_t i, machine::RunResult r, bool hit,
+                    const std::string& how) {
+    if (recorded[i]) return;
+    recorded[i] = true;
+    set.results_[i] = std::move(r);
+    if (hit) ++hits;
+    ++done;
+    if (options_.progress)
+      options_.progress(done, cells.size(), cells[i].key(), how);
+  };
+
+  int next_worker_id = 0;
+
+  // Resume: union whatever the previous coordinator's shard journals (and
+  // its merged journal, if it got that far) hold, then continue with
+  // fresh worker ids so no surviving journal is ever truncated.
+  if (journaling) {
+    if (options_.resume) {
+      std::vector<std::string> paths;
+      for (int id = 0; id < kMaxWorkerIds; ++id) {
+        std::string p = shard_path(id);
+        if (file_exists(p)) {
+          paths.push_back(p);
+          next_worker_id = id + 1;
+        }
+      }
+      if (file_exists(merged_path)) paths.push_back(merged_path);
+      std::size_t dups = 0;
+      std::map<std::size_t, machine::RunResult> resumed =
+          campaign::Journal::merge(paths, digest, cells.size(), &dups);
+      journal_duplicates_.inc(dups);
+      for (auto& [i, r] : resumed) {
+        record(i, std::move(r), true, "resumed");
+        ++resumed_count;
+      }
+    } else {
+      for (int id = 0; id < kMaxWorkerIds; ++id)
+        std::remove(shard_path(id).c_str());
+      std::remove(merged_path.c_str());
+    }
+  }
+
+  // Work-stealing queues: one contiguous spec-order block of the
+  // remaining cells per seat. A seat drains its own block front-to-back
+  // and steals from the back of the fullest other block when empty, so
+  // two workers only ever collide on a cell through an explicit
+  // reassignment, never through scheduling.
+  std::vector<std::size_t> remaining;
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    if (!recorded[i]) remaining.push_back(i);
+
+  std::size_t nslots = std::max(1u, options_.workers);
+  nslots = std::min(nslots, std::max<std::size_t>(1, remaining.size()));
+  std::vector<std::deque<std::size_t>> queues(nslots);
+  {
+    std::size_t per = remaining.size() / nslots;
+    std::size_t extra = remaining.size() % nslots;
+    std::size_t pos = 0;
+    for (std::size_t s = 0; s < nslots; ++s) {
+      std::size_t count = per + (s < extra ? 1 : 0);
+      for (std::size_t k = 0; k < count; ++k)
+        queues[s].push_back(remaining[pos++]);
+    }
+  }
+
+  auto take_work = [&](std::size_t s) -> std::ptrdiff_t {
+    if (!queues[s].empty()) {
+      std::size_t c = queues[s].front();
+      queues[s].pop_front();
+      return static_cast<std::ptrdiff_t>(c);
+    }
+    std::size_t best = s;
+    std::size_t best_len = 0;
+    for (std::size_t t = 0; t < nslots; ++t)
+      if (t != s && queues[t].size() > best_len) {
+        best = t;
+        best_len = queues[t].size();
+      }
+    if (best_len == 0) return -1;
+    std::size_t c = queues[best].back();
+    queues[best].pop_back();
+    steals_.inc();
+    return static_cast<std::ptrdiff_t>(c);
+  };
+
+  std::vector<Slot> slots(nslots);
+  std::size_t alive = 0;
+  unsigned consecutive_spawn_failures = 0;
+
+  auto kill_slot = [&](std::size_t s) {
+    Slot& sl = slots[s];
+    if (sl.in >= 0) close(sl.in);
+    if (sl.out >= 0) close(sl.out);
+    sl.in = sl.out = -1;
+    if (sl.pid > 0) {
+      kill(sl.pid, SIGKILL);
+      while (waitpid(sl.pid, nullptr, 0) < 0 && errno == EINTR) {
+      }
+      sl.pid = -1;
+    }
+    if (sl.alive) {
+      sl.alive = false;
+      --alive;
+    }
+  };
+  ScopeKill guard{[&] {
+    for (std::size_t s = 0; s < nslots; ++s) kill_slot(s);
+  }};
+
+  auto spawn = [&](std::size_t s) -> bool {
+    if (spawn_fail_hook || next_worker_id >= kMaxWorkerIds) {
+      ++consecutive_spawn_failures;
+      return false;
+    }
+    int to_child[2];
+    int from_child[2];
+    if (pipe2(to_child, O_CLOEXEC) != 0) {
+      ++consecutive_spawn_failures;
+      return false;
+    }
+    if (pipe2(from_child, O_CLOEXEC) != 0) {
+      close(to_child[0]);
+      close(to_child[1]);
+      ++consecutive_spawn_failures;
+      return false;
+    }
+    int id = next_worker_id++;
+    std::string jpath = journaling ? shard_path(id) : std::string();
+
+    std::vector<std::string> args;
+    args.push_back(options_.worker_binary);
+    args.insert(args.end(), options_.worker_args.begin(),
+                options_.worker_args.end());
+    args.push_back("--worker");
+    args.push_back("--worker-id");
+    args.push_back(std::to_string(id));
+    args.push_back("--heartbeat-ms");
+    args.push_back(std::to_string(options_.heartbeat_ms));
+    if (!jpath.empty()) {
+      args.push_back("--journal");
+      args.push_back(jpath);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (std::string& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+
+    pid_t pid = fork();
+    if (pid < 0) {
+      close(to_child[0]);
+      close(to_child[1]);
+      close(from_child[0]);
+      close(from_child[1]);
+      ++consecutive_spawn_failures;
+      return false;
+    }
+    if (pid == 0) {
+      // Child: pipes onto stdin/stdout, exec the worker. Every other
+      // pipe fd in this process is O_CLOEXEC, so siblings cannot hold a
+      // dead worker's pipe open and mask its EOF.
+      dup2(to_child[0], STDIN_FILENO);
+      dup2(from_child[1], STDOUT_FILENO);
+      execv(argv[0], argv.data());
+      _exit(127);  // exec failed; the parent classifies 127 as kSpawn
+    }
+    close(to_child[0]);
+    close(from_child[1]);
+    fcntl(from_child[0], F_SETFL, O_NONBLOCK);
+
+    Slot& sl = slots[s];
+    sl.alive = true;
+    sl.id = id;
+    sl.pid = pid;
+    sl.in = to_child[1];
+    sl.out = from_child[0];
+    sl.buf.clear();
+    sl.journal_path = jpath;
+    sl.last_seen = Clock::now();
+    sl.cell = -1;
+    sl.hello_ok = false;
+    ++alive;
+    workers_spawned_.inc();
+    return true;
+  };
+
+  auto send_line = [&](Slot& sl, const std::string& line) {
+    std::string l = line + "\n";
+    // A failed write means the worker died; the read side will see EOF
+    // and classify, so the error is deliberately dropped here.
+    ssize_t n = write(sl.in, l.data(), l.size());
+    (void)n;
+  };
+
+  auto assign = [&](std::size_t s) {
+    Slot& sl = slots[s];
+    if (!sl.alive || !sl.hello_ok || sl.cell >= 0) return;
+    std::ptrdiff_t c = take_work(s);
+    if (c < 0) return;  // idle until drain
+    sl.cell = c;
+    send_line(sl, run_line(static_cast<std::size_t>(c)));
+  };
+
+  // A dead worker may have journaled results its stdout never carried
+  // (the worker journals before reporting); absorb them so a crash after
+  // the journal write costs nothing. The journal itself can be torn
+  // arbitrarily by the kill — an unreadable one is simply empty here.
+  auto absorb_journal = [&](const std::string& path, int id) {
+    if (path.empty()) return;
+    std::map<std::size_t, machine::RunResult> m;
+    try {
+      m = campaign::Journal::load(path, digest, cells.size());
+    } catch (const vlt::SimError&) {
+      return;  // header torn mid-write by the kill
+    }
+    for (auto& [i, r] : m) {
+      // Already-recorded cells are almost always this worker's own
+      // stdout-reported results (journal line and protocol line are one
+      // record, not a duplicate); only merge() counts true
+      // cross-journal duplicates.
+      if (recorded[i]) continue;
+      record(i, std::move(r), false, "w" + std::to_string(id));
+    }
+  };
+
+  auto fault = [&](std::size_t s, WorkerFault f, const std::string& detail) {
+    Slot& sl = slots[s];
+    worker_crashes_.inc();
+    if (f == WorkerFault::kHeartbeat) heartbeat_losses_.inc();
+    // A worker that died before completing the hello handshake (the
+    // classic case: exec failure, exit 127) holds no cell, so nothing
+    // would ever quarantine — it must count toward the all-seats-failing
+    // fallback trigger or a bad binary respawns forever.
+    if (!sl.hello_ok) ++consecutive_spawn_failures;
+    std::ptrdiff_t c = sl.cell;
+    sl.cell = -1;
+    int wid = sl.id;
+    std::string jpath = sl.journal_path;
+    kill_slot(s);  // the lease rule: dead before any reassignment
+    if (!options_.quiet)
+      std::fprintf(stderr, "vltshard: worker %d fault [%s]: %s\n", wid,
+                   worker_fault_name(f), detail.c_str());
+    absorb_journal(jpath, wid);
+    if (c >= 0 && !recorded[static_cast<std::size_t>(c)]) {
+      std::size_t ci = static_cast<std::size_t>(c);
+      last_fault[ci] =
+          std::string(worker_fault_name(f)) + " fault: " + detail;
+      ++crash_count[ci];
+      if (crash_count[ci] > options_.worker_retries) {
+        // Poison cell: it has crashed a worker once per allowed attempt.
+        const campaign::Cell& cell = cells[ci];
+        machine::RunResult r;
+        r.workload = cell.workload;
+        r.config = cell.config.name;
+        r.variant = cell.variant.to_string();
+        r.isa = isa::isa_name(cell.config.isa);
+        r.status = machine::RunStatus::kWorker;
+        r.verified = false;
+        r.attempts = 0;  // no simulation ever completed for this cell
+        r.error = "quarantined after " + std::to_string(crash_count[ci]) +
+                  " worker crashes; last " + last_fault[ci];
+        quarantines_.inc();
+        record(ci, std::move(r), false, "quarantined");
+      } else {
+        retries_.inc();
+        reassignments_.inc();
+        queues[s].push_front(ci);
+      }
+    }
+    // Exponential respawn backoff per seat, so a crash-looping cell
+    // cannot fork-bomb the host.
+    ++sl.crashes_in_row;
+    unsigned shift = std::min(sl.crashes_in_row - 1, 5u);
+    unsigned delay =
+        std::min(options_.backoff_ms << shift, 2000u);
+    sl.respawn_at = Clock::now() + std::chrono::milliseconds(delay);
+  };
+
+  auto on_death = [&](std::size_t s) {
+    Slot& sl = slots[s];
+    int st = 0;
+    while (waitpid(sl.pid, &st, 0) < 0 && errno == EINTR) {
+    }
+    sl.pid = -1;
+    if (WIFSIGNALED(st)) {
+      fault(s, WorkerFault::kSignal,
+            "killed by signal " + std::to_string(WTERMSIG(st)));
+    } else {
+      int code = WIFEXITED(st) ? WEXITSTATUS(st) : -1;
+      if (code == 127)
+        fault(s, WorkerFault::kSpawn,
+              "exec of " + options_.worker_binary + " failed (exit 127)");
+      else
+        fault(s, WorkerFault::kExit,
+              "exited prematurely with status " + std::to_string(code));
+    }
+  };
+
+  // Returns false when the slot faulted and its buffer must be dropped.
+  auto handle_line = [&](std::size_t s, const std::string& line) -> bool {
+    Slot& sl = slots[s];
+    std::optional<Message> msg = parse_message(line);
+    if (!msg) {
+      fault(s, WorkerFault::kProtocol,
+            "unparseable line: " + line.substr(0, 80));
+      return false;
+    }
+    sl.last_seen = Clock::now();
+    switch (msg->type) {
+      case Message::Type::kHello:
+        if (msg->spec != spec_hex(digest) || msg->cells != cells.size())
+          VLT_FAIL(ErrorKind::kConfig,
+                   "worker " + std::to_string(sl.id) +
+                       " resolved a different sweep (worker spec " +
+                       msg->spec + ", coordinator spec " + spec_hex(digest) +
+                       "): the worker binary or its grid flags do not match "
+                       "this coordinator");
+        sl.hello_ok = true;
+        consecutive_spawn_failures = 0;
+        assign(s);
+        return true;
+      case Message::Type::kHeartbeat:
+        return true;
+      case Message::Type::kResult: {
+        if (sl.cell < 0 ||
+            msg->cell != static_cast<std::size_t>(sl.cell)) {
+          fault(s, WorkerFault::kProtocol,
+                "result for cell " + std::to_string(msg->cell) +
+                    " it holds no lease on");
+          return false;
+        }
+        sl.cell = -1;
+        sl.crashes_in_row = 0;
+        record(msg->cell, std::move(*msg->result), msg->cached,
+               msg->cached ? "cached" : "w" + std::to_string(sl.id));
+        assign(s);
+        return true;
+      }
+      case Message::Type::kRun:
+      case Message::Type::kExit:
+        fault(s, WorkerFault::kProtocol,
+              "coordinator-only message from worker: " + line.substr(0, 80));
+        return false;
+    }
+    return true;
+  };
+
+  auto read_slot = [&](std::size_t s) {
+    Slot& sl = slots[s];
+    char buf[4096];
+    while (sl.alive) {
+      ssize_t n = read(sl.out, buf, sizeof(buf));
+      if (n > 0) {
+        sl.buf.append(buf, static_cast<std::size_t>(n));
+        std::size_t nl;
+        while (sl.alive && (nl = sl.buf.find('\n')) != std::string::npos) {
+          std::string line = sl.buf.substr(0, nl);
+          sl.buf.erase(0, nl + 1);
+          if (!handle_line(s, line)) return;
+        }
+        continue;
+      }
+      if (n == 0) {  // EOF: the worker died
+        on_death(s);
+        return;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      on_death(s);
+      return;
+    }
+  };
+
+  auto fallback_run = [&] {
+    if (!options_.quiet)
+      std::fprintf(stderr,
+                   "vltshard: no workers could be spawned; degrading to "
+                   "in-process execution\n");
+    campaign::Journal journal;
+    if (journaling && next_worker_id < kMaxWorkerIds) {
+      int id = next_worker_id++;
+      journal.open(shard_path(id), digest, cells.size(), {}, id);
+    }
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (recorded[i]) continue;
+      bool hit = false;
+      machine::RunResult r = campaign::execute_cell(
+          cells[i], options_.cell, cache_ ? &*cache_ : nullptr, &hit);
+      journal.append(i, cells[i].key(), r);
+      fallback_cells_.inc();
+      record(i, std::move(r), hit, "fallback");
+    }
+    for (std::deque<std::size_t>& q : queues) q.clear();
+  };
+
+  // A resume that already covers every cell needs no workers at all.
+  if (done < cells.size())
+    for (std::size_t s = 0; s < nslots; ++s) spawn(s);
+
+  while (done < cells.size()) {
+    Clock::time_point now = Clock::now();
+
+    // Respawn seats whose backoff has elapsed, while unassigned work
+    // remains for them to take.
+    std::size_t queued = 0;
+    for (const std::deque<std::size_t>& q : queues) queued += q.size();
+    if (queued != 0)
+      for (std::size_t s = 0; s < nslots; ++s)
+        if (!slots[s].alive && now >= slots[s].respawn_at) spawn(s);
+
+    if (alive == 0) {
+      if (consecutive_spawn_failures >= nslots) {
+        // Every seat just failed to spawn: processes are not available
+        // at all. Graceful degradation, not a dead campaign.
+        fallback_run();
+        break;
+      }
+      // Workers exist only between respawn backoffs right now; wait.
+      poll(nullptr, 0, 20);
+      continue;
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_slot;
+    for (std::size_t s = 0; s < nslots; ++s)
+      if (slots[s].alive) {
+        fds.push_back({slots[s].out, POLLIN, 0});
+        fd_slot.push_back(s);
+      }
+    int rc = poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+    if (rc < 0 && errno != EINTR) break;  // poll itself broken; drain below
+    now = Clock::now();
+
+    for (std::size_t k = 0; k < fds.size(); ++k)
+      if (fds[k].revents & (POLLIN | POLLHUP | POLLERR)) {
+        std::size_t s = fd_slot[k];
+        if (slots[s].alive) read_slot(s);
+      }
+
+    // Liveness: a worker silent past the timeout — hello never arrived,
+    // or heartbeats stopped — is lost. SIGKILL (the lease rule) and
+    // reassign.
+    for (std::size_t s = 0; s < nslots; ++s) {
+      Slot& sl = slots[s];
+      if (!sl.alive) continue;
+      auto silent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        now - sl.last_seen)
+                        .count();
+      if (silent > static_cast<long long>(options_.worker_timeout_ms))
+        fault(s, WorkerFault::kHeartbeat,
+              "no output for " + std::to_string(silent) + "ms (timeout " +
+                  std::to_string(options_.worker_timeout_ms) + "ms)");
+    }
+
+    // Re-enqueued or stolen work may now fit an idle worker.
+    for (std::size_t s = 0; s < nslots; ++s) assign(s);
+  }
+
+  // Graceful drain: ask workers to exit, give them a grace period, then
+  // enforce it.
+  for (std::size_t s = 0; s < nslots; ++s)
+    if (slots[s].alive) {
+      send_line(slots[s], exit_line());
+      close(slots[s].in);
+      slots[s].in = -1;
+    }
+  Clock::time_point deadline = Clock::now() + std::chrono::seconds(2);
+  while (alive > 0 && Clock::now() < deadline) {
+    for (std::size_t s = 0; s < nslots; ++s) {
+      Slot& sl = slots[s];
+      if (!sl.alive) continue;
+      int st = 0;
+      pid_t r = waitpid(sl.pid, &st, WNOHANG);
+      if (r == sl.pid || (r < 0 && errno != EINTR)) {
+        sl.pid = -1;
+        kill_slot(s);
+      }
+    }
+    if (alive > 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  for (std::size_t s = 0; s < nslots; ++s) kill_slot(s);
+
+  // The merged journal: the whole sweep in spec order, so a later
+  // --resume (or an auditor) needs only this one file.
+  if (journaling) {
+    std::map<std::size_t, machine::RunResult> all;
+    for (std::size_t i = 0; i < cells.size(); ++i) all[i] = set.results_[i];
+    campaign::Journal merged;
+    merged.open(merged_path, digest, cells.size(), all);
+  }
+
+  set.cache_hits_ = hits;
+  set.resumed_ = resumed_count;
+  return set;
+}
+
+}  // namespace vlt::shard

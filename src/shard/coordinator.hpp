@@ -1,0 +1,122 @@
+// vltshard coordinator: shards a SweepSpec across a pool of supervised
+// worker *processes* and merges their journals into one deterministic,
+// spec-order RunSet — byte-identical to a serial vltsweep run of the
+// same spec (docs/SHARD.md).
+//
+// Supervision model:
+//  - Work stealing. Remaining cells are partitioned into one contiguous
+//    spec-order block per worker slot; an idle worker drains its own
+//    block front-to-back and, when empty, steals from the back of the
+//    fullest other block (shard.steals).
+//  - Leases. A cell is assigned to at most one live worker; a worker is
+//    SIGKILLed before its cell is reassigned, so the journals hold at
+//    most one trusted record per cell.
+//  - Heartbeats. Workers emit liveness lines while simulating; a worker
+//    silent past the timeout is classified as heartbeat loss, killed,
+//    and its cell reassigned (shard.heartbeat_losses).
+//  - Crash classification. Worker death is a typed SimError(kWorker)
+//    fault: nonzero exit / signal / protocol violation / heartbeat loss
+//    (shard/protocol.hpp WorkerFault).
+//  - Bounded retries + quarantine. A cell whose worker dies is re-run on
+//    a fresh worker up to `worker_retries` extra times; past that it is
+//    a poison cell, reported with status "worker" instead of being
+//    retried forever (shard.quarantines). Respawns back off
+//    exponentially (backoff_ms, doubling, capped) so a crash-looping
+//    configuration cannot fork-bomb the host.
+//  - Graceful degradation. If workers cannot be spawned at all, the
+//    coordinator runs the remaining cells in-process through the same
+//    campaign::execute_cell seam — slower, never wrong.
+//
+// Crash recovery: every worker appends to its own spec-digest-guarded
+// journal (`<base>.w<id>.jsonl`) before reporting a result, and the
+// coordinator writes a merged spec-order journal (`<base>.merged.jsonl`)
+// on completion. `vltshard --resume` therefore survives a SIGKILL of the
+// coordinator itself: it merges whatever the shard journals hold and
+// runs only the rest.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hpp"
+#include "shard/protocol.hpp"
+#include "stats/stats.hpp"
+
+namespace vlt::shard {
+
+struct ShardOptions {
+  /// Worker process pool size.
+  unsigned workers = 4;
+  /// Path of the worker binary (a vltsweep with --worker support).
+  std::string worker_binary;
+  /// Grid and policy flags passed to every worker verbatim (the
+  /// coordinator appends the per-worker --worker/--worker-id/--journal/
+  /// --heartbeat-ms flags itself).
+  std::vector<std::string> worker_args;
+  /// Shard-journal base path: workers write `<base>.w<id>.jsonl`, the
+  /// merged spec-order journal lands in `<base>.merged.jsonl`. Empty
+  /// disables journaling (and with it --resume).
+  std::string journal_base = ".vltshard-journal";
+  /// Merge existing shard journals before running (coordinator crash
+  /// recovery); without it, stale shard journals are removed first.
+  bool resume = false;
+  /// Extra attempts for a cell whose worker died before it is
+  /// quarantined as poison (so a crash-looping cell ends, bounded, with
+  /// status "worker").
+  unsigned worker_retries = 2;
+  /// Worker heartbeat period, and the silence window after which a
+  /// worker is declared lost. The timeout must comfortably exceed the
+  /// heartbeat period; heartbeats flow even mid-simulation.
+  unsigned heartbeat_ms = 250;
+  unsigned worker_timeout_ms = 10000;
+  /// Respawn backoff base: doubles per consecutive crash, capped at 2s.
+  unsigned backoff_ms = 100;
+  bool quiet = false;
+  /// Per-cell execution policy (cache_dir/force/cell_cycle_limit/
+  /// max_retries) — forwarded to workers by the CLI and honored directly
+  /// by the in-process fallback.
+  campaign::CampaignOptions cell;
+  /// Called per completed cell: done, total, key, and how it completed
+  /// ("w<id>", "cached", "resumed", "fallback", "quarantined").
+  std::function<void(std::size_t, std::size_t, const campaign::RunKey&,
+                     const std::string&)>
+      progress;
+};
+
+class ShardCoordinator {
+ public:
+  explicit ShardCoordinator(ShardOptions options);
+
+  /// Executes the spec across the worker pool and aggregates in spec
+  /// order. Throws SimError(kConfig) for a foreign resume journal or a
+  /// worker that resolved a different spec; everything else — crashes,
+  /// hangs, protocol garbage, unspawnable workers — is absorbed into
+  /// per-cell results and the shard.* counters.
+  campaign::RunSet run(const campaign::SweepSpec& spec);
+
+  /// Supervision counters (shard.steals, shard.reassignments,
+  /// shard.heartbeat_losses, shard.retries, shard.quarantines, ...),
+  /// plus cache.quarantined when a result cache is attached.
+  stats::Snapshot stats_snapshot() const { return registry_.snapshot(); }
+  const stats::Registry& registry() const { return registry_; }
+
+ private:
+  friend class Pool;
+
+  ShardOptions options_;
+  stats::Registry registry_;
+  stats::Counter workers_spawned_;
+  stats::Counter worker_crashes_;
+  stats::Counter steals_;
+  stats::Counter reassignments_;
+  stats::Counter heartbeat_losses_;
+  stats::Counter retries_;
+  stats::Counter quarantines_;
+  stats::Counter fallback_cells_;
+  stats::Counter journal_duplicates_;
+  std::optional<campaign::ResultCache> cache_;
+};
+
+}  // namespace vlt::shard

@@ -1,0 +1,115 @@
+#include "shard/protocol.hpp"
+
+#include <cstdio>
+
+namespace vlt::shard {
+
+const char* worker_fault_name(WorkerFault fault) {
+  switch (fault) {
+    case WorkerFault::kExit: return "exit";
+    case WorkerFault::kSignal: return "signal";
+    case WorkerFault::kProtocol: return "protocol";
+    case WorkerFault::kHeartbeat: return "heartbeat";
+    case WorkerFault::kSpawn: return "spawn";
+  }
+  return "unknown";
+}
+
+std::string spec_hex(std::uint64_t spec) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(spec));
+  return buf;
+}
+
+std::string hello_line(int worker, std::int64_t pid, std::uint64_t spec,
+                       std::size_t cells) {
+  Json j = Json::object();
+  j.set("type", "hello");
+  j.set("worker", static_cast<std::int64_t>(worker));
+  j.set("pid", pid);
+  j.set("spec", spec_hex(spec));
+  j.set("cells", static_cast<std::uint64_t>(cells));
+  return j.dump();
+}
+
+std::string heartbeat_line(int worker) {
+  Json j = Json::object();
+  j.set("type", "hb");
+  j.set("worker", static_cast<std::int64_t>(worker));
+  return j.dump();
+}
+
+std::string result_line(std::size_t cell, bool cached,
+                        const machine::RunResult& result) {
+  Json j = Json::object();
+  j.set("type", "result");
+  j.set("cell", static_cast<std::uint64_t>(cell));
+  j.set("cached", cached);
+  j.set("result", result.to_json());
+  return j.dump();
+}
+
+std::string run_line(std::size_t cell) {
+  Json j = Json::object();
+  j.set("type", "run");
+  j.set("cell", static_cast<std::uint64_t>(cell));
+  return j.dump();
+}
+
+std::string exit_line() {
+  Json j = Json::object();
+  j.set("type", "exit");
+  return j.dump();
+}
+
+std::optional<Message> parse_message(const std::string& line) {
+  std::optional<Json> j = Json::parse(line);
+  if (!j || !j->is_object()) return std::nullopt;
+  const Json* type = j->find("type");
+  if (type == nullptr) return std::nullopt;
+  Message m;
+  const std::string& t = type->as_string();
+  if (t == "hello") {
+    m.type = Message::Type::kHello;
+    const Json* worker = j->find("worker");
+    const Json* pid = j->find("pid");
+    const Json* spec = j->find("spec");
+    const Json* cells = j->find("cells");
+    if (worker == nullptr || pid == nullptr || spec == nullptr ||
+        cells == nullptr)
+      return std::nullopt;
+    m.worker = static_cast<int>(worker->as_int());
+    m.pid = pid->as_int();
+    m.spec = spec->as_string();
+    m.cells = cells->as_uint();
+  } else if (t == "hb") {
+    m.type = Message::Type::kHeartbeat;
+    const Json* worker = j->find("worker");
+    if (worker == nullptr) return std::nullopt;
+    m.worker = static_cast<int>(worker->as_int());
+  } else if (t == "result") {
+    m.type = Message::Type::kResult;
+    const Json* cell = j->find("cell");
+    const Json* cached = j->find("cached");
+    const Json* result = j->find("result");
+    if (cell == nullptr || cached == nullptr || result == nullptr)
+      return std::nullopt;
+    m.cell = static_cast<std::size_t>(cell->as_uint());
+    m.cached = cached->as_bool();
+    m.result = machine::RunResult::from_json(*result);
+    if (!m.result) return std::nullopt;
+  } else if (t == "run") {
+    m.type = Message::Type::kRun;
+    const Json* cell = j->find("cell");
+    if (cell == nullptr) return std::nullopt;
+    m.cell = static_cast<std::size_t>(cell->as_uint());
+  } else if (t == "exit") {
+    m.type = Message::Type::kExit;
+  } else {
+    return std::nullopt;
+  }
+  return m;
+}
+
+}  // namespace vlt::shard

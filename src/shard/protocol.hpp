@@ -1,0 +1,75 @@
+// vltshard wire protocol: line-delimited JSON between the coordinator
+// and its worker processes (`vltsweep --worker`), one message per line,
+// flushed per line so a SIGKILL at any instant tears at most one line.
+//
+// Worker -> coordinator (stdout):
+//   {"type":"hello","worker":K,"pid":P,"spec":"<16-hex>","cells":N}
+//   {"type":"hb","worker":K}
+//   {"type":"result","cell":I,"cached":B,"result":{RunResult...}}
+//
+// Coordinator -> worker (stdin):
+//   {"type":"run","cell":I}
+//   {"type":"exit"}
+//
+// The hello handshake carries the worker's independently computed spec
+// digest; the coordinator refuses to assign cells to a worker that
+// resolved a different grid (a mismatched binary or environment would
+// otherwise corrupt the merged report). Anything unparseable — garbage
+// bytes, a torn line, an out-of-protocol message — is a protocol
+// violation: the coordinator classifies it as a kWorker fault, kills the
+// worker, and reassigns its in-flight cell (docs/SHARD.md).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "machine/simulator.hpp"
+
+namespace vlt::shard {
+
+/// How a worker process failed, for SimError(kWorker) classification and
+/// the shard.* supervision counters.
+enum class WorkerFault : std::uint8_t {
+  kExit,       // exited with a non-zero status of its own accord
+  kSignal,     // killed by a signal (crash, OOM, injected SIGKILL)
+  kProtocol,   // wrote bytes that do not parse as a protocol message
+  kHeartbeat,  // stopped producing output past the liveness timeout
+  kSpawn,      // could not be spawned (fork/exec failure)
+};
+
+/// Stable names: "exit", "signal", "protocol", "heartbeat", "spawn".
+const char* worker_fault_name(WorkerFault fault);
+
+/// One parsed protocol message. Fields beyond `type` are meaningful only
+/// for the message types that carry them.
+struct Message {
+  enum class Type : std::uint8_t { kHello, kHeartbeat, kResult, kRun, kExit };
+  Type type = Type::kHeartbeat;
+  int worker = -1;            // hello, hb
+  std::int64_t pid = -1;      // hello
+  std::string spec;           // hello: 16-hex spec digest
+  std::uint64_t cells = 0;    // hello
+  std::size_t cell = 0;       // run, result
+  bool cached = false;        // result: served from the result cache
+  std::optional<machine::RunResult> result;  // result
+};
+
+/// Formatters. Every line is a complete compact JSON document with no
+/// embedded newline; the caller appends '\n' and writes atomically.
+std::string hello_line(int worker, std::int64_t pid, std::uint64_t spec,
+                       std::size_t cells);
+std::string heartbeat_line(int worker);
+std::string result_line(std::size_t cell, bool cached,
+                        const machine::RunResult& result);
+std::string run_line(std::size_t cell);
+std::string exit_line();
+
+/// Strict parse of one protocol line; nullopt on anything malformed
+/// (the coordinator treats that as WorkerFault::kProtocol).
+std::optional<Message> parse_message(const std::string& line);
+
+/// Formats `spec` the way journal headers and hello messages do.
+std::string spec_hex(std::uint64_t spec);
+
+}  // namespace vlt::shard

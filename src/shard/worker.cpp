@@ -1,0 +1,192 @@
+#include "shard/worker.hpp"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "campaign/journal.hpp"
+#include "shard/protocol.hpp"
+
+namespace vlt::shard {
+
+namespace {
+
+/// One fault hook's targets: worker ids and/or cell-key substrings.
+struct FaultSpec {
+  std::vector<int> ids;
+  std::vector<std::string> cell_substrings;
+
+  bool matches_worker(int id) const {
+    for (int i : ids)
+      if (i == id) return true;
+    return false;
+  }
+  bool matches_cell(const std::string& key) const {
+    for (const std::string& s : cell_substrings)
+      if (key.find(s) != std::string::npos) return true;
+    return false;
+  }
+  bool empty() const { return ids.empty() && cell_substrings.empty(); }
+};
+
+FaultSpec parse_fault(const char* env) {
+  FaultSpec spec;
+  if (env == nullptr) return spec;
+  std::string s = env;
+  std::size_t start = 0;
+  while (start <= s.size()) {
+    std::size_t comma = s.find(',', start);
+    if (comma == std::string::npos) comma = s.size();
+    std::string tok = s.substr(start, comma - start);
+    start = comma + 1;
+    if (tok.empty()) continue;
+    if (tok.rfind("cell:", 0) == 0) {
+      spec.cell_substrings.push_back(tok.substr(5));
+    } else {
+      spec.ids.push_back(static_cast<int>(std::strtol(tok.c_str(),
+                                                      nullptr, 10)));
+    }
+  }
+  return spec;
+}
+
+/// Serialized line writer: the heartbeat thread and the main loop share
+/// stdout, and a protocol line must never interleave with another.
+class LineWriter {
+ public:
+  void send(const std::string& line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::fputs(line.c_str(), stdout);
+    std::fputc('\n', stdout);
+    std::fflush(stdout);
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace
+
+int run_worker(const campaign::SweepSpec& spec,
+               const WorkerOptions& options) {
+  const std::vector<campaign::Cell>& cells = spec.cells();
+  std::uint64_t digest = campaign::spec_digest(spec);
+
+  campaign::Journal journal;
+  if (!options.journal_path.empty())
+    journal.open(options.journal_path, digest, cells.size(), {},
+                 options.worker_id);
+
+  std::optional<campaign::ResultCache> cache;
+  if (!options.cell.cache_dir.empty()) cache.emplace(options.cell.cache_dir);
+
+  // Deterministic fault hooks (docs/SHARD.md). Read once, before any
+  // thread exists.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  FaultSpec kill_fault = parse_fault(std::getenv("VLTSHARD_KILL_WORKER"));
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  FaultSpec hang_fault = parse_fault(std::getenv("VLTSHARD_HANG_WORKER"));
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  FaultSpec corrupt_fault = parse_fault(std::getenv("VLTSHARD_CORRUPT_LINE"));
+
+  LineWriter out;
+  out.send(hello_line(options.worker_id, static_cast<std::int64_t>(getpid()),
+                      digest, cells.size()));
+
+  // Heartbeats keep flowing while the main thread simulates, so the
+  // coordinator can tell a long cell from a hung worker.
+  std::mutex hb_mu;
+  std::condition_variable hb_cv;
+  bool hb_stop = false;
+  std::atomic<bool> hb_paused{false};
+  std::thread heartbeat([&] {
+    std::unique_lock<std::mutex> lock(hb_mu);
+    while (true) {
+      if (hb_cv.wait_for(lock, std::chrono::milliseconds(options.heartbeat_ms),
+                         [&] { return hb_stop; }))
+        return;
+      if (!hb_paused.load(std::memory_order_relaxed))
+        out.send(heartbeat_line(options.worker_id));
+    }
+  });
+  auto stop_heartbeat = [&] {
+    {
+      std::lock_guard<std::mutex> lock(hb_mu);
+      hb_stop = true;
+    }
+    hb_cv.notify_all();
+    heartbeat.join();
+  };
+
+  bool first_command = true;
+  bool corrupted_once = false;
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::optional<Message> msg = parse_message(line);
+    if (!msg) {
+      // A coordinator that garbles its side is not something a worker
+      // can recover from; exiting nonzero classifies as kExit upstream.
+      std::fprintf(stderr, "vltsweep worker %d: unparseable command\n",
+                   options.worker_id);
+      stop_heartbeat();
+      return 3;
+    }
+    if (msg->type == Message::Type::kExit) break;
+    if (msg->type != Message::Type::kRun) continue;
+    if (msg->cell >= cells.size()) {
+      std::fprintf(stderr, "vltsweep worker %d: cell %zu out of range\n",
+                   options.worker_id, msg->cell);
+      stop_heartbeat();
+      return 3;
+    }
+    const campaign::Cell& cell = cells[msg->cell];
+    std::string key = cell.key().to_string();
+
+    bool id_hook = first_command;
+    first_command = false;
+    if ((id_hook && kill_fault.matches_worker(options.worker_id)) ||
+        kill_fault.matches_cell(key)) {
+      // Mid-cell crash: the cell is assigned, no result exists anywhere.
+      std::raise(SIGKILL);
+    }
+    if ((id_hook && hang_fault.matches_worker(options.worker_id)) ||
+        hang_fault.matches_cell(key)) {
+      // Go silent: no heartbeats, no result. The coordinator's liveness
+      // timeout must SIGKILL us.
+      hb_paused.store(true, std::memory_order_relaxed);
+      while (true) std::this_thread::sleep_for(std::chrono::seconds(3600));
+    }
+
+    bool hit = false;
+    machine::RunResult result =
+        campaign::execute_cell(cell, options.cell,
+                               cache ? &*cache : nullptr, &hit);
+    // Journal before reporting: a crash between the two loses the stdout
+    // line but never the result — the merge finds it in the journal.
+    journal.append(msg->cell, cell.key(), result);
+
+    if (!corrupted_once && (corrupt_fault.matches_worker(options.worker_id) ||
+                            corrupt_fault.matches_cell(key))) {
+      corrupted_once = true;
+      out.send("{\"type\":\"result\",\"cell\":" +
+               std::to_string(msg->cell) + ",\"result\":{torn");
+      continue;  // the coordinator will classify, kill, and reassign
+    }
+    out.send(result_line(msg->cell, hit, result));
+  }
+
+  stop_heartbeat();
+  return 0;
+}
+
+}  // namespace vlt::shard

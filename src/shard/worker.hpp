@@ -1,0 +1,46 @@
+// Worker half of the vltshard protocol: the loop behind `vltsweep
+// --worker`. A worker resolves the same grid as its coordinator (the
+// hello handshake proves it via the spec digest), then executes cells
+// one at a time as the coordinator assigns them, journaling each result
+// to its own spec-digest-guarded shard journal *before* reporting it on
+// stdout — so a worker (or coordinator) killed between the two loses
+// nothing: the journal survives and the merge picks it up.
+//
+// A heartbeat thread emits liveness lines while the main thread
+// simulates, so the coordinator can tell a long cell from a hung worker.
+//
+// Deterministic fault hooks for the crash-recovery tests (each matches a
+// comma list of worker ids, or `cell:<substring>` of a cell key):
+//   VLTSHARD_KILL_WORKER     SIGKILL mid-cell (on receipt of the run
+//                            command, before any result exists)
+//   VLTSHARD_HANG_WORKER     go silent mid-cell: stop heartbeating and
+//                            never answer (exercises heartbeat loss)
+//   VLTSHARD_CORRUPT_LINE    journal the result, then write a torn
+//                            protocol line instead of the real one
+//                            (exercises protocol-violation handling)
+#pragma once
+
+#include <string>
+
+#include "campaign/campaign.hpp"
+
+namespace vlt::shard {
+
+struct WorkerOptions {
+  int worker_id = 0;
+  unsigned heartbeat_ms = 250;
+  /// Shard journal path (the coordinator passes an explicit
+  /// `<base>.w<id>.jsonl`); empty disables journaling.
+  std::string journal_path;
+  /// Per-cell execution policy: cache_dir/force/cell_cycle_limit/
+  /// max_retries are honored exactly as in an in-process campaign.
+  campaign::CampaignOptions cell;
+};
+
+/// Runs the worker loop over stdin/stdout until an exit command or EOF
+/// (a dead coordinator closes the pipe; the worker finishes its current
+/// cell, journals it, and exits so its journal is whole for --resume).
+/// Returns the process exit code.
+int run_worker(const campaign::SweepSpec& spec, const WorkerOptions& options);
+
+}  // namespace vlt::shard

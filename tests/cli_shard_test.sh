@@ -1,0 +1,193 @@
+#!/usr/bin/env bash
+# End-to-end CLI checks for vltshard (docs/SHARD.md): byte-identity of
+# the sharded report against a serial vltsweep run, worker-crash
+# recovery, poison-cell quarantine, coordinator kill-then---resume,
+# spawn-failure fallback, and worker/coordinator grid-mismatch refusal.
+#
+#   cli_shard_test.sh <vltshard> <vltsweep>
+#
+# Registered under ctest from tools/CMakeLists.txt.
+set -u
+
+VLTSHARD=$1
+VLTSWEEP=$2
+
+TMP=$(mktemp -d "${TMPDIR:-/tmp}/vltshard-cli.XXXXXX")
+trap 'rm -rf "$TMP"' EXIT
+cd "$TMP"
+
+failures=0
+check() { # check <name> <expected-rc> <actual-rc>
+  if [ "$2" -ne "$3" ]; then
+    echo "FAIL: $1: expected exit $2, got $3" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $1 (exit $3)"
+  fi
+}
+expect_grep() { # expect_grep <name> <pattern> <file>
+  if ! grep -q "$2" "$3"; then
+    echo "FAIL: $1: '$2' not found in $3" >&2
+    sed 's/^/    /' "$3" >&2
+    failures=$((failures + 1))
+  else
+    echo "ok: $1"
+  fi
+}
+expect_cmp() { # expect_cmp <name> <file-a> <file-b>
+  if cmp -s "$2" "$3"; then
+    echo "ok: $1"
+  else
+    echo "FAIL: $1: $2 and $3 differ" >&2
+    diff "$2" "$3" | head -20 >&2
+    failures=$((failures + 1))
+  fi
+}
+
+# Six cells: mpenc,trfd x base,V4-CMP x base,vlt4 (vlt4 only pairs
+# with the CMP config, so the 2x2x2 request resolves to 6).
+GRID=(--workloads mpenc,trfd --configs base,V4-CMP --variants base,vlt4)
+SHARD=("$VLTSHARD" --worker-binary "$VLTSWEEP" "${GRID[@]}"
+       --no-cache --backoff-ms 20 --format json)
+
+# --- serial golden ----------------------------------------------------------
+
+"$VLTSWEEP" "${GRID[@]}" --threads 1 --no-cache --no-journal --quiet \
+    --out serial.json
+check "serial vltsweep golden" 0 $?
+
+# --- plain sharded run is byte-identical ------------------------------------
+
+"${SHARD[@]}" --workers 4 --journal-base plain --quiet \
+    --out plain.json --stats-out plain.stats 2> plain.err
+check "vltshard plain run" 0 $?
+expect_cmp "sharded report is byte-identical to serial" serial.json plain.json
+expect_grep "merged journal written" '"schema"' plain.merged.jsonl
+expect_grep "workers were spawned" '"shard.workers_spawned": 4' plain.stats
+
+# --- worker killed mid-cell: recovered, still identical ---------------------
+
+VLTSHARD_KILL_WORKER=1 "${SHARD[@]}" --workers 2 --journal-base kw \
+    --quiet --out kw.json --stats-out kw.stats 2> kw.err
+check "vltshard survives a worker SIGKILL" 0 $?
+expect_cmp "report identical after worker crash" serial.json kw.json
+expect_grep "crash was counted" '"shard.worker_crashes": 1' kw.stats
+
+# --- torn protocol line: result recovered from the worker journal -----------
+
+VLTSHARD_CORRUPT_LINE=1 "${SHARD[@]}" --workers 2 --journal-base cl \
+    --quiet --out cl.json --stats-out cl.stats 2> cl.err
+check "vltshard survives a corrupt wire line" 0 $?
+expect_cmp "report identical after protocol fault" serial.json cl.json
+expect_grep "protocol fault was a crash" '"shard.worker_crashes": 1' cl.stats
+
+# --- hung worker: heartbeat timeout fires, still identical ------------------
+
+VLTSHARD_HANG_WORKER=0 "${SHARD[@]}" --workers 2 --journal-base hw \
+    --heartbeat-ms 50 --worker-timeout-ms 700 \
+    --quiet --out hw.json --stats-out hw.stats 2> hw.err
+check "vltshard reclaims a hung worker" 0 $?
+expect_cmp "report identical after hang" serial.json hw.json
+expect_grep "heartbeat loss was counted" '"shard.heartbeat_losses": 1' hw.stats
+
+# --- poison cell: quarantined after retries, exit 1 -------------------------
+
+VLTSHARD_KILL_WORKER=cell:trfd/V4-CMP/vlt-4vt "${SHARD[@]}" --workers 2 \
+    --journal-base poison --worker-retries 2 \
+    --quiet --out poison.json --stats-out poison.stats 2> poison.err
+check "poison cell fails the campaign" 1 $?
+expect_grep "poison cell quarantined" '"shard.quarantines": 1' poison.stats
+expect_grep "quarantined cell has worker status" '"status": "worker"' poison.json
+expect_grep "quarantine names the fault" "quarantined after 3 worker crashes" poison.json
+healthy=$(grep -c '"status": "ok"' poison.json)
+if [ "$healthy" -ne 5 ]; then
+  echo "FAIL: expected 5 healthy cells alongside the poison one, got $healthy" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: healthy cells unaffected by the poison cell"
+fi
+
+# --- coordinator SIGKILL, then --resume: byte-identical ---------------------
+
+# Poll the shard journals for progress (at least two completed cells on
+# disk) before killing the coordinator, so the test is stable on slow
+# hosts instead of racing a fixed sleep.
+"${SHARD[@]}" --workers 2 --journal-base co --quiet \
+    --out co.json > /dev/null 2>&1 &
+CO_PID=$!
+killed=no
+for _ in $(seq 1 600); do
+  if ! kill -0 "$CO_PID" 2>/dev/null; then
+    break  # finished before we could kill it; resume replays everything
+  fi
+  done_cells=$(cat co.w*.jsonl 2>/dev/null | grep -c '"key"')
+  if [ "$done_cells" -ge 2 ]; then
+    kill -9 "$CO_PID" 2>/dev/null && killed=yes
+    break
+  fi
+  sleep 0.05
+done
+wait "$CO_PID" 2>/dev/null
+sleep 1  # orphaned workers see EOF on stdin and exit
+if [ "$killed" = yes ]; then
+  echo "ok: coordinator killed after $done_cells journaled cells"
+  if [ -e co.json ]; then
+    echo "FAIL: killed coordinator wrote a report" >&2
+    failures=$((failures + 1))
+  fi
+else
+  echo "ok: coordinator finished before the kill (resume replays all)"
+fi
+
+"${SHARD[@]}" --workers 2 --journal-base co --resume --quiet \
+    --out co-resumed.json 2> co-resume.err
+check "vltshard --resume after coordinator kill" 0 $?
+expect_cmp "resumed report is byte-identical" serial.json co-resumed.json
+
+# --- resume refuses journals from a different grid: exit 2 ------------------
+
+"$VLTSHARD" --worker-binary "$VLTSWEEP" --workloads multprec \
+    --configs base --variants base --no-cache --journal-base co \
+    --resume --quiet --out co-foreign.json 2> co-foreign.err
+check "vltshard --resume digest mismatch" 2 $?
+expect_grep "mismatch names the conflict" "different sweep" co-foreign.err
+
+# --- spawn failure: in-process fallback, still identical --------------------
+
+VLTSHARD_SPAWN_FAIL=1 "${SHARD[@]}" --workers 3 --journal-base sf \
+    --quiet --out sf.json --stats-out sf.stats 2> sf.err
+check "vltshard falls back when spawning fails" 0 $?
+expect_cmp "fallback report is byte-identical" serial.json sf.json
+expect_grep "all cells ran in-process" '"shard.fallback_cells": 6' sf.stats
+# zero-valued counters are omitted from the snapshot entirely
+if grep -q '"shard.workers_spawned"' sf.stats; then
+  echo "FAIL: fallback run still spawned workers" >&2
+  failures=$((failures + 1))
+else
+  echo "ok: no workers were spawned"
+fi
+
+# --- worker resolving a different grid is refused: exit 2 -------------------
+
+cat > skewed-worker.sh <<EOF
+#!/bin/sh
+# Malicious/stale worker stand-in: appends a narrower grid so the
+# worker resolves a different spec digest than the coordinator.
+exec "$VLTSWEEP" "\$@" --workloads multprec --configs base --variants base
+EOF
+chmod +x skewed-worker.sh
+
+"$VLTSHARD" --worker-binary ./skewed-worker.sh "${GRID[@]}" --no-cache \
+    --workers 1 --journal-base skew --quiet \
+    --out skew.json 2> skew.err
+check "vltshard refuses a grid-mismatched worker" 2 $?
+expect_grep "mismatch diagnostic names the worker" \
+    "resolved a different sweep" skew.err
+
+# --- done -------------------------------------------------------------------
+
+if [ $failures -ne 0 ]; then
+  echo "$failures vltshard CLI check(s) failed" >&2
+  exit 1
+fi
+echo "all vltshard CLI checks passed"

@@ -66,7 +66,7 @@ TEST(RunStatusNames, RoundTripAndErrorMapping) {
   for (RunStatus s :
        {RunStatus::kOk, RunStatus::kWorkloadVerify, RunStatus::kInvariant,
         RunStatus::kConfig, RunStatus::kTimeout, RunStatus::kIo,
-        RunStatus::kSkipped}) {
+        RunStatus::kWorker, RunStatus::kSkipped}) {
     std::optional<RunStatus> back =
         machine::run_status_from_name(machine::run_status_name(s));
     ASSERT_TRUE(back.has_value()) << machine::run_status_name(s);
@@ -343,6 +343,138 @@ TEST_F(GuardFsTest, JournalLoadRejectsGarbageHeader) {
   std::ofstream(journal) << "this is not json\n";
   EXPECT_SIM_ERROR((void)campaign::Journal::load(journal, 1, 1),
                    "not a vltsweep journal");
+}
+
+TEST_F(GuardFsTest, ForeignJournalDiagnosticNamesBothDigests) {
+  // The message must name the journal's digest AND this sweep's, plus
+  // tell the user what to do — it is the `vltsweep --resume` exit-2
+  // diagnostic (docs/ERRORS.md).
+  SweepSpec spec = faulty_spec();
+  std::uint64_t digest = campaign::spec_digest(spec);
+  std::string journal = (dir_ / "foreign.jsonl").string();
+  campaign::Journal j;
+  j.open(journal, digest + 1, spec.size(), {});
+  try {
+    (void)campaign::Journal::load(journal, digest, spec.size());
+    FAIL() << "foreign journal did not throw";
+  } catch (const SimError& e) {
+    EXPECT_EQ(e.kind(), ErrorKind::kConfig);
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(digest));
+    char other[24];
+    std::snprintf(other, sizeof(other), "%016llx",
+                  static_cast<unsigned long long>(digest + 1));
+    std::string msg = e.message();
+    EXPECT_NE(msg.find(hex), std::string::npos) << msg;
+    EXPECT_NE(msg.find(other), std::string::npos) << msg;
+    EXPECT_NE(msg.find("delete the stale journal"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(GuardFsTest, JournalWriteFailureMidRunDegradesNotFails) {
+  // VLT_TEST_JOURNAL_FAIL_AFTER forces the journal stream into a failed
+  // state after N appends — the deterministic stand-in for a yanked
+  // directory or full disk mid-run (real chmod fixtures are no-ops for
+  // root). The sweep must complete; only resumability past cell N is
+  // lost.
+  SweepSpec spec = faulty_spec();
+  std::string journal = (dir_ / "degrade.jsonl").string();
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.journal_path = journal;
+  std::string golden = Campaign(opts).run(spec).to_json().dump(1);
+
+  ::setenv("VLT_TEST_JOURNAL_FAIL_AFTER", "1", 1);
+  RunSet set = Campaign(opts).run(spec);  // must not throw
+  ::unsetenv("VLT_TEST_JOURNAL_FAIL_AFTER");
+  EXPECT_EQ(set.to_json().dump(1), golden);
+
+  // The journal holds header + the one entry that made it; a resume
+  // replays that entry and re-simulates the rest, byte-identically.
+  std::ifstream in(journal);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 2);
+
+  CampaignOptions resume = opts;
+  resume.resume = true;
+  RunSet resumed = Campaign(resume).run(spec);
+  EXPECT_EQ(resumed.resumed(), 1u);
+  EXPECT_EQ(resumed.to_json().dump(1), golden);
+}
+
+TEST_F(GuardFsTest, JournalEntryTruncatedAtNonRecordBoundaryEndsReplay) {
+  // A line can be valid JSON yet not a record (torn at a field
+  // boundary, so the parse succeeds but "result" is gone). Replay must
+  // stop there — not crash, not invent a result.
+  SweepSpec spec = faulty_spec();
+  std::uint64_t digest = campaign::spec_digest(spec);
+  std::string journal = (dir_ / "cut.jsonl").string();
+  CampaignOptions opts;
+  opts.threads = 1;
+  opts.journal_path = journal;
+  RunSet full = Campaign(opts).run(spec);
+
+  {
+    campaign::Journal j;
+    j.open(journal, digest, spec.size(), {});
+    j.append(0, spec.cells()[0].key(), full.at(0));
+  }
+  std::ofstream app(journal, std::ios::app);
+  app << "{\"cell\":1,\"key\":\"fault.verify/base/base\"}\n";  // no result
+  // A whole record AFTER the cut must be ignored too: everything past
+  // the first malformed line is untrusted.
+  Json entry = Json::object();
+  entry.set("cell", std::uint64_t{2});
+  entry.set("key", spec.cells()[2].key().to_string());
+  entry.set("result", full.at(2).to_json());
+  app << entry.dump() << "\n";
+  app.close();
+
+  std::map<std::size_t, RunResult> replay =
+      campaign::Journal::load(journal, digest, spec.size());
+  ASSERT_EQ(replay.size(), 1u);
+  EXPECT_EQ(replay.count(0), 1u);
+}
+
+// --- result-cache quarantine -------------------------------------------------
+
+TEST_F(GuardFsTest, CorruptCacheEntryIsQuarantinedAndCounted) {
+  campaign::ResultCache cache((dir_ / "cache").string());
+  RunResult r;
+  r.workload = "multprec";
+  r.config = "base";
+  r.variant = "base";
+  r.cycles = 42;
+  r.verified = true;
+  cache.store(0x1234, r);
+  ASSERT_TRUE(cache.lookup(0x1234).has_value());
+  EXPECT_EQ(cache.quarantined(), 0u);
+
+  // Corrupt the entry in place (the only .json file in the directory).
+  fs::path entry;
+  for (const auto& f : fs::directory_iterator(dir_ / "cache"))
+    if (f.path().extension() == ".json") entry = f.path();
+  ASSERT_FALSE(entry.empty());
+  std::ofstream(entry, std::ios::trunc) << "{\"workload\": tor";
+
+  EXPECT_FALSE(cache.lookup(0x1234).has_value());
+  EXPECT_EQ(cache.quarantined(), 1u);
+  // Quarantined, not deleted: the bytes stay inspectable as .corrupt.
+  EXPECT_FALSE(fs::exists(entry));
+  EXPECT_TRUE(fs::exists(entry.string() + ".corrupt"));
+  // Gone from the lookup path: the next miss costs no parse and no
+  // further quarantine.
+  EXPECT_FALSE(cache.lookup(0x1234).has_value());
+  EXPECT_EQ(cache.quarantined(), 1u);
+
+  // The counter feeds a registry as "cache.quarantined" (vltshard
+  // --stats-out surfaces it).
+  stats::Registry reg;
+  reg.add_counter("cache.quarantined", cache.quarantined_counter());
+  EXPECT_EQ(reg.snapshot().counter("cache.quarantined"), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,335 @@
+// vltshard: the coordinator/worker wire protocol, shard-journal merge,
+// the kWorker error class, and the coordinator's degraded modes —
+// resume-from-journals and in-process fallback (docs/SHARD.md).
+#include <gtest/gtest.h>
+
+#include "expect_sim_error.hpp"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "campaign/campaign.hpp"
+#include "campaign/journal.hpp"
+#include "shard/coordinator.hpp"
+#include "shard/protocol.hpp"
+
+namespace vlt {
+namespace {
+
+namespace fs = std::filesystem;
+using campaign::Campaign;
+using campaign::CampaignOptions;
+using campaign::Journal;
+using campaign::RunSet;
+using campaign::SweepSpec;
+using machine::MachineConfig;
+using machine::RunResult;
+using machine::RunStatus;
+using shard::Message;
+using shard::WorkerFault;
+using workloads::Variant;
+
+// --- wire protocol ----------------------------------------------------------
+
+TEST(ShardProtocol, HelloRoundTrips) {
+  std::string line = shard::hello_line(3, 4242, 0xdeadbeefcafef00dull, 24);
+  std::optional<Message> m = shard::parse_message(line);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, Message::Type::kHello);
+  EXPECT_EQ(m->worker, 3);
+  EXPECT_EQ(m->pid, 4242);
+  EXPECT_EQ(m->spec, "deadbeefcafef00d");
+  EXPECT_EQ(m->cells, 24u);
+}
+
+TEST(ShardProtocol, HeartbeatRunExitRoundTrip) {
+  std::optional<Message> hb = shard::parse_message(shard::heartbeat_line(7));
+  ASSERT_TRUE(hb.has_value());
+  EXPECT_EQ(hb->type, Message::Type::kHeartbeat);
+  EXPECT_EQ(hb->worker, 7);
+
+  std::optional<Message> run = shard::parse_message(shard::run_line(19));
+  ASSERT_TRUE(run.has_value());
+  EXPECT_EQ(run->type, Message::Type::kRun);
+  EXPECT_EQ(run->cell, 19u);
+
+  std::optional<Message> exit = shard::parse_message(shard::exit_line());
+  ASSERT_TRUE(exit.has_value());
+  EXPECT_EQ(exit->type, Message::Type::kExit);
+}
+
+TEST(ShardProtocol, ResultCarriesTheFullRunResult) {
+  RunResult r;
+  r.workload = "mpenc";
+  r.config = "V4-CMP";
+  r.variant = "vlt-4vt";
+  r.cycles = 12345;
+  r.verified = true;
+  r.attempts = 2;
+  std::optional<Message> m =
+      shard::parse_message(shard::result_line(5, true, r));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->type, Message::Type::kResult);
+  EXPECT_EQ(m->cell, 5u);
+  EXPECT_TRUE(m->cached);
+  ASSERT_TRUE(m->result.has_value());
+  // The protocol must be lossless: a worker-reported result serializes
+  // to the same bytes a local run would (the byte-identity contract).
+  EXPECT_EQ(m->result->to_json().dump(), r.to_json().dump());
+}
+
+TEST(ShardProtocol, RejectsGarbageAndTornLines) {
+  EXPECT_FALSE(shard::parse_message("").has_value());
+  EXPECT_FALSE(shard::parse_message("not json at all").has_value());
+  EXPECT_FALSE(shard::parse_message("{\"type\":\"warp\"}").has_value());
+  EXPECT_FALSE(shard::parse_message("{\"type\":\"run\"}").has_value());
+  EXPECT_FALSE(shard::parse_message("{\"type\":\"hello\",\"worker\":1}")
+                   .has_value());
+  // The VLTSHARD_CORRUPT_LINE hook's torn line, verbatim.
+  EXPECT_FALSE(
+      shard::parse_message("{\"type\":\"result\",\"cell\":3,\"result\":{torn")
+          .has_value());
+}
+
+TEST(ShardProtocol, FaultNamesAreStable) {
+  EXPECT_STREQ(shard::worker_fault_name(WorkerFault::kExit), "exit");
+  EXPECT_STREQ(shard::worker_fault_name(WorkerFault::kSignal), "signal");
+  EXPECT_STREQ(shard::worker_fault_name(WorkerFault::kProtocol), "protocol");
+  EXPECT_STREQ(shard::worker_fault_name(WorkerFault::kHeartbeat),
+               "heartbeat");
+  EXPECT_STREQ(shard::worker_fault_name(WorkerFault::kSpawn), "spawn");
+}
+
+TEST(ShardProtocol, SpecHexIsTheJournalHeaderFormat) {
+  EXPECT_EQ(shard::spec_hex(0), "0000000000000000");
+  EXPECT_EQ(shard::spec_hex(0xabcull), "0000000000000abc");
+}
+
+// --- the kWorker error class ------------------------------------------------
+
+TEST(ShardErrors, WorkerStatusRoundTripsAndMaps) {
+  EXPECT_STREQ(machine::run_status_name(RunStatus::kWorker), "worker");
+  std::optional<RunStatus> back = machine::run_status_from_name("worker");
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, RunStatus::kWorker);
+  EXPECT_EQ(machine::run_status_from_error(ErrorKind::kWorker),
+            RunStatus::kWorker);
+  EXPECT_STREQ(vlt::error_kind_name(ErrorKind::kWorker), "worker");
+}
+
+// --- temp-dir fixture -------------------------------------------------------
+
+class ShardFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vltshard-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+};
+
+/// Three cheap, healthy cells.
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.add(MachineConfig::base(), "multprec", Variant::base());
+  spec.add(MachineConfig::base(), "mpenc", Variant::base());
+  spec.add(MachineConfig::base(), "trfd", Variant::base());
+  return spec;
+}
+
+// --- Journal::merge ---------------------------------------------------------
+
+TEST_F(ShardFsTest, MergeUnionsShardJournalsAndCountsDuplicates) {
+  SweepSpec spec = small_spec();
+  std::uint64_t digest = campaign::spec_digest(spec);
+  CampaignOptions opts;
+  opts.threads = 1;
+  RunSet set = Campaign(opts).run(spec);
+
+  // Shard 0 recorded cells 0 and 1; shard 1 recorded 1 (a deposed
+  // worker's late duplicate) and 2.
+  std::string w0 = (dir_ / "j.w0.jsonl").string();
+  std::string w1 = (dir_ / "j.w1.jsonl").string();
+  {
+    Journal j0;
+    j0.open(w0, digest, spec.size(), {}, 0);
+    j0.append(0, spec.cells()[0].key(), set.at(0));
+    j0.append(1, spec.cells()[1].key(), set.at(1));
+    Journal j1;
+    j1.open(w1, digest, spec.size(), {}, 1);
+    j1.append(1, spec.cells()[1].key(), set.at(1));
+    j1.append(2, spec.cells()[2].key(), set.at(2));
+  }
+
+  std::size_t dups = 0;
+  std::map<std::size_t, RunResult> merged = Journal::merge(
+      {w0, w1, (dir_ / "j.w2.jsonl").string()},  // w2 never existed: skipped
+      digest, spec.size(), &dups);
+  EXPECT_EQ(dups, 1u);
+  ASSERT_EQ(merged.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i)
+    EXPECT_EQ(merged.at(i).to_json().dump(), set.at(i).to_json().dump());
+}
+
+TEST_F(ShardFsTest, MergeRefusesAForeignShardJournal) {
+  SweepSpec spec = small_spec();
+  std::uint64_t digest = campaign::spec_digest(spec);
+  std::string w0 = (dir_ / "j.w0.jsonl").string();
+  Journal j0;
+  j0.open(w0, digest + 1, spec.size(), {}, 0);  // wrong sweep
+  EXPECT_SIM_ERROR((void)Journal::merge({w0}, digest, spec.size()),
+                   "different sweep");
+}
+
+TEST_F(ShardFsTest, MergeToleratesATornShardTail) {
+  SweepSpec spec = small_spec();
+  std::uint64_t digest = campaign::spec_digest(spec);
+  CampaignOptions opts;
+  opts.threads = 1;
+  RunSet set = Campaign(opts).run(spec);
+
+  std::string w0 = (dir_ / "j.w0.jsonl").string();
+  {
+    Journal j0;
+    j0.open(w0, digest, spec.size(), {}, 0);
+    j0.append(0, spec.cells()[0].key(), set.at(0));
+    j0.append(1, spec.cells()[1].key(), set.at(1));
+  }
+  // SIGKILL mid-append: tear the last line in half.
+  std::ifstream in(w0);
+  std::string line, kept;
+  for (int i = 0; i < 2 && std::getline(in, line); ++i) kept += line + "\n";
+  ASSERT_TRUE(std::getline(in, line));
+  kept += line.substr(0, line.size() / 2);
+  in.close();
+  std::ofstream(w0, std::ios::trunc) << kept;
+
+  std::map<std::size_t, RunResult> merged =
+      Journal::merge({w0}, digest, spec.size());
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged.at(0).to_json().dump(), set.at(0).to_json().dump());
+}
+
+// --- coordinator degraded modes (no real worker processes needed) -----------
+
+TEST_F(ShardFsTest, SpawnFailureFallsBackInProcessByteIdentically) {
+  SweepSpec spec = small_spec();
+  CampaignOptions serial_opts;
+  serial_opts.threads = 1;
+  std::string golden = Campaign(serial_opts).run(spec).to_json().dump(1);
+
+  ::setenv("VLTSHARD_SPAWN_FAIL", "1", 1);
+  shard::ShardOptions opts;
+  opts.workers = 2;
+  opts.worker_binary = "/no/such/binary";
+  opts.journal_base = (dir_ / "shard").string();
+  opts.quiet = true;
+  shard::ShardCoordinator coordinator(opts);
+  RunSet set = coordinator.run(spec);
+  ::unsetenv("VLTSHARD_SPAWN_FAIL");
+
+  EXPECT_EQ(set.to_json().dump(1), golden);
+  stats::Snapshot snap = coordinator.stats_snapshot();
+  EXPECT_EQ(snap.counter("shard.fallback_cells"), spec.size());
+  EXPECT_EQ(snap.counter("shard.workers_spawned"), 0u);
+  // The fallback journals too: a crash during fallback is resumable.
+  EXPECT_TRUE(fs::exists(dir_ / "shard.w0.jsonl"));
+  EXPECT_TRUE(fs::exists(dir_ / "shard.merged.jsonl"));
+}
+
+TEST_F(ShardFsTest, ResumeReplaysCompletedShardJournalsWithoutSpawning) {
+  SweepSpec spec = small_spec();
+  std::uint64_t digest = campaign::spec_digest(spec);
+  CampaignOptions serial_opts;
+  serial_opts.threads = 1;
+  RunSet serial = Campaign(serial_opts).run(spec);
+
+  // A killed coordinator left two shard journals covering every cell.
+  {
+    Journal j0;
+    j0.open((dir_ / "shard.w0.jsonl").string(), digest, spec.size(), {}, 0);
+    j0.append(0, spec.cells()[0].key(), serial.at(0));
+    j0.append(2, spec.cells()[2].key(), serial.at(2));
+    Journal j1;
+    j1.open((dir_ / "shard.w1.jsonl").string(), digest, spec.size(), {}, 1);
+    j1.append(1, spec.cells()[1].key(), serial.at(1));
+  }
+
+  shard::ShardOptions opts;
+  opts.workers = 2;
+  opts.worker_binary = "/no/such/binary";  // must never be needed
+  opts.journal_base = (dir_ / "shard").string();
+  opts.resume = true;
+  opts.quiet = true;
+  shard::ShardCoordinator coordinator(opts);
+  RunSet set = coordinator.run(spec);
+
+  EXPECT_EQ(set.to_json().dump(1), serial.to_json().dump(1));
+  EXPECT_EQ(set.resumed(), 3u);
+  EXPECT_EQ(coordinator.stats_snapshot().counter("shard.workers_spawned"),
+            0u);
+  EXPECT_TRUE(fs::exists(dir_ / "shard.merged.jsonl"));
+}
+
+TEST_F(ShardFsTest, ResumeRefusesJournalsFromADifferentGrid) {
+  SweepSpec spec = small_spec();
+  {
+    Journal j0;
+    j0.open((dir_ / "shard.w0.jsonl").string(),
+            campaign::spec_digest(spec) ^ 0xff, spec.size(), {}, 0);
+  }
+  shard::ShardOptions opts;
+  opts.worker_binary = "/no/such/binary";
+  opts.journal_base = (dir_ / "shard").string();
+  opts.resume = true;
+  opts.quiet = true;
+  shard::ShardCoordinator coordinator(opts);
+  EXPECT_SIM_ERROR((void)coordinator.run(spec), "different sweep");
+}
+
+TEST_F(ShardFsTest, FreshRunRemovesStaleShardJournals) {
+  SweepSpec spec = small_spec();
+  // A stale journal from a *different* sweep is lying around; a fresh
+  // (non-resume) run must clear it, not trip over it.
+  {
+    Journal j0;
+    j0.open((dir_ / "shard.w7.jsonl").string(), 0x1234, 99, {}, 7);
+  }
+  ::setenv("VLTSHARD_SPAWN_FAIL", "1", 1);  // in-process; no binary needed
+  shard::ShardOptions opts;
+  opts.worker_binary = "/no/such/binary";
+  opts.journal_base = (dir_ / "shard").string();
+  opts.quiet = true;
+  shard::ShardCoordinator coordinator(opts);
+  RunSet set = coordinator.run(spec);
+  ::unsetenv("VLTSHARD_SPAWN_FAIL");
+  EXPECT_TRUE(set.all_ok());
+  EXPECT_FALSE(fs::exists(dir_ / "shard.w7.jsonl"));
+}
+
+TEST_F(ShardFsTest, QuarantinedCellSerializesWithWorkerStatus) {
+  // The synthesized poison-cell result must round-trip the report schema
+  // like any simulated failure.
+  RunResult r;
+  r.workload = "mpenc";
+  r.config = "base";
+  r.variant = "base";
+  r.status = RunStatus::kWorker;
+  r.attempts = 0;
+  r.error = "quarantined after 3 worker crashes; last signal fault";
+  std::optional<RunResult> back = RunResult::from_json(r.to_json());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->status, RunStatus::kWorker);
+  EXPECT_EQ(back->to_json().dump(), r.to_json().dump());
+}
+
+}  // namespace
+}  // namespace vlt

@@ -1,0 +1,308 @@
+// vltshard — fault-tolerant sharded campaign driver: the vltsweep grid,
+// executed across a pool of supervised worker *processes* instead of
+// threads, surviving worker crashes, hangs, protocol corruption, and a
+// SIGKILL of the coordinator itself (docs/SHARD.md).
+//
+//   vltshard --worker-binary PATH [grid flags as in vltsweep]
+//            [--workers N] [--worker-retries N] [--heartbeat-ms N]
+//            [--worker-timeout-ms N] [--backoff-ms N]
+//            [--journal-base BASE] [--no-journal] [--resume]
+//            [--cache DIR] [--no-cache] [--force] [--max-retries N]
+//            [--cell-cycle-limit N] [--format json|csv] [--out FILE]
+//            [--stats-out FILE] [--quiet] [--list]
+//
+// The merged report is byte-identical to the same grid run by serial
+// vltsweep: results aggregate in spec order, worker crash/retry
+// accounting lives only in the shard.* counters (--stats-out), and a
+// poison cell that keeps killing workers is quarantined after
+// --worker-retries extra attempts with status "worker" rather than
+// looping forever. Exit codes match vltsweep: 0 all ok, 1 failed cells
+// (including quarantined ones), 2 usage / foreign resume journal /
+// worker grid mismatch, 3 internal error.
+//
+// Examples:
+//   vltshard --worker-binary build/tools/vltsweep --workers 4 \
+//            --workloads mpenc,trfd --configs base,V4-CMP \
+//            --variants base,vlt4 --out shard.json
+//   vltshard --worker-binary build/tools/vltsweep --resume --out shard.json
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "campaign/grid.hpp"
+#include "shard/coordinator.hpp"
+
+using namespace vlt;
+
+namespace {
+
+void usage() {
+  std::fprintf(
+      stderr,
+      "usage: vltshard --worker-binary PATH [grid flags as in vltsweep]\n"
+      "                [--workers N] [--worker-retries N]\n"
+      "                [--heartbeat-ms N] [--worker-timeout-ms N]\n"
+      "                [--backoff-ms N] [--journal-base BASE]\n"
+      "                [--no-journal] [--resume] [--cache DIR]\n"
+      "                [--no-cache] [--force] [--max-retries N]\n"
+      "                [--cell-cycle-limit N] [--format json|csv]\n"
+      "                [--out FILE] [--stats-out FILE] [--quiet] [--list]\n"
+      "  --worker-binary P   the vltsweep binary to spawn as workers\n"
+      "                      (required unless --list)\n"
+      "  --workers N         worker processes (default 4)\n"
+      "  --worker-retries N  extra attempts for a cell whose worker died\n"
+      "                      before quarantining it as poison (default 2)\n"
+      "  --heartbeat-ms N    worker heartbeat period (default 250)\n"
+      "  --worker-timeout-ms N   silence window before a worker is\n"
+      "                      declared lost and killed (default 10000)\n"
+      "  --backoff-ms N      respawn backoff base, doubling per\n"
+      "                      consecutive crash (default 100)\n"
+      "  --journal-base B    shard journals land in B.w<id>.jsonl and the\n"
+      "                      merged journal in B.merged.jsonl (default\n"
+      "                      .vltshard-journal; --no-journal disables)\n"
+      "  --resume            merge surviving shard journals from a killed\n"
+      "                      coordinator, run only the rest\n"
+      "  --stats-out F       write the shard.* supervision counters (and\n"
+      "                      cache.quarantined) as JSON to F\n"
+      "  grid flags          --workloads/--configs/--variants/--isa/\n"
+      "                      --no-skip, exactly as vltsweep\n");
+}
+
+int run_main(int argc, char** argv) {
+  campaign::GridRequest grid;
+  shard::ShardOptions opts;
+  std::string format = "json";
+  std::string out_path;
+  std::string stats_path;
+  bool no_journal = false;
+  bool list_only = false;
+  opts.cell.cache_dir = ".vltsweep-cache";
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "vltshard: %s needs a value\n", arg.c_str());
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    auto uint_value = [&](long min, long max) -> unsigned long {
+      const char* v = value();
+      char* end = nullptr;
+      long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < min || n > max) {
+        std::fprintf(stderr,
+                     "vltshard: %s expects an integer in [%ld,%ld], "
+                     "got '%s'\n", arg.c_str(), min, max, v);
+        std::exit(2);
+      }
+      return static_cast<unsigned long>(n);
+    };
+    if (arg == "--workloads") {
+      grid.workloads = value();
+    } else if (arg == "--configs") {
+      grid.configs = value();
+    } else if (arg == "--variants") {
+      grid.variants = value();
+    } else if (arg == "--isa") {
+      grid.isas = value();
+    } else if (arg == "--no-skip") {
+      grid.no_skip = true;
+    } else if (arg == "--worker-binary") {
+      opts.worker_binary = value();
+    } else if (arg == "--workers") {
+      opts.workers = static_cast<unsigned>(uint_value(1, 256));
+    } else if (arg == "--worker-retries") {
+      opts.worker_retries = static_cast<unsigned>(uint_value(0, 100));
+    } else if (arg == "--heartbeat-ms") {
+      opts.heartbeat_ms = static_cast<unsigned>(uint_value(1, 60000));
+    } else if (arg == "--worker-timeout-ms") {
+      opts.worker_timeout_ms = static_cast<unsigned>(uint_value(1, 3600000));
+    } else if (arg == "--backoff-ms") {
+      opts.backoff_ms = static_cast<unsigned>(uint_value(1, 60000));
+    } else if (arg == "--journal-base") {
+      opts.journal_base = value();
+    } else if (arg == "--no-journal") {
+      no_journal = true;
+    } else if (arg == "--resume") {
+      opts.resume = true;
+    } else if (arg == "--cache") {
+      opts.cell.cache_dir = value();
+    } else if (arg == "--no-cache") {
+      opts.cell.cache_dir.clear();
+    } else if (arg == "--force") {
+      opts.cell.force = true;
+    } else if (arg == "--max-retries") {
+      opts.cell.max_retries = static_cast<unsigned>(uint_value(0, 100));
+    } else if (arg == "--cell-cycle-limit") {
+      const char* v = value();
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1) {
+        std::fprintf(stderr,
+                     "vltshard: --cell-cycle-limit expects a positive "
+                     "integer, got '%s'\n", v);
+        return 2;
+      }
+      opts.cell.cell_cycle_limit = static_cast<Cycle>(n);
+    } else if (arg == "--format") {
+      format = value();
+      if (format != "json" && format != "csv") {
+        std::fprintf(stderr, "vltshard: unknown format '%s'\n",
+                     format.c_str());
+        return 2;
+      }
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--stats-out") {
+      stats_path = value();
+    } else if (arg == "--quiet") {
+      opts.quiet = true;
+    } else if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "vltshard: unknown argument '%s'\n", arg.c_str());
+      usage();
+      return 2;
+    }
+  }
+  if (no_journal) opts.journal_base.clear();
+  if (opts.resume && opts.journal_base.empty()) {
+    std::fprintf(stderr, "vltshard: --resume needs journals "
+                         "(drop --no-journal)\n");
+    return 2;
+  }
+
+  std::string grid_err;
+  std::optional<campaign::SweepSpec> spec =
+      campaign::resolve_grid(grid, &grid_err);
+  if (!spec) {
+    std::fprintf(stderr, "vltshard: %s\n", grid_err.c_str());
+    return 2;
+  }
+
+  if (list_only) {
+    for (const campaign::Cell& cell : spec->cells())
+      std::printf("%s\n", cell.key().to_string().c_str());
+    return 0;
+  }
+
+  if (opts.worker_binary.empty()) {
+    std::fprintf(stderr, "vltshard: --worker-binary is required\n");
+    usage();
+    return 2;
+  }
+
+  // Workers must resolve the *identical* grid (the hello handshake
+  // verifies it), so the axis flags are forwarded verbatim. Cell policy
+  // is forwarded too: workers consult the same cache and apply the same
+  // budgets, which is what keeps the merged bytes equal to serial
+  // vltsweep's.
+  opts.worker_args = {"--workloads", grid.workloads,
+                      "--variants",  grid.variants,
+                      "--isa",       grid.isas};
+  if (!grid.configs.empty()) {
+    opts.worker_args.push_back("--configs");
+    opts.worker_args.push_back(grid.configs);
+  }
+  if (grid.no_skip) opts.worker_args.push_back("--no-skip");
+  if (opts.cell.cache_dir.empty()) {
+    opts.worker_args.push_back("--no-cache");
+  } else {
+    opts.worker_args.push_back("--cache");
+    opts.worker_args.push_back(opts.cell.cache_dir);
+  }
+  if (opts.cell.force) opts.worker_args.push_back("--force");
+  if (opts.cell.max_retries != 0) {
+    opts.worker_args.push_back("--max-retries");
+    opts.worker_args.push_back(std::to_string(opts.cell.max_retries));
+  }
+  if (opts.cell.cell_cycle_limit) {
+    opts.worker_args.push_back("--cell-cycle-limit");
+    opts.worker_args.push_back(std::to_string(*opts.cell.cell_cycle_limit));
+  }
+
+  if (!opts.quiet)
+    opts.progress = [](std::size_t done, std::size_t total,
+                       const campaign::RunKey& key, const std::string& how) {
+      std::fprintf(stderr, "[%3zu/%zu] %-40s (%s)\n", done, total,
+                   key.to_string().c_str(), how.c_str());
+    };
+
+  shard::ShardCoordinator coordinator(opts);
+  campaign::RunSet set;
+  try {
+    set = coordinator.run(*spec);
+  } catch (const vlt::SimError& e) {
+    if (e.kind() == ErrorKind::kConfig) {
+      // Foreign resume journal or a worker that resolved a different
+      // grid: a usage-class failure, exit 2 like vltsweep's.
+      std::fprintf(stderr, "vltshard: %s\n", e.message().c_str());
+      return 2;
+    }
+    throw;
+  }
+
+  if (!stats_path.empty()) {
+    std::ofstream stats(stats_path, std::ios::trunc);
+    if (!stats) {
+      std::fprintf(stderr, "vltshard: cannot write %s\n", stats_path.c_str());
+      return 1;
+    }
+    stats << coordinator.stats_snapshot().to_json().dump(1) << "\n";
+  }
+
+  std::string output = format == "csv" ? set.to_csv()
+                                       : set.to_json().dump(1) + "\n";
+  if (out_path.empty()) {
+    std::fputs(output.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "vltshard: cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    out << output;
+  }
+
+  if (!opts.quiet) {
+    std::string resumed;
+    if (set.resumed() > 0)
+      resumed = ", " + std::to_string(set.resumed()) + " resumed";
+    std::fprintf(stderr,
+                 "vltshard: %zu cells (%zu executed, %zu from cache%s)\n",
+                 set.size(), set.cache_misses(), set.cache_hits(),
+                 resumed.c_str());
+  }
+  if (!set.all_ok()) {
+    std::fprintf(stderr, "vltshard: %zu of %zu cells FAILED:\n",
+                 set.failures(), set.size());
+    for (const machine::RunResult& r : set.results())
+      if (!r.ok())
+        std::fprintf(stderr, "  %s/%s/%s [%s] %s\n", r.workload.c_str(),
+                     r.config.c_str(), r.variant.c_str(),
+                     machine::run_status_name(r.status), r.error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run_main(argc, argv);
+  } catch (const vlt::SimError& e) {
+    std::fprintf(stderr, "vltsim fatal: %s:%d: %s\n", e.file(), e.line(),
+                 e.message().c_str());
+    return 3;
+  }
+}

@@ -17,7 +17,15 @@
 // Failed cells (verification, invariant, timeout, ...) are isolated:
 // the sweep completes, the report carries per-cell status, the exit code
 // is 1, and a summary lists the failures (docs/ERRORS.md). A killed
-// sweep resumes from its journal with --resume, byte-identically.
+// sweep resumes from its journal with --resume, byte-identically;
+// resuming against a journal written for a *different* grid exits 2 with
+// a message naming both spec digests.
+//
+// `vltsweep --worker` turns the process into a vltshard worker: it
+// resolves the same grid (proving it via the spec-digest handshake),
+// then executes cells assigned over stdin, reporting on stdout
+// (src/shard/worker.hpp, docs/SHARD.md). Humans never pass --worker;
+// the vltshard coordinator spawns these.
 //
 // Examples:
 //   vltsweep                               # default: full Figure-5 grid
@@ -27,7 +35,6 @@
 //            --cache .vltsweep-cache --format csv
 //   vltsweep --workloads mxm,radix,trfd --isa vlt,rvv  # sweep the isa axis
 //   vltsweep --resume --out sweep.json     # continue a killed sweep
-#include <algorithm>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -37,7 +44,8 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
-#include "isa/isa.hpp"
+#include "campaign/grid.hpp"
+#include "shard/worker.hpp"
 
 using namespace vlt;
 using workloads::Variant;
@@ -85,28 +93,16 @@ void usage() {
       "                skip-ahead (timing-neutral oracle, docs/PERF.md)\n"
       "  --wall        add each cell's host wall-clock ms to the report\n"
       "                (nondeterministic; 0 for cached/resumed cells)\n"
-      "  --list        print the cells the spec expands to, then exit\n",
+      "  --list        print the cells the spec expands to, then exit\n"
+      "  --worker      vltshard worker mode: execute cells assigned over\n"
+      "                stdin/stdout (spawned by vltshard, docs/SHARD.md;\n"
+      "                with --worker-id N, --heartbeat-ms N)\n",
       workloads_list.c_str(), configs.c_str(), Variant::spec_help().c_str(),
       isas.c_str());
 }
 
-std::vector<std::string> split_csv(const std::string& s) {
-  std::vector<std::string> out;
-  std::size_t start = 0;
-  while (start <= s.size()) {
-    std::size_t comma = s.find(',', start);
-    if (comma == std::string::npos) comma = s.size();
-    if (comma > start) out.push_back(s.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return out;
-}
-
 int run_main(int argc, char** argv) {
-  std::string workloads_arg = "all";
-  std::string configs_arg;
-  std::string variants_arg = "base,vlt2,vlt4";
-  std::string isa_arg = "vlt";
+  campaign::GridRequest grid;
   std::string format = "json";
   std::string out_path;
   campaign::CampaignOptions opts;
@@ -114,8 +110,10 @@ int run_main(int argc, char** argv) {
   opts.journal_path = ".vltsweep-journal.jsonl";
   bool quiet = false;
   bool list_only = false;
-  bool no_skip = false;
   bool wall = false;
+  bool worker_mode = false;
+  bool journal_explicit = false;
+  shard::WorkerOptions worker;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -140,13 +138,13 @@ int run_main(int argc, char** argv) {
       return static_cast<unsigned long>(n);
     };
     if (arg == "--workloads") {
-      workloads_arg = value();
+      grid.workloads = value();
     } else if (arg == "--configs") {
-      configs_arg = value();
+      grid.configs = value();
     } else if (arg == "--variants") {
-      variants_arg = value();
+      grid.variants = value();
     } else if (arg == "--isa") {
-      isa_arg = value();
+      grid.isas = value();
     } else if (arg == "--threads") {
       opts.threads = static_cast<unsigned>(uint_value(1, 1024));
     } else if (arg == "--cache") {
@@ -172,12 +170,14 @@ int run_main(int argc, char** argv) {
       opts.cell_cycle_limit = static_cast<Cycle>(n);
     } else if (arg == "--journal") {
       opts.journal_path = value();
+      journal_explicit = true;
     } else if (arg == "--no-journal") {
       opts.journal_path.clear();
+      journal_explicit = true;
     } else if (arg == "--resume") {
       opts.resume = true;
     } else if (arg == "--no-skip") {
-      no_skip = true;
+      grid.no_skip = true;
     } else if (arg == "--wall") {
       wall = true;
     } else if (arg == "--format") {
@@ -193,6 +193,12 @@ int run_main(int argc, char** argv) {
       quiet = true;
     } else if (arg == "--list") {
       list_only = true;
+    } else if (arg == "--worker") {
+      worker_mode = true;
+    } else if (arg == "--worker-id") {
+      worker.worker_id = static_cast<int>(uint_value(0, 1 << 20));
+    } else if (arg == "--heartbeat-ms") {
+      worker.heartbeat_ms = static_cast<unsigned>(uint_value(1, 60000));
     } else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -209,101 +215,30 @@ int run_main(int argc, char** argv) {
     return 2;
   }
 
-  // --- resolve the grid ---
-  std::vector<std::string> workload_names =
-      workloads_arg == "all" ? workloads::workload_names()
-                             : split_csv(workloads_arg);
-  for (const std::string& name : workload_names) {
-    // find_workload also resolves the fault.* injectors, which "all"
-    // deliberately leaves out.
-    if (workloads::find_workload(name) == nullptr) {
-      std::fprintf(stderr, "vltsweep: unknown workload '%s'\n", name.c_str());
-      return 2;
-    }
-  }
-
-  std::vector<std::string> config_names;
-  if (configs_arg.empty() || configs_arg == "all") {
-    // Default grid: every preset that can run vector code (CMT joins in
-    // only when an suN variant asks for it).
-    config_names = machine::MachineConfig::preset_names();
-  } else {
-    config_names = split_csv(configs_arg);
-  }
-  std::vector<machine::MachineConfig> configs;
-  for (const std::string& name : config_names) {
-    std::optional<machine::MachineConfig> c =
-        machine::MachineConfig::find(name);
-    if (!c) {
-      std::string valid;
-      for (const std::string& n : machine::MachineConfig::preset_names())
-        valid += " " + n;
-      std::fprintf(stderr,
-                   "vltsweep: unknown config '%s' (valid:%s)\n",
-                   name.c_str(), valid.c_str());
-      return 2;
-    }
-    configs.push_back(std::move(*c));
-  }
-  // Timing-neutral (and not part of the config fingerprint), so cached
-  // cells from skip-mode runs remain valid hits under --no-skip.
-  if (no_skip)
-    for (machine::MachineConfig& c : configs) c.event_skip = false;
-
-  // The isa axis sweeps by stamping each requested frontend onto a copy
-  // of every config; add_grid prunes cells whose workload has no port.
-  std::vector<isa::IsaId> isa_ids;
-  const std::vector<std::string> isa_list =
-      isa_arg == "all" ? isa::isa_names() : split_csv(isa_arg);
-  for (const std::string& name : isa_list) {
-    std::optional<isa::IsaId> id = isa::isa_from_name(name);
-    if (!id) {
-      std::string valid;
-      for (const std::string& n : isa::isa_names()) valid += " " + n;
-      std::fprintf(stderr, "vltsweep: unknown isa '%s' (valid:%s)\n",
-                   name.c_str(), valid.c_str());
-      return 2;
-    }
-    if (std::find(isa_ids.begin(), isa_ids.end(), *id) == isa_ids.end())
-      isa_ids.push_back(*id);
-  }
-  if (isa_ids.empty()) {
-    std::fprintf(stderr, "vltsweep: --isa expects at least one frontend\n");
-    return 2;
-  }
-  if (isa_ids.size() > 1 || isa_ids[0] != isa::IsaId::kVlt) {
-    std::vector<machine::MachineConfig> stamped;
-    for (isa::IsaId id : isa_ids)
-      for (machine::MachineConfig c : configs) {
-        c.isa = id;
-        stamped.push_back(std::move(c));
-      }
-    configs = std::move(stamped);
-  }
-
-  std::vector<Variant> variants;
-  for (const std::string& v : split_csv(variants_arg)) {
-    std::string err;
-    std::optional<Variant> parsed = Variant::parse(v, &err);
-    if (!parsed) {
-      std::fprintf(stderr, "vltsweep: %s\n", err.c_str());
-      return 2;
-    }
-    variants.push_back(*parsed);
-  }
-
-  campaign::SweepSpec spec;
-  spec.add_grid(configs, workload_names, variants);
-  if (spec.empty()) {
-    std::fprintf(stderr,
-                 "vltsweep: the requested grid has no runnable cells\n");
+  std::string grid_err;
+  std::optional<campaign::SweepSpec> spec =
+      campaign::resolve_grid(grid, &grid_err);
+  if (!spec) {
+    std::fprintf(stderr, "vltsweep: %s\n", grid_err.c_str());
     return 2;
   }
 
   if (list_only) {
-    for (const campaign::Cell& cell : spec.cells())
+    for (const campaign::Cell& cell : spec->cells())
       std::printf("%s\n", cell.key().to_string().c_str());
     return 0;
+  }
+
+  if (worker_mode) {
+    // Worker mode owns stdout for the protocol; everything a human
+    // would see goes nowhere. The coordinator passes the shard journal
+    // explicitly (--journal / --no-journal); the interactive default
+    // must not leak in, or every worker would truncate the same file.
+    worker.journal_path = journal_explicit ? opts.journal_path : "";
+    worker.cell = opts;
+    worker.cell.journal_path.clear();
+    worker.cell.resume = false;
+    return shard::run_worker(*spec, worker);
   }
 
   // Deterministic mid-sweep kill for the resume tests: SIGKILL this
@@ -323,7 +258,19 @@ int run_main(int argc, char** argv) {
         std::raise(SIGKILL);
     };
 
-  campaign::RunSet set = campaign::Campaign(opts).run(spec);
+  campaign::RunSet set;
+  try {
+    set = campaign::Campaign(opts).run(*spec);
+  } catch (const vlt::SimError& e) {
+    if (e.kind() == ErrorKind::kConfig) {
+      // Usage-class failure (the classic case: --resume against a
+      // journal written for a different grid), not a simulator bug:
+      // plain message, exit 2, like any other bad invocation.
+      std::fprintf(stderr, "vltsweep: %s\n", e.message().c_str());
+      return 2;
+    }
+    throw;
+  }
 
   std::string output = format == "csv"
                            ? set.to_csv(wall)
