@@ -56,6 +56,12 @@ class ArchState {
     std::memcpy(&vregs_[r][i], &v, sizeof(v));
   }
 
+  /// Contiguous element row of one vector register. The functional
+  /// executor's element loops run over these raw rows (structure-of-arrays
+  /// layout) so the host compiler can autovectorize them.
+  std::uint64_t* vreg_row(RegIdx r) { return vregs_[r].data(); }
+  const std::uint64_t* vreg_row(RegIdx r) const { return vregs_[r].data(); }
+
   // --- vector length and mask ---
   unsigned vl() const { return vl_; }
   void set_vl(unsigned vl) { vl_ = vl; }

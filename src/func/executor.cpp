@@ -19,6 +19,12 @@ double as_f64(std::uint64_t bits) {
   return v;
 }
 
+std::uint64_t bits_of(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
 }  // namespace
 
 ExecResult Executor::execute(const Instruction& inst, ArchState& st,
@@ -32,25 +38,59 @@ ExecResult Executor::execute(const Instruction& inst, ArchState& st,
   auto s_u = [&](RegIdx r) { return st.sreg(r); };
   auto s_f = [&](RegIdx r) { return st.sreg_f(r); };
 
-  // Second vector-arithmetic operand: vector element or scalar (.vs form).
-  auto src2_u = [&](const Instruction& in, unsigned i) -> std::uint64_t {
-    return in.src2_scalar() ? st.sreg(in.rs2) : st.velem(in.rs2, i);
-  };
-  auto src2_i = [&](const Instruction& in, unsigned i) -> std::int64_t {
-    return static_cast<std::int64_t>(src2_u(in, i));
-  };
-  auto src2_f = [&](const Instruction& in, unsigned i) -> double {
-    return as_f64(src2_u(in, i));
-  };
-
   // Element-wise vector op with mask support.
   const unsigned vl = st.vl();
   VLT_CHECK(!isa::is_vector(inst.op) || vl <= ctx.max_vl,
             "vector instruction with VL above the partition's max VL");
-  auto for_each_elem = [&](auto&& body) {
-    for (unsigned i = 0; i < vl; ++i) {
-      if (inst.masked() && !st.mask(i)) continue;
-      body(i);
+
+  // Element loops run over contiguous register rows (structure-of-arrays
+  // fast paths, docs/PERF.md): the unmasked forms see raw row pointers
+  // with the mask test and .vs scalar-operand dispatch hoisted out, so
+  // the host compiler autovectorizes them. Masked elements keep their old
+  // value, so the masked forms guard each store. `op` sees raw 64-bit
+  // lanes; the integer and FP wrappers bitcast inside, preserving the
+  // exact per-element operation the reference per-element path performed.
+  auto vbinop = [&](auto&& op) {
+    std::uint64_t* d = st.vreg_row(inst.rd);
+    const std::uint64_t* a = st.vreg_row(inst.rs1);
+    if (inst.src2_scalar()) {
+      const std::uint64_t s = st.sreg(inst.rs2);
+      if (!inst.masked()) {
+        for (unsigned i = 0; i < vl; ++i) d[i] = op(a[i], s);
+      } else {
+        for (unsigned i = 0; i < vl; ++i)
+          if (st.mask(i)) d[i] = op(a[i], s);
+      }
+    } else {
+      const std::uint64_t* b = st.vreg_row(inst.rs2);
+      if (!inst.masked()) {
+        for (unsigned i = 0; i < vl; ++i) d[i] = op(a[i], b[i]);
+      } else {
+        for (unsigned i = 0; i < vl; ++i)
+          if (st.mask(i)) d[i] = op(a[i], b[i]);
+      }
+    }
+    res.elems = vl;
+  };
+  auto vibin = [&](auto&& f) {
+    vbinop([&f](std::uint64_t x, std::uint64_t y) {
+      return static_cast<std::uint64_t>(f(static_cast<std::int64_t>(x),
+                                          static_cast<std::int64_t>(y)));
+    });
+  };
+  auto vfbin = [&](auto&& f) {
+    vbinop([&f](std::uint64_t x, std::uint64_t y) {
+      return bits_of(f(as_f64(x), as_f64(y)));
+    });
+  };
+  auto vunop = [&](auto&& op) {
+    std::uint64_t* d = st.vreg_row(inst.rd);
+    const std::uint64_t* a = st.vreg_row(inst.rs1);
+    if (!inst.masked()) {
+      for (unsigned i = 0; i < vl; ++i) d[i] = op(a[i]);
+    } else {
+      for (unsigned i = 0; i < vl; ++i)
+        if (st.mask(i)) d[i] = op(a[i]);
     }
     res.elems = vl;
   };
@@ -245,184 +285,213 @@ ExecResult Executor::execute(const Instruction& inst, ArchState& st,
 
     // --- vector integer ---
     case Opcode::kVadd:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_i(inst.rd, i, st.velem_i(inst.rs1, i) + src2_i(inst, i));
-      });
+      vibin([](std::int64_t x, std::int64_t y) { return x + y; });
       break;
     case Opcode::kVsub:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_i(inst.rd, i, st.velem_i(inst.rs1, i) - src2_i(inst, i));
-      });
+      vibin([](std::int64_t x, std::int64_t y) { return x - y; });
       break;
     case Opcode::kVmul:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_i(inst.rd, i, st.velem_i(inst.rs1, i) * src2_i(inst, i));
-      });
+      vibin([](std::int64_t x, std::int64_t y) { return x * y; });
       break;
     case Opcode::kVand:
-      for_each_elem([&](unsigned i) {
-        st.set_velem(inst.rd, i, st.velem(inst.rs1, i) & src2_u(inst, i));
-      });
+      vbinop([](std::uint64_t x, std::uint64_t y) { return x & y; });
       break;
     case Opcode::kVor:
-      for_each_elem([&](unsigned i) {
-        st.set_velem(inst.rd, i, st.velem(inst.rs1, i) | src2_u(inst, i));
-      });
+      vbinop([](std::uint64_t x, std::uint64_t y) { return x | y; });
       break;
     case Opcode::kVxor:
-      for_each_elem([&](unsigned i) {
-        st.set_velem(inst.rd, i, st.velem(inst.rs1, i) ^ src2_u(inst, i));
-      });
+      vbinop([](std::uint64_t x, std::uint64_t y) { return x ^ y; });
       break;
     case Opcode::kVsll:
-      for_each_elem([&](unsigned i) {
-        st.set_velem(inst.rd, i, st.velem(inst.rs1, i)
-                                     << (src2_u(inst, i) & 63));
-      });
+      vbinop([](std::uint64_t x, std::uint64_t y) { return x << (y & 63); });
       break;
     case Opcode::kVsrl:
-      for_each_elem([&](unsigned i) {
-        st.set_velem(inst.rd, i, st.velem(inst.rs1, i) >> (src2_u(inst, i) & 63));
-      });
+      vbinop([](std::uint64_t x, std::uint64_t y) { return x >> (y & 63); });
       break;
     case Opcode::kVmin:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_i(inst.rd, i,
-                       std::min(st.velem_i(inst.rs1, i), src2_i(inst, i)));
-      });
+      vibin([](std::int64_t x, std::int64_t y) { return std::min(x, y); });
       break;
     case Opcode::kVmax:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_i(inst.rd, i,
-                       std::max(st.velem_i(inst.rs1, i), src2_i(inst, i)));
-      });
+      vibin([](std::int64_t x, std::int64_t y) { return std::max(x, y); });
       break;
     case Opcode::kVabsdiff:
-      for_each_elem([&](unsigned i) {
-        std::int64_t d = st.velem_i(inst.rs1, i) - src2_i(inst, i);
-        st.set_velem_i(inst.rd, i, d < 0 ? -d : d);
+      vibin([](std::int64_t x, std::int64_t y) {
+        std::int64_t d = x - y;
+        return d < 0 ? -d : d;
       });
       break;
 
     // --- vector floating point ---
     case Opcode::kVfadd:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_f(inst.rd, i, st.velem_f(inst.rs1, i) + src2_f(inst, i));
-      });
+      vfbin([](double x, double y) { return x + y; });
       break;
     case Opcode::kVfsub:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_f(inst.rd, i, st.velem_f(inst.rs1, i) - src2_f(inst, i));
-      });
+      vfbin([](double x, double y) { return x - y; });
       break;
     case Opcode::kVfmul:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_f(inst.rd, i, st.velem_f(inst.rs1, i) * src2_f(inst, i));
-      });
+      vfbin([](double x, double y) { return x * y; });
       break;
     case Opcode::kVfdiv:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_f(inst.rd, i, st.velem_f(inst.rs1, i) / src2_f(inst, i));
-      });
+      vfbin([](double x, double y) { return x / y; });
       break;
-    case Opcode::kVfma:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_f(inst.rd, i,
-                       st.velem_f(inst.rd, i) +
-                           st.velem_f(inst.rs1, i) * src2_f(inst, i));
-      });
+    case Opcode::kVfma: {
+      // Ternary: reads the destination row as the accumulator.
+      std::uint64_t* d = st.vreg_row(inst.rd);
+      const std::uint64_t* a = st.vreg_row(inst.rs1);
+      if (inst.src2_scalar()) {
+        const double s = as_f64(st.sreg(inst.rs2));
+        if (!inst.masked()) {
+          for (unsigned i = 0; i < vl; ++i)
+            d[i] = bits_of(as_f64(d[i]) + as_f64(a[i]) * s);
+        } else {
+          for (unsigned i = 0; i < vl; ++i)
+            if (st.mask(i)) d[i] = bits_of(as_f64(d[i]) + as_f64(a[i]) * s);
+        }
+      } else {
+        const std::uint64_t* b = st.vreg_row(inst.rs2);
+        if (!inst.masked()) {
+          for (unsigned i = 0; i < vl; ++i)
+            d[i] = bits_of(as_f64(d[i]) + as_f64(a[i]) * as_f64(b[i]));
+        } else {
+          for (unsigned i = 0; i < vl; ++i)
+            if (st.mask(i))
+              d[i] = bits_of(as_f64(d[i]) + as_f64(a[i]) * as_f64(b[i]));
+        }
+      }
+      res.elems = vl;
       break;
+    }
     case Opcode::kVfsqrt:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_f(inst.rd, i, std::sqrt(st.velem_f(inst.rs1, i)));
-      });
+      vunop([](std::uint64_t x) { return bits_of(std::sqrt(as_f64(x))); });
       break;
     case Opcode::kVfmin:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_f(inst.rd, i,
-                       std::min(st.velem_f(inst.rs1, i), src2_f(inst, i)));
-      });
+      vfbin([](double x, double y) { return std::min(x, y); });
       break;
     case Opcode::kVfmax:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_f(inst.rd, i,
-                       std::max(st.velem_f(inst.rs1, i), src2_f(inst, i)));
-      });
+      vfbin([](double x, double y) { return std::max(x, y); });
       break;
     case Opcode::kVfabs:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_f(inst.rd, i, std::fabs(st.velem_f(inst.rs1, i)));
-      });
+      vunop([](std::uint64_t x) { return bits_of(std::fabs(as_f64(x))); });
       break;
     case Opcode::kVfneg:
-      for_each_elem([&](unsigned i) {
-        st.set_velem_f(inst.rd, i, -st.velem_f(inst.rs1, i));
-      });
+      vunop([](std::uint64_t x) { return bits_of(-as_f64(x)); });
       break;
 
     // --- compares and merge ---
-    case Opcode::kVcmplt:
-      for (unsigned i = 0; i < vl; ++i)
-        st.set_mask(i, st.velem_i(inst.rs1, i) < src2_i(inst, i));
+    case Opcode::kVcmplt: {
+      const std::uint64_t* a = st.vreg_row(inst.rs1);
+      if (inst.src2_scalar()) {
+        const std::int64_t s = st.sreg_i(inst.rs2);
+        for (unsigned i = 0; i < vl; ++i)
+          st.set_mask(i, static_cast<std::int64_t>(a[i]) < s);
+      } else {
+        const std::uint64_t* b = st.vreg_row(inst.rs2);
+        for (unsigned i = 0; i < vl; ++i)
+          st.set_mask(i, static_cast<std::int64_t>(a[i]) <
+                             static_cast<std::int64_t>(b[i]));
+      }
       res.elems = vl;
       break;
-    case Opcode::kVcmpeq:
-      for (unsigned i = 0; i < vl; ++i)
-        st.set_mask(i, st.velem_i(inst.rs1, i) == src2_i(inst, i));
+    }
+    case Opcode::kVcmpeq: {
+      const std::uint64_t* a = st.vreg_row(inst.rs1);
+      if (inst.src2_scalar()) {
+        const std::uint64_t s = st.sreg(inst.rs2);
+        for (unsigned i = 0; i < vl; ++i) st.set_mask(i, a[i] == s);
+      } else {
+        const std::uint64_t* b = st.vreg_row(inst.rs2);
+        for (unsigned i = 0; i < vl; ++i) st.set_mask(i, a[i] == b[i]);
+      }
       res.elems = vl;
       break;
-    case Opcode::kVfcmplt:
-      for (unsigned i = 0; i < vl; ++i)
-        st.set_mask(i, st.velem_f(inst.rs1, i) < src2_f(inst, i));
+    }
+    case Opcode::kVfcmplt: {
+      const std::uint64_t* a = st.vreg_row(inst.rs1);
+      if (inst.src2_scalar()) {
+        const double s = as_f64(st.sreg(inst.rs2));
+        for (unsigned i = 0; i < vl; ++i) st.set_mask(i, as_f64(a[i]) < s);
+      } else {
+        const std::uint64_t* b = st.vreg_row(inst.rs2);
+        for (unsigned i = 0; i < vl; ++i)
+          st.set_mask(i, as_f64(a[i]) < as_f64(b[i]));
+      }
       res.elems = vl;
       break;
-    case Opcode::kVmerge:
-      for (unsigned i = 0; i < vl; ++i)
-        st.set_velem(inst.rd, i,
-                     st.mask(i) ? st.velem(inst.rs1, i) : src2_u(inst, i));
+    }
+    case Opcode::kVmerge: {
+      std::uint64_t* d = st.vreg_row(inst.rd);
+      const std::uint64_t* a = st.vreg_row(inst.rs1);
+      if (inst.src2_scalar()) {
+        const std::uint64_t s = st.sreg(inst.rs2);
+        for (unsigned i = 0; i < vl; ++i) d[i] = st.mask(i) ? a[i] : s;
+      } else {
+        const std::uint64_t* b = st.vreg_row(inst.rs2);
+        for (unsigned i = 0; i < vl; ++i) d[i] = st.mask(i) ? a[i] : b[i];
+      }
       res.elems = vl;
       break;
+    }
 
     // --- misc ---
     case Opcode::kVmov:
-      for_each_elem([&](unsigned i) {
-        st.set_velem(inst.rd, i, st.velem(inst.rs1, i));
-      });
+      vunop([](std::uint64_t x) { return x; });
       break;
-    case Opcode::kVbcast:
-      for_each_elem([&](unsigned i) { st.set_velem(inst.rd, i, s_u(inst.rs1)); });
+    case Opcode::kVbcast: {
+      std::uint64_t* d = st.vreg_row(inst.rd);
+      const std::uint64_t s = s_u(inst.rs1);
+      if (!inst.masked()) {
+        for (unsigned i = 0; i < vl; ++i) d[i] = s;
+      } else {
+        for (unsigned i = 0; i < vl; ++i)
+          if (st.mask(i)) d[i] = s;
+      }
+      res.elems = vl;
       break;
-    case Opcode::kViota:
-      for_each_elem([&](unsigned i) { st.set_velem(inst.rd, i, i); });
+    }
+    case Opcode::kViota: {
+      std::uint64_t* d = st.vreg_row(inst.rd);
+      if (!inst.masked()) {
+        for (unsigned i = 0; i < vl; ++i) d[i] = i;
+      } else {
+        for (unsigned i = 0; i < vl; ++i)
+          if (st.mask(i)) d[i] = i;
+      }
+      res.elems = vl;
       break;
+    }
 
-    // --- reductions ---
+    // --- reductions (element order is architectural: keep it sequential) ---
     case Opcode::kVredsum: {
+      const std::uint64_t* a = st.vreg_row(inst.rs1);
       std::int64_t acc = 0;
-      for (unsigned i = 0; i < vl; ++i) acc += st.velem_i(inst.rs1, i);
+      for (unsigned i = 0; i < vl; ++i)
+        acc += static_cast<std::int64_t>(a[i]);
       st.set_sreg_i(inst.rd, acc);
       res.elems = vl;
       break;
     }
     case Opcode::kVfredsum: {
+      const std::uint64_t* a = st.vreg_row(inst.rs1);
       double acc = 0.0;
-      for (unsigned i = 0; i < vl; ++i) acc += st.velem_f(inst.rs1, i);
+      for (unsigned i = 0; i < vl; ++i) acc += as_f64(a[i]);
       st.set_sreg_f(inst.rd, acc);
       res.elems = vl;
       break;
     }
     case Opcode::kVredmin: {
+      const std::uint64_t* a = st.vreg_row(inst.rs1);
       std::int64_t acc = std::numeric_limits<std::int64_t>::max();
       for (unsigned i = 0; i < vl; ++i)
-        acc = std::min(acc, st.velem_i(inst.rs1, i));
+        acc = std::min(acc, static_cast<std::int64_t>(a[i]));
       st.set_sreg_i(inst.rd, acc);
       res.elems = vl;
       break;
     }
     case Opcode::kVredmax: {
+      const std::uint64_t* a = st.vreg_row(inst.rs1);
       std::int64_t acc = std::numeric_limits<std::int64_t>::min();
       for (unsigned i = 0; i < vl; ++i)
-        acc = std::max(acc, st.velem_i(inst.rs1, i));
+        acc = std::max(acc, static_cast<std::int64_t>(a[i]));
       st.set_sreg_i(inst.rd, acc);
       res.elems = vl;
       break;
@@ -433,61 +502,95 @@ ExecResult Executor::execute(const Instruction& inst, ArchState& st,
     // kVload/kVstore, but each spelling is only legal under its own
     // frontend (checked below).
     case Opcode::kVle:
-    case Opcode::kVload:
+    case Opcode::kVload: {
       VLT_CHECK(isa::frontend(ctx.isa).has_opcode(inst.op),
                 "vector load opcode is not part of the program's ISA frontend");
-      for (unsigned i = 0; i < vl; ++i) {
-        if (inst.masked() && !st.mask(i)) continue;
-        Addr a = static_cast<Addr>(s_i(inst.rs1) + inst.imm) + 8 * i;
-        addr_out.push_back(a);
-        st.set_velem(inst.rd, i, mem_->read64(a));
+      const Addr base = static_cast<Addr>(s_i(inst.rs1) + inst.imm);
+      std::uint64_t* d = st.vreg_row(inst.rd);
+      if (!inst.masked()) {
+        addr_out.resize(vl);
+        for (unsigned i = 0; i < vl; ++i) addr_out[i] = base + 8 * i;
+        mem_->read_row(base, d, vl);  // one page lookup per crossed page
+      } else {
+        for (unsigned i = 0; i < vl; ++i) {
+          if (!st.mask(i)) continue;
+          Addr a = base + 8 * i;
+          addr_out.push_back(a);
+          d[i] = mem_->read64(a);
+        }
       }
       res.elems = vl;
       break;
+    }
     case Opcode::kVse:
-    case Opcode::kVstore:
+    case Opcode::kVstore: {
       VLT_CHECK(isa::frontend(ctx.isa).has_opcode(inst.op),
                 "vector store opcode is not part of the program's ISA frontend");
-      for (unsigned i = 0; i < vl; ++i) {
-        if (inst.masked() && !st.mask(i)) continue;
-        Addr a = static_cast<Addr>(s_i(inst.rs1) + inst.imm) + 8 * i;
-        addr_out.push_back(a);
-        mem_->write64(a, st.velem(inst.rd, i));
+      const Addr base = static_cast<Addr>(s_i(inst.rs1) + inst.imm);
+      const std::uint64_t* d = st.vreg_row(inst.rd);
+      if (!inst.masked()) {
+        addr_out.resize(vl);
+        for (unsigned i = 0; i < vl; ++i) addr_out[i] = base + 8 * i;
+        mem_->write_row(base, d, vl);
+      } else {
+        for (unsigned i = 0; i < vl; ++i) {
+          if (!st.mask(i)) continue;
+          Addr a = base + 8 * i;
+          addr_out.push_back(a);
+          mem_->write64(a, d[i]);
+        }
       }
       res.elems = vl;
       break;
-    case Opcode::kVloads:
+    }
+    case Opcode::kVloads: {
+      const std::int64_t base = s_i(inst.rs1);
+      const std::int64_t stride = s_i(inst.rs2);
+      std::uint64_t* d = st.vreg_row(inst.rd);
       for (unsigned i = 0; i < vl; ++i) {
-        Addr a = static_cast<Addr>(s_i(inst.rs1) + s_i(inst.rs2) * i);
+        Addr a = static_cast<Addr>(base + stride * i);
         addr_out.push_back(a);
-        st.set_velem(inst.rd, i, mem_->read64(a));
+        d[i] = mem_->read64(a);
       }
       res.elems = vl;
       break;
-    case Opcode::kVstores:
+    }
+    case Opcode::kVstores: {
+      const std::int64_t base = s_i(inst.rs1);
+      const std::int64_t stride = s_i(inst.rs2);
+      const std::uint64_t* d = st.vreg_row(inst.rd);
       for (unsigned i = 0; i < vl; ++i) {
-        Addr a = static_cast<Addr>(s_i(inst.rs1) + s_i(inst.rs2) * i);
+        Addr a = static_cast<Addr>(base + stride * i);
         addr_out.push_back(a);
-        mem_->write64(a, st.velem(inst.rd, i));
+        mem_->write64(a, d[i]);
       }
       res.elems = vl;
       break;
-    case Opcode::kVgather:
+    }
+    case Opcode::kVgather: {
+      const std::int64_t base = s_i(inst.rs1);
+      const std::uint64_t* idx = st.vreg_row(inst.rs2);
+      std::uint64_t* d = st.vreg_row(inst.rd);
       for (unsigned i = 0; i < vl; ++i) {
-        Addr a = static_cast<Addr>(s_i(inst.rs1) + st.velem_i(inst.rs2, i));
+        Addr a = static_cast<Addr>(base + static_cast<std::int64_t>(idx[i]));
         addr_out.push_back(a);
-        st.set_velem(inst.rd, i, mem_->read64(a));
+        d[i] = mem_->read64(a);
       }
       res.elems = vl;
       break;
-    case Opcode::kVscatter:
+    }
+    case Opcode::kVscatter: {
+      const std::int64_t base = s_i(inst.rs1);
+      const std::uint64_t* idx = st.vreg_row(inst.rs2);
+      const std::uint64_t* d = st.vreg_row(inst.rd);
       for (unsigned i = 0; i < vl; ++i) {
-        Addr a = static_cast<Addr>(s_i(inst.rs1) + st.velem_i(inst.rs2, i));
+        Addr a = static_cast<Addr>(base + static_cast<std::int64_t>(idx[i]));
         addr_out.push_back(a);
-        mem_->write64(a, st.velem(inst.rd, i));
+        mem_->write64(a, d[i]);
       }
       res.elems = vl;
       break;
+    }
 
     case Opcode::kNumOpcodes:
       VLT_CHECK(false, "invalid opcode");

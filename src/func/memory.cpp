@@ -20,15 +20,65 @@ const FuncMemory::Page* FuncMemory::find_page(Addr addr) const {
   return it == pages_.end() ? nullptr : it->second.get();
 }
 
+const FuncMemory::Page* FuncMemory::find_page_sync(Addr addr) const {
+  if (!concurrent_) return find_page(addr);
+  // Pages are stable once created (the map owns them through unique_ptr),
+  // so the pointer stays valid after the lock drops; the lock only
+  // protects the map structure against concurrent page creation.
+  std::shared_lock lk(mu_);
+  return find_page(addr);
+}
+
+FuncMemory::Page& FuncMemory::page_for_sync(Addr addr) {
+  if (!concurrent_) return page_for(addr);
+  {
+    std::shared_lock lk(mu_);
+    auto it = pages_.find(addr / kPageBytes);
+    if (it != pages_.end()) return *it->second;
+  }
+  std::unique_lock lk(mu_);
+  return page_for(addr);
+}
+
 std::uint64_t FuncMemory::read64(Addr addr) const {
   VLT_CHECK((addr & 7) == 0, "unaligned 64-bit read");
-  const Page* p = find_page(addr);
+  const Page* p = find_page_sync(addr);
   return p ? (*p)[(addr % kPageBytes) / 8] : 0;
 }
 
 void FuncMemory::write64(Addr addr, std::uint64_t value) {
   VLT_CHECK((addr & 7) == 0, "unaligned 64-bit write");
-  page_for(addr)[(addr % kPageBytes) / 8] = value;
+  page_for_sync(addr)[(addr % kPageBytes) / 8] = value;
+}
+
+void FuncMemory::read_row(Addr addr, std::uint64_t* out,
+                          std::size_t count) const {
+  VLT_CHECK((addr & 7) == 0, "unaligned 64-bit read");
+  while (count > 0) {
+    const std::size_t word = (addr % kPageBytes) / 8;
+    const std::size_t n = std::min(count, kPageBytes / 8 - word);
+    const Page* p = find_page_sync(addr);
+    if (p != nullptr)
+      std::memcpy(out, p->data() + word, n * 8);
+    else
+      std::memset(out, 0, n * 8);  // absent pages read as zero
+    addr += n * 8;
+    out += n;
+    count -= n;
+  }
+}
+
+void FuncMemory::write_row(Addr addr, const std::uint64_t* values,
+                           std::size_t count) {
+  VLT_CHECK((addr & 7) == 0, "unaligned 64-bit write");
+  while (count > 0) {
+    const std::size_t word = (addr % kPageBytes) / 8;
+    const std::size_t n = std::min(count, kPageBytes / 8 - word);
+    std::memcpy(page_for_sync(addr).data() + word, values, n * 8);
+    addr += n * 8;
+    values += n;
+    count -= n;
+  }
 }
 
 void FuncMemory::write_block_f64(Addr addr, std::span<const double> values) {

@@ -5,7 +5,9 @@
 #include <array>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -19,6 +21,16 @@ namespace vlt::func {
 class FuncMemory {
  public:
   static constexpr Addr kPageBytes = 4096;
+
+  /// Concurrent-access mode for partition-parallel ticking
+  /// (MachineConfig::host_threads): while on, the page map is guarded by
+  /// a shared mutex — reads and writes to existing pages take it shared,
+  /// only on-demand page creation takes it exclusively — so functional
+  /// execution may run on several host threads at once. Callers guarantee
+  /// word-level disjointness (threadlets touch disjoint footprints within
+  /// a barrier epoch, vltlint's race gate); the lock only protects the
+  /// map structure itself. Off (the default) every access is lock-free.
+  void set_concurrent(bool on) { concurrent_ = on; }
 
   std::uint64_t read64(Addr addr) const;
   void write64(Addr addr, std::uint64_t value);
@@ -41,6 +53,12 @@ class FuncMemory {
   void write_i64(Addr addr, std::int64_t value) {
     write64(addr, static_cast<std::uint64_t>(value));
   }
+
+  /// Contiguous 64-bit row transfer for the executor's unit-stride vector
+  /// fast paths: one page lookup per crossed page instead of one per
+  /// element. Semantically identical to `count` read64/write64 calls.
+  void read_row(Addr addr, std::uint64_t* out, std::size_t count) const;
+  void write_row(Addr addr, const std::uint64_t* values, std::size_t count);
 
   /// Bulk helpers for workload setup and golden verification.
   void write_block_f64(Addr addr, std::span<const double> values);
@@ -67,8 +85,15 @@ class FuncMemory {
 
   Page& page_for(Addr addr);
   const Page* find_page(Addr addr) const;
+  /// find_page under the shared lock in concurrent mode, plain otherwise.
+  const Page* find_page_sync(Addr addr) const;
+  /// page_for with shared-fast-path / exclusive-create in concurrent
+  /// mode, plain otherwise.
+  Page& page_for_sync(Addr addr);
 
   std::unordered_map<Addr, std::unique_ptr<Page>> pages_;
+  bool concurrent_ = false;
+  mutable std::shared_mutex mu_;
 };
 
 /// Simple bump allocator over the simulated address space, used by

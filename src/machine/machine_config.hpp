@@ -51,6 +51,18 @@ struct MachineConfig {
   /// cross-check oracle.
   bool event_skip = true;
 
+  /// Host worker threads for the event-driven engine (docs/PERF.md):
+  /// when > 1, scalar units whose partitions share no state — vector-
+  /// thread phases, where each unit drives its own vector-unit partition
+  /// and the units meet only at the barrier and the L2 — tick on separate
+  /// host threads within a cycle, with shared-structure operations gated
+  /// back into serial unit order. Timing-neutral like event_skip (results
+  /// are bit-identical at any thread count, enforced by
+  /// tests/test_skip_equivalence.cpp), so it is deliberately NOT part of
+  /// fingerprint(). Ignored by the cycle-by-cycle oracle and whenever
+  /// audit or tracing observes tick order.
+  unsigned host_threads = 1;
+
   /// Audit mode (off by default): dynamic invariant checks and lockstep
   /// co-simulation. Observational only — enabling it never changes timing.
   audit::AuditConfig audit;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <string>
+#include <thread>
 
 #include "common/log.hpp"
 
@@ -42,12 +43,38 @@ Processor::Processor(const MachineConfig& config, audit::Auditor* auditor)
     lanes_[i]->register_stats(registry_, "lane" + std::to_string(i));
   registry_.add_counter("engine.ticks", &ticks_,
                         stats::Stability::kDiagnostic);
+  registry_.add_counter("engine.scans", &scans_,
+                        stats::Stability::kDiagnostic);
 }
 
 void Processor::set_trace(stats::TraceBuffer* trace) {
+  trace_attached_ = trace != nullptr;
   l2_.set_trace(trace);
   barrier_.set_trace(trace);
   if (vu_) vu_->set_trace(trace);
+}
+
+struct Processor::ParTickCtx {
+  Processor* p;
+  Cycle now;
+  std::atomic<unsigned> undone_delta{0};
+};
+
+void Processor::par_tick_task(void* vctx, std::size_t k) {
+  ParTickCtx& c = *static_cast<ParTickCtx*>(vctx);
+  Processor& p = *c.p;
+  const std::size_t i = p.due_scratch_[k];
+  su::ScalarCore& su = *p.sus_[i];
+  // The tick-complete flag must be set even if an invariant failure
+  // throws out of tick(): higher-index units' gates spin on it.
+  struct FlagGuard {
+    std::atomic<std::uint8_t>& f;
+    ~FlagGuard() { f.store(1, std::memory_order_release); }
+  } guard{p.tick_done_[i]};
+  const unsigned before = su.undone_contexts();
+  su.tick(c.now);
+  c.undone_delta.fetch_add(before - su.undone_contexts(),
+                           std::memory_order_relaxed);
 }
 
 void Processor::start_phase_contexts(const Phase& phase) {
@@ -195,6 +222,24 @@ void Processor::run_phase_cycles(const Phase& phase) {
 
 void Processor::run_phase_events(const Phase& phase) {
   const bool lane_mode = phase.mode == PhaseMode::kLaneThreads;
+  // Partition-parallel ticking (config.host_threads): engaged only in
+  // vector-threads phases, where due scalar units share no scalar state
+  // (each hardware context drives its own vector-unit partition) and
+  // every cross-unit touch — L2, barrier, on-demand functional-page
+  // creation — is either gated into serial order (su::TickGate) or
+  // guarded (func::FuncMemory::set_concurrent). Audit mode and tracing
+  // observe tick order, so both force the serial path. On hosts with
+  // fewer cores than requested threads every pool epoch degenerates into
+  // a scheduler round-trip (thousandfold slowdown on a single-core box),
+  // so the parallel path also requires the hardware to actually provide
+  // a core per worker — host_threads is a cap, not a demand.
+  const bool par_ok = phase.mode == PhaseMode::kVectorThreads &&
+                      config_.host_threads > 1 && sus_.size() > 1 &&
+                      std::thread::hardware_concurrency() >=
+                          std::min<unsigned>(config_.host_threads,
+                                             static_cast<unsigned>(
+                                                 sus_.size())) &&
+                      auditor_ == nullptr && !trace_attached_;
 
   // Running active-unit count, decremented as lanes/contexts finish, so
   // completion is O(1) per iteration instead of a full scan. The vector
@@ -282,6 +327,16 @@ void Processor::run_phase_events(const Phase& phase) {
         vu_->tick(now_);
         vu_ticked = true;
       }
+      // Single-due-core batching: when exactly one scalar unit is due and
+      // the vector unit is parked, hand the whole stretch up to the next
+      // foreign event to the core itself (ScalarCore::tick_to). The core
+      // ticks and skips exactly as this loop would but without paying the
+      // per-cycle foreign-unit checks, cache refreshes, and event
+      // minimization; it returns control at the first tick that touches
+      // shared state, after which the refresh stage below runs as usual.
+      // Unpark VIQ-blocked units whose slice this cycle's vector-unit
+      // tick vacated, then collect the units due this cycle.
+      due_scratch_.clear();
       for (std::size_t i = 0; i < nsu; ++i) {
         if (unit_next[i] > now_) {
           std::uint32_t m = su_vec_blocked[i];
@@ -295,12 +350,100 @@ void Processor::run_phase_events(const Phase& phase) {
           if (!freed) continue;
           unit_next[i] = now_;  // VIQ slot vacated: hand off this cycle
         }
-        su::ScalarCore& su = *sus_[i];
-        if (su_accounted[i] < now_) su.skip_cycles(now_ - su_accounted[i]);
-        su_accounted[i] = now_ + 1;
+        due_scratch_.push_back(i);
+      }
+      const std::size_t due_n = due_scratch_.size();
+      Cycle until = 0;
+      if (!vu_ticked && undone > 0 && due_n == 1) {
+        const std::size_t due_i = due_scratch_[0];
+        until = vu_ ? vu_next : kNeverReady;
+        for (std::size_t j = 0; j < nsu; ++j)
+          if (j != due_i) until = std::min(until, unit_next[j]);
+        until = std::min(until, barrier_.next_event(now_));
+        // The batch observes the same watchdog and budget boundaries the
+        // per-cycle path does (see the jump clamps below).
+        if (auditor_ != nullptr)
+          until = std::min(until, last_watchdog_ + kWatchdogInterval);
+        until = std::min(until, config_.cycle_limit);
+      }
+      if (until > now_ + 1) {
+        const std::size_t due_i = due_scratch_[0];
+        su::ScalarCore& su = *sus_[due_i];
+        if (su_accounted[due_i] < now_)
+          su.skip_cycles(now_ - su_accounted[due_i]);
         const unsigned before = su.undone_contexts();
-        su.tick(now_);
+        const su::ScalarCore::BatchResult r = su.tick_to(now_, until);
         undone -= before - su.undone_contexts();
+        ticks_.inc(r.ticks - 1);  // the loop header counted the first tick
+        scans_.inc(r.scans);
+        su_accounted[due_i] = r.stopped_at;
+        now_ = r.stopped_at - 1;
+        if (r.have_next) {
+          // The batch ended on its own event scan, so its result is the
+          // core's true next event — install it (with the VIQ-blocked
+          // mask and a fresh progress snapshot) so the refresh stage
+          // below does not re-tick the core at `until` just to rediscover
+          // the same bound.
+          unit_next[due_i] = r.next_ev;
+          su_vec_blocked[due_i] = r.vec_blocked;
+          su_prog[due_i] = su.progress_count();
+        }
+      } else if (par_ok && due_n >= 2) {
+        // Partition-parallel cycle: the due units tick concurrently on
+        // the host pool. Serial prologue: close the vector unit's
+        // accounting span through now_ + 1 (exactly what the first
+        // accepted dispatch would do — account_span is additive over
+        // splits, so the eager close is byte-identical), stage dispatch
+        // mutation counts per context, switch functional memory to
+        // guarded mode, and arm the tick gates.
+        if (!tick_pool_) {
+          const unsigned n = std::min<unsigned>(config_.host_threads,
+                                                static_cast<unsigned>(nsu));
+          tick_pool_ = std::make_unique<SuTickPool>(n);
+          tick_done_ = std::make_unique<std::atomic<std::uint8_t>[]>(nsu);
+          gates_.resize(nsu);
+          for (std::size_t i = 0; i < nsu; ++i) {
+            gates_[i].done = tick_done_.get();
+            gates_[i].self = i;
+          }
+        }
+        vu_->account_to(now_ + 1);
+        vu_->set_concurrent_dispatch(true);
+        memory_.set_concurrent(true);
+        for (std::size_t i = 0; i < nsu; ++i)
+          tick_done_[i].store(1, std::memory_order_relaxed);
+        for (std::size_t i : due_scratch_) {
+          su::ScalarCore& su = *sus_[i];
+          if (su_accounted[i] < now_) su.skip_cycles(now_ - su_accounted[i]);
+          su_accounted[i] = now_ + 1;
+          tick_done_[i].store(0, std::memory_order_relaxed);
+          gates_[i].passed = false;
+          su.set_tick_gate(&gates_[i]);
+        }
+        ParTickCtx ctx{this, now_};
+        // Restore serial mode even when a task's invariant failure is
+        // rethrown out of run().
+        struct SectionGuard {
+          Processor& p;
+          ~SectionGuard() {
+            p.memory_.set_concurrent(false);
+            p.vu_->set_concurrent_dispatch(false);
+            p.vu_->fold_staged_dispatches();
+            for (std::size_t i : p.due_scratch_)
+              p.sus_[i]->set_tick_gate(nullptr);
+          }
+        } section{*this};
+        tick_pool_->run(&par_tick_task, &ctx, due_n);
+        undone -= ctx.undone_delta.load(std::memory_order_relaxed);
+      } else {
+        for (std::size_t i : due_scratch_) {
+          su::ScalarCore& su = *sus_[i];
+          if (su_accounted[i] < now_) su.skip_cycles(now_ - su_accounted[i]);
+          su_accounted[i] = now_ + 1;
+          const unsigned before = su.undone_contexts();
+          su.tick(now_);
+          undone -= before - su.undone_contexts();
+        }
       }
     }
 
@@ -333,7 +476,12 @@ void Processor::run_phase_events(const Phase& phase) {
             streak = p != lane_prog[t];
             lane_prog[t] = p;
           }
-          unit_next[t] = streak ? now_ + 1 : lanes_[t]->next_event(now_);
+          if (streak) {
+            unit_next[t] = now_ + 1;
+          } else {
+            unit_next[t] = lanes_[t]->next_event(now_);
+            scans_.inc();
+          }
         }
         ev = std::min(ev, unit_next[t]);
       }
@@ -372,6 +520,7 @@ void Processor::run_phase_events(const Phase& phase) {
           } else {
             std::uint32_t blocked = 0;
             unit_next[i] = sus_[i]->next_event(now_, &blocked);
+            scans_.inc();
             su_vec_blocked[i] = blocked;
           }
         }
@@ -381,10 +530,12 @@ void Processor::run_phase_events(const Phase& phase) {
         // Same shortcut for the vector unit: any mutation this cycle
         // (rename, issue, accepted dispatch) makes now_ + 1 a valid
         // bound; only a mutation-free due tick pays the event scan.
-        if (vu_changed)
+        if (vu_changed) {
           vu_next = now_ + 1;
-        else if (vu_next <= now_)
+        } else if (vu_next <= now_) {
           vu_next = vu_->next_event(now_);
+          scans_.inc();
+        }
         ev = std::min(ev, vu_next);
         // Phase completion is itself an event: once every context has
         // halted the loop still has to land exactly on the vector unit's

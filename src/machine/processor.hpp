@@ -2,6 +2,7 @@
 // memory system, driven phase by phase.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "lanecore/lane_core.hpp"
 #include "machine/machine_config.hpp"
 #include "machine/phase.hpp"
+#include "machine/tick_pool.hpp"
 #include "mem/l2_cache.hpp"
 #include "mem/main_memory.hpp"
 #include "stats/stats.hpp"
@@ -46,6 +48,13 @@ class Processor {
   /// proved to be no-ops and jumped over.
   std::uint64_t ticks_executed() const { return ticks_.value(); }
 
+  /// next_event scans performed by the event-driven engine (host-side
+  /// instrumentation; always 0 under --no-skip, which never scans). Read
+  /// together with ticks_executed() this separates the engine's two
+  /// costs: cycles it had to execute and scans it paid to prove the rest
+  /// skippable.
+  std::uint64_t scans_executed() const { return scans_.value(); }
+
   /// The machine-wide metrics registry: every unit's instruments are
   /// registered at construction under hierarchical names ("su0.l1d.*",
   /// "vu.datapath.*", "barrier.*", "lane3.icache.*", "engine.*"). Owned
@@ -77,6 +86,10 @@ class Processor {
   /// Full completion scan used by the legacy engine: every thread halted
   /// and (outside lane mode) every vector context quiesced.
   bool phase_complete(const Phase& phase) const;
+  /// One due scalar unit's tick, run on the SuTickPool during a
+  /// partition-parallel cycle (config.host_threads).
+  struct ParTickCtx;
+  static void par_tick_task(void* ctx, std::size_t k);
   /// Deadlock diagnostic for a run that exhausted config().cycle_limit:
   /// the stuck phase, every context's PC and state, and the oldest
   /// partially-full barrier generation.
@@ -103,7 +116,18 @@ class Processor {
   // Host-side engine instrumentation: differs between the two engines by
   // design, hence kDiagnostic (never serialized).
   stats::Counter ticks_;
+  stats::Counter scans_;
   std::uint64_t lane_committed_ = 0;
+  // Partition-parallel ticking (config.host_threads > 1): worker pool,
+  // per-unit tick-complete flags the TickGates spin on, and the per-cycle
+  // due-unit list. Pool and flags are created on the first eligible
+  // cycle; tracing forces the serial path (trace order is part of the
+  // observable output), as does audit mode.
+  std::unique_ptr<SuTickPool> tick_pool_;
+  std::unique_ptr<std::atomic<std::uint8_t>[]> tick_done_;
+  std::vector<su::TickGate> gates_;
+  std::vector<std::size_t> due_scratch_;
+  bool trace_attached_ = false;
 };
 
 }  // namespace vlt::machine

@@ -212,6 +212,8 @@ RunResult Simulator::run(const workloads::Workload& workload,
   }
 
   res.stats = proc.registry().snapshot();
+  res.ticks_executed = proc.ticks_executed();
+  res.scans = proc.scans_executed();
 
   if (auditor) {
     // End-of-run conservation pass over every registered invariant

@@ -73,6 +73,14 @@ struct RunResult {
   /// vltsweep surfaces it behind the opt-in --wall flag; tools/vltperf
   /// is the measurement harness built on it (docs/PERF.md).
   double wall_ms = 0.0;
+  /// Host-side engine instrumentation (Processor::ticks_executed /
+  /// scans_executed): loop iterations the engine actually executed and
+  /// next_event scans it paid to prove the remaining cycles skippable.
+  /// Like wall_ms these differ between the two engines by design, so they
+  /// are deliberately NOT serialized by to_json(); tools/vltperf reports
+  /// them per cell (docs/PERF.md).
+  std::uint64_t ticks_executed = 0;
+  std::uint64_t scans = 0;
 
   bool ok() const { return status == RunStatus::kOk; }
 

@@ -1,0 +1,84 @@
+#include "machine/tick_pool.hpp"
+
+#include "common/log.hpp"
+
+namespace vlt::machine {
+
+SuTickPool::SuTickPool(unsigned nthreads) {
+  VLT_CHECK(nthreads >= 1, "pool needs at least the calling thread");
+  threads_.reserve(nthreads - 1);
+  for (unsigned i = 0; i + 1 < nthreads; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+SuTickPool::~SuTickPool() {
+  stop_.store(true, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  epoch_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void SuTickPool::run(TaskFn fn, void* ctx, std::size_t ntasks) {
+  fn_ = fn;
+  ctx_ = ctx;
+  ntasks_ = ntasks;
+  errors_.assign(ntasks, nullptr);
+  claim_.store(0, std::memory_order_relaxed);
+  acked_.store(0, std::memory_order_relaxed);
+  // The release bump publishes the batch fields above to every worker
+  // (their epoch load is the matching acquire).
+  epoch_.fetch_add(1, std::memory_order_seq_cst);
+  if (sleepers_.load(std::memory_order_seq_cst) > 0) epoch_.notify_all();
+
+  drain();
+  // Every worker acknowledges the epoch after its drain() returns, so
+  // once all have, no thread is still claiming or executing — only then
+  // may the next run() reuse the batch fields. Tasks are single SU ticks
+  // (sub-microsecond): spin rather than park.
+  const std::size_t nworkers = threads_.size();
+  while (acked_.load(std::memory_order_acquire) < nworkers) {
+  }
+
+  for (std::size_t i = 0; i < ntasks; ++i)
+    if (errors_[i]) std::rethrow_exception(errors_[i]);
+}
+
+void SuTickPool::drain() {
+  for (;;) {
+    const std::size_t i = claim_.fetch_add(1, std::memory_order_acq_rel);
+    if (i >= ntasks_) return;
+    try {
+      fn_(ctx_, i);
+    } catch (...) {
+      errors_[i] = std::current_exception();
+    }
+  }
+}
+
+void SuTickPool::worker_loop() {
+  std::uint64_t seen = 0;  // epoch_ starts at 0; the first batch bumps it
+  for (;;) {
+    // Spin briefly — consecutive parallel cycles arrive back to back —
+    // then park on the epoch word. The seq_cst fence pair with run()
+    // (sleepers_ store / epoch_ load here vs epoch_ store / sleepers_
+    // load there) rules out the both-sides-see-stale sleep/notify miss.
+    int spin = 0;
+    while (epoch_.load(std::memory_order_acquire) == seen) {
+      if (++spin < 4096) continue;
+      sleepers_.fetch_add(1, std::memory_order_seq_cst);
+      if (epoch_.load(std::memory_order_seq_cst) == seen)
+        epoch_.wait(seen, std::memory_order_acquire);
+      sleepers_.fetch_sub(1, std::memory_order_release);
+      spin = 0;
+    }
+    // The epoch advances at most one step past this worker's last ack
+    // (run() waits for all acks before returning), so this load names
+    // the batch just published.
+    seen = epoch_.load(std::memory_order_acquire);
+    if (stop_.load(std::memory_order_relaxed)) return;
+    drain();
+    acked_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+}  // namespace vlt::machine

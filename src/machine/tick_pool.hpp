@@ -1,0 +1,58 @@
+// Host-thread pool for partition-parallel scalar-unit ticking
+// (MachineConfig::host_threads). A deliberately tiny fork-join primitive:
+// one task batch at a time, indices claimed in ascending order, the
+// calling thread participates, and per-task exceptions are captured and
+// rethrown lowest-index-first so a parallel cycle fails with the same
+// diagnostic a serial one would.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace vlt::machine {
+
+class SuTickPool {
+ public:
+  using TaskFn = void (*)(void* ctx, std::size_t index);
+
+  /// `nthreads` is the total participant count including the caller of
+  /// run(); nthreads - 1 host threads are spawned and parked.
+  explicit SuTickPool(unsigned nthreads);
+  ~SuTickPool();
+
+  SuTickPool(const SuTickPool&) = delete;
+  SuTickPool& operator=(const SuTickPool&) = delete;
+
+  /// Runs fn(ctx, i) for every i in [0, ntasks), each exactly once,
+  /// across the workers plus the calling thread. Returns once all tasks
+  /// have completed; if any threw, the exception of the lowest-index
+  /// failing task is rethrown here.
+  void run(TaskFn fn, void* ctx, std::size_t ntasks);
+
+ private:
+  void worker_loop();
+  /// Claims and executes tasks of the current batch until none are left.
+  void drain();
+
+  // Batch description. Published by the epoch_ release bump, read by
+  // workers only between their epoch acquire and their ack release —
+  // run() waits for all acks before returning, so no worker can touch
+  // these while the next batch is being set up.
+  TaskFn fn_ = nullptr;
+  void* ctx_ = nullptr;
+  std::size_t ntasks_ = 0;
+  std::vector<std::exception_ptr> errors_;
+
+  std::atomic<std::size_t> claim_{0};
+  std::atomic<std::size_t> acked_{0};
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<unsigned> sleepers_{0};
+  std::atomic<bool> stop_{false};
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace vlt::machine

@@ -150,6 +150,7 @@ void ScalarCore::fetch_context(CtxState& c, unsigned budget, Cycle now) {
     if (line != c.cur_fetch_line) {
       c.cur_fetch_line = line;
       if (!l1i_.access(iaddr, false).hit) {
+        if (gate_ != nullptr) gate_->wait();  // L2 is shared across units
         c.fetch_stall_until = l2_->access(iaddr, false, now + 1);
         return;
       }
@@ -166,7 +167,14 @@ void ScalarCore::fetch_context(CtxState& c, unsigned budget, Cycle now) {
     FetchedInst fi;
     fi.inst = inst;
     fi.pc = c.fetch_pc;
-    fi.addrs = addr_scratch_;
+    // Take the executed addresses without copying, and leave a recycled
+    // buffer (capacity intact) as the next scratch so steady-state fetch
+    // of scalar memory instructions allocates nothing.
+    fi.addrs.swap(addr_scratch_);
+    if (!addr_pool_.empty()) {
+      addr_scratch_ = std::move(addr_pool_.back());
+      addr_pool_.pop_back();
+    }
     fi.vl = res.elems;
 
     // Direction prediction for conditional branches; unconditional jumps
@@ -209,6 +217,14 @@ void ScalarCore::do_dispatch(Cycle now) {
   for (unsigned k = 0; k < n && budget > 0; ++k) {
     CtxState& c = ctxs_[(rr_ + k) % n];
     if (!c.active || c.done) continue;
+    // Drop committed stores from the dependence list (amortized O(1):
+    // each store is pushed and erased once).
+    if (!c.inflight_stores.empty() &&
+        c.inflight_stores.front().second < c.head_seq) {
+      auto it = c.inflight_stores.begin();
+      while (it != c.inflight_stores.end() && it->second < c.head_seq) ++it;
+      c.inflight_stores.erase(c.inflight_stores.begin(), it);
+    }
     while (budget > 0 && !c.fq.empty() && c.rob.size() < rob_cap) {
       FetchedInst& fi = c.fq.front();
       RobEntry e;
@@ -240,9 +256,11 @@ void ScalarCore::do_dispatch(Cycle now) {
       // Memory dependence: a load waits on the youngest older store to the
       // same address (store-to-load forwarding through the store buffer).
       if (e.is_load) {
-        for (auto it = c.rob.rbegin(); it != c.rob.rend(); ++it) {
-          if (it->is_store && it->mem_addr == e.mem_addr) {
-            e.store_dep_seq = it->seq;
+        for (auto it = c.inflight_stores.rbegin();
+             it != c.inflight_stores.rend(); ++it) {
+          if (it->second < c.head_seq) break;  // everything older committed
+          if (it->first == e.mem_addr) {
+            e.store_dep_seq = it->second;
             break;
           }
         }
@@ -254,11 +272,18 @@ void ScalarCore::do_dispatch(Cycle now) {
       }
 
       if (e.mispredicted) c.redirect_seq = e.seq;
+      if (e.is_store) c.inflight_stores.emplace_back(e.mem_addr, e.seq);
 
+      c.pending.push_back(e.seq);
       c.rob.push_back(std::move(e));
       ++progress_;
       ++c.unissued;
       ++c.next_seq;
+      // Non-vector address buffers die here; keep a few for fetch to reuse.
+      if (fi.addrs.capacity() != 0 && addr_pool_.size() < kAddrPoolCap) {
+        fi.addrs.clear();
+        addr_pool_.push_back(std::move(fi.addrs));
+      }
       c.fq.pop_front();
       --budget;
     }
@@ -273,25 +298,41 @@ void ScalarCore::do_issue(Cycle now) {
   unsigned budget = params_.width;
   unsigned vec_handoff = params_.vec_handoff_rate;
 
+  // The walk covers only the unissued entries (c.pending, age order) —
+  // a window parked behind a long-latency head does not re-scan the
+  // issued tail every cycle. Entries that stay unissued are compacted
+  // back in place; entries that issue are dropped from the list.
   const unsigned n = static_cast<unsigned>(ctxs_.size());
   for (unsigned k = 0; k < n; ++k) {
     CtxState& c = ctxs_[(rr_ + k) % n];
     if (!c.active) continue;
-    unsigned remaining = c.unissued;
-    for (RobEntry& e : c.rob) {
-      if (budget == 0) return;
-      if (remaining == 0) break;  // only issued/done entries beyond here
+    auto& pend = c.pending;
+    const std::size_t np = pend.size();
+    std::size_t w = 0;
+    std::size_t r = 0;
+    for (; r < np; ++r) {
+      if (budget == 0) break;
+      const std::uint64_t seq = pend[r];
+      RobEntry& e = c.rob[seq - c.head_seq];
 
       if (e.state == RobEntry::St::kVecWait) {
-        --remaining;
-        if (vec_handoff == 0) continue;
+        if (vec_handoff == 0) {
+          pend[w++] = seq;
+          continue;
+        }
         // A full VIQ slice rejects the dispatch regardless of operands;
         // skip building one just to have try_dispatch bounce it.
-        if (vu_ != nullptr && vu_->viq_full(c.work.vctx)) continue;
+        if (vu_ != nullptr && vu_->viq_full(c.work.vctx)) {
+          pend[w++] = seq;
+          continue;
+        }
         bool ready = true;
         for (unsigned i = 0; i < e.nsrc; ++i)
           ready &= operand_ready(c, e.src_seq[i], now);
-        if (!ready) continue;
+        if (!ready) {
+          pend[w++] = seq;
+          continue;
+        }
         VLT_CHECK(vu_ != nullptr,
                   "vector instruction on a machine without a vector unit");
         vu::VecDispatch d;
@@ -309,27 +350,38 @@ void ScalarCore::do_issue(Cycle now) {
           --budget;
         } else {
           e.vaddrs = std::move(d.addrs);  // VIQ full; retry next cycle
+          pend[w++] = seq;
         }
         continue;
       }
 
-      if (e.state != RobEntry::St::kWaiting) continue;
-      --remaining;
-
       // Barriers and membars resolve only at the head of the ROB, when all
       // older work (including vector stores) has drained.
       if (e.is_barrier) {
-        if (e.seq != c.head_seq) continue;
+        if (e.seq != c.head_seq) {
+          pend[w++] = seq;
+          continue;
+        }
         while (!store_buffer_.empty() && store_buffer_.front() <= now)
           store_buffer_.pop_front();
-        if (!store_buffer_.empty()) continue;  // stores must be visible
+        if (!store_buffer_.empty()) {  // stores must be visible
+          pend[w++] = seq;
+          continue;
+        }
+        // The barrier is shared across units, and a same-cycle arrival
+        // from a lower-index unit can set the release time this poll must
+        // observe.
+        if (gate_ != nullptr) gate_->wait();
         if (!e.barrier_arrived) {
           e.barrier_gen = barrier_->arrive(now);
           e.barrier_arrived = true;
           ++progress_;
         }
         Cycle rel = barrier_->release_time(e.barrier_gen);
-        if (rel == kNeverReady) continue;
+        if (rel == kNeverReady) {
+          pend[w++] = seq;
+          continue;
+        }
         e.state = RobEntry::St::kIssued;
         ++progress_;
         --c.unissued;
@@ -337,11 +389,17 @@ void ScalarCore::do_issue(Cycle now) {
         continue;  // does not consume an execution slot
       }
       if (e.is_membar) {
-        if (e.seq != c.head_seq) continue;
-        if (vu_ != nullptr && !vu_->ctx_quiesced(c.work.vctx, now)) continue;
+        if (e.seq != c.head_seq ||
+            (vu_ != nullptr && !vu_->ctx_quiesced(c.work.vctx, now))) {
+          pend[w++] = seq;
+          continue;
+        }
         while (!store_buffer_.empty() && store_buffer_.front() <= now)
           store_buffer_.pop_front();
-        if (!store_buffer_.empty()) continue;  // drain buffered stores
+        if (!store_buffer_.empty()) {  // drain buffered stores
+          pend[w++] = seq;
+          continue;
+        }
         e.state = RobEntry::St::kIssued;
         ++progress_;
         --c.unissued;
@@ -354,14 +412,23 @@ void ScalarCore::do_issue(Cycle now) {
         ready &= operand_ready(c, e.src_seq[i], now);
       if (ready && e.store_dep_seq != 0)
         ready &= operand_ready(c, e.store_dep_seq, now);
-      if (!ready) continue;
+      if (!ready) {
+        pend[w++] = seq;
+        continue;
+      }
 
       const isa::OpInfo& info = isa::op_info(e.inst.op);
       bool needs_mem = e.is_load || e.is_store;
       if (needs_mem) {
-        if (mem_avail == 0) continue;
+        if (mem_avail == 0) {
+          pend[w++] = seq;
+          continue;
+        }
       } else if (info.fu != isa::FuClass::kNone) {
-        if (arith_avail == 0) continue;
+        if (arith_avail == 0) {
+          pend[w++] = seq;
+          continue;
+        }
       }
 
       if (e.is_load) {
@@ -370,6 +437,7 @@ void ScalarCore::do_issue(Cycle now) {
         if (r.hit) {
           e.complete_at = now + 1 + params_.l1_data_latency;
         } else {
+          if (gate_ != nullptr) gate_->wait();  // L2 is shared across units
           if (r.writeback) (void)l2_->access(r.victim_addr, true, now + 1);
           e.complete_at = l2_->access(e.mem_addr, false, now + 1) +
                           params_.l1_data_latency;
@@ -392,11 +460,15 @@ void ScalarCore::do_issue(Cycle now) {
         // stalls further stores (scattered writes throttle here).
         while (!store_buffer_.empty() && store_buffer_.front() <= now)
           store_buffer_.pop_front();
-        if (store_buffer_.size() >= params_.store_buffer) continue;
+        if (store_buffer_.size() >= params_.store_buffer) {
+          pend[w++] = seq;
+          continue;
+        }
         --mem_avail;
         mem::Cache::Result r = l1d_.access(e.mem_addr, true);
         Cycle drained = now + 2;
         if (!r.hit) {
+          if (gate_ != nullptr) gate_->wait();  // L2 is shared across units
           if (r.writeback) (void)l2_->access(r.victim_addr, true, now + 1);
           drained = l2_->access(e.mem_addr, false, now + 1);  // line fill
         }
@@ -420,6 +492,14 @@ void ScalarCore::do_issue(Cycle now) {
         redirects_.inc();
       }
     }
+    if (r < np) {
+      // Issue width exhausted mid-walk: everything not yet visited stays
+      // pending, in order.
+      while (r < np) pend[w++] = pend[r++];
+      pend.resize(w);
+      return;
+    }
+    pend.resize(w);
   }
 }
 
@@ -549,7 +629,15 @@ Cycle ScalarCore::next_event(Cycle now, std::uint32_t* vec_blocked) const {
               Cycle rel = barrier_->release_time(e.barrier_gen);
               // kNeverReady: the releasing arrival happens inside another
               // core's executed tick, which forces a recompute.
-              if (rel != kNeverReady) consider(std::max(now + 1, rel));
+              //
+              // Wake at rel - 1, not rel: the per-cycle engine promotes a
+              // waiting barrier to issued (complete_at = rel) on its first
+              // poll after the release is scheduled, so the commit lands
+              // exactly on rel. A core that stays parked until rel would
+              // spend its rel tick on the promotion and commit one cycle
+              // late — the extra wake-up tick buys the promotion back.
+              if (rel != kNeverReady)
+                consider(std::max(now + 1, rel - 1));
               break;
             }
             Cycle t = std::max(now + 1, sb_empty);
@@ -597,6 +685,52 @@ Cycle ScalarCore::next_event(Cycle now, std::uint32_t* vec_blocked) const {
 void ScalarCore::skip_cycles(std::uint64_t cycles) {
   const unsigned n = std::max<unsigned>(1, params_.smt_contexts);
   rr_ = static_cast<unsigned>((rr_ + cycles) % n);
+}
+
+ScalarCore::BatchResult ScalarCore::tick_to(Cycle now, Cycle until) {
+  BatchResult r;
+  r.stopped_at = now;
+  // Baselines for the shared structures this core can move. Any change is
+  // attributable to this batch's own ticks (nothing else runs), and the
+  // batch stops at the cycle after it so the processor can refresh the
+  // other units' caches, exactly as its per-cycle loop would.
+  const std::uint64_t bar0 = barrier_->mutation_count();
+  const std::uint64_t vu0 = vu_ != nullptr ? vu_->mutation_count() : 0;
+  const unsigned undone0 = undone_;
+  Cycle c = now;
+  for (;;) {
+    const std::uint64_t prog = progress_;
+    tick(c);
+    ++r.ticks;
+    if (barrier_->mutation_count() != bar0 || undone_ != undone0 ||
+        (vu_ != nullptr && vu_->mutation_count() != vu0)) {
+      r.stopped_at = c + 1;
+      return r;
+    }
+    if (c + 1 >= until) {
+      r.stopped_at = until;
+      return r;
+    }
+    // Dense-streak shortcut: a tick that performed pipeline work makes
+    // c + 1 a correct lower bound without an event scan (progress_count).
+    if (progress_ != prog) {
+      ++c;
+      continue;
+    }
+    std::uint32_t blocked = 0;
+    const Cycle ev = next_event(c, &blocked);
+    ++r.scans;
+    if (ev >= until) {
+      skip_cycles(until - (c + 1));
+      r.stopped_at = until;
+      r.next_ev = ev;
+      r.vec_blocked = blocked;
+      r.have_next = true;
+      return r;
+    }
+    skip_cycles(ev - (c + 1));
+    c = ev;
+  }
 }
 
 void ScalarCore::register_stats(stats::Registry& registry,

@@ -15,6 +15,7 @@
 // plus a redirect penalty.
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <optional>
 #include <vector>
@@ -63,6 +64,29 @@ struct SuParams {
   }
 };
 
+/// Completion gate for partition-parallel ticking (MachineConfig::
+/// host_threads). When several scalar units tick the same cycle on
+/// separate host threads, each unit spin-waits — before its first
+/// operation on a structure shared across units (the L2, the barrier
+/// controller) — until every lower-index unit's tick for this cycle has
+/// completed. Shared-structure operations therefore interleave in exactly
+/// the serial tick order (unit 0, unit 1, ...), which is what makes the
+/// parallel engine's results bit-identical to the serial one; everything
+/// not behind the gate touches only per-unit or per-partition state.
+struct TickGate {
+  const std::atomic<std::uint8_t>* done = nullptr;  // per-unit tick-complete
+  std::size_t self = 0;                             // this unit's index
+  mutable bool passed = false;  // lower units stay complete once seen
+
+  void wait() const {
+    if (passed) return;
+    for (std::size_t j = 0; j < self; ++j)
+      while (done[j].load(std::memory_order_acquire) == 0) {
+      }
+    passed = true;
+  }
+};
+
 /// Work a hardware context runs: a program plus its thread identity.
 struct ThreadAssignment {
   const isa::Program* program = nullptr;
@@ -85,6 +109,11 @@ class ScalarCore {
   void clear_contexts();
 
   void tick(Cycle now);
+
+  /// Arms (or with nullptr disarms) the shared-structure completion gate
+  /// for a partition-parallel tick. Serial ticking leaves it disarmed and
+  /// pays only a null check per shared-structure operation.
+  void set_tick_gate(const TickGate* gate) { gate_ = gate; }
 
   bool context_done(unsigned ctx) const;
   bool all_done() const;
@@ -132,6 +161,32 @@ class ScalarCore {
   /// Replays the per-cycle SMT round-robin rotation for `cycles` skipped
   /// ticks; everything else about a skipped tick is a proven no-op.
   void skip_cycles(std::uint64_t cycles);
+
+  /// One batched stretch of the event-driven engine (docs/PERF.md).
+  struct BatchResult {
+    Cycle stopped_at = 0;     // first cycle not covered by the batch
+    std::uint64_t ticks = 0;  // ticks actually executed
+    std::uint64_t scans = 0;  // next_event scans performed
+    Cycle next_ev = 0;        // final scan's result (have_next only)
+    std::uint32_t vec_blocked = 0;
+    bool have_next = false;   // batch ended on its own scan: next_ev and
+                              // vec_blocked are valid bounds at stopped_at
+  };
+
+  /// Ticks this core from `now` up to (but excluding) `until` without
+  /// returning to the processor loop, stopping early at the first tick
+  /// that touches shared state (a barrier arrival, a vector-unit
+  /// dispatch, a context halting — all of which bump the corresponding
+  /// mutation counters) so every other unit's cached next_event stays
+  /// provably valid throughout. Empty ticks jump via skip_cycles to this
+  /// core's own next event exactly as the outer loop would, so the
+  /// executed-tick sequence — and therefore all timing and kStable
+  /// statistics — is identical to the unbatched engine; only the
+  /// per-cycle loop overhead (foreign-unit due checks, cache refreshes,
+  /// event minimization) is elided. Caller guarantees no other unit has
+  /// an event before `until` and that this core's bookkeeping is caught
+  /// up through `now`.
+  BatchResult tick_to(Cycle now, Cycle until);
 
   /// Monotonic count of pipeline actions (fetched, dispatched, issued,
   /// committed instructions; barrier arrivals). If a tick moved this, the
@@ -220,6 +275,16 @@ class ScalarCore {
     /// ROB only until they have seen this many pending entries — the tail
     /// beyond the last pending one is all issued/done and can't act.
     unsigned unissued = 0;
+    /// Seqs of the unissued entries, in age order — the dense-path issue
+    /// walk iterates this instead of the whole ROB, so a window parked
+    /// behind a long-latency head costs O(unissued) per cycle instead of
+    /// O(rob). Appended at dispatch, compacted in place at issue;
+    /// pending.size() == unissued always.
+    std::vector<std::uint64_t> pending;
+    /// (address, seq) of in-flight scalar stores, youngest last — the
+    /// store-to-load dependence check scans this instead of the whole ROB.
+    /// Entries older than head_seq are committed and pruned lazily.
+    std::vector<std::pair<Addr, std::uint64_t>> inflight_stores;
     std::uint64_t next_seq = 1;
     std::uint64_t head_seq = 1;
     std::array<std::uint64_t, kNumScalarRegs> rename{};  // reg -> seq
@@ -245,6 +310,7 @@ class ScalarCore {
   vu::VectorUnit* vu_;
   audit::AuditSink* audit_ = nullptr;
   audit::Lockstep* lockstep_ = nullptr;
+  const TickGate* gate_ = nullptr;
 
   mem::Cache l1i_;
   mem::Cache l1d_;
@@ -260,6 +326,11 @@ class ScalarCore {
   stats::Counter l1d_prefetches_;
   std::uint64_t progress_ = 0;  // see progress_count()
   std::vector<Addr> addr_scratch_;
+  /// Recycled FetchedInst address buffers: dispatch returns the buffers of
+  /// non-vector instructions here and fetch reuses their capacity, so the
+  /// fetch->dispatch path stops allocating in steady state.
+  static constexpr std::size_t kAddrPoolCap = 8;
+  std::vector<std::vector<Addr>> addr_pool_;
   std::deque<Cycle> store_buffer_;  // completion times of in-flight stores
 };
 

@@ -62,7 +62,10 @@ bool VectorUnit::try_dispatch(VecDispatch&& d, Cycle now) {
   if (trace_ != nullptr)
     trace_->record(stats::TraceEvent::Kind::kVecDispatch, now, d.vctx, d.vl);
   c.viq.push_back(std::move(d));
-  ++mutations_;
+  if (concurrent_dispatch_)
+    ++c.staged_dispatches;
+  else
+    ++mutations_;
   return true;
 }
 

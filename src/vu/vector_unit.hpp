@@ -143,6 +143,23 @@ class VectorUnit {
   /// decide whether cached per-unit next_event values are still valid.
   std::uint64_t mutation_count() const { return mutations_; }
 
+  /// Concurrent-dispatch mode for partition-parallel ticking
+  /// (MachineConfig::host_threads): while on, try_dispatch touches only
+  /// the caller's partition — the shared mutation-count bump is staged
+  /// per partition instead — so scalar units driving distinct partitions
+  /// may dispatch from separate host threads. The caller must have closed
+  /// the accounting span through the dispatch cycle (account_to) first,
+  /// and must fold_staged_dispatches() before the next mutation_count()
+  /// read. Dispatch-count totals are order-independent, so the folded
+  /// state is identical to serial dispatch order.
+  void set_concurrent_dispatch(bool on) { concurrent_dispatch_ = on; }
+  void fold_staged_dispatches() {
+    for (Ctx& c : ctxs_) {
+      mutations_ += c.staged_dispatches;
+      c.staged_dispatches = 0;
+    }
+  }
+
   /// State changes of one partition (renames and issues). Everything a
   /// scalar unit reads from the vector unit is per-vctx — the scalar_done
   /// cell of a reduction it dispatched, the drain time its membar waits
@@ -196,6 +213,7 @@ class VectorUnit {
     std::vector<Cycle> fu_free;  // arith_fus entries, then mem_ports
     Cycle outstanding_until = 0;
     std::uint64_t mutations = 0;  // ctx_mutations(): renames + issues
+    std::uint64_t staged_dispatches = 0;  // concurrent-mode mutations_ bumps
   };
 
   /// Raw closed-form replay of [from, to): equivalent to ticking every
@@ -219,6 +237,7 @@ class VectorUnit {
   stats::Counter insts_issued_;
   stats::Counter elem_ops_;
   std::uint64_t mutations_ = 0;
+  bool concurrent_dispatch_ = false;
   unsigned rr_ctx_ = 0;
   Cycle accounted_to_ = 0;  // bookkeeping applied for cycles before this
   audit::AuditSink* audit_ = nullptr;

@@ -8,6 +8,7 @@
 #include "workloads/ocean.hpp"
 #include "workloads/radix.hpp"
 #include "workloads/sage.hpp"
+#include "workloads/stallmark.hpp"
 #include "workloads/trfd.hpp"
 #include "workloads/workload.hpp"
 
@@ -23,6 +24,9 @@ WorkloadPtr find_workload(const std::string& name) {
   if (name == "radix") return std::make_unique<RadixWorkload>();
   if (name == "ocean") return std::make_unique<OceanWorkload>();
   if (name == "barnes") return std::make_unique<BarnesWorkload>();
+  // Synthetic engine-stress row: resolvable by name, omitted from
+  // workload_names() like the fault.* workloads (not a Table 4 app).
+  if (name == "stallmark") return std::make_unique<StallmarkWorkload>();
   if (name == "fault.verify") return std::make_unique<FaultVerifyWorkload>();
   if (name == "fault.invariant")
     return std::make_unique<FaultInvariantWorkload>();

@@ -1,0 +1,156 @@
+#include "workloads/stallmark.hpp"
+
+#include "common/log.hpp"
+#include "common/rng.hpp"
+#include "workloads/kernel_util.hpp"
+
+namespace vlt::workloads {
+
+using isa::ProgramBuilder;
+
+StallmarkWorkload::StallmarkWorkload() {
+  func::AddressAllocator alloc;
+  data_ = alloc.alloc_words(kChainLines * kLineStrideWords);
+  vdata_ = alloc.alloc_words(kVecWords);
+  vout_ = alloc.alloc_words(kVecWords);
+  out_ = alloc.alloc_words(kMaxThreads);
+
+  Xorshift64 rng(0x57A11ull);
+  vdata_words_.resize(kVecWords);
+  // Small values so kRounds of accumulation stays far from 64-bit
+  // overflow.
+  for (auto& v : vdata_words_)
+    v = static_cast<std::int64_t>(rng.next() & 0xFFFF);
+
+  golden_vout_.resize(kVecWords);
+  for (std::int64_t i = 0; i < kVecWords; ++i)
+    golden_vout_[i] = kRounds * vdata_words_[i];
+
+  // The chase checksum sums the word index loaded at every hop; every
+  // round replays the same global hop space [0, kTotalHops) — hop k
+  // sits at chain position k and loads node_word(k + 1) — regardless
+  // of how threads split it, so the per-thread partial sums in out_
+  // always total to this.
+  golden_total_ = 0;
+  for (std::int64_t k = 0; k < kTotalHops; ++k)
+    golden_total_ += kRounds * node_word(k + 1);
+}
+
+std::int64_t StallmarkWorkload::skew_begin(unsigned tid, unsigned nthreads) {
+  const std::int64_t total_weight =
+      static_cast<std::int64_t>(nthreads) * (nthreads + 1) / 2;
+  const std::int64_t weight_below =
+      static_cast<std::int64_t>(tid) * (tid + 1) / 2;
+  return kTotalHops * weight_below / total_weight;
+}
+
+void StallmarkWorkload::init_memory(func::FuncMemory& mem) const {
+  // Each chain node holds the word index of its successor; only these
+  // kChainLines words of the 64 MiB span are ever touched.
+  for (std::int64_t k = 0; k < kChainLines; ++k)
+    mem.write_i64(data_ + 8 * node_word(k), node_word(k + 1));
+  mem.write_block_i64(vdata_, vdata_words_);
+}
+
+isa::Program StallmarkWorkload::worker_program(unsigned tid,
+                                               unsigned nthreads) const {
+  ProgramBuilder b("stallmark-w" + std::to_string(tid));
+  constexpr RegIdx j = 1, jEnd = 2, round = 3, rounds = 4, nvec = 5, vl = 6,
+                   scr = 7, dataP = 16, outP = 17, vinP = 18, voutP = 19,
+                   addr = 20, acc = 33, idx = 34, tmp = 35;
+
+  const std::int64_t k_begin = skew_begin(tid, nthreads);
+  const std::int64_t k_end = skew_begin(tid + 1, nthreads);
+  const auto vrange = chunk_of(kVecWords, tid, nthreads);
+
+  b.li(acc, 0);
+  b.li(round, 0);
+  b.li(rounds, kRounds);
+  b.li(dataP, static_cast<std::int64_t>(data_));
+  auto round_top = b.label();
+  b.bind(round_top);
+
+  // Balanced vector slice: vout[i] += vdata[i], once per round.
+  b.li(vinP, static_cast<std::int64_t>(vdata_ + 8 * vrange.begin));
+  b.li(voutP, static_cast<std::int64_t>(vout_ + 8 * vrange.begin));
+  b.li(nvec, vrange.end - vrange.begin);
+  strip_mine(b, nvec, vl, scr, {vinP, voutP}, [&] {
+    b.vload(1, voutP);
+    b.vload(2, vinP);
+    b.vadd(3, 1, 2);
+    b.vstore(3, voutP);
+  });
+  b.membar();  // next round re-reads vout; barrier needs stores visible
+
+  // Skewed chase: this thread's share of the round's global hops
+  // [k_begin, k_end). Every hop loads the next hop's word index, so
+  // the misses cannot overlap; the start index is an immediate because
+  // the chase restarts at position 0 each round and the split points
+  // are known at build time. What the core cannot shortcut is the
+  // loads themselves — each address exists only inside the previous
+  // line.
+  auto hop_top = b.label();
+  auto hop_done = b.label();
+  b.li(idx, node_word(k_begin));
+  b.li(j, 0);
+  b.li(jEnd, k_end - k_begin);
+  b.bind(hop_top);
+  b.bge(j, jEnd, hop_done);
+  b.slli(tmp, idx, 3);
+  b.add(addr, tmp, dataP);
+  b.load(idx, addr);  // idx <- node_word(pos + 1): the serializing hop
+  b.add(acc, acc, idx);
+  b.addi(j, j, 1);
+  b.jump(hop_top);
+  b.bind(hop_done);
+
+  b.barrier();  // light threads idle here while the heavy ones chase
+  b.addi(round, round, 1);
+  b.blt(round, rounds, round_top);
+
+  b.li(outP, static_cast<std::int64_t>(out_ + 8 * tid));
+  b.store(outP, acc);
+  b.halt();
+  return b.build();
+}
+
+machine::ParallelProgram StallmarkWorkload::build(
+    const Variant& variant) const {
+  unsigned nthreads =
+      variant.kind == Variant::Kind::kBase ? 1 : variant.nthreads;
+  VLT_CHECK(supports(variant.kind), "unsupported stallmark variant");
+  VLT_CHECK(nthreads <= kMaxThreads, "stallmark thread count too large");
+
+  machine::ParallelProgram prog;
+  prog.name = name();
+
+  machine::Phase walk;
+  walk.label = "stall-rounds";
+  walk.mode = nthreads == 1 ? machine::PhaseMode::kSerial
+                            : machine::PhaseMode::kVectorThreads;
+  walk.vlt_opportunity = true;
+  for (unsigned t = 0; t < nthreads; ++t)
+    walk.programs.push_back(worker_program(t, nthreads));
+  prog.phases.push_back(std::move(walk));
+  return prog;
+}
+
+std::optional<std::string> StallmarkWorkload::verify(
+    const func::FuncMemory& mem) const {
+  auto vout = mem.read_block_i64(vout_, golden_vout_.size());
+  for (std::size_t i = 0; i < golden_vout_.size(); ++i)
+    if (vout[i] != golden_vout_[i])
+      return "stallmark: vout[" + std::to_string(i) + "] mismatch";
+  // Per-thread partial sums land in out_[tid]; unused slots read as zero,
+  // so the total is the same for every thread split.
+  std::int64_t total = 0;
+  for (unsigned t = 0; t < kMaxThreads; ++t)
+    total += mem.read_i64(out_ + 8 * t);
+  if (total != golden_total_)
+    return "stallmark: strided-walk checksum mismatch (" +
+           std::to_string(total) + " vs " + std::to_string(golden_total_) +
+           ")";
+  return std::nullopt;
+}
+
+}  // namespace vlt::workloads

@@ -1,0 +1,73 @@
+// stallmark: synthetic idle-heavy stress workload for the skip engine
+// (docs/PERF.md). Not one of the paper's nine applications, so
+// workload_names() omits it (like the fault.* row); find_workload()
+// resolves it for tests/test_skip_equivalence.cpp and the vltperf quick
+// grid, where it pins the engine's best case: long serialized memory
+// stalls (a pointer chase over cache lines spaced exactly one L2-set
+// period apart, so every hop conflict-misses both L1D and the L2 and
+// rides the full memory latency before the next address is even known)
+// and tid-skewed barrier imbalance (thread t's per-round hop count
+// grows with t, parking the light threads at each barrier). Most
+// simulated cycles are therefore provably skippable, which is exactly
+// where event-driven skip-ahead must beat per-cycle ticking by the
+// most.
+#pragma once
+
+#include <vector>
+
+#include "workloads/workload.hpp"
+
+namespace vlt::workloads {
+
+class StallmarkWorkload : public Workload {
+ public:
+  StallmarkWorkload();
+
+  std::string name() const override { return "stallmark"; }
+  void init_memory(func::FuncMemory& mem) const override;
+  machine::ParallelProgram build(const Variant& variant) const override;
+  std::optional<std::string> verify(
+      const func::FuncMemory& mem) const override;
+  bool supports(Variant::Kind kind) const override {
+    return kind == Variant::Kind::kBase ||
+           kind == Variant::Kind::kVectorThreads;
+  }
+
+ private:
+  // The chase's lines sit one L2-set period apart (4 MiB / 4 ways =
+  // 1 MiB), so all of them index the same L2 set (and, 1 MiB being a
+  // multiple of the 8 KiB L1-set period, the same L1D set). With far
+  // more lines than either structure has ways, every hop is a
+  // conflict miss that pays the full miss latency, and the loaded
+  // word is the next hop's index — no lookahead can overlap the
+  // misses. Only one word per line is ever written, so the real
+  // footprint is kChainLines pages despite the 64 MiB address span.
+  static constexpr std::int64_t kLineStrideWords = 1 << 17;  // 1 MiB
+  static constexpr std::int64_t kChainLines = 64;
+  static constexpr std::int64_t kRounds = 12;
+  // Chase hops per round across ALL threads; split tid-skewed (thread
+  // t carries weight t+1), so the sum stored per thread is
+  // variant-independent while every barrier sees imbalance.
+  static constexpr std::int64_t kTotalHops = 120;
+  static constexpr std::int64_t kVecWords = 512;
+  static constexpr unsigned kMaxThreads = 8;
+
+  /// First global hop index of thread `tid`'s skewed share (weights
+  /// 1..nthreads, cumulative, scaled to kTotalHops).
+  static std::int64_t skew_begin(unsigned tid, unsigned nthreads);
+
+  /// Word index (relative to data_) of the chain node at chase
+  /// position `pos` (mod kChainLines).
+  static std::int64_t node_word(std::int64_t pos) {
+    return (pos % kChainLines) * kLineStrideWords;
+  }
+
+  isa::Program worker_program(unsigned tid, unsigned nthreads) const;
+
+  Addr data_, vdata_, vout_, out_;
+  std::vector<std::int64_t> vdata_words_;
+  std::vector<std::int64_t> golden_vout_;
+  std::int64_t golden_total_ = 0;
+};
+
+}  // namespace vlt::workloads

@@ -98,6 +98,55 @@ TEST(SkipEquivalence, LaneThreadVariants) {
   }
 }
 
+// --- the idle-heavy stress row (workloads/stallmark.hpp) -------------------
+//
+// Long L2-bound stall streaks plus tid-skewed barrier imbalance: the
+// cells where the engine skips the most, so the cells where a skip bug
+// would move the most numbers.
+
+TEST(SkipEquivalence, StallmarkIdleHeavyCells) {
+  expect_equivalent(MachineConfig::base(), "stallmark", Variant::base());
+  expect_equivalent(MachineConfig::v2_cmp(), "stallmark",
+                    Variant::vector_threads(2));
+  expect_equivalent(MachineConfig::v4_cmp(), "stallmark",
+                    Variant::vector_threads(4));
+}
+
+// --- partition-parallel ticking (MachineConfig::host_threads) --------------
+//
+// host_threads is timing-neutral by contract: the skip engine ticking
+// independent CMP partitions on several host threads must serialize every
+// shared-structure touch back into tick order, so its RunResult bytes
+// must match the serial --no-skip oracle exactly.
+
+void expect_parallel_equivalent(MachineConfig cfg,
+                                const std::string& workload,
+                                Variant variant, unsigned host_threads) {
+  workloads::WorkloadPtr w = workloads::make_workload(workload);
+  cfg.event_skip = true;
+  cfg.host_threads = host_threads;
+  std::string parallel = Simulator(cfg).run(*w, variant).to_json().dump(1);
+  cfg.event_skip = false;
+  cfg.host_threads = 1;
+  std::string oracle = Simulator(cfg).run(*w, variant).to_json().dump(1);
+  EXPECT_EQ(parallel, oracle)
+      << workload << " on " << cfg.name << " / " << variant.to_string()
+      << " diverges under host_threads=" << host_threads;
+}
+
+TEST(SkipEquivalence, HostThreadsByteIdentical) {
+  for (const std::string& name : workloads::vector_thread_apps()) {
+    expect_parallel_equivalent(MachineConfig::v2_cmp(), name,
+                               Variant::vector_threads(2), 2);
+    expect_parallel_equivalent(MachineConfig::v4_cmp(), name,
+                               Variant::vector_threads(4), 2);
+  }
+  expect_parallel_equivalent(MachineConfig::v2_cmp(), "stallmark",
+                             Variant::vector_threads(2), 2);
+  expect_parallel_equivalent(MachineConfig::v4_cmp(), "stallmark",
+                             Variant::vector_threads(4), 4);
+}
+
 // --- fault injectors: failures must classify identically -------------------
 
 TEST(SkipEquivalence, VerifyFaultProducesIdenticalResult) {

@@ -2,7 +2,7 @@
 // skip-ahead core loop (docs/PERF.md).
 //
 //   vltperf [--quick] [--isa NAME] [--budget-ms N] [--min-speedup X]
-//           [--out FILE]
+//           [--host-threads N] [--out FILE]
 //
 // Runs a workload × config × variant grid twice per cell — once with
 // event-driven skip-ahead (the default core loop) and once with
@@ -10,20 +10,26 @@
 // repeated passes within a per-cell wall budget. Every pass doubles as
 // a correctness oracle: the two modes' RunResult::to_json() bytes must
 // be identical, or the tool fails (exit 1) before reporting any number.
+// --host-threads N sets MachineConfig::host_threads on both modes (only
+// the skip engine uses it), so the byte-compare also covers
+// partition-parallel ticking.
 //
-// The report (default BENCH_vltperf.json, schema "vltperf-v1") carries
-// per-cell simulated cycles, host ms per mode, skip/no-skip speedup and
-// simulated Mcycles per host second, plus grid totals (including
-// instructions per host second). --min-speedup X turns the total
-// speedup into a gate: exit 1 when skip-ahead is not at least X times
-// faster — CI runs `vltperf --quick --min-speedup 2` on the golden
-// sweep grid.
+// The report (default BENCH_vltperf.json, schema "vltperf-v2", a pure
+// superset of v1) carries per-cell simulated cycles, host ms per mode,
+// skip/no-skip speedup, simulated Mcycles per host second, and the
+// engine's own cost split — ticks_skip/ticks_noskip (loop iterations
+// actually executed per mode) and scans (next_event scans the skip
+// engine paid) — plus grid totals (including instructions per host
+// second). --min-speedup X turns the total speedup into a gate: exit 1
+// (naming the worst cell) when skip-ahead is not at least X times
+// faster; CI gates on both the serial and --host-threads 2 totals.
 //
 // Grids:
 //   default   all registered workloads × {base, V2-CMP, V4-CMP}
 //             × {base, vlt2, vlt4}, pruned to runnable cells
-//   --quick   mpenc,trfd,multprec,bt over the same configs/variants —
-//             exactly the CI golden sweep grid (24 cells)
+//   --quick   mpenc,trfd,multprec,bt,stallmark over the same
+//             configs/variants — the CI golden sweep grid plus the
+//             idle-heavy stress row (30 cells)
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
@@ -47,10 +53,10 @@ void usage() {
   std::fprintf(
       stderr,
       "usage: vltperf [--quick] [--isa NAME] [--budget-ms N]\n"
-      "               [--min-speedup X] [--out FILE]\n"
-      "  --quick         measure the CI golden sweep grid\n"
-      "                  (mpenc,trfd,multprec,bt) instead of every\n"
-      "                  workload\n"
+      "               [--min-speedup X] [--host-threads N] [--out FILE]\n"
+      "  --quick         measure the CI golden sweep grid plus the\n"
+      "                  idle-heavy stress row (mpenc,trfd,multprec,bt,\n"
+      "                  stallmark) instead of every workload\n"
       "  --isa NAME      ISA frontend to build workloads for (vlt or\n"
       "                  rvv; default vlt). Workloads without a port to\n"
       "                  the frontend are pruned from the grid\n"
@@ -60,12 +66,17 @@ void usage() {
       "  --min-speedup X fail (exit 1) unless total skip-ahead speedup\n"
       "                  over --no-skip is at least X (default: report\n"
       "                  only)\n"
+      "  --host-threads N  tick independent partitions on N host threads\n"
+      "                  in the skip engine (timing-neutral; --no-skip\n"
+      "                  passes stay serial, so the embedded byte-compare\n"
+      "                  also checks partition parallelism; default 1)\n"
       "  --out FILE      report path (default BENCH_vltperf.json)\n");
 }
 
 struct CellTiming {
   campaign::Cell cell;
   machine::RunResult result;  // from a skip-mode pass
+  std::uint64_t ticks_noskip = 0;  // Processor::ticks_executed, --no-skip
   double host_ms_skip = 0.0;
   double host_ms_noskip = 0.0;
 };
@@ -99,6 +110,7 @@ int run_main(int argc, char** argv) {
   isa::IsaId isa_id = isa::IsaId::kVlt;
   double budget_ms = 200.0;
   double min_speedup = 0.0;
+  unsigned host_threads = 1;
   std::string out_path = "BENCH_vltperf.json";
 
   for (int i = 1; i < argc; ++i) {
@@ -139,6 +151,8 @@ int run_main(int argc, char** argv) {
       budget_ms = double_value();
     } else if (arg == "--min-speedup") {
       min_speedup = double_value();
+    } else if (arg == "--host-threads") {
+      host_threads = static_cast<unsigned>(double_value());
     } else if (arg == "--out") {
       out_path = value();
     } else if (arg == "--help" || arg == "-h") {
@@ -152,7 +166,8 @@ int run_main(int argc, char** argv) {
   }
 
   std::vector<std::string> workload_names =
-      quick ? std::vector<std::string>{"mpenc", "trfd", "multprec", "bt"}
+      quick ? std::vector<std::string>{"mpenc", "trfd", "multprec", "bt",
+                                       "stallmark"}
             : workloads::workload_names();
   std::vector<machine::MachineConfig> configs;
   for (const char* name : {"base", "V2-CMP", "V4-CMP"}) {
@@ -175,14 +190,17 @@ int run_main(int argc, char** argv) {
     CellTiming t;
     t.cell = cell;
     machine::MachineConfig cfg = cell.config;
+    cfg.host_threads = host_threads;  // --no-skip ignores it (stays serial)
     std::string json_skip;
     std::string json_noskip;
     cfg.event_skip = true;
     t.host_ms_skip =
         measure(cfg, *w, cell.variant, budget_ms, &t.result, &json_skip);
     cfg.event_skip = false;
+    machine::RunResult noskip;
     t.host_ms_noskip =
-        measure(cfg, *w, cell.variant, budget_ms, nullptr, &json_noskip);
+        measure(cfg, *w, cell.variant, budget_ms, &noskip, &json_noskip);
+    t.ticks_noskip = noskip.ticks_executed;
 
     // Embedded equivalence oracle: skip-ahead must be invisible in every
     // reported number before its speed means anything.
@@ -229,6 +247,13 @@ int run_main(int argc, char** argv) {
     c.set("variant", t.cell.variant.to_string());
     c.set("cycles", t.result.cycles);
     c.set("insts", insts);
+    // Engine cost split (v2): loop iterations each mode actually executed
+    // — ticks_noskip equals simulated cycles, ticks_skip is what skipping
+    // could not eliminate — and the next_event scans the skip engine paid
+    // for the elimination.
+    c.set("ticks_skip", t.result.ticks_executed);
+    c.set("ticks_noskip", t.ticks_noskip);
+    c.set("scans", t.result.scans);
     c.set("host_ms_skip", t.host_ms_skip);
     c.set("host_ms_noskip", t.host_ms_noskip);
     c.set("speedup", t.host_ms_noskip / std::max(t.host_ms_skip, 1e-6));
@@ -239,10 +264,11 @@ int run_main(int argc, char** argv) {
 
   const double speedup = total_noskip / std::max(total_skip, 1e-6);
   Json report = Json::object();
-  report.set("schema", "vltperf-v1");
+  report.set("schema", "vltperf-v2");
   report.set("grid", quick ? "quick" : "full");
   report.set("isa", isa::isa_name(isa_id));
   report.set("budget_ms", budget_ms);
+  report.set("host_threads", static_cast<std::uint64_t>(host_threads));
   report.set("cells", std::move(cells));
   Json total = Json::object();
   total.set("cells", static_cast<std::uint64_t>(timings.size()));
@@ -275,9 +301,24 @@ int run_main(int argc, char** argv) {
                speedup, out_path.c_str());
 
   if (min_speedup > 0.0 && speedup < min_speedup) {
+    // Name the worst cell so a regression points at a workload/config
+    // pair instead of just a moved total.
+    const CellTiming* worst = nullptr;
+    double worst_speedup = 0.0;
+    for (const CellTiming& t : timings) {
+      const double s = t.host_ms_noskip / std::max(t.host_ms_skip, 1e-6);
+      if (worst == nullptr || s < worst_speedup) {
+        worst = &t;
+        worst_speedup = s;
+      }
+    }
     std::fprintf(stderr,
                  "vltperf: FAILED: total speedup %.2fx is below the "
-                 "--min-speedup %.2fx gate\n", speedup, min_speedup);
+                 "--min-speedup %.2fx gate (worst cell: %s at %.2fx)\n",
+                 speedup, min_speedup,
+                 worst != nullptr ? worst->cell.key().to_string().c_str()
+                                  : "none",
+                 worst_speedup);
     return 1;
   }
   return 0;
