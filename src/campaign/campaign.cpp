@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "campaign/journal.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "common/log.hpp"
 #include "func/memory.hpp"
 #include "isa/isa.hpp"
@@ -213,8 +214,12 @@ namespace {
 
 /// Simulates one cell under the campaign's fault-isolation policy:
 /// SimErrors land in the result's status/error, and each failure is
-/// retried up to `max_retries` extra attempts.
-machine::RunResult run_cell(const Cell& cell, const CampaignOptions& options) {
+/// retried up to `max_retries` extra attempts. `ckpt` (optional) arms
+/// mid-cell checkpointing: the run snapshots every `ckpt->every`
+/// cycles, and the first attempt resumes from an existing digest-valid
+/// snapshot matching this cell (retries always run from zero).
+machine::RunResult run_cell(const Cell& cell, const CampaignOptions& options,
+                            const CellCheckpoint* ckpt) {
   machine::MachineConfig config = cell.config;
   if (options.cell_cycle_limit) config.cycle_limit = *options.cell_cycle_limit;
 
@@ -223,7 +228,21 @@ machine::RunResult run_cell(const Cell& cell, const CampaignOptions& options) {
     try {
       workloads::WorkloadPtr w =
           cell.make ? cell.make() : workloads::make_workload(cell.workload);
-      res = machine::Simulator(config).run(*w, cell.variant);
+      machine::Simulator sim(config);
+      if (ckpt != nullptr && ckpt->armed()) {
+        sim.set_checkpoint({kNeverReady, ckpt->every, ckpt->path});
+        if (attempt == 1) {
+          std::string err;
+          std::optional<Json> doc = ckpt::load_file(ckpt->path, &err);
+          // A missing, truncated, or foreign snapshot is not an error:
+          // it just means this attempt starts from cycle zero.
+          if (doc && machine::checkpoint_matches(*doc, cell.workload,
+                                                 cell.variant.to_string(),
+                                                 config, nullptr))
+            sim.set_restore(*std::move(doc));
+        }
+      }
+      res = sim.run(*w, cell.variant);
     } catch (const vlt::SimError& e) {
       res = machine::RunResult{};
       res.status = machine::run_status_from_error(e.kind());
@@ -244,7 +263,8 @@ machine::RunResult run_cell(const Cell& cell, const CampaignOptions& options) {
 
 machine::RunResult execute_cell(const Cell& cell,
                                 const CampaignOptions& options,
-                                const ResultCache* cache, bool* cache_hit) {
+                                const ResultCache* cache, bool* cache_hit,
+                                const CellCheckpoint* ckpt) {
   if (cache_hit != nullptr) *cache_hit = false;
   std::uint64_t key = 0;
   bool have_key = false;
@@ -273,8 +293,11 @@ machine::RunResult execute_cell(const Cell& cell,
       }
     }
   }
-  machine::RunResult res = run_cell(cell, options);
+  machine::RunResult res = run_cell(cell, options, ckpt);
   if (cache != nullptr && have_key && res.ok()) cache->store(key, res);
+  // The snapshot exists to survive a kill mid-cell; once the cell has a
+  // result it is dead weight (and a stale-restore hazard for --force).
+  if (ckpt != nullptr && ckpt->armed()) std::remove(ckpt->path.c_str());
   return res;
 }
 
@@ -346,8 +369,17 @@ RunSet Campaign::run(const SweepSpec& spec) const {
         r.attempts = 0;
         // Deliberately not journaled: a resume should attempt these.
       } else {
+        // Mid-cell checkpoints ride on the journal: same directory, one
+        // snapshot per spec slot, deleted when the cell completes.
+        CellCheckpoint cell_ckpt;
+        if (options_.checkpoint_every > 0 && !options_.journal_path.empty()) {
+          cell_ckpt.every = options_.checkpoint_every;
+          cell_ckpt.path =
+              options_.journal_path + ".cell" + std::to_string(i) + ".ckpt";
+        }
         set.results_[i] = execute_cell(
-            cell, options_, cache ? &*cache : nullptr, &hit);
+            cell, options_, cache ? &*cache : nullptr, &hit,
+            cell_ckpt.armed() ? &cell_ckpt : nullptr);
         if (!hit && !set.results_[i].ok() && options_.fail_fast)
           stop.store(true, std::memory_order_relaxed);
         journal.append(i, cell.key(), set.results_[i]);

@@ -110,6 +110,15 @@ struct CampaignOptions {
   /// Replay completed cells from journal_path before running; only the
   /// remaining cells execute. Requires journal_path.
   bool resume = false;
+  /// Periodic mid-cell checkpoint cadence in simulated cycles (0 = off,
+  /// docs/CKPT.md). With a journal, each in-flight cell snapshots its
+  /// machine every N cycles to `<journal_path>.cell<I>.ckpt`; a killed
+  /// sweep resumed with --resume restores each unfinished cell from its
+  /// snapshot instead of re-simulating from cycle zero (stale or foreign
+  /// snapshots are detected by digest + identity and fall back to a
+  /// from-zero run). Completed cells delete their snapshot. Requires
+  /// journal_path; byte-identity of the final report is unaffected.
+  Cycle checkpoint_every = 0;
   /// Called after each cell completes (from worker threads, serialized
   /// internally): done count, total, the cell's key, cache hit? (journal
   /// replays count as hits).
@@ -174,6 +183,21 @@ class RunSet {
 /// header so a journal only ever resumes the sweep that wrote it.
 std::uint64_t spec_digest(const SweepSpec& spec);
 
+/// Mid-cell checkpointing for one execute_cell call (docs/CKPT.md).
+struct CellCheckpoint {
+  /// Snapshot cadence in simulated cycles (0 disables).
+  Cycle every = 0;
+  /// Snapshot file: written periodically during the run, and consulted
+  /// before the first attempt — a digest-valid snapshot matching this
+  /// cell's identity resumes the simulation mid-run; anything else
+  /// (missing, truncated, foreign) falls back to a from-zero run.
+  /// Retry attempts always run from zero (the snapshot may be what is
+  /// crashing). Empty disables.
+  std::string path;
+
+  bool armed() const { return every > 0 && !path.empty(); }
+};
+
 /// Executes one cell under the campaign's fault-isolation policy
 /// (SimErrors land in the result's status/error, retried per
 /// options.max_retries), consulting and feeding `cache` when non-null.
@@ -182,11 +206,14 @@ std::uint64_t spec_digest(const SweepSpec& spec);
 /// shares: Campaign::run's thread pool, the vltshard worker protocol
 /// (`vltsweep --worker`), and the shard coordinator's in-process
 /// fallback all run cells through here, which is what makes a sharded
-/// campaign byte-identical to a serial one (docs/SHARD.md).
+/// campaign byte-identical to a serial one (docs/SHARD.md). `ckpt`
+/// (optional) arms mid-cell checkpointing; restore/resume through it
+/// never changes the returned result's bytes.
 machine::RunResult execute_cell(const Cell& cell,
                                 const CampaignOptions& options,
                                 const ResultCache* cache = nullptr,
-                                bool* cache_hit = nullptr);
+                                bool* cache_hit = nullptr,
+                                const CellCheckpoint* ckpt = nullptr);
 
 class Campaign {
  public:

@@ -4,18 +4,16 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/digest.hpp"
 #include "common/log.hpp"
 
 namespace vlt::campaign {
 
 namespace {
 
-std::string spec_hex(std::uint64_t spec) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(spec));
-  return buf;
-}
+// Journal headers render the sweep's spec digest through the shared
+// canonical formatter so they stay comparable with the shard handshake.
+std::string spec_hex(std::uint64_t spec) { return digest_hex(spec); }
 
 std::string entry_line(std::size_t cell, const RunKey& key,
                        const machine::RunResult& result) {

@@ -14,32 +14,16 @@
 #include <optional>
 #include <string>
 
+#include "common/digest.hpp"
 #include "machine/simulator.hpp"
 #include "stats/stats.hpp"
 
 namespace vlt::campaign {
 
-/// Streaming FNV-1a digest used for cache keys and fingerprints.
-class Digest {
- public:
-  void mix(std::uint64_t v) {
-    for (int i = 0; i < 8; ++i) {
-      h_ ^= (v >> (8 * i)) & 0xFF;
-      h_ *= 1099511628211ull;
-    }
-  }
-  void mix(const std::string& s) {
-    for (char c : s) {
-      h_ ^= static_cast<unsigned char>(c);
-      h_ *= 1099511628211ull;
-    }
-    mix(s.size());  // length-delimit so "ab","c" != "a","bc"
-  }
-  std::uint64_t value() const { return h_; }
-
- private:
-  std::uint64_t h_ = 1469598103934665603ull;
-};
+/// Streaming FNV-1a digest used for cache keys and fingerprints. The
+/// implementation lives in common/digest.hpp so journals, the shard
+/// handshake, and checkpoint sections all mix bytes identically.
+using Digest = ::vlt::Digest;
 
 class ResultCache {
  public:

@@ -1,0 +1,355 @@
+#include "ckpt/checkpoint.hpp"
+
+#include <cstdio>
+
+#include "common/digest.hpp"
+#include "common/log.hpp"
+
+namespace vlt::ckpt {
+
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void hex_append(std::string& out, std::uint64_t v) {
+  for (int i = 15; i >= 0; --i)
+    out.push_back(kHexDigits[(v >> (4 * i)) & 0xF]);
+}
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+std::uint64_t parse_hex64(const char* p, const std::string& key) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 16; ++i) {
+    int n = hex_nibble(p[i]);
+    if (n < 0)
+      VLT_FAIL(ErrorKind::kIo,
+               "checkpoint blob '" + key + "' holds a non-hex character");
+    v = (v << 4) | static_cast<std::uint64_t>(n);
+  }
+  return v;
+}
+
+}  // namespace
+
+// --- Writer ---
+
+Json& Writer::cur() {
+  VLT_CHECK(!stack_.empty(), "checkpoint write outside any section");
+  return stack_.back().obj;
+}
+
+void Writer::begin_section(const std::string& name) {
+  VLT_CHECK(stack_.empty(), "checkpoint sections may not nest");
+  stack_.push_back(Frame{name});
+}
+
+void Writer::end_section() {
+  VLT_CHECK(stack_.size() == 1, "end_section with nested objects open");
+  sections_.push_back(Section{stack_.back().key, std::move(stack_.back().obj)});
+  stack_.pop_back();
+}
+
+void Writer::push(const std::string& key) {
+  VLT_CHECK(!stack_.empty(), "checkpoint push outside any section");
+  stack_.push_back(Frame{key});
+}
+
+void Writer::pop() {
+  VLT_CHECK(stack_.size() >= 2, "checkpoint pop without a matching push");
+  Frame done = std::move(stack_.back());
+  stack_.pop_back();
+  stack_.back().obj.set(done.key, std::move(done.obj));
+}
+
+void Writer::u64(const std::string& key, std::uint64_t v) { cur().set(key, v); }
+void Writer::i64(const std::string& key, std::int64_t v) { cur().set(key, v); }
+void Writer::boolean(const std::string& key, bool v) { cur().set(key, v); }
+void Writer::str(const std::string& key, std::string v) {
+  cur().set(key, Json(std::move(v)));
+}
+
+void Writer::blob64(const std::string& key, const std::uint64_t* data,
+                    std::size_t n) {
+  std::string hex;
+  hex.reserve(n * 16);
+  for (std::size_t i = 0; i < n; ++i) hex_append(hex, data[i]);
+  cur().set(key, Json(std::move(hex)));
+}
+
+void Writer::blob8(const std::string& key, const std::uint8_t* data,
+                   std::size_t n) {
+  std::string hex;
+  hex.reserve(n * 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    hex.push_back(kHexDigits[data[i] >> 4]);
+    hex.push_back(kHexDigits[data[i] & 0xF]);
+  }
+  cur().set(key, Json(std::move(hex)));
+}
+
+void Writer::set(const std::string& key, Json v) {
+  cur().set(key, std::move(v));
+}
+
+Json Writer::finish() {
+  VLT_CHECK(stack_.empty(), "checkpoint finish with a section still open");
+  Json doc = Json::object();
+  doc.set("schema", kSchema);
+  Json sections = Json::array();
+  Digest all;
+  all.mix(std::string(kSchema));
+  for (Section& s : sections_) {
+    std::uint64_t d = section_digest(s.body);
+    Json entry = Json::object();
+    entry.set("name", s.name);
+    entry.set("digest", digest_hex(d));
+    entry.set("body", std::move(s.body));
+    sections.push_back(std::move(entry));
+    all.mix(s.name);
+    all.mix(d);
+  }
+  doc.set("sections", std::move(sections));
+  doc.set("digest", digest_hex(all.value()));
+  return doc;
+}
+
+// --- Reader ---
+
+Reader::Reader(Json doc) : doc_(std::move(doc)) {}
+
+const Json& Reader::cur() const {
+  VLT_CHECK(!stack_.empty(), "checkpoint read outside any section");
+  return *stack_.back();
+}
+
+bool Reader::has_section(const std::string& name) const {
+  const Json* sections = doc_.find("sections");
+  if (sections == nullptr) return false;
+  for (const Json& s : sections->items()) {
+    const Json* n = s.find("name");
+    if (n != nullptr && n->as_string() == name) return true;
+  }
+  return false;
+}
+
+void Reader::enter_section(const std::string& name) {
+  VLT_CHECK(stack_.empty(), "enter_section with a section already open");
+  const Json* sections = doc_.find("sections");
+  if (sections != nullptr) {
+    for (const Json& s : sections->items()) {
+      const Json* n = s.find("name");
+      const Json* body = s.find("body");
+      if (n != nullptr && body != nullptr && n->as_string() == name) {
+        section_ = body;
+        stack_.push_back(body);
+        return;
+      }
+    }
+  }
+  VLT_FAIL(ErrorKind::kIo, "checkpoint has no section '" + name + "'");
+}
+
+void Reader::exit_section() {
+  VLT_CHECK(stack_.size() == 1, "exit_section with nested objects open");
+  stack_.clear();
+  section_ = nullptr;
+}
+
+void Reader::push(const std::string& key) {
+  const Json* child = cur().find(key);
+  if (child == nullptr || !child->is_object())
+    VLT_FAIL(ErrorKind::kIo, "checkpoint missing object '" + key + "'");
+  stack_.push_back(child);
+}
+
+void Reader::pop() {
+  VLT_CHECK(stack_.size() >= 2, "checkpoint pop without a matching push");
+  stack_.pop_back();
+}
+
+const Json& Reader::get(const std::string& key) const {
+  const Json* v = cur().find(key);
+  if (v == nullptr)
+    VLT_FAIL(ErrorKind::kIo, "checkpoint missing field '" + key + "'");
+  return *v;
+}
+
+std::uint64_t Reader::u64(const std::string& key) const {
+  return get(key).as_uint();
+}
+
+std::int64_t Reader::i64(const std::string& key) const {
+  return get(key).as_int();
+}
+
+bool Reader::boolean(const std::string& key) const {
+  return get(key).as_bool();
+}
+
+const std::string& Reader::str(const std::string& key) const {
+  return get(key).as_string();
+}
+
+void Reader::blob64(const std::string& key, std::uint64_t* out,
+                    std::size_t n) const {
+  const std::string& hex = str(key);
+  if (hex.size() != n * 16)
+    VLT_FAIL(ErrorKind::kIo,
+             "checkpoint blob '" + key + "' holds " +
+                 std::to_string(hex.size() / 16) + " words, expected " +
+                 std::to_string(n));
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = parse_hex64(hex.data() + i * 16, key);
+}
+
+std::vector<std::uint64_t> Reader::blob64(const std::string& key) const {
+  const std::string& hex = str(key);
+  if (hex.size() % 16 != 0)
+    VLT_FAIL(ErrorKind::kIo,
+             "checkpoint blob '" + key + "' is not a whole number of words");
+  std::vector<std::uint64_t> out(hex.size() / 16);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = parse_hex64(hex.data() + i * 16, key);
+  return out;
+}
+
+void Reader::blob8(const std::string& key, std::uint8_t* out,
+                   std::size_t n) const {
+  const std::string& hex = str(key);
+  if (hex.size() != n * 2)
+    VLT_FAIL(ErrorKind::kIo,
+             "checkpoint blob '" + key + "' holds " +
+                 std::to_string(hex.size() / 2) + " bytes, expected " +
+                 std::to_string(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    int hi = hex_nibble(hex[2 * i]);
+    int lo = hex_nibble(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0)
+      VLT_FAIL(ErrorKind::kIo,
+               "checkpoint blob '" + key + "' holds a non-hex character");
+    out[i] = static_cast<std::uint8_t>((hi << 4) | lo);
+  }
+}
+
+// --- standalone blobs ---
+
+Json blob64_json(const std::uint64_t* data, std::size_t n) {
+  std::string hex;
+  hex.reserve(n * 16);
+  for (std::size_t i = 0; i < n; ++i) hex_append(hex, data[i]);
+  return Json(std::move(hex));
+}
+
+std::vector<std::uint64_t> blob64_words(const Json& v,
+                                        const std::string& what) {
+  if (v.type() != Json::Type::kString)
+    VLT_FAIL(ErrorKind::kIo, "checkpoint blob '" + what + "' is not a string");
+  const std::string& hex = v.as_string();
+  if (hex.size() % 16 != 0)
+    VLT_FAIL(ErrorKind::kIo,
+             "checkpoint blob '" + what + "' is not a whole number of words");
+  std::vector<std::uint64_t> out(hex.size() / 16);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = parse_hex64(hex.data() + i * 16, what);
+  return out;
+}
+
+// --- file I/O ---
+
+std::uint64_t section_digest(const Json& body) {
+  Digest d;
+  d.mix(body.dump());
+  return d.value();
+}
+
+bool save_file(const std::string& path, const Json& doc, std::string* err) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    if (err != nullptr) *err = "cannot open " + tmp + " for writing";
+    return false;
+  }
+  std::string text = doc.dump();
+  text.push_back('\n');
+  bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    if (err != nullptr) *err = "short write to " + tmp;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (err != nullptr) *err = "cannot rename " + tmp + " to " + path;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+std::optional<Json> load_file(const std::string& path, std::string* err) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    if (err != nullptr) *err = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::string text;
+  char buf[65536];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  std::string perr;
+  std::optional<Json> doc = Json::parse(
+      text.empty() || text.back() != '\n' ? text
+                                          : text.substr(0, text.size() - 1),
+      &perr);
+  if (!doc || !doc->is_object()) {
+    if (err != nullptr) *err = path + " does not parse as JSON: " + perr;
+    return std::nullopt;
+  }
+  const Json* schema = doc->find("schema");
+  if (schema == nullptr || schema->as_string() != kSchema) {
+    if (err != nullptr)
+      *err = path + " is not a " + std::string(kSchema) + " snapshot";
+    return std::nullopt;
+  }
+  const Json* sections = doc->find("sections");
+  const Json* file_digest = doc->find("digest");
+  if (sections == nullptr || !sections->is_array() || file_digest == nullptr) {
+    if (err != nullptr) *err = path + " is missing sections or digest";
+    return std::nullopt;
+  }
+  Digest all;
+  all.mix(std::string(kSchema));
+  for (const Json& s : sections->items()) {
+    const Json* name = s.find("name");
+    const Json* digest = s.find("digest");
+    const Json* body = s.find("body");
+    if (name == nullptr || digest == nullptr || body == nullptr) {
+      if (err != nullptr) *err = path + " holds a malformed section";
+      return std::nullopt;
+    }
+    std::uint64_t d = section_digest(*body);
+    if (digest->as_string() != digest_hex(d)) {
+      if (err != nullptr)
+        *err = path + " section '" + name->as_string() +
+               "' fails its digest (truncated or corrupt snapshot)";
+      return std::nullopt;
+    }
+    all.mix(name->as_string());
+    all.mix(d);
+  }
+  if (file_digest->as_string() != digest_hex(all.value())) {
+    if (err != nullptr)
+      *err = path + " fails its file digest (truncated or corrupt snapshot)";
+    return std::nullopt;
+  }
+  return doc;
+}
+
+}  // namespace vlt::ckpt

@@ -1,0 +1,208 @@
+// vltckpt — deterministic architectural checkpoint/restore (docs/CKPT.md).
+//
+// A checkpoint is a versioned, deterministic binary-in-JSON snapshot of
+// every stateful machine layer. The document is a flat list of named
+// sections ("proc", "mem", "su0", ...), each digested independently with
+// the shared FNV-1a (common/digest.hpp); a whole-file digest over the
+// section digests makes truncation or torn writes detectable before a
+// single field is trusted. Binary payloads (register files, memory
+// pages, cache tag arrays) are hex blobs, so the same machine state
+// always serializes to the same bytes — the property the byte-identity
+// contract (checkpoint → restore → run-to-end equals the uninterrupted
+// run) is tested against.
+//
+// Units implement the Checkpointable seam:
+//
+//   void save_state(ckpt::Writer&) const;   // externalize all state
+//   void restore_state(ckpt::Reader&);      // rebuild it exactly
+//
+// The writer/reader maintain a current-object stack: the orchestrator
+// (machine::Processor) opens one section per unit, and a unit nests its
+// sub-components (an SU pushes "l1i", "l1d", "bpred") without knowing
+// its own section name. Skip-engine caches, accountant spans, and other
+// derived state are rebuilt on restore, never serialized.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/types.hpp"
+#include "isa/opcode.hpp"
+
+namespace vlt::isa {
+class Program;
+}
+
+namespace vlt::ckpt {
+
+/// Snapshot format version. Bump on any incompatible layout change;
+/// readers reject snapshots from a different schema outright (the
+/// machine state is far too entangled for field-level migration).
+inline constexpr const char* kSchema = "vltckpt-v1";
+
+class Writer;
+class Reader;
+
+/// The seam every stateful layer implements. save_state must emit every
+/// bit of state a later tick can observe; restore_state must rebuild it
+/// so the resumed run is byte-identical to the uninterrupted one.
+class Checkpointable {
+ public:
+  virtual ~Checkpointable() = default;
+  virtual void save_state(Writer& w) const = 0;
+  virtual void restore_state(Reader& r) = 0;
+};
+
+/// Builds the snapshot document section by section.
+class Writer {
+ public:
+  /// Opens a named top-level section; every field written until the
+  /// matching end_section lands inside it. Sections may not nest.
+  void begin_section(const std::string& name);
+  void end_section();
+
+  /// Opens / closes a nested object within the current section.
+  void push(const std::string& key);
+  void pop();
+
+  void u64(const std::string& key, std::uint64_t v);
+  void i64(const std::string& key, std::int64_t v);
+  void boolean(const std::string& key, bool v);
+  void str(const std::string& key, std::string v);
+  /// Hex blob of 64-bit words (16 hex chars per word).
+  void blob64(const std::string& key, const std::uint64_t* data,
+              std::size_t n);
+  /// Hex blob of bytes (2 hex chars per byte).
+  void blob8(const std::string& key, const std::uint8_t* data, std::size_t n);
+  /// Attaches an arbitrary prebuilt JSON value (arrays of records).
+  void set(const std::string& key, Json v);
+
+  /// Resolves a cross-unit completion cell (the vector unit's
+  /// scalar_done pointers into SU ROB entries) to a stable textual
+  /// reference. Installed by the orchestrator before units save.
+  std::function<std::string(const Cycle*)> cycle_ref;
+
+  /// Assembles the final document: schema, sections with per-section
+  /// digests, and the whole-file digest. The writer may not be reused.
+  Json finish();
+
+ private:
+  struct Frame {
+    std::string key;
+    Json obj = Json::object();
+  };
+  struct Section {
+    std::string name;
+    Json body;
+  };
+  Json& cur();
+  std::vector<Frame> stack_;
+  std::vector<Section> sections_;
+};
+
+/// Reads a digest-validated snapshot document. Every accessor throws
+/// SimError(kIo) on a missing or ill-typed field: by the time a Reader
+/// exists the digests have matched, so a malformed field is snapshot
+/// corruption the digest could not see (i.e. a writer/reader bug), not
+/// a recoverable condition.
+class Reader {
+ public:
+  explicit Reader(Json doc);
+
+  /// Enters a named top-level section (throws kIo when absent).
+  void enter_section(const std::string& name);
+  void exit_section();
+  bool has_section(const std::string& name) const;
+
+  void push(const std::string& key);
+  void pop();
+
+  std::uint64_t u64(const std::string& key) const;
+  std::int64_t i64(const std::string& key) const;
+  bool boolean(const std::string& key) const;
+  const std::string& str(const std::string& key) const;
+  /// Decodes a hex blob into exactly `n` 64-bit words.
+  void blob64(const std::string& key, std::uint64_t* out, std::size_t n) const;
+  std::vector<std::uint64_t> blob64(const std::string& key) const;
+  void blob8(const std::string& key, std::uint8_t* out, std::size_t n) const;
+  /// Required structured member (arrays of records).
+  const Json& get(const std::string& key) const;
+
+  /// Inverse of Writer::cycle_ref: resolves a textual reference back to
+  /// the live completion cell. Installed by the orchestrator before
+  /// units restore (SUs restore before the vector unit, so the ROB
+  /// entries the references name already exist).
+  std::function<Cycle*(const std::string&)> cycle_ref;
+
+  /// Rebinds program pointers on restore: maps a hardware thread id to
+  /// the current phase's program for that thread. Programs are rebuilt
+  /// deterministically from the workload, never serialized. Installed
+  /// by the orchestrator before units restore.
+  std::function<const isa::Program*(ThreadId)> program_ref;
+
+ private:
+  const Json& cur() const;
+  Json doc_;
+  const Json* section_ = nullptr;
+  std::vector<const Json*> stack_;
+};
+
+/// An isa::Instruction packs into two blob words: opcode, registers, and
+/// flags in the first; the sign-carrying immediate widened through
+/// uint32_t in the second. Both the scalar and vector units serialize
+/// in-flight instructions this way.
+inline std::uint64_t inst_word0(const isa::Instruction& i) {
+  return static_cast<std::uint64_t>(i.op) |
+         (static_cast<std::uint64_t>(i.rd) << 16) |
+         (static_cast<std::uint64_t>(i.rs1) << 24) |
+         (static_cast<std::uint64_t>(i.rs2) << 32) |
+         (static_cast<std::uint64_t>(i.flags) << 40);
+}
+inline std::uint64_t inst_word1(const isa::Instruction& i) {
+  return static_cast<std::uint32_t>(i.imm);
+}
+inline isa::Instruction unpack_inst(std::uint64_t w0, std::uint64_t w1) {
+  isa::Instruction i;
+  i.op = static_cast<isa::Opcode>(w0 & 0xFFFF);
+  i.rd = static_cast<RegIdx>((w0 >> 16) & 0xFF);
+  i.rs1 = static_cast<RegIdx>((w0 >> 24) & 0xFF);
+  i.rs2 = static_cast<RegIdx>((w0 >> 32) & 0xFF);
+  i.flags = static_cast<std::uint8_t>((w0 >> 40) & 0xFF);
+  i.imm = static_cast<std::int32_t>(static_cast<std::uint32_t>(w1));
+  return i;
+}
+
+/// Hex-encodes words as a standalone JSON string value — the same
+/// encoding Writer::blob64 uses — for variable-length records built
+/// outside the writer stack (arrays of ROB entries and the like).
+Json blob64_json(const std::uint64_t* data, std::size_t n);
+inline Json blob64_json(const std::vector<std::uint64_t>& words) {
+  return blob64_json(words.data(), words.size());
+}
+
+/// Decodes a blob64_json value; throws SimError(kIo) — naming `what` —
+/// on a non-string value, ragged length, or non-hex character.
+std::vector<std::uint64_t> blob64_words(const Json& v, const std::string& what);
+
+/// Serializes `doc` to `path` atomically (write to "<path>.tmp", then
+/// rename), so a SIGKILL mid-write leaves the previous snapshot — or no
+/// snapshot — but never a torn one. Returns false with `err` set on any
+/// filesystem failure.
+bool save_file(const std::string& path, const Json& doc, std::string* err);
+
+/// Loads and digest-validates a snapshot. Returns nullopt — with `err`
+/// naming the failure — for an unreadable file, a parse error, a schema
+/// mismatch, or any digest mismatch (truncation, bit rot, torn write).
+/// Callers with a fallback (shard migration, campaign resume) treat
+/// nullopt as "run from cycle zero"; vltsim_run --restore treats it as
+/// a hard error.
+std::optional<Json> load_file(const std::string& path, std::string* err);
+
+/// Digest of one section body, as recorded in the document.
+std::uint64_t section_digest(const Json& body);
+
+}  // namespace vlt::ckpt

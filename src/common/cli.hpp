@@ -1,0 +1,49 @@
+// Shared command-line validation helpers for the vlt tool family.
+//
+// Every tool that takes a host-parallelism knob (--host-threads,
+// --threads, --workers) validates it through parse_count so the
+// rejection behavior is identical everywhere: a malformed or
+// out-of-range value prints one diagnostic line to stderr and the tool
+// exits 2 (usage error), never a silently clamped or truncated count.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
+
+namespace vlt::cli {
+
+/// Hard ceiling for host thread counts accepted by any tool. Far above
+/// any sane machine; exists so a typo like "--threads 1e9" cannot turn
+/// into a fork bomb.
+inline constexpr unsigned long kMaxHostThreads = 1024;
+
+/// Parses a strictly-decimal count in [min, max]. On failure prints
+///   <tool>: <flag> expects an integer in [min,max], got '<v>'
+/// to stderr and returns nullopt; the caller exits 2. Accepts no sign,
+/// no whitespace, no trailing junk — "8." and "8e0" are rejected, not
+/// truncated (vltperf historically accepted them via strtod).
+inline std::optional<unsigned> parse_count(const char* tool,
+                                           const std::string& flag,
+                                           const char* v, unsigned long min,
+                                           unsigned long max) {
+  char* end = nullptr;
+  unsigned long n = std::strtoul(v, &end, 10);
+  if (*v == '\0' || *v == '-' || *v == '+' || end == v || *end != '\0' ||
+      n < min || n > max) {
+    std::fprintf(stderr, "%s: %s expects an integer in [%lu,%lu], got '%s'\n",
+                 tool, flag.c_str(), min, max, v);
+    return std::nullopt;
+  }
+  return static_cast<unsigned>(n);
+}
+
+/// parse_count specialized for host thread counts: [1, kMaxHostThreads].
+inline std::optional<unsigned> parse_thread_count(const char* tool,
+                                                  const std::string& flag,
+                                                  const char* v) {
+  return parse_count(tool, flag, v, 1, kMaxHostThreads);
+}
+
+}  // namespace vlt::cli

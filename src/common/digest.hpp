@@ -1,0 +1,48 @@
+// Streaming FNV-1a digest and its canonical 16-hex rendering.
+//
+// One digest implementation serves every layer that fingerprints
+// content: the campaign result cache keys cells with it, sweep journals
+// and the vltshard hello handshake render it through digest_hex(), and
+// the vltckpt snapshot format digests every section with it
+// (docs/CKPT.md). Keeping the mixing rules in one place is what makes
+// those digests comparable across layers.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace vlt {
+
+/// Streaming FNV-1a over 64-bit words and length-delimited strings.
+class Digest {
+ public:
+  void mix(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h_ ^= (v >> (8 * i)) & 0xFF;
+      h_ *= 1099511628211ull;
+    }
+  }
+  void mix(const std::string& s) {
+    for (char c : s) {
+      h_ ^= static_cast<unsigned char>(c);
+      h_ *= 1099511628211ull;
+    }
+    mix(s.size());  // length-delimit so "ab","c" != "a","bc"
+  }
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ull;
+};
+
+/// Canonical zero-padded lowercase 16-hex rendering used by journal
+/// headers, the shard handshake, and checkpoint section digests.
+inline std::string digest_hex(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+}  // namespace vlt

@@ -1,5 +1,7 @@
 #include "func/arch_state.hpp"
 
+#include <vector>
+
 namespace vlt::func {
 
 void ArchState::reset() {
@@ -9,6 +11,33 @@ void ArchState::reset() {
   vl_ = 0;
   vtype_ = isa::rvv::kVtypeE64M1;
   pc_ = 0;
+}
+
+void ArchState::save_state(ckpt::Writer& w) const {
+  w.blob64("sregs", sregs_.data(), sregs_.size());
+  std::vector<std::uint64_t> rows;
+  rows.reserve(kNumVectorRegs * kMaxVectorLength);
+  for (const auto& row : vregs_)
+    rows.insert(rows.end(), row.begin(), row.end());
+  w.blob64("vregs", rows.data(), rows.size());
+  static_assert(kMaxVectorLength <= 64, "mask serialized as one word");
+  w.u64("mask", mask_.to_ullong());
+  w.u64("vl", vl_);
+  w.u64("vtype", vtype_);
+  w.u64("pc", pc_);
+}
+
+void ArchState::restore_state(ckpt::Reader& r) {
+  r.blob64("sregs", sregs_.data(), sregs_.size());
+  std::vector<std::uint64_t> rows(kNumVectorRegs * kMaxVectorLength);
+  r.blob64("vregs", rows.data(), rows.size());
+  for (unsigned v = 0; v < kNumVectorRegs; ++v)
+    std::memcpy(vregs_[v].data(), rows.data() + v * kMaxVectorLength,
+                kMaxVectorLength * 8);
+  mask_ = std::bitset<kMaxVectorLength>(r.u64("mask"));
+  vl_ = static_cast<unsigned>(r.u64("vl"));
+  vtype_ = static_cast<std::uint32_t>(r.u64("vtype"));
+  pc_ = r.u64("pc");
 }
 
 }  // namespace vlt::func

@@ -5,12 +5,13 @@
 #include <bitset>
 #include <cstring>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/types.hpp"
 #include "isa/rvv/rvv.hpp"
 
 namespace vlt::func {
 
-class ArchState {
+class ArchState : public ckpt::Checkpointable {
  public:
   ArchState() { reset(); }
 
@@ -77,6 +78,10 @@ class ArchState {
   // --- program counter (instruction-slot index) ---
   std::uint64_t pc() const { return pc_; }
   void set_pc(std::uint64_t pc) { pc_ = pc; }
+
+  // --- checkpointing (docs/CKPT.md) ---
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
 
  private:
   std::array<std::uint64_t, kNumScalarRegs> sregs_;

@@ -141,6 +141,36 @@ std::optional<std::string> FuncMemory::first_difference(
   return std::nullopt;
 }
 
+void FuncMemory::save_state(ckpt::Writer& w) const {
+  std::vector<Addr> keys;
+  keys.reserve(pages_.size());
+  for (const auto& [key, page] : pages_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  Json pages = Json::array();
+  for (Addr key : keys) pages.push_back(Json(key));
+  w.set("page_keys", std::move(pages));
+  w.push("pages");
+  for (Addr key : keys) {
+    const Page& page = *pages_.at(key);
+    w.blob64(std::to_string(key), page.data(), page.size());
+  }
+  w.pop();
+}
+
+void FuncMemory::restore_state(ckpt::Reader& r) {
+  pages_.clear();
+  const Json& keys = r.get("page_keys");
+  r.push("pages");
+  for (const Json& k : keys.items()) {
+    Addr key = k.as_uint();
+    auto page = std::make_unique<Page>();
+    r.blob64(std::to_string(key), page->data(), page->size());
+    pages_[key] = std::move(page);
+  }
+  r.pop();
+}
+
 std::uint64_t FuncMemory::content_hash() const {
   std::vector<Addr> keys;
   keys.reserve(pages_.size());

@@ -13,12 +13,13 @@
 #include <unordered_map>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/log.hpp"
 #include "common/types.hpp"
 
 namespace vlt::func {
 
-class FuncMemory {
+class FuncMemory : public ckpt::Checkpointable {
  public:
   static constexpr Addr kPageBytes = 4096;
 
@@ -79,6 +80,13 @@ class FuncMemory {
   /// hash like absent ones). Used to fingerprint workload input data for
   /// the campaign result cache.
   std::uint64_t content_hash() const;
+
+  /// Checkpointing (docs/CKPT.md): pages serialize sorted by address so
+  /// the snapshot bytes are deterministic; restore replaces the entire
+  /// image (the exact page set matters for byte-identity, so even
+  /// all-zero pages round-trip).
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
 
  private:
   using Page = std::array<std::uint64_t, kPageBytes / 8>;

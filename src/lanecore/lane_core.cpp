@@ -270,4 +270,65 @@ void LaneCore::register_stats(stats::Registry& registry,
                        stats::Stability::kDiagnostic);
 }
 
+void LaneCore::save_state(ckpt::Writer& w) const {
+  w.boolean("active", active_);
+  w.boolean("done", done_);
+  w.u64("tid", ectx_.tid);
+  w.u64("nthreads", ectx_.nthreads);
+  w.push("arch");
+  arch_.save_state(w);
+  w.pop();
+  w.u64("pc", pc_);
+  w.u64("stall_until", stall_until_);
+  w.u64("cur_line", cur_line_);
+  w.blob64("reg_ready", reg_ready_.data(), reg_ready_.size());
+  std::vector<std::uint64_t> outstanding(outstanding_.begin(),
+                                         outstanding_.end());
+  w.blob64("outstanding", outstanding.data(), outstanding.size());
+  std::vector<std::uint64_t> stores(store_queue_.begin(), store_queue_.end());
+  w.blob64("store_queue", stores.data(), stores.size());
+  w.u64("cur_cycle", cur_cycle_);
+  w.u64("issued_this_cycle", issued_this_cycle_);
+  w.u64("arith_used", arith_used_);
+  w.u64("mem_used", mem_used_);
+  w.boolean("waiting_barrier", waiting_barrier_);
+  w.u64("barrier_gen", barrier_gen_);
+  w.push("icache");
+  icache_.save_state(w);
+  w.pop();
+}
+
+void LaneCore::restore_state(ckpt::Reader& r) {
+  active_ = r.boolean("active");
+  done_ = r.boolean("done");
+  ThreadId tid = static_cast<ThreadId>(r.u64("tid"));
+  unsigned nthreads = static_cast<unsigned>(r.u64("nthreads"));
+  if (active_) {
+    VLT_CHECK(r.program_ref != nullptr, "lane restore needs a program map");
+    prog_ = r.program_ref(tid);
+    VLT_CHECK(prog_ != nullptr, "no program for restored lane thread");
+    ectx_ = func::ExecContext{tid, nthreads, /*max_vl=*/0, prog_->isa()};
+  }
+  r.push("arch");
+  arch_.restore_state(r);
+  r.pop();
+  pc_ = r.u64("pc");
+  stall_until_ = r.u64("stall_until");
+  cur_line_ = r.u64("cur_line");
+  r.blob64("reg_ready", reg_ready_.data(), reg_ready_.size());
+  std::vector<std::uint64_t> outstanding = r.blob64("outstanding");
+  outstanding_.assign(outstanding.begin(), outstanding.end());
+  std::vector<std::uint64_t> stores = r.blob64("store_queue");
+  store_queue_.assign(stores.begin(), stores.end());
+  cur_cycle_ = r.u64("cur_cycle");
+  issued_this_cycle_ = static_cast<unsigned>(r.u64("issued_this_cycle"));
+  arith_used_ = static_cast<unsigned>(r.u64("arith_used"));
+  mem_used_ = static_cast<unsigned>(r.u64("mem_used"));
+  waiting_barrier_ = r.boolean("waiting_barrier");
+  barrier_gen_ = r.u64("barrier_gen");
+  r.push("icache");
+  icache_.restore_state(r);
+  r.pop();
+}
+
 }  // namespace vlt::lanecore

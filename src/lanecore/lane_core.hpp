@@ -14,6 +14,7 @@
 #include <deque>
 #include <string>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/types.hpp"
 #include "func/executor.hpp"
 #include "isa/program.hpp"
@@ -41,7 +42,7 @@ struct LaneCoreParams {
   unsigned taken_branch_penalty = 2;   // in-order front-end bubble
 };
 
-class LaneCore {
+class LaneCore : public ckpt::Checkpointable {
  public:
   LaneCore(const LaneCoreParams& p, func::FuncMemory& memory,
            mem::L2Cache& l2, vltctl::BarrierController& barrier,
@@ -73,6 +74,14 @@ class LaneCore {
   /// the skip-ahead engine never replays blocked ticks, so they are
   /// engine-dependent and must stay out of serialized snapshots.
   void register_stats(stats::Registry& registry, const std::string& prefix);
+
+  /// Checkpointing (docs/CKPT.md): architectural + sequencing state and
+  /// the lane I-cache. The program pointer is rebound through
+  /// Reader::program_ref; the committed/barrier counters are
+  /// registry-restored; the per-tick stall tallies are diagnostic and
+  /// stay out of snapshots.
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
 
  private:
   bool issue_one(Cycle now);

@@ -1,6 +1,7 @@
 #include "machine/processor.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <thread>
 
@@ -170,9 +171,20 @@ bool Processor::phase_complete(const Phase& phase) const {
 }
 
 Cycle Processor::run_phase(const Phase& phase) {
+  VLT_CHECK(pause_at_ == kNeverReady,
+            "run_phase with an armed pause point; use continue_phase");
   start_phase_contexts(phase);
   const Cycle start = now_;
+  continue_phase(phase);
+  return now_ - start;
+}
+
+bool Processor::continue_phase(const Phase& phase) {
+  paused_ = false;
   const bool lane_mode = phase.mode == PhaseMode::kLaneThreads;
+  // The lane commit carry is accumulated per stretch, not per phase:
+  // committed() only grows, so summing deltas across pause splits equals
+  // the whole-phase delta, and the carry is checkpoint-correct mid-phase.
   std::uint64_t lane_committed_before = 0;
   if (lane_mode)
     for (const auto& lc : lanes_) lane_committed_before += lc->committed();
@@ -187,7 +199,7 @@ Cycle Processor::run_phase(const Phase& phase) {
     for (const auto& lc : lanes_) after += lc->committed();
     lane_committed_ += after - lane_committed_before;
   }
-  return now_ - start;
+  return !paused_;
 }
 
 void Processor::run_phase_cycles(const Phase& phase) {
@@ -203,6 +215,14 @@ void Processor::run_phase_cycles(const Phase& phase) {
     // and retry it separately from invariant failures.
     if (now_ >= config_.cycle_limit)
       VLT_FAIL(ErrorKind::kTimeout, timeout_diagnostic(phase));
+    // Pause point (after the budget check, so a timeout surfaces exactly
+    // as it would uninterrupted). This engine has no lazy bookkeeping to
+    // flush: every unit is ticked — and the vector unit self-accounted —
+    // through now_ - 1 already.
+    if (now_ >= pause_at_) {
+      paused_ = true;
+      return;
+    }
     // The watchdog catches a stuck barrier long before the cycle budget
     // would; polled sparsely so audit mode stays cheap.
     if (auditor_ != nullptr && now_ - last_watchdog_ >= kWatchdogInterval) {
@@ -306,6 +326,24 @@ void Processor::run_phase_events(const Phase& phase) {
     // and retry it separately from invariant failures.
     if (now_ >= config_.cycle_limit)
       VLT_FAIL(ErrorKind::kTimeout, timeout_diagnostic(phase));
+    // Pause point (after the budget check, so a timeout surfaces exactly
+    // as it would uninterrupted). The jump clamps below guarantee the
+    // loop lands exactly on pause_at_, matching the per-cycle engine.
+    // Flush the lazy bookkeeping spans — the same closeout the end of
+    // the phase performs — so the serialized state is engine-invariant;
+    // re-entry re-initializes the loop-local caches to "due at now_",
+    // and the resulting extra no-op ticks are exactly the skipped ticks
+    // the spans just replayed.
+    if (now_ >= pause_at_) {
+      if (!lane_mode) {
+        if (vu_) vu_->account_to(now_);
+        for (std::size_t i = 0; i < nsu; ++i)
+          if (su_accounted[i] < now_)
+            sus_[i]->skip_cycles(now_ - su_accounted[i]);
+      }
+      paused_ = true;
+      return;
+    }
     // The watchdog catches a stuck barrier long before the cycle budget
     // would; polled sparsely so audit mode stays cheap.
     if (auditor_ != nullptr && now_ - last_watchdog_ >= kWatchdogInterval) {
@@ -365,6 +403,7 @@ void Processor::run_phase_events(const Phase& phase) {
         if (auditor_ != nullptr)
           until = std::min(until, last_watchdog_ + kWatchdogInterval);
         until = std::min(until, config_.cycle_limit);
+        until = std::min(until, pause_at_);
       }
       if (until > now_ + 1) {
         const std::size_t due_i = due_scratch_[0];
@@ -563,6 +602,9 @@ void Processor::run_phase_events(const Phase& phase) {
       if (auditor_ != nullptr)
         ev = std::min(ev, last_watchdog_ + kWatchdogInterval);
       ev = std::min(ev, config_.cycle_limit);
+      // Land exactly on an armed pause point: the pause check at the
+      // loop top must see the same cycle the per-cycle engine pauses at.
+      ev = std::min(ev, pause_at_);
       if (ev > next) next = ev;
     }
     now_ = next;
@@ -616,6 +658,112 @@ std::string Processor::timeout_diagnostic(const Phase& phase) const {
     msg += "; barrier: no generation pending";
   }
   return msg;
+}
+
+// --- checkpointing (docs/CKPT.md) ---
+
+void Processor::save_sections(ckpt::Writer& w) const {
+  w.cycle_ref = [this](const Cycle* p) -> std::string {
+    for (std::size_t i = 0; i < sus_.size(); ++i) {
+      unsigned ctx = 0;
+      std::uint64_t seq = 0;
+      if (sus_[i]->locate_completion_cell(p, &ctx, &seq))
+        return "su" + std::to_string(i) + ":" + std::to_string(ctx) + ":" +
+               std::to_string(seq);
+    }
+    VLT_FAIL(ErrorKind::kInvariant,
+             "a vector completion cell points into no scalar unit's ROB");
+  };
+  w.begin_section("proc");
+  w.u64("now", now_);
+  w.u64("lane_committed", lane_committed_);
+  w.end_section();
+  w.begin_section("mem");
+  memory_.save_state(w);
+  w.end_section();
+  w.begin_section("mainmem");
+  main_memory_.save_state(w);
+  w.end_section();
+  w.begin_section("l2");
+  l2_.save_state(w);
+  w.end_section();
+  w.begin_section("barrier");
+  barrier_.save_state(w);
+  w.end_section();
+  for (std::size_t i = 0; i < sus_.size(); ++i) {
+    w.begin_section("su" + std::to_string(i));
+    sus_[i]->save_state(w);
+    w.end_section();
+  }
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    w.begin_section("lane" + std::to_string(i));
+    lanes_[i]->save_state(w);
+    w.end_section();
+  }
+  if (vu_) {
+    w.begin_section("vu");
+    vu_->save_state(w);
+    w.end_section();
+  }
+  w.begin_section("stats");
+  w.set("snapshot", registry_.snapshot().to_json());
+  w.end_section();
+}
+
+void Processor::restore_sections(
+    ckpt::Reader& r, std::function<const isa::Program*(ThreadId)> program_ref) {
+  r.program_ref = std::move(program_ref);
+  r.cycle_ref = [this](const std::string& s) -> Cycle* {
+    unsigned su = 0;
+    unsigned ctx = 0;
+    unsigned long long seq = 0;
+    if (std::sscanf(s.c_str(), "su%u:%u:%llu", &su, &ctx, &seq) != 3 ||
+        su >= sus_.size())
+      VLT_FAIL(ErrorKind::kIo,
+               "checkpoint completion-cell reference '" + s +
+                   "' is malformed or out of range");
+    return sus_[su]->completion_cell(ctx, seq);
+  };
+  r.enter_section("proc");
+  now_ = r.u64("now");
+  lane_committed_ = r.u64("lane_committed");
+  r.exit_section();
+  last_watchdog_ = now_;
+  r.enter_section("mem");
+  memory_.restore_state(r);
+  r.exit_section();
+  r.enter_section("mainmem");
+  main_memory_.restore_state(r);
+  r.exit_section();
+  r.enter_section("l2");
+  l2_.restore_state(r);
+  r.exit_section();
+  r.enter_section("barrier");
+  barrier_.restore_state(r);
+  r.exit_section();
+  // Scalar units before the vector unit: the (su, ctx, seq) references
+  // in the VIQ/window resolve against restored ROBs.
+  for (std::size_t i = 0; i < sus_.size(); ++i) {
+    r.enter_section("su" + std::to_string(i));
+    sus_[i]->restore_state(r);
+    r.exit_section();
+  }
+  for (std::size_t i = 0; i < lanes_.size(); ++i) {
+    r.enter_section("lane" + std::to_string(i));
+    lanes_[i]->restore_state(r);
+    r.exit_section();
+  }
+  if (vu_) {
+    r.enter_section("vu");
+    vu_->restore_state(r);
+    r.exit_section();
+  }
+  // Stats last: every instrument the units' restores recomputed (cache
+  // valid-line gauges) is overwritten with the recorded snapshot, which
+  // must agree — Registry::restore cross-checks counters monotonically.
+  r.enter_section("stats");
+  registry_.restore(stats::Snapshot::from_json(r.get("snapshot")));
+  r.exit_section();
 }
 
 std::uint64_t Processor::committed_scalar() const {

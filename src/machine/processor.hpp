@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "audit/auditor.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "func/memory.hpp"
 #include "lanecore/lane_core.hpp"
 #include "machine/machine_config.hpp"
@@ -32,7 +33,47 @@ class Processor {
   /// Runs one phase to completion (all threads halted, vector unit
   /// quiesced). The clock is monotonic across phases so cache and branch
   /// predictor state carries over. Returns the cycle count of the phase.
+  /// May not be used with an armed pause point — pause-aware drivers call
+  /// start_phase / continue_phase directly.
   Cycle run_phase(const Phase& phase);
+
+  /// Binds the phase's programs to hardware contexts and resets their
+  /// pipeline state. First half of run_phase; restore skips it (contexts
+  /// are rebuilt from the snapshot instead).
+  void start_phase(const Phase& phase) { start_phase_contexts(phase); }
+
+  /// Advances the current phase until it completes (true) or the armed
+  /// pause point is reached (false). On pause both engines have flushed
+  /// every lazy bookkeeping span through now(), so the machine state is
+  /// engine-invariant and ready to serialize; calling continue_phase
+  /// again resumes exactly where the engine stopped.
+  bool continue_phase(const Phase& phase);
+
+  /// Arms a pause point (docs/CKPT.md): continue_phase returns early at
+  /// the first engine-visited cycle >= `at` (the event engine clamps its
+  /// jumps so it lands exactly on `at` while the phase is still running,
+  /// making both engines pause on the same cycle). kNeverReady disarms.
+  void set_pause_at(Cycle at) { pause_at_ = at; }
+  Cycle pause_at() const { return pause_at_; }
+  bool paused() const { return paused_; }
+
+  /// Checkpointing (docs/CKPT.md): writes every machine layer as its own
+  /// section — "proc" (clock, lane commit carry), "mem", "mainmem",
+  /// "l2", "barrier", "su<i>", "lane<i>", "vu", and "stats" (the full
+  /// stable-instrument snapshot, so Figure-4 accounting survives
+  /// restore). Installs the completion-cell resolver that names the
+  /// vector unit's scalar_done pointers as (su, ctx, seq) references.
+  /// The machine must be paused or between phases.
+  void save_sections(ckpt::Writer& w) const;
+
+  /// Inverse of save_sections, into a freshly constructed Processor of
+  /// the same configuration. `program_ref` maps a hardware thread id to
+  /// the current phase's deterministically rebuilt program. Scalar units
+  /// restore before the vector unit so completion-cell references
+  /// resolve; the stats snapshot restores last.
+  void restore_sections(ckpt::Reader& r,
+                        std::function<const isa::Program*(ThreadId)>
+                            program_ref);
 
   /// Advances the clock without work (thread-switch overhead).
   void charge_overhead(Cycle cycles) { now_ += cycles; }
@@ -113,6 +154,8 @@ class Processor {
   stats::Registry registry_;
   Cycle now_ = 0;
   Cycle last_watchdog_ = 0;
+  Cycle pause_at_ = kNeverReady;  // armed pause point (set_pause_at)
+  bool paused_ = false;           // last continue_phase stopped early
   // Host-side engine instrumentation: differs between the two engines by
   // design, hence kDiagnostic (never serialized).
   stats::Counter ticks_;

@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "audit/auditor.hpp"
+#include "ckpt/checkpoint.hpp"
 #include "common/log.hpp"
 #include "machine/processor.hpp"
 
@@ -155,6 +156,74 @@ std::optional<RunResult> RunResult::from_json(const Json& j) {
   return r;
 }
 
+namespace {
+
+/// Serializes the machine (paused, or between phases) plus the "sim"
+/// section carrying run identity and phase progress (docs/CKPT.md).
+void write_snapshot(const std::string& path, const Processor& proc,
+                    const workloads::Workload& workload,
+                    const workloads::Variant& variant,
+                    const MachineConfig& config, std::size_t phase_index,
+                    Cycle phase_start,
+                    const std::vector<PhaseTiming>& completed) {
+  ckpt::Writer w;
+  w.begin_section("sim");
+  w.str("workload", workload.name());
+  w.str("variant", variant.to_string());
+  w.str("isa", isa::isa_name(config.isa));
+  w.str("config_fingerprint", config.fingerprint());
+  w.u64("phase_index", phase_index);
+  w.u64("phase_start_cycle", phase_start);
+  Json phases = Json::array();
+  for (const PhaseTiming& p : completed) {
+    Json ph = Json::object();
+    ph.set("label", p.label);
+    ph.set("cycles", p.cycles);
+    phases.push_back(std::move(ph));
+  }
+  w.set("phases", std::move(phases));
+  w.end_section();
+  proc.save_sections(w);
+  std::string err;
+  if (!ckpt::save_file(path, w.finish(), &err))
+    VLT_FAIL(ErrorKind::kIo, "checkpoint write failed: " + err);
+}
+
+}  // namespace
+
+bool checkpoint_matches(const Json& doc, const std::string& workload,
+                        const std::string& variant,
+                        const MachineConfig& config, std::string* why) {
+  const Json* sections = doc.find("sections");
+  const Json* sim = nullptr;
+  if (sections != nullptr)
+    for (const Json& s : sections->items()) {
+      const Json* n = s.find("name");
+      if (n != nullptr && n->as_string() == "sim") {
+        sim = s.find("body");
+        break;
+      }
+    }
+  if (sim == nullptr) {
+    if (why != nullptr) *why = "snapshot has no sim section";
+    return false;
+  }
+  auto match = [&](const char* key, const std::string& want) {
+    const Json* v = sim->find(key);
+    const bool is_str =
+        v != nullptr && v->type() == Json::Type::kString;
+    if (is_str && v->as_string() == want) return true;
+    if (why != nullptr)
+      *why = std::string(key) + " mismatch (snapshot has " +
+             (is_str ? "'" + v->as_string() + "'" : std::string("none")) +
+             ", this cell needs '" + want + "')";
+    return false;
+  };
+  return match("workload", workload) && match("variant", variant) &&
+         match("isa", isa::isa_name(config.isa)) &&
+         match("config_fingerprint", config.fingerprint());
+}
+
 RunResult Simulator::run(const workloads::Workload& workload,
                          const workloads::Variant& variant) const {
   VLT_CHECK(workload.supports(variant.kind),
@@ -163,6 +232,10 @@ RunResult Simulator::run(const workloads::Workload& workload,
   VLT_CHECK(workload.supports_isa(config_.isa),
             workload.name() + " has no port to the " +
                 std::string(isa::isa_name(config_.isa)) + " ISA frontend");
+  if ((ckpt_.armed() || restore_.has_value()) && config_.audit.enabled())
+    VLT_FAIL(ErrorKind::kConfig,
+             "checkpoint/restore is incompatible with audit mode: "
+             "auditor and lockstep state is not serialized");
   const auto wall_start = std::chrono::steady_clock::now();
 
   std::unique_ptr<audit::Auditor> auditor;
@@ -182,17 +255,91 @@ RunResult Simulator::run(const workloads::Workload& workload,
   res.variant = variant.to_string();
   res.isa = isa::isa_name(config_.isa);
 
+  // Restore (docs/CKPT.md): rebuild the machine from the snapshot and
+  // resume the in-progress phase without re-binding its contexts. The
+  // programs were rebuilt deterministically by workload.build above;
+  // restore_sections re-points every context at them.
+  std::size_t first_phase = 0;
+  Cycle phase_start = 0;
+  bool resumed_mid_phase = false;
+  if (restore_.has_value()) {
+    ckpt::Reader r(*restore_);
+    r.enter_section("sim");
+    auto expect = [&r](const char* key, const std::string& want) {
+      const std::string& got = r.str(key);
+      if (got != want)
+        VLT_FAIL(ErrorKind::kConfig, "checkpoint " + std::string(key) +
+                                         " '" + got +
+                                         "' does not match this run's '" +
+                                         want + "'");
+    };
+    expect("workload", workload.name());
+    expect("variant", variant.to_string());
+    expect("isa", isa::isa_name(config_.isa));
+    expect("config_fingerprint", config_.fingerprint());
+    first_phase = r.u64("phase_index");
+    phase_start = r.u64("phase_start_cycle");
+    for (const Json& ph : r.get("phases").items()) {
+      const Json* label = ph.find("label");
+      const Json* cycles = ph.find("cycles");
+      if (label == nullptr || cycles == nullptr)
+        VLT_FAIL(ErrorKind::kIo, "checkpoint phase record malformed");
+      res.phase_cycles.push_back({label->as_string(), cycles->as_uint()});
+    }
+    r.exit_section();
+    if (first_phase >= prog.phases.size() ||
+        res.phase_cycles.size() != first_phase)
+      VLT_FAIL(ErrorKind::kIo,
+               "checkpoint phase progress does not fit this workload");
+    const Phase& cur = prog.phases[first_phase];
+    proc.restore_sections(r, [&cur](ThreadId tid) -> const isa::Program* {
+      return tid < cur.programs.size() ? &cur.programs[tid] : nullptr;
+    });
+    for (std::size_t i = 0; i < first_phase; ++i)
+      if (prog.phases[i].vlt_opportunity)
+        res.opportunity_cycles += res.phase_cycles[i].cycles;
+    resumed_mid_phase = true;
+  }
+
+  // Checkpoint scheduling: the one-shot target first, then the periodic
+  // cadence anchored at each written cycle — which makes the cadence
+  // restart-invariant (a restore at cycle C re-arms C + every, exactly
+  // what the uninterrupted writer would have armed).
+  Cycle next_ckpt = kNeverReady;
+  if (!ckpt_.out_path.empty()) {
+    if (ckpt_.at != kNeverReady)
+      next_ckpt = ckpt_.at;
+    else if (ckpt_.every > 0)
+      next_ckpt = proc.now() + ckpt_.every;
+  }
+
   unsigned prev_threads = 1;
-  for (const Phase& phase : prog.phases) {
-    // Thread-management overhead at region boundaries (paper §3.3: saving
-    // and restoring vector registers, thread API costs).
-    if (phase.nthreads() != prev_threads) {
-      proc.charge_overhead(config_.phase_switch_overhead);
-      if (auditor) auditor->note_overhead(config_.phase_switch_overhead);
+  for (std::size_t pi = first_phase; pi < prog.phases.size(); ++pi) {
+    const Phase& phase = prog.phases[pi];
+    const bool resuming = resumed_mid_phase && pi == first_phase;
+    if (!resuming) {
+      // Thread-management overhead at region boundaries (paper §3.3:
+      // saving and restoring vector registers, thread API costs).
+      if (phase.nthreads() != prev_threads) {
+        proc.charge_overhead(config_.phase_switch_overhead);
+        if (auditor) auditor->note_overhead(config_.phase_switch_overhead);
+      }
+      phase_start = proc.now();
+      proc.start_phase(phase);
     }
     prev_threads = phase.nthreads();
 
-    Cycle took = proc.run_phase(phase);
+    for (;;) {
+      proc.set_pause_at(next_ckpt);
+      const bool done = proc.continue_phase(phase);
+      if (done) break;
+      write_snapshot(ckpt_.out_path, proc, workload, variant, config_, pi,
+                     phase_start, res.phase_cycles);
+      next_ckpt = ckpt_.every > 0 ? proc.now() + ckpt_.every : kNeverReady;
+    }
+    proc.set_pause_at(kNeverReady);
+
+    const Cycle took = proc.now() - phase_start;
     res.phase_cycles.push_back({phase.label, took});
     if (phase.vlt_opportunity) res.opportunity_cycles += took;
     if (auditor) {

@@ -130,9 +130,38 @@ struct RunResult {
   static std::optional<RunResult> from_json(const Json& j);
 };
 
+/// Checkpoint scheduling for one run (docs/CKPT.md). Inert by default.
+struct CheckpointOptions {
+  /// One-shot: write at the first engine-visited cycle >= `at`.
+  Cycle at = kNeverReady;
+  /// Periodic: after each write, re-arm at written-cycle + `every`
+  /// (0 = off). Composes with `at` (one-shot first, then periodic).
+  Cycle every = 0;
+  /// Snapshot file; every write is atomic (tmp + rename). Empty disables
+  /// checkpointing entirely.
+  std::string out_path;
+
+  bool armed() const {
+    return !out_path.empty() && (at != kNeverReady || every > 0);
+  }
+};
+
 class Simulator {
  public:
   explicit Simulator(MachineConfig config) : config_(std::move(config)) {}
+
+  /// Arms checkpoint writes during run(). Incompatible with audit mode —
+  /// auditor/lockstep state is deliberately not serialized — which run()
+  /// rejects as kConfig.
+  void set_checkpoint(CheckpointOptions opts) { ckpt_ = std::move(opts); }
+
+  /// Resumes run() from a digest-validated snapshot document (from
+  /// ckpt::load_file) instead of cycle zero. The snapshot's identity —
+  /// workload, variant, ISA frontend, config fingerprint — must match
+  /// this run's (kConfig otherwise; callers with a fallback pre-check via
+  /// checkpoint_matches). The resumed run's RunResult is byte-identical
+  /// to the uninterrupted run's (docs/CKPT.md).
+  void set_restore(Json snapshot) { restore_ = std::move(snapshot); }
 
   /// Overrides the audit sink (default: abort on the first violation).
   /// Tests pass an audit::RecordingSink to capture violations. Not owned;
@@ -154,7 +183,18 @@ class Simulator {
   MachineConfig config_;
   audit::AuditSink* audit_sink_ = nullptr;
   stats::TraceBuffer* trace_ = nullptr;
+  CheckpointOptions ckpt_;
+  std::optional<Json> restore_;
 };
+
+/// True when digest-valid snapshot `doc` was taken by exactly this cell:
+/// same workload name, variant, ISA frontend, and machine fingerprint.
+/// `why` (optional) names the first mismatch. Campaign resume and shard
+/// migration use this to fall back to a from-zero run instead of failing
+/// the cell on a stale or foreign snapshot.
+bool checkpoint_matches(const Json& doc, const std::string& workload,
+                        const std::string& variant,
+                        const MachineConfig& config, std::string* why);
 
 /// Convenience for benches: cycles of `workload` under (config, variant).
 /// Throws SimError(kWorkloadVerify) if the golden check fails.

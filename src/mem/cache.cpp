@@ -90,6 +90,44 @@ void Cache::register_stats(stats::Registry& registry,
                          [this] { return conservation_violation(); });
 }
 
+void Cache::save_state(ckpt::Writer& w) const {
+  std::vector<std::uint64_t> tags(lines_.size());
+  std::vector<std::uint64_t> last_use(lines_.size());
+  std::vector<std::uint8_t> flags(lines_.size());
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    tags[i] = lines_[i].tag;
+    last_use[i] = lines_[i].last_use;
+    flags[i] = static_cast<std::uint8_t>((lines_[i].valid ? 1 : 0) |
+                                         (lines_[i].dirty ? 2 : 0));
+  }
+  w.u64("num_lines", lines_.size());
+  w.blob64("tags", tags.data(), tags.size());
+  w.blob64("last_use", last_use.data(), last_use.size());
+  w.blob8("flags", flags.data(), flags.size());
+  w.u64("use_clock", use_clock_);
+}
+
+void Cache::restore_state(ckpt::Reader& r) {
+  VLT_CHECK(r.u64("num_lines") == lines_.size(),
+            "checkpoint tag array size does not match this cache");
+  std::vector<std::uint64_t> tags(lines_.size());
+  std::vector<std::uint64_t> last_use(lines_.size());
+  std::vector<std::uint8_t> flags(lines_.size());
+  r.blob64("tags", tags.data(), tags.size());
+  r.blob64("last_use", last_use.data(), last_use.size());
+  r.blob8("flags", flags.data(), flags.size());
+  std::int64_t valid = 0;
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    lines_[i].tag = tags[i];
+    lines_[i].last_use = last_use[i];
+    lines_[i].valid = (flags[i] & 1) != 0;
+    lines_[i].dirty = (flags[i] & 2) != 0;
+    if (lines_[i].valid) ++valid;
+  }
+  use_clock_ = r.u64("use_clock");
+  valid_lines_.set(valid);
+}
+
 bool Cache::probe(Addr addr) const {
   std::size_t set = set_index(addr);
   Addr tag = tag_of(addr);

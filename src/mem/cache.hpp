@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/types.hpp"
 #include "stats/stats.hpp"
 
@@ -15,7 +16,7 @@ class AuditSink;
 
 namespace vlt::mem {
 
-class Cache {
+class Cache : public ckpt::Checkpointable {
  public:
   struct Result {
     bool hit = false;
@@ -62,6 +63,12 @@ class Cache {
   /// invariant under the same prefix (evaluated at end of run through
   /// Registry::check_invariants).
   void register_stats(stats::Registry& registry, const std::string& prefix);
+
+  /// Checkpointing (docs/CKPT.md): tag array + LRU clock. The hit/miss
+  /// counters are registry-restored; the valid-line gauge is recomputed
+  /// here so the tag array and its occupancy can never disagree.
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
 
  private:
   struct Line {

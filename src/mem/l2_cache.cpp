@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "audit/sink.hpp"
+#include "common/log.hpp"
 
 namespace vlt::mem {
 
@@ -79,6 +82,36 @@ Cycle L2Cache::access(Addr addr, bool is_write, Cycle now) {
 void L2Cache::set_audit(audit::AuditSink* sink) {
   audit_ = sink;
   tags_.set_audit(sink, "l2");
+}
+
+void L2Cache::save_state(ckpt::Writer& w) const {
+  w.push("tags");
+  tags_.save_state(w);
+  w.pop();
+  w.blob64("bank_free", bank_free_.data(), bank_free_.size());
+  std::vector<std::pair<Addr, Cycle>> fills(pending_fills_.begin(),
+                                            pending_fills_.end());
+  std::sort(fills.begin(), fills.end());
+  std::vector<std::uint64_t> flat;
+  flat.reserve(fills.size() * 2);
+  for (const auto& [line, fill] : fills) {
+    flat.push_back(line);
+    flat.push_back(fill);
+  }
+  w.blob64("pending_fills", flat.data(), flat.size());
+}
+
+void L2Cache::restore_state(ckpt::Reader& r) {
+  r.push("tags");
+  tags_.restore_state(r);
+  r.pop();
+  r.blob64("bank_free", bank_free_.data(), bank_free_.size());
+  std::vector<std::uint64_t> flat = r.blob64("pending_fills");
+  VLT_CHECK(flat.size() % 2 == 0, "pending-fill table must hold pairs");
+  pending_fills_.clear();
+  for (std::size_t i = 0; i < flat.size(); i += 2)
+    pending_fills_[flat[i]] = flat[i + 1];
+  accesses_since_prune_ = 0;
 }
 
 void L2Cache::prune_pending(Cycle now) {

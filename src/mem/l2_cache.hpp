@@ -24,7 +24,7 @@ struct L2Params {
   unsigned bank_occupancy = 1;  // cycles a bank is busy per access
 };
 
-class L2Cache {
+class L2Cache : public ckpt::Checkpointable {
  public:
   L2Cache(const L2Params& p, MainMemory& memory);
 
@@ -55,6 +55,13 @@ class L2Cache {
   /// Attaches the structured-event trace buffer; misses record a kL2Miss
   /// with the owning bank as the lane. Pass nullptr to detach.
   void set_trace(stats::TraceBuffer* trace) { trace_ = trace; }
+
+  /// Checkpointing (docs/CKPT.md): tag array, per-bank busy times, and
+  /// outstanding fills (serialized line-sorted for determinism). The
+  /// prune heuristic counter restarts at zero — pruning only drops fills
+  /// already in the past, so the restart is timing-neutral.
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
 
  private:
   void prune_pending(Cycle now);

@@ -2,6 +2,7 @@
 // bus that bounds sustainable bandwidth (one line per `cycles_per_line`).
 #pragma once
 
+#include "ckpt/checkpoint.hpp"
 #include "common/types.hpp"
 
 namespace vlt::mem {
@@ -11,7 +12,7 @@ struct MainMemoryParams {
   unsigned cycles_per_line = 4;  // bus occupancy per 64-byte line
 };
 
-class MainMemory {
+class MainMemory : public ckpt::Checkpointable {
  public:
   explicit MainMemory(const MainMemoryParams& p) : params_(p) {}
 
@@ -25,6 +26,17 @@ class MainMemory {
   }
 
   std::uint64_t requests() const { return requests_; }
+
+  /// Checkpointing (docs/CKPT.md). The request count is not a registry
+  /// instrument, so it rides in the snapshot explicitly.
+  void save_state(ckpt::Writer& w) const override {
+    w.u64("bus_free", bus_free_);
+    w.u64("requests", requests_);
+  }
+  void restore_state(ckpt::Reader& r) override {
+    bus_free_ = r.u64("bus_free");
+    requests_ = r.u64("requests");
+  }
 
  private:
   MainMemoryParams params_;

@@ -303,13 +303,24 @@ campaign::RunSet ShardCoordinator::run(const campaign::SweepSpec& spec) {
     (void)n;
   };
 
+  // Mid-cell checkpoint handoff (docs/CKPT.md): one snapshot file per
+  // spec slot, named in the run command. The lease rule makes this
+  // race-free — a cell's previous worker is SIGKILLed before the cell
+  // is reassigned, so at most one live worker ever touches the file,
+  // and the replacement resumes from the dead worker's last snapshot.
+  auto ckpt_path = [&](std::size_t c) -> std::string {
+    if (!journaling || options_.cell.checkpoint_every == 0) return "";
+    return options_.journal_base + ".cell" + std::to_string(c) + ".ckpt";
+  };
+
   auto assign = [&](std::size_t s) {
     Slot& sl = slots[s];
     if (!sl.alive || !sl.hello_ok || sl.cell >= 0) return;
     std::ptrdiff_t c = take_work(s);
     if (c < 0) return;  // idle until drain
     sl.cell = c;
-    send_line(sl, run_line(static_cast<std::size_t>(c)));
+    send_line(sl, run_line(static_cast<std::size_t>(c),
+                           ckpt_path(static_cast<std::size_t>(c))));
   };
 
   // A dead worker may have journaled results its stdout never carried
@@ -495,8 +506,11 @@ campaign::RunSet ShardCoordinator::run(const campaign::SweepSpec& spec) {
     for (std::size_t i = 0; i < cells.size(); ++i) {
       if (recorded[i]) continue;
       bool hit = false;
+      campaign::CellCheckpoint ckpt{options_.cell.checkpoint_every,
+                                    ckpt_path(i)};
       machine::RunResult r = campaign::execute_cell(
-          cells[i], options_.cell, cache_ ? &*cache_ : nullptr, &hit);
+          cells[i], options_.cell, cache_ ? &*cache_ : nullptr, &hit,
+          ckpt.armed() ? &ckpt : nullptr);
       journal.append(i, cells[i].key(), r);
       fallback_cells_.inc();
       record(i, std::move(r), hit, "fallback");
@@ -590,6 +604,13 @@ campaign::RunSet ShardCoordinator::run(const campaign::SweepSpec& spec) {
     if (alive > 0) std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
   for (std::size_t s = 0; s < nslots; ++s) kill_slot(s);
+
+  // Workers delete a cell's snapshot when the cell completes; sweep the
+  // stragglers (quarantined cells, workers killed between snapshot and
+  // result) so no stale snapshot survives into an unrelated later run.
+  if (journaling && options_.cell.checkpoint_every > 0)
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      std::remove(ckpt_path(i).c_str());
 
   // The merged journal: the whole sweep in spec order, so a later
   // --resume (or an auditor) needs only this one file.

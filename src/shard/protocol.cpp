@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "common/digest.hpp"
+
 namespace vlt::shard {
 
 const char* worker_fault_name(WorkerFault fault) {
@@ -15,12 +17,7 @@ const char* worker_fault_name(WorkerFault fault) {
   return "unknown";
 }
 
-std::string spec_hex(std::uint64_t spec) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%016llx",
-                static_cast<unsigned long long>(spec));
-  return buf;
-}
+std::string spec_hex(std::uint64_t spec) { return digest_hex(spec); }
 
 std::string hello_line(int worker, std::int64_t pid, std::uint64_t spec,
                        std::size_t cells) {
@@ -50,10 +47,11 @@ std::string result_line(std::size_t cell, bool cached,
   return j.dump();
 }
 
-std::string run_line(std::size_t cell) {
+std::string run_line(std::size_t cell, const std::string& ckpt) {
   Json j = Json::object();
   j.set("type", "run");
   j.set("cell", static_cast<std::uint64_t>(cell));
+  if (!ckpt.empty()) j.set("ckpt", ckpt);
   return j.dump();
 }
 
@@ -104,6 +102,7 @@ std::optional<Message> parse_message(const std::string& line) {
     const Json* cell = j->find("cell");
     if (cell == nullptr) return std::nullopt;
     m.cell = static_cast<std::size_t>(cell->as_uint());
+    if (const Json* ckpt = j->find("ckpt")) m.ckpt = ckpt->as_string();
   } else if (t == "exit") {
     m.type = Message::Type::kExit;
   } else {

@@ -9,7 +9,16 @@
 //
 // Coordinator -> worker (stdin):
 //   {"type":"run","cell":I}
+//   {"type":"run","cell":I,"ckpt":"<path>"}
 //   {"type":"exit"}
+//
+// The optional `ckpt` field is the cell's mid-run snapshot file
+// (docs/CKPT.md): the worker writes periodic checkpoints there while
+// simulating, and — when a previous lease holder died mid-cell — the
+// replacement worker finds the dead worker's last snapshot at the same
+// path and resumes the simulation from it instead of cycle zero. A
+// missing, truncated, or foreign snapshot falls back to a from-zero
+// run; either way the result bytes are identical.
 //
 // The hello handshake carries the worker's independently computed spec
 // digest; the coordinator refuses to assign cells to a worker that
@@ -51,6 +60,7 @@ struct Message {
   std::string spec;           // hello: 16-hex spec digest
   std::uint64_t cells = 0;    // hello
   std::size_t cell = 0;       // run, result
+  std::string ckpt;           // run: mid-run snapshot path ("" = none)
   bool cached = false;        // result: served from the result cache
   std::optional<machine::RunResult> result;  // result
 };
@@ -62,7 +72,7 @@ std::string hello_line(int worker, std::int64_t pid, std::uint64_t spec,
 std::string heartbeat_line(int worker);
 std::string result_line(std::size_t cell, bool cached,
                         const machine::RunResult& result);
-std::string run_line(std::size_t cell);
+std::string run_line(std::size_t cell, const std::string& ckpt = "");
 std::string exit_line();
 
 /// Strict parse of one protocol line; nullopt on anything malformed

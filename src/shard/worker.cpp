@@ -8,6 +8,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <mutex>
 #include <string>
@@ -98,6 +99,9 @@ int run_worker(const campaign::SweepSpec& spec,
   FaultSpec hang_fault = parse_fault(std::getenv("VLTSHARD_HANG_WORKER"));
   // NOLINTNEXTLINE(concurrency-mt-unsafe)
   FaultSpec corrupt_fault = parse_fault(std::getenv("VLTSHARD_CORRUPT_LINE"));
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
+  FaultSpec ckpt_kill_fault =
+      parse_fault(std::getenv("VLTSHARD_KILL_AFTER_CKPT"));
 
   LineWriter out;
   out.send(hello_line(options.worker_id, static_cast<std::int64_t>(getpid()),
@@ -167,10 +171,34 @@ int run_worker(const campaign::SweepSpec& spec,
       while (true) std::this_thread::sleep_for(std::chrono::seconds(3600));
     }
 
+    if (!msg->ckpt.empty() &&
+        ((id_hook && ckpt_kill_fault.matches_worker(options.worker_id)) ||
+         ckpt_kill_fault.matches_cell(key))) {
+      // Migration drill: die only after at least one snapshot exists,
+      // so the replacement worker provably resumes mid-run rather than
+      // from cycle zero. A watcher thread SIGKILLs us the instant the
+      // snapshot file appears.
+      std::thread([path = msg->ckpt] {
+        while (!std::ifstream(path).good())
+          std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        std::raise(SIGKILL);
+      }).detach();
+    }
+
     bool hit = false;
+    // Checkpoint handoff (docs/CKPT.md): the coordinator names the
+    // cell's snapshot file in the run command; execute_cell resumes
+    // from a dead predecessor's snapshot when one is there, and writes
+    // our own every checkpoint_every cycles for whoever succeeds us.
+    campaign::CellCheckpoint ckpt;
+    if (!msg->ckpt.empty() && options.cell.checkpoint_every > 0) {
+      ckpt.every = options.cell.checkpoint_every;
+      ckpt.path = msg->ckpt;
+    }
     machine::RunResult result =
         campaign::execute_cell(cell, options.cell,
-                               cache ? &*cache : nullptr, &hit);
+                               cache ? &*cache : nullptr, &hit,
+                               ckpt.armed() ? &ckpt : nullptr);
     // Journal before reporting: a crash between the two loses the stdout
     // line but never the result — the merge finds it in the journal.
     journal.append(msg->cell, cell.key(), result);

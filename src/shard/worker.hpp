@@ -18,6 +18,10 @@
 //   VLTSHARD_CORRUPT_LINE    journal the result, then write a torn
 //                            protocol line instead of the real one
 //                            (exercises protocol-violation handling)
+//   VLTSHARD_KILL_AFTER_CKPT SIGKILL the instant the cell's first
+//                            mid-run snapshot lands on disk (exercises
+//                            checkpoint handoff: the replacement must
+//                            resume mid-run, docs/CKPT.md)
 #pragma once
 
 #include <string>

@@ -113,6 +113,42 @@ Snapshot Registry::snapshot() const {
   return s;
 }
 
+void Registry::restore(const Snapshot& snap) {
+  // The registry holds const pointers because units own the hot-path
+  // updates; restore is the one sanctioned writer-from-outside, so it
+  // casts the constness away rather than widening every registration
+  // site's contract.
+  for (const auto& [name, value] : snap.counters) {
+    auto it = counters_.find(name);
+    if (it == counters_.end() || it->second.stability != Stability::kStable)
+      VLT_FAIL(ErrorKind::kIo,
+               "checkpoint stats name '" + name +
+                   "' is not a stable counter of this machine");
+    Counter* c = const_cast<Counter*>(it->second.instrument);
+    VLT_CHECK(c->value() <= value,
+              "stats restore would move counter '" + name + "' backwards");
+    c->inc(value - c->value());
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    auto it = gauges_.find(name);
+    if (it == gauges_.end() || it->second.stability != Stability::kStable)
+      VLT_FAIL(ErrorKind::kIo,
+               "checkpoint stats name '" + name +
+                   "' is not a stable gauge of this machine");
+    const_cast<Gauge*>(it->second.instrument)->set(value);
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    auto it = histograms_.find(name);
+    if (it == histograms_.end() || it->second.stability != Stability::kStable)
+      VLT_FAIL(ErrorKind::kIo,
+               "checkpoint stats name '" + name +
+                   "' is not a stable histogram of this machine");
+    Histogram* h = const_cast<Histogram*>(it->second.instrument);
+    h->clear();
+    for (const auto& [key, weight] : hist.counts()) h->add(key, weight);
+  }
+}
+
 std::uint64_t Registry::counter_value(const std::string& name) const {
   auto it = counters_.find(name);
   return it != counters_.end() ? it->second.instrument->value() : 0;

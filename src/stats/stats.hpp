@@ -167,6 +167,14 @@ class Registry {
   /// readable). Deterministic: entries are name-sorted.
   Snapshot snapshot() const;
 
+  /// Checkpoint restore (docs/CKPT.md): writes `snap` back into the
+  /// registered stable instruments, so Figure-4 accounting survives a
+  /// restore. Every snapshot name must be registered (a snapshot from a
+  /// different machine shape is snapshot corruption, kIo); instruments
+  /// absent from the snapshot were zero when it was taken and must be
+  /// zero now — restore targets a freshly constructed machine.
+  void restore(const Snapshot& snap);
+
   /// Raw lookups for tests and tools; include diagnostic instruments.
   /// Return 0 / nullptr when the name is not registered.
   std::uint64_t counter_value(const std::string& name) const;

@@ -7,12 +7,14 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
+#include "common/log.hpp"
 #include "common/types.hpp"
 #include "stats/stats.hpp"
 
 namespace vlt::su {
 
-class BranchPredictor {
+class BranchPredictor : public ckpt::Checkpointable {
  public:
   explicit BranchPredictor(unsigned index_bits = 12);
 
@@ -36,6 +38,17 @@ class BranchPredictor {
   void register_stats(stats::Registry& registry, const std::string& prefix) {
     registry.add_counter(prefix + ".lookups", &lookups_);
     registry.add_counter(prefix + ".mispredicts", &mispredicts_);
+  }
+
+  /// Checkpointing (docs/CKPT.md): counter table + global history. The
+  /// lookup/mispredict counters are registry-restored.
+  void save_state(ckpt::Writer& w) const override {
+    w.blob8("table", table_.data(), table_.size());
+    w.u64("history", history_);
+  }
+  void restore_state(ckpt::Reader& r) override {
+    r.blob8("table", table_.data(), table_.size());
+    history_ = r.u64("history");
   }
 
  private:

@@ -745,4 +745,224 @@ void ScalarCore::register_stats(stats::Registry& registry,
   registry.add_counter(prefix + ".l1d_prefetches", &l1d_prefetches_);
 }
 
+// --- checkpointing (docs/CKPT.md) ---
+
+using ckpt::inst_word0;
+using ckpt::inst_word1;
+using ckpt::unpack_inst;
+
+void ScalarCore::save_state(ckpt::Writer& w) const {
+  w.u64("rr", rr_);
+  w.u64("undone", undone_);
+  std::vector<std::uint64_t> sbuf(store_buffer_.begin(), store_buffer_.end());
+  w.blob64("store_buffer", sbuf.data(), sbuf.size());
+  w.push("l1i");
+  l1i_.save_state(w);
+  w.pop();
+  w.push("l1d");
+  l1d_.save_state(w);
+  w.pop();
+  w.push("bpred");
+  bpred_.save_state(w);
+  w.pop();
+  w.u64("num_ctxs", ctxs_.size());
+  for (std::size_t i = 0; i < ctxs_.size(); ++i) {
+    const CtxState& c = ctxs_[i];
+    w.push("ctx" + std::to_string(i));
+    w.boolean("active", c.active);
+    w.boolean("done", c.done);
+    w.u64("tid", c.work.tid);
+    w.u64("nthreads", c.work.nthreads);
+    w.u64("max_vl", c.work.max_vl);
+    w.u64("vctx", c.work.vctx);
+    if (c.active) {
+      w.push("arch");
+      c.arch.save_state(w);
+      w.pop();
+      Json fq = Json::array();
+      for (const FetchedInst& f : c.fq) {
+        std::vector<std::uint64_t> rec = {inst_word0(f.inst),
+                                          inst_word1(f.inst),
+                                          f.pc,
+                                          f.vl,
+                                          f.mispredicted ? 1u : 0u,
+                                          f.addrs.size()};
+        rec.insert(rec.end(), f.addrs.begin(), f.addrs.end());
+        fq.push_back(ckpt::blob64_json(rec));
+      }
+      w.set("fq", std::move(fq));
+      w.u64("fetch_pc", c.fetch_pc);
+      w.boolean("fetch_halted", c.fetch_halted);
+      w.boolean("fetch_after_barrier", c.fetch_after_barrier);
+      w.u64("fetch_stall_until", c.fetch_stall_until);
+      w.u64("redirect_seq", c.redirect_seq);
+      w.u64("cur_fetch_line", c.cur_fetch_line);
+      Json rob = Json::array();
+      for (const RobEntry& e : c.rob) {
+        std::uint64_t flags =
+            (e.is_load ? 1u : 0u) | (e.is_store ? 1u << 1 : 0u) |
+            (e.is_barrier ? 1u << 2 : 0u) | (e.is_membar ? 1u << 3 : 0u) |
+            (e.is_halt ? 1u << 4 : 0u) | (e.is_vector ? 1u << 5 : 0u) |
+            (e.vec_scalar_dst ? 1u << 6 : 0u) |
+            (e.mispredicted ? 1u << 7 : 0u) |
+            (e.barrier_arrived ? 1u << 8 : 0u);
+        std::vector<std::uint64_t> rec = {inst_word0(e.inst),
+                                          inst_word1(e.inst),
+                                          e.pc,
+                                          e.seq,
+                                          e.src_seq[0],
+                                          e.src_seq[1],
+                                          e.src_seq[2],
+                                          e.nsrc,
+                                          e.store_dep_seq,
+                                          e.complete_at,
+                                          static_cast<std::uint64_t>(e.state),
+                                          flags,
+                                          e.mem_addr,
+                                          e.vl,
+                                          e.barrier_gen,
+                                          e.vaddrs.size()};
+        rec.insert(rec.end(), e.vaddrs.begin(), e.vaddrs.end());
+        rob.push_back(ckpt::blob64_json(rec));
+      }
+      w.set("rob", std::move(rob));
+      w.u64("unissued", c.unissued);
+      w.blob64("pending", c.pending.data(), c.pending.size());
+      std::vector<std::uint64_t> stores;
+      stores.reserve(c.inflight_stores.size() * 2);
+      for (const auto& [addr, seq] : c.inflight_stores) {
+        stores.push_back(addr);
+        stores.push_back(seq);
+      }
+      w.blob64("inflight_stores", stores.data(), stores.size());
+      w.u64("next_seq", c.next_seq);
+      w.u64("head_seq", c.head_seq);
+      w.blob64("rename", c.rename.data(), c.rename.size());
+    }
+    w.pop();
+  }
+}
+
+void ScalarCore::restore_state(ckpt::Reader& r) {
+  rr_ = static_cast<unsigned>(r.u64("rr"));
+  undone_ = static_cast<unsigned>(r.u64("undone"));
+  std::vector<std::uint64_t> sbuf = r.blob64("store_buffer");
+  store_buffer_.assign(sbuf.begin(), sbuf.end());
+  r.push("l1i");
+  l1i_.restore_state(r);
+  r.pop();
+  r.push("l1d");
+  l1d_.restore_state(r);
+  r.pop();
+  r.push("bpred");
+  bpred_.restore_state(r);
+  r.pop();
+  VLT_CHECK(r.u64("num_ctxs") == ctxs_.size(),
+            "checkpoint SMT context count does not match this machine");
+  for (std::size_t i = 0; i < ctxs_.size(); ++i) {
+    CtxState& c = ctxs_[i];
+    c = CtxState{};
+    r.push("ctx" + std::to_string(i));
+    c.active = r.boolean("active");
+    c.done = r.boolean("done");
+    c.work.tid = static_cast<ThreadId>(r.u64("tid"));
+    c.work.nthreads = static_cast<unsigned>(r.u64("nthreads"));
+    c.work.max_vl = static_cast<unsigned>(r.u64("max_vl"));
+    c.work.vctx = static_cast<unsigned>(r.u64("vctx"));
+    if (c.active) {
+      c.work.program = r.program_ref(c.work.tid);
+      VLT_CHECK(c.work.program != nullptr && !c.work.program->empty(),
+                "checkpoint restore could not rebind a context's program");
+      c.ectx = func::ExecContext{c.work.tid, c.work.nthreads, c.work.max_vl,
+                                 c.work.program->isa()};
+      r.push("arch");
+      c.arch.restore_state(r);
+      r.pop();
+      for (const Json& jf : r.get("fq").items()) {
+        std::vector<std::uint64_t> rec = ckpt::blob64_words(jf, "fq");
+        if (rec.size() < 6 || rec.size() != 6 + rec[5])
+          VLT_FAIL(ErrorKind::kIo, "checkpoint fetch-queue record malformed");
+        FetchedInst f;
+        f.inst = unpack_inst(rec[0], rec[1]);
+        f.pc = rec[2];
+        f.vl = static_cast<unsigned>(rec[3]);
+        f.mispredicted = rec[4] != 0;
+        f.addrs.assign(rec.begin() + 6, rec.end());
+        c.fq.push_back(std::move(f));
+      }
+      c.fetch_pc = r.u64("fetch_pc");
+      c.fetch_halted = r.boolean("fetch_halted");
+      c.fetch_after_barrier = r.boolean("fetch_after_barrier");
+      c.fetch_stall_until = r.u64("fetch_stall_until");
+      c.redirect_seq = r.u64("redirect_seq");
+      c.cur_fetch_line = r.u64("cur_fetch_line");
+      for (const Json& je : r.get("rob").items()) {
+        std::vector<std::uint64_t> rec = ckpt::blob64_words(je, "rob");
+        if (rec.size() < 16 || rec.size() != 16 + rec[15])
+          VLT_FAIL(ErrorKind::kIo, "checkpoint ROB record malformed");
+        RobEntry e;
+        e.inst = unpack_inst(rec[0], rec[1]);
+        e.pc = rec[2];
+        e.seq = rec[3];
+        e.src_seq = {rec[4], rec[5], rec[6]};
+        e.nsrc = static_cast<unsigned>(rec[7]);
+        e.store_dep_seq = rec[8];
+        e.complete_at = rec[9];
+        VLT_CHECK(rec[10] <= static_cast<std::uint64_t>(RobEntry::St::kVecFlight),
+                  "checkpoint ROB entry state out of range");
+        e.state = static_cast<RobEntry::St>(rec[10]);
+        std::uint64_t flags = rec[11];
+        e.is_load = (flags & 1u) != 0;
+        e.is_store = (flags & (1u << 1)) != 0;
+        e.is_barrier = (flags & (1u << 2)) != 0;
+        e.is_membar = (flags & (1u << 3)) != 0;
+        e.is_halt = (flags & (1u << 4)) != 0;
+        e.is_vector = (flags & (1u << 5)) != 0;
+        e.vec_scalar_dst = (flags & (1u << 6)) != 0;
+        e.mispredicted = (flags & (1u << 7)) != 0;
+        e.barrier_arrived = (flags & (1u << 8)) != 0;
+        e.mem_addr = rec[12];
+        e.vl = static_cast<unsigned>(rec[13]);
+        e.barrier_gen = rec[14];
+        e.vaddrs.assign(rec.begin() + 16, rec.end());
+        c.rob.push_back(std::move(e));
+      }
+      c.unissued = static_cast<unsigned>(r.u64("unissued"));
+      c.pending = r.blob64("pending");
+      std::vector<std::uint64_t> stores = r.blob64("inflight_stores");
+      VLT_CHECK(stores.size() % 2 == 0,
+                "checkpoint inflight-store table must hold pairs");
+      for (std::size_t k = 0; k < stores.size(); k += 2)
+        c.inflight_stores.emplace_back(stores[k], stores[k + 1]);
+      c.next_seq = r.u64("next_seq");
+      c.head_seq = r.u64("head_seq");
+      r.blob64("rename", c.rename.data(), c.rename.size());
+      VLT_CHECK(c.rob.size() == c.next_seq - c.head_seq,
+                "checkpoint ROB occupancy disagrees with its seq window");
+      VLT_CHECK(c.pending.size() == c.unissued,
+                "checkpoint pending list disagrees with unissued count");
+    }
+    r.pop();
+  }
+}
+
+bool ScalarCore::locate_completion_cell(const Cycle* p, unsigned* ctx,
+                                        std::uint64_t* seq) const {
+  for (std::size_t i = 0; i < ctxs_.size(); ++i)
+    for (const RobEntry& e : ctxs_[i].rob)
+      if (&e.complete_at == p) {
+        *ctx = static_cast<unsigned>(i);
+        *seq = e.seq;
+        return true;
+      }
+  return false;
+}
+
+Cycle* ScalarCore::completion_cell(unsigned ctx, std::uint64_t seq) {
+  VLT_CHECK(ctx < ctxs_.size(), "completion-cell context out of range");
+  RobEntry* e = find_entry(ctxs_[ctx], seq);
+  VLT_CHECK(e != nullptr, "completion-cell seq not in the ROB");
+  return &e->complete_at;
+}
+
 }  // namespace vlt::su

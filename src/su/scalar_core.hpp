@@ -20,6 +20,7 @@
 #include <optional>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/types.hpp"
 #include "func/executor.hpp"
 #include "isa/program.hpp"
@@ -96,7 +97,7 @@ struct ThreadAssignment {
   unsigned vctx = 0;  // vector-unit partition this thread drives
 };
 
-class ScalarCore {
+class ScalarCore : public ckpt::Checkpointable {
  public:
   ScalarCore(const SuParams& p, func::FuncMemory& memory, mem::L2Cache& l2,
              vltctl::BarrierController& barrier, vu::VectorUnit* vu,
@@ -213,6 +214,23 @@ class ScalarCore {
   /// and prefetches. L1 demand misses are derivable (cache misses minus
   /// prefetches), so they carry no separate instrument.
   void register_stats(stats::Registry& registry, const std::string& prefix);
+
+  /// Checkpointing (docs/CKPT.md): the L1 caches, the branch predictor,
+  /// the SMT rotation, the store buffer, and every context's full
+  /// front-end and window state (fetch queue, ROB, rename table, issue
+  /// bookkeeping). Program pointers are rebound through
+  /// Reader::program_ref; the commit/redirect counters are
+  /// registry-restored; progress_ and the address pools are host-side
+  /// and stay out of snapshots.
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
+
+  /// Resolve the vector unit's scalar_done completion-cell pointers
+  /// (which alias &RobEntry::complete_at) to and from stable (ctx, seq)
+  /// coordinates, so the orchestrator can serialize them as references.
+  bool locate_completion_cell(const Cycle* p, unsigned* ctx,
+                              std::uint64_t* seq) const;
+  Cycle* completion_cell(unsigned ctx, std::uint64_t seq);
 
  private:
   struct RobEntry {

@@ -119,6 +119,38 @@ void BarrierController::register_stats(stats::Registry& registry,
   registry.add_counter(prefix + ".generations", &generations_);
 }
 
+void BarrierController::save_state(ckpt::Writer& w) const {
+  w.u64("nthreads", nthreads_);
+  w.u64("release_latency", release_latency_);
+  w.boolean("phase_open", phase_open_);
+  w.u64("base_gen", base_gen_);
+  std::vector<std::uint64_t> flat;
+  flat.reserve(gens_.size() * 4);
+  for (const Gen& g : gens_) {
+    flat.push_back(g.arrivals);
+    flat.push_back(g.first_arrival);
+    flat.push_back(g.last_arrival);
+    flat.push_back(g.release);
+  }
+  w.blob64("gens", flat.data(), flat.size());
+}
+
+void BarrierController::restore_state(ckpt::Reader& r) {
+  nthreads_ = static_cast<unsigned>(r.u64("nthreads"));
+  release_latency_ = static_cast<unsigned>(r.u64("release_latency"));
+  phase_open_ = r.boolean("phase_open");
+  base_gen_ = r.u64("base_gen");
+  std::vector<std::uint64_t> flat = r.blob64("gens");
+  VLT_CHECK(flat.size() % 4 == 0, "barrier generation table must hold quads");
+  gens_.clear();
+  for (std::size_t i = 0; i < flat.size(); i += 4)
+    gens_.push_back(Gen{static_cast<unsigned>(flat[i]), flat[i + 1],
+                        flat[i + 2], flat[i + 3]});
+  first_open_ = 0;
+  first_live_ = 0;
+  mutations_ = 0;
+}
+
 BarrierController::PendingGen BarrierController::oldest_pending() const {
   for (std::size_t i = 0; i < gens_.size(); ++i) {
     const Gen& g = gens_[i];

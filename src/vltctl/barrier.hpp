@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/types.hpp"
 #include "stats/stats.hpp"
 #include "stats/trace.hpp"
@@ -21,7 +22,7 @@ class AuditSink;
 
 namespace vlt::vltctl {
 
-class BarrierController {
+class BarrierController : public ckpt::Checkpointable {
  public:
   /// Starts a new phase with `nthreads` participants; `release_latency`
   /// is charged from the last arrival to the release.
@@ -82,6 +83,15 @@ class BarrierController {
     Cycle first_arrival = 0;
   };
   PendingGen oldest_pending() const;
+
+  /// Checkpointing (docs/CKPT.md): epoch bookkeeping plus the full
+  /// generation table of the current phase (arrival masks are implicit —
+  /// arrivals are one-per-thread-per-generation, so counts plus times
+  /// reconstruct the state exactly). Scan cursors and the mutation
+  /// counter restart at zero: both are monotonic accelerators whose
+  /// absolute values no caller observes across a restore.
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
 
  private:
   struct Gen {

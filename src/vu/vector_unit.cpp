@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <unordered_map>
 
 #include "audit/sink.hpp"
 #include "common/log.hpp"
@@ -383,6 +384,185 @@ bool VectorUnit::ctx_quiesced(unsigned vctx, Cycle now) const {
   if (vctx >= ctxs_.size()) return true;
   const Ctx& c = ctxs_[vctx];
   return c.viq.empty() && c.window.empty() && c.outstanding_until <= now;
+}
+
+// --- checkpointing (docs/CKPT.md) ---
+
+namespace {
+
+Json dispatch_blob(const VecDispatch& d) {
+  std::vector<std::uint64_t> rec = {ckpt::inst_word0(d.inst),
+                                    ckpt::inst_word1(d.inst), d.vl, d.vctx,
+                                    d.addrs.size()};
+  rec.insert(rec.end(), d.addrs.begin(), d.addrs.end());
+  return ckpt::blob64_json(rec);
+}
+
+VecDispatch parse_dispatch(const Json& j) {
+  std::vector<std::uint64_t> rec = ckpt::blob64_words(j, "dispatch");
+  if (rec.size() < 5 || rec.size() != 5 + rec[4])
+    VLT_FAIL(ErrorKind::kIo, "checkpoint vector-dispatch record malformed");
+  VecDispatch d;
+  d.inst = ckpt::unpack_inst(rec[0], rec[1]);
+  d.vl = static_cast<unsigned>(rec[2]);
+  d.vctx = static_cast<unsigned>(rec[3]);
+  d.addrs.assign(rec.begin() + 5, rec.end());
+  return d;
+}
+
+const Json& member(const Json& j, const char* key) {
+  const Json* v = j.find(key);
+  if (v == nullptr)
+    VLT_FAIL(ErrorKind::kIo,
+             "checkpoint vector record missing '" + std::string(key) + "'");
+  return *v;
+}
+
+}  // namespace
+
+void VectorUnit::save_state(ckpt::Writer& w) const {
+  w.u64("active_contexts", active_contexts_);
+  w.u64("rr_ctx", rr_ctx_);
+  w.u64("accounted_to", accounted_to_);
+  for (std::size_t i = 0; i < ctxs_.size(); ++i) {
+    const Ctx& c = ctxs_[i];
+    w.push("ctx" + std::to_string(i));
+
+    // Assign timing-record IDs in deterministic first-seen order (vreg
+    // table, mask, then window sources/outputs) so aliasing serializes
+    // identically for identical machine state.
+    std::vector<const OpTiming*> order;
+    std::unordered_map<const OpTiming*, std::uint64_t> ids;
+    auto ref_id = [&](const TimingRef& t) -> std::uint64_t {
+      if (t == nullptr) return kNeverReady;
+      auto [it, fresh] = ids.emplace(t.get(), order.size());
+      if (fresh) order.push_back(t.get());
+      return it->second;
+    };
+
+    std::vector<std::uint64_t> vreg_ids;
+    vreg_ids.reserve(c.vreg.size());
+    for (const TimingRef& t : c.vreg) vreg_ids.push_back(ref_id(t));
+    std::uint64_t mask_id = ref_id(c.mask);
+
+    Json window = Json::array();
+    for (const WinEntry& e : c.window) {
+      Json je = Json::object();
+      je.set("op", dispatch_blob(e.op));
+      std::string sd;
+      if (e.op.scalar_done != nullptr) {
+        VLT_CHECK(w.cycle_ref != nullptr,
+                  "checkpoint writer has no completion-cell resolver");
+        sd = w.cycle_ref(e.op.scalar_done);
+      }
+      je.set("sd", std::move(sd));
+      std::vector<std::uint64_t> src_ids;
+      for (unsigned s = 0; s < e.nsrc; ++s) src_ids.push_back(ref_id(e.srcs[s]));
+      je.set("srcs", ckpt::blob64_json(src_ids));
+      je.set("out", ref_id(e.out));
+      window.push_back(std::move(je));
+    }
+    w.set("window", std::move(window));
+
+    Json viq = Json::array();
+    for (const VecDispatch& d : c.viq) {
+      Json jd = Json::object();
+      jd.set("op", dispatch_blob(d));
+      std::string sd;
+      if (d.scalar_done != nullptr) {
+        VLT_CHECK(w.cycle_ref != nullptr,
+                  "checkpoint writer has no completion-cell resolver");
+        sd = w.cycle_ref(d.scalar_done);
+      }
+      jd.set("sd", std::move(sd));
+      viq.push_back(std::move(jd));
+    }
+    w.set("viq", std::move(viq));
+
+    std::vector<std::uint64_t> timings;
+    timings.reserve(order.size() * 3);
+    for (const OpTiming* t : order) {
+      timings.push_back(t->chain_ready);
+      timings.push_back(t->complete);
+      timings.push_back(t->from_mem ? 1 : 0);
+    }
+    w.blob64("timings", timings.data(), timings.size());
+    w.blob64("vreg", vreg_ids.data(), vreg_ids.size());
+    w.u64("mask", mask_id);
+    w.blob64("fu_free", c.fu_free.data(), c.fu_free.size());
+    w.u64("outstanding_until", c.outstanding_until);
+    w.pop();
+  }
+}
+
+void VectorUnit::restore_state(ckpt::Reader& r) {
+  active_contexts_ = static_cast<unsigned>(r.u64("active_contexts"));
+  VLT_CHECK(active_contexts_ >= 1 && params_.lanes % active_contexts_ == 0,
+            "checkpoint vector partitioning does not match this machine");
+  rr_ctx_ = static_cast<unsigned>(r.u64("rr_ctx"));
+  accounted_to_ = r.u64("accounted_to");
+  ctxs_.assign(active_contexts_, Ctx{});
+  for (std::size_t i = 0; i < ctxs_.size(); ++i) {
+    Ctx& c = ctxs_[i];
+    r.push("ctx" + std::to_string(i));
+
+    std::vector<std::uint64_t> flat = r.blob64("timings");
+    VLT_CHECK(flat.size() % 3 == 0,
+              "checkpoint timing table must hold triples");
+    std::vector<TimingRef> recs;
+    recs.reserve(flat.size() / 3);
+    for (std::size_t k = 0; k < flat.size(); k += 3)
+      recs.push_back(std::make_shared<OpTiming>(
+          OpTiming{flat[k], flat[k + 1], flat[k + 2] != 0}));
+    auto by_id = [&](std::uint64_t id) -> TimingRef {
+      if (id == kNeverReady) return nullptr;
+      VLT_CHECK(id < recs.size(), "checkpoint timing reference out of range");
+      return recs[id];
+    };
+
+    std::vector<std::uint64_t> vreg_ids(kNumVectorRegs);
+    r.blob64("vreg", vreg_ids.data(), vreg_ids.size());
+    c.vreg.clear();
+    c.vreg.reserve(kNumVectorRegs);
+    for (std::uint64_t id : vreg_ids) c.vreg.push_back(by_id(id));
+    c.mask = by_id(r.u64("mask"));
+
+    for (const Json& je : r.get("window").items()) {
+      WinEntry e;
+      e.op = parse_dispatch(member(je, "op"));
+      const std::string& sd = member(je, "sd").as_string();
+      if (!sd.empty()) {
+        VLT_CHECK(r.cycle_ref != nullptr,
+                  "checkpoint reader has no completion-cell resolver");
+        e.op.scalar_done = r.cycle_ref(sd);
+      }
+      std::vector<std::uint64_t> src_ids =
+          ckpt::blob64_words(member(je, "srcs"), "srcs");
+      VLT_CHECK(src_ids.size() <= e.srcs.size(),
+                "checkpoint window entry has too many sources");
+      e.nsrc = static_cast<unsigned>(src_ids.size());
+      for (unsigned s = 0; s < e.nsrc; ++s) e.srcs[s] = by_id(src_ids[s]);
+      e.out = by_id(member(je, "out").as_uint());
+      c.window.push_back(std::move(e));
+    }
+
+    for (const Json& jd : r.get("viq").items()) {
+      VecDispatch d = parse_dispatch(member(jd, "op"));
+      const std::string& sd = member(jd, "sd").as_string();
+      if (!sd.empty()) {
+        VLT_CHECK(r.cycle_ref != nullptr,
+                  "checkpoint reader has no completion-cell resolver");
+        d.scalar_done = r.cycle_ref(sd);
+      }
+      c.viq.push_back(std::move(d));
+    }
+
+    c.fu_free.assign(params_.arith_fus + params_.mem_ports, 0);
+    r.blob64("fu_free", c.fu_free.data(), c.fu_free.size());
+    c.outstanding_until = r.u64("outstanding_until");
+    r.pop();
+  }
+  mutations_ = 0;
 }
 
 }  // namespace vlt::vu

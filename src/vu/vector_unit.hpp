@@ -22,6 +22,7 @@
 #include <memory>
 #include <vector>
 
+#include "ckpt/checkpoint.hpp"
 #include "common/types.hpp"
 #include "isa/opcode.hpp"
 #include "mem/l2_cache.hpp"
@@ -61,7 +62,7 @@ struct VecDispatch {
 /// stats::CycleAccountant; the alias keeps the historical vu:: spelling.
 using DatapathUtilization = stats::DatapathUtilization;
 
-class VectorUnit {
+class VectorUnit : public ckpt::Checkpointable {
  public:
   VectorUnit(const VuParams& p, mem::L2Cache& l2);
 
@@ -181,6 +182,19 @@ class VectorUnit {
            ctxs_[vctx].viq.size() >=
                std::max(1u, params_.viq_size / active_contexts_);
   }
+
+  /// Checkpointing (docs/CKPT.md): partitioning, per-partition VIQ and
+  /// window contents, the rename-table timing graph (distinct OpTiming
+  /// records serialized once, in deterministic first-seen order, so
+  /// aliasing — including the all-regs-share-one-ready-record state after
+  /// configure_contexts — survives the round trip), functional-unit
+  /// occupancy, and the accounting watermark. scalar_done completion
+  /// cells serialize through Writer::cycle_ref as (su, ctx, seq)
+  /// references. The mutation counters restart at zero — the engine
+  /// re-snapshots them at loop entry — and the Figure-4 buckets are
+  /// registry-restored.
+  void save_state(ckpt::Writer& w) const override;
+  void restore_state(ckpt::Reader& r) override;
 
   // --- statistics ---
   DatapathUtilization utilization() const { return acct_.utilization(); }

@@ -1,0 +1,467 @@
+// vltckpt: the deterministic checkpoint/restore seam (docs/CKPT.md).
+//
+// The load-bearing contract tested here: checkpoint at cycle N →
+// restore → run to end must be byte-identical (RunResult::to_json())
+// to the uninterrupted run, under both engines, and a snapshot of the
+// same machine at the same cycle must serialize to the same bytes no
+// matter which engine produced it. Plus the failure-path half: fault
+// injectors round-trip through a snapshot, truncated snapshots are
+// rejected by digest and fall back to a from-zero run, and foreign
+// snapshots are refused by identity.
+#include <gtest/gtest.h>
+
+#include "expect_sim_error.hpp"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "campaign/campaign.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "common/error.hpp"
+#include "isa/isa.hpp"
+#include "machine/simulator.hpp"
+#include "workloads/fault_injection.hpp"
+#include "workloads/workload.hpp"
+
+namespace vlt {
+namespace {
+
+namespace fs = std::filesystem;
+using machine::CheckpointOptions;
+using machine::MachineConfig;
+using machine::RunResult;
+using machine::RunStatus;
+using machine::Simulator;
+using workloads::Variant;
+
+// --- writer / reader units --------------------------------------------------
+
+TEST(CkptWriter, SectionsAndNestedObjectsRoundTrip) {
+  ckpt::Writer w;
+  w.begin_section("alpha");
+  w.u64("a", 42);
+  w.i64("b", -7);
+  w.boolean("c", true);
+  w.str("d", "hello");
+  w.push("inner");
+  w.u64("e", 99);
+  w.pop();
+  w.end_section();
+  w.begin_section("beta");
+  std::uint64_t words[3] = {1, 0xFFFF'FFFF'FFFF'FFFFull, 0xDEAD'BEEFull};
+  w.blob64("words", words, 3);
+  std::uint8_t bytes[2] = {0xAB, 0x01};
+  w.blob8("bytes", bytes, 2);
+  w.end_section();
+  Json doc = w.finish();
+
+  ckpt::Reader r(doc);
+  EXPECT_TRUE(r.has_section("alpha"));
+  EXPECT_TRUE(r.has_section("beta"));
+  EXPECT_FALSE(r.has_section("gamma"));
+  r.enter_section("alpha");
+  EXPECT_EQ(r.u64("a"), 42u);
+  EXPECT_EQ(r.i64("b"), -7);
+  EXPECT_TRUE(r.boolean("c"));
+  EXPECT_EQ(r.str("d"), "hello");
+  r.push("inner");
+  EXPECT_EQ(r.u64("e"), 99u);
+  r.pop();
+  r.exit_section();
+  r.enter_section("beta");
+  std::uint64_t out[3] = {0, 0, 0};
+  r.blob64("words", out, 3);
+  EXPECT_EQ(out[0], 1u);
+  EXPECT_EQ(out[1], 0xFFFF'FFFF'FFFF'FFFFull);
+  EXPECT_EQ(out[2], 0xDEAD'BEEFull);
+  std::uint8_t bout[2] = {0, 0};
+  r.blob8("bytes", bout, 2);
+  EXPECT_EQ(bout[0], 0xAB);
+  EXPECT_EQ(bout[1], 0x01);
+  r.exit_section();
+}
+
+TEST(CkptWriter, MissingFieldIsAnIoError) {
+  ckpt::Writer w;
+  w.begin_section("s");
+  w.u64("present", 1);
+  w.end_section();
+  ckpt::Reader r(w.finish());
+  r.enter_section("s");
+  EXPECT_SIM_ERROR((void)r.u64("absent"), "absent");
+}
+
+TEST(CkptBlob, StandaloneBlobRoundTripsAndRejectsGarbage) {
+  std::vector<std::uint64_t> words = {0, 1, 0x0123'4567'89AB'CDEFull};
+  Json v = ckpt::blob64_json(words);
+  EXPECT_EQ(ckpt::blob64_words(v, "t"), words);
+  EXPECT_SIM_ERROR((void)ckpt::blob64_words(Json("abc"), "t"), "t");
+  EXPECT_SIM_ERROR((void)ckpt::blob64_words(Json(std::string(16, 'z')), "t"),
+                   "t");
+}
+
+TEST(CkptBlob, InstructionPackingRoundTrips) {
+  isa::Instruction i;
+  i.op = isa::Opcode::kAdd;
+  i.rd = 3;
+  i.rs1 = 17;
+  i.rs2 = 31;
+  i.imm = -123456;
+  i.flags = 0x5;
+  isa::Instruction back =
+      ckpt::unpack_inst(ckpt::inst_word0(i), ckpt::inst_word1(i));
+  EXPECT_EQ(back.op, i.op);
+  EXPECT_EQ(back.rd, i.rd);
+  EXPECT_EQ(back.rs1, i.rs1);
+  EXPECT_EQ(back.rs2, i.rs2);
+  EXPECT_EQ(back.imm, i.imm);
+  EXPECT_EQ(back.flags, i.flags);
+}
+
+// --- temp-dir fixture --------------------------------------------------------
+
+class CkptFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("vltckpt-test-" + std::to_string(::getpid()) + "-" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this)));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(CkptFsTest, SaveLoadRoundTripsAndDetectsCorruption) {
+  ckpt::Writer w;
+  w.begin_section("s");
+  w.u64("v", 7);
+  w.end_section();
+  Json doc = w.finish();
+  std::string err;
+  ASSERT_TRUE(ckpt::save_file(path("a.ckpt"), doc, &err)) << err;
+
+  std::optional<Json> back = ckpt::load_file(path("a.ckpt"), &err);
+  ASSERT_TRUE(back.has_value()) << err;
+  EXPECT_EQ(back->dump(), doc.dump());
+
+  // Truncation (a torn write that somehow bypassed the atomic rename)
+  // must fail the digest, not parse into half a machine.
+  std::ifstream in(path("a.ckpt"));
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  std::ofstream(path("torn.ckpt")) << text.substr(0, text.size() / 2);
+  EXPECT_FALSE(ckpt::load_file(path("torn.ckpt"), &err).has_value());
+
+  // A flipped payload character under an intact structure must fail the
+  // section digest.
+  std::string flipped = text;
+  std::size_t v = flipped.rfind("\"v\":7");
+  ASSERT_NE(v, std::string::npos);
+  flipped[v + 4] = '8';
+  std::ofstream(path("flip.ckpt")) << flipped;
+  EXPECT_FALSE(ckpt::load_file(path("flip.ckpt"), &err).has_value());
+
+  EXPECT_FALSE(ckpt::load_file(path("missing.ckpt"), &err).has_value());
+}
+
+// --- the byte-identity contract ---------------------------------------------
+
+struct ContractCase {
+  const char* workload;
+  Variant variant;
+  isa::IsaId isa;
+  bool no_skip;
+};
+
+std::string run_to_bytes(const ContractCase& c, Simulator& sim) {
+  auto w = workloads::make_workload(c.workload);
+  return sim.run(*w, c.variant).to_json().dump();
+}
+
+MachineConfig case_config(const ContractCase& c) {
+  MachineConfig cfg = MachineConfig::v4_cmp();
+  cfg.isa = c.isa;
+  if (c.no_skip) cfg.event_skip = false;
+  return cfg;
+}
+
+class CkptContractTest : public CkptFsTest {};
+
+TEST_F(CkptContractTest, CheckpointRestoreIsByteIdentical) {
+  const ContractCase cases[] = {
+      {"mpenc", Variant::vector_threads(4), isa::IsaId::kVlt, false},
+      {"mpenc", Variant::vector_threads(4), isa::IsaId::kVlt, true},
+      {"trfd", Variant::vector_threads(4), isa::IsaId::kRvv, false},
+      {"trfd", Variant::vector_threads(4), isa::IsaId::kRvv, true},
+      {"bt", Variant::base(), isa::IsaId::kVlt, false},
+  };
+  for (const ContractCase& c : cases) {
+    SCOPED_TRACE(std::string(c.workload) + "/" + c.variant.to_string() +
+                 "/" + isa::isa_name(c.isa) + (c.no_skip ? "/no-skip" : ""));
+    MachineConfig cfg = case_config(c);
+
+    Simulator golden_sim(cfg);
+    std::string golden = run_to_bytes(c, golden_sim);
+
+    // The checkpointing run itself must not perturb the result.
+    std::string snap = path("snap.ckpt");
+    fs::remove(snap);
+    Simulator ck_sim(cfg);
+    ck_sim.set_checkpoint({kNeverReady, 1500, snap});
+    EXPECT_EQ(run_to_bytes(c, ck_sim), golden);
+    ASSERT_TRUE(fs::exists(snap));
+
+    // Restore from the last periodic snapshot and run to the end.
+    std::string err;
+    std::optional<Json> doc = ckpt::load_file(snap, &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    Simulator rs_sim(cfg);
+    rs_sim.set_restore(*std::move(doc));
+    EXPECT_EQ(run_to_bytes(c, rs_sim), golden);
+  }
+}
+
+TEST_F(CkptContractTest, SnapshotBytesAreEngineInvariant) {
+  const ContractCase c{"mpenc", Variant::vector_threads(4), isa::IsaId::kVlt,
+                       false};
+  for (Cycle at : {Cycle(1), Cycle(500), Cycle(3000)}) {
+    SCOPED_TRACE("at=" + std::to_string(at));
+    MachineConfig skip_cfg = case_config(c);
+    Simulator skip_sim(skip_cfg);
+    skip_sim.set_checkpoint({at, 0, path("skip.ckpt")});
+    (void)run_to_bytes(c, skip_sim);
+
+    MachineConfig oracle_cfg = case_config(c);
+    oracle_cfg.event_skip = false;
+    Simulator oracle_sim(oracle_cfg);
+    oracle_sim.set_checkpoint({at, 0, path("oracle.ckpt")});
+    (void)run_to_bytes(c, oracle_sim);
+
+    std::ifstream a(path("skip.ckpt")), b(path("oracle.ckpt"));
+    std::string sa((std::istreambuf_iterator<char>(a)),
+                   std::istreambuf_iterator<char>());
+    std::string sb((std::istreambuf_iterator<char>(b)),
+                   std::istreambuf_iterator<char>());
+    ASSERT_FALSE(sa.empty());
+    // The two engines pause on the same cycle with identical machine
+    // state, and event_skip is excluded from fingerprint(), so the
+    // serialized snapshots match byte for byte and migrate freely
+    // across engines.
+    EXPECT_EQ(sa, sb);
+
+    // And a skip-engine snapshot restores under the oracle engine.
+    std::string err;
+    std::optional<Json> doc = ckpt::load_file(path("skip.ckpt"), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    Simulator golden_sim(oracle_cfg);
+    std::string golden = run_to_bytes(c, golden_sim);
+    Simulator cross_sim(oracle_cfg);
+    cross_sim.set_restore(*std::move(doc));
+    EXPECT_EQ(run_to_bytes(c, cross_sim), golden);
+  }
+}
+
+// --- fault injectors round-trip through a snapshot --------------------------
+
+TEST_F(CkptFsTest, VerifyInjectorRoundTrips) {
+  MachineConfig cfg = MachineConfig::base();
+  auto w = workloads::make_workload("fault.verify");
+
+  Simulator golden_sim(cfg);
+  RunResult golden = golden_sim.run(*w, Variant::base());
+  ASSERT_EQ(golden.status, RunStatus::kWorkloadVerify);
+
+  std::string snap = path("verify.ckpt");
+  Simulator ck_sim(cfg);
+  ck_sim.set_checkpoint({kNeverReady, 2, snap});
+  RunResult with_ckpt = ck_sim.run(*w, Variant::base());
+  EXPECT_EQ(with_ckpt.to_json().dump(), golden.to_json().dump());
+  ASSERT_TRUE(fs::exists(snap));
+
+  std::string err;
+  std::optional<Json> doc = ckpt::load_file(snap, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  Simulator rs_sim(cfg);
+  rs_sim.set_restore(*std::move(doc));
+  RunResult restored = rs_sim.run(*w, Variant::base());
+  EXPECT_EQ(restored.to_json().dump(), golden.to_json().dump());
+}
+
+TEST_F(CkptFsTest, InvariantInjectorFailsIdenticallyUnderCheckpointing) {
+  // fault.invariant trips a processor self-check at phase setup, before
+  // any pause point: arming checkpoints must not change the diagnostic,
+  // and no snapshot is ever written.
+  MachineConfig cfg = MachineConfig::base();
+  auto w = workloads::make_workload("fault.invariant");
+  std::string plain;
+  try {
+    (void)Simulator(cfg).run(*w, Variant::base());
+    FAIL() << "fault.invariant did not throw";
+  } catch (const SimError& e) {
+    plain = e.what();
+  }
+  std::string snap = path("inv.ckpt");
+  Simulator ck_sim(cfg);
+  ck_sim.set_checkpoint({kNeverReady, 10, snap});
+  try {
+    (void)ck_sim.run(*w, Variant::base());
+    FAIL() << "fault.invariant did not throw under checkpointing";
+  } catch (const SimError& e) {
+    EXPECT_EQ(std::string(e.what()), plain);
+  }
+  EXPECT_FALSE(fs::exists(snap));
+}
+
+TEST_F(CkptFsTest, BarrierInjectorTimesOutIdenticallyAfterRestore) {
+  MachineConfig cfg = MachineConfig::v4_cmt();
+  cfg.cycle_limit = 20'000;
+  auto w = workloads::make_workload("fault.barrier");
+
+  std::string plain;
+  try {
+    (void)Simulator(cfg).run(*w, Variant::lane_threads(4));
+    FAIL() << "stuck barrier did not time out";
+  } catch (const SimError& e) {
+    plain = e.what();
+  }
+
+  // Periodic snapshots up to the timeout; the budget check fires before
+  // the pause check, so the last snapshot lands strictly inside the
+  // budget and the restored run must walk into the same wall.
+  std::string snap = path("barrier.ckpt");
+  Simulator ck_sim(cfg);
+  ck_sim.set_checkpoint({kNeverReady, 6'000, snap});
+  try {
+    (void)ck_sim.run(*w, Variant::lane_threads(4));
+    FAIL() << "stuck barrier did not time out under checkpointing";
+  } catch (const SimError& e) {
+    EXPECT_EQ(std::string(e.what()), plain);
+  }
+  ASSERT_TRUE(fs::exists(snap));
+
+  std::string err;
+  std::optional<Json> doc = ckpt::load_file(snap, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+  Simulator rs_sim(cfg);
+  rs_sim.set_restore(*std::move(doc));
+  try {
+    (void)rs_sim.run(*w, Variant::lane_threads(4));
+    FAIL() << "restored stuck barrier did not time out";
+  } catch (const SimError& e) {
+    EXPECT_EQ(std::string(e.what()), plain);
+  }
+}
+
+// --- identity and mode guards ----------------------------------------------
+
+TEST_F(CkptFsTest, ForeignSnapshotIsRefusedByIdentity) {
+  MachineConfig cfg = MachineConfig::v4_cmp();
+  auto mpenc = workloads::make_workload("mpenc");
+  std::string snap = path("mpenc.ckpt");
+  Simulator ck_sim(cfg);
+  ck_sim.set_checkpoint({2'000, 0, snap});
+  (void)ck_sim.run(*mpenc, Variant::vector_threads(4));
+
+  std::string err;
+  std::optional<Json> doc = ckpt::load_file(snap, &err);
+  ASSERT_TRUE(doc.has_value()) << err;
+
+  // checkpoint_matches names the first mismatch...
+  std::string why;
+  EXPECT_TRUE(machine::checkpoint_matches(*doc, "mpenc", "vlt-4vt", cfg,
+                                          &why));
+  EXPECT_FALSE(machine::checkpoint_matches(*doc, "trfd", "vlt-4vt", cfg,
+                                           &why));
+  EXPECT_NE(why.find("workload"), std::string::npos) << why;
+  MachineConfig other = MachineConfig::base();
+  EXPECT_FALSE(machine::checkpoint_matches(*doc, "mpenc", "vlt-4vt", other,
+                                           &why));
+
+  // ...and a Simulator fed the wrong snapshot refuses outright.
+  auto trfd = workloads::make_workload("trfd");
+  Simulator rs_sim(cfg);
+  rs_sim.set_restore(*doc);
+  EXPECT_SIM_ERROR((void)rs_sim.run(*trfd, Variant::vector_threads(4)),
+                   "checkpoint workload");
+}
+
+TEST_F(CkptFsTest, AuditModeIsIncompatibleWithCheckpointing) {
+  MachineConfig cfg = MachineConfig::base();
+  cfg.audit = audit::AuditConfig::full();
+  auto w = workloads::make_workload("mpenc");
+  Simulator sim(cfg);
+  sim.set_checkpoint({100, 0, path("x.ckpt")});
+  EXPECT_SIM_ERROR((void)sim.run(*w, Variant::base()), "audit");
+}
+
+// --- campaign fallback on a bad snapshot ------------------------------------
+
+TEST_F(CkptFsTest, ExecuteCellFallsBackToZeroOnTruncatedSnapshot) {
+  campaign::Cell cell;
+  cell.config = MachineConfig::v4_cmp();
+  cell.workload = "mpenc";
+  cell.variant = Variant::vector_threads(4);
+  campaign::CampaignOptions opts;
+
+  machine::RunResult golden = campaign::execute_cell(cell, opts);
+  ASSERT_TRUE(golden.ok());
+
+  // Plant a truncated snapshot where the cell's checkpoint would live —
+  // the SIGKILL-mid-write scenario. The digest rejects it; the cell
+  // runs from zero, byte-identically, and clears the snapshot away.
+  std::string snap = path("cell.ckpt");
+  {
+    Simulator ck_sim(cell.config);
+    ck_sim.set_checkpoint({2'000, 0, snap});
+    auto w = workloads::make_workload("mpenc");
+    (void)ck_sim.run(*w, cell.variant);
+    std::ifstream in(snap);
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream(snap, std::ios::trunc) << text.substr(0, text.size() / 3);
+  }
+  campaign::CellCheckpoint ckpt{5'000, snap};
+  machine::RunResult r = campaign::execute_cell(cell, opts, nullptr, nullptr,
+                                                &ckpt);
+  EXPECT_EQ(r.to_json().dump(), golden.to_json().dump());
+  EXPECT_FALSE(fs::exists(snap));
+}
+
+TEST_F(CkptFsTest, ExecuteCellResumesFromAValidSnapshot) {
+  campaign::Cell cell;
+  cell.config = MachineConfig::v4_cmp();
+  cell.workload = "mpenc";
+  cell.variant = Variant::vector_threads(4);
+  campaign::CampaignOptions opts;
+
+  machine::RunResult golden = campaign::execute_cell(cell, opts);
+  ASSERT_TRUE(golden.ok());
+
+  std::string snap = path("cell.ckpt");
+  {
+    Simulator ck_sim(cell.config);
+    ck_sim.set_checkpoint({2'000, 0, snap});
+    auto w = workloads::make_workload("mpenc");
+    (void)ck_sim.run(*w, cell.variant);
+  }
+  ASSERT_TRUE(fs::exists(snap));
+  campaign::CellCheckpoint ckpt{5'000, snap};
+  machine::RunResult r = campaign::execute_cell(cell, opts, nullptr, nullptr,
+                                                &ckpt);
+  EXPECT_EQ(r.to_json().dump(), golden.to_json().dump());
+  EXPECT_FALSE(fs::exists(snap));  // completed cells clean up
+}
+
+}  // namespace
+}  // namespace vlt

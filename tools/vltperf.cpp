@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "campaign/campaign.hpp"
+#include "common/cli.hpp"
 #include "isa/isa.hpp"
 #include "machine/simulator.hpp"
 #include "workloads/workload.hpp"
@@ -152,7 +153,10 @@ int run_main(int argc, char** argv) {
     } else if (arg == "--min-speedup") {
       min_speedup = double_value();
     } else if (arg == "--host-threads") {
-      host_threads = static_cast<unsigned>(double_value());
+      std::optional<unsigned> n =
+          cli::parse_thread_count("vltperf", arg, value());
+      if (!n) return 2;
+      host_threads = *n;
     } else if (arg == "--out") {
       out_path = value();
     } else if (arg == "--help" || arg == "-h") {

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "campaign/grid.hpp"
+#include "common/cli.hpp"
 #include "shard/coordinator.hpp"
 
 using namespace vlt;
@@ -46,7 +47,8 @@ void usage() {
       "                [--workers N] [--worker-retries N]\n"
       "                [--heartbeat-ms N] [--worker-timeout-ms N]\n"
       "                [--backoff-ms N] [--journal-base BASE]\n"
-      "                [--no-journal] [--resume] [--cache DIR]\n"
+      "                [--no-journal] [--resume] [--checkpoint-every N]\n"
+      "                [--cache DIR]\n"
       "                [--no-cache] [--force] [--max-retries N]\n"
       "                [--cell-cycle-limit N] [--format json|csv]\n"
       "                [--out FILE] [--stats-out FILE] [--quiet] [--list]\n"
@@ -65,6 +67,11 @@ void usage() {
       "                      .vltshard-journal; --no-journal disables)\n"
       "  --resume            merge surviving shard journals from a killed\n"
       "                      coordinator, run only the rest\n"
+      "  --checkpoint-every N   workers snapshot their in-flight cell\n"
+      "                      every N simulated cycles; when a worker\n"
+      "                      dies mid-cell its replacement resumes from\n"
+      "                      the last snapshot instead of cycle zero\n"
+      "                      (needs journaling, docs/CKPT.md)\n"
       "  --stats-out F       write the shard.* supervision counters (and\n"
       "                      cache.quarantined) as JSON to F\n"
       "  grid flags          --workloads/--configs/--variants/--isa/\n"
@@ -116,7 +123,10 @@ int run_main(int argc, char** argv) {
     } else if (arg == "--worker-binary") {
       opts.worker_binary = value();
     } else if (arg == "--workers") {
-      opts.workers = static_cast<unsigned>(uint_value(1, 256));
+      std::optional<unsigned> n = cli::parse_count("vltshard", arg, value(),
+                                                   1, 256);
+      if (!n) return 2;
+      opts.workers = *n;
     } else if (arg == "--worker-retries") {
       opts.worker_retries = static_cast<unsigned>(uint_value(0, 100));
     } else if (arg == "--heartbeat-ms") {
@@ -131,6 +141,17 @@ int run_main(int argc, char** argv) {
       no_journal = true;
     } else if (arg == "--resume") {
       opts.resume = true;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = value();
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1) {
+        std::fprintf(stderr,
+                     "vltshard: --checkpoint-every expects a positive "
+                     "integer, got '%s'\n", v);
+        return 2;
+      }
+      opts.cell.checkpoint_every = static_cast<Cycle>(n);
     } else if (arg == "--cache") {
       opts.cell.cache_dir = value();
     } else if (arg == "--no-cache") {
@@ -177,6 +198,11 @@ int run_main(int argc, char** argv) {
   if (no_journal) opts.journal_base.clear();
   if (opts.resume && opts.journal_base.empty()) {
     std::fprintf(stderr, "vltshard: --resume needs journals "
+                         "(drop --no-journal)\n");
+    return 2;
+  }
+  if (opts.cell.checkpoint_every > 0 && opts.journal_base.empty()) {
+    std::fprintf(stderr, "vltshard: --checkpoint-every needs journals "
                          "(drop --no-journal)\n");
     return 2;
   }
@@ -228,6 +254,10 @@ int run_main(int argc, char** argv) {
   if (opts.cell.cell_cycle_limit) {
     opts.worker_args.push_back("--cell-cycle-limit");
     opts.worker_args.push_back(std::to_string(*opts.cell.cell_cycle_limit));
+  }
+  if (opts.cell.checkpoint_every > 0) {
+    opts.worker_args.push_back("--checkpoint-every");
+    opts.worker_args.push_back(std::to_string(opts.cell.checkpoint_every));
   }
 
   if (!opts.quiet)

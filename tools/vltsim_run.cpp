@@ -4,6 +4,8 @@
 //
 //   vltsim_run <workload> [--config NAME] [--variant V] [--isa NAME]
 //              [--lanes N] [--cycle-limit N] [--no-skip] [--json]
+//              [--host-threads N] [--checkpoint-at N]
+//              [--checkpoint-out FILE] [--restore FILE]
 //              [--audit] [--trace FILE] [--list]
 //
 // Exit codes: 0 ok, 1 run failed (verification/timeout/...), 2 usage,
@@ -22,6 +24,8 @@
 
 #include "analysis/checks.hpp"
 #include "campaign/campaign.hpp"
+#include "ckpt/checkpoint.hpp"
+#include "common/cli.hpp"
 #include "isa/isa.hpp"
 #include "machine/area_model.hpp"
 #include "machine/simulator.hpp"
@@ -45,7 +49,8 @@ void usage() {
       stderr,
       "usage: vltsim_run <workload> [--config NAME] [--variant V] "
       "[--isa NAME] [--lanes N] [--cycle-limit N] [--no-skip] [--json] "
-      "[--audit] [--lint] [--trace FILE] [--list]\n"
+      "[--host-threads N] [--checkpoint-at N] [--checkpoint-out FILE] "
+      "[--restore FILE] [--audit] [--lint] [--trace FILE] [--list]\n"
       "  workloads: mxm sage mpenc trfd multprec bt radix ocean barnes\n"
       "  configs:  %s\n"
       "  variants: %s\n"
@@ -57,6 +62,15 @@ void usage() {
       "             status \"timeout\" and a per-context diagnostic\n"
       "  --no-skip: tick every cycle instead of event-driven skip-ahead\n"
       "             (timing-neutral oracle, docs/PERF.md)\n"
+      "  --host-threads N: partition-parallel scalar-unit ticking on N\n"
+      "             host threads (skip engine only; timing-neutral)\n"
+      "  --checkpoint-at N: write an architectural snapshot at the first\n"
+      "             simulated cycle >= N (requires --checkpoint-out)\n"
+      "  --checkpoint-out FILE: snapshot destination (docs/CKPT.md);\n"
+      "             written atomically, digest-protected\n"
+      "  --restore FILE: resume from a snapshot instead of cycle zero;\n"
+      "             the finished run is byte-identical to an\n"
+      "             uninterrupted one (docs/CKPT.md)\n"
       "  --json:    print the run result as JSON (schema: RunResult)\n"
       "  --audit:   per-cycle invariant checks + lockstep co-simulation\n"
       "             (fails with a diagnostic on the first violation)\n"
@@ -84,6 +98,10 @@ int run_main(int argc, char** argv) {
   bool json = false;
   bool no_skip = false;
   bool lint = false;
+  unsigned host_threads = 0;
+  Cycle checkpoint_at = kNeverReady;
+  std::string checkpoint_out;
+  std::string restore_path;
   std::string trace_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -141,6 +159,26 @@ int run_main(int argc, char** argv) {
       cycle_limit = static_cast<Cycle>(n);
     } else if (arg == "--no-skip") {
       no_skip = true;
+    } else if (arg == "--host-threads" && i + 1 < argc) {
+      std::optional<unsigned> n =
+          cli::parse_thread_count("vltsim_run", arg, argv[++i]);
+      if (!n) return 2;
+      host_threads = *n;
+    } else if (arg == "--checkpoint-at" && i + 1 < argc) {
+      const char* v = argv[++i];
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1) {
+        std::fprintf(stderr,
+                     "vltsim_run: --checkpoint-at expects a positive "
+                     "integer, got '%s'\n", v);
+        return 2;
+      }
+      checkpoint_at = static_cast<Cycle>(n);
+    } else if (arg == "--checkpoint-out" && i + 1 < argc) {
+      checkpoint_out = argv[++i];
+    } else if (arg == "--restore" && i + 1 < argc) {
+      restore_path = argv[++i];
     } else if (arg == "--audit") {
       audit = true;
     } else if (arg == "--lint") {
@@ -181,7 +219,20 @@ int run_main(int argc, char** argv) {
   if (audit) cfg.audit = audit::AuditConfig::full();
   if (cycle_limit != 0) cfg.cycle_limit = cycle_limit;
   if (no_skip) cfg.event_skip = false;
+  if (host_threads != 0) cfg.host_threads = host_threads;
   cfg.isa = isa_id;
+  if ((checkpoint_at != kNeverReady) != !checkpoint_out.empty()) {
+    std::fprintf(stderr,
+                 "vltsim_run: --checkpoint-at and --checkpoint-out must be "
+                 "given together\n");
+    return 2;
+  }
+  if (audit && (!checkpoint_out.empty() || !restore_path.empty())) {
+    std::fprintf(stderr,
+                 "vltsim_run: --audit is incompatible with checkpoint/"
+                 "restore (auditor state is not serialized, docs/CKPT.md)\n");
+    return 2;
+  }
   auto workload = workloads::find_workload(workload_name);
   if (workload == nullptr) {
     std::fprintf(stderr, "vltsim_run: unknown workload '%s'\n",
@@ -220,11 +271,25 @@ int run_main(int argc, char** argv) {
     }
   }
 
+  std::optional<Json> restore_doc;
+  if (!restore_path.empty()) {
+    std::string err;
+    restore_doc = ckpt::load_file(restore_path, &err);
+    if (!restore_doc) {
+      std::fprintf(stderr, "vltsim_run: cannot restore from '%s': %s\n",
+                   restore_path.c_str(), err.c_str());
+      return 1;
+    }
+  }
+
   machine::RunResult r;
   stats::TraceBuffer trace;
   try {
     machine::Simulator sim(cfg);
     if (!trace_path.empty()) sim.set_trace(&trace);
+    if (!checkpoint_out.empty())
+      sim.set_checkpoint({checkpoint_at, 0, checkpoint_out});
+    if (restore_doc) sim.set_restore(std::move(*restore_doc));
     r = sim.run(*workload, variant);
   } catch (const vlt::SimError& e) {
     // Simulation-level failures (timeout, tripped invariant) are a

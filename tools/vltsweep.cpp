@@ -45,6 +45,7 @@
 
 #include "campaign/campaign.hpp"
 #include "campaign/grid.hpp"
+#include "common/cli.hpp"
 #include "shard/worker.hpp"
 
 using namespace vlt;
@@ -68,6 +69,7 @@ void usage() {
       "                [--cache DIR] [--no-cache] [--force] [--fail-fast]\n"
       "                [--max-retries N] [--cell-cycle-limit N]\n"
       "                [--journal FILE] [--no-journal] [--resume]\n"
+      "                [--checkpoint-every N]\n"
       "                [--no-skip] [--wall] [--format json|csv]\n"
       "                [--out FILE] [--quiet] [--list]\n"
       "  workloads:%s\n"
@@ -89,6 +91,10 @@ void usage() {
       "                .vltsweep-journal.jsonl; --no-journal disables)\n"
       "  --resume      replay completed cells from the journal, run the\n"
       "                rest (byte-identical output to an unkilled sweep)\n"
+      "  --checkpoint-every N   snapshot each in-flight cell's machine\n"
+      "                every N simulated cycles next to the journal;\n"
+      "                --resume restores unfinished cells mid-run\n"
+      "                instead of from cycle zero (docs/CKPT.md)\n"
       "  --no-skip     tick every cycle instead of event-driven\n"
       "                skip-ahead (timing-neutral oracle, docs/PERF.md)\n"
       "  --wall        add each cell's host wall-clock ms to the report\n"
@@ -146,7 +152,10 @@ int run_main(int argc, char** argv) {
     } else if (arg == "--isa") {
       grid.isas = value();
     } else if (arg == "--threads") {
-      opts.threads = static_cast<unsigned>(uint_value(1, 1024));
+      std::optional<unsigned> n =
+          cli::parse_thread_count("vltsweep", arg, value());
+      if (!n) return 2;
+      opts.threads = *n;
     } else if (arg == "--cache") {
       opts.cache_dir = value();
     } else if (arg == "--no-cache") {
@@ -176,6 +185,17 @@ int run_main(int argc, char** argv) {
       journal_explicit = true;
     } else if (arg == "--resume") {
       opts.resume = true;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = value();
+      char* end = nullptr;
+      unsigned long long n = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1) {
+        std::fprintf(stderr,
+                     "vltsweep: --checkpoint-every expects a positive "
+                     "integer, got '%s'\n", v);
+        return 2;
+      }
+      opts.checkpoint_every = static_cast<Cycle>(n);
     } else if (arg == "--no-skip") {
       grid.no_skip = true;
     } else if (arg == "--wall") {
@@ -211,6 +231,11 @@ int run_main(int argc, char** argv) {
 
   if (opts.resume && opts.journal_path.empty()) {
     std::fprintf(stderr, "vltsweep: --resume needs a journal "
+                         "(drop --no-journal)\n");
+    return 2;
+  }
+  if (opts.checkpoint_every > 0 && opts.journal_path.empty()) {
+    std::fprintf(stderr, "vltsweep: --checkpoint-every needs a journal "
                          "(drop --no-journal)\n");
     return 2;
   }
